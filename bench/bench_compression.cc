@@ -1,0 +1,143 @@
+// Figures 11 and 13: storage footprints relative to the H-document size,
+// without and with compression, across the three systems — plus the
+// block-pruning ablation that motivates BlockZIP (Section 8.1).
+//
+// Paper shape (ratio = stored bytes / H-document bytes):
+//   Figure 11 (no RDBMS compression): Tamino 0.22 (it always compresses),
+//     ArchIS-DB2 0.75, ArchIS-ATLaS 1.02; plain H-tables about 0.5.
+//   Figure 13 (BlockZIP on): ArchIS drops to ~0.23, nearly matching
+//     Tamino's 0.22; Tamino *without* compression expands to 1.47.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "compress/blob_store.h"
+
+namespace archis::bench {
+namespace {
+
+struct Ratios {
+  double tamino_compressed;
+  double tamino_native;
+  double htables_unsegmented;
+  double htables_segmented;
+  double htables_segmented_zip;
+  uint64_t hdoc_bytes;
+};
+
+const Ratios& MeasureRatios() {
+  static Ratios r = [] {
+    // Segmented, uncompressed (the ArchIS-DB2 configuration).
+    Systems seg = BuildSystems(BuildOptions{});
+    // Unsegmented H-tables.
+    BuildOptions o2;
+    o2.segment_clustering = false;
+    o2.with_tamino = false;
+    Systems plain = BuildSystems(o2);
+    // Segmented + BlockZIP (Section 8), frozen fully so everything is
+    // compressed.
+    BuildOptions o3;
+    o3.compress = true;
+    o3.with_tamino = false;
+    Systems zip = BuildSystems(o3);
+    if (!zip.archis->FreezeAll().ok()) abort();
+
+    // TaminoLite in both storage modes, fed the same H-documents.
+    xmldb::XmlDatabase tam_zip(xmldb::StorageMode::kCompressed,
+                               seg.archis->Now());
+    xmldb::XmlDatabase tam_raw(xmldb::StorageMode::kNative,
+                               seg.archis->Now());
+    uint64_t hdoc = 0;
+    for (const char* rel : {"employees", "depts"}) {
+      auto doc = seg.archis->PublishHistory(rel);
+      if (!doc.ok()) abort();
+      hdoc += xml::Serialize(*doc).size();
+      if (!tam_zip.PutDocument(std::string(rel) + ".xml", *doc).ok()) abort();
+      if (!tam_raw.PutDocument(std::string(rel) + ".xml", *doc).ok()) abort();
+    }
+    auto ratio = [hdoc](uint64_t bytes) {
+      return static_cast<double>(bytes) / static_cast<double>(hdoc);
+    };
+    Ratios out;
+    out.hdoc_bytes = hdoc;
+    out.tamino_compressed = ratio(tam_zip.store().TotalStoredBytes());
+    out.tamino_native = ratio(tam_raw.store().TotalStoredBytes());
+    out.htables_unsegmented = ratio(plain.archis->HistoryStorageBytes());
+    out.htables_segmented = ratio(seg.archis->HistoryStorageBytes());
+    out.htables_segmented_zip = ratio(zip.archis->HistoryStorageBytes());
+    return out;
+  }();
+  return r;
+}
+
+void BM_CompressionRatios(benchmark::State& state) {
+  const Ratios& r = MeasureRatios();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&r);
+  }
+  state.counters["hdoc_bytes"] = static_cast<double>(r.hdoc_bytes);
+  state.counters["tamino_compressed"] = r.tamino_compressed;
+  state.counters["tamino_native"] = r.tamino_native;
+  state.counters["htables_unsegmented"] = r.htables_unsegmented;
+  state.counters["htables_segmented"] = r.htables_segmented;
+  state.counters["htables_segmented_blockzip"] = r.htables_segmented_zip;
+}
+
+// Ablation: block-pruned decompression (BlockZIP's point) vs decompressing
+// the whole segment for a single-object lookup.
+void BM_BlockPrunedLookup(benchmark::State& state) {
+  static Systems sys = [] {
+    BuildOptions o;
+    o.compress = true;
+    o.with_tamino = false;
+    Systems s = BuildSystems(o);
+    if (!s.archis->FreezeAll().ok()) abort();
+    return s;
+  }();
+  auto set = sys.archis->archiver().htables("employees");
+  auto salary = (*set)->attribute_store("salary");
+  const bool pruned = state.range(0) == 1;
+  core::StoreScanStats stats;
+  for (auto _ : state) {
+    stats = core::StoreScanStats();
+    Status st;
+    if (pruned) {
+      st = (*salary)->ScanId(sys.probe_id,
+                             [](const minirel::Tuple&) { return true; },
+                             &stats);
+    } else {
+      // Whole-history scan filtered by id afterwards: what a store without
+      // per-block key ranges would have to do.
+      st = (*salary)->ScanHistory(
+          [&](const minirel::Tuple& row) {
+            benchmark::DoNotOptimize(row.at(0).AsInt() == sys.probe_id);
+            return true;
+          },
+          &stats);
+    }
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.counters["blocks_decompressed"] =
+      static_cast<double>(stats.blocks_decompressed);
+  state.SetLabel(pruned ? "block-pruned (BlockZIP ranges)"
+                        : "decompress whole history");
+}
+
+BENCHMARK(BM_CompressionRatios)->Iterations(1);
+BENCHMARK(BM_BlockPrunedLookup)->Arg(1)->Arg(0)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace archis::bench
+
+int main(int argc, char** argv) {
+  printf("== Figures 11 & 13: storage ratios (stored / H-document size) "
+         "==\n");
+  printf("Paper shape: Tamino compressed ~0.22, Tamino uncompressed ~1.47;\n"
+         "H-tables ~0.5, segmented ~0.75-1.02; with BlockZIP the RDBMS\n"
+         "drops to ~0.23, closing the gap with the native XML DB.\n");
+  printf("Plus the BlockZIP ablation: block-pruned vs whole-history "
+         "decompression.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

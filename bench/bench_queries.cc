@@ -1,0 +1,102 @@
+// Figure 8 + Table 3: the six temporal queries on the native XML database
+// (TaminoLite, compressed documents — Tamino's default) versus ArchIS with
+// segment-based clustering on the RDBMS.
+//
+// Paper shape to reproduce: the RDBMS path wins every query; snapshot (Q2)
+// by ~2 orders of magnitude, slicing (Q5) by ~66x, history (Q4) by ~4x,
+// temporal join (Q6) by ~35x. Absolute times differ (their testbed was
+// disk-bound); the ordering and rough factors are the claim under test.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace archis::bench {
+namespace {
+
+Systems& SegSystems() {
+  static Systems sys = BuildSystems(BuildOptions{});
+  return sys;
+}
+
+void BM_Tamino(benchmark::State& state) {
+  Systems& sys = SegSystems();
+  const BenchQuery& q = kTable3Queries[state.range(0)];
+  std::string xq = q.xq(sys);
+  size_t items = 0;
+  for (auto _ : state) {
+    auto r = sys.tamino->Query(xq);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    items = r.ok() ? r->size() : 0;
+    benchmark::DoNotOptimize(items);
+  }
+  state.counters["result_items"] = static_cast<double>(items);
+  state.SetLabel(q.description);
+}
+
+void BM_ArchIS(benchmark::State& state) {
+  Systems& sys = SegSystems();
+  const BenchQuery& q = kTable3Queries[state.range(0)];
+  core::SqlXmlPlan plan = q.plan(sys);
+  core::PlanStats stats;
+  for (auto _ : state) {
+    stats = core::PlanStats();
+    auto r = sys.archis->Execute(plan, &stats);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rows_scanned"] = static_cast<double>(stats.rows_scanned);
+  state.counters["segments_scanned"] =
+      static_cast<double>(stats.segments_scanned);
+  state.SetLabel(q.description);
+}
+
+// Ablation: the same plans executed against an un-indexed full-history scan
+// is covered by bench_clustering; here we add the id-sorted merge join vs
+// hash join ablation on a two-variable query (salary joined with title).
+void BM_JoinAblation(benchmark::State& state) {
+  Systems& sys = SegSystems();
+  const bool merge = state.range(0) == 0;
+  core::SqlXmlPlan plan;
+  core::PlanVar a, b;
+  a.relation = "employees";
+  a.attribute = "salary";
+  b.relation = "employees";
+  b.attribute = "title";
+  plan.vars = {a, b};
+  plan.join_on_id = merge;
+  if (!merge) {
+    // Emulate the value-join fallback: join via a cross condition instead
+    // of the sorted id merge (quadratic pairing within the cross product).
+    core::CrossCond cond;
+    cond.kind = core::CrossCond::Kind::kCompare;
+    cond.lhs = {0, core::HCol::kId};
+    cond.op = minirel::CompareOp::kEq;
+    cond.rhs = {1, core::HCol::kId};
+    plan.cross_conds.push_back(cond);
+  }
+  plan.aggregate = core::PlanAggregate::kCount;
+  for (auto _ : state) {
+    auto r = sys.archis->Execute(plan);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(merge ? "id-sorted merge join" : "cross-product join");
+}
+
+BENCHMARK(BM_Tamino)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ArchIS)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_JoinAblation)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace archis::bench
+
+int main(int argc, char** argv) {
+  printf("== Figure 8 / Table 3: query performance, native XML DB vs "
+         "ArchIS(segmented) ==\n");
+  printf("Paper shape: ArchIS wins all six; Q2 ~100x, Q5 ~66x, Q4 ~4x, "
+         "Q6 ~35x.\n");
+  printf("Args 0..5 map to Table 3 queries Q1..Q6.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

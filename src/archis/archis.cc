@@ -1,0 +1,230 @@
+#include "archis/archis.h"
+
+#include "xml/serializer.h"
+#include "xquery/parser.h"
+
+namespace archis::core {
+
+using minirel::Schema;
+using minirel::Table;
+using minirel::Tuple;
+using minirel::Value;
+
+ArchIS::ArchIS(ArchISOptions options, Date start_date)
+    : options_(options), clock_(start_date), archiver_(&history_db_) {
+  capture_ = std::make_unique<ChangeCapture>(
+      options.capture_mode,
+      [this](const ChangeRecord& change) { return archiver_.Apply(change); });
+}
+
+Status ArchIS::CreateRelation(const std::string& name, const Schema& schema,
+                              const std::vector<std::string>& key_columns,
+                              const DocBinding& doc,
+                              const std::string& doc_name) {
+  ARCHIS_ASSIGN_OR_RETURN(Table * table,
+                          current_db_.catalog().CreateTable(name, schema));
+  ARCHIS_RETURN_NOT_OK(table->CreateIndex("pk", key_columns));
+  RelationInfo info;
+  info.key_columns = key_columns;
+  for (const std::string& k : key_columns) {
+    ARCHIS_ASSIGN_OR_RETURN(size_t pos, schema.ColumnIndex(k));
+    info.key_positions.push_back(pos);
+  }
+  info.doc = doc;
+  info.doc_name = doc_name;
+  relations_[name] = std::move(info);
+  return archiver_.RegisterRelation(name, schema, key_columns,
+                                    options_.segment, clock_);
+}
+
+Status ArchIS::DropRelation(const std::string& name) {
+  if (relations_.count(name) == 0) {
+    return Status::NotFound("relation '" + name + "'");
+  }
+  ARCHIS_RETURN_NOT_OK(current_db_.catalog().DropTable(name));
+  return archiver_.UnregisterRelation(name, clock_);
+}
+
+Status ArchIS::AdvanceClock(Date now) {
+  if (now < clock_) {
+    return Status::InvalidArgument(
+        "transaction time cannot move backwards (" + now.ToString() + " < " +
+        clock_.ToString() + ")");
+  }
+  clock_ = now;
+  return Status::OK();
+}
+
+Result<storage::RecordId> ArchIS::FindByKey(
+    Table* table, const RelationInfo& info, const std::vector<Value>& key,
+    Tuple* row) const {
+  if (key.size() != info.key_positions.size()) {
+    return Status::InvalidArgument("key arity mismatch");
+  }
+  const minirel::TableIndex* idx = table->GetIndex("pk");
+  std::optional<storage::RecordId> found;
+  table->IndexScan(*idx, key, key,
+                   [&](const storage::RecordId& rid, const Tuple& t) {
+    found = rid;
+    *row = t;
+    return false;
+  });
+  if (!found) return Status::NotFound("no current row with that key");
+  return *found;
+}
+
+Status ArchIS::Insert(const std::string& relation, const Tuple& row) {
+  auto info = relations_.find(relation);
+  if (info == relations_.end()) {
+    return Status::NotFound("relation '" + relation + "'");
+  }
+  ARCHIS_ASSIGN_OR_RETURN(Table * table,
+                          current_db_.catalog().GetTable(relation));
+  ARCHIS_RETURN_NOT_OK(table->Insert(row).status());
+  ChangeRecord change;
+  change.kind = ChangeKind::kInsert;
+  change.relation = relation;
+  change.new_row = row;
+  change.when = clock_;
+  return capture_->Record(std::move(change));
+}
+
+Status ArchIS::Update(const std::string& relation,
+                      const std::vector<Value>& key, const Tuple& new_row) {
+  auto info = relations_.find(relation);
+  if (info == relations_.end()) {
+    return Status::NotFound("relation '" + relation + "'");
+  }
+  ARCHIS_ASSIGN_OR_RETURN(Table * table,
+                          current_db_.catalog().GetTable(relation));
+  Tuple old_row;
+  ARCHIS_ASSIGN_OR_RETURN(storage::RecordId rid,
+                          FindByKey(table, info->second, key, &old_row));
+  // Keys are invariant in history (Section 3).
+  for (size_t i = 0; i < key.size(); ++i) {
+    if (!(new_row.at(info->second.key_positions[i]) == key[i])) {
+      return Status::InvalidArgument("key columns must not change");
+    }
+  }
+  ARCHIS_RETURN_NOT_OK(table->Update(&rid, new_row));
+  ChangeRecord change;
+  change.kind = ChangeKind::kUpdate;
+  change.relation = relation;
+  change.old_row = old_row;
+  change.new_row = new_row;
+  change.when = clock_;
+  return capture_->Record(std::move(change));
+}
+
+Status ArchIS::Delete(const std::string& relation,
+                      const std::vector<Value>& key) {
+  auto info = relations_.find(relation);
+  if (info == relations_.end()) {
+    return Status::NotFound("relation '" + relation + "'");
+  }
+  ARCHIS_ASSIGN_OR_RETURN(Table * table,
+                          current_db_.catalog().GetTable(relation));
+  Tuple old_row;
+  ARCHIS_ASSIGN_OR_RETURN(storage::RecordId rid,
+                          FindByKey(table, info->second, key, &old_row));
+  ARCHIS_RETURN_NOT_OK(table->Delete(rid));
+  ChangeRecord change;
+  change.kind = ChangeKind::kDelete;
+  change.relation = relation;
+  change.old_row = old_row;
+  change.when = clock_;
+  return capture_->Record(std::move(change));
+}
+
+Status ArchIS::FlushLog() { return capture_->Flush(); }
+
+TranslatorContext ArchIS::translator_context() const {
+  TranslatorContext ctx;
+  ctx.current_date = clock_;
+  for (const auto& [name, info] : relations_) {
+    ctx.docs[info.doc_name] = info.doc;
+  }
+  return ctx;
+}
+
+Result<QueryResult> ArchIS::Query(const std::string& xquery) {
+  QueryResult result;
+  auto plan = Translate(xquery);
+  if (plan.ok()) {
+    result.path = QueryPath::kTranslated;
+    result.sql = plan->ToSql();
+    ARCHIS_ASSIGN_OR_RETURN(result.xml, Execute(*plan, &result.stats));
+    return result;
+  }
+  if (plan.status().code() != StatusCode::kUnsupported) {
+    return plan.status();
+  }
+  // Native fallback over published H-documents.
+  ARCHIS_ASSIGN_OR_RETURN(xquery::Sequence seq, QueryNative(xquery));
+  result.path = QueryPath::kNativeFallback;
+  result.xml = xml::XmlNode::Element("results");
+  for (const xquery::Item& item : seq) {
+    if (item.is_node()) {
+      result.xml->AppendChild(item.node()->Clone());
+    } else {
+      result.xml->AppendText(item.StringValue());
+    }
+  }
+  return result;
+}
+
+Result<SqlXmlPlan> ArchIS::Translate(const std::string& xquery) const {
+  return TranslateXQuery(xquery, translator_context());
+}
+
+Result<xml::XmlNodePtr> ArchIS::Execute(const SqlXmlPlan& plan,
+                                        PlanStats* stats) const {
+  return ExecutePlan(archiver_, plan, clock_, stats);
+}
+
+Result<xquery::Sequence> ArchIS::QueryNative(const std::string& xquery) {
+  xquery::EvalContext ctx;
+  ctx.current_date = clock_;
+  ctx.resolve_doc =
+      [this](const std::string& doc_name) -> Result<xml::XmlNodePtr> {
+    for (const auto& [name, info] : relations_) {
+      if (info.doc_name == doc_name) return PublishHistory(name);
+    }
+    return Status::NotFound("no relation publishes doc('" + doc_name + "')");
+  };
+  xquery::Evaluator evaluator(std::move(ctx));
+  return evaluator.EvaluateQuery(xquery);
+}
+
+Result<xml::XmlNodePtr> ArchIS::PublishHistory(
+    const std::string& relation) const {
+  auto info = relations_.find(relation);
+  if (info == relations_.end()) {
+    return Status::NotFound("relation '" + relation + "'");
+  }
+  ARCHIS_ASSIGN_OR_RETURN(HTableSet * set, archiver_.htables(relation));
+  TimeInterval relation_interval(clock_, Date::Forever());
+  for (const auto& entry : archiver_.relations()) {
+    if (entry.name == relation) relation_interval = entry.interval;
+  }
+  PublishOptions opts;
+  opts.root_name = info->second.doc.root_tag;
+  opts.entity_name = info->second.doc.entity_tag;
+  return core::PublishHistory(*set, relation_interval, opts);
+}
+
+Status ArchIS::ImportHistory(const std::string& relation,
+                             const xml::XmlNodePtr& doc) {
+  ARCHIS_ASSIGN_OR_RETURN(HTableSet * set, archiver_.htables(relation));
+  return core::ImportHistory(set, doc);
+}
+
+Result<std::vector<Tuple>> ArchIS::Snapshot(const std::string& relation,
+                                            Date t) const {
+  ARCHIS_ASSIGN_OR_RETURN(HTableSet * set, archiver_.htables(relation));
+  return set->Snapshot(t);
+}
+
+Status ArchIS::FreezeAll() { return archiver_.FreezeAll(clock_); }
+
+}  // namespace archis::core

@@ -1,0 +1,160 @@
+// ArchIS: the Archival Information System facade (paper Figure 5).
+//
+// Owns the current database and the H-tables, captures every change to the
+// current tables (triggers or update log), and answers temporal XQuery
+// either by translation to SQL/XML plans executed on the H-tables (the
+// efficient path) or natively over published H-documents (the fallback /
+// cross-validation path).
+//
+// Typical use:
+//
+//   archis::core::ArchIS db(options, Date::FromYmd(1995, 1, 1));
+//   db.CreateRelation("employees", schema, {"id"},
+//                     {"employees.xml", "employees", "employee"});
+//   db.Insert("employees", row);
+//   db.AdvanceClock(Date::FromYmd(1995, 6, 1));
+//   db.Update("employees", key, new_row);
+//   auto xml = db.Query("for $e in doc(\"employees.xml\")/...");
+#ifndef ARCHIS_ARCHIS_ARCHIS_H_
+#define ARCHIS_ARCHIS_ARCHIS_H_
+
+#include <memory>
+#include <string>
+
+#include "archis/archiver.h"
+#include "archis/publisher.h"
+#include "archis/translator.h"
+#include "xquery/evaluator.h"
+
+namespace archis::core {
+
+/// Top-level configuration.
+struct ArchISOptions {
+  SegmentOptions segment;  ///< clustering / compression knobs
+  CaptureMode capture_mode = CaptureMode::kTrigger;
+};
+
+/// Which execution path answered a query.
+enum class QueryPath { kTranslated, kNativeFallback };
+
+/// Result of ArchIS::Query.
+struct QueryResult {
+  xml::XmlNodePtr xml;   ///< result wrapped in a <results> element
+  QueryPath path;        ///< translated SQL/XML or native fallback
+  std::string sql;       ///< rendered SQL/XML (translated path only)
+  PlanStats stats;       ///< executor statistics (translated path only)
+};
+
+/// A transaction-time temporal database on a relational engine.
+class ArchIS {
+ public:
+  ArchIS(ArchISOptions options, Date start_date);
+
+  // -- Schema -----------------------------------------------------------------
+
+  /// Creates a current table plus its H-tables, and registers the
+  /// H-document name for doc() references in queries.
+  Status CreateRelation(const std::string& name,
+                        const minirel::Schema& schema,
+                        const std::vector<std::string>& key_columns,
+                        const DocBinding& doc,
+                        const std::string& doc_name);
+
+  /// Drops the current table; history stays queryable, and the relation's
+  /// interval closes in the global relations table.
+  Status DropRelation(const std::string& name);
+
+  // -- Transaction clock -------------------------------------------------------
+
+  /// Advances the transaction-time clock (must not go backwards).
+  Status AdvanceClock(Date now);
+  Date Now() const { return clock_; }
+
+  // -- DML on the current database (change-captured) ----------------------------
+
+  Status Insert(const std::string& relation, const minirel::Tuple& row);
+
+  /// Updates the current row whose key columns equal `key`; the row moves
+  /// to `new_row` (key must be unchanged — keys are invariant, Section 3).
+  Status Update(const std::string& relation,
+                const std::vector<minirel::Value>& key,
+                const minirel::Tuple& new_row);
+
+  Status Delete(const std::string& relation,
+                const std::vector<minirel::Value>& key);
+
+  /// Applies buffered changes (update-log capture mode).
+  Status FlushLog();
+
+  // -- Queries ------------------------------------------------------------------
+
+  /// Answers an XQuery: translated to SQL/XML when the translator covers
+  /// it, otherwise evaluated natively over published H-documents.
+  Result<QueryResult> Query(const std::string& xquery);
+
+  /// Translation only (the paper reports sub-0.1ms translation costs).
+  Result<SqlXmlPlan> Translate(const std::string& xquery) const;
+
+  /// Executes a (possibly hand-built) plan against the H-tables.
+  Result<xml::XmlNodePtr> Execute(const SqlXmlPlan& plan,
+                                  PlanStats* stats = nullptr) const;
+
+  /// Native evaluation over published H-documents.
+  Result<xquery::Sequence> QueryNative(const std::string& xquery);
+
+  /// The H-document (temporally grouped XML view) of a relation.
+  Result<xml::XmlNodePtr> PublishHistory(const std::string& relation) const;
+
+  /// Restores a relation's history from an H-document previously produced
+  /// by PublishHistory (archive interchange). The relation must be
+  /// registered and its H-tables empty; the current table is not rebuilt —
+  /// this is a history-only restore, queryable immediately.
+  Status ImportHistory(const std::string& relation,
+                       const xml::XmlNodePtr& doc);
+
+  /// Snapshot of a relation reconstructed from its H-tables.
+  Result<std::vector<minirel::Tuple>> Snapshot(const std::string& relation,
+                                               Date t) const;
+
+  // -- Maintenance / introspection -----------------------------------------------
+
+  /// Freezes every live segment (e.g. before measuring compression).
+  Status FreezeAll();
+
+  /// Storage held by the H-tables (archived history).
+  uint64_t HistoryStorageBytes() const { return archiver_.StorageBytes(); }
+
+  minirel::Database& current_db() { return current_db_; }
+  const minirel::Database& current_db() const { return current_db_; }
+  Archiver& archiver() { return archiver_; }
+  const Archiver& archiver() const { return archiver_; }
+  const ArchISOptions& options() const { return options_; }
+
+  /// Translator context (docs registered via CreateRelation).
+  TranslatorContext translator_context() const;
+
+ private:
+  struct RelationInfo {
+    std::vector<std::string> key_columns;
+    std::vector<size_t> key_positions;
+    DocBinding doc;
+    std::string doc_name;
+  };
+
+  Result<storage::RecordId> FindByKey(minirel::Table* table,
+                                      const RelationInfo& info,
+                                      const std::vector<minirel::Value>& key,
+                                      minirel::Tuple* row) const;
+
+  ArchISOptions options_;
+  Date clock_;
+  minirel::Database current_db_;
+  minirel::Database history_db_;
+  Archiver archiver_;
+  std::unique_ptr<ChangeCapture> capture_;
+  std::map<std::string, RelationInfo> relations_;
+};
+
+}  // namespace archis::core
+
+#endif  // ARCHIS_ARCHIS_ARCHIS_H_

@@ -1,0 +1,21 @@
+#include "archis/change_capture.h"
+
+namespace archis::core {
+
+Status ChangeCapture::Record(ChangeRecord change) {
+  if (mode_ == CaptureMode::kTrigger) {
+    return sink_(change);
+  }
+  log_.push_back(std::move(change));
+  return Status::OK();
+}
+
+Status ChangeCapture::Flush() {
+  for (const ChangeRecord& change : log_) {
+    ARCHIS_RETURN_NOT_OK(sink_(change));
+  }
+  log_.clear();
+  return Status::OK();
+}
+
+}  // namespace archis::core

@@ -1,0 +1,65 @@
+// Change capture on the current database (paper Section 5.2).
+//
+// Changes can be tracked with triggers (each statement archived
+// synchronously — the ArchIS-DB2 configuration) or with an update log
+// (changes buffered and archived on Flush — the ArchIS-ATLaS
+// configuration, which the paper uses "for better performance").
+#ifndef ARCHIS_ARCHIS_CHANGE_CAPTURE_H_
+#define ARCHIS_ARCHIS_CHANGE_CAPTURE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "minirel/tuple.h"
+
+namespace archis::core {
+
+/// Kind of captured change.
+enum class ChangeKind { kInsert, kUpdate, kDelete };
+
+/// One captured change on a current table.
+struct ChangeRecord {
+  ChangeKind kind;
+  std::string relation;
+  minirel::Tuple old_row;  // valid for update/delete
+  minirel::Tuple new_row;  // valid for insert/update
+  Date when;
+};
+
+/// How changes reach the archiver.
+enum class CaptureMode {
+  kTrigger,    ///< archive synchronously per statement
+  kUpdateLog,  ///< buffer; archive on Flush()
+};
+
+/// Sink invoked for each change (in trigger mode) or each flushed batch.
+using ChangeSink = std::function<Status(const ChangeRecord&)>;
+
+/// Collects changes and routes them to a sink.
+class ChangeCapture {
+ public:
+  ChangeCapture(CaptureMode mode, ChangeSink sink)
+      : mode_(mode), sink_(std::move(sink)) {}
+
+  /// Records a change; in trigger mode the sink runs before returning.
+  Status Record(ChangeRecord change);
+
+  /// Applies all buffered changes to the sink in order (update-log mode).
+  Status Flush();
+
+  /// Buffered, not-yet-archived changes.
+  size_t pending() const { return log_.size(); }
+
+  CaptureMode mode() const { return mode_; }
+  void set_mode(CaptureMode mode) { mode_ = mode; }
+
+ private:
+  CaptureMode mode_;
+  ChangeSink sink_;
+  std::vector<ChangeRecord> log_;
+};
+
+}  // namespace archis::core
+
+#endif  // ARCHIS_ARCHIS_CHANGE_CAPTURE_H_

@@ -1,0 +1,47 @@
+#include "archis/compressed_segment.h"
+
+namespace archis::core {
+
+Result<std::unique_ptr<CompressedSegment>> CompressedSegment::Build(
+    const minirel::Schema& schema, const std::vector<minirel::Tuple>& rows,
+    size_t block_size) {
+  auto seg = std::unique_ptr<CompressedSegment>(new CompressedSegment());
+  seg->schema_ = schema;
+  std::vector<std::pair<int64_t, std::string>> records;
+  records.reserve(rows.size());
+  for (const minirel::Tuple& row : rows) {
+    ARCHIS_ASSIGN_OR_RETURN(std::string bytes, row.Encode(schema));
+    records.emplace_back(row.at(0).AsInt(), std::move(bytes));
+  }
+  compress::BlockZipOptions opts;
+  opts.block_size = block_size;
+  ARCHIS_RETURN_NOT_OK(seg->store_.Build(records, opts));
+  return seg;
+}
+
+Status CompressedSegment::ScanAll(
+    const std::function<bool(const minirel::Tuple&)>& fn,
+    compress::BlobReadStats* stats) const {
+  return store_.ScanAll(
+      [&](int64_t, const std::string& rec) {
+        auto t = minirel::Tuple::Decode(schema_, rec);
+        if (!t.ok()) return true;
+        return fn(*t);
+      },
+      stats);
+}
+
+Status CompressedSegment::ScanId(
+    int64_t id, const std::function<bool(const minirel::Tuple&)>& fn,
+    compress::BlobReadStats* stats) const {
+  return store_.ScanRange(
+      id, id,
+      [&](int64_t, const std::string& rec) {
+        auto t = minirel::Tuple::Decode(schema_, rec);
+        if (!t.ok()) return true;
+        return fn(*t);
+      },
+      stats);
+}
+
+}  // namespace archis::core

@@ -1,0 +1,49 @@
+// A frozen, BlockZIP-compressed segment (paper Section 8.2).
+//
+// Rows are sorted by id and stored in a BlobStore keyed by the id, so a
+// single-object lookup decompresses only the covering blocks while a
+// whole-segment scan decompresses all of them.
+#ifndef ARCHIS_ARCHIS_COMPRESSED_SEGMENT_H_
+#define ARCHIS_ARCHIS_COMPRESSED_SEGMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compress/blob_store.h"
+#include "minirel/tuple.h"
+
+namespace archis::core {
+
+/// BlockZIP-compressed storage for one frozen segment's rows.
+class CompressedSegment {
+ public:
+  /// Compresses `rows` (already id-sorted; encoded with `schema`).
+  static Result<std::unique_ptr<CompressedSegment>> Build(
+      const minirel::Schema& schema, const std::vector<minirel::Tuple>& rows,
+      size_t block_size);
+
+  /// Decodes and yields every row.
+  Status ScanAll(const std::function<bool(const minirel::Tuple&)>& fn,
+                 compress::BlobReadStats* stats = nullptr) const;
+
+  /// Decodes only rows with the given id (block-pruned).
+  Status ScanId(int64_t id,
+                const std::function<bool(const minirel::Tuple&)>& fn,
+                compress::BlobReadStats* stats = nullptr) const;
+
+  uint64_t CompressedBytes() const { return store_.CompressedBytes(); }
+  uint64_t RawBytes() const { return store_.RawBytes(); }
+  size_t block_count() const { return store_.block_count(); }
+
+ private:
+  CompressedSegment() = default;
+
+  minirel::Schema schema_;
+  compress::BlobStore store_;
+};
+
+}  // namespace archis::core
+
+#endif  // ARCHIS_ARCHIS_COMPRESSED_SEGMENT_H_

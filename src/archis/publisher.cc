@@ -1,0 +1,143 @@
+#include "archis/publisher.h"
+
+#include <cstdlib>
+#include <map>
+
+namespace archis::core {
+
+using minirel::Tuple;
+using minirel::Value;
+
+Result<xml::XmlNodePtr> PublishHistory(const HTableSet& set,
+                                       const TimeInterval& relation_interval,
+                                       PublishOptions options) {
+  std::string root_name =
+      options.root_name.empty() ? set.relation() : options.root_name;
+  std::string entity_name = options.entity_name;
+  if (entity_name.empty()) {
+    if (root_name.size() > 1 && root_name.back() == 's') {
+      entity_name = root_name.substr(0, root_name.size() - 1);
+    } else {
+      entity_name = root_name + "_row";
+    }
+  }
+
+  // Key intervals per id (usually one; spans re-insertions).
+  std::map<int64_t, TimeInterval> key_spans;
+  ARCHIS_RETURN_NOT_OK(set.key_store()->ScanHistory([&](const Tuple& row) {
+    int64_t id = row.at(0).AsInt();
+    TimeInterval iv(row.at(1).AsDate(), row.at(2).AsDate());
+    auto [it, inserted] = key_spans.try_emplace(id, iv);
+    if (!inserted) it->second = it->second.Span(iv);
+    return true;
+  }));
+
+  // Attribute versions per id per attribute, in history order.
+  struct Version {
+    minirel::Value value;
+    TimeInterval interval;
+  };
+  const auto& attr_names = set.attribute_names();
+  std::vector<std::map<int64_t, std::vector<Version>>> versions(
+      attr_names.size());
+  for (size_t a = 0; a < attr_names.size(); ++a) {
+    ARCHIS_ASSIGN_OR_RETURN(SegmentedStore * store,
+                            set.attribute_store(attr_names[a]));
+    ARCHIS_RETURN_NOT_OK(store->ScanHistory([&](const Tuple& row) {
+      versions[a][row.at(0).AsInt()].push_back(
+          {row.at(1), TimeInterval(row.at(2).AsDate(), row.at(3).AsDate())});
+      return true;
+    }));
+  }
+
+  auto root = xml::XmlNode::Element(root_name);
+  root->SetInterval(relation_interval);
+  for (const auto& [id, span] : key_spans) {
+    auto entity = xml::XmlNode::Element(entity_name);
+    entity->SetInterval(span);
+    auto id_elem = xml::XmlNode::Element("id");
+    id_elem->SetInterval(span);
+    id_elem->AppendText(std::to_string(id));
+    entity->AppendChild(std::move(id_elem));
+    for (size_t a = 0; a < attr_names.size(); ++a) {
+      auto it = versions[a].find(id);
+      if (it == versions[a].end()) continue;
+      for (const Version& v : it->second) {
+        auto elem = xml::XmlNode::Element(attr_names[a]);
+        elem->SetInterval(v.interval);
+        elem->AppendText(v.value.ToString());
+        entity->AppendChild(std::move(elem));
+      }
+    }
+    root->AppendChild(std::move(entity));
+  }
+  return root;
+}
+
+
+namespace {
+
+/// Parses an element's text into a Value of the column type.
+Result<Value> ParseValue(const std::string& text, minirel::DataType type) {
+  switch (type) {
+    case minirel::DataType::kInt64: {
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end != text.c_str() + text.size()) {
+        return Status::ParseError("not an integer: '" + text + "'");
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case minirel::DataType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end != text.c_str() + text.size()) {
+        return Status::ParseError("not a number: '" + text + "'");
+      }
+      return Value(v);
+    }
+    case minirel::DataType::kString:
+      return Value(text);
+    case minirel::DataType::kDate: {
+      ARCHIS_ASSIGN_OR_RETURN(Date d, Date::Parse(text));
+      return Value(d);
+    }
+  }
+  return Status::Internal("bad column type");
+}
+
+}  // namespace
+
+Status ImportHistory(HTableSet* set, const xml::XmlNodePtr& doc) {
+  if (set->key_store()->TotalTuples() != 0) {
+    return Status::InvalidArgument(
+        "ImportHistory requires empty H-tables for " + set->relation());
+  }
+  for (const auto& entity : doc->ChildElements()) {
+    ARCHIS_ASSIGN_OR_RETURN(TimeInterval key_iv, entity->Interval());
+    auto id_elem = entity->FirstChildNamed("id");
+    if (id_elem == nullptr) {
+      return Status::InvalidArgument("entity element without <id> child");
+    }
+    char* end = nullptr;
+    const std::string id_text = id_elem->StringValue();
+    int64_t id = std::strtoll(id_text.c_str(), &end, 10);
+    if (end != id_text.c_str() + id_text.size()) {
+      return Status::ParseError("bad <id> value '" + id_text + "'");
+    }
+    ARCHIS_RETURN_NOT_OK(set->key_store()->LoadVersion(id, {}, key_iv));
+    for (const auto& child : entity->ChildElements()) {
+      if (child->name() == "id") continue;
+      ARCHIS_ASSIGN_OR_RETURN(SegmentedStore * store,
+                              set->attribute_store(child->name()));
+      ARCHIS_ASSIGN_OR_RETURN(TimeInterval iv, child->Interval());
+      ARCHIS_ASSIGN_OR_RETURN(
+          Value v,
+          ParseValue(child->StringValue(), store->row_schema().column(1).type));
+      ARCHIS_RETURN_NOT_OK(store->LoadVersion(id, {v}, iv));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace archis::core

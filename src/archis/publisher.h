@@ -1,0 +1,42 @@
+// Publishes H-tables as H-documents (paper Section 3, Figures 3-4): the
+// temporally grouped XML view of a relation's history. Used to feed the
+// native-XML-database baseline and as the denominator of the paper's
+// compression ratios (storage size / H-document size).
+#ifndef ARCHIS_ARCHIS_PUBLISHER_H_
+#define ARCHIS_ARCHIS_PUBLISHER_H_
+
+#include <string>
+
+#include "archis/htable.h"
+#include "xml/node.h"
+
+namespace archis::core {
+
+/// Naming for the published document.
+struct PublishOptions {
+  /// Tag of the root element; defaults to the relation name.
+  std::string root_name;
+  /// Tag of each per-key element; defaults to the singular of the root
+  /// (trailing 's' stripped) or "<relation>_row".
+  std::string entity_name;
+};
+
+/// Builds the H-document for `set`: one `entity` element per key, carrying
+/// the key interval, with an `<id>` child and one child per attribute
+/// version, all stamped with inclusive tstart/tend attributes. The root
+/// carries `relation_interval` (from the global relations table).
+Result<xml::XmlNodePtr> PublishHistory(const HTableSet& set,
+                                       const TimeInterval& relation_interval,
+                                       PublishOptions options = {});
+
+/// The inverse: loads an H-document (as produced by PublishHistory) into
+/// `set`'s H-tables. Entity elements become key versions; their attribute
+/// children become attribute versions with their recorded intervals. The
+/// target stores must be empty. Attribute elements whose tag is not an
+/// archived attribute of the relation are rejected, and `<id>` children
+/// must match the entity's id.
+Status ImportHistory(HTableSet* set, const xml::XmlNodePtr& doc);
+
+}  // namespace archis::core
+
+#endif  // ARCHIS_ARCHIS_PUBLISHER_H_

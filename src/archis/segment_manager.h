@@ -1,0 +1,176 @@
+// Usefulness-based segment clustering (paper Section 6).
+//
+// Each H-table (key table or attribute history table) is a SegmentedStore:
+// a live segment receiving all updates plus a chain of frozen, id-sorted
+// archived segments. A segment's usefulness U = N_live / N_all decays as
+// tuples are closed; when U drops below U_min the live segment is frozen:
+//
+//   1. a new segment number is allocated and its interval recorded,
+//   2. ALL tuples of the live segment are copied into the archived segment
+//      sorted by id (and optionally BlockZIP-compressed),
+//   3. live tuples are copied into a fresh live segment, the old one drops.
+//
+// Invariants (1) tstart_tuple <= segend and (2) tend_tuple >= segstart hold
+// for every tuple in a frozen segment, which is what makes the segment
+// table a valid pruning index for snapshot and slicing queries.
+#ifndef ARCHIS_ARCHIS_SEGMENT_MANAGER_H_
+#define ARCHIS_ARCHIS_SEGMENT_MANAGER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "archis/compressed_segment.h"
+#include "common/interval.h"
+#include "minirel/database.h"
+
+namespace archis::core {
+
+/// Metadata row of the paper's `segment(segno, segstart, segend)` table.
+struct SegmentInfo {
+  int64_t segno;
+  TimeInterval interval;
+  bool compressed = false;
+  uint64_t tuple_count = 0;
+};
+
+/// Tuning knobs for a SegmentedStore.
+struct SegmentOptions {
+  /// Master switch: disabled reproduces the paper's "without clustering"
+  /// baseline (one flat history table).
+  bool enabled = true;
+  /// Minimum tolerable usefulness U_min (paper sweeps 0.2 .. 0.4).
+  double umin = 0.4;
+  /// BlockZIP-compress frozen segments (paper Section 8).
+  bool compress = false;
+  /// BlockZIP block size (paper uses 4000-byte BLOBs).
+  size_t block_size = 4000;
+};
+
+/// Read-path statistics (what the paper's disk-bound timings measured).
+struct StoreScanStats {
+  uint64_t segments_considered = 0;
+  uint64_t segments_scanned = 0;
+  uint64_t tuples_scanned = 0;
+  uint64_t blocks_decompressed = 0;
+};
+
+/// One segmented H-table.
+///
+/// Row layout: (id INT64, <value columns...>, tstart DATE, tend DATE).
+/// The id is column 0; tstart/tend are the last two columns.
+class SegmentedStore {
+ public:
+  /// Creates the backing tables inside `db`:
+  ///   <name>__live  (id, values..., tstart, tend)      + index on id
+  ///   <name>__arch  (segno, id, values..., tstart, tend) + index (segno,id)
+  static Result<std::unique_ptr<SegmentedStore>> Create(
+      minirel::Database* db, const std::string& name,
+      const minirel::Schema& row_schema, SegmentOptions options,
+      Date open_date);
+
+  const std::string& name() const { return name_; }
+  const minirel::Schema& row_schema() const { return row_schema_; }
+  const SegmentOptions& options() const { return options_; }
+
+  // -- Update path ----------------------------------------------------------
+
+  /// Appends a new current version (tstart = `now`, tend = forever).
+  /// `values` are the value columns only (no id/tstart/tend).
+  Status InsertVersion(int64_t id, const std::vector<minirel::Value>& values,
+                       Date now);
+
+  /// Closes the current version for `id` (tend = now - 1). NotFound if no
+  /// live version exists. Clamps so tend >= tstart.
+  Status CloseVersion(int64_t id, Date now);
+
+  /// Bulk-loads a version with an explicit interval (the H-document import
+  /// path). The row lands in the live segment; normal freezing applies on
+  /// subsequent updates.
+  Status LoadVersion(int64_t id, const std::vector<minirel::Value>& values,
+                     const TimeInterval& interval);
+
+  /// Current usefulness of the live segment (1.0 when empty).
+  double Usefulness() const;
+
+  /// Freezes the live segment unconditionally (used when archiving a
+  /// database or for tests). No-op when the live segment is empty.
+  Status Freeze(Date now);
+
+  // -- Read path ------------------------------------------------------------
+
+  /// Rows whose interval overlaps `query`, deduplicated across segments
+  /// (a tuple frozen in an older segment is superseded by its copy in a
+  /// newer one). `fn` receives (id, full row tuple).
+  Status ScanInterval(const TimeInterval& query,
+                      const std::function<bool(const minirel::Tuple&)>& fn,
+                      StoreScanStats* stats = nullptr) const;
+
+  /// Rows valid at `t` (snapshot): prunes to the covering segment.
+  Status ScanSnapshot(Date t,
+                      const std::function<bool(const minirel::Tuple&)>& fn,
+                      StoreScanStats* stats = nullptr) const;
+
+  /// Entire deduplicated history.
+  Status ScanHistory(const std::function<bool(const minirel::Tuple&)>& fn,
+                     StoreScanStats* stats = nullptr) const;
+
+  /// History of a single id (uses the id index / block pruning).
+  Status ScanId(int64_t id,
+                const std::function<bool(const minirel::Tuple&)>& fn,
+                StoreScanStats* stats = nullptr) const;
+
+  // -- Introspection ---------------------------------------------------------
+
+  /// The segment metadata table (frozen segments only).
+  const std::vector<SegmentInfo>& segments() const { return segments_; }
+
+  /// Interval covered by the live segment so far: [live_start, now-ish].
+  Date live_start() const { return live_start_; }
+
+  /// Tuples in the live segment (all / live).
+  uint64_t live_total() const { return live_total_; }
+  uint64_t live_current() const { return live_current_; }
+
+  /// Storage footprint: live pages + archived pages + compressed blobs.
+  uint64_t StorageBytes() const;
+
+  /// Total tuples across live + frozen segments (with duplication).
+  uint64_t TotalTuples() const;
+
+  /// Logical tuples (deduplicated history size).
+  uint64_t LogicalTuples() const;
+
+ private:
+  SegmentedStore() = default;
+
+  Status FreezeIfNeeded(Date now);
+  Status ScanSegments(const std::vector<int64_t>& segnos, bool include_live,
+                      const std::optional<TimeInterval>& filter,
+                      std::optional<int64_t> id_filter,
+                      const std::function<bool(const minirel::Tuple&)>& fn,
+                      StoreScanStats* stats) const;
+  /// Frozen segments whose interval overlaps `iv`, oldest first.
+  std::vector<int64_t> CoveringSegments(const TimeInterval& iv) const;
+
+  std::string name_;
+  minirel::Schema row_schema_;   // (id, values..., tstart, tend)
+  minirel::Schema arch_schema_;  // (segno, id, values..., tstart, tend)
+  SegmentOptions options_;
+  minirel::Database* db_ = nullptr;
+  minirel::Table* live_ = nullptr;
+  minirel::Table* arch_ = nullptr;
+  std::vector<SegmentInfo> segments_;
+  std::vector<std::unique_ptr<CompressedSegment>> compressed_;  // by index
+  Date live_start_;
+  int64_t next_segno_ = 1;
+  uint64_t live_total_ = 0;
+  uint64_t live_current_ = 0;
+  size_t tstart_col_ = 0;  // within row_schema_
+  size_t tend_col_ = 0;
+};
+
+}  // namespace archis::core
+
+#endif  // ARCHIS_ARCHIS_SEGMENT_MANAGER_H_

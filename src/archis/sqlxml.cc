@@ -1,0 +1,693 @@
+#include "archis/sqlxml.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "temporal/aggregate.h"
+
+namespace archis::core {
+
+using minirel::Tuple;
+using minirel::Value;
+
+namespace {
+
+/// A normalised H-table row: key-table rows have no value.
+struct HRow {
+  int64_t id;
+  std::optional<Value> value;
+  TimeInterval interval;
+};
+
+Value ColValue(const HRow& row, HCol col) {
+  switch (col) {
+    case HCol::kId: return Value(row.id);
+    case HCol::kValue: return row.value.value_or(Value(row.id));
+    case HCol::kTstart: return Value(row.interval.tstart);
+    case HCol::kTend: return Value(row.interval.tend);
+  }
+  return Value(row.id);
+}
+
+/// Fetches the rows of one plan variable, sorted by id, with every
+/// pushed-down condition applied (segment pruning happens inside the store).
+Result<std::vector<HRow>> FetchVar(const Archiver& archiver,
+                                   const PlanVar& var, PlanStats* stats) {
+  ARCHIS_ASSIGN_OR_RETURN(HTableSet* set, archiver.htables(var.relation));
+  SegmentedStore* store = nullptr;
+  if (var.attribute.empty()) {
+    store = set->key_store();
+  } else {
+    ARCHIS_ASSIGN_OR_RETURN(store, set->attribute_store(var.attribute));
+  }
+  const size_t ncols = store->row_schema().num_columns();
+  const bool has_value = ncols > 3;
+
+  std::vector<HRow> rows;
+  StoreScanStats sstats;
+  auto admit = [&](const Tuple& t) {
+    HRow row;
+    row.id = t.at(0).AsInt();
+    if (has_value) row.value = t.at(1);
+    row.interval = TimeInterval(t.at(ncols - 2).AsDate(),
+                                t.at(ncols - 1).AsDate());
+    if (var.current_only && !row.interval.is_current()) return true;
+    for (const ValueCond& cond : var.value_conds) {
+      if (!row.value.has_value()) return true;
+      if (!minirel::Compare(*row.value, cond.op, cond.constant)) return true;
+    }
+    for (const ValueCond& cond : var.tstart_conds) {
+      if (!minirel::Compare(Value(row.interval.tstart), cond.op,
+                            cond.constant)) {
+        return true;
+      }
+    }
+    for (const ValueCond& cond : var.tend_conds) {
+      if (!minirel::Compare(Value(row.interval.tend), cond.op,
+                            cond.constant)) {
+        return true;
+      }
+    }
+    rows.push_back(std::move(row));
+    return true;
+  };
+
+  Status st;
+  if (var.id_eq.has_value()) {
+    st = store->ScanId(*var.id_eq, admit, &sstats);
+    // Temporal restrictions still apply on top of the id restriction.
+    if (st.ok() && (var.snapshot || var.overlap)) {
+      TimeInterval window = var.snapshot
+                                ? TimeInterval(*var.snapshot, *var.snapshot)
+                                : *var.overlap;
+      std::erase_if(rows, [&](const HRow& r) {
+        return !r.interval.Overlaps(window);
+      });
+    }
+  } else if (var.snapshot.has_value()) {
+    st = store->ScanSnapshot(*var.snapshot, admit, &sstats);
+  } else if (var.overlap.has_value()) {
+    st = store->ScanInterval(*var.overlap, admit, &sstats);
+  } else {
+    st = store->ScanHistory(admit, &sstats);
+  }
+  ARCHIS_RETURN_NOT_OK(st);
+  if (stats != nullptr) {
+    stats->rows_scanned += sstats.tuples_scanned;
+    stats->segments_scanned += sstats.segments_scanned;
+    stats->blocks_decompressed += sstats.blocks_decompressed;
+  }
+  // Store scans emit in (id, tstart) order already; keep it stable.
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const HRow& a, const HRow& b) { return a.id < b.id; });
+  return rows;
+}
+
+/// One joined result row: the participating row of each plan variable.
+using JoinedRow = std::vector<const HRow*>;
+
+bool CrossCondsHold(const std::vector<CrossCond>& conds,
+                    const JoinedRow& row) {
+  for (const CrossCond& cond : conds) {
+    const HRow& l = *row[cond.lhs.var];
+    const HRow& r = *row[cond.rhs.var];
+    switch (cond.kind) {
+      case CrossCond::Kind::kCompare: {
+        if (!minirel::Compare(ColValue(l, cond.lhs.col), cond.op,
+                              ColValue(r, cond.rhs.col))) {
+          return false;
+        }
+        break;
+      }
+      case CrossCond::Kind::kOverlaps:
+        if (!l.interval.Overlaps(r.interval)) return false;
+        break;
+      case CrossCond::Kind::kContains:
+        if (!l.interval.Contains(r.interval)) return false;
+        break;
+      case CrossCond::Kind::kEquals:
+        if (!l.interval.Equals(r.interval)) return false;
+        break;
+      case CrossCond::Kind::kMeets:
+        if (!l.interval.Meets(r.interval)) return false;
+        break;
+      case CrossCond::Kind::kPrecedes:
+        if (!l.interval.Precedes(r.interval)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+/// Id-sorted k-way merge join across one join group's variables (linear in
+/// the inputs, as Section 5.3 notes for id-sorted H-tables). Emits one
+/// partial row (pointer per group member) per combination.
+void MergeJoin(const std::vector<const std::vector<HRow>*>& inputs,
+               PlanStats* stats,
+               const std::function<void(const JoinedRow&)>& emit) {
+  const size_t k = inputs.size();
+  std::vector<size_t> pos(k, 0);
+  while (true) {
+    // Find the largest current id; check all cursors can reach it.
+    int64_t target = INT64_MIN;
+    for (size_t v = 0; v < k; ++v) {
+      if (pos[v] >= inputs[v]->size()) return;
+      target = std::max(target, (*inputs[v])[pos[v]].id);
+    }
+    bool aligned = true;
+    for (size_t v = 0; v < k; ++v) {
+      while (pos[v] < inputs[v]->size() && (*inputs[v])[pos[v]].id < target) {
+        ++pos[v];
+      }
+      if (pos[v] >= inputs[v]->size()) return;
+      if ((*inputs[v])[pos[v]].id != target) {
+        aligned = false;
+      }
+    }
+    if (!aligned) continue;
+    // Equal-id runs per variable.
+    std::vector<std::pair<size_t, size_t>> runs(k);
+    for (size_t v = 0; v < k; ++v) {
+      size_t end = pos[v];
+      while (end < inputs[v]->size() && (*inputs[v])[end].id == target) ++end;
+      runs[v] = {pos[v], end};
+    }
+    // Cross product of the runs.
+    JoinedRow row(k);
+    std::vector<size_t> idx(k);
+    for (size_t v = 0; v < k; ++v) idx[v] = runs[v].first;
+    while (true) {
+      for (size_t v = 0; v < k; ++v) row[v] = &(*inputs[v])[idx[v]];
+      if (stats != nullptr) ++stats->rows_joined;
+      emit(row);
+      // Odometer increment.
+      size_t v = 0;
+      for (; v < k; ++v) {
+        if (++idx[v] < runs[v].second) break;
+        idx[v] = runs[v].first;
+      }
+      if (v == k) break;
+    }
+    for (size_t v = 0; v < k; ++v) pos[v] = runs[v].second;
+  }
+}
+
+bool SpecContainsAgg(const OutputSpec& spec) {
+  if (spec.kind == OutputSpec::Kind::kAgg) return true;
+  for (const OutputSpec& child : spec.children) {
+    if (SpecContainsAgg(child)) return true;
+  }
+  return false;
+}
+
+/// Instantiates an output spec for one joined row, appending to `parent`.
+void EmitSpecForRow(const OutputSpec& spec, const JoinedRow& row,
+                    const xml::XmlNodePtr& parent) {
+  switch (spec.kind) {
+    case OutputSpec::Kind::kElement: {
+      auto elem = xml::XmlNode::Element(spec.name);
+      if (spec.attr_var.has_value()) {
+        elem->SetInterval(row[*spec.attr_var]->interval);
+      }
+      for (const OutputSpec& child : spec.children) {
+        EmitSpecForRow(child, row, elem);
+      }
+      if (spec.column.has_value()) {
+        elem->AppendText(
+            ColValue(*row[spec.column->var], spec.column->col).ToString());
+      }
+      parent->AppendChild(std::move(elem));
+      break;
+    }
+    case OutputSpec::Kind::kColumn: {
+      parent->AppendText(
+          ColValue(*row[spec.column->var], spec.column->col).ToString());
+      break;
+    }
+    case OutputSpec::Kind::kInterval: {
+      auto iv = row[*spec.ivl_lhs]->interval.Intersect(
+          row[*spec.ivl_rhs]->interval);
+      if (iv.has_value()) {
+        auto elem = xml::XmlNode::Element("interval");
+        elem->SetInterval(*iv);
+        parent->AppendChild(std::move(elem));
+      }
+      break;
+    }
+    case OutputSpec::Kind::kText:
+      parent->AppendText(spec.name);
+      break;
+    case OutputSpec::Kind::kAgg:
+      // Handled by the grouping driver.
+      break;
+  }
+}
+
+/// Instantiates an element spec for a group of rows: non-agg children are
+/// taken from the group's first row, agg children repeat per row (the
+/// XMLAgg + GROUP BY id shape of Section 5.3).
+void EmitSpecForGroup(const OutputSpec& spec,
+                      const std::vector<JoinedRow>& group,
+                      const xml::XmlNodePtr& parent) {
+  if (spec.kind == OutputSpec::Kind::kAgg) {
+    for (const JoinedRow& row : group) {
+      for (const OutputSpec& child : spec.children) {
+        EmitSpecForRow(child, row, parent);
+      }
+    }
+    return;
+  }
+  if (spec.kind != OutputSpec::Kind::kElement) {
+    EmitSpecForRow(spec, group.front(), parent);
+    return;
+  }
+  auto elem = xml::XmlNode::Element(spec.name);
+  if (spec.attr_var.has_value()) {
+    elem->SetInterval(group.front()[*spec.attr_var]->interval);
+  }
+  for (const OutputSpec& child : spec.children) {
+    EmitSpecForGroup(child, group, elem);
+  }
+  if (spec.column.has_value()) {
+    elem->AppendText(ColValue(*group.front()[spec.column->var],
+                              spec.column->col)
+                         .ToString());
+  }
+  parent->AppendChild(std::move(elem));
+}
+
+}  // namespace
+
+Result<xml::XmlNodePtr> ExecutePlan(const Archiver& archiver,
+                                    const SqlXmlPlan& plan,
+                                    Date current_date, PlanStats* stats) {
+  (void)current_date;
+  if (plan.vars.empty()) {
+    return Status::InvalidArgument("plan has no variables");
+  }
+  std::vector<std::vector<HRow>> inputs;
+  inputs.reserve(plan.vars.size());
+  for (const PlanVar& var : plan.vars) {
+    ARCHIS_ASSIGN_OR_RETURN(std::vector<HRow> rows,
+                            FetchVar(archiver, var, stats));
+    inputs.push_back(std::move(rows));
+  }
+
+  // Join phase. Variables in the same join group id-equijoin via a sorted
+  // merge; groups combine by cross product filtered by the cross conditions
+  // (Algorithm 1 only generates id joins between variables rooted in the
+  // same document variable).
+  std::map<size_t, std::vector<size_t>> group_members;
+  for (size_t v = 0; v < plan.vars.size(); ++v) {
+    size_t gid = plan.join_on_id ? plan.vars[v].join_group : v;
+    group_members[gid].push_back(v);
+  }
+  // Per group: list of partial rows (pointer per member).
+  std::vector<std::vector<size_t>> members_list;
+  std::vector<std::vector<JoinedRow>> partials;
+  for (const auto& [gid, members] : group_members) {
+    members_list.push_back(members);
+    std::vector<JoinedRow> rows;
+    if (members.size() == 1) {
+      rows.reserve(inputs[members[0]].size());
+      for (const HRow& r : inputs[members[0]]) rows.push_back({&r});
+    } else {
+      std::vector<const std::vector<HRow>*> views;
+      for (size_t m : members) views.push_back(&inputs[m]);
+      MergeJoin(views, stats, [&](const JoinedRow& row) {
+        rows.push_back(row);
+      });
+    }
+    partials.push_back(std::move(rows));
+  }
+  // Cross product across groups into full rows, then filter.
+  std::vector<std::pair<int64_t, JoinedRow>> joined;
+  std::vector<size_t> cursor(partials.size(), 0);
+  if (std::none_of(partials.begin(), partials.end(),
+                   [](const auto& p) { return p.empty(); })) {
+    while (true) {
+      JoinedRow full(plan.vars.size(), nullptr);
+      for (size_t g = 0; g < partials.size(); ++g) {
+        const JoinedRow& part = partials[g][cursor[g]];
+        for (size_t m = 0; m < members_list[g].size(); ++m) {
+          full[members_list[g][m]] = part[m];
+        }
+      }
+      if (CrossCondsHold(plan.cross_conds, full)) {
+        joined.emplace_back(full[0]->id, full);
+      }
+      size_t g = 0;
+      for (; g < partials.size(); ++g) {
+        if (++cursor[g] < partials[g].size()) break;
+        cursor[g] = 0;
+      }
+      if (g == partials.size()) break;
+    }
+  }
+
+  // SELECT DISTINCT on the output-referenced variables: collapse joined
+  // rows that only differ in variables the output never reads.
+  if (plan.distinct_output && !joined.empty()) {
+    std::set<size_t> referenced;
+    std::function<void(const OutputSpec&)> collect =
+        [&](const OutputSpec& spec) {
+      if (spec.attr_var) referenced.insert(*spec.attr_var);
+      if (spec.column) referenced.insert(spec.column->var);
+      if (spec.ivl_lhs) referenced.insert(*spec.ivl_lhs);
+      if (spec.ivl_rhs) referenced.insert(*spec.ivl_rhs);
+      for (const OutputSpec& child : spec.children) collect(child);
+    };
+    collect(plan.output);
+    if (plan.aggregate != PlanAggregate::kNone) referenced.insert(0);
+    if (referenced.empty()) referenced.insert(0);
+    std::set<std::vector<const HRow*>> seen;
+    std::vector<std::pair<int64_t, JoinedRow>> unique;
+    for (auto& [id, row] : joined) {
+      std::vector<const HRow*> key;
+      key.reserve(referenced.size());
+      for (size_t v : referenced) key.push_back(row[v]);
+      if (seen.insert(std::move(key)).second) {
+        unique.emplace_back(id, row);
+      }
+    }
+    joined = std::move(unique);
+  }
+
+  auto root = xml::XmlNode::Element("results");
+
+  // Temporal aggregate: the sweep over matching facts (Section 5.4 maps
+  // these to SQL:2003 OLAP functions; we run the same single scan).
+  if (plan.aggregate == PlanAggregate::kTAvg) {
+    std::vector<temporal::TimedNumber> facts;
+    for (const auto& [id, row] : joined) {
+      auto v = ColValue(*row[0], HCol::kValue).AsNumeric();
+      if (v.ok()) facts.push_back({*v, row[0]->interval});
+    }
+    for (const temporal::AggregateStep& step : temporal::TemporalAggregate(
+             std::move(facts), temporal::TemporalAggFn::kAvg)) {
+      auto elem = xml::XmlNode::Element("tavg");
+      elem->SetInterval(step.interval);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2f", step.value);
+      elem->AppendText(buf);
+      root->AppendChild(std::move(elem));
+    }
+    return root;
+  }
+
+  // Scalar aggregates (Section 5.4: OLAP-function mapping).
+  if (plan.aggregate != PlanAggregate::kNone) {
+    double result = 0;
+    switch (plan.aggregate) {
+      case PlanAggregate::kAvgValue: {
+        double sum = 0;
+        for (const auto& [id, row] : joined) {
+          auto v = ColValue(*row[0], HCol::kValue).AsNumeric();
+          if (v.ok()) sum += *v;
+        }
+        result = joined.empty() ? 0 : sum / static_cast<double>(joined.size());
+        break;
+      }
+      case PlanAggregate::kCount:
+        result = static_cast<double>(joined.size());
+        break;
+      case PlanAggregate::kCountDistinctIds: {
+        std::set<int64_t> ids;
+        for (const auto& [id, row] : joined) ids.insert(id);
+        result = static_cast<double>(ids.size());
+        break;
+      }
+      case PlanAggregate::kMaxValue: {
+        bool first = true;
+        for (const auto& [id, row] : joined) {
+          auto v = ColValue(*row[0], HCol::kValue).AsNumeric();
+          if (!v.ok()) continue;
+          if (first || *v > result) result = *v;
+          first = false;
+        }
+        break;
+      }
+      case PlanAggregate::kMaxIncrease: {
+        // Temporal self-join per id: the best value delta between two
+        // versions whose starts are within the window.
+        std::map<int64_t, std::vector<std::pair<Date, double>>> by_id;
+        for (const auto& [id, row] : joined) {
+          auto v = ColValue(*row[0], HCol::kValue).AsNumeric();
+          if (v.ok()) by_id[id].emplace_back(row[0]->interval.tstart, *v);
+        }
+        for (auto& [id, versions] : by_id) {
+          std::sort(versions.begin(), versions.end());
+          for (size_t i = 0; i < versions.size(); ++i) {
+            for (size_t j = i + 1; j < versions.size(); ++j) {
+              if (versions[j].first - versions[i].first >
+                  plan.agg_window_days) {
+                break;
+              }
+              result = std::max(result,
+                                versions[j].second - versions[i].second);
+            }
+          }
+        }
+        break;
+      }
+      case PlanAggregate::kNone:
+      case PlanAggregate::kTAvg:
+        break;
+    }
+    auto elem = xml::XmlNode::Element(
+        plan.output.name.empty() ? "result" : plan.output.name);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", result);
+    elem->AppendText(buf);
+    root->AppendChild(std::move(elem));
+    return root;
+  }
+
+  // XML construction phase.
+  if (SpecContainsAgg(plan.output)) {
+    // Group by id (Algorithm 1 adds GROUP BY for XMLAgg outputs).
+    std::map<int64_t, std::vector<JoinedRow>> groups;
+    for (const auto& [id, row] : joined) groups[id].push_back(row);
+    for (const auto& [id, group] : groups) {
+      EmitSpecForGroup(plan.output, group, root);
+    }
+  } else {
+    for (const auto& [id, row] : joined) {
+      EmitSpecForRow(plan.output, row, root);
+    }
+  }
+  return root;
+}
+
+// ---------------------------------------------------------------------------
+// SQL/XML rendering
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string VarAlias(const SqlXmlPlan& plan, size_t v) {
+  const PlanVar& var = plan.vars[v];
+  std::string alias = var.xq_name.empty() ? "t" + std::to_string(v)
+                                          : var.xq_name;
+  // SQL identifiers: strip the '$' of XQuery variables, dot -> underscore.
+  std::string out;
+  for (char c : alias) {
+    if (c == '$') continue;
+    out += (c == '.' ? '_' : c);
+  }
+  return out.empty() ? "t" + std::to_string(v) : out;
+}
+
+std::string TableName(const PlanVar& var) {
+  return var.attribute.empty() ? var.relation + "_id"
+                               : var.relation + "_" + var.attribute;
+}
+
+std::string ColName(const SqlXmlPlan& plan, const HColRef& ref) {
+  const PlanVar& var = plan.vars[ref.var];
+  std::string alias = VarAlias(plan, ref.var);
+  switch (ref.col) {
+    case HCol::kId: return alias + ".id";
+    case HCol::kValue:
+      return alias + "." + (var.attribute.empty() ? "id" : var.attribute);
+    case HCol::kTstart: return alias + ".tstart";
+    case HCol::kTend: return alias + ".tend";
+  }
+  return alias + ".?";
+}
+
+const char* OpText(minirel::CompareOp op) {
+  switch (op) {
+    case minirel::CompareOp::kEq: return "=";
+    case minirel::CompareOp::kNe: return "<>";
+    case minirel::CompareOp::kLt: return "<";
+    case minirel::CompareOp::kLe: return "<=";
+    case minirel::CompareOp::kGt: return ">";
+    case minirel::CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+void RenderSpec(const SqlXmlPlan& plan, const OutputSpec& spec,
+                std::string* out) {
+  switch (spec.kind) {
+    case OutputSpec::Kind::kElement: {
+      *out += "XMLElement(Name \"" + spec.name + "\"";
+      if (spec.attr_var.has_value()) {
+        std::string alias = VarAlias(plan, *spec.attr_var);
+        *out += ", XMLAttributes(" + alias + ".tstart AS \"tstart\", " +
+                alias + ".tend AS \"tend\")";
+      }
+      for (const OutputSpec& child : spec.children) {
+        *out += ", ";
+        RenderSpec(plan, child, out);
+      }
+      if (spec.column.has_value()) {
+        *out += ", " + ColName(plan, *spec.column);
+      }
+      *out += ")";
+      break;
+    }
+    case OutputSpec::Kind::kColumn:
+      *out += ColName(plan, *spec.column);
+      break;
+    case OutputSpec::Kind::kAgg: {
+      *out += "XMLAgg(";
+      for (size_t i = 0; i < spec.children.size(); ++i) {
+        if (i > 0) *out += ", ";
+        RenderSpec(plan, spec.children[i], out);
+      }
+      *out += ")";
+      break;
+    }
+    case OutputSpec::Kind::kInterval:
+      *out += "overlapinterval(" + VarAlias(plan, *spec.ivl_lhs) + ", " +
+              VarAlias(plan, *spec.ivl_rhs) + ")";
+      break;
+    case OutputSpec::Kind::kText:
+      *out += "'" + spec.name + "'";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string SqlXmlPlan::ToSql() const {
+  std::string sql = "SELECT ";
+  switch (aggregate) {
+    case PlanAggregate::kNone:
+      RenderSpec(*this, output, &sql);
+      break;
+    case PlanAggregate::kAvgValue: sql += "AVG(" +
+        ColName(*this, {0, HCol::kValue}) + ")"; break;
+    case PlanAggregate::kCount: sql += "COUNT(*)"; break;
+    case PlanAggregate::kCountDistinctIds:
+      sql += "COUNT(DISTINCT " + ColName(*this, {0, HCol::kId}) + ")";
+      break;
+    case PlanAggregate::kMaxValue:
+      sql += "MAX(" + ColName(*this, {0, HCol::kValue}) + ")";
+      break;
+    case PlanAggregate::kMaxIncrease:
+      sql += "MAX(s2." + vars[0].attribute + " - s1." + vars[0].attribute +
+             ") /* windowed self-join */";
+      break;
+    case PlanAggregate::kTAvg:
+      sql += "TAVG(" + ColName(*this, {0, HCol::kValue}) +
+             ") /* OLAP sweep */";
+      break;
+  }
+  sql += "\nFROM ";
+  for (size_t v = 0; v < vars.size(); ++v) {
+    if (v > 0) sql += ", ";
+    sql += TableName(vars[v]) + " AS " + VarAlias(*this, v);
+  }
+  std::vector<std::string> where;
+  if (join_on_id) {
+    for (size_t v = 1; v < vars.size(); ++v) {
+      where.push_back(VarAlias(*this, 0) + ".id = " + VarAlias(*this, v) +
+                      ".id");
+    }
+  }
+  for (size_t v = 0; v < vars.size(); ++v) {
+    const PlanVar& var = vars[v];
+    std::string alias = VarAlias(*this, v);
+    if (var.id_eq) {
+      where.push_back(alias + ".id = " + std::to_string(*var.id_eq));
+    }
+    for (const ValueCond& cond : var.value_conds) {
+      where.push_back(ColName(*this, {v, HCol::kValue}) +
+                      std::string(" ") + OpText(cond.op) + " '" +
+                      cond.constant.ToString() + "'");
+    }
+    if (var.snapshot) {
+      where.push_back(alias + ".segno = SEGMENT_OF('" +
+                      var.snapshot->ToString() + "')");
+      where.push_back(alias + ".tstart <= '" + var.snapshot->ToString() +
+                      "'");
+      where.push_back(alias + ".tend >= '" + var.snapshot->ToString() + "'");
+    }
+    if (var.overlap) {
+      where.push_back(alias + ".segno IN SEGMENTS_OVERLAPPING('" +
+                      var.overlap->tstart.ToString() + "','" +
+                      var.overlap->tend.ToString() + "')");
+      where.push_back("toverlaps(" + alias + ".tstart, " + alias +
+                      ".tend, '" + var.overlap->tstart.ToString() + "', '" +
+                      var.overlap->tend.ToString() + "')");
+    }
+    if (var.current_only) {
+      where.push_back(alias + ".tend = '9999-12-31'");
+    }
+  }
+  for (const CrossCond& cond : cross_conds) {
+    switch (cond.kind) {
+      case CrossCond::Kind::kCompare:
+        where.push_back(ColName(*this, cond.lhs) + std::string(" ") +
+                        OpText(cond.op) + " " + ColName(*this, cond.rhs));
+        break;
+      case CrossCond::Kind::kOverlaps:
+        where.push_back("toverlaps(" + VarAlias(*this, cond.lhs.var) + ", " +
+                        VarAlias(*this, cond.rhs.var) + ")");
+        break;
+      case CrossCond::Kind::kContains:
+        where.push_back("tcontains(" + VarAlias(*this, cond.lhs.var) + ", " +
+                        VarAlias(*this, cond.rhs.var) + ")");
+        break;
+      case CrossCond::Kind::kEquals:
+        where.push_back("tequals(" + VarAlias(*this, cond.lhs.var) + ", " +
+                        VarAlias(*this, cond.rhs.var) + ")");
+        break;
+      case CrossCond::Kind::kMeets:
+        where.push_back("tmeets(" + VarAlias(*this, cond.lhs.var) + ", " +
+                        VarAlias(*this, cond.rhs.var) + ")");
+        break;
+      case CrossCond::Kind::kPrecedes:
+        where.push_back("tprecedes(" + VarAlias(*this, cond.lhs.var) + ", " +
+                        VarAlias(*this, cond.rhs.var) + ")");
+        break;
+    }
+  }
+  if (!where.empty()) {
+    sql += "\nWHERE ";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) sql += " AND ";
+      sql += where[i];
+    }
+  }
+  bool has_agg = false;
+  // GROUP BY id when the output aggregates rows into one element per id.
+  std::function<void(const OutputSpec&)> find_agg =
+      [&](const OutputSpec& spec) {
+    if (spec.kind == OutputSpec::Kind::kAgg) has_agg = true;
+    for (const OutputSpec& child : spec.children) find_agg(child);
+  };
+  find_agg(output);
+  if (has_agg) {
+    sql += "\nGROUP BY " + VarAlias(*this, 0) + ".id";
+  }
+  return sql;
+}
+
+}  // namespace archis::core

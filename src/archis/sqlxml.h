@@ -1,0 +1,143 @@
+// SQL/XML plans over H-tables (paper Sections 5.3, 6.3).
+//
+// The XQuery translator produces an SqlXmlPlan: tuple variables ranging
+// over key/attribute H-tables, id-equijoin conditions (implicit between all
+// variables, as Algorithm 1 generates), pushed-down value and temporal
+// conditions, and an output spec built from the SQL/XML constructs
+// XMLElement / XMLAttributes / XMLAgg. The executor runs the plan against
+// the SegmentedStores: snapshot and slicing conditions prune to covering
+// segments first (Section 6.3), id-sorted merge joins combine variables,
+// and tag binding happens directly over the tuple stream (the "inside the
+// relational engine" property of [34]).
+#ifndef ARCHIS_ARCHIS_SQLXML_H_
+#define ARCHIS_ARCHIS_SQLXML_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "archis/archiver.h"
+#include "xml/node.h"
+
+namespace archis::core {
+
+/// Column of an H-table variable.
+enum class HCol { kId, kValue, kTstart, kTend };
+
+/// A reference to a column of one plan variable.
+struct HColRef {
+  size_t var = 0;
+  HCol col = HCol::kValue;
+};
+
+/// Comparison against a constant, pushed into a variable's scan.
+struct ValueCond {
+  minirel::CompareOp op;
+  minirel::Value constant;
+};
+
+/// One tuple variable of the plan (a key table or attribute table range,
+/// Algorithm 1 step "identification of variable range").
+struct PlanVar {
+  std::string xq_name;    ///< originating XQuery variable (debugging)
+  std::string relation;   ///< archived relation
+  std::string attribute;  ///< attribute history table; empty = key table
+  std::vector<ValueCond> value_conds;        ///< value op const
+  std::vector<ValueCond> tstart_conds;       ///< tstart op const(Date)
+  std::vector<ValueCond> tend_conds;         ///< tend op const(Date)
+  std::optional<Date> snapshot;              ///< tstart<=p<=tend point
+  std::optional<TimeInterval> overlap;       ///< interval overlap pushdown
+  std::optional<int64_t> id_eq;              ///< single-object restriction
+  bool current_only = false;                 ///< tend must be `now`
+  size_t join_group = 0;  ///< vars in the same group id-equijoin (Algorithm
+                          ///< 1 only joins variables rooted in the same
+                          ///< document variable)
+};
+
+/// Cross-variable condition evaluated after the id join.
+struct CrossCond {
+  enum class Kind {
+    kCompare,        ///< lhs.col op rhs.col
+    kOverlaps,       ///< intervals of two vars overlap (toverlaps /
+                     ///< non-empty overlapinterval)
+    kContains,       ///< lhs interval contains rhs interval
+    kEquals,         ///< intervals equal
+    kMeets,          ///< lhs meets rhs
+    kPrecedes,       ///< lhs precedes rhs
+  };
+  Kind kind = Kind::kCompare;
+  HColRef lhs;
+  minirel::CompareOp op = minirel::CompareOp::kEq;
+  HColRef rhs;
+};
+
+/// XML output construction (the SQL/XML select list).
+struct OutputSpec {
+  enum class Kind {
+    kElement,   ///< XMLElement(name, [XMLAttributes(tstart,tend of var)],
+                ///<            children...)
+    kColumn,    ///< column text content
+    kAgg,       ///< XMLAgg(child) over rows of the group (group by id)
+    kInterval,  ///< overlapinterval(lhs,rhs) rendered as <interval .../>
+    kText,      ///< literal text
+  };
+  Kind kind = Kind::kElement;
+  std::string name;                   ///< element tag / literal text
+  std::optional<size_t> attr_var;     ///< emit tstart/tend of this variable
+  std::optional<HColRef> column;      ///< kColumn source
+  std::optional<size_t> ivl_lhs, ivl_rhs;  ///< kInterval operand variables
+  std::vector<OutputSpec> children;
+};
+
+/// Scalar aggregates the paper maps to SQL OLAP functions (Section 5.4).
+enum class PlanAggregate {
+  kNone,
+  kAvgValue,          ///< AVG(value) over matching rows
+  kCount,             ///< COUNT(*)
+  kCountDistinctIds,  ///< COUNT(DISTINCT id)
+  kMaxValue,          ///< MAX(value)
+  kMaxIncrease,       ///< max value delta between versions of the same id
+                      ///< within `agg_window_days` (the temporal self-join
+                      ///< of bench query Q6)
+  kTAvg,              ///< temporal average: the step history of AVG(value)
+                      ///< computed with the single-scan sweep (QUERY 5)
+};
+
+/// A complete translated query.
+struct SqlXmlPlan {
+  std::vector<PlanVar> vars;
+  std::vector<CrossCond> cross_conds;
+  bool join_on_id = true;  ///< id-equijoin across all vars (Algorithm 1)
+  /// Deduplicate joined rows on the variables the output references
+  /// (SELECT DISTINCT). The translator enables this to match XQuery's
+  /// node-identity semantics when a predicate variable with several
+  /// matching versions would otherwise fan out the output.
+  bool distinct_output = false;
+  OutputSpec output;
+  PlanAggregate aggregate = PlanAggregate::kNone;
+  int64_t agg_window_days = 0;
+
+  /// Renders the plan as SQL/XML text (what ArchIS would send to the
+  /// RDBMS), e.g. for logging or the paper's worked examples.
+  std::string ToSql() const;
+};
+
+/// Executor statistics for one plan run.
+struct PlanStats {
+  uint64_t rows_scanned = 0;
+  uint64_t rows_joined = 0;
+  uint64_t segments_scanned = 0;
+  uint64_t blocks_decompressed = 0;
+};
+
+/// Executes `plan` against the archiver's H-tables, returning the
+/// constructed XML (for aggregate plans, a single element with the value).
+Result<xml::XmlNodePtr> ExecutePlan(const Archiver& archiver,
+                                    const SqlXmlPlan& plan,
+                                    Date current_date,
+                                    PlanStats* stats = nullptr);
+
+}  // namespace archis::core
+
+#endif  // ARCHIS_ARCHIS_SQLXML_H_

@@ -1,0 +1,786 @@
+#include "archis/translator.h"
+
+#include <functional>
+
+#include "xquery/parser.h"
+
+namespace archis::core {
+
+using xquery::Expr;
+using xquery::ExprKind;
+using xquery::ExprPtr;
+using xquery::PathStep;
+
+namespace {
+
+Status Unsupported(const std::string& what) {
+  return Status::Unsupported("translator: " + what +
+                             " (falls back to native XQuery)");
+}
+
+/// What an XQuery variable is bound to.
+struct BoundVar {
+  bool is_entity = false;  ///< binds the per-key entity (key table var)
+  size_t plan_idx = 0;     ///< plan variable index
+  std::string relation;
+  size_t group = 0;
+};
+
+/// An operand of a comparison: a plan column or a constant.
+struct Operand {
+  bool is_const = false;
+  HColRef col;
+  minirel::Value constant;
+};
+
+class Translator {
+ public:
+  Translator(const TranslatorContext& ctx) : ctx_(ctx) {}
+
+  Result<SqlXmlPlan> Translate(const ExprPtr& query) {
+    ExprPtr flwor = query;
+    // Pattern: element NAME { FLWOR } wraps the per-row output in an
+    // XMLAgg inside one outer element (the paper's QUERY 1 shape).
+    std::string wrapper;
+    if (query->kind == ExprKind::kElementCtor &&
+        query->children.size() == 1 &&
+        query->children[0]->kind == ExprKind::kFlwor) {
+      wrapper = query->str;
+      flwor = query->children[0];
+    }
+    if (flwor->kind != ExprKind::kFlwor) {
+      return Unsupported("top level must be a FLWOR or element{FLWOR}");
+    }
+    ARCHIS_RETURN_NOT_OK(TranslateClauses(flwor));
+    if (flwor->where != nullptr) {
+      ARCHIS_RETURN_NOT_OK(TranslateCondition(flwor->where));
+    }
+    ARCHIS_ASSIGN_OR_RETURN(OutputSpec out, BuildOutput(flwor->ret));
+    if (!wrapper.empty()) {
+      OutputSpec agg;
+      agg.kind = OutputSpec::Kind::kAgg;
+      agg.children.push_back(std::move(out));
+      OutputSpec elem;
+      elem.kind = OutputSpec::Kind::kElement;
+      elem.name = wrapper;
+      elem.children.push_back(std::move(agg));
+      plan_.output = std::move(elem);
+    } else {
+      plan_.output = std::move(out);
+    }
+    if (plan_.vars.empty()) {
+      return Unsupported("no H-table variable identified");
+    }
+    // Variables created during output generation inherit their group's
+    // single-object restriction.
+    for (PlanVar& v : plan_.vars) {
+      auto it = pending_id_eq_.find(v.join_group);
+      if (it != pending_id_eq_.end()) v.id_eq = it->second;
+    }
+    // XQuery results are node sequences: joined rows that differ only in
+    // predicate variables must not fan out the output.
+    plan_.distinct_output = true;
+    return std::move(plan_);
+  }
+
+ private:
+  // -- Variable-range identification (Algorithm 1, lines 1-3) ---------------
+
+  size_t NewVar(const std::string& xq_name, const std::string& relation,
+                const std::string& attribute, size_t group) {
+    PlanVar var;
+    var.xq_name = xq_name;
+    var.relation = relation;
+    var.attribute = attribute;
+    var.join_group = group;
+    plan_.vars.push_back(std::move(var));
+    return plan_.vars.size() - 1;
+  }
+
+  /// Reuses or creates the attribute variable for `relation.attr` within a
+  /// join group (Algorithm 1 line 5 then generates Vi.id = Vj.id, which the
+  /// executor derives from shared join groups).
+  size_t AttrVar(const std::string& relation, const std::string& attr,
+                 size_t group) {
+    std::string key = std::to_string(group) + "/" + relation + "/" + attr;
+    auto it = attr_vars_.find(key);
+    if (it != attr_vars_.end()) return it->second;
+    size_t idx = NewVar(relation + "." + attr, relation, attr, group);
+    attr_vars_[key] = idx;
+    return idx;
+  }
+
+  /// Handles a for/let binding expression; registers the variable.
+  Status TranslateClauses(const ExprPtr& flwor) {
+    for (const xquery::ForLetClause& clause : flwor->clauses) {
+      ARCHIS_RETURN_NOT_OK(BindClause(clause.var, clause.expr));
+    }
+    return Status::OK();
+  }
+
+  Status BindClause(const std::string& var_name, const ExprPtr& expr) {
+    if (expr->kind != ExprKind::kPath) {
+      return Unsupported("for/let binding must be a path expression");
+    }
+    const ExprPtr& source = expr->children[0];
+    if (source->kind == ExprKind::kFunctionCall &&
+        (source->str == "doc" || source->str == "document")) {
+      return BindDocPath(var_name, expr);
+    }
+    if (source->kind == ExprKind::kVarRef) {
+      return BindRelativePath(var_name, source->str, expr);
+    }
+    return Unsupported("binding source must be doc() or a variable");
+  }
+
+  /// doc("x")/root/entity[...]   -> key-table variable
+  /// doc("x")/root/entity[...]/attr[...] -> attribute variable
+  Status BindDocPath(const std::string& var_name, const ExprPtr& path) {
+    const ExprPtr& doc_call = path->children[0];
+    if (doc_call->children.size() != 1 ||
+        doc_call->children[0]->kind != ExprKind::kStringLit) {
+      return Unsupported("doc() argument must be a string literal");
+    }
+    const std::string doc_name = doc_call->children[0]->str;
+    auto binding = ctx_.docs.find(doc_name);
+    if (binding == ctx_.docs.end()) {
+      return Status::NotFound("no archived relation registered for doc('" +
+                              doc_name + "')");
+    }
+    const DocBinding& doc = binding->second;
+    const auto& steps = path->steps;
+    size_t step_idx = 0;
+    if (step_idx < steps.size() && steps[step_idx].name == doc.root_tag) {
+      ++step_idx;
+    }
+    if (step_idx >= steps.size() || steps[step_idx].name != doc.entity_tag) {
+      return Unsupported("doc path must step through " + doc.root_tag + "/" +
+                         doc.entity_tag);
+    }
+    const PathStep& entity_step = steps[step_idx];
+    ++step_idx;
+
+    size_t group = next_group_++;
+    if (step_idx == steps.size()) {
+      // Binds the entity: a key-table variable.
+      size_t idx = NewVar("$" + var_name, doc.relation, "", group);
+      bound_[var_name] = {true, idx, doc.relation, group};
+      ARCHIS_RETURN_NOT_OK(
+          ApplyPredicates(idx, doc.relation, group, entity_step.predicates));
+      return Status::OK();
+    }
+    // Entity-step predicates first (they may spawn attribute variables).
+    // The entity itself needs a key variable only if a temporal predicate
+    // targets it; value predicates translate to attribute variables.
+    std::optional<size_t> key_var;
+    ARCHIS_RETURN_NOT_OK(ApplyEntityPredicates(
+        doc.relation, group, entity_step.predicates, &key_var));
+    // Then the attribute step.
+    const PathStep& attr_step = steps[step_idx];
+    ++step_idx;
+    if (step_idx != steps.size()) {
+      return Unsupported("paths deeper than entity/attribute");
+    }
+    size_t idx = AttrVar(doc.relation, attr_step.name, group);
+    plan_.vars[idx].xq_name = "$" + var_name;
+    bound_[var_name] = {false, idx, doc.relation, group};
+    ARCHIS_RETURN_NOT_OK(
+        ApplyPredicates(idx, doc.relation, group, attr_step.predicates));
+    return Status::OK();
+  }
+
+  /// $e/attr[...] -> attribute variable in $e's join group.
+  Status BindRelativePath(const std::string& var_name,
+                          const std::string& base_var, const ExprPtr& path) {
+    auto it = bound_.find(base_var);
+    if (it == bound_.end()) {
+      return Status::NotFound("translator: unbound variable $" + base_var);
+    }
+    const BoundVar& base = it->second;
+    if (path->steps.size() != 1) {
+      return Unsupported("relative binding must be a single step");
+    }
+    const PathStep& step = path->steps[0];
+    size_t idx = AttrVar(base.relation, step.name, base.group);
+    bound_[var_name] = {false, idx, base.relation, base.group};
+    return ApplyPredicates(idx, base.relation, base.group, step.predicates);
+  }
+
+  // -- Predicate and where-condition translation (lines 4-12) ----------------
+
+  /// Predicates on an entity step: value comparisons spawn attribute
+  /// variables; temporal predicates require (and create) the key variable.
+  Status ApplyEntityPredicates(const std::string& relation, size_t group,
+                               const std::vector<ExprPtr>& predicates,
+                               std::optional<size_t>* key_var) {
+    for (const ExprPtr& pred : predicates) {
+      ARCHIS_RETURN_NOT_OK(
+          ApplyEntityPredicate(relation, group, pred, key_var));
+    }
+    return Status::OK();
+  }
+
+  Status ApplyEntityPredicate(const std::string& relation, size_t group,
+                              const ExprPtr& pred,
+                              std::optional<size_t>* key_var) {
+    if (pred->kind == ExprKind::kAnd) {
+      for (const ExprPtr& child : pred->children) {
+        ARCHIS_RETURN_NOT_OK(
+            ApplyEntityPredicate(relation, group, child, key_var));
+      }
+      return Status::OK();
+    }
+    if (pred->kind == ExprKind::kComparison) {
+      // name="Bob" / salary > 60000 / tstart(.) <= date ...
+      return TranslateComparisonWithContext(pred, relation, group, key_var);
+    }
+    if (pred->kind == ExprKind::kFunctionCall) {
+      // toverlaps(., telement(c1, c2)) etc. targeting the entity interval.
+      size_t kv = EnsureKeyVar(relation, group, key_var);
+      return TranslateIntervalFn(pred, kv);
+    }
+    return Unsupported("entity predicate form");
+  }
+
+  size_t EnsureKeyVar(const std::string& relation, size_t group,
+                      std::optional<size_t>* key_var) {
+    if (key_var != nullptr && key_var->has_value()) return **key_var;
+    size_t idx = NewVar(relation + ".key", relation, "", group);
+    if (key_var != nullptr) *key_var = idx;
+    return idx;
+  }
+
+  /// Predicates on a concrete variable (attribute step or key binding).
+  Status ApplyPredicates(size_t var_idx, const std::string& relation,
+                         size_t group, const std::vector<ExprPtr>& preds) {
+    for (const ExprPtr& pred : preds) {
+      ARCHIS_RETURN_NOT_OK(ApplyPredicate(var_idx, relation, group, pred));
+    }
+    return Status::OK();
+  }
+
+  Status ApplyPredicate(size_t var_idx, const std::string& relation,
+                        size_t group, const ExprPtr& pred) {
+    if (pred->kind == ExprKind::kAnd) {
+      for (const ExprPtr& child : pred->children) {
+        ARCHIS_RETURN_NOT_OK(ApplyPredicate(var_idx, relation, group, child));
+      }
+      return Status::OK();
+    }
+    if (pred->kind == ExprKind::kComparison) {
+      return TranslateComparison(pred, var_idx, relation, group);
+    }
+    if (pred->kind == ExprKind::kFunctionCall) {
+      return TranslateIntervalFn(pred, var_idx);
+    }
+    return Unsupported("predicate form");
+  }
+
+  /// toverlaps/tcontains/tequals/tmeets/tprecedes with '.' or variables.
+  Status TranslateIntervalFn(const ExprPtr& call, size_t context_var) {
+    static const std::map<std::string, CrossCond::Kind> kKinds = {
+        {"toverlaps", CrossCond::Kind::kOverlaps},
+        {"tcontains", CrossCond::Kind::kContains},
+        {"tequals", CrossCond::Kind::kEquals},
+        {"tmeets", CrossCond::Kind::kMeets},
+        {"tprecedes", CrossCond::Kind::kPrecedes},
+    };
+    auto kind = kKinds.find(call->str);
+    if (kind == kKinds.end()) return Unsupported("function " + call->str);
+    if (call->children.size() != 2) {
+      return Status::InvalidArgument(call->str + " takes two arguments");
+    }
+    // Constant interval operand (telement of date literals) pushes down.
+    auto const_interval =
+        [this](const ExprPtr& e) -> std::optional<TimeInterval> {
+      if (e->kind == ExprKind::kFunctionCall && e->str == "telement" &&
+          e->children.size() == 2) {
+        auto d1 = ConstDate(e->children[0]);
+        auto d2 = ConstDate(e->children[1]);
+        if (d1 && d2) return TimeInterval(*d1, *d2);
+      }
+      return std::nullopt;
+    };
+    auto var_of = [&](const ExprPtr& e) -> std::optional<size_t> {
+      if (e->kind == ExprKind::kContextItem) return context_var;
+      if (e->kind == ExprKind::kVarRef) {
+        auto it = bound_.find(e->str);
+        if (it != bound_.end()) return it->second.plan_idx;
+      }
+      return std::nullopt;
+    };
+
+    auto lhs_iv = const_interval(call->children[0]);
+    auto rhs_iv = const_interval(call->children[1]);
+    auto lhs_var = var_of(call->children[0]);
+    auto rhs_var = var_of(call->children[1]);
+    if (kind->second == CrossCond::Kind::kOverlaps &&
+        ((lhs_var && rhs_iv) || (rhs_var && lhs_iv))) {
+      size_t v = lhs_var ? *lhs_var : *rhs_var;
+      TimeInterval iv = lhs_var ? *rhs_iv : *lhs_iv;
+      PlanVar& pv = plan_.vars[v];
+      pv.overlap = pv.overlap ? pv.overlap->Intersect(iv).value_or(iv) : iv;
+      return Status::OK();
+    }
+    if (lhs_var && rhs_var) {
+      CrossCond cond;
+      cond.kind = kind->second;
+      cond.lhs = {*lhs_var, HCol::kTstart};
+      cond.rhs = {*rhs_var, HCol::kTstart};
+      plan_.cross_conds.push_back(cond);
+      return Status::OK();
+    }
+    return Unsupported(call->str + " operand form");
+  }
+
+  /// Resolves a comparison operand inside a predicate whose context item is
+  /// `context_var` (nullopt at where-clause level).
+  Result<Operand> ResolveOperand(const ExprPtr& e,
+                                 std::optional<size_t> context_var,
+                                 const std::string& relation, size_t group) {
+    switch (e->kind) {
+      case ExprKind::kStringLit:
+        return Operand{true, {}, minirel::Value(e->str)};
+      case ExprKind::kNumberLit:
+        return Operand{true, {}, minirel::Value(e->num)};
+      case ExprKind::kContextItem:
+        if (!context_var) return Unsupported("'.' outside predicate");
+        return Operand{false, {*context_var, HCol::kValue}, {}};
+      case ExprKind::kVarRef: {
+        auto it = bound_.find(e->str);
+        if (it == bound_.end()) {
+          return Status::NotFound("translator: unbound $" + e->str);
+        }
+        HCol col = it->second.is_entity ? HCol::kId : HCol::kValue;
+        return Operand{false, {it->second.plan_idx, col}, {}};
+      }
+      case ExprKind::kPath: {
+        // $e/attr or bare `attr` (context-relative inside a predicate).
+        const ExprPtr& source = e->children[0];
+        if (e->steps.size() != 1) return Unsupported("deep operand path");
+        const std::string& attr = e->steps[0].name;
+        std::string rel = relation;
+        size_t grp = group;
+        if (source->kind == ExprKind::kVarRef) {
+          auto it = bound_.find(source->str);
+          if (it == bound_.end()) {
+            return Status::NotFound("translator: unbound $" + source->str);
+          }
+          rel = it->second.relation;
+          grp = it->second.group;
+        } else if (source->kind != ExprKind::kContextItem) {
+          return Unsupported("operand path source");
+        }
+        if (attr == "id") {
+          // The key column reads from any variable of the group; use the
+          // first one, or materialise the key-table variable if the group
+          // has none yet (e.g. an [id=...] predicate on the entity step).
+          for (size_t v = 0; v < plan_.vars.size(); ++v) {
+            if (plan_.vars[v].join_group == grp) {
+              return Operand{false, {v, HCol::kId}, {}};
+            }
+          }
+          size_t idx = NewVar(rel + ".key", rel, "", grp);
+          return Operand{false, {idx, HCol::kId}, {}};
+        }
+        size_t idx = AttrVar(rel, attr, grp);
+        return Operand{false, {idx, HCol::kValue}, {}};
+      }
+      case ExprKind::kFunctionCall: {
+        if (e->str == "tstart" || e->str == "tend") {
+          if (e->children.size() != 1) {
+            return Status::InvalidArgument(e->str + " takes one argument");
+          }
+          ARCHIS_ASSIGN_OR_RETURN(
+              Operand inner,
+              ResolveOperand(e->children[0], context_var, relation, group));
+          if (inner.is_const) return Unsupported("tstart/tend of constant");
+          inner.col.col = e->str == "tstart" ? HCol::kTstart : HCol::kTend;
+          return inner;
+        }
+        if (e->str == "xs:date") {
+          auto d = ConstDate(e);
+          if (!d) return Unsupported("non-literal xs:date");
+          return Operand{true, {}, minirel::Value(*d)};
+        }
+        if (e->str == "current-date") {
+          return Operand{true, {}, minirel::Value(ctx_.current_date)};
+        }
+        if (e->str == "string" && e->children.size() == 1) {
+          return ResolveOperand(e->children[0], context_var, relation, group);
+        }
+        return Unsupported("function operand " + e->str);
+      }
+      default:
+        return Unsupported("comparison operand");
+    }
+  }
+
+  std::optional<Date> ConstDate(const ExprPtr& e) {
+    if (e->kind == ExprKind::kStringLit) {
+      auto d = Date::Parse(e->str);
+      if (d.ok()) return *d;
+      return std::nullopt;
+    }
+    if (e->kind == ExprKind::kFunctionCall && e->str == "xs:date" &&
+        e->children.size() == 1) {
+      return ConstDate(e->children[0]);
+    }
+    if (e->kind == ExprKind::kFunctionCall && e->str == "current-date") {
+      return ctx_.current_date;
+    }
+    return std::nullopt;
+  }
+
+  Status AddVarConstCond(const HColRef& ref, minirel::CompareOp op,
+                         const minirel::Value& constant) {
+    PlanVar& var = plan_.vars[ref.var];
+    switch (ref.col) {
+      case HCol::kValue:
+        var.value_conds.push_back({op, constant});
+        return Status::OK();
+      case HCol::kId: {
+        std::optional<int64_t> id;
+        if (constant.type() == minirel::DataType::kInt64) {
+          id = constant.AsInt();
+        } else if (constant.type() == minirel::DataType::kDouble) {
+          id = static_cast<int64_t>(constant.AsDouble());
+        }
+        if (op == minirel::CompareOp::kEq && id.has_value()) {
+          // Propagate the single-object restriction to the whole group so
+          // every store uses its id index (including variables created
+          // later — see the fix-up loop in Translate()).
+          for (PlanVar& v : plan_.vars) {
+            if (v.join_group == var.join_group) v.id_eq = *id;
+          }
+          pending_id_eq_[var.join_group] = *id;
+          return Status::OK();
+        }
+        return Unsupported("non-equality id condition");
+      }
+      case HCol::kTstart: {
+        minirel::Value c = constant;
+        if (constant.type() == minirel::DataType::kString) {
+          auto d = Date::Parse(constant.AsString());
+          if (d.ok()) c = minirel::Value(*d);
+        }
+        var.tstart_conds.push_back({op, c});
+        DeriveTemporalPushdown(ref.var);
+        return Status::OK();
+      }
+      case HCol::kTend: {
+        minirel::Value c = constant;
+        if (constant.type() == minirel::DataType::kString) {
+          auto d = Date::Parse(constant.AsString());
+          if (d.ok()) c = minirel::Value(*d);
+        }
+        // tend(.) = current-date() means "still current" (Section 4.3).
+        if (op == minirel::CompareOp::kEq &&
+            c.type() == minirel::DataType::kDate &&
+            c.AsDate() == ctx_.current_date) {
+          var.current_only = true;
+          return Status::OK();
+        }
+        var.tend_conds.push_back({op, c});
+        DeriveTemporalPushdown(ref.var);
+        return Status::OK();
+      }
+    }
+    return Status::Internal("bad column ref");
+  }
+
+  /// tstart <= a && tend >= b with b <= a derives an interval-overlap
+  /// pushdown [b, a], enabling segment pruning (snapshot when a == b).
+  void DeriveTemporalPushdown(size_t var_idx) {
+    PlanVar& var = plan_.vars[var_idx];
+    std::optional<Date> ts_upper, te_lower;
+    for (const ValueCond& c : var.tstart_conds) {
+      if ((c.op == minirel::CompareOp::kLe ||
+           c.op == minirel::CompareOp::kLt) &&
+          c.constant.type() == minirel::DataType::kDate) {
+        Date d = c.constant.AsDate();
+        if (c.op == minirel::CompareOp::kLt) d = d.AddDays(-1);
+        if (!ts_upper || d < *ts_upper) ts_upper = d;
+      }
+    }
+    for (const ValueCond& c : var.tend_conds) {
+      if ((c.op == minirel::CompareOp::kGe ||
+           c.op == minirel::CompareOp::kGt) &&
+          c.constant.type() == minirel::DataType::kDate) {
+        Date d = c.constant.AsDate();
+        if (c.op == minirel::CompareOp::kGt) d = d.AddDays(1);
+        if (!te_lower || d > *te_lower) te_lower = d;
+      }
+    }
+    if (ts_upper && te_lower && *te_lower <= *ts_upper) {
+      if (*te_lower == *ts_upper) {
+        var.snapshot = *te_lower;
+      } else {
+        var.overlap = TimeInterval(*te_lower, *ts_upper);
+      }
+    }
+  }
+
+  Status TranslateComparisonWithContext(const ExprPtr& cmp,
+                                        const std::string& relation,
+                                        size_t group,
+                                        std::optional<size_t>* key_var) {
+    // Inside an entity predicate, `tstart(.)`/`tend(.)` target the key
+    // variable; bare names target attribute variables.
+    std::optional<size_t> ctx_var;
+    bool temporal = false;
+    std::function<void(const ExprPtr&)> scan = [&](const ExprPtr& e) {
+      if (e->kind == ExprKind::kFunctionCall &&
+          (e->str == "tstart" || e->str == "tend")) {
+        for (const ExprPtr& c : e->children) {
+          if (c->kind == ExprKind::kContextItem) temporal = true;
+        }
+      }
+      for (const ExprPtr& c : e->children) scan(c);
+    };
+    scan(cmp);
+    if (temporal) ctx_var = EnsureKeyVar(relation, group, key_var);
+    return TranslateComparisonImpl(cmp, ctx_var, relation, group);
+  }
+
+  Status TranslateComparison(const ExprPtr& cmp, size_t context_var,
+                             const std::string& relation, size_t group) {
+    return TranslateComparisonImpl(cmp, context_var, relation, group);
+  }
+
+  Status TranslateComparisonImpl(const ExprPtr& cmp,
+                                 std::optional<size_t> context_var,
+                                 const std::string& relation, size_t group) {
+    ARCHIS_ASSIGN_OR_RETURN(
+        Operand lhs,
+        ResolveOperand(cmp->children[0], context_var, relation, group));
+    ARCHIS_ASSIGN_OR_RETURN(
+        Operand rhs,
+        ResolveOperand(cmp->children[1], context_var, relation, group));
+    ARCHIS_ASSIGN_OR_RETURN(minirel::CompareOp op,
+                            minirel::ParseCompareOp(cmp->str));
+    if (!lhs.is_const && rhs.is_const) {
+      return AddVarConstCond(lhs.col, op, rhs.constant);
+    }
+    if (lhs.is_const && !rhs.is_const) {
+      // Flip the comparison.
+      minirel::CompareOp flipped = op;
+      switch (op) {
+        case minirel::CompareOp::kLt: flipped = minirel::CompareOp::kGt; break;
+        case minirel::CompareOp::kLe: flipped = minirel::CompareOp::kGe; break;
+        case minirel::CompareOp::kGt: flipped = minirel::CompareOp::kLt; break;
+        case minirel::CompareOp::kGe: flipped = minirel::CompareOp::kLe; break;
+        default: break;
+      }
+      return AddVarConstCond(rhs.col, flipped, lhs.constant);
+    }
+    if (!lhs.is_const && !rhs.is_const) {
+      CrossCond cond;
+      cond.kind = CrossCond::Kind::kCompare;
+      cond.lhs = lhs.col;
+      cond.op = op;
+      cond.rhs = rhs.col;
+      plan_.cross_conds.push_back(cond);
+      return Status::OK();
+    }
+    return Unsupported("constant-only comparison");
+  }
+
+  /// where-clause conjuncts.
+  Status TranslateCondition(const ExprPtr& cond) {
+    switch (cond->kind) {
+      case ExprKind::kAnd: {
+        for (const ExprPtr& child : cond->children) {
+          ARCHIS_RETURN_NOT_OK(TranslateCondition(child));
+        }
+        return Status::OK();
+      }
+      case ExprKind::kComparison:
+        return TranslateComparisonImpl(cond, std::nullopt, "", 0);
+      case ExprKind::kNot: {
+        const ExprPtr& inner = cond->children[0];
+        if (inner->kind == ExprKind::kFunctionCall &&
+            inner->str == "empty" && inner->children.size() == 1) {
+          const ExprPtr& arg = inner->children[0];
+          // not(empty(overlapinterval($a,$b))) == toverlaps($a,$b).
+          if (arg->kind == ExprKind::kFunctionCall &&
+              arg->str == "overlapinterval") {
+            auto call = std::make_shared<Expr>(ExprKind::kFunctionCall);
+            call->str = "toverlaps";
+            call->children = arg->children;
+            return TranslateIntervalFn(call, /*context_var=*/0);
+          }
+          // not(empty($v)) where $v is a bound variable: the id join is
+          // already existential — nothing to add.
+          if (arg->kind == ExprKind::kVarRef && bound_.count(arg->str) != 0) {
+            return Status::OK();
+          }
+        }
+        return Unsupported("negation form");
+      }
+      case ExprKind::kFunctionCall:
+        return TranslateIntervalFn(cond, /*context_var=*/0);
+      default:
+        return Unsupported("where-clause form");
+    }
+  }
+
+  // -- Output generation (lines 13-19) ---------------------------------------
+
+  Result<OutputSpec> BuildOutput(const ExprPtr& ret) {
+    switch (ret->kind) {
+      case ExprKind::kVarRef: {
+        auto it = bound_.find(ret->str);
+        if (it == bound_.end()) {
+          return Status::NotFound("translator: unbound $" + ret->str);
+        }
+        return VarElement(it->second);
+      }
+      case ExprKind::kPath: {
+        const ExprPtr& source = ret->children[0];
+        if (source->kind != ExprKind::kVarRef || ret->steps.size() != 1) {
+          return Unsupported("return path form");
+        }
+        auto it = bound_.find(source->str);
+        if (it == bound_.end()) {
+          return Status::NotFound("translator: unbound $" + source->str);
+        }
+        const std::string& attr = ret->steps[0].name;
+        if (attr == "id") {
+          OutputSpec spec;
+          spec.kind = OutputSpec::Kind::kElement;
+          spec.name = "id";
+          spec.attr_var = it->second.plan_idx;
+          spec.column = HColRef{it->second.plan_idx, HCol::kId};
+          return spec;
+        }
+        size_t idx = AttrVar(it->second.relation, attr, it->second.group);
+        OutputSpec spec;
+        spec.kind = OutputSpec::Kind::kElement;
+        spec.name = attr;
+        spec.attr_var = idx;
+        spec.column = HColRef{idx, HCol::kValue};
+        return spec;
+      }
+      case ExprKind::kElementCtor: {
+        OutputSpec spec;
+        spec.kind = OutputSpec::Kind::kElement;
+        spec.name = ret->str;
+        for (const ExprPtr& child : ret->children) {
+          if (child->kind == ExprKind::kSequence) {
+            for (const ExprPtr& item : child->children) {
+              ARCHIS_ASSIGN_OR_RETURN(OutputSpec c, BuildOutput(item));
+              spec.children.push_back(std::move(c));
+            }
+          } else {
+            ARCHIS_ASSIGN_OR_RETURN(OutputSpec c, BuildOutput(child));
+            spec.children.push_back(std::move(c));
+          }
+        }
+        return spec;
+      }
+      case ExprKind::kTextLit: {
+        OutputSpec spec;
+        spec.kind = OutputSpec::Kind::kText;
+        spec.name = ret->str;
+        return spec;
+      }
+      case ExprKind::kSequence: {
+        // A bare sequence return wraps in a row element.
+        OutputSpec spec;
+        spec.kind = OutputSpec::Kind::kElement;
+        spec.name = "row";
+        for (const ExprPtr& item : ret->children) {
+          ARCHIS_ASSIGN_OR_RETURN(OutputSpec c, BuildOutput(item));
+          spec.children.push_back(std::move(c));
+        }
+        return spec;
+      }
+      case ExprKind::kFunctionCall: {
+        if (ret->str == "overlapinterval" && ret->children.size() == 2) {
+          auto var_of = [this](const ExprPtr& e) -> std::optional<size_t> {
+            if (e->kind != ExprKind::kVarRef) return std::nullopt;
+            auto it = bound_.find(e->str);
+            if (it == bound_.end()) return std::nullopt;
+            return it->second.plan_idx;
+          };
+          auto l = var_of(ret->children[0]);
+          auto r = var_of(ret->children[1]);
+          if (!l || !r) return Unsupported("overlapinterval operands");
+          OutputSpec spec;
+          spec.kind = OutputSpec::Kind::kInterval;
+          spec.ivl_lhs = *l;
+          spec.ivl_rhs = *r;
+          return spec;
+        }
+        if (ret->str == "tavg" && ret->children.size() == 1 &&
+            ret->children[0]->kind == ExprKind::kVarRef) {
+          auto it = bound_.find(ret->children[0]->str);
+          if (it == bound_.end()) {
+            return Status::NotFound("translator: unbound tavg argument");
+          }
+          if (it->second.plan_idx != 0) {
+            return Unsupported("tavg over a non-leading variable");
+          }
+          plan_.aggregate = PlanAggregate::kTAvg;
+          OutputSpec spec;
+          spec.kind = OutputSpec::Kind::kElement;
+          spec.name = "tavg";
+          return spec;
+        }
+        return Unsupported("return function " + ret->str);
+      }
+      default:
+        return Unsupported("return clause form");
+    }
+  }
+
+  Result<OutputSpec> VarElement(const BoundVar& var) {
+    OutputSpec spec;
+    spec.kind = OutputSpec::Kind::kElement;
+    const PlanVar& pv = plan_.vars[var.plan_idx];
+    if (var.is_entity) {
+      spec.name = EntityTagFor(pv.relation);
+      spec.attr_var = var.plan_idx;
+      spec.column = HColRef{var.plan_idx, HCol::kId};
+    } else {
+      spec.name = pv.attribute;
+      spec.attr_var = var.plan_idx;
+      spec.column = HColRef{var.plan_idx, HCol::kValue};
+    }
+    return spec;
+  }
+
+  std::string EntityTagFor(const std::string& relation) const {
+    for (const auto& [doc, binding] : ctx_.docs) {
+      if (binding.relation == relation) return binding.entity_tag;
+    }
+    return relation;
+  }
+
+  const TranslatorContext& ctx_;
+  SqlXmlPlan plan_;
+  std::map<std::string, BoundVar> bound_;
+  std::map<std::string, size_t> attr_vars_;
+  std::map<size_t, int64_t> pending_id_eq_;
+  size_t next_group_ = 0;
+};
+
+}  // namespace
+
+Result<SqlXmlPlan> TranslateXQuery(const xquery::ExprPtr& query,
+                                   const TranslatorContext& ctx) {
+  Translator translator(ctx);
+  ARCHIS_ASSIGN_OR_RETURN(SqlXmlPlan plan, translator.Translate(query));
+  // Late-created attribute variables must inherit their group's id
+  // restriction.
+  return plan;
+}
+
+Result<SqlXmlPlan> TranslateXQuery(const std::string& query,
+                                   const TranslatorContext& ctx) {
+  ARCHIS_ASSIGN_OR_RETURN(xquery::ExprPtr ast, xquery::ParseXQuery(query));
+  return TranslateXQuery(ast, ctx);
+}
+
+}  // namespace archis::core

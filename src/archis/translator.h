@@ -1,0 +1,60 @@
+// XQuery -> SQL/XML translation (paper Section 5.3, Algorithm 1).
+//
+// The five mapping steps:
+//   1. identification of variable range  — each for/let variable binds to a
+//      tuple variable over a key table or an attribute history table;
+//   2. generation of join conditions     — Vi.id = Vj.id for variables
+//      defined by a relative path from the same root variable;
+//   3. generation of where conditions    — path predicates and where-clause
+//      conjuncts become column conditions;
+//   4. translation of built-in functions — temporal UDFs map to interval
+//      conditions on (tstart, tend), with snapshot/slicing patterns pushed
+//      down so the executor can prune to covering segments (Section 6.3);
+//   5. output generation                 — the return clause becomes an
+//      XMLElement/XMLAttributes/XMLAgg construction spec.
+//
+// Coverage: the query classes exercised in the paper (temporal projection,
+// snapshot, slicing, single-relation joins on attribute values, since-style
+// current-tense predicates, temporal aggregates). Constructs outside the
+// subset return Unsupported, and the ArchIS facade falls back to native
+// evaluation over published H-documents.
+#ifndef ARCHIS_ARCHIS_TRANSLATOR_H_
+#define ARCHIS_ARCHIS_TRANSLATOR_H_
+
+#include <map>
+#include <string>
+
+#include "archis/sqlxml.h"
+#include "xquery/ast.h"
+
+namespace archis::core {
+
+/// Registration of one published document name.
+struct DocBinding {
+  std::string relation;     ///< archived relation the document views
+  std::string root_tag;     ///< H-document root element tag
+  std::string entity_tag;   ///< per-key element tag
+};
+
+/// Translation-time context.
+struct TranslatorContext {
+  /// doc("name") bindings, e.g. "employees.xml" -> {employees, employees,
+  /// employee}.
+  std::map<std::string, DocBinding> docs;
+  /// Value of current-date() at translation time (constant folding of
+  /// now-relative predicates).
+  Date current_date;
+};
+
+/// Translates a parsed XQuery into an SqlXmlPlan. Unsupported for queries
+/// outside the covered subset.
+Result<SqlXmlPlan> TranslateXQuery(const xquery::ExprPtr& query,
+                                   const TranslatorContext& ctx);
+
+/// Convenience: parse + translate.
+Result<SqlXmlPlan> TranslateXQuery(const std::string& query,
+                                   const TranslatorContext& ctx);
+
+}  // namespace archis::core
+
+#endif  // ARCHIS_ARCHIS_TRANSLATOR_H_

@@ -1,0 +1,80 @@
+#include "common/date.h"
+
+#include <cstdio>
+
+namespace archis {
+namespace {
+
+// Civil-date <-> day-count conversion (Howard Hinnant's algorithm).
+int64_t DaysFromCivil(int y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe);
+}
+
+void CivilFromDays(int64_t z, int* y, unsigned* m, unsigned* d) {
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = static_cast<int>(yy + (*m <= 2));
+}
+
+}  // namespace
+
+Date Date::FromYmd(int year, int month, int day) {
+  return Date(DaysFromCivil(year, static_cast<unsigned>(month),
+                            static_cast<unsigned>(day)));
+}
+
+Date Date::Forever() { return FromYmd(9999, 12, 31); }
+
+Result<Date> Date::Parse(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) == 3) {
+    // fall through to validation
+  } else if (std::sscanf(text.c_str(), "%d/%d/%d", &m, &d, &y) == 3) {
+    // MM/DD/YYYY
+  } else {
+    return Status::ParseError("unparsable date: '" + text + "'");
+  }
+  if (m < 1 || m > 12 || d < 1 || d > 31 || y < 0 || y > 9999) {
+    return Status::ParseError("date out of range: '" + text + "'");
+  }
+  return FromYmd(y, m, d);
+}
+
+int Date::year() const {
+  int y; unsigned m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  return y;
+}
+
+int Date::month() const {
+  int y; unsigned m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  return static_cast<int>(m);
+}
+
+int Date::day() const {
+  int y; unsigned m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  return static_cast<int>(d);
+}
+
+std::string Date::ToString() const {
+  int y; unsigned m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", y, m, d);
+  return buf;
+}
+
+}  // namespace archis

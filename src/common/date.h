@@ -1,0 +1,67 @@
+// Day-granularity date type used for transaction timestamps.
+//
+// The paper's time granularity is a day (Section 3, footnote 1); `now` /
+// "until changed" is represented internally by the end-of-time sentinel
+// 9999-12-31 (Section 4.3) so that ordinary index ordering and interval
+// comparison work unchanged on current tuples.
+#ifndef ARCHIS_COMMON_DATE_H_
+#define ARCHIS_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace archis {
+
+/// A calendar date stored as days since the proleptic-Gregorian epoch
+/// 0000-03-01 (civil-day encoding, valid for all dates this system uses).
+///
+/// Dates are totally ordered, support day arithmetic, and have a distinct
+/// `Forever()` value (9999-12-31) that denotes the transaction-time `now`.
+class Date {
+ public:
+  /// Default-constructed date is the epoch day 0.
+  constexpr Date() : days_(0) {}
+  constexpr explicit Date(int64_t days) : days_(days) {}
+
+  /// Builds a date from a civil year/month/day triple. No range checking of
+  /// month/day beyond normalisation; use Parse for validated input.
+  static Date FromYmd(int year, int month, int day);
+
+  /// Parses "YYYY-MM-DD". Also accepts "MM/DD/YYYY" (the paper prints H-table
+  /// samples in that format).
+  static Result<Date> Parse(const std::string& text);
+
+  /// The end-of-time sentinel 9999-12-31 that internally represents `now`.
+  static Date Forever();
+
+  /// Whether this date is the `now` sentinel.
+  bool IsForever() const { return *this == Forever(); }
+
+  int64_t days() const { return days_; }
+
+  int year() const;
+  int month() const;
+  int day() const;
+
+  /// "YYYY-MM-DD".
+  std::string ToString() const;
+
+  Date AddDays(int64_t n) const { return Date(days_ + n); }
+  int64_t operator-(const Date& other) const { return days_ - other.days_; }
+
+  auto operator<=>(const Date& other) const = default;
+
+ private:
+  int64_t days_;
+};
+
+/// Least of two dates.
+inline Date MinDate(Date a, Date b) { return a < b ? a : b; }
+/// Greatest of two dates.
+inline Date MaxDate(Date a, Date b) { return a > b ? a : b; }
+
+}  // namespace archis
+
+#endif  // ARCHIS_COMMON_DATE_H_

@@ -1,0 +1,9 @@
+#include "common/interval.h"
+
+namespace archis {
+
+std::string TimeInterval::ToString() const {
+  return "[" + tstart.ToString() + ", " + tend.ToString() + "]";
+}
+
+}  // namespace archis

@@ -1,0 +1,90 @@
+// Inclusive transaction-time intervals [tstart, tend] and Allen-style
+// interval predicates used throughout the temporal function library
+// (Section 4.2 of the paper).
+#ifndef ARCHIS_COMMON_INTERVAL_H_
+#define ARCHIS_COMMON_INTERVAL_H_
+
+#include <optional>
+#include <string>
+
+#include "common/date.h"
+
+namespace archis {
+
+/// An inclusive interval of days, `[tstart, tend]`. A current (live)
+/// interval has `tend == Date::Forever()`.
+struct TimeInterval {
+  Date tstart;
+  Date tend;
+
+  TimeInterval() = default;
+  TimeInterval(Date s, Date e) : tstart(s), tend(e) {}
+
+  /// Whether the interval is non-empty (tstart <= tend).
+  bool valid() const { return tstart <= tend; }
+
+  /// Whether the interval's end is the `now` sentinel.
+  bool is_current() const { return tend.IsForever(); }
+
+  /// Number of days covered (inclusive).
+  int64_t duration_days() const { return tend - tstart + 1; }
+
+  /// Whether `d` lies inside the interval.
+  bool Contains(Date d) const { return tstart <= d && d <= tend; }
+
+  /// Whether `other` lies entirely inside this interval
+  /// (tcontains in the paper's UDF library).
+  bool Contains(const TimeInterval& other) const {
+    return tstart <= other.tstart && other.tend <= tend;
+  }
+
+  /// Whether the two intervals share at least one day (toverlaps).
+  bool Overlaps(const TimeInterval& other) const {
+    return tstart <= other.tend && other.tstart <= tend;
+  }
+
+  /// Whether this interval ends strictly before `other` starts (tprecedes).
+  bool Precedes(const TimeInterval& other) const {
+    return tend < other.tstart;
+  }
+
+  /// Whether this interval ends exactly one day before `other` starts
+  /// (tmeets): adjacency under inclusive day-granularity intervals.
+  bool Meets(const TimeInterval& other) const {
+    return tend.AddDays(1) == other.tstart;
+  }
+
+  /// Whether the two intervals are identical (tequals).
+  bool Equals(const TimeInterval& other) const {
+    return tstart == other.tstart && tend == other.tend;
+  }
+
+  /// Whether the two intervals overlap or are adjacent, i.e. their union is
+  /// a single interval. This is the merge condition used by coalescing.
+  bool OverlapsOrMeets(const TimeInterval& other) const {
+    return Overlaps(other) || Meets(other) || other.Meets(*this);
+  }
+
+  /// The intersection, or nullopt when the intervals are disjoint
+  /// (overlapinterval in the paper's UDF library).
+  std::optional<TimeInterval> Intersect(const TimeInterval& other) const {
+    TimeInterval r(MaxDate(tstart, other.tstart), MinDate(tend, other.tend));
+    if (!r.valid()) return std::nullopt;
+    return r;
+  }
+
+  /// The smallest interval covering both inputs.
+  TimeInterval Span(const TimeInterval& other) const {
+    return TimeInterval(MinDate(tstart, other.tstart),
+                        MaxDate(tend, other.tend));
+  }
+
+  /// "[YYYY-MM-DD, YYYY-MM-DD]".
+  std::string ToString() const;
+
+  auto operator<=>(const TimeInterval& other) const = default;
+};
+
+}  // namespace archis
+
+#endif  // ARCHIS_COMMON_INTERVAL_H_

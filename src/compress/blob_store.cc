@@ -1,0 +1,92 @@
+#include "compress/blob_store.h"
+
+#include <cstring>
+
+namespace archis::compress {
+
+Status BlobStore::Build(
+    const std::vector<std::pair<int64_t, std::string>>& records,
+    BlockZipOptions opts) {
+  blocks_.clear();
+  meta_.clear();
+  sids_.clear();
+  if (records.empty()) return Status::OK();
+  for (size_t i = 1; i < records.size(); ++i) {
+    if (records[i].first < records[i - 1].first) {
+      return Status::InvalidArgument(
+          "BlobStore::Build requires sid-sorted input");
+    }
+  }
+  // Embed the sid in front of each record payload so a block is fully
+  // self-describing after decompression.
+  std::vector<std::string> payloads;
+  payloads.reserve(records.size());
+  for (const auto& [sid, rec] : records) {
+    std::string p;
+    p.append(reinterpret_cast<const char*>(&sid), sizeof(sid));
+    p.append(rec);
+    payloads.push_back(std::move(p));
+  }
+  ARCHIS_ASSIGN_OR_RETURN(blocks_, BlockZipCompress(payloads, opts));
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    const CompressedBlock& blk = blocks_[b];
+    BlobBlockMeta m;
+    m.blockno = b;
+    m.start_sid = records[blk.first_record].first;
+    m.end_sid = records[blk.last_record].first;
+    m.compressed_bytes = blk.data.size();
+    meta_.push_back(m);
+    std::vector<int64_t> sids;
+    sids.reserve(blk.last_record - blk.first_record + 1);
+    for (uint64_t i = blk.first_record; i <= blk.last_record; ++i) {
+      sids.push_back(records[i].first);
+    }
+    sids_.push_back(std::move(sids));
+  }
+  return Status::OK();
+}
+
+Status BlobStore::ScanRange(
+    int64_t lo, int64_t hi,
+    const std::function<bool(int64_t, const std::string&)>& fn,
+    BlobReadStats* stats) const {
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    if (stats != nullptr) ++stats->blocks_scanned;
+    if (meta_[b].end_sid < lo || meta_[b].start_sid > hi) continue;
+    ARCHIS_ASSIGN_OR_RETURN(std::vector<std::string> payloads,
+                            BlockZipUncompress(blocks_[b]));
+    if (stats != nullptr) {
+      ++stats->blocks_decompressed;
+      stats->bytes_decompressed += blocks_[b].raw_bytes;
+    }
+    for (const std::string& p : payloads) {
+      if (p.size() < sizeof(int64_t)) {
+        return Status::Corruption("blob record too short");
+      }
+      int64_t sid;
+      std::memcpy(&sid, p.data(), sizeof(sid));
+      if (sid < lo || sid > hi) continue;
+      std::string rec = p.substr(sizeof(sid));
+      if (!fn(sid, rec)) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status BlobStore::ScanAll(
+    const std::function<bool(int64_t, const std::string&)>& fn,
+    BlobReadStats* stats) const {
+  return ScanRange(INT64_MIN, INT64_MAX, fn, stats);
+}
+
+uint64_t BlobStore::CompressedBytes() const {
+  return TotalCompressedBytes(blocks_);
+}
+
+uint64_t BlobStore::RawBytes() const {
+  uint64_t total = 0;
+  for (const CompressedBlock& b : blocks_) total += b.raw_bytes;
+  return total;
+}
+
+}  // namespace archis::compress

@@ -1,0 +1,72 @@
+// BlobStore: compressed blocks stored as BLOBs with per-block key ranges
+// (the paper's `salary_blob(blockno, startsid, endsid, blockblob)` table,
+// Section 8.2), enabling block-pruned reads for snapshot/slicing queries.
+#ifndef ARCHIS_COMPRESS_BLOB_STORE_H_
+#define ARCHIS_COMPRESS_BLOB_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "compress/block_zip.h"
+
+namespace archis::compress {
+
+/// Key metadata for one stored block: the sid (sort-key) range it covers.
+struct BlobBlockMeta {
+  uint64_t blockno;
+  int64_t start_sid;
+  int64_t end_sid;
+  uint64_t compressed_bytes;
+};
+
+/// Statistics for a read operation.
+struct BlobReadStats {
+  uint64_t blocks_scanned = 0;
+  uint64_t blocks_decompressed = 0;
+  uint64_t bytes_decompressed = 0;
+};
+
+/// A table of compressed record blocks ordered by a monotone int64 sid.
+///
+/// Records must be appended in nondecreasing sid order (the archiver sorts
+/// each segment by (segno, id) before compressing, which is what makes the
+/// sid ranges selective).
+class BlobStore {
+ public:
+  /// Builds the store from sid-sorted (sid, record) pairs.
+  Status Build(const std::vector<std::pair<int64_t, std::string>>& records,
+               BlockZipOptions opts = {});
+
+  /// Calls `fn(sid, record)` for every record with lo <= sid <= hi,
+  /// decompressing only blocks whose range intersects [lo, hi].
+  Status ScanRange(int64_t lo, int64_t hi,
+                   const std::function<bool(int64_t, const std::string&)>& fn,
+                   BlobReadStats* stats = nullptr) const;
+
+  /// Full scan (decompresses everything).
+  Status ScanAll(const std::function<bool(int64_t, const std::string&)>& fn,
+                 BlobReadStats* stats = nullptr) const;
+
+  /// Number of blocks.
+  size_t block_count() const { return blocks_.size(); }
+
+  /// Metadata for each block (the paper's `*_segrange`-style index).
+  const std::vector<BlobBlockMeta>& metadata() const { return meta_; }
+
+  /// Total compressed bytes (the storage footprint measured in Figure 13).
+  uint64_t CompressedBytes() const;
+
+  /// Total uncompressed payload bytes.
+  uint64_t RawBytes() const;
+
+ private:
+  std::vector<CompressedBlock> blocks_;
+  std::vector<BlobBlockMeta> meta_;
+  std::vector<std::vector<int64_t>> sids_;  // per block, per record
+};
+
+}  // namespace archis::compress
+
+#endif  // ARCHIS_COMPRESS_BLOB_STORE_H_

@@ -1,0 +1,172 @@
+#include "compress/block_zip.h"
+
+#include <zlib.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace archis::compress {
+namespace {
+
+/// Length-prefix-encodes records[first..last] into one payload buffer.
+std::string PackRecords(const std::vector<std::string>& records,
+                        size_t first, size_t last) {
+  std::string out;
+  for (size_t i = first; i <= last; ++i) {
+    uint32_t len = static_cast<uint32_t>(records[i].size());
+    out.append(reinterpret_cast<const char*>(&len), sizeof(len));
+    out.append(records[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> ZlibCompress(std::string_view input, int level) {
+  uLongf bound = compressBound(static_cast<uLong>(input.size()));
+  std::string out(bound, '\0');
+  int rc = compress2(reinterpret_cast<Bytef*>(out.data()), &bound,
+                     reinterpret_cast<const Bytef*>(input.data()),
+                     static_cast<uLong>(input.size()), level);
+  if (rc != Z_OK) {
+    return Status::Internal("zlib compress2 failed: " + std::to_string(rc));
+  }
+  out.resize(bound);
+  return out;
+}
+
+Result<std::string> ZlibUncompress(std::string_view input,
+                                   size_t expected_size_hint) {
+  size_t capacity = expected_size_hint > 0 ? expected_size_hint
+                                           : std::max<size_t>(
+                                                 input.size() * 4, 4096);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    std::string out(capacity, '\0');
+    uLongf dest_len = static_cast<uLongf>(capacity);
+    int rc = uncompress(reinterpret_cast<Bytef*>(out.data()), &dest_len,
+                        reinterpret_cast<const Bytef*>(input.data()),
+                        static_cast<uLong>(input.size()));
+    if (rc == Z_OK) {
+      out.resize(dest_len);
+      return out;
+    }
+    if (rc == Z_BUF_ERROR) {
+      capacity *= 2;
+      continue;
+    }
+    return Status::Corruption("zlib uncompress failed: " +
+                              std::to_string(rc));
+  }
+  return Status::Corruption("zlib uncompress: output kept overflowing");
+}
+
+Result<std::vector<CompressedBlock>> BlockZipCompress(
+    const std::vector<std::string>& records, BlockZipOptions opts) {
+  std::vector<CompressedBlock> blocks;
+  if (records.empty()) return blocks;
+
+  // Step 3 of Algorithm 2: sample to estimate the compression factor f0 and
+  // the average record size R.
+  size_t sample_n = std::min(opts.sample_records, records.size());
+  std::string sample = PackRecords(records, 0, sample_n - 1);
+  ARCHIS_ASSIGN_OR_RETURN(std::string sample_z,
+                          ZlibCompress(sample, opts.zlib_level));
+  double f0 = sample_z.empty()
+                  ? 2.0
+                  : static_cast<double>(sample.size()) /
+                        static_cast<double>(sample_z.size());
+  double avg_record = static_cast<double>(sample.size()) /
+                      static_cast<double>(sample_n);
+
+  // Estimated records per block: N raw chars ~= block_size * f0.
+  size_t per_block = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(opts.block_size) * f0 /
+                             avg_record));
+
+  size_t start = 0;
+  while (start < records.size()) {
+    size_t n = std::min(per_block, records.size() - start);
+    // Grow/shrink n so the compressed size approaches block_size without
+    // exceeding it (Algorithm 2's feedback loop), bounded to a few probes.
+    std::string best_z;
+    size_t best_n = 0;
+    for (int probe = 0; probe < 6; ++probe) {
+      std::string payload = PackRecords(records, start, start + n - 1);
+      ARCHIS_ASSIGN_OR_RETURN(std::string z,
+                              ZlibCompress(payload, opts.zlib_level));
+      if (z.size() <= opts.block_size) {
+        best_z = std::move(z);
+        best_n = n;
+        // Try to fit more records into the gap.
+        size_t gap = opts.block_size - best_z.size();
+        size_t extra = static_cast<size_t>(static_cast<double>(gap) * f0 /
+                                           avg_record);
+        if (extra < 1 || start + n >= records.size()) break;
+        n = std::min(n + extra, records.size() - start);
+        if (n == best_n) break;
+      } else {
+        // Too big: shed the estimated overflow.
+        size_t over = z.size() - opts.block_size;
+        size_t drop = std::max<size_t>(
+            1, static_cast<size_t>(static_cast<double>(over) * f0 /
+                                   avg_record));
+        if (n <= drop) {
+          if (best_n > 0) break;  // keep the last fitting probe
+          n = std::max<size_t>(1, n / 2);
+        } else {
+          n -= drop;
+        }
+        if (n == 0) n = 1;
+      }
+    }
+    if (best_n == 0) {
+      // A single record can exceed the block size; emit it oversized rather
+      // than failing (the reader handles variable block sizes).
+      best_n = 1;
+      std::string payload = PackRecords(records, start, start);
+      ARCHIS_ASSIGN_OR_RETURN(best_z, ZlibCompress(payload, opts.zlib_level));
+    }
+    CompressedBlock block;
+    block.first_record = start;
+    block.last_record = start + best_n - 1;
+    block.raw_bytes = 0;
+    for (size_t i = start; i < start + best_n; ++i) {
+      block.raw_bytes += records[i].size() + sizeof(uint32_t);
+    }
+    block.data = std::move(best_z);
+    blocks.push_back(std::move(block));
+    start += best_n;
+  }
+  return blocks;
+}
+
+Result<std::vector<std::string>> BlockZipUncompress(
+    const CompressedBlock& block) {
+  ARCHIS_ASSIGN_OR_RETURN(
+      std::string payload,
+      ZlibUncompress(block.data, static_cast<size_t>(block.raw_bytes)));
+  std::vector<std::string> records;
+  size_t pos = 0;
+  while (pos < payload.size()) {
+    if (pos + sizeof(uint32_t) > payload.size()) {
+      return Status::Corruption("truncated record length in block");
+    }
+    uint32_t len;
+    std::memcpy(&len, payload.data() + pos, sizeof(len));
+    pos += sizeof(len);
+    if (pos + len > payload.size()) {
+      return Status::Corruption("truncated record in block");
+    }
+    records.emplace_back(payload.substr(pos, len));
+    pos += len;
+  }
+  return records;
+}
+
+uint64_t TotalCompressedBytes(const std::vector<CompressedBlock>& blocks) {
+  uint64_t total = 0;
+  for (const CompressedBlock& b : blocks) total += b.data.size();
+  return total;
+}
+
+}  // namespace archis::compress

@@ -1,0 +1,61 @@
+// BlockZIP (paper Section 8.1, Algorithm 2): block-granular compression.
+//
+// Instead of compressing a stream as a whole, input records are packed into
+// independently-decompressible blocks whose *compressed* size targets the
+// storage block size (4000 bytes in the paper). Queries that know which
+// blocks they need (via the per-block sid ranges kept by the BlobStore)
+// decompress only those blocks.
+#ifndef ARCHIS_COMPRESS_BLOCK_ZIP_H_
+#define ARCHIS_COMPRESS_BLOCK_ZIP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace archis::compress {
+
+/// One compressed block plus the half-open record range it covers.
+struct CompressedBlock {
+  std::string data;       ///< zlib-deflated bytes
+  uint64_t first_record;  ///< index of the first record in the block
+  uint64_t last_record;   ///< index of the last record in the block
+  uint64_t raw_bytes;     ///< uncompressed payload size
+};
+
+/// BlockZIP configuration.
+struct BlockZipOptions {
+  /// Target compressed block size in bytes (the paper uses 4000-byte BLOBs).
+  size_t block_size = 4000;
+  /// Records sampled to estimate the initial compression factor.
+  size_t sample_records = 64;
+  /// zlib level (1..9).
+  int zlib_level = 6;
+};
+
+/// Raw zlib helpers (deflate/inflate of a whole buffer).
+Result<std::string> ZlibCompress(std::string_view input, int level = 6);
+Result<std::string> ZlibUncompress(std::string_view input,
+                                   size_t expected_size_hint = 0);
+
+/// Compresses `records` into blocks per Algorithm 2: sample to estimate the
+/// compression factor, grow/shrink the records-per-block count so each
+/// compressed block lands near `block_size`, and emit the concatenation of
+/// block-sized compressed blocks.
+///
+/// Records are length-prefixed inside a block so decompression recovers the
+/// exact record boundaries.
+Result<std::vector<CompressedBlock>> BlockZipCompress(
+    const std::vector<std::string>& records, BlockZipOptions opts = {});
+
+/// Decompresses one block back into its records.
+Result<std::vector<std::string>> BlockZipUncompress(
+    const CompressedBlock& block);
+
+/// Total compressed bytes across blocks.
+uint64_t TotalCompressedBytes(const std::vector<CompressedBlock>& blocks);
+
+}  // namespace archis::compress
+
+#endif  // ARCHIS_COMPRESS_BLOCK_ZIP_H_

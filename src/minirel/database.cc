@@ -1,0 +1,17 @@
+#include "minirel/database.h"
+
+namespace archis::minirel {
+
+DatabaseStats Database::Stats() const {
+  DatabaseStats stats;
+  for (const std::string& name : catalog_.TableNames()) {
+    auto table = catalog_.GetTable(name);
+    if (!table.ok()) continue;
+    stats.data_bytes += (*table)->DataBytes();
+    stats.index_bytes += (*table)->IndexBytes();
+    stats.page_count += (*table)->heap().pages().size();
+  }
+  return stats;
+}
+
+}  // namespace archis::minirel

@@ -1,0 +1,40 @@
+// Database: a PageManager plus a Catalog — one minirel instance.
+#ifndef ARCHIS_MINIREL_DATABASE_H_
+#define ARCHIS_MINIREL_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "minirel/catalog.h"
+
+namespace archis::minirel {
+
+/// Aggregate storage statistics of a database.
+struct DatabaseStats {
+  uint64_t data_bytes = 0;
+  uint64_t index_bytes = 0;
+  uint64_t page_count = 0;
+  uint64_t total_bytes() const { return data_bytes + index_bytes; }
+};
+
+/// A self-contained relational database instance.
+class Database {
+ public:
+  Database() : catalog_(&pm_) {}
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  storage::PageManager& page_manager() { return pm_; }
+  const storage::PageManager& page_manager() const { return pm_; }
+
+  /// Sums data and index bytes over all tables.
+  DatabaseStats Stats() const;
+
+ private:
+  storage::PageManager pm_;
+  Catalog catalog_;
+};
+
+}  // namespace archis::minirel
+
+#endif  // ARCHIS_MINIREL_DATABASE_H_

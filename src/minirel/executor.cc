@@ -1,0 +1,265 @@
+#include "minirel/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace archis::minirel {
+
+namespace {
+
+/// Shared base for operators that materialise their output up front.
+class MaterializedIterator : public RowIterator {
+ public:
+  MaterializedIterator(Schema schema, std::vector<Tuple> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const override { return schema_; }
+
+  std::optional<Tuple> Next() override {
+    if (pos_ >= rows_.size()) return std::nullopt;
+    return rows_[pos_++];
+  }
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+// -- Implementation note: the scan operators materialise through the
+// Table/HeapFile callback API rather than re-implementing page walking.
+
+RowIteratorPtr MakePageScan(const Table* table,
+                            std::vector<storage::PageId> pages,
+                            Predicate pred) {
+  std::vector<Tuple> rows;
+  table->heap().ScanPages(
+      pages, [&](const storage::RecordId&, std::string_view bytes) {
+        auto t = Tuple::Decode(table->schema(), bytes);
+        if (t.ok() && pred.Matches(*t)) rows.push_back(std::move(*t));
+        return true;
+      });
+  return std::make_unique<MaterializedIterator>(table->schema(),
+                                                std::move(rows));
+}
+
+RowIteratorPtr MakeSeqScan(const Table* table, Predicate pred) {
+  return MakePageScan(table, table->heap().pages(), std::move(pred));
+}
+
+RowIteratorPtr MakeIndexScan(const Table* table, const TableIndex* index,
+                             IndexKey lo, IndexKey hi, Predicate pred) {
+  std::vector<Tuple> rows;
+  table->IndexScan(*index, lo, hi,
+                   [&](const storage::RecordId&, const Tuple& t) {
+    if (pred.Matches(t)) rows.push_back(t);
+    return true;
+  });
+  return std::make_unique<MaterializedIterator>(table->schema(),
+                                                std::move(rows));
+}
+
+RowIteratorPtr MakeVectorScan(Schema schema, std::vector<Tuple> rows) {
+  return std::make_unique<MaterializedIterator>(std::move(schema),
+                                                std::move(rows));
+}
+
+RowIteratorPtr MakeFilter(RowIteratorPtr input, Predicate pred) {
+  Schema schema = input->schema();
+  std::vector<Tuple> rows;
+  while (auto t = input->Next()) {
+    if (pred.Matches(*t)) rows.push_back(std::move(*t));
+  }
+  return std::make_unique<MaterializedIterator>(std::move(schema),
+                                                std::move(rows));
+}
+
+RowIteratorPtr MakeProject(RowIteratorPtr input,
+                           std::vector<size_t> columns) {
+  std::vector<Column> cols;
+  for (size_t c : columns) cols.push_back(input->schema().column(c));
+  Schema schema{std::move(cols)};
+  std::vector<Tuple> rows;
+  while (auto t = input->Next()) {
+    Tuple out;
+    for (size_t c : columns) out.Append(t->at(c));
+    rows.push_back(std::move(out));
+  }
+  return std::make_unique<MaterializedIterator>(std::move(schema),
+                                                std::move(rows));
+}
+
+RowIteratorPtr MakeSort(RowIteratorPtr input,
+                        std::vector<size_t> sort_cols) {
+  Schema schema = input->schema();
+  std::vector<Tuple> rows;
+  while (auto t = input->Next()) rows.push_back(std::move(*t));
+  std::stable_sort(rows.begin(), rows.end(),
+                   [&sort_cols](const Tuple& a, const Tuple& b) {
+    for (size_t c : sort_cols) {
+      if (a.at(c) < b.at(c)) return true;
+      if (b.at(c) < a.at(c)) return false;
+    }
+    return false;
+  });
+  return std::make_unique<MaterializedIterator>(std::move(schema),
+                                                std::move(rows));
+}
+
+namespace {
+
+Tuple ConcatTuples(const Tuple& a, const Tuple& b) {
+  std::vector<Value> values = a.values();
+  values.insert(values.end(), b.values().begin(), b.values().end());
+  return Tuple(std::move(values));
+}
+
+}  // namespace
+
+RowIteratorPtr MakeSortMergeJoin(RowIteratorPtr left, size_t left_col,
+                                 RowIteratorPtr right, size_t right_col,
+                                 const std::string& right_prefix) {
+  Schema schema = left->schema().Concat(right->schema(), right_prefix);
+  std::vector<Tuple> lrows, rrows, out;
+  while (auto t = left->Next()) lrows.push_back(std::move(*t));
+  while (auto t = right->Next()) rrows.push_back(std::move(*t));
+
+  size_t li = 0, ri = 0;
+  while (li < lrows.size() && ri < rrows.size()) {
+    const Value& lv = lrows[li].at(left_col);
+    const Value& rv = rrows[ri].at(right_col);
+    if (lv < rv) {
+      ++li;
+    } else if (rv < lv) {
+      ++ri;
+    } else {
+      // Emit the cross product of the equal runs.
+      size_t lend = li;
+      while (lend < lrows.size() && lrows[lend].at(left_col) == lv) ++lend;
+      size_t rend = ri;
+      while (rend < rrows.size() && rrows[rend].at(right_col) == rv) ++rend;
+      for (size_t i = li; i < lend; ++i) {
+        for (size_t j = ri; j < rend; ++j) {
+          out.push_back(ConcatTuples(lrows[i], rrows[j]));
+        }
+      }
+      li = lend;
+      ri = rend;
+    }
+  }
+  return std::make_unique<MaterializedIterator>(std::move(schema),
+                                                std::move(out));
+}
+
+RowIteratorPtr MakeHashJoin(RowIteratorPtr left, size_t left_col,
+                            RowIteratorPtr right, size_t right_col,
+                            const std::string& right_prefix) {
+  Schema schema = left->schema().Concat(right->schema(), right_prefix);
+  // Build on the right input, probe with the left.
+  std::multimap<std::string, Tuple> build;
+  while (auto t = right->Next()) {
+    std::string key;
+    t->at(right_col).EncodeTo(&key);
+    build.emplace(std::move(key), std::move(*t));
+  }
+  std::vector<Tuple> out;
+  while (auto t = left->Next()) {
+    std::string key;
+    t->at(left_col).EncodeTo(&key);
+    auto [lo, hi] = build.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      out.push_back(ConcatTuples(*t, it->second));
+    }
+  }
+  return std::make_unique<MaterializedIterator>(std::move(schema),
+                                                std::move(out));
+}
+
+namespace {
+
+struct AggState {
+  int64_t count = 0;
+  double sum = 0;
+  std::optional<Value> min;
+  std::optional<Value> max;
+
+  void Add(const Value& v) {
+    ++count;
+    if (auto d = v.AsNumeric(); d.ok()) sum += *d;
+    if (!min || v < *min) min = v;
+    if (!max || *max < v) max = v;
+  }
+
+  Value Finish(AggFn fn) const {
+    switch (fn) {
+      case AggFn::kCount: return Value(count);
+      case AggFn::kSum: return Value(sum);
+      case AggFn::kAvg: return Value(count == 0 ? 0.0 : sum / count);
+      case AggFn::kMin: return min.value_or(Value(int64_t{0}));
+      case AggFn::kMax: return max.value_or(Value(int64_t{0}));
+    }
+    return Value(int64_t{0});
+  }
+};
+
+}  // namespace
+
+RowIteratorPtr MakeAggregate(RowIteratorPtr input,
+                             std::vector<size_t> group_cols,
+                             std::vector<AggSpec> aggs) {
+  std::vector<Column> cols;
+  for (size_t c : group_cols) cols.push_back(input->schema().column(c));
+  for (const AggSpec& a : aggs) {
+    DataType t = (a.fn == AggFn::kCount) ? DataType::kInt64
+                 : (a.fn == AggFn::kMin || a.fn == AggFn::kMax)
+                     ? input->schema().column(a.col).type
+                     : DataType::kDouble;
+    cols.push_back({a.output_name, t});
+  }
+  Schema schema{std::move(cols)};
+
+  // Group states keyed by the encoded group key; keys kept sorted so output
+  // order is deterministic.
+  std::map<std::string, std::pair<Tuple, std::vector<AggState>>> groups;
+  while (auto t = input->Next()) {
+    std::string key;
+    Tuple key_tuple;
+    for (size_t c : group_cols) {
+      t->at(c).EncodeTo(&key);
+      key_tuple.Append(t->at(c));
+    }
+    auto [it, inserted] = groups.try_emplace(
+        std::move(key), std::move(key_tuple),
+        std::vector<AggState>(aggs.size()));
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      if (aggs[i].fn == AggFn::kCount) {
+        ++it->second.second[i].count;
+      } else {
+        it->second.second[i].Add(t->at(aggs[i].col));
+      }
+    }
+  }
+
+  std::vector<Tuple> rows;
+  rows.reserve(groups.size());
+  for (auto& [key, entry] : groups) {
+    Tuple out = entry.first;
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      out.Append(entry.second[i].Finish(aggs[i].fn));
+    }
+    rows.push_back(std::move(out));
+  }
+  return std::make_unique<MaterializedIterator>(std::move(schema),
+                                                std::move(rows));
+}
+
+std::vector<Tuple> Collect(RowIterator* it) {
+  std::vector<Tuple> rows;
+  while (auto t = it->Next()) rows.push_back(std::move(*t));
+  return rows;
+}
+
+}  // namespace archis::minirel

@@ -1,0 +1,92 @@
+// Pull-based physical operators over minirel tables.
+//
+// The translated SQL/XML queries are executed as trees of these operators:
+// SeqScan / IndexScan -> Filter -> SortMergeJoin (H-tables are id-sorted,
+// Section 5.3: "these joins execute very fast (in linear time) since every
+// table is already sorted on its id attribute") -> Aggregate / Project.
+#ifndef ARCHIS_MINIREL_EXECUTOR_H_
+#define ARCHIS_MINIREL_EXECUTOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minirel/table.h"
+
+namespace archis::minirel {
+
+/// Iterator interface: Next() yields rows until nullopt.
+class RowIterator {
+ public:
+  virtual ~RowIterator() = default;
+
+  /// Schema of the produced rows.
+  virtual const Schema& schema() const = 0;
+
+  /// The next row, or nullopt at end of stream.
+  virtual std::optional<Tuple> Next() = 0;
+};
+
+using RowIteratorPtr = std::unique_ptr<RowIterator>;
+
+/// Full scan of `table`, filtered by `pred`.
+RowIteratorPtr MakeSeqScan(const Table* table, Predicate pred = {});
+
+/// Scan restricted to the given heap pages (segment pruning), filtered.
+RowIteratorPtr MakePageScan(const Table* table,
+                            std::vector<storage::PageId> pages,
+                            Predicate pred = {});
+
+/// Index range scan on `index` for keys in [lo, hi], filtered by `pred`.
+RowIteratorPtr MakeIndexScan(const Table* table, const TableIndex* index,
+                             IndexKey lo, IndexKey hi, Predicate pred = {});
+
+/// Scan of an in-memory row vector (used for intermediate results).
+RowIteratorPtr MakeVectorScan(Schema schema, std::vector<Tuple> rows);
+
+/// Filters `input` by `pred`.
+RowIteratorPtr MakeFilter(RowIteratorPtr input, Predicate pred);
+
+/// Keeps only `columns` (by position), in the given order.
+RowIteratorPtr MakeProject(RowIteratorPtr input, std::vector<size_t> columns);
+
+/// Sorts the input by the given columns ascending (materialising).
+RowIteratorPtr MakeSort(RowIteratorPtr input, std::vector<size_t> sort_cols);
+
+/// Merge-joins two inputs on single-column equality. Both inputs MUST be
+/// sorted on their join column; output is left ++ right columns (right
+/// column names prefixed with `right_prefix` on collision).
+RowIteratorPtr MakeSortMergeJoin(RowIteratorPtr left, size_t left_col,
+                                 RowIteratorPtr right, size_t right_col,
+                                 const std::string& right_prefix);
+
+/// Hash join on single-column equality (no sortedness requirement); the
+/// ablation baseline for the id-sorted merge join.
+RowIteratorPtr MakeHashJoin(RowIteratorPtr left, size_t left_col,
+                            RowIteratorPtr right, size_t right_col,
+                            const std::string& right_prefix);
+
+/// Aggregate functions.
+enum class AggFn { kCount, kSum, kAvg, kMin, kMax };
+
+/// One aggregate to compute: fn over column `col` (ignored for kCount),
+/// output column named `output_name`.
+struct AggSpec {
+  AggFn fn;
+  size_t col;
+  std::string output_name;
+};
+
+/// Grouped aggregation: groups by `group_cols` (in order), emits group key
+/// columns followed by one column per AggSpec. Materialising.
+RowIteratorPtr MakeAggregate(RowIteratorPtr input,
+                             std::vector<size_t> group_cols,
+                             std::vector<AggSpec> aggs);
+
+/// Drains an iterator into a vector.
+std::vector<Tuple> Collect(RowIterator* it);
+
+}  // namespace archis::minirel
+
+#endif  // ARCHIS_MINIREL_EXECUTOR_H_

@@ -1,0 +1,56 @@
+#include "minirel/predicate.h"
+
+namespace archis::minirel {
+
+bool Compare(const Value& lhs, CompareOp op, const Value& rhs) {
+  switch (op) {
+    case CompareOp::kEq: return lhs == rhs;
+    case CompareOp::kNe: return lhs != rhs;
+    case CompareOp::kLt: return lhs < rhs;
+    case CompareOp::kLe: return lhs <= rhs;
+    case CompareOp::kGt: return lhs > rhs;
+    case CompareOp::kGe: return lhs >= rhs;
+  }
+  return false;
+}
+
+Result<CompareOp> ParseCompareOp(const std::string& text) {
+  if (text == "=" || text == "==") return CompareOp::kEq;
+  if (text == "!=" || text == "<>") return CompareOp::kNe;
+  if (text == "<") return CompareOp::kLt;
+  if (text == "<=") return CompareOp::kLe;
+  if (text == ">") return CompareOp::kGt;
+  if (text == ">=") return CompareOp::kGe;
+  return Status::ParseError("unknown comparison operator '" + text + "'");
+}
+
+Predicate& Predicate::WhereConst(size_t col, CompareOp op, Value constant) {
+  const_terms_.push_back({col, op, std::move(constant)});
+  return *this;
+}
+
+Predicate& Predicate::WhereCols(size_t lhs_col, CompareOp op,
+                                size_t rhs_col) {
+  col_terms_.push_back({lhs_col, op, rhs_col});
+  return *this;
+}
+
+Predicate& Predicate::WhereFn(std::function<bool(const Tuple&)> fn) {
+  fn_terms_.push_back(std::move(fn));
+  return *this;
+}
+
+bool Predicate::Matches(const Tuple& t) const {
+  for (const ConstTerm& term : const_terms_) {
+    if (!Compare(t.at(term.col), term.op, term.constant)) return false;
+  }
+  for (const ColTerm& term : col_terms_) {
+    if (!Compare(t.at(term.lhs), term.op, t.at(term.rhs))) return false;
+  }
+  for (const auto& fn : fn_terms_) {
+    if (!fn(t)) return false;
+  }
+  return true;
+}
+
+}  // namespace archis::minirel

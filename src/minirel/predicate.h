@@ -1,0 +1,69 @@
+// Row predicates: column-vs-constant and column-vs-column comparisons
+// composed with AND, plus arbitrary callables for temporal UDF conditions.
+#ifndef ARCHIS_MINIREL_PREDICATE_H_
+#define ARCHIS_MINIREL_PREDICATE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minirel/tuple.h"
+
+namespace archis::minirel {
+
+/// Comparison operators.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Applies `op` to two values.
+bool Compare(const Value& lhs, CompareOp op, const Value& rhs);
+
+/// Parses "=", "!=", "<", "<=", ">", ">=".
+Result<CompareOp> ParseCompareOp(const std::string& text);
+
+/// A conjunctive predicate over tuples of a fixed schema.
+///
+/// Terms are either `column op constant`, `column op column`, or an opaque
+/// callable (used by translated temporal UDFs such as toverlaps).
+class Predicate {
+ public:
+  /// The always-true predicate.
+  Predicate() = default;
+
+  /// Adds `schema[col] op constant`.
+  Predicate& WhereConst(size_t col, CompareOp op, Value constant);
+
+  /// Adds `schema[lhs_col] op schema[rhs_col]`.
+  Predicate& WhereCols(size_t lhs_col, CompareOp op, size_t rhs_col);
+
+  /// Adds an arbitrary boolean function of the tuple.
+  Predicate& WhereFn(std::function<bool(const Tuple&)> fn);
+
+  /// Evaluates against `t`.
+  bool Matches(const Tuple& t) const;
+
+  /// Number of terms.
+  size_t size() const {
+    return const_terms_.size() + col_terms_.size() + fn_terms_.size();
+  }
+
+ private:
+  struct ConstTerm {
+    size_t col;
+    CompareOp op;
+    Value constant;
+  };
+  struct ColTerm {
+    size_t lhs;
+    CompareOp op;
+    size_t rhs;
+  };
+
+  std::vector<ConstTerm> const_terms_;
+  std::vector<ColTerm> col_terms_;
+  std::vector<std::function<bool(const Tuple&)>> fn_terms_;
+};
+
+}  // namespace archis::minirel
+
+#endif  // ARCHIS_MINIREL_PREDICATE_H_

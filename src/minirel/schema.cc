@@ -1,0 +1,37 @@
+#include "minirel/schema.h"
+
+namespace archis::minirel {
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+bool Schema::HasColumn(const std::string& name) const {
+  return ColumnIndex(name).ok();
+}
+
+Schema Schema::Concat(const Schema& other, const std::string& prefix) const {
+  std::vector<Column> cols = columns_;
+  for (const Column& c : other.columns()) {
+    std::string name = c.name;
+    if (HasColumn(name)) name = prefix + "." + name;
+    cols.push_back({name, c.type});
+  }
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ' ';
+    out += DataTypeName(columns_[i].type);
+  }
+  return out;
+}
+
+}  // namespace archis::minirel

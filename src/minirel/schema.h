@@ -1,0 +1,48 @@
+// Relation schemas: ordered, named, typed columns.
+#ifndef ARCHIS_MINIREL_SCHEMA_H_
+#define ARCHIS_MINIREL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "minirel/value.h"
+
+namespace archis::minirel {
+
+/// A column definition.
+struct Column {
+  std::string name;
+  DataType type;
+};
+
+/// An ordered list of columns with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Whether a column named `name` exists.
+  bool HasColumn(const std::string& name) const;
+
+  /// A schema concatenating this schema's columns with `other`'s, columns
+  /// from `other` prefixed when names collide (used by joins).
+  Schema Concat(const Schema& other, const std::string& prefix) const;
+
+  /// "name TYPE, name TYPE, ..." for debugging.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace archis::minirel
+
+#endif  // ARCHIS_MINIREL_SCHEMA_H_

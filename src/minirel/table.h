@@ -1,0 +1,99 @@
+// Tables: a schema, a heap file, and any number of B+-tree indexes.
+#ifndef ARCHIS_MINIREL_TABLE_H_
+#define ARCHIS_MINIREL_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minirel/predicate.h"
+#include "storage/bptree.h"
+#include "storage/heap_file.h"
+
+namespace archis::minirel {
+
+/// Composite index key: values of the indexed columns, compared
+/// lexicographically.
+using IndexKey = std::vector<Value>;
+
+/// A secondary index over a subset of a table's columns.
+struct TableIndex {
+  std::string name;
+  std::vector<size_t> columns;  // indexed column positions, in key order
+  storage::BPlusTree<IndexKey, storage::RecordId> tree;
+};
+
+/// A stored relation.
+class Table {
+ public:
+  Table(std::string name, Schema schema, storage::PageManager* pm)
+      : name_(std::move(name)), schema_(std::move(schema)), heap_(pm) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Inserts `t`, maintaining all indexes. Returns the record id.
+  Result<storage::RecordId> Insert(const Tuple& t);
+
+  /// Reads the tuple at `rid`.
+  Result<Tuple> Read(const storage::RecordId& rid) const;
+
+  /// Deletes the tuple at `rid`, maintaining indexes.
+  Status Delete(const storage::RecordId& rid);
+
+  /// Replaces the tuple at `rid` with `t`; the tuple may move, in which
+  /// case the new record id is written back through `rid`.
+  Status Update(storage::RecordId* rid, const Tuple& t);
+
+  /// Creates a B+-tree index named `index_name` over `column_names`,
+  /// back-filling from existing rows.
+  Status CreateIndex(const std::string& index_name,
+                     const std::vector<std::string>& column_names);
+
+  /// The index named `index_name`, or nullptr.
+  const TableIndex* GetIndex(const std::string& index_name) const;
+
+  /// The first index whose leading column is `column`, or nullptr.
+  const TableIndex* FindIndexOn(const std::string& column) const;
+
+  /// Calls `fn(rid, tuple)` for every live row; stop early on false.
+  void Scan(const std::function<bool(const storage::RecordId&,
+                                     const Tuple&)>& fn) const;
+
+  /// Rows matching `pred` (full scan).
+  std::vector<Tuple> Select(const Predicate& pred) const;
+
+  /// Calls `fn` for rows whose index key is in [lo, hi] on `index`.
+  void IndexScan(const TableIndex& index, const IndexKey& lo,
+                 const IndexKey& hi,
+                 const std::function<bool(const storage::RecordId&,
+                                          const Tuple&)>& fn) const;
+
+  /// Live row count (scan).
+  uint64_t RowCount() const { return heap_.CountLive(); }
+
+  /// Data bytes (heap pages only).
+  uint64_t DataBytes() const { return heap_.SizeBytes(); }
+
+  /// Approximate index bytes across all indexes.
+  uint64_t IndexBytes() const;
+
+  storage::HeapFile& heap() { return heap_; }
+  const storage::HeapFile& heap() const { return heap_; }
+
+ private:
+  IndexKey KeyFor(const TableIndex& index, const Tuple& t) const;
+
+  std::string name_;
+  Schema schema_;
+  storage::HeapFile heap_;
+  std::vector<std::unique_ptr<TableIndex>> indexes_;
+};
+
+}  // namespace archis::minirel
+
+#endif  // ARCHIS_MINIREL_TABLE_H_

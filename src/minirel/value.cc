@@ -1,0 +1,112 @@
+#include "minirel/value.h"
+
+#include <cstring>
+
+namespace archis::minirel {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt64: return "INT64";
+    case DataType::kDouble: return "DOUBLE";
+    case DataType::kString: return "STRING";
+    case DataType::kDate: return "DATE";
+  }
+  return "UNKNOWN";
+}
+
+Result<double> Value::AsNumeric() const {
+  switch (type()) {
+    case DataType::kInt64: return static_cast<double>(AsInt());
+    case DataType::kDouble: return AsDouble();
+    default:
+      return Status::TypeError(std::string("not numeric: ") +
+                               DataTypeName(type()));
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kInt64: return std::to_string(AsInt());
+    case DataType::kDouble: {
+      std::string s = std::to_string(AsDouble());
+      return s;
+    }
+    case DataType::kString: return AsString();
+    case DataType::kDate: return AsDate().ToString();
+  }
+  return "?";
+}
+
+bool Value::operator<(const Value& other) const {
+  if (type() != other.type()) return type() < other.type();
+  return v_ < other.v_;
+}
+
+namespace {
+
+template <typename T>
+void AppendRaw(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool ReadRaw(std::string_view data, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > data.size()) return false;
+  std::memcpy(v, data.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+void Value::EncodeTo(std::string* out) const {
+  switch (type()) {
+    case DataType::kInt64:
+      AppendRaw(out, AsInt());
+      break;
+    case DataType::kDouble:
+      AppendRaw(out, AsDouble());
+      break;
+    case DataType::kString: {
+      const std::string& s = AsString();
+      AppendRaw(out, static_cast<uint32_t>(s.size()));
+      out->append(s);
+      break;
+    }
+    case DataType::kDate:
+      AppendRaw(out, AsDate().days());
+      break;
+  }
+}
+
+Result<Value> Value::DecodeFrom(DataType t, std::string_view data,
+                                size_t* pos) {
+  switch (t) {
+    case DataType::kInt64: {
+      int64_t v;
+      if (!ReadRaw(data, pos, &v)) return Status::Corruption("short int64");
+      return Value(v);
+    }
+    case DataType::kDouble: {
+      double v;
+      if (!ReadRaw(data, pos, &v)) return Status::Corruption("short double");
+      return Value(v);
+    }
+    case DataType::kString: {
+      uint32_t len;
+      if (!ReadRaw(data, pos, &len)) return Status::Corruption("short strlen");
+      if (*pos + len > data.size()) return Status::Corruption("short string");
+      Value v(std::string(data.substr(*pos, len)));
+      *pos += len;
+      return v;
+    }
+    case DataType::kDate: {
+      int64_t days;
+      if (!ReadRaw(data, pos, &days)) return Status::Corruption("short date");
+      return Value(Date(days));
+    }
+  }
+  return Status::Corruption("bad type tag");
+}
+
+}  // namespace archis::minirel

@@ -1,0 +1,74 @@
+// Typed column values for the minirel engine.
+#ifndef ARCHIS_MINIREL_VALUE_H_
+#define ARCHIS_MINIREL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/date.h"
+#include "common/status.h"
+
+namespace archis::minirel {
+
+/// Column data types supported by minirel. DATE is first-class because
+/// every H-table carries tstart/tend columns.
+enum class DataType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+  kDate = 3,
+};
+
+/// Name of a DataType ("INT64", ...).
+const char* DataTypeName(DataType t);
+
+/// A single typed value.
+///
+/// Values of the same type order naturally; values of different types order
+/// by type tag (needed so composite index keys are totally ordered).
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+  explicit Value(Date d) : v_(d) {}
+
+  DataType type() const {
+    return static_cast<DataType>(v_.index());
+  }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  Date AsDate() const { return std::get<Date>(v_); }
+
+  /// Numeric view: int64 and double coerce; anything else is a TypeError.
+  Result<double> AsNumeric() const;
+
+  /// Render for debugging / CSV output.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator<(const Value& other) const;
+  bool operator<=(const Value& other) const { return !(other < *this); }
+  bool operator>(const Value& other) const { return other < *this; }
+  bool operator>=(const Value& other) const { return !(*this < other); }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Appends a compact binary encoding to `out`.
+  void EncodeTo(std::string* out) const;
+
+  /// Decodes a value of type `t` from `data` at `*pos`, advancing `*pos`.
+  static Result<Value> DecodeFrom(DataType t, std::string_view data,
+                                  size_t* pos);
+
+ private:
+  std::variant<int64_t, double, std::string, Date> v_;
+};
+
+}  // namespace archis::minirel
+
+#endif  // ARCHIS_MINIREL_VALUE_H_

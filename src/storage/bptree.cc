@@ -1,0 +1,17 @@
+#include "storage/bptree.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "storage/page.h"
+
+namespace archis::storage {
+
+// Anchor the common instantiations in one translation unit so that every
+// user of the header doesn't re-instantiate them.
+template class BPlusTree<int64_t, RecordId>;
+template class BPlusTree<std::string, RecordId>;
+template class BPlusTree<std::pair<int64_t, int64_t>, RecordId>;
+
+}  // namespace archis::storage

@@ -1,0 +1,67 @@
+#include "storage/page_manager.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace archis::storage {
+
+PageId PageManager::Allocate() {
+  pages_.push_back(std::make_unique<Page>());
+  ++stats_.pages_allocated;
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+const Page& PageManager::ReadPage(PageId id) const {
+  assert(id < pages_.size());
+  ++stats_.page_reads;
+  return *pages_[id];
+}
+
+Page& PageManager::WritePage(PageId id) {
+  assert(id < pages_.size());
+  ++stats_.page_writes;
+  return *pages_[id];
+}
+
+Status PageManager::PersistToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const uint64_t n = pages_.size();
+  if (std::fwrite(&n, sizeof(n), 1, f) != 1) {
+    std::fclose(f);
+    return Status::IOError("short write on " + path);
+  }
+  for (const auto& p : pages_) {
+    if (std::fwrite(p->data(), kPageSize, 1, f) != 1) {
+      std::fclose(f);
+      return Status::IOError("short write on " + path);
+    }
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Status PageManager::LoadFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  uint64_t n = 0;
+  if (std::fread(&n, sizeof(n), 1, f) != 1) {
+    std::fclose(f);
+    return Status::Corruption("truncated page file " + path);
+  }
+  std::vector<std::unique_ptr<Page>> pages;
+  pages.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    auto p = std::make_unique<Page>();
+    if (std::fread(p->mutable_data(), kPageSize, 1, f) != 1) {
+      std::fclose(f);
+      return Status::Corruption("truncated page file " + path);
+    }
+    pages.push_back(std::move(p));
+  }
+  std::fclose(f);
+  pages_ = std::move(pages);
+  return Status::OK();
+}
+
+}  // namespace archis::storage

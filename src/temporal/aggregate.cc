@@ -1,0 +1,178 @@
+#include "temporal/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace archis::temporal {
+namespace {
+
+/// Event sweep shared by all aggregate flavours: at each boundary date the
+/// set of live facts changes; `emit` is called with [from, to] and the live
+/// multiset summary between consecutive boundaries.
+struct SweepState {
+  double sum = 0;
+  int64_t count = 0;
+  std::multiset<double> live;
+};
+
+std::vector<AggregateStep> Sweep(std::vector<TimedNumber> facts,
+                                 TemporalAggFn fn) {
+  // Boundary events: value enters at tstart, leaves after tend.
+  struct Event {
+    Date when;
+    double value;
+    bool enter;
+  };
+  std::vector<Event> events;
+  events.reserve(facts.size() * 2);
+  for (const TimedNumber& f : facts) {
+    if (!f.interval.valid()) continue;
+    events.push_back({f.interval.tstart, f.value, true});
+    if (!f.interval.tend.IsForever()) {
+      events.push_back({f.interval.tend.AddDays(1), f.value, false});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.when < b.when; });
+
+  std::vector<AggregateStep> steps;
+  SweepState st;
+  const bool needs_set = fn == TemporalAggFn::kMax || fn == TemporalAggFn::kMin;
+
+  auto current_value = [&]() -> double {
+    switch (fn) {
+      case TemporalAggFn::kSum: return st.sum;
+      case TemporalAggFn::kAvg:
+        return st.count == 0 ? 0.0 : st.sum / static_cast<double>(st.count);
+      case TemporalAggFn::kCount: return static_cast<double>(st.count);
+      case TemporalAggFn::kMax:
+        return st.live.empty() ? 0.0 : *st.live.rbegin();
+      case TemporalAggFn::kMin:
+        return st.live.empty() ? 0.0 : *st.live.begin();
+    }
+    return 0.0;
+  };
+
+  size_t i = 0;
+  std::optional<Date> open_start;
+  while (i < events.size()) {
+    const Date when = events[i].when;
+    // Close the running interval one day before this boundary.
+    if (open_start && st.count > 0) {
+      AggregateStep step{TimeInterval(*open_start, when.AddDays(-1)),
+                         current_value(), st.count};
+      if (!steps.empty() && steps.back().value == step.value &&
+          steps.back().count == step.count &&
+          steps.back().interval.Meets(step.interval)) {
+        steps.back().interval.tend = step.interval.tend;
+      } else {
+        steps.push_back(step);
+      }
+    }
+    // Apply all events at this date.
+    while (i < events.size() && events[i].when == when) {
+      const Event& e = events[i];
+      if (e.enter) {
+        st.sum += e.value;
+        ++st.count;
+        if (needs_set) st.live.insert(e.value);
+      } else {
+        st.sum -= e.value;
+        --st.count;
+        if (needs_set) {
+          auto it = st.live.find(e.value);
+          if (it != st.live.end()) st.live.erase(it);
+        }
+      }
+      ++i;
+    }
+    open_start = when;
+  }
+  // Tail: if facts remain live, the final step runs to `now`.
+  if (open_start && st.count > 0) {
+    steps.push_back({TimeInterval(*open_start, Date::Forever()),
+                     current_value(), st.count});
+  }
+  return steps;
+}
+
+}  // namespace
+
+std::vector<AggregateStep> TemporalAggregate(std::vector<TimedNumber> facts,
+                                             TemporalAggFn fn) {
+  return Sweep(std::move(facts), fn);
+}
+
+std::vector<xml::XmlNodePtr> TAvgNodes(
+    const std::vector<xml::XmlNodePtr>& nodes) {
+  std::vector<TimedNumber> facts;
+  for (const auto& n : nodes) {
+    auto iv = n->Interval();
+    if (!iv.ok()) continue;
+    char* end = nullptr;
+    const std::string text = n->StringValue();
+    double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str()) continue;  // non-numeric
+    facts.push_back({v, *iv});
+  }
+  std::vector<xml::XmlNodePtr> out;
+  for (const AggregateStep& step :
+       TemporalAggregate(std::move(facts), TemporalAggFn::kAvg)) {
+    auto node = xml::XmlNode::Element("tavg");
+    node->SetInterval(step.interval);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", step.value);
+    node->AppendText(buf);
+    out.push_back(std::move(node));
+  }
+  return out;
+}
+
+std::vector<TimeInterval> RisingIntervals(
+    const std::vector<AggregateStep>& history) {
+  std::vector<TimeInterval> out;
+  size_t i = 0;
+  while (i < history.size()) {
+    size_t j = i;
+    while (j + 1 < history.size() &&
+           history[j + 1].value > history[j].value &&
+           history[j].interval.OverlapsOrMeets(history[j + 1].interval)) {
+      ++j;
+    }
+    if (j > i) {
+      out.push_back(TimeInterval(history[i].interval.tstart,
+                                 history[j].interval.tend));
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+std::vector<AggregateStep> MovingWindowAvg(
+    const std::vector<AggregateStep>& history, int64_t window_days) {
+  std::vector<AggregateStep> out;
+  for (const AggregateStep& step : history) {
+    const Date to = step.interval.tend;
+    const Date from_limit =
+        to.IsForever() ? step.interval.tstart : to.AddDays(-(window_days - 1));
+    double weighted = 0;
+    int64_t days = 0;
+    for (const AggregateStep& h : history) {
+      if (h.interval.tstart > to) break;
+      TimeInterval clip(MaxDate(h.interval.tstart, from_limit),
+                        MinDate(h.interval.tend, to));
+      if (!clip.valid()) continue;
+      weighted += h.value * static_cast<double>(clip.duration_days());
+      days += clip.duration_days();
+    }
+    out.push_back({step.interval,
+                   days == 0 ? 0.0 : weighted / static_cast<double>(days),
+                   step.count});
+  }
+  return out;
+}
+
+}  // namespace archis::temporal

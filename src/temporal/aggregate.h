@@ -1,0 +1,58 @@
+// Temporal aggregates via the single-scan sweep the paper describes for
+// `tavg` (QUERY 5): build +value / -value events at interval endpoints,
+// sort by timestamp, and emit a constant-valued interval whenever the
+// running sum changes.
+#ifndef ARCHIS_TEMPORAL_AGGREGATE_H_
+#define ARCHIS_TEMPORAL_AGGREGATE_H_
+
+#include <vector>
+
+#include "common/interval.h"
+#include "xml/node.h"
+
+namespace archis::temporal {
+
+/// A numeric fact with its validity interval.
+struct TimedNumber {
+  double value;
+  TimeInterval interval;
+};
+
+/// One step of an aggregate history: the aggregate held `value` over
+/// `interval`.
+struct AggregateStep {
+  TimeInterval interval;
+  double value;
+  int64_t count;  ///< facts live during the interval
+
+  bool operator==(const AggregateStep&) const = default;
+};
+
+/// Which temporal aggregate to compute.
+enum class TemporalAggFn { kSum, kAvg, kCount, kMax, kMin };
+
+/// Computes the history of `fn` over the facts in one sweep.
+///
+/// kSum/kAvg/kCount run in O(n log n); kMax/kMin use an endpoint sweep with
+/// a multiset of live values. Adjacent steps with equal values coalesce.
+std::vector<AggregateStep> TemporalAggregate(std::vector<TimedNumber> facts,
+                                             TemporalAggFn fn);
+
+/// The paper's `tavg($s)` over timestamped elements whose string values are
+/// numeric: returns `<tavg tstart=.. tend=..>value</tavg>` elements.
+std::vector<xml::XmlNodePtr> TAvgNodes(
+    const std::vector<xml::XmlNodePtr>& nodes);
+
+/// RISING: maximal intervals over which the aggregate history is strictly
+/// rising (a paper-mentioned extension aggregate).
+std::vector<TimeInterval> RisingIntervals(
+    const std::vector<AggregateStep>& history);
+
+/// Moving-window aggregate: for each step boundary, the average of the
+/// aggregate history over the trailing `window_days`.
+std::vector<AggregateStep> MovingWindowAvg(
+    const std::vector<AggregateStep>& history, int64_t window_days);
+
+}  // namespace archis::temporal
+
+#endif  // ARCHIS_TEMPORAL_AGGREGATE_H_

@@ -1,0 +1,63 @@
+#include "temporal/coalesce.h"
+
+#include <algorithm>
+#include <map>
+
+namespace archis::temporal {
+
+std::vector<TimeInterval> CoalesceIntervals(std::vector<TimeInterval> in) {
+  std::sort(in.begin(), in.end());
+  std::vector<TimeInterval> out;
+  for (const TimeInterval& iv : in) {
+    if (!iv.valid()) continue;
+    if (!out.empty() && out.back().OverlapsOrMeets(iv)) {
+      out.back() = out.back().Span(iv);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+std::vector<TimedValue> CoalesceValues(std::vector<TimedValue> in) {
+  std::map<std::string, std::vector<TimeInterval>> by_value;
+  for (TimedValue& tv : in) {
+    by_value[tv.value].push_back(tv.interval);
+  }
+  std::vector<TimedValue> out;
+  for (auto& [value, intervals] : by_value) {
+    for (const TimeInterval& iv : CoalesceIntervals(std::move(intervals))) {
+      out.push_back({value, iv});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TimedValue& a, const TimedValue& b) {
+    if (a.interval.tstart != b.interval.tstart) {
+      return a.interval.tstart < b.interval.tstart;
+    }
+    return a.value < b.value;
+  });
+  return out;
+}
+
+std::vector<xml::XmlNodePtr> CoalesceNodes(
+    const std::vector<xml::XmlNodePtr>& nodes) {
+  std::vector<TimedValue> timed;
+  std::string tag;
+  for (const auto& n : nodes) {
+    auto iv = n->Interval();
+    if (!iv.ok()) continue;
+    if (tag.empty()) tag = n->name();
+    timed.push_back({n->StringValue(), *iv});
+  }
+  std::vector<xml::XmlNodePtr> out;
+  for (const TimedValue& tv : CoalesceValues(std::move(timed))) {
+    auto node = xml::XmlNode::Element(tag.empty() ? "value" : tag);
+    node->SetInterval(tv.interval);
+    node->AppendText(tv.value);
+    out.push_back(std::move(node));
+  }
+  return out;
+}
+
+}  // namespace archis::temporal

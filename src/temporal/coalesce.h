@@ -1,0 +1,43 @@
+// Temporal coalescing: merging value-equivalent timestamped facts whose
+// intervals overlap or are adjacent (paper Section 3).
+//
+// Under the temporally-grouped H-document model most data arrives already
+// coalesced; these routines implement the general operation for query
+// results and for the grouping step of the publisher/archiver.
+#ifndef ARCHIS_TEMPORAL_COALESCE_H_
+#define ARCHIS_TEMPORAL_COALESCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "xml/node.h"
+
+namespace archis::temporal {
+
+/// A fact: an opaque value string plus its transaction-time interval.
+struct TimedValue {
+  std::string value;
+  TimeInterval interval;
+
+  bool operator==(const TimedValue&) const = default;
+};
+
+/// Coalesces a set of intervals (no values): the minimal set of disjoint,
+/// non-adjacent intervals with the same coverage, sorted by start.
+std::vector<TimeInterval> CoalesceIntervals(std::vector<TimeInterval> in);
+
+/// Coalesces timed values: value-equivalent entries with overlapping or
+/// adjacent intervals merge. Output is sorted by (start, value).
+std::vector<TimedValue> CoalesceValues(std::vector<TimedValue> in);
+
+/// Coalesces a list of timestamped XML elements (the paper's
+/// `coalesce($l)` UDF): elements are value-equivalent when their string
+/// values are equal; returns fresh elements with merged intervals,
+/// preserving the elements' tag name.
+std::vector<xml::XmlNodePtr> CoalesceNodes(
+    const std::vector<xml::XmlNodePtr>& nodes);
+
+}  // namespace archis::temporal
+
+#endif  // ARCHIS_TEMPORAL_COALESCE_H_

@@ -1,0 +1,40 @@
+#include "temporal/now.h"
+
+namespace archis::temporal {
+namespace {
+
+void RewriteRec(const xml::XmlNodePtr& node, const std::string& sentinel,
+                const std::string& replacement) {
+  if (node->is_element()) {
+    for (const xml::XmlAttr& a : node->attrs()) {
+      if (a.value == sentinel) {
+        node->SetAttr(a.name, replacement);
+      }
+    }
+    for (const auto& child : node->children()) {
+      RewriteRec(child, sentinel, replacement);
+    }
+  }
+}
+
+}  // namespace
+
+std::string ForeverString() { return Date::Forever().ToString(); }
+
+xml::XmlNodePtr Rtend(const xml::XmlNodePtr& node, Date current_date) {
+  xml::XmlNodePtr copy = node->Clone();
+  RewriteRec(copy, ForeverString(), current_date.ToString());
+  return copy;
+}
+
+xml::XmlNodePtr ExternalNow(const xml::XmlNodePtr& node) {
+  xml::XmlNodePtr copy = node->Clone();
+  RewriteRec(copy, ForeverString(), "now");
+  return copy;
+}
+
+Date EffectiveEnd(const TimeInterval& iv, Date as_of) {
+  return iv.tend.IsForever() ? as_of : iv.tend;
+}
+
+}  // namespace archis::temporal

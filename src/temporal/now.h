@@ -1,0 +1,31 @@
+// Handling of `now` / until-changed (paper Section 4.3).
+//
+// Internally current tuples carry the end-of-time sentinel 9999-12-31 so
+// ordinary ordering and index techniques work unchanged. For end users,
+// `rtend` rewrites the sentinel to the current date and `externalnow`
+// rewrites it to the literal string "now".
+#ifndef ARCHIS_TEMPORAL_NOW_H_
+#define ARCHIS_TEMPORAL_NOW_H_
+
+#include "common/date.h"
+#include "xml/node.h"
+
+namespace archis::temporal {
+
+/// The sentinel's textual form, "9999-12-31".
+std::string ForeverString();
+
+/// Recursively replaces every tstart/tend attribute (and text occurrence)
+/// equal to the sentinel with `current_date` in a deep copy of `node`.
+xml::XmlNodePtr Rtend(const xml::XmlNodePtr& node, Date current_date);
+
+/// Recursively replaces the sentinel with the string "now" in a deep copy.
+xml::XmlNodePtr ExternalNow(const xml::XmlNodePtr& node);
+
+/// `tend` semantics for query predicates: the end of `iv`, or `as_of` when
+/// the interval is current — divorcing queries from the sentinel encoding.
+Date EffectiveEnd(const TimeInterval& iv, Date as_of);
+
+}  // namespace archis::temporal
+
+#endif  // ARCHIS_TEMPORAL_NOW_H_

@@ -1,0 +1,43 @@
+#include "temporal/restructure.h"
+
+#include <algorithm>
+
+namespace archis::temporal {
+
+std::vector<TimeInterval> RestructureIntervals(
+    const std::vector<TimeInterval>& a, const std::vector<TimeInterval>& b) {
+  std::vector<TimeInterval> out;
+  for (const TimeInterval& x : a) {
+    for (const TimeInterval& y : b) {
+      if (auto iv = x.Intersect(y)) out.push_back(*iv);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TimeInterval> RestructureNodes(
+    const std::vector<xml::XmlNodePtr>& a,
+    const std::vector<xml::XmlNodePtr>& b) {
+  auto intervals = [](const std::vector<xml::XmlNodePtr>& nodes) {
+    std::vector<TimeInterval> out;
+    for (const auto& n : nodes) {
+      if (auto iv = n->Interval(); iv.ok()) out.push_back(*iv);
+    }
+    return out;
+  };
+  return RestructureIntervals(intervals(a), intervals(b));
+}
+
+int64_t MaxDurationDays(const std::vector<TimeInterval>& intervals,
+                        Date as_of) {
+  int64_t best = 0;
+  for (const TimeInterval& iv : intervals) {
+    Date end = iv.tend.IsForever() ? as_of : iv.tend;
+    if (end < iv.tstart) continue;
+    best = std::max(best, end - iv.tstart + 1);
+  }
+  return best;
+}
+
+}  // namespace archis::temporal

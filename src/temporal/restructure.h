@@ -1,0 +1,33 @@
+// Temporal restructuring: intersecting the interval structure of two
+// element lists (the paper's `restructure($a,$b)` UDF, used by QUERY 6 to
+// find maximal periods in which neither title nor department changed).
+#ifndef ARCHIS_TEMPORAL_RESTRUCTURE_H_
+#define ARCHIS_TEMPORAL_RESTRUCTURE_H_
+
+#include <vector>
+
+#include "common/interval.h"
+#include "xml/node.h"
+
+namespace archis::temporal {
+
+/// All pairwise intersections of intervals from `a` and `b`, sorted by
+/// start. Each output interval is a maximal period during which one value
+/// of `a` and one value of `b` both held.
+std::vector<TimeInterval> RestructureIntervals(
+    const std::vector<TimeInterval>& a, const std::vector<TimeInterval>& b);
+
+/// Node-list flavour: reads tstart/tend from each element; elements
+/// without intervals are ignored.
+std::vector<TimeInterval> RestructureNodes(
+    const std::vector<xml::XmlNodePtr>& a,
+    const std::vector<xml::XmlNodePtr>& b);
+
+/// Longest duration (in days) among `intervals`; 0 when empty. Intervals
+/// ending at the `now` sentinel are measured up to `as_of`.
+int64_t MaxDurationDays(const std::vector<TimeInterval>& intervals,
+                        Date as_of);
+
+}  // namespace archis::temporal
+
+#endif  // ARCHIS_TEMPORAL_RESTRUCTURE_H_

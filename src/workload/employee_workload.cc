@@ -1,0 +1,271 @@
+#include "workload/employee_workload.h"
+
+namespace archis::workload {
+
+using minirel::DataType;
+using minirel::Schema;
+using minirel::Tuple;
+using minirel::Value;
+
+Schema EmployeeWorkload::EmployeeSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"salary", DataType::kInt64},
+                 {"title", DataType::kString},
+                 {"deptno", DataType::kString}});
+}
+
+Schema EmployeeWorkload::DeptSchema() {
+  return Schema({{"deptno_id", DataType::kInt64},
+                 {"deptno", DataType::kString},
+                 {"deptname", DataType::kString},
+                 {"mgrno", DataType::kInt64}});
+}
+
+namespace {
+
+const char* kFirstNames[] = {"Bob",   "Alice", "Carol", "David", "Erin",
+                             "Frank", "Grace", "Heidi", "Ivan",  "Judy",
+                             "Karl",  "Liu",   "Mary",  "Nikos", "Olga",
+                             "Pavel", "Qing",  "Rosa",  "Sven",  "Tara"};
+const char* kLastNames[] = {"Smith", "Jones", "Zhang", "Kumar", "Okafor",
+                            "Silva", "Novak", "Haddad", "Moreau", "Tanaka",
+                            "Muller", "Rossi", "Kim",   "Lopez", "Ivanov",
+                            "Chen",  "Patel", "Weber", "Santos", "Nagy"};
+const char* kTitles[] = {"Engineer", "Sr Engineer", "TechLeader",
+                         "Staff Engineer", "Manager", "Analyst",
+                         "Sr Analyst", "Architect"};
+const char* kDeptNames[] = {"QA", "RD", "Sales", "Marketing", "Support",
+                            "Ops", "Finance", "HR", "Legal"};
+
+}  // namespace
+
+std::string EmployeeWorkload::RandomName() {
+  return std::string(kFirstNames[rng_() % std::size(kFirstNames)]) + " " +
+         kLastNames[rng_() % std::size(kLastNames)];
+}
+
+std::string EmployeeWorkload::RandomTitle() {
+  return kTitles[rng_() % std::size(kTitles)];
+}
+
+std::string EmployeeWorkload::RandomDept() {
+  int d = static_cast<int>(rng_() % static_cast<uint64_t>(
+                                        config_.num_depts)) + 1;
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "d%02d", d);
+  return buf;
+}
+
+Tuple EmployeeWorkload::EmployeeRow(const EmpState& e) const {
+  return Tuple{Value(e.id), Value(e.name), Value(e.salary), Value(e.title),
+               Value(e.deptno)};
+}
+
+Status EmployeeWorkload::RegisterRelations(core::ArchIS* db) {
+  ARCHIS_RETURN_NOT_OK(db->CreateRelation(
+      "employees", EmployeeSchema(), {"id"},
+      {"employees", "employees", "employee"}, "employees.xml"));
+  ARCHIS_RETURN_NOT_OK(db->CreateRelation(
+      "depts", DeptSchema(), {"deptno_id"}, {"depts", "depts", "dept"},
+      "depts.xml"));
+  // Seed departments.
+  dept_mgrs_.assign(static_cast<size_t>(config_.num_depts), 0);
+  for (int d = 1; d <= config_.num_depts; ++d) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "d%02d", d);
+    int64_t mgr = 2000 + static_cast<int64_t>(rng_() % 3000);
+    dept_mgrs_[static_cast<size_t>(d - 1)] = mgr;
+    ARCHIS_RETURN_NOT_OK(db->Insert(
+        "depts",
+        Tuple{Value(static_cast<int64_t>(d)), Value(std::string(buf)),
+              Value(std::string(kDeptNames[(d - 1) %
+                                           static_cast<int>(
+                                               std::size(kDeptNames))])),
+              Value(mgr)}));
+  }
+  return Status::OK();
+}
+
+Status EmployeeWorkload::HireEmployee(core::ArchIS* db,
+                                      WorkloadStats* stats) {
+  EmpState e;
+  e.id = next_id_++;
+  e.name = RandomName();
+  e.salary = 30000 + static_cast<int64_t>(rng_() % 50000);
+  e.title = RandomTitle();
+  e.deptno = RandomDept();
+  ARCHIS_RETURN_NOT_OK(db->Insert("employees", EmployeeRow(e)));
+  all_ids_.push_back(e.id);
+  employees_.push_back(std::move(e));
+  if (stats != nullptr) ++stats->inserts;
+  return Status::OK();
+}
+
+Result<WorkloadStats> EmployeeWorkload::Generate(core::ArchIS* db) {
+  rng_.seed(config_.seed);
+  employees_.clear();
+  all_ids_.clear();
+  next_id_ = 100001;
+  probe_id_ = 100001;
+
+  WorkloadStats stats;
+  ARCHIS_RETURN_NOT_OK(db->AdvanceClock(config_.start_date));
+  ARCHIS_RETURN_NOT_OK(RegisterRelations(db));
+
+  // Initial hires spread over the first 90 days.
+  for (int i = 0; i < config_.initial_employees; ++i) {
+    ARCHIS_RETURN_NOT_OK(
+        db->AdvanceClock(config_.start_date.AddDays(
+            static_cast<int64_t>(i) * 90 / config_.initial_employees)));
+    ARCHIS_RETURN_NOT_OK(HireEmployee(db, &stats));
+  }
+
+  // Yearly passes: each employee draws its events on random days.
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (int year = 0; year < config_.years; ++year) {
+    Date year_start = config_.start_date.AddDays(365LL * year);
+    // Year 0 events must not predate the 90-day initial hiring window.
+    const int64_t day_lo = year == 0 ? 90 : 0;
+    auto event_day = [&]() {
+      return day_lo + static_cast<int64_t>(
+                          rng_() % static_cast<uint64_t>(365 - day_lo));
+    };
+    // Collect (day offset, action) events, then replay in date order since
+    // transaction time is monotone.
+    struct Event {
+      int64_t day;
+      int kind;  // 0 raise, 1 title, 2 dept, 3 term, 4 hire, 5 mgr change
+      size_t subject;
+    };
+    std::vector<Event> events;
+    for (size_t i = 0; i < employees_.size(); ++i) {
+      if (!employees_[i].active) continue;
+      if (coin(rng_) < config_.raise_prob) {
+        events.push_back({event_day(), 0, i});
+      }
+      if (coin(rng_) < config_.title_change_prob) {
+        events.push_back({event_day(), 1, i});
+      }
+      if (coin(rng_) < config_.dept_change_prob) {
+        events.push_back({event_day(), 2, i});
+      }
+      if (coin(rng_) < config_.termination_prob && employees_[i].id != probe_id_) {
+        events.push_back({event_day(), 3, i});
+      }
+      if (coin(rng_) < config_.hire_rate) {
+        events.push_back({event_day(), 4, 0});
+      }
+    }
+    for (int d = 0; d < config_.num_depts; ++d) {
+      if (coin(rng_) < config_.mgr_change_prob) {
+        events.push_back({event_day(), 5, static_cast<size_t>(d)});
+      }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) { return a.day < b.day; });
+
+    for (const Event& ev : events) {
+      ARCHIS_RETURN_NOT_OK(db->AdvanceClock(year_start.AddDays(ev.day)));
+      switch (ev.kind) {
+        case 0: {
+          EmpState& e = employees_[ev.subject];
+          if (!e.active) break;
+          e.salary += 500 + static_cast<int64_t>(rng_() % 5000);
+          ARCHIS_RETURN_NOT_OK(
+              db->Update("employees", {Value(e.id)}, EmployeeRow(e)));
+          ++stats.updates;
+          break;
+        }
+        case 1: {
+          EmpState& e = employees_[ev.subject];
+          if (!e.active) break;
+          std::string t = RandomTitle();
+          if (t == e.title) break;
+          e.title = t;
+          ARCHIS_RETURN_NOT_OK(
+              db->Update("employees", {Value(e.id)}, EmployeeRow(e)));
+          ++stats.updates;
+          break;
+        }
+        case 2: {
+          EmpState& e = employees_[ev.subject];
+          if (!e.active) break;
+          std::string d = RandomDept();
+          if (d == e.deptno) break;
+          e.deptno = d;
+          ARCHIS_RETURN_NOT_OK(
+              db->Update("employees", {Value(e.id)}, EmployeeRow(e)));
+          ++stats.updates;
+          break;
+        }
+        case 3: {
+          EmpState& e = employees_[ev.subject];
+          if (!e.active) break;
+          e.active = false;
+          ARCHIS_RETURN_NOT_OK(db->Delete("employees", {Value(e.id)}));
+          ++stats.deletes;
+          break;
+        }
+        case 4:
+          ARCHIS_RETURN_NOT_OK(HireEmployee(db, &stats));
+          break;
+        case 5: {
+          size_t d = ev.subject;
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "d%02zu", d + 1);
+          int64_t mgr = 2000 + static_cast<int64_t>(rng_() % 3000);
+          dept_mgrs_[d] = mgr;
+          ARCHIS_RETURN_NOT_OK(db->Update(
+              "depts", {Value(static_cast<int64_t>(d + 1))},
+              Tuple{Value(static_cast<int64_t>(d + 1)),
+                    Value(std::string(buf)),
+                    Value(std::string(
+                        kDeptNames[d % std::size(kDeptNames)])),
+                    Value(mgr)}));
+          ++stats.updates;
+          break;
+        }
+      }
+    }
+    stats.days_simulated += 365;
+  }
+  ARCHIS_RETURN_NOT_OK(db->AdvanceClock(
+      config_.start_date.AddDays(365LL * config_.years)));
+  ARCHIS_RETURN_NOT_OK(db->FlushLog());
+  for (const EmpState& e : employees_) {
+    if (e.active) ++stats.final_employee_count;
+  }
+  return stats;
+}
+
+Result<WorkloadStats> EmployeeWorkload::SimulateDay(core::ArchIS* db) {
+  WorkloadStats stats;
+  Date next = db->Now().AddDays(1);
+  ARCHIS_RETURN_NOT_OK(db->AdvanceClock(next));
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  // A day's worth of the yearly rates.
+  for (EmpState& e : employees_) {
+    if (!e.active) continue;
+    if (coin(rng_) < config_.raise_prob / 365.0) {
+      e.salary += 500 + static_cast<int64_t>(rng_() % 5000);
+      ARCHIS_RETURN_NOT_OK(
+          db->Update("employees", {Value(e.id)}, EmployeeRow(e)));
+      ++stats.updates;
+    }
+    if (coin(rng_) < config_.title_change_prob / 365.0) {
+      std::string t = RandomTitle();
+      if (t != e.title) {
+        e.title = t;
+        ARCHIS_RETURN_NOT_OK(
+            db->Update("employees", {Value(e.id)}, EmployeeRow(e)));
+        ++stats.updates;
+      }
+    }
+  }
+  ARCHIS_RETURN_NOT_OK(db->FlushLog());
+  stats.days_simulated = 1;
+  return stats;
+}
+
+}  // namespace archis::workload

@@ -1,0 +1,104 @@
+// Synthetic temporal employee workload (substitute for the TimeCenter
+// employee data set the paper evaluates on [39]).
+//
+// Models the same process: a population of employees over ~17 years with
+// salary increases, title changes, department transfers, hires and
+// terminations, plus a `dept` relation with manager changes. Seedable and
+// scalable (the paper's scalability experiment uses a 7x larger set).
+#ifndef ARCHIS_WORKLOAD_EMPLOYEE_WORKLOAD_H_
+#define ARCHIS_WORKLOAD_EMPLOYEE_WORKLOAD_H_
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "archis/archis.h"
+
+namespace archis::workload {
+
+/// Workload parameters.
+struct WorkloadConfig {
+  uint64_t seed = 20060401;
+  int initial_employees = 300;   ///< hired in the first year
+  int years = 17;                ///< paper: 17 years of history
+  Date start_date = Date::FromYmd(1985, 1, 1);
+  int num_depts = 9;
+  // Per-employee-per-year event probabilities.
+  double raise_prob = 0.9;       ///< annual salary raise
+  double title_change_prob = 0.15;
+  double dept_change_prob = 0.10;
+  double termination_prob = 0.03;
+  double hire_rate = 0.05;       ///< new hires per existing employee per year
+  double mgr_change_prob = 0.25; ///< per dept per year
+};
+
+/// Workload statistics after generation.
+struct WorkloadStats {
+  uint64_t inserts = 0;
+  uint64_t updates = 0;
+  uint64_t deletes = 0;
+  uint64_t days_simulated = 0;
+  int final_employee_count = 0;
+};
+
+/// Drives an ArchIS instance through the simulated history.
+class EmployeeWorkload {
+ public:
+  explicit EmployeeWorkload(WorkloadConfig config) : config_(config) {}
+
+  /// Schema of the `employees` relation:
+  /// employee(id INT64, name STRING, salary INT64, title STRING,
+  ///          deptno STRING).
+  static minirel::Schema EmployeeSchema();
+
+  /// Schema of the `depts` relation:
+  /// dept(deptno_id INT64, deptno STRING, deptname STRING, mgrno INT64).
+  static minirel::Schema DeptSchema();
+
+  /// Registers both relations on `db` (doc names "employees.xml" and
+  /// "depts.xml") and replays the full simulated history into it.
+  Result<WorkloadStats> Generate(core::ArchIS* db);
+
+  /// Replays one day of updates against an already-generated database
+  /// (Section 8.4's "simulated daily update"). The clock advances by one
+  /// day.
+  Result<WorkloadStats> SimulateDay(core::ArchIS* db);
+
+  /// Ids of employees ever hired (for query parameter sampling).
+  const std::vector<int64_t>& employee_ids() const { return all_ids_; }
+
+  /// An id that exists for the whole history (the "single object" of the
+  /// paper's Q1/Q3).
+  int64_t probe_id() const { return probe_id_; }
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  struct EmpState {
+    int64_t id;
+    std::string name;
+    int64_t salary;
+    std::string title;
+    std::string deptno;
+    bool active = true;
+  };
+
+  Status RegisterRelations(core::ArchIS* db);
+  Status HireEmployee(core::ArchIS* db, WorkloadStats* stats);
+  minirel::Tuple EmployeeRow(const EmpState& e) const;
+  std::string RandomName();
+  std::string RandomTitle();
+  std::string RandomDept();
+
+  WorkloadConfig config_;
+  std::mt19937_64 rng_{0};
+  std::vector<EmpState> employees_;
+  std::vector<int64_t> all_ids_;
+  std::vector<int64_t> dept_mgrs_;
+  int64_t next_id_ = 100001;
+  int64_t probe_id_ = 100001;
+};
+
+}  // namespace archis::workload
+
+#endif  // ARCHIS_WORKLOAD_EMPLOYEE_WORKLOAD_H_

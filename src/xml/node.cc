@@ -1,0 +1,109 @@
+#include "xml/node.h"
+
+namespace archis::xml {
+
+XmlNodePtr XmlNode::Element(std::string name) {
+  auto node = XmlNodePtr(new XmlNode(NodeKind::kElement));
+  node->name_ = std::move(name);
+  return node;
+}
+
+XmlNodePtr XmlNode::Text(std::string content) {
+  auto node = XmlNodePtr(new XmlNode(NodeKind::kText));
+  node->text_ = std::move(content);
+  return node;
+}
+
+std::string XmlNode::StringValue() const {
+  if (is_text()) return text_;
+  std::string out;
+  for (const auto& child : children_) out += child->StringValue();
+  return out;
+}
+
+std::optional<std::string> XmlNode::Attr(const std::string& name) const {
+  for (const auto& a : attrs_) {
+    if (a.name == name) return a.value;
+  }
+  return std::nullopt;
+}
+
+void XmlNode::SetAttr(const std::string& name, std::string value) {
+  for (auto& a : attrs_) {
+    if (a.name == name) {
+      a.value = std::move(value);
+      return;
+    }
+  }
+  attrs_.push_back({name, std::move(value)});
+}
+
+Result<TimeInterval> XmlNode::Interval() const {
+  auto s = Attr("tstart");
+  auto e = Attr("tend");
+  if (!s || !e) {
+    return Status::NotFound("element <" + name_ + "> has no tstart/tend");
+  }
+  ARCHIS_ASSIGN_OR_RETURN(Date start, Date::Parse(*s));
+  ARCHIS_ASSIGN_OR_RETURN(Date end, Date::Parse(*e));
+  return TimeInterval(start, end);
+}
+
+void XmlNode::SetInterval(const TimeInterval& iv) {
+  SetAttr("tstart", iv.tstart.ToString());
+  SetAttr("tend", iv.tend.ToString());
+}
+
+void XmlNode::AppendChild(XmlNodePtr child) {
+  child->parent_ = weak_from_this();
+  children_.push_back(std::move(child));
+}
+
+void XmlNode::AppendText(std::string text) {
+  AppendChild(Text(std::move(text)));
+}
+
+std::vector<XmlNodePtr> XmlNode::ChildrenNamed(
+    const std::string& name) const {
+  std::vector<XmlNodePtr> out;
+  for (const auto& c : children_) {
+    if (c->is_element() && c->name() == name) out.push_back(c);
+  }
+  return out;
+}
+
+XmlNodePtr XmlNode::FirstChildNamed(const std::string& name) const {
+  for (const auto& c : children_) {
+    if (c->is_element() && c->name() == name) return c;
+  }
+  return nullptr;
+}
+
+std::vector<XmlNodePtr> XmlNode::ChildElements() const {
+  std::vector<XmlNodePtr> out;
+  for (const auto& c : children_) {
+    if (c->is_element()) out.push_back(c);
+  }
+  return out;
+}
+
+XmlNodePtr XmlNode::Clone() const {
+  XmlNodePtr copy;
+  if (is_text()) {
+    copy = Text(text_);
+  } else {
+    copy = Element(name_);
+    copy->attrs_ = attrs_;
+    for (const auto& c : children_) copy->AppendChild(c->Clone());
+  }
+  return copy;
+}
+
+size_t XmlNode::CountElements() const {
+  if (is_text()) return 0;
+  size_t n = 1;
+  for (const auto& c : children_) n += c->CountElements();
+  return n;
+}
+
+}  // namespace archis::xml

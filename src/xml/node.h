@@ -1,0 +1,111 @@
+// XML document object model used for H-documents and query results.
+//
+// Nodes are reference-counted so XQuery sequences can hold references into
+// documents cheaply; parents are back-linked weakly. Every element may
+// carry the paper's tstart/tend attributes, exposed as typed accessors.
+#ifndef ARCHIS_XML_NODE_H_
+#define ARCHIS_XML_NODE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/status.h"
+
+namespace archis::xml {
+
+class XmlNode;
+using XmlNodePtr = std::shared_ptr<XmlNode>;
+
+/// Kind of node: element or text.
+enum class NodeKind { kElement, kText };
+
+/// An attribute on an element.
+struct XmlAttr {
+  std::string name;
+  std::string value;
+};
+
+/// A DOM node.
+class XmlNode : public std::enable_shared_from_this<XmlNode> {
+ public:
+  /// Creates an element node.
+  static XmlNodePtr Element(std::string name);
+
+  /// Creates a text node.
+  static XmlNodePtr Text(std::string content);
+
+  NodeKind kind() const { return kind_; }
+  bool is_element() const { return kind_ == NodeKind::kElement; }
+  bool is_text() const { return kind_ == NodeKind::kText; }
+
+  /// Element tag name (empty for text nodes).
+  const std::string& name() const { return name_; }
+
+  /// Text content for text nodes; for elements, the concatenation of all
+  /// descendant text (the XPath string value).
+  std::string StringValue() const;
+
+  // -- Attributes ---------------------------------------------------------
+
+  const std::vector<XmlAttr>& attrs() const { return attrs_; }
+
+  /// The attribute value, or nullopt.
+  std::optional<std::string> Attr(const std::string& name) const;
+
+  /// Sets (or replaces) an attribute.
+  void SetAttr(const std::string& name, std::string value);
+
+  // -- Temporal accessors (paper Section 3) --------------------------------
+
+  /// The element's [tstart, tend] interval parsed from its attributes;
+  /// NotFound when either attribute is missing.
+  Result<TimeInterval> Interval() const;
+
+  /// Sets tstart/tend attributes from an interval.
+  void SetInterval(const TimeInterval& iv);
+
+  // -- Tree structure ------------------------------------------------------
+
+  const std::vector<XmlNodePtr>& children() const { return children_; }
+
+  /// Appends a child (reparenting it to this node).
+  void AppendChild(XmlNodePtr child);
+
+  /// Appends a text child.
+  void AppendText(std::string text);
+
+  /// The parent element, or nullptr for roots.
+  XmlNodePtr parent() const { return parent_.lock(); }
+
+  /// Child elements with the given tag name, in document order.
+  std::vector<XmlNodePtr> ChildrenNamed(const std::string& name) const;
+
+  /// First child element with the given tag name, or nullptr.
+  XmlNodePtr FirstChildNamed(const std::string& name) const;
+
+  /// All element children (skipping text nodes).
+  std::vector<XmlNodePtr> ChildElements() const;
+
+  /// Deep copy (children included, parent cleared).
+  XmlNodePtr Clone() const;
+
+  /// Total count of element nodes in this subtree (including this one).
+  size_t CountElements() const;
+
+ private:
+  explicit XmlNode(NodeKind kind) : kind_(kind) {}
+
+  NodeKind kind_;
+  std::string name_;       // element tag
+  std::string text_;       // text content (text nodes)
+  std::vector<XmlAttr> attrs_;
+  std::vector<XmlNodePtr> children_;
+  std::weak_ptr<XmlNode> parent_;
+};
+
+}  // namespace archis::xml
+
+#endif  // ARCHIS_XML_NODE_H_

@@ -1,0 +1,189 @@
+#include "xml/parser.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace archis::xml {
+namespace {
+
+/// Cursor over the input with the usual scanning helpers.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < text_.size() ? text_[pos_ + off] : '\0';
+  }
+  void Advance(size_t n = 1) { pos_ += n; }
+
+  bool Consume(std::string_view token) {
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  std::string_view Remaining() const { return text_.substr(pos_); }
+  size_t pos() const { return pos_; }
+
+  std::string_view TakeUntil(std::string_view stop) {
+    size_t end = text_.find(stop, pos_);
+    if (end == std::string_view::npos) end = text_.size();
+    std::string_view out = text_.substr(pos_, end - pos_);
+    pos_ = end;
+    return out;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == ':';
+}
+
+std::string ParseName(Cursor* cur) {
+  std::string name;
+  while (!cur->AtEnd() && IsNameChar(cur->Peek())) {
+    name += cur->Peek();
+    cur->Advance();
+  }
+  return name;
+}
+
+Status SkipProlog(Cursor* cur) {
+  while (true) {
+    cur->SkipWhitespace();
+    if (cur->Consume("<?")) {
+      cur->TakeUntil("?>");
+      if (!cur->Consume("?>")) return Status::ParseError("unterminated <?");
+    } else if (cur->Consume("<!--")) {
+      cur->TakeUntil("-->");
+      if (!cur->Consume("-->")) {
+        return Status::ParseError("unterminated comment");
+      }
+    } else if (cur->Consume("<!DOCTYPE")) {
+      cur->TakeUntil(">");
+      cur->Consume(">");
+    } else {
+      return Status::OK();
+    }
+  }
+}
+
+Result<XmlNodePtr> ParseElement(Cursor* cur);
+
+Status ParseContent(Cursor* cur, const XmlNodePtr& parent) {
+  while (!cur->AtEnd()) {
+    if (cur->Peek() == '<') {
+      if (cur->PeekAt(1) == '/') return Status::OK();  // close tag
+      if (cur->Consume("<!--")) {
+        cur->TakeUntil("-->");
+        if (!cur->Consume("-->")) {
+          return Status::ParseError("unterminated comment");
+        }
+        continue;
+      }
+      if (cur->Consume("<![CDATA[")) {
+        std::string_view data = cur->TakeUntil("]]>");
+        if (!cur->Consume("]]>")) {
+          return Status::ParseError("unterminated CDATA");
+        }
+        parent->AppendText(std::string(data));
+        continue;
+      }
+      ARCHIS_ASSIGN_OR_RETURN(XmlNodePtr child, ParseElement(cur));
+      parent->AppendChild(std::move(child));
+    } else {
+      std::string_view raw = cur->TakeUntil("<");
+      std::string text = XmlUnescape(raw);
+      // Keep only text with substance; whitespace-only runs between child
+      // elements are formatting noise.
+      if (!Trim(text).empty()) parent->AppendText(std::move(text));
+    }
+  }
+  return Status::OK();
+}
+
+Result<XmlNodePtr> ParseElement(Cursor* cur) {
+  if (!cur->Consume("<")) return Status::ParseError("expected '<'");
+  std::string name = ParseName(cur);
+  if (name.empty()) {
+    return Status::ParseError("missing element name at offset " +
+                              std::to_string(cur->pos()));
+  }
+  XmlNodePtr node = XmlNode::Element(name);
+
+  // Attributes.
+  while (true) {
+    cur->SkipWhitespace();
+    if (cur->AtEnd()) return Status::ParseError("unterminated tag");
+    if (cur->Consume("/>")) return node;  // empty element
+    if (cur->Consume(">")) break;
+    std::string attr = ParseName(cur);
+    if (attr.empty()) {
+      return Status::ParseError("bad attribute in <" + name + ">");
+    }
+    cur->SkipWhitespace();
+    if (!cur->Consume("=")) {
+      return Status::ParseError("attribute '" + attr + "' missing '='");
+    }
+    cur->SkipWhitespace();
+    char quote = cur->AtEnd() ? '\0' : cur->Peek();
+    if (quote != '"' && quote != '\'') {
+      return Status::ParseError("attribute '" + attr + "' missing quote");
+    }
+    cur->Advance();
+    std::string_view raw = cur->TakeUntil(std::string_view(&quote, 1));
+    if (!cur->Consume(std::string_view(&quote, 1))) {
+      return Status::ParseError("unterminated attribute value");
+    }
+    node->SetAttr(attr, XmlUnescape(raw));
+  }
+
+  // Children.
+  ARCHIS_RETURN_NOT_OK(ParseContent(cur, node));
+
+  if (!cur->Consume("</")) {
+    return Status::ParseError("missing close tag for <" + name + ">");
+  }
+  std::string close = ParseName(cur);
+  if (close != name) {
+    return Status::ParseError("mismatched close tag </" + close +
+                              "> for <" + name + ">");
+  }
+  cur->SkipWhitespace();
+  if (!cur->Consume(">")) {
+    return Status::ParseError("malformed close tag </" + name + ">");
+  }
+  return node;
+}
+
+}  // namespace
+
+Result<XmlNodePtr> ParseDocument(std::string_view text) {
+  Cursor cur(text);
+  ARCHIS_RETURN_NOT_OK(SkipProlog(&cur));
+  cur.SkipWhitespace();
+  if (cur.AtEnd()) return Status::ParseError("empty document");
+  ARCHIS_ASSIGN_OR_RETURN(XmlNodePtr root, ParseElement(&cur));
+  cur.SkipWhitespace();
+  if (!cur.AtEnd()) {
+    return Status::ParseError("trailing content after root element");
+  }
+  return root;
+}
+
+}  // namespace archis::xml

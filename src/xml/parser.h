@@ -1,0 +1,18 @@
+// Recursive-descent parser for the XML subset used by H-documents:
+// elements, attributes, text, comments, XML declarations, CDATA.
+#ifndef ARCHIS_XML_PARSER_H_
+#define ARCHIS_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "xml/node.h"
+
+namespace archis::xml {
+
+/// Parses an XML document; returns its root element.
+Result<XmlNodePtr> ParseDocument(std::string_view text);
+
+}  // namespace archis::xml
+
+#endif  // ARCHIS_XML_PARSER_H_

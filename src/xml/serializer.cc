@@ -1,0 +1,69 @@
+#include "xml/serializer.h"
+
+#include "common/str_util.h"
+
+namespace archis::xml {
+namespace {
+
+void SerializeRec(const XmlNodePtr& node, const SerializeOptions& opts,
+                  int depth, std::string* out) {
+  const std::string pad =
+      opts.pretty ? std::string(static_cast<size_t>(depth) *
+                                static_cast<size_t>(opts.indent_width), ' ')
+                  : std::string();
+  if (node->is_text()) {
+    if (opts.pretty) *out += pad;
+    *out += XmlEscape(node->StringValue());
+    if (opts.pretty) *out += '\n';
+    return;
+  }
+  if (opts.pretty) *out += pad;
+  *out += '<';
+  *out += node->name();
+  for (const XmlAttr& a : node->attrs()) {
+    *out += ' ';
+    *out += a.name;
+    *out += "=\"";
+    *out += XmlEscape(a.value);
+    *out += '"';
+  }
+  if (node->children().empty()) {
+    *out += "/>";
+    if (opts.pretty) *out += '\n';
+    return;
+  }
+  // Single text child renders inline even in pretty mode.
+  if (node->children().size() == 1 && node->children()[0]->is_text()) {
+    *out += '>';
+    *out += XmlEscape(node->children()[0]->StringValue());
+    *out += "</";
+    *out += node->name();
+    *out += '>';
+    if (opts.pretty) *out += '\n';
+    return;
+  }
+  *out += '>';
+  if (opts.pretty) *out += '\n';
+  for (const auto& child : node->children()) {
+    SerializeRec(child, opts, depth + 1, out);
+  }
+  if (opts.pretty) *out += pad;
+  *out += "</";
+  *out += node->name();
+  *out += '>';
+  if (opts.pretty) *out += '\n';
+}
+
+}  // namespace
+
+std::string Serialize(const XmlNodePtr& node, SerializeOptions opts) {
+  std::string out;
+  if (opts.xml_declaration) {
+    out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    out += opts.pretty ? "\n" : "";
+  }
+  SerializeRec(node, opts, 0, &out);
+  return out;
+}
+
+}  // namespace archis::xml

@@ -1,0 +1,23 @@
+// XML serialization (compact and pretty-printed).
+#ifndef ARCHIS_XML_SERIALIZER_H_
+#define ARCHIS_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/node.h"
+
+namespace archis::xml {
+
+/// Serialization options.
+struct SerializeOptions {
+  bool pretty = false;       ///< Indent child elements on new lines.
+  int indent_width = 2;      ///< Spaces per level when pretty.
+  bool xml_declaration = false;  ///< Emit `<?xml version="1.0"?>` first.
+};
+
+/// Serializes `node` (and its subtree) to text.
+std::string Serialize(const XmlNodePtr& node, SerializeOptions opts = {});
+
+}  // namespace archis::xml
+
+#endif  // ARCHIS_XML_SERIALIZER_H_

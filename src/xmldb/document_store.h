@@ -1,0 +1,76 @@
+// Document storage for the native-XML-database baseline ("TaminoLite").
+//
+// Plays the role Tamino plays in the paper's experiments: H-documents are
+// stored natively — shredded into per-node records (uncompressed mode,
+// which expands over the raw text, cf. Tamino's 1.47 ratio in Figure 13)
+// or as gzip-style compressed text blocks (compressed mode, cf. Tamino's
+// 0.22 ratio in Figure 11). There is no temporal clustering or indexing:
+// every query materialises the document from storage, exactly the
+// disadvantage the paper measures.
+#ifndef ARCHIS_XMLDB_DOCUMENT_STORE_H_
+#define ARCHIS_XMLDB_DOCUMENT_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compress/block_zip.h"
+#include "xml/node.h"
+
+namespace archis::xmldb {
+
+/// Storage mode for documents.
+enum class StorageMode {
+  kNative,      ///< shredded per-node records (uncompressed, expanded)
+  kCompressed,  ///< zlib-compressed text blocks (Tamino's default)
+};
+
+/// Storage accounting for one stored document.
+struct DocumentStats {
+  uint64_t source_bytes = 0;  ///< serialized XML text size
+  uint64_t stored_bytes = 0;  ///< bytes the store actually holds
+  uint64_t node_count = 0;    ///< elements in the document
+};
+
+/// Stores named XML documents and materialises them on demand.
+class DocumentStore {
+ public:
+  explicit DocumentStore(StorageMode mode) : mode_(mode) {}
+
+  /// Stores `root` under `name`, replacing any previous version.
+  Status Put(const std::string& name, const xml::XmlNodePtr& root);
+
+  /// Materialises the document: decompress and/or re-parse from storage.
+  /// Deliberately NOT cached — the paper's measurements are cold.
+  Result<xml::XmlNodePtr> Get(const std::string& name) const;
+
+  /// Whether `name` is stored.
+  bool Has(const std::string& name) const;
+
+  /// Per-document storage statistics.
+  Result<DocumentStats> Stats(const std::string& name) const;
+
+  /// Total stored bytes across documents.
+  uint64_t TotalStoredBytes() const;
+
+  /// Names of stored documents.
+  std::vector<std::string> Names() const;
+
+  StorageMode mode() const { return mode_; }
+
+ private:
+  struct StoredDoc {
+    // kCompressed: blockwise-deflated serialized text.
+    std::vector<compress::CompressedBlock> blocks;
+    // kNative: shredded node records.
+    std::vector<std::string> node_records;
+    DocumentStats stats;
+  };
+
+  StorageMode mode_;
+  std::map<std::string, StoredDoc> docs_;
+};
+
+}  // namespace archis::xmldb
+
+#endif  // ARCHIS_XMLDB_DOCUMENT_STORE_H_

@@ -1,0 +1,28 @@
+#include "xmldb/xml_database.h"
+
+namespace archis::xmldb {
+
+Status XmlDatabase::PutDocument(const std::string& name,
+                                const xml::XmlNodePtr& root) {
+  return store_.Put(name, root);
+}
+
+Result<xquery::Sequence> XmlDatabase::Query(const std::string& query) {
+  xquery::EvalContext ctx;
+  ctx.current_date = current_date_;
+  ctx.resolve_doc = [this](const std::string& name) {
+    return store_.Get(name);
+  };
+  xquery::Evaluator evaluator(std::move(ctx));
+  return evaluator.EvaluateQuery(query);
+}
+
+Status XmlDatabase::UpdateDocument(
+    const std::string& name,
+    const std::function<Status(const xml::XmlNodePtr&)>& mutate) {
+  ARCHIS_ASSIGN_OR_RETURN(xml::XmlNodePtr root, store_.Get(name));
+  ARCHIS_RETURN_NOT_OK(mutate(root));
+  return store_.Put(name, root);
+}
+
+}  // namespace archis::xmldb

@@ -1,0 +1,48 @@
+// TaminoLite: the native XML database baseline — a DocumentStore plus a
+// native XQuery endpoint. Stands in for Tamino XML Server in the paper's
+// Figures 8, 11, 13 and 14.
+#ifndef ARCHIS_XMLDB_XML_DATABASE_H_
+#define ARCHIS_XMLDB_XML_DATABASE_H_
+
+#include <string>
+
+#include "xmldb/document_store.h"
+#include "xquery/evaluator.h"
+
+namespace archis::xmldb {
+
+/// A native XML database: stores H-documents and answers XQuery against
+/// them by materialising the stored form on every query (cold-cache, like
+/// the paper's unmount-remount methodology).
+class XmlDatabase {
+ public:
+  explicit XmlDatabase(StorageMode mode, Date current_date)
+      : store_(mode), current_date_(current_date) {}
+
+  /// Stores (or replaces) a document.
+  Status PutDocument(const std::string& name, const xml::XmlNodePtr& root);
+
+  /// Runs an XQuery; doc("name") resolves against the store.
+  Result<xquery::Sequence> Query(const std::string& query);
+
+  /// Updates the document in place via a mutator that receives the
+  /// materialised DOM and re-stores the result (document-level update,
+  /// which is why updates are slow on the native store, Section 8.4).
+  Status UpdateDocument(
+      const std::string& name,
+      const std::function<Status(const xml::XmlNodePtr&)>& mutate);
+
+  DocumentStore& store() { return store_; }
+  const DocumentStore& store() const { return store_; }
+
+  void set_current_date(Date d) { current_date_ = d; }
+  Date current_date() const { return current_date_; }
+
+ private:
+  DocumentStore store_;
+  Date current_date_;
+};
+
+}  // namespace archis::xmldb
+
+#endif  // ARCHIS_XMLDB_XML_DATABASE_H_

@@ -1,0 +1,81 @@
+#include "xquery/ast.h"
+
+namespace archis::xquery {
+
+ExprPtr MakeExpr(ExprKind kind) { return std::make_shared<Expr>(kind); }
+
+ExprPtr MakeString(std::string s) {
+  auto e = MakeExpr(ExprKind::kStringLit);
+  e->str = std::move(s);
+  return e;
+}
+
+ExprPtr MakeNumber(double n) {
+  auto e = MakeExpr(ExprKind::kNumberLit);
+  e->num = n;
+  return e;
+}
+
+ExprPtr MakeVarRef(std::string name) {
+  auto e = MakeExpr(ExprKind::kVarRef);
+  e->str = std::move(name);
+  return e;
+}
+
+namespace {
+
+const char* KindName(ExprKind k) {
+  switch (k) {
+    case ExprKind::kStringLit: return "str";
+    case ExprKind::kNumberLit: return "num";
+    case ExprKind::kVarRef: return "var";
+    case ExprKind::kContextItem: return "ctx";
+    case ExprKind::kSequence: return "seq";
+    case ExprKind::kEmptySeq: return "empty-seq";
+    case ExprKind::kPath: return "path";
+    case ExprKind::kFlwor: return "flwor";
+    case ExprKind::kComparison: return "cmp";
+    case ExprKind::kAnd: return "and";
+    case ExprKind::kOr: return "or";
+    case ExprKind::kNot: return "not";
+    case ExprKind::kFunctionCall: return "call";
+    case ExprKind::kElementCtor: return "elem";
+    case ExprKind::kTextLit: return "text";
+    case ExprKind::kQuantified: return "quant";
+    case ExprKind::kIf: return "if";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ExprToString(const ExprPtr& e) {
+  if (e == nullptr) return "<null>";
+  std::string out = "(";
+  out += KindName(e->kind);
+  if (!e->str.empty()) out += " " + e->str;
+  if (e->kind == ExprKind::kNumberLit) out += " " + std::to_string(e->num);
+  if (e->kind == ExprKind::kQuantified) {
+    out += e->every_quant ? " every" : " some";
+  }
+  for (const ForLetClause& c : e->clauses) {
+    out += std::string(" [") + (c.is_let ? "let $" : "for $") + c.var +
+           " := " + ExprToString(c.expr) + "]";
+  }
+  for (const PathStep& s : e->steps) {
+    out += "/";
+    if (s.axis == PathStep::Axis::kAttribute) out += "@";
+    if (s.axis == PathStep::Axis::kDescendantOrSelf) out += "/";
+    out += s.name;
+    for (const ExprPtr& p : s.predicates) {
+      out += "[" + ExprToString(p) + "]";
+    }
+  }
+  for (const ExprPtr& c : e->children) out += " " + ExprToString(c);
+  if (e->where != nullptr) out += " where " + ExprToString(e->where);
+  if (e->ret != nullptr) out += " return " + ExprToString(e->ret);
+  out += ")";
+  return out;
+}
+
+}  // namespace archis::xquery

@@ -1,0 +1,95 @@
+// Abstract syntax for the supported XQuery subset.
+//
+// A single tagged Expr node keeps the tree easy to pattern-match in the
+// XQuery -> SQL/XML translator (Algorithm 1 walks for/let clauses, path
+// steps, where conjuncts, function calls and the return constructor).
+#ifndef ARCHIS_XQUERY_AST_H_
+#define ARCHIS_XQUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace archis::xquery {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Expression node kinds.
+enum class ExprKind {
+  kStringLit,    // str
+  kNumberLit,    // num
+  kVarRef,       // str = variable name (without '$')
+  kContextItem,  // '.'
+  kSequence,     // children = items of (e1, e2, ...)
+  kEmptySeq,     // ()
+  kPath,         // children[0] = source (VarRef/Doc/ContextItem), steps
+  kFlwor,        // clauses, where?, ret
+  kComparison,   // str = op, children = {lhs, rhs}
+  kAnd,          // children
+  kOr,           // children
+  kNot,          // children[0]
+  kFunctionCall, // str = name, children = args
+  kElementCtor,  // str = tag name, attrs (static), children = content exprs
+  kTextLit,      // str: literal text inside a direct constructor
+  kQuantified,   // every_quant, str = var, children = {in, satisfies}
+  kIf,           // children = {cond, then, else}
+};
+
+/// One step of a path expression.
+struct PathStep {
+  enum class Axis { kChild, kAttribute, kDescendantOrSelf };
+  Axis axis = Axis::kChild;
+  std::string name;                 // element/attribute name, or "*"
+  std::vector<ExprPtr> predicates;  // [e] filters, applied in order
+};
+
+/// A for/let binding in a FLWOR expression.
+struct ForLetClause {
+  bool is_let = false;
+  std::string var;  // without '$'
+  ExprPtr expr;
+};
+
+/// A static attribute on a direct element constructor.
+struct StaticAttr {
+  std::string name;
+  std::string value;
+};
+
+/// An expression tree node.
+struct Expr {
+  explicit Expr(ExprKind k) : kind(k) {}
+
+  ExprKind kind;
+  std::string str;
+  double num = 0;
+  std::vector<ExprPtr> children;
+
+  // kPath
+  std::vector<PathStep> steps;
+
+  // kFlwor
+  std::vector<ForLetClause> clauses;
+  ExprPtr where;
+  ExprPtr ret;
+
+  // kQuantified
+  bool every_quant = false;
+
+  // kElementCtor
+  std::vector<StaticAttr> attrs;
+};
+
+/// Convenience constructors.
+ExprPtr MakeExpr(ExprKind kind);
+ExprPtr MakeString(std::string s);
+ExprPtr MakeNumber(double n);
+ExprPtr MakeVarRef(std::string name);
+
+/// Renders an expression tree as an S-expression-ish debug string.
+std::string ExprToString(const ExprPtr& e);
+
+}  // namespace archis::xquery
+
+#endif  // ARCHIS_XQUERY_AST_H_

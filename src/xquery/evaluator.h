@@ -1,0 +1,78 @@
+// Native XQuery evaluator over XML documents.
+//
+// This engine plays two roles in the reproduction: it executes queries
+// directly against H-documents (the native-XML-database baseline, Tamino in
+// the paper), and its AST feeds the XQuery -> SQL/XML translator for the
+// RDBMS path.
+#ifndef ARCHIS_XQUERY_EVALUATOR_H_
+#define ARCHIS_XQUERY_EVALUATOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "xquery/ast.h"
+#include "xquery/item.h"
+
+namespace archis::xquery {
+
+/// Resolves doc("name") references to document roots.
+using DocResolver =
+    std::function<Result<xml::XmlNodePtr>(const std::string&)>;
+
+/// Evaluation context shared by the evaluator and the function library.
+struct EvalContext {
+  DocResolver resolve_doc;
+  Date current_date;  ///< value of current-date() and of `now` instantiation
+};
+
+/// Evaluates parsed XQuery expressions.
+///
+/// Variable bindings may be seeded with BindVariable (useful for running
+/// query fragments); documents resolve through the context's DocResolver.
+class Evaluator {
+ public:
+  explicit Evaluator(EvalContext ctx);
+
+  /// Pre-binds $name to a sequence for subsequent Evaluate calls.
+  void BindVariable(const std::string& name, Sequence value);
+
+  /// Evaluates `expr` and returns its result sequence.
+  Result<Sequence> Evaluate(const ExprPtr& expr);
+
+  /// Parses and evaluates `query` in one call.
+  Result<Sequence> EvaluateQuery(const std::string& query);
+
+  const EvalContext& context() const { return ctx_; }
+
+ private:
+  struct Scope {
+    std::map<std::string, Sequence> vars;
+  };
+
+  Result<Sequence> Eval(const ExprPtr& expr);
+  Result<Sequence> EvalFlwor(const ExprPtr& expr);
+  Result<Sequence> EvalFlworClauses(const ExprPtr& expr, size_t clause_idx);
+  Result<Sequence> EvalPath(const ExprPtr& expr);
+  Result<Sequence> EvalStep(const Sequence& input, const PathStep& step);
+  Result<Sequence> EvalComparison(const ExprPtr& expr);
+  Result<Sequence> EvalElementCtor(const ExprPtr& expr);
+  Result<Sequence> EvalQuantified(const ExprPtr& expr);
+  Result<Sequence> LookupVar(const std::string& name) const;
+
+  EvalContext ctx_;
+  std::vector<Scope> scopes_;
+  std::vector<Item> context_items_;  // innermost predicate context
+  friend class FunctionLibrary;
+};
+
+/// Compares two items under XQuery general-comparison semantics: numeric
+/// when either side is numeric, date when either side is a date, string
+/// otherwise. `op` is one of = != < <= > >=.
+Result<bool> CompareItems(const Item& lhs, const std::string& op,
+                          const Item& rhs);
+
+}  // namespace archis::xquery
+
+#endif  // ARCHIS_XQUERY_EVALUATOR_H_

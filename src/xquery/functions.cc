@@ -1,0 +1,417 @@
+#include "xquery/functions.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "temporal/aggregate.h"
+#include "temporal/coalesce.h"
+#include "temporal/now.h"
+#include "temporal/restructure.h"
+#include "xquery/evaluator.h"
+
+namespace archis::xquery {
+namespace {
+
+Status Arity(const std::string& name, const std::vector<Sequence>& args,
+             size_t n) {
+  if (args.size() != n) {
+    return Status::InvalidArgument(name + "() expects " + std::to_string(n) +
+                                   " argument(s), got " +
+                                   std::to_string(args.size()));
+  }
+  return Status::OK();
+}
+
+/// Interval of an argument sequence, with `now`-aware end resolution left
+/// to the caller (intervals keep the sentinel; tend() resolves it).
+Result<TimeInterval> ArgInterval(const std::string& fn,
+                                 const Sequence& seq) {
+  auto iv = SequenceInterval(seq);
+  if (!iv.ok()) {
+    return Status::InvalidArgument(fn + "(): argument has no tstart/tend");
+  }
+  return iv;
+}
+
+std::vector<xml::XmlNodePtr> ArgNodes(const Sequence& seq) {
+  std::vector<xml::XmlNodePtr> nodes;
+  for (const Item& item : seq) {
+    if (item.is_node()) nodes.push_back(item.node());
+  }
+  return nodes;
+}
+
+Result<double> ArgNumber(const std::string& fn, const Sequence& seq) {
+  if (seq.empty()) return Status::InvalidArgument(fn + "(): empty argument");
+  const Item& it = seq.front();
+  if (it.is_number()) return it.number();
+  char* end = nullptr;
+  std::string s = it.StringValue();
+  double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) {
+    return Status::TypeError(fn + "(): '" + s + "' is not numeric");
+  }
+  return v;
+}
+
+/// Numeric sweep facts from timestamped numeric elements.
+std::vector<temporal::TimedNumber> ArgFacts(const Sequence& seq) {
+  std::vector<temporal::TimedNumber> facts;
+  for (const Item& item : seq) {
+    if (!item.is_node()) continue;
+    auto iv = item.node()->Interval();
+    if (!iv.ok()) continue;
+    const std::string text = item.node()->StringValue();
+    char* end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str()) continue;
+    facts.push_back({v, *iv});
+  }
+  return facts;
+}
+
+Sequence StepsToNodes(const std::vector<temporal::AggregateStep>& steps,
+                      const std::string& tag) {
+  Sequence out;
+  for (const auto& step : steps) {
+    auto node = xml::XmlNode::Element(tag);
+    node->SetInterval(step.interval);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", step.value);
+    node->AppendText(buf);
+    out.push_back(Item(std::move(node)));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool IsKnownFunction(const std::string& name) {
+  static const std::set<std::string> kNames = {
+      "tstart", "tend", "tinterval", "timespan", "telement", "toverlaps",
+      "tprecedes", "tcontains", "tequals", "tmeets", "overlapinterval",
+      "coalesce", "restructure", "tavg", "tsum", "tcount", "tmax", "tmin",
+      "trising", "tmovavg",
+      "rtend", "externalnow", "current-date", "xs:date", "empty", "exists",
+      "count", "max", "min", "sum", "avg", "string", "number", "concat",
+      "distinct-values", "name", "true", "false", "doc", "document",
+      "op:add", "op:subtract", "op:multiply", "op:divide", "op:mod",
+  };
+  return kNames.count(name) != 0;
+}
+
+Result<Sequence> CallFunction(const std::string& name,
+                              const std::vector<Sequence>& args,
+                              const EvalContext& ctx) {
+  // ---- Temporal accessors -------------------------------------------------
+  if (name == "tstart") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 1));
+    if (args[0].empty()) return Sequence{};
+    ARCHIS_ASSIGN_OR_RETURN(TimeInterval iv, ArgInterval(name, args[0]));
+    return Sequence{Item(iv.tstart)};
+  }
+  if (name == "tend") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 1));
+    if (args[0].empty()) return Sequence{};
+    ARCHIS_ASSIGN_OR_RETURN(TimeInterval iv, ArgInterval(name, args[0]));
+    // Section 4.3: tend returns current-date for live intervals, hiding the
+    // 9999-12-31 sentinel from queries.
+    return Sequence{Item(temporal::EffectiveEnd(iv, ctx.current_date))};
+  }
+  if (name == "tinterval") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 1));
+    ARCHIS_ASSIGN_OR_RETURN(TimeInterval iv, ArgInterval(name, args[0]));
+    return Sequence{Item(MakeIntervalElement(iv))};
+  }
+  if (name == "timespan") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 1));
+    ARCHIS_ASSIGN_OR_RETURN(TimeInterval iv, ArgInterval(name, args[0]));
+    Date end = temporal::EffectiveEnd(iv, ctx.current_date);
+    return Sequence{Item(static_cast<double>(end - iv.tstart + 1))};
+  }
+  if (name == "telement") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 2));
+    auto get_date = [](const Sequence& seq) -> Result<Date> {
+      if (seq.empty()) return Status::InvalidArgument("telement(): empty");
+      if (seq[0].is_date()) return seq[0].date();
+      return Date::Parse(seq[0].StringValue());
+    };
+    ARCHIS_ASSIGN_OR_RETURN(Date s, get_date(args[0]));
+    ARCHIS_ASSIGN_OR_RETURN(Date e, get_date(args[1]));
+    return Sequence{Item(MakeIntervalElement(TimeInterval(s, e),
+                                             "telement"))};
+  }
+
+  // ---- Interval predicates ------------------------------------------------
+  if (name == "toverlaps" || name == "tprecedes" || name == "tcontains" ||
+      name == "tequals" || name == "tmeets") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 2));
+    // XQuery empty-sequence propagation: a predicate over a non-match is
+    // empty (falsy), not an error — QUERY 7 relies on this for employees
+    // whose let-bound title list is empty.
+    if (args[0].empty() || args[1].empty()) return Sequence{};
+    ARCHIS_ASSIGN_OR_RETURN(TimeInterval a, ArgInterval(name, args[0]));
+    ARCHIS_ASSIGN_OR_RETURN(TimeInterval b, ArgInterval(name, args[1]));
+    bool r = false;
+    if (name == "toverlaps") r = a.Overlaps(b);
+    else if (name == "tprecedes") r = a.Precedes(b);
+    else if (name == "tcontains") r = a.Contains(b);
+    else if (name == "tequals") r = a.Equals(b);
+    else r = a.Meets(b);
+    return Sequence{Item(r)};
+  }
+  if (name == "overlapinterval") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 2));
+    if (args[0].empty() || args[1].empty()) return Sequence{};
+    ARCHIS_ASSIGN_OR_RETURN(TimeInterval a, ArgInterval(name, args[0]));
+    ARCHIS_ASSIGN_OR_RETURN(TimeInterval b, ArgInterval(name, args[1]));
+    auto iv = a.Intersect(b);
+    if (!iv) return Sequence{};  // empty() holds, as QUERY 4 relies on
+    return Sequence{Item(MakeIntervalElement(*iv))};
+  }
+
+  // ---- Restructuring ------------------------------------------------------
+  if (name == "coalesce") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 1));
+    Sequence out;
+    for (auto& node : temporal::CoalesceNodes(ArgNodes(args[0]))) {
+      out.push_back(Item(std::move(node)));
+    }
+    return out;
+  }
+  if (name == "restructure") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 2));
+    Sequence out;
+    for (const TimeInterval& iv :
+         temporal::RestructureNodes(ArgNodes(args[0]), ArgNodes(args[1]))) {
+      out.push_back(Item(MakeIntervalElement(iv)));
+    }
+    return out;
+  }
+
+  // ---- Temporal aggregates ------------------------------------------------
+  if (name == "tavg" || name == "tsum" || name == "tcount" ||
+      name == "tmax" || name == "tmin") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 1));
+    temporal::TemporalAggFn fn =
+        name == "tavg"   ? temporal::TemporalAggFn::kAvg
+        : name == "tsum" ? temporal::TemporalAggFn::kSum
+        : name == "tcount" ? temporal::TemporalAggFn::kCount
+        : name == "tmax" ? temporal::TemporalAggFn::kMax
+                         : temporal::TemporalAggFn::kMin;
+    return StepsToNodes(temporal::TemporalAggregate(ArgFacts(args[0]), fn),
+                        name);
+  }
+
+  // ---- Extension aggregates (Section 4.2: "Other temporal aggregates
+  // such as RISING or moving window aggregate can also be supported") -----
+  if (name == "trising") {
+    // Maximal periods over which the sum of the facts strictly rises.
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 1));
+    auto history = temporal::TemporalAggregate(ArgFacts(args[0]),
+                                               temporal::TemporalAggFn::kSum);
+    Sequence out;
+    for (const TimeInterval& iv : temporal::RisingIntervals(history)) {
+      out.push_back(Item(MakeIntervalElement(iv, "rising")));
+    }
+    return out;
+  }
+  if (name == "tmovavg") {
+    // Moving-window smoothing of the average history; second argument is
+    // the window in days.
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 2));
+    ARCHIS_ASSIGN_OR_RETURN(double window, ArgNumber(name, args[1]));
+    auto history = temporal::TemporalAggregate(ArgFacts(args[0]),
+                                               temporal::TemporalAggFn::kAvg);
+    return StepsToNodes(
+        temporal::MovingWindowAvg(history, static_cast<int64_t>(window)),
+        "tmovavg");
+  }
+
+  // ---- `now` handling -----------------------------------------------------
+  if (name == "rtend") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 1));
+    Sequence out;
+    for (const Item& item : args[0]) {
+      if (item.is_node()) {
+        out.push_back(Item(temporal::Rtend(item.node(), ctx.current_date)));
+      } else {
+        out.push_back(item);
+      }
+    }
+    return out;
+  }
+  if (name == "externalnow") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 1));
+    Sequence out;
+    for (const Item& item : args[0]) {
+      if (item.is_node()) {
+        out.push_back(Item(temporal::ExternalNow(item.node())));
+      } else {
+        out.push_back(item);
+      }
+    }
+    return out;
+  }
+  if (name == "current-date") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 0));
+    return Sequence{Item(ctx.current_date)};
+  }
+  if (name == "xs:date") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 1));
+    if (args[0].empty()) {
+      return Status::InvalidArgument("xs:date(): empty argument");
+    }
+    ARCHIS_ASSIGN_OR_RETURN(Date d, Date::Parse(args[0][0].StringValue()));
+    return Sequence{Item(d)};
+  }
+
+  // ---- Standard built-ins -------------------------------------------------
+  if (name == "empty") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 1));
+    return Sequence{Item(args[0].empty())};
+  }
+  if (name == "exists") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 1));
+    return Sequence{Item(!args[0].empty())};
+  }
+  if (name == "count") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 1));
+    return Sequence{Item(static_cast<double>(args[0].size()))};
+  }
+  if (name == "max" || name == "min") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 1));
+    if (args[0].empty()) return Sequence{};
+    // Interval elements (no text content, only tstart/tend) compare by
+    // duration (QUERY 6 takes the max of the restructured overlap
+    // intervals, i.e. the longest period). Elements that carry a value —
+    // like <salary tstart tend>60000</salary> — compare by that value.
+    bool all_intervals = true;
+    for (const Item& item : args[0]) {
+      if (!item.is_node() || !item.node()->Interval().ok() ||
+          !item.node()->StringValue().empty()) {
+        all_intervals = false;
+        break;
+      }
+    }
+    if (all_intervals) {
+      std::vector<TimeInterval> ivs;
+      for (const Item& item : args[0]) ivs.push_back(*item.node()->Interval());
+      int64_t best = temporal::MaxDurationDays(ivs, ctx.current_date);
+      if (name == "min") {
+        best = ivs.empty() ? 0 : INT64_MAX;
+        for (const TimeInterval& iv : ivs) {
+          Date end = temporal::EffectiveEnd(iv, ctx.current_date);
+          best = std::min(best, end - iv.tstart + 1);
+        }
+      }
+      return Sequence{Item(static_cast<double>(best))};
+    }
+    // Numeric when everything is numeric, else string max/min.
+    std::vector<double> nums;
+    bool numeric = true;
+    for (const Item& item : args[0]) {
+      auto n = ArgNumber(name, Sequence{item});
+      if (!n.ok()) { numeric = false; break; }
+      nums.push_back(*n);
+    }
+    if (numeric) {
+      double best = nums[0];
+      for (double n : nums) best = name == "max" ? std::max(best, n)
+                                                 : std::min(best, n);
+      return Sequence{Item(best)};
+    }
+    std::string best = args[0][0].StringValue();
+    for (const Item& item : args[0]) {
+      std::string s = item.StringValue();
+      if ((name == "max" && s > best) || (name == "min" && s < best)) {
+        best = s;
+      }
+    }
+    return Sequence{Item(best)};
+  }
+  if (name == "sum" || name == "avg") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 1));
+    if (args[0].empty()) {
+      return name == "sum" ? Sequence{Item(0.0)} : Sequence{};
+    }
+    double total = 0;
+    for (const Item& item : args[0]) {
+      ARCHIS_ASSIGN_OR_RETURN(double n, ArgNumber(name, Sequence{item}));
+      total += n;
+    }
+    if (name == "avg") total /= static_cast<double>(args[0].size());
+    return Sequence{Item(total)};
+  }
+  if (name == "string") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 1));
+    if (args[0].empty()) return Sequence{Item(std::string())};
+    return Sequence{Item(args[0][0].StringValue())};
+  }
+  if (name == "number") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 1));
+    ARCHIS_ASSIGN_OR_RETURN(double n, ArgNumber(name, args[0]));
+    return Sequence{Item(n)};
+  }
+  if (name == "concat") {
+    std::string out;
+    for (const Sequence& arg : args) {
+      for (const Item& item : arg) out += item.StringValue();
+    }
+    return Sequence{Item(out)};
+  }
+  if (name == "distinct-values") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 1));
+    std::set<std::string> seen;
+    Sequence out;
+    for (const Item& item : args[0]) {
+      std::string s = item.StringValue();
+      if (seen.insert(s).second) out.push_back(Item(s));
+    }
+    return out;
+  }
+  if (name == "name") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 1));
+    if (args[0].empty() || !args[0][0].is_node()) {
+      return Sequence{Item(std::string())};
+    }
+    return Sequence{Item(args[0][0].node()->name())};
+  }
+  if (name == "true") return Sequence{Item(true)};
+  if (name == "false") return Sequence{Item(false)};
+
+  // ---- Arithmetic ----------------------------------------------------------
+  if (name == "op:add" || name == "op:subtract" || name == "op:multiply" ||
+      name == "op:divide" || name == "op:mod") {
+    ARCHIS_RETURN_NOT_OK(Arity(name, args, 2));
+    if (args[0].empty() || args[1].empty()) return Sequence{};
+    // Date +/- days.
+    if (args[0][0].is_date() &&
+        (name == "op:add" || name == "op:subtract")) {
+      ARCHIS_ASSIGN_OR_RETURN(double days, ArgNumber(name, args[1]));
+      int64_t delta = static_cast<int64_t>(days);
+      if (name == "op:subtract") delta = -delta;
+      return Sequence{Item(args[0][0].date().AddDays(delta))};
+    }
+    ARCHIS_ASSIGN_OR_RETURN(double a, ArgNumber(name, args[0]));
+    ARCHIS_ASSIGN_OR_RETURN(double b, ArgNumber(name, args[1]));
+    double r = 0;
+    if (name == "op:add") r = a + b;
+    else if (name == "op:subtract") r = a - b;
+    else if (name == "op:multiply") r = a * b;
+    else if (name == "op:divide") {
+      if (b == 0) return Status::InvalidArgument("division by zero");
+      r = a / b;
+    } else {
+      if (b == 0) return Status::InvalidArgument("mod by zero");
+      r = static_cast<double>(static_cast<int64_t>(a) %
+                              static_cast<int64_t>(b));
+    }
+    return Sequence{Item(r)};
+  }
+
+  return Status::NotImplemented("unknown function '" + name + "'");
+}
+
+}  // namespace archis::xquery

@@ -1,0 +1,32 @@
+// The temporal user-defined-function library (paper Section 4.2) plus the
+// standard XQuery built-ins the paper queries rely on.
+#ifndef ARCHIS_XQUERY_FUNCTIONS_H_
+#define ARCHIS_XQUERY_FUNCTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "xquery/item.h"
+
+namespace archis::xquery {
+
+struct EvalContext;
+
+/// Whether `name` is a registered function.
+bool IsKnownFunction(const std::string& name);
+
+/// Invokes function `name` on evaluated argument sequences.
+///
+/// Temporal UDFs: tstart, tend, tinterval, timespan, telement, toverlaps,
+/// tprecedes, tcontains, tequals, tmeets, overlapinterval, coalesce,
+/// restructure, tavg, rtend, externalnow.
+/// Standard built-ins: empty, exists, count, max, min, sum, avg, string,
+/// number, concat, distinct-values, name, current-date, xs:date, true,
+/// false, op:add/subtract/multiply/divide/mod.
+Result<Sequence> CallFunction(const std::string& name,
+                              const std::vector<Sequence>& args,
+                              const EvalContext& ctx);
+
+}  // namespace archis::xquery
+
+#endif  // ARCHIS_XQUERY_FUNCTIONS_H_

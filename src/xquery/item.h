@@ -1,0 +1,73 @@
+// XDM-lite: the value space of the XQuery evaluator.
+//
+// An item is a node reference or an atomic value (string, number, boolean,
+// date). Intervals are represented as `<interval tstart=.. tend=../>`
+// elements, exactly the form the paper's overlapinterval UDF returns.
+#ifndef ARCHIS_XQUERY_ITEM_H_
+#define ARCHIS_XQUERY_ITEM_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/date.h"
+#include "common/interval.h"
+#include "xml/node.h"
+
+namespace archis::xquery {
+
+/// A single XQuery item.
+class Item {
+ public:
+  Item() : v_(std::string()) {}
+  explicit Item(xml::XmlNodePtr node) : v_(std::move(node)) {}
+  explicit Item(std::string s) : v_(std::move(s)) {}
+  explicit Item(const char* s) : v_(std::string(s)) {}
+  explicit Item(double n) : v_(n) {}
+  explicit Item(bool b) : v_(b) {}
+  explicit Item(Date d) : v_(d) {}
+
+  bool is_node() const {
+    return std::holds_alternative<xml::XmlNodePtr>(v_);
+  }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_boolean() const { return std::holds_alternative<bool>(v_); }
+  bool is_date() const { return std::holds_alternative<Date>(v_); }
+
+  const xml::XmlNodePtr& node() const {
+    return std::get<xml::XmlNodePtr>(v_);
+  }
+  const std::string& str() const { return std::get<std::string>(v_); }
+  double number() const { return std::get<double>(v_); }
+  bool boolean() const { return std::get<bool>(v_); }
+  Date date() const { return std::get<Date>(v_); }
+
+  /// The atomized string form (nodes yield their string value).
+  std::string StringValue() const;
+
+ private:
+  std::variant<xml::XmlNodePtr, std::string, double, bool, Date> v_;
+};
+
+/// An ordered sequence of items — the result of every expression.
+using Sequence = std::vector<Item>;
+
+/// XQuery effective boolean value: empty -> false; a leading node -> true;
+/// singleton atomic by its own truth (number != 0, non-empty string, bool).
+bool EffectiveBooleanValue(const Sequence& seq);
+
+/// Builds an `<interval tstart=".." tend=".."/>` element.
+xml::XmlNodePtr MakeIntervalElement(const TimeInterval& iv,
+                                    const std::string& tag = "interval");
+
+/// Extracts a temporal interval from an item: for nodes, their
+/// tstart/tend attributes; NotFound otherwise.
+Result<TimeInterval> ItemInterval(const Item& item);
+
+/// Extracts the interval of the first node in `seq` that has one.
+Result<TimeInterval> SequenceInterval(const Sequence& seq);
+
+}  // namespace archis::xquery
+
+#endif  // ARCHIS_XQUERY_ITEM_H_

@@ -1,0 +1,131 @@
+#include "xquery/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace archis::xquery {
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.';
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string input) : input_(std::move(input)) {}
+
+Status Lexer::Tokenize() {
+  tokens_.clear();
+  size_t i = 0;
+  const std::string& s = input_;
+  while (i < s.size()) {
+    char c = s[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: (: ... :)
+    if (c == '(' && i + 1 < s.size() && s[i + 1] == ':') {
+      size_t depth = 1;
+      i += 2;
+      while (i + 1 < s.size() && depth > 0) {
+        if (s[i] == '(' && s[i + 1] == ':') { ++depth; i += 2; }
+        else if (s[i] == ':' && s[i + 1] == ')') { --depth; i += 2; }
+        else ++i;
+      }
+      if (depth > 0) return Status::ParseError("unterminated (: comment");
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (c == '$') {
+      ++i;
+      std::string name;
+      while (i < s.size() && IsNameChar(s[i])) name += s[i++];
+      if (name.empty()) return Status::ParseError("bare '$'");
+      tok.kind = TokenKind::kVariable;
+      tok.text = std::move(name);
+    } else if (c == '"' || c == '\'') {
+      ++i;
+      std::string text;
+      while (i < s.size() && s[i] != c) text += s[i++];
+      if (i >= s.size()) return Status::ParseError("unterminated string");
+      ++i;
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(text);
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < s.size() &&
+             (std::isdigit(static_cast<unsigned char>(s[i])) ||
+              s[i] == '.')) {
+        ++i;
+      }
+      tok.kind = TokenKind::kNumber;
+      tok.text = s.substr(start, i - start);
+      tok.number = std::strtod(tok.text.c_str(), nullptr);
+    } else if (IsNameStart(c)) {
+      std::string name;
+      while (i < s.size() && IsNameChar(s[i])) name += s[i++];
+      // Namespace-qualified names (xs:date) lex as one token; a ':' is part
+      // of the name only when followed by a name start (so `let $x := ...`
+      // still lexes `:=` separately).
+      if (i + 1 < s.size() && s[i] == ':' && IsNameStart(s[i + 1])) {
+        name += s[i++];
+        while (i < s.size() && IsNameChar(s[i])) name += s[i++];
+      }
+      tok.kind = TokenKind::kName;
+      tok.text = std::move(name);
+    } else {
+      // Multi-character symbols first.
+      auto two = s.substr(i, 2);
+      if (two == "!=" || two == "<=" || two == ">=" || two == ":=" ||
+          two == "//" || two == "<<" || two == ">>") {
+        tok.kind = TokenKind::kSymbol;
+        tok.text = two;
+        i += 2;
+      } else {
+        static const std::string kSingles = "/[](){},=<>.@*+-|";
+        if (kSingles.find(c) == std::string::npos) {
+          return Status::ParseError(std::string("unexpected character '") +
+                                    c + "' at offset " + std::to_string(i));
+        }
+        tok.kind = TokenKind::kSymbol;
+        tok.text = std::string(1, c);
+        ++i;
+      }
+    }
+    tokens_.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = s.size();
+  tokens_.push_back(std::move(end));
+  pos_ = 0;
+  return Status::OK();
+}
+
+const Token& Lexer::Peek(size_t lookahead) const {
+  size_t idx = pos_ + lookahead;
+  if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+  return tokens_[idx];
+}
+
+Token Lexer::Next() {
+  const Token& tok = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return tok;
+}
+
+size_t Lexer::SourceOffsetOfNextToken() const { return Peek().offset; }
+
+void Lexer::ResyncToSourceOffset(size_t offset) {
+  pos_ = 0;
+  while (pos_ + 1 < tokens_.size() && tokens_[pos_].offset < offset) ++pos_;
+}
+
+}  // namespace archis::xquery

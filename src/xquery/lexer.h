@@ -1,0 +1,74 @@
+// Tokenizer for the XQuery subset ArchIS supports.
+//
+// Direct element constructors (`<employee>{$e/id}</employee>`) switch the
+// parser into raw-scanning mode; the lexer therefore exposes its cursor so
+// the parser can re-synchronise after consuming raw XML content.
+#ifndef ARCHIS_XQUERY_LEXER_H_
+#define ARCHIS_XQUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace archis::xquery {
+
+/// Token categories.
+enum class TokenKind {
+  kName,       // identifiers and keywords (for, let, where, ...), incl. ns:name
+  kVariable,   // $name
+  kString,     // "..." or '...'
+  kNumber,     // integer or decimal literal
+  kSymbol,     // punctuation: / [ ] ( ) { } , = != < <= > >= := . @ * + - |
+  kEnd,
+};
+
+/// One token with its source offset (for error messages and raw re-sync).
+struct Token {
+  TokenKind kind;
+  std::string text;
+  double number = 0;
+  size_t offset = 0;
+
+  bool Is(TokenKind k, const std::string& t) const {
+    return kind == k && text == t;
+  }
+  bool IsName(const std::string& t) const { return Is(TokenKind::kName, t); }
+  bool IsSymbol(const std::string& t) const {
+    return Is(TokenKind::kSymbol, t);
+  }
+};
+
+/// Lexer with arbitrary lookahead and raw-mode support.
+class Lexer {
+ public:
+  explicit Lexer(std::string input);
+
+  /// Tokenizes the whole input up front; ParseError on bad characters.
+  Status Tokenize();
+
+  const Token& Peek(size_t lookahead = 0) const;
+  Token Next();
+
+  /// Index of the next token (for save/restore backtracking).
+  size_t position() const { return pos_; }
+  void set_position(size_t pos) { pos_ = pos; }
+
+  /// The raw source text and the source offset of the next token — used by
+  /// the parser's direct-element-constructor scanner.
+  const std::string& source() const { return input_; }
+  size_t SourceOffsetOfNextToken() const;
+
+  /// Re-synchronises the token stream to the first token at or after source
+  /// offset `offset`.
+  void ResyncToSourceOffset(size_t offset);
+
+ private:
+  std::string input_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace archis::xquery
+
+#endif  // ARCHIS_XQUERY_LEXER_H_

@@ -1,0 +1,559 @@
+#include "xquery/parser.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+#include "xquery/lexer.h"
+
+namespace archis::xquery {
+namespace {
+
+/// Recursive-descent parser over a Lexer.
+class Parser {
+ public:
+  explicit Parser(std::string query) : lexer_(std::move(query)) {}
+
+  Result<ExprPtr> Parse() {
+    ARCHIS_RETURN_NOT_OK(lexer_.Tokenize());
+    ARCHIS_ASSIGN_OR_RETURN(ExprPtr e, ParseExprSequence());
+    if (lexer_.Peek().kind != TokenKind::kEnd) {
+      return Status::ParseError("trailing tokens after expression: '" +
+                                lexer_.Peek().text + "'");
+    }
+    return e;
+  }
+
+ private:
+  // ExprSequence := Expr (',' Expr)*
+  Result<ExprPtr> ParseExprSequence() {
+    ARCHIS_ASSIGN_OR_RETURN(ExprPtr first, ParseExpr());
+    if (!lexer_.Peek().IsSymbol(",")) return first;
+    auto seq = MakeExpr(ExprKind::kSequence);
+    seq->children.push_back(std::move(first));
+    while (lexer_.Peek().IsSymbol(",")) {
+      lexer_.Next();
+      ARCHIS_ASSIGN_OR_RETURN(ExprPtr next, ParseExpr());
+      seq->children.push_back(std::move(next));
+    }
+    return seq;
+  }
+
+  // Expr := Flwor | Quantified | If | OrExpr
+  Result<ExprPtr> ParseExpr() {
+    const Token& tok = lexer_.Peek();
+    if (tok.IsName("for") || tok.IsName("let")) return ParseFlwor();
+    if (tok.IsName("every") || tok.IsName("some")) return ParseQuantified();
+    if (tok.IsName("if") && lexer_.Peek(1).IsSymbol("(")) return ParseIf();
+    return ParseOr();
+  }
+
+  Result<ExprPtr> ParseFlwor() {
+    auto flwor = MakeExpr(ExprKind::kFlwor);
+    while (true) {
+      const Token& tok = lexer_.Peek();
+      bool is_let;
+      if (tok.IsName("for")) {
+        is_let = false;
+      } else if (tok.IsName("let")) {
+        is_let = true;
+      } else {
+        break;
+      }
+      lexer_.Next();
+      // One keyword may introduce several comma-separated bindings.
+      while (true) {
+        ForLetClause clause;
+        clause.is_let = is_let;
+        if (lexer_.Peek().kind != TokenKind::kVariable) {
+          return Status::ParseError("expected $var after for/let");
+        }
+        clause.var = lexer_.Next().text;
+        if (is_let) {
+          if (!lexer_.Peek().IsSymbol(":=")) {
+            return Status::ParseError("expected ':=' in let clause");
+          }
+        } else {
+          if (!lexer_.Peek().IsName("in")) {
+            return Status::ParseError("expected 'in' in for clause");
+          }
+        }
+        lexer_.Next();
+        ARCHIS_ASSIGN_OR_RETURN(clause.expr, ParseExpr());
+        flwor->clauses.push_back(std::move(clause));
+        if (lexer_.Peek().IsSymbol(",") &&
+            lexer_.Peek(1).kind == TokenKind::kVariable) {
+          lexer_.Next();
+          continue;
+        }
+        break;
+      }
+    }
+    if (flwor->clauses.empty()) {
+      return Status::ParseError("FLWOR without for/let clause");
+    }
+    if (lexer_.Peek().IsName("where")) {
+      lexer_.Next();
+      ARCHIS_ASSIGN_OR_RETURN(flwor->where, ParseExpr());
+    }
+    if (!lexer_.Peek().IsName("return")) {
+      return Status::ParseError("FLWOR missing 'return'");
+    }
+    lexer_.Next();
+    ARCHIS_ASSIGN_OR_RETURN(flwor->ret, ParseExpr());
+    return flwor;
+  }
+
+  Result<ExprPtr> ParseQuantified() {
+    auto quant = MakeExpr(ExprKind::kQuantified);
+    quant->every_quant = lexer_.Next().IsName("every");
+    if (lexer_.Peek().kind != TokenKind::kVariable) {
+      return Status::ParseError("expected $var after every/some");
+    }
+    quant->str = lexer_.Next().text;
+    if (!lexer_.Peek().IsName("in")) {
+      return Status::ParseError("expected 'in' in quantified expression");
+    }
+    lexer_.Next();
+    ARCHIS_ASSIGN_OR_RETURN(ExprPtr in_expr, ParseOr());
+    if (!lexer_.Peek().IsName("satisfies")) {
+      return Status::ParseError("expected 'satisfies'");
+    }
+    lexer_.Next();
+    ARCHIS_ASSIGN_OR_RETURN(ExprPtr sat, ParseExpr());
+    quant->children = {std::move(in_expr), std::move(sat)};
+    return quant;
+  }
+
+  Result<ExprPtr> ParseIf() {
+    lexer_.Next();  // if
+    if (!lexer_.Peek().IsSymbol("(")) {
+      return Status::ParseError("expected '(' after if");
+    }
+    lexer_.Next();
+    ARCHIS_ASSIGN_OR_RETURN(ExprPtr cond, ParseExprSequence());
+    if (!lexer_.Peek().IsSymbol(")")) {
+      return Status::ParseError("expected ')' after if condition");
+    }
+    lexer_.Next();
+    if (!lexer_.Peek().IsName("then")) {
+      return Status::ParseError("expected 'then'");
+    }
+    lexer_.Next();
+    ARCHIS_ASSIGN_OR_RETURN(ExprPtr then_e, ParseExpr());
+    if (!lexer_.Peek().IsName("else")) {
+      return Status::ParseError("expected 'else'");
+    }
+    lexer_.Next();
+    ARCHIS_ASSIGN_OR_RETURN(ExprPtr else_e, ParseExpr());
+    auto e = MakeExpr(ExprKind::kIf);
+    e->children = {std::move(cond), std::move(then_e), std::move(else_e)};
+    return e;
+  }
+
+  Result<ExprPtr> ParseOr() {
+    ARCHIS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    if (!lexer_.Peek().IsName("or")) return lhs;
+    auto e = MakeExpr(ExprKind::kOr);
+    e->children.push_back(std::move(lhs));
+    while (lexer_.Peek().IsName("or")) {
+      lexer_.Next();
+      ARCHIS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      e->children.push_back(std::move(rhs));
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    ARCHIS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseComparison());
+    if (!lexer_.Peek().IsName("and")) return lhs;
+    auto e = MakeExpr(ExprKind::kAnd);
+    e->children.push_back(std::move(lhs));
+    while (lexer_.Peek().IsName("and")) {
+      lexer_.Next();
+      ARCHIS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseComparison());
+      e->children.push_back(std::move(rhs));
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    // A quantified expression can be an operand of and/or (the paper's
+    // QUERY 8 conjoins two `every ... satisfies` clauses).
+    if ((lexer_.Peek().IsName("every") || lexer_.Peek().IsName("some")) &&
+        lexer_.Peek(1).kind == TokenKind::kVariable) {
+      return ParseQuantified();
+    }
+    // Unary keyword 'not' (the paper writes both `not empty($d)` and
+    // `not(empty(...))`; the function form is handled in ParsePrimary).
+    if (lexer_.Peek().IsName("not") && !lexer_.Peek(1).IsSymbol("(")) {
+      lexer_.Next();
+      ARCHIS_ASSIGN_OR_RETURN(ExprPtr inner, ParseComparison());
+      auto e = MakeExpr(ExprKind::kNot);
+      e->children.push_back(std::move(inner));
+      return e;
+    }
+    ARCHIS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    const Token& tok = lexer_.Peek();
+    static const char* kOps[] = {"=", "!=", "<", "<=", ">", ">="};
+    for (const char* op : kOps) {
+      if (tok.IsSymbol(op)) {
+        lexer_.Next();
+        ARCHIS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        auto e = MakeExpr(ExprKind::kComparison);
+        e->str = op;
+        e->children = {std::move(lhs), std::move(rhs)};
+        return e;
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    ARCHIS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (lexer_.Peek().IsSymbol("+") || lexer_.Peek().IsSymbol("-")) {
+      std::string op = lexer_.Next().text;
+      ARCHIS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      auto e = MakeExpr(ExprKind::kFunctionCall);
+      e->str = op == "+" ? "op:add" : "op:subtract";
+      e->children = {std::move(lhs), std::move(rhs)};
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    ARCHIS_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePath());
+    while (lexer_.Peek().IsSymbol("*") || lexer_.Peek().IsName("div") ||
+           lexer_.Peek().IsName("mod")) {
+      std::string op = lexer_.Next().text;
+      ARCHIS_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePath());
+      auto e = MakeExpr(ExprKind::kFunctionCall);
+      e->str = op == "*" ? "op:multiply"
+               : op == "div" ? "op:divide" : "op:mod";
+      e->children = {std::move(lhs), std::move(rhs)};
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  // Path := Primary ('/' Step | '//' Step | Predicate)*
+  Result<ExprPtr> ParsePath() {
+    ARCHIS_ASSIGN_OR_RETURN(ExprPtr source, ParsePrimary());
+    // Predicates directly on the primary (e.g. `$e/title[...]` handles the
+    // steps below; `(...)[1]` style is rare — treated as a path with zero
+    // steps whose source gets the predicate attached via a self step).
+    if (!lexer_.Peek().IsSymbol("/") && !lexer_.Peek().IsSymbol("//") &&
+        !lexer_.Peek().IsSymbol("[")) {
+      return source;
+    }
+    auto path = MakeExpr(ExprKind::kPath);
+    path->children.push_back(std::move(source));
+    // A leading predicate on the source itself: model as a wildcard-free
+    // self filter by hoisting into a step with name "." — the evaluator
+    // special-cases it.
+    if (lexer_.Peek().IsSymbol("[")) {
+      PathStep self;
+      self.name = ".";
+      ARCHIS_RETURN_NOT_OK(ParsePredicates(&self));
+      path->steps.push_back(std::move(self));
+    }
+    while (lexer_.Peek().IsSymbol("/") || lexer_.Peek().IsSymbol("//")) {
+      bool descendant = lexer_.Next().text == "//";
+      PathStep step;
+      if (descendant) step.axis = PathStep::Axis::kDescendantOrSelf;
+      if (lexer_.Peek().IsSymbol("@")) {
+        lexer_.Next();
+        step.axis = PathStep::Axis::kAttribute;
+      }
+      const Token& tok = lexer_.Peek();
+      if (tok.kind == TokenKind::kName || tok.IsSymbol("*")) {
+        step.name = lexer_.Next().text;
+      } else {
+        return Status::ParseError("expected step name after '/'");
+      }
+      ARCHIS_RETURN_NOT_OK(ParsePredicates(&step));
+      path->steps.push_back(std::move(step));
+    }
+    return path;
+  }
+
+  Status ParsePredicates(PathStep* step) {
+    while (lexer_.Peek().IsSymbol("[")) {
+      lexer_.Next();
+      ARCHIS_ASSIGN_OR_RETURN(ExprPtr pred, ParseExpr());
+      if (!lexer_.Peek().IsSymbol("]")) {
+        return Status::ParseError("expected ']' closing predicate");
+      }
+      lexer_.Next();
+      step->predicates.push_back(std::move(pred));
+    }
+    return Status::OK();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = lexer_.Peek();
+    switch (tok.kind) {
+      case TokenKind::kVariable:
+        return MakeVarRef(lexer_.Next().text);
+      case TokenKind::kString:
+        return MakeString(lexer_.Next().text);
+      case TokenKind::kNumber:
+        return MakeNumber(lexer_.Next().number);
+      case TokenKind::kName: {
+        if (tok.text == "element") return ParseComputedElement();
+        if (lexer_.Peek(1).IsSymbol("(")) return ParseFunctionCall();
+        // Bare name: a child step relative to the context item.
+        auto path = MakeExpr(ExprKind::kPath);
+        path->children.push_back(MakeExpr(ExprKind::kContextItem));
+        PathStep step;
+        step.name = lexer_.Next().text;
+        ARCHIS_RETURN_NOT_OK(ParsePredicates(&step));
+        path->steps.push_back(std::move(step));
+        return path;
+      }
+      case TokenKind::kSymbol: {
+        if (tok.text == "(") {
+          lexer_.Next();
+          if (lexer_.Peek().IsSymbol(")")) {
+            lexer_.Next();
+            return MakeExpr(ExprKind::kEmptySeq);
+          }
+          ARCHIS_ASSIGN_OR_RETURN(ExprPtr inner, ParseExprSequence());
+          if (!lexer_.Peek().IsSymbol(")")) {
+            return Status::ParseError("expected ')'");
+          }
+          lexer_.Next();
+          return inner;
+        }
+        if (tok.text == ".") {
+          lexer_.Next();
+          return MakeExpr(ExprKind::kContextItem);
+        }
+        if (tok.text == "<") return ParseDirectElement();
+        if (tok.text == "@") {
+          lexer_.Next();
+          auto path = MakeExpr(ExprKind::kPath);
+          path->children.push_back(MakeExpr(ExprKind::kContextItem));
+          PathStep step;
+          step.axis = PathStep::Axis::kAttribute;
+          if (lexer_.Peek().kind != TokenKind::kName) {
+            return Status::ParseError("expected attribute name after '@'");
+          }
+          step.name = lexer_.Next().text;
+          path->steps.push_back(std::move(step));
+          return path;
+        }
+        break;
+      }
+      case TokenKind::kEnd:
+        break;
+    }
+    return Status::ParseError("unexpected token '" + tok.text +
+                              "' at offset " + std::to_string(tok.offset));
+  }
+
+  // element NAME { content? }
+  Result<ExprPtr> ParseComputedElement() {
+    lexer_.Next();  // element
+    if (lexer_.Peek().kind != TokenKind::kName) {
+      return Status::ParseError("expected element name after 'element'");
+    }
+    auto ctor = MakeExpr(ExprKind::kElementCtor);
+    ctor->str = lexer_.Next().text;
+    if (!lexer_.Peek().IsSymbol("{")) {
+      return Status::ParseError("expected '{' in element constructor");
+    }
+    lexer_.Next();
+    if (!lexer_.Peek().IsSymbol("}")) {
+      ARCHIS_ASSIGN_OR_RETURN(ExprPtr content, ParseExprSequence());
+      ctor->children.push_back(std::move(content));
+    }
+    if (!lexer_.Peek().IsSymbol("}")) {
+      return Status::ParseError("expected '}' closing element constructor");
+    }
+    lexer_.Next();
+    return ctor;
+  }
+
+  Result<ExprPtr> ParseFunctionCall() {
+    auto call = MakeExpr(ExprKind::kFunctionCall);
+    call->str = lexer_.Next().text;
+    lexer_.Next();  // (
+    if (!lexer_.Peek().IsSymbol(")")) {
+      while (true) {
+        ARCHIS_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+        call->children.push_back(std::move(arg));
+        if (lexer_.Peek().IsSymbol(",")) {
+          lexer_.Next();
+          continue;
+        }
+        break;
+      }
+    }
+    if (!lexer_.Peek().IsSymbol(")")) {
+      return Status::ParseError("expected ')' closing call to " + call->str);
+    }
+    lexer_.Next();
+    // Normalise: not(...) becomes kNot.
+    if (call->str == "not" && call->children.size() == 1) {
+      auto e = MakeExpr(ExprKind::kNot);
+      e->children = std::move(call->children);
+      return e;
+    }
+    return call;
+  }
+
+  // Direct element constructor: scanned straight off the source text, since
+  // XML content does not tokenize as XQuery. Embedded `{Expr}` blocks are
+  // parsed recursively.
+  Result<ExprPtr> ParseDirectElement() {
+    const std::string& src = lexer_.source();
+    size_t i = lexer_.SourceOffsetOfNextToken();  // at '<'
+    ARCHIS_ASSIGN_OR_RETURN(ExprPtr elem, ScanElement(src, &i));
+    lexer_.ResyncToSourceOffset(i);
+    return elem;
+  }
+
+  Result<ExprPtr> ScanElement(const std::string& src, size_t* i) {
+    if (src[*i] != '<') return Status::ParseError("expected '<'");
+    ++*i;
+    std::string name;
+    while (*i < src.size() &&
+           (std::isalnum(static_cast<unsigned char>(src[*i])) ||
+            src[*i] == '_' || src[*i] == '-' || src[*i] == ':')) {
+      name += src[(*i)++];
+    }
+    if (name.empty()) return Status::ParseError("direct ctor missing name");
+    auto ctor = MakeExpr(ExprKind::kElementCtor);
+    ctor->str = name;
+
+    // Attributes.
+    while (*i < src.size()) {
+      while (*i < src.size() &&
+             std::isspace(static_cast<unsigned char>(src[*i]))) {
+        ++*i;
+      }
+      if (*i >= src.size()) return Status::ParseError("unterminated tag");
+      if (src[*i] == '/') {
+        if (*i + 1 < src.size() && src[*i + 1] == '>') {
+          *i += 2;
+          return ctor;  // empty element
+        }
+        return Status::ParseError("stray '/' in tag");
+      }
+      if (src[*i] == '>') {
+        ++*i;
+        break;
+      }
+      std::string attr;
+      while (*i < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[*i])) ||
+              src[*i] == '_' || src[*i] == '-' || src[*i] == ':')) {
+        attr += src[(*i)++];
+      }
+      while (*i < src.size() &&
+             std::isspace(static_cast<unsigned char>(src[*i]))) {
+        ++*i;
+      }
+      if (*i >= src.size() || src[*i] != '=') {
+        return Status::ParseError("attribute '" + attr + "' missing '='");
+      }
+      ++*i;
+      while (*i < src.size() &&
+             std::isspace(static_cast<unsigned char>(src[*i]))) {
+        ++*i;
+      }
+      if (*i >= src.size() || (src[*i] != '"' && src[*i] != '\'')) {
+        return Status::ParseError("attribute '" + attr + "' missing quote");
+      }
+      char quote = src[(*i)++];
+      std::string value;
+      while (*i < src.size() && src[*i] != quote) value += src[(*i)++];
+      if (*i >= src.size()) {
+        return Status::ParseError("unterminated attribute value");
+      }
+      ++*i;
+      ctor->attrs.push_back({attr, XmlUnescape(value)});
+    }
+
+    // Content: text, {expr}, nested elements, until matching close tag.
+    std::string text;
+    auto flush_text = [&]() {
+      std::string trimmed(Trim(text));
+      if (!trimmed.empty()) {
+        auto t = MakeExpr(ExprKind::kTextLit);
+        t->str = XmlUnescape(trimmed);
+        ctor->children.push_back(std::move(t));
+      }
+      text.clear();
+    };
+    while (*i < src.size()) {
+      char c = src[*i];
+      if (c == '<') {
+        if (*i + 1 < src.size() && src[*i + 1] == '/') {
+          flush_text();
+          *i += 2;
+          std::string close;
+          while (*i < src.size() && src[*i] != '>') close += src[(*i)++];
+          if (*i >= src.size()) {
+            return Status::ParseError("unterminated close tag");
+          }
+          ++*i;
+          if (std::string(Trim(close)) != name) {
+            return Status::ParseError("mismatched close tag </" + close +
+                                      "> for <" + name + ">");
+          }
+          return ctor;
+        }
+        flush_text();
+        ARCHIS_ASSIGN_OR_RETURN(ExprPtr child, ScanElement(src, i));
+        ctor->children.push_back(std::move(child));
+      } else if (c == '{') {
+        flush_text();
+        size_t start = *i + 1;
+        ARCHIS_ASSIGN_OR_RETURN(size_t end, FindMatchingBrace(src, *i));
+        std::string inner = src.substr(start, end - start);
+        Parser sub(inner);
+        ARCHIS_ASSIGN_OR_RETURN(ExprPtr child, sub.Parse());
+        ctor->children.push_back(std::move(child));
+        *i = end + 1;
+      } else {
+        text += c;
+        ++*i;
+      }
+    }
+    return Status::ParseError("unterminated element <" + name + ">");
+  }
+
+  /// Index of the '}' matching the '{' at `open`, skipping string literals.
+  static Result<size_t> FindMatchingBrace(const std::string& src,
+                                          size_t open) {
+    int depth = 0;
+    for (size_t i = open; i < src.size(); ++i) {
+      char c = src[i];
+      if (c == '"' || c == '\'') {
+        char quote = c;
+        ++i;
+        while (i < src.size() && src[i] != quote) ++i;
+        continue;
+      }
+      if (c == '{') ++depth;
+      if (c == '}') {
+        --depth;
+        if (depth == 0) return i;
+      }
+    }
+    return Status::ParseError("unbalanced '{' in direct constructor");
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseXQuery(const std::string& query) {
+  Parser parser(query);
+  return parser.Parse();
+}
+
+}  // namespace archis::xquery

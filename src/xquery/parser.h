@@ -1,0 +1,20 @@
+// Recursive-descent parser for the XQuery subset used by all paper queries:
+// FLWOR, path expressions with predicates, general comparisons, and/or/not,
+// quantified expressions (some/every ... satisfies), computed and direct
+// element constructors, function calls and literals.
+#ifndef ARCHIS_XQUERY_PARSER_H_
+#define ARCHIS_XQUERY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "xquery/ast.h"
+
+namespace archis::xquery {
+
+/// Parses a full XQuery expression; ParseError on malformed input.
+Result<ExprPtr> ParseXQuery(const std::string& query);
+
+}  // namespace archis::xquery
+
+#endif  // ARCHIS_XQUERY_PARSER_H_

@@ -1,0 +1,178 @@
+// Unit tests for common/: Status/Result, Date, TimeInterval, str_util.
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "common/interval.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace archis {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing table");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.ToString(), "NotFound: missing table");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::IOError("disk gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> Doubled(Result<int> in) {
+  ARCHIS_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_EQ(Doubled(Status::NotFound("x")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DateTest, RoundTripsYmd) {
+  Date d = Date::FromYmd(1995, 6, 1);
+  EXPECT_EQ(d.year(), 1995);
+  EXPECT_EQ(d.month(), 6);
+  EXPECT_EQ(d.day(), 1);
+  EXPECT_EQ(d.ToString(), "1995-06-01");
+}
+
+TEST(DateTest, ParsesIsoAndUsFormats) {
+  auto iso = Date::Parse("1995-06-01");
+  ASSERT_TRUE(iso.ok());
+  auto us = Date::Parse("06/01/1995");  // the paper's H-table sample format
+  ASSERT_TRUE(us.ok());
+  EXPECT_EQ(*iso, *us);
+}
+
+TEST(DateTest, RejectsGarbage) {
+  EXPECT_FALSE(Date::Parse("not a date").ok());
+  EXPECT_FALSE(Date::Parse("1995-13-01").ok());
+  EXPECT_FALSE(Date::Parse("1995-01-42").ok());
+}
+
+TEST(DateTest, ForeverIsEndOfTime) {
+  EXPECT_EQ(Date::Forever().ToString(), "9999-12-31");
+  EXPECT_TRUE(Date::Forever().IsForever());
+  EXPECT_FALSE(Date::FromYmd(2006, 1, 1).IsForever());
+  // The sentinel orders after every real date — the property Section 4.3
+  // relies on for index compatibility.
+  EXPECT_LT(Date::FromYmd(9999, 12, 30), Date::Forever());
+}
+
+TEST(DateTest, ArithmeticCrossesMonthAndLeapBoundaries) {
+  EXPECT_EQ(Date::FromYmd(1995, 1, 31).AddDays(1), Date::FromYmd(1995, 2, 1));
+  EXPECT_EQ(Date::FromYmd(1996, 2, 28).AddDays(1),
+            Date::FromYmd(1996, 2, 29));  // leap year
+  EXPECT_EQ(Date::FromYmd(1995, 2, 28).AddDays(1), Date::FromYmd(1995, 3, 1));
+  EXPECT_EQ(Date::FromYmd(1995, 12, 31).AddDays(1),
+            Date::FromYmd(1996, 1, 1));
+  EXPECT_EQ(Date::FromYmd(1996, 1, 1) - Date::FromYmd(1995, 1, 1), 365);
+}
+
+class DateRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DateRoundTrip, ParseOfToStringIsIdentity) {
+  Date d = Date::FromYmd(1985, 1, 1).AddDays(GetParam() * 97);
+  auto parsed = Date::Parse(d.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, d);
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepTwentyYears, DateRoundTrip,
+                         ::testing::Range(0, 80));
+
+TEST(IntervalTest, ValidityAndDuration) {
+  TimeInterval iv(Date::FromYmd(1995, 1, 1), Date::FromYmd(1995, 1, 10));
+  EXPECT_TRUE(iv.valid());
+  EXPECT_EQ(iv.duration_days(), 10);
+  EXPECT_FALSE(TimeInterval(iv.tend, iv.tstart).valid());
+}
+
+TEST(IntervalTest, AllenPredicates) {
+  TimeInterval a(Date::FromYmd(1995, 1, 1), Date::FromYmd(1995, 5, 31));
+  TimeInterval b(Date::FromYmd(1995, 6, 1), Date::FromYmd(1995, 9, 30));
+  TimeInterval c(Date::FromYmd(1995, 3, 1), Date::FromYmd(1995, 7, 1));
+  EXPECT_TRUE(a.Meets(b));
+  EXPECT_FALSE(b.Meets(a));
+  EXPECT_TRUE(a.Precedes(b));
+  EXPECT_TRUE(a.Overlaps(c));
+  EXPECT_TRUE(c.Overlaps(b));
+  EXPECT_FALSE(a.Overlaps(b));  // adjacent but disjoint (inclusive bounds)
+  EXPECT_TRUE(TimeInterval(a.tstart, b.tend).Contains(c));
+  EXPECT_TRUE(a.Equals(a));
+}
+
+TEST(IntervalTest, IntersectAndSpan) {
+  TimeInterval a(Date::FromYmd(1995, 1, 1), Date::FromYmd(1995, 5, 31));
+  TimeInterval c(Date::FromYmd(1995, 3, 1), Date::FromYmd(1995, 7, 1));
+  auto meet = a.Intersect(c);
+  ASSERT_TRUE(meet.has_value());
+  EXPECT_EQ(meet->tstart, c.tstart);
+  EXPECT_EQ(meet->tend, a.tend);
+  EXPECT_FALSE(a.Intersect(TimeInterval(Date::FromYmd(1996, 1, 1),
+                                        Date::FromYmd(1996, 2, 1)))
+                   .has_value());
+  TimeInterval span = a.Span(c);
+  EXPECT_EQ(span.tstart, a.tstart);
+  EXPECT_EQ(span.tend, c.tend);
+}
+
+TEST(IntervalTest, CurrentIntervalOverlapsEverythingAfterStart) {
+  TimeInterval live(Date::FromYmd(1995, 1, 1), Date::Forever());
+  EXPECT_TRUE(live.is_current());
+  EXPECT_TRUE(live.Overlaps(
+      TimeInterval(Date::FromYmd(2030, 1, 1), Date::FromYmd(2031, 1, 1))));
+  EXPECT_FALSE(live.Overlaps(
+      TimeInterval(Date::FromYmd(1990, 1, 1), Date::FromYmd(1994, 1, 1))));
+}
+
+TEST(StrUtilTest, SplitJoinTrim) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join(parts, "|"), "a|b||c");
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StrUtilTest, PrefixSuffixCase) {
+  EXPECT_TRUE(StartsWith("employee_salary", "employee"));
+  EXPECT_FALSE(StartsWith("emp", "employee"));
+  EXPECT_TRUE(EndsWith("employees.xml", ".xml"));
+  EXPECT_EQ(ToLower("XMLAgg"), "xmlagg");
+}
+
+TEST(StrUtilTest, XmlEscapeRoundTrip) {
+  std::string nasty = "a<b&c>\"d'e";
+  EXPECT_EQ(XmlEscape(nasty), "a&lt;b&amp;c&gt;&quot;d&apos;e");
+  EXPECT_EQ(XmlUnescape(XmlEscape(nasty)), nasty);
+  EXPECT_EQ(XmlUnescape("&bogus;"), "&bogus;");  // unknown entity passes
+}
+
+}  // namespace
+}  // namespace archis

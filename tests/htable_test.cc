@@ -1,0 +1,317 @@
+// Unit tests for H-tables (paper Section 5.1), change capture (Section
+// 5.2), the archiver and the H-document publisher — including composite
+// keys with surrogate ids.
+#include <gtest/gtest.h>
+
+#include "archis/archiver.h"
+#include "archis/publisher.h"
+#include "xml/serializer.h"
+
+namespace archis::core {
+namespace {
+
+using minirel::DataType;
+using minirel::Schema;
+using minirel::Tuple;
+using minirel::Value;
+
+Date D(int y, int m, int d) { return Date::FromYmd(y, m, d); }
+
+Schema LineItemSchema() {
+  // The paper's composite-key example: (supplierno, itemno) -> surrogate.
+  return Schema({{"supplierno", DataType::kInt64},
+                 {"itemno", DataType::kInt64},
+                 {"qty", DataType::kInt64}});
+}
+
+TEST(HTableSetTest, CreatesKeyAndAttributeStores) {
+  minirel::Database hdb;
+  auto set = HTableSet::Create(
+      &hdb, "employee",
+      Schema({{"id", DataType::kInt64},
+              {"name", DataType::kString},
+              {"salary", DataType::kInt64}}),
+      {"id"}, SegmentOptions{}, D(1995, 1, 1));
+  ASSERT_TRUE(set.ok());
+  EXPECT_NE((*set)->key_store(), nullptr);
+  ASSERT_EQ((*set)->attribute_names().size(), 2u);
+  EXPECT_TRUE((*set)->attribute_store("name").ok());
+  EXPECT_TRUE((*set)->attribute_store("salary").ok());
+  EXPECT_EQ((*set)->attribute_store("id").status().code(),
+            StatusCode::kNotFound);
+  // Backing tables exist in the H-database with the paper's naming.
+  EXPECT_TRUE(hdb.catalog().HasTable("employee_key__live"));
+  EXPECT_TRUE(hdb.catalog().HasTable("employee_salary__live"));
+  EXPECT_TRUE(hdb.catalog().HasTable("employee_salary__arch"));
+}
+
+TEST(HTableSetTest, CompositeKeysGetStableSurrogates) {
+  minirel::Database hdb;
+  auto set = HTableSet::Create(&hdb, "lineitem", LineItemSchema(),
+                               {"supplierno", "itemno"}, SegmentOptions{},
+                               D(1995, 1, 1));
+  ASSERT_TRUE(set.ok());
+  Tuple a{Value(int64_t{10}), Value(int64_t{20}), Value(int64_t{1})};
+  Tuple b{Value(int64_t{10}), Value(int64_t{21}), Value(int64_t{2})};
+  auto id_a1 = (*set)->IdFor(a);
+  auto id_b = (*set)->IdFor(b);
+  auto id_a2 = (*set)->IdFor(a);
+  ASSERT_TRUE(id_a1.ok() && id_b.ok() && id_a2.ok());
+  EXPECT_EQ(*id_a1, *id_a2);  // stable per key
+  EXPECT_NE(*id_a1, *id_b);   // distinct keys, distinct surrogates
+}
+
+TEST(HTableSetTest, UpdateOnlyTouchesChangedAttributes) {
+  minirel::Database hdb;
+  Schema schema({{"id", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"salary", DataType::kInt64}});
+  auto set = HTableSet::Create(&hdb, "emp", schema, {"id"}, SegmentOptions{},
+                               D(1995, 1, 1));
+  ASSERT_TRUE(set.ok());
+  Tuple v1{Value(int64_t{1}), Value("Ann"), Value(int64_t{100})};
+  Tuple v2{Value(int64_t{1}), Value("Ann"), Value(int64_t{200})};
+  ASSERT_TRUE((*set)->ArchiveInsert(v1, D(1995, 1, 1)).ok());
+  ASSERT_TRUE((*set)->ArchiveUpdate(v1, v2, D(1996, 1, 1)).ok());
+  EXPECT_EQ((*(*set)->attribute_store("salary"))->LogicalTuples(), 2u);
+  EXPECT_EQ((*(*set)->attribute_store("name"))->LogicalTuples(), 1u);
+  EXPECT_EQ((*set)->key_store()->LogicalTuples(), 1u);
+}
+
+TEST(HTableSetTest, SnapshotJoinsAllStores) {
+  minirel::Database hdb;
+  Schema schema({{"id", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"salary", DataType::kInt64}});
+  auto set = HTableSet::Create(&hdb, "emp", schema, {"id"}, SegmentOptions{},
+                               D(1995, 1, 1));
+  ASSERT_TRUE(set.ok());
+  Tuple v1{Value(int64_t{1}), Value("Ann"), Value(int64_t{100})};
+  Tuple v2{Value(int64_t{1}), Value("Ann"), Value(int64_t{200})};
+  ASSERT_TRUE((*set)->ArchiveInsert(v1, D(1995, 1, 1)).ok());
+  ASSERT_TRUE((*set)->ArchiveUpdate(v1, v2, D(1996, 1, 1)).ok());
+  ASSERT_TRUE((*set)->ArchiveDelete(v2, D(1997, 1, 1)).ok());
+
+  auto mid = (*set)->Snapshot(D(1995, 6, 1));
+  ASSERT_TRUE(mid.ok());
+  ASSERT_EQ(mid->size(), 1u);
+  EXPECT_EQ((*mid)[0], v1);
+  auto late = (*set)->Snapshot(D(1996, 6, 1));
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ((*late)[0], v2);
+  auto gone = (*set)->Snapshot(D(1998, 1, 1));
+  ASSERT_TRUE(gone.ok());
+  EXPECT_TRUE(gone->empty());
+}
+
+TEST(ChangeCaptureTest, TriggerModeIsSynchronous) {
+  std::vector<ChangeKind> seen;
+  ChangeCapture capture(CaptureMode::kTrigger,
+                        [&](const ChangeRecord& c) {
+    seen.push_back(c.kind);
+    return Status::OK();
+  });
+  ChangeRecord c;
+  c.kind = ChangeKind::kInsert;
+  ASSERT_TRUE(capture.Record(c).ok());
+  EXPECT_EQ(seen.size(), 1u);
+  EXPECT_EQ(capture.pending(), 0u);
+}
+
+TEST(ChangeCaptureTest, UpdateLogModeBuffersUntilFlush) {
+  std::vector<ChangeKind> seen;
+  ChangeCapture capture(CaptureMode::kUpdateLog,
+                        [&](const ChangeRecord& c) {
+    seen.push_back(c.kind);
+    return Status::OK();
+  });
+  ChangeRecord c;
+  c.kind = ChangeKind::kInsert;
+  ASSERT_TRUE(capture.Record(c).ok());
+  c.kind = ChangeKind::kDelete;
+  ASSERT_TRUE(capture.Record(c).ok());
+  EXPECT_TRUE(seen.empty());
+  EXPECT_EQ(capture.pending(), 2u);
+  ASSERT_TRUE(capture.Flush().ok());
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], ChangeKind::kInsert);  // order preserved
+  EXPECT_EQ(seen[1], ChangeKind::kDelete);
+  EXPECT_EQ(capture.pending(), 0u);
+}
+
+TEST(ChangeCaptureTest, SinkErrorsPropagate) {
+  ChangeCapture capture(CaptureMode::kTrigger, [](const ChangeRecord&) {
+    return Status::Internal("boom");
+  });
+  ChangeRecord c;
+  EXPECT_EQ(capture.Record(c).code(), StatusCode::kInternal);
+}
+
+TEST(ArchiverTest, MaintainsGlobalRelationsTable) {
+  minirel::Database hdb;
+  Archiver archiver(&hdb);
+  Schema schema({{"id", DataType::kInt64}, {"x", DataType::kString}});
+  ASSERT_TRUE(archiver.RegisterRelation("r1", schema, {"id"},
+                                        SegmentOptions{}, D(1990, 1, 1))
+                  .ok());
+  ASSERT_TRUE(archiver.RegisterRelation("r2", schema, {"id"},
+                                        SegmentOptions{}, D(1992, 1, 1))
+                  .ok());
+  EXPECT_EQ(archiver
+                .RegisterRelation("r1", schema, {"id"}, SegmentOptions{},
+                                  D(1993, 1, 1))
+                .code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_EQ(archiver.relations().size(), 2u);
+  EXPECT_TRUE(archiver.relations()[0].interval.is_current());
+  ASSERT_TRUE(archiver.UnregisterRelation("r1", D(1995, 1, 1)).ok());
+  EXPECT_EQ(archiver.relations()[0].interval.tend, D(1995, 1, 1));
+  EXPECT_EQ(archiver.UnregisterRelation("r1", D(1996, 1, 1)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PublisherTest, GroupsAttributeHistoriesUnderEntities) {
+  minirel::Database hdb;
+  Schema schema({{"id", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"salary", DataType::kInt64}});
+  auto set = HTableSet::Create(&hdb, "employees", schema, {"id"},
+                               SegmentOptions{}, D(1995, 1, 1));
+  ASSERT_TRUE(set.ok());
+  Tuple v1{Value(int64_t{7}), Value("Ed"), Value(int64_t{100})};
+  Tuple v2{Value(int64_t{7}), Value("Ed"), Value(int64_t{150})};
+  ASSERT_TRUE((*set)->ArchiveInsert(v1, D(1995, 1, 1)).ok());
+  ASSERT_TRUE((*set)->ArchiveUpdate(v1, v2, D(1996, 1, 1)).ok());
+  Tuple w{Value(int64_t{9}), Value("Flo"), Value(int64_t{300})};
+  ASSERT_TRUE((*set)->ArchiveInsert(w, D(1995, 6, 1)).ok());
+
+  auto doc = PublishHistory(
+      **set, TimeInterval(D(1995, 1, 1), Date::Forever()), {});
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->name(), "employees");
+  auto entities = (*doc)->ChildrenNamed("employee");
+  ASSERT_EQ(entities.size(), 2u);
+  // Entities ordered by id; each has an <id> child plus grouped attributes.
+  EXPECT_EQ(entities[0]->FirstChildNamed("id")->StringValue(), "7");
+  EXPECT_EQ(entities[0]->ChildrenNamed("salary").size(), 2u);
+  EXPECT_EQ(entities[0]->ChildrenNamed("name").size(), 1u);
+  EXPECT_EQ(entities[1]->FirstChildNamed("id")->StringValue(), "9");
+  // Versions are in history order with adjacent intervals.
+  auto salaries = entities[0]->ChildrenNamed("salary");
+  EXPECT_TRUE(salaries[0]->Interval()->Meets(*salaries[1]->Interval()));
+  // Root interval covers everything.
+  auto root_iv = (*doc)->Interval();
+  ASSERT_TRUE(root_iv.ok());
+  for (const auto& e : entities) {
+    EXPECT_TRUE(root_iv->Contains(*e->Interval()));
+  }
+}
+
+TEST(PublisherTest, ImportHistoryRoundTrips) {
+  // Publish from one H-table set, import into a fresh one, publish again:
+  // the two documents must serialize identically, and snapshots agree.
+  minirel::Database hdb1, hdb2;
+  Schema schema({{"id", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"salary", DataType::kInt64}});
+  auto src = HTableSet::Create(&hdb1, "employees", schema, {"id"},
+                               SegmentOptions{}, D(1995, 1, 1));
+  ASSERT_TRUE(src.ok());
+  Tuple v1{Value(int64_t{7}), Value("Ed"), Value(int64_t{100})};
+  Tuple v2{Value(int64_t{7}), Value("Ed"), Value(int64_t{150})};
+  ASSERT_TRUE((*src)->ArchiveInsert(v1, D(1995, 1, 1)).ok());
+  ASSERT_TRUE((*src)->ArchiveUpdate(v1, v2, D(1996, 1, 1)).ok());
+  Tuple w{Value(int64_t{9}), Value("Flo"), Value(int64_t{300})};
+  ASSERT_TRUE((*src)->ArchiveInsert(w, D(1995, 6, 1)).ok());
+  ASSERT_TRUE((*src)->ArchiveDelete(w, D(1996, 6, 1)).ok());
+
+  TimeInterval rel_iv(D(1995, 1, 1), Date::Forever());
+  auto doc = PublishHistory(**src, rel_iv, {});
+  ASSERT_TRUE(doc.ok());
+
+  auto dst = HTableSet::Create(&hdb2, "employees", schema, {"id"},
+                               SegmentOptions{}, D(1995, 1, 1));
+  ASSERT_TRUE(dst.ok());
+  ASSERT_TRUE(ImportHistory(dst->get(), *doc).ok());
+  auto doc2 = PublishHistory(**dst, rel_iv, {});
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_EQ(xml::Serialize(*doc), xml::Serialize(*doc2));
+
+  for (Date t : {D(1995, 3, 1), D(1996, 3, 1), D(1997, 1, 1)}) {
+    auto s1 = (*src)->Snapshot(t);
+    auto s2 = (*dst)->Snapshot(t);
+    ASSERT_TRUE(s1.ok() && s2.ok());
+    EXPECT_EQ(*s1, *s2) << t.ToString();
+  }
+  // Re-import into non-empty tables is rejected.
+  EXPECT_EQ(ImportHistory(dst->get(), *doc).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PublisherTest, ImportRejectsMalformedDocuments) {
+  minirel::Database hdb;
+  Schema schema({{"id", DataType::kInt64}, {"v", DataType::kInt64}});
+  auto set = HTableSet::Create(&hdb, "r", schema, {"id"}, SegmentOptions{},
+                               D(2000, 1, 1));
+  ASSERT_TRUE(set.ok());
+  // Entity without <id>.
+  auto doc = xml::XmlNode::Element("r");
+  auto entity = xml::XmlNode::Element("r_row");
+  entity->SetInterval(TimeInterval(D(2000, 1, 1), Date::Forever()));
+  doc->AppendChild(entity);
+  EXPECT_EQ(ImportHistory(set->get(), doc).code(),
+            StatusCode::kInvalidArgument);
+  // Unknown attribute tag.
+  auto id_elem = xml::XmlNode::Element("id");
+  id_elem->SetInterval(TimeInterval(D(2000, 1, 1), Date::Forever()));
+  id_elem->AppendText("1");
+  entity->AppendChild(id_elem);
+  auto bogus = xml::XmlNode::Element("no_such_attr");
+  bogus->SetInterval(TimeInterval(D(2000, 1, 1), Date::Forever()));
+  bogus->AppendText("3");
+  entity->AppendChild(bogus);
+  EXPECT_EQ(ImportHistory(set->get(), doc).code(), StatusCode::kNotFound);
+  // Non-numeric value for an INT64 attribute.
+  minirel::Database hdb2;
+  auto set2 = HTableSet::Create(&hdb2, "r", schema, {"id"}, SegmentOptions{},
+                                D(2000, 1, 1));
+  ASSERT_TRUE(set2.ok());
+  auto doc2 = xml::XmlNode::Element("r");
+  auto e2 = xml::XmlNode::Element("r_row");
+  e2->SetInterval(TimeInterval(D(2000, 1, 1), Date::Forever()));
+  auto id2 = xml::XmlNode::Element("id");
+  id2->SetInterval(TimeInterval(D(2000, 1, 1), Date::Forever()));
+  id2->AppendText("1");
+  e2->AppendChild(id2);
+  auto v2 = xml::XmlNode::Element("v");
+  v2->SetInterval(TimeInterval(D(2000, 1, 1), Date::Forever()));
+  v2->AppendText("not a number");
+  e2->AppendChild(v2);
+  doc2->AppendChild(e2);
+  EXPECT_EQ(ImportHistory(set2->get(), doc2).code(),
+            StatusCode::kParseError);
+}
+
+TEST(PublisherTest, CustomTagNames) {
+  minirel::Database hdb;
+  Schema schema({{"id", DataType::kInt64}, {"v", DataType::kString}});
+  auto set = HTableSet::Create(&hdb, "weird", schema, {"id"},
+                               SegmentOptions{}, D(2000, 1, 1));
+  ASSERT_TRUE(set.ok());
+  ASSERT_TRUE((*set)
+                  ->ArchiveInsert(Tuple{Value(int64_t{1}), Value("x")},
+                                  D(2000, 1, 1))
+                  .ok());
+  PublishOptions opts;
+  opts.root_name = "records";
+  opts.entity_name = "record";
+  auto doc = PublishHistory(**set,
+                            TimeInterval(D(2000, 1, 1), Date::Forever()),
+                            opts);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->name(), "records");
+  EXPECT_EQ((*doc)->ChildrenNamed("record").size(), 1u);
+}
+
+}  // namespace
+}  // namespace archis::core

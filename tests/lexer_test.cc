@@ -1,0 +1,117 @@
+// Unit tests for the XQuery lexer: token classification, namespace-
+// qualified names vs ':=', comments, raw-mode resynchronisation.
+#include <gtest/gtest.h>
+
+#include "xquery/lexer.h"
+
+namespace archis::xquery {
+namespace {
+
+std::vector<Token> LexAll(const std::string& input) {
+  Lexer lexer(input);
+  EXPECT_TRUE(lexer.Tokenize().ok());
+  std::vector<Token> tokens;
+  while (lexer.Peek().kind != TokenKind::kEnd) tokens.push_back(lexer.Next());
+  return tokens;
+}
+
+TEST(LexerTest, ClassifiesBasicTokens) {
+  auto toks = LexAll("for $e in doc(\"a.xml\")/b[c >= 3.5] return $e");
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_TRUE(toks[0].IsName("for"));
+  EXPECT_EQ(toks[1].kind, TokenKind::kVariable);
+  EXPECT_EQ(toks[1].text, "e");
+  EXPECT_TRUE(toks[2].IsName("in"));
+  EXPECT_TRUE(toks[3].IsName("doc"));
+  // The string literal keeps its contents, quotes stripped.
+  bool found_string = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokenKind::kString) {
+      EXPECT_EQ(t.text, "a.xml");
+      found_string = true;
+    }
+  }
+  EXPECT_TRUE(found_string);
+  // >= lexes as one symbol; the number carries its value.
+  bool found_ge = false, found_num = false;
+  for (const Token& t : toks) {
+    if (t.IsSymbol(">=")) found_ge = true;
+    if (t.kind == TokenKind::kNumber) {
+      EXPECT_DOUBLE_EQ(t.number, 3.5);
+      found_num = true;
+    }
+  }
+  EXPECT_TRUE(found_ge);
+  EXPECT_TRUE(found_num);
+}
+
+TEST(LexerTest, QualifiedNamesVsAssign) {
+  // xs:date must lex as ONE name; `let $x := ...` must lex ':=' separately.
+  auto toks = LexAll("let $x := xs:date(\"1994-05-06\")");
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_TRUE(toks[0].IsName("let"));
+  EXPECT_EQ(toks[1].kind, TokenKind::kVariable);
+  EXPECT_TRUE(toks[2].IsSymbol(":="));
+  EXPECT_TRUE(toks[3].IsName("xs:date"));
+}
+
+TEST(LexerTest, NestedCommentsSkip) {
+  auto toks = LexAll("(: outer (: inner :) still outer :) $x");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kVariable);
+}
+
+TEST(LexerTest, SingleQuotedStrings) {
+  auto toks = LexAll("'hello \"nested\" world'");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kString);
+  EXPECT_EQ(toks[0].text, "hello \"nested\" world");
+}
+
+TEST(LexerTest, ErrorsOnBadInput) {
+  Lexer unterminated("\"never closed");
+  EXPECT_FALSE(unterminated.Tokenize().ok());
+  Lexer bare_dollar("$ x");
+  EXPECT_FALSE(bare_dollar.Tokenize().ok());
+  Lexer bad_char("a # b");
+  EXPECT_FALSE(bad_char.Tokenize().ok());
+  Lexer open_comment("(: never closed");
+  EXPECT_FALSE(open_comment.Tokenize().ok());
+}
+
+TEST(LexerTest, ResyncSkipsRawRegion) {
+  // The parser consumes `<emp>text</emp>` raw, then resyncs the lexer to
+  // the first token after it.
+  std::string input = "return <emp>text</emp> and $y";
+  Lexer lexer(input);
+  ASSERT_TRUE(lexer.Tokenize().ok());
+  ASSERT_TRUE(lexer.Next().IsName("return"));
+  size_t raw_start = lexer.SourceOffsetOfNextToken();
+  EXPECT_EQ(input[raw_start], '<');
+  size_t raw_end = input.find("</emp>") + 6;
+  lexer.ResyncToSourceOffset(raw_end);
+  EXPECT_TRUE(lexer.Next().IsName("and"));
+  EXPECT_EQ(lexer.Next().kind, TokenKind::kVariable);
+}
+
+TEST(LexerTest, PositionSaveRestore) {
+  Lexer lexer("a b c");
+  ASSERT_TRUE(lexer.Tokenize().ok());
+  size_t mark = lexer.position();
+  lexer.Next();
+  lexer.Next();
+  EXPECT_TRUE(lexer.Peek().IsName("c"));
+  lexer.set_position(mark);
+  EXPECT_TRUE(lexer.Peek().IsName("a"));
+}
+
+TEST(LexerTest, OffsetsPointIntoSource) {
+  std::string input = "for  $x";
+  Lexer lexer(input);
+  ASSERT_TRUE(lexer.Tokenize().ok());
+  EXPECT_EQ(lexer.Peek(0).offset, 0u);
+  EXPECT_EQ(lexer.Peek(1).offset, 5u);  // after the double space
+}
+
+}  // namespace
+}  // namespace archis::xquery

@@ -1,0 +1,246 @@
+// Unit tests for minirel/: value codec, schemas, tables with indexes, and
+// the executor operators.
+#include <gtest/gtest.h>
+
+#include "minirel/database.h"
+#include "minirel/executor.h"
+
+namespace archis::minirel {
+namespace {
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value(int64_t{42}).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value(3.5).AsDouble(), 3.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+  EXPECT_EQ(Value(Date::FromYmd(1995, 1, 1)).AsDate().year(), 1995);
+}
+
+TEST(ValueTest, NumericCoercion) {
+  EXPECT_DOUBLE_EQ(*Value(int64_t{7}).AsNumeric(), 7.0);
+  EXPECT_DOUBLE_EQ(*Value(2.5).AsNumeric(), 2.5);
+  EXPECT_EQ(Value("x").AsNumeric().status().code(), StatusCode::kTypeError);
+}
+
+TEST(ValueTest, OrderingWithinAndAcrossTypes) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_LT(Value(Date::FromYmd(1995, 1, 1)), Value(Date::Forever()));
+  // Cross-type ordering is by type tag — total but arbitrary.
+  EXPECT_TRUE(Value(int64_t{5}) < Value("a") ||
+              Value("a") < Value(int64_t{5}));
+}
+
+class ValueCodec : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValueCodec, EncodeDecodeRoundTrip) {
+  std::vector<std::pair<DataType, Value>> cases = {
+      {DataType::kInt64, Value(int64_t{GetParam()} * 1000003)},
+      {DataType::kDouble, Value(GetParam() * 0.125)},
+      {DataType::kString, Value(std::string(
+          static_cast<size_t>(GetParam()), 'q'))},
+      {DataType::kDate,
+       Value(Date::FromYmd(1985, 1, 1).AddDays(GetParam() * 31))},
+  };
+  for (auto& [type, v] : cases) {
+    std::string buf;
+    v.EncodeTo(&buf);
+    size_t pos = 0;
+    auto back = Value::DecodeFrom(type, buf, &pos);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ValueCodec, ::testing::Range(0, 16));
+
+TEST(TupleTest, EncodeRejectsSchemaMismatch) {
+  Schema schema({{"id", DataType::kInt64}, {"name", DataType::kString}});
+  Tuple wrong_arity{Value(int64_t{1})};
+  EXPECT_EQ(wrong_arity.Encode(schema).status().code(),
+            StatusCode::kInvalidArgument);
+  Tuple wrong_type{Value("oops"), Value("x")};
+  EXPECT_EQ(wrong_type.Encode(schema).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(TupleTest, DecodeRejectsTrailingBytes) {
+  Schema schema({{"id", DataType::kInt64}});
+  Tuple t{Value(int64_t{5})};
+  auto bytes = t.Encode(schema);
+  ASSERT_TRUE(bytes.ok());
+  *bytes += "junk";
+  EXPECT_EQ(Tuple::Decode(schema, *bytes).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(SchemaTest, LookupAndConcat) {
+  Schema a({{"id", DataType::kInt64}, {"x", DataType::kString}});
+  Schema b({{"id", DataType::kInt64}, {"y", DataType::kDouble}});
+  EXPECT_EQ(*a.ColumnIndex("x"), 1u);
+  EXPECT_FALSE(a.ColumnIndex("z").ok());
+  Schema joined = a.Concat(b, "b");
+  EXPECT_EQ(joined.num_columns(), 4u);
+  EXPECT_TRUE(joined.HasColumn("b.id"));  // collision prefixed
+  EXPECT_TRUE(joined.HasColumn("y"));
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto t = db_.catalog().CreateTable(
+        "emp", Schema({{"id", DataType::kInt64},
+                       {"name", DataType::kString},
+                       {"salary", DataType::kInt64}}));
+    ASSERT_TRUE(t.ok());
+    table_ = *t;
+    ASSERT_TRUE(table_->CreateIndex("id", {"id"}).ok());
+    for (int64_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(table_
+                      ->Insert(Tuple{Value(i), Value("emp" + std::to_string(i)),
+                                     Value(30000 + i * 100)})
+                      .ok());
+    }
+  }
+
+  Database db_;
+  Table* table_ = nullptr;
+};
+
+TEST_F(TableTest, IndexScanFindsSingleRow) {
+  const TableIndex* idx = table_->GetIndex("id");
+  ASSERT_NE(idx, nullptr);
+  int hits = 0;
+  table_->IndexScan(*idx, {Value(int64_t{42})}, {Value(int64_t{42})},
+                    [&](const storage::RecordId&, const Tuple& t) {
+    EXPECT_EQ(t.at(1).AsString(), "emp42");
+    ++hits;
+    return true;
+  });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST_F(TableTest, DeleteMaintainsIndex) {
+  const TableIndex* idx = table_->GetIndex("id");
+  storage::RecordId victim;
+  table_->IndexScan(*idx, {Value(int64_t{7})}, {Value(int64_t{7})},
+                    [&](const storage::RecordId& rid, const Tuple&) {
+    victim = rid;
+    return false;
+  });
+  ASSERT_TRUE(table_->Delete(victim).ok());
+  int hits = 0;
+  table_->IndexScan(*idx, {Value(int64_t{7})}, {Value(int64_t{7})},
+                    [&](const storage::RecordId&, const Tuple&) {
+    ++hits;
+    return true;
+  });
+  EXPECT_EQ(hits, 0);
+  EXPECT_EQ(table_->RowCount(), 99u);
+}
+
+TEST_F(TableTest, UpdateReindexesChangedKeys) {
+  const TableIndex* idx = table_->GetIndex("id");
+  storage::RecordId rid;
+  Tuple row;
+  table_->IndexScan(*idx, {Value(int64_t{3})}, {Value(int64_t{3})},
+                    [&](const storage::RecordId& r, const Tuple& t) {
+    rid = r;
+    row = t;
+    return false;
+  });
+  row.at(0) = Value(int64_t{1003});
+  ASSERT_TRUE(table_->Update(&rid, row).ok());
+  int old_hits = 0, new_hits = 0;
+  table_->IndexScan(*idx, {Value(int64_t{3})}, {Value(int64_t{3})},
+                    [&](const storage::RecordId&, const Tuple&) {
+    ++old_hits;
+    return true;
+  });
+  table_->IndexScan(*idx, {Value(int64_t{1003})}, {Value(int64_t{1003})},
+                    [&](const storage::RecordId&, const Tuple&) {
+    ++new_hits;
+    return true;
+  });
+  EXPECT_EQ(old_hits, 0);
+  EXPECT_EQ(new_hits, 1);
+}
+
+TEST_F(TableTest, SelectWithPredicate) {
+  Predicate pred;
+  ASSERT_TRUE(db_.catalog().HasTable("emp"));
+  pred.WhereConst(2, CompareOp::kGe, Value(int64_t{39000}));
+  auto rows = table_->Select(pred);
+  EXPECT_EQ(rows.size(), 10u);  // salaries 39000..39900
+}
+
+TEST_F(TableTest, ExecutorFilterProjectSort) {
+  auto scan = MakeSeqScan(table_);
+  Predicate pred;
+  pred.WhereConst(0, CompareOp::kLt, Value(int64_t{10}));
+  auto filtered = MakeFilter(std::move(scan), std::move(pred));
+  auto projected = MakeProject(std::move(filtered), {1, 2});
+  EXPECT_EQ(projected->schema().num_columns(), 2u);
+  auto sorted = MakeSort(std::move(projected), {1});
+  auto rows = Collect(sorted.get());
+  ASSERT_EQ(rows.size(), 10u);
+  EXPECT_EQ(rows.front().at(1).AsInt(), 30000);
+  EXPECT_EQ(rows.back().at(1).AsInt(), 30900);
+}
+
+TEST_F(TableTest, SortMergeJoinMatchesHashJoin) {
+  auto dept = db_.catalog().CreateTable(
+      "dept", Schema({{"id", DataType::kInt64}, {"d", DataType::kString}}));
+  ASSERT_TRUE(dept.ok());
+  for (int64_t i = 0; i < 100; i += 2) {  // only even ids have a dept
+    ASSERT_TRUE(
+        (*dept)->Insert(Tuple{Value(i), Value("d" + std::to_string(i))}).ok());
+  }
+  auto merge = MakeSortMergeJoin(MakeSeqScan(table_), 0,
+                                 MakeSeqScan(*dept), 0, "r");
+  auto hash = MakeHashJoin(MakeSeqScan(table_), 0, MakeSeqScan(*dept), 0,
+                           "r");
+  auto merge_rows = Collect(merge.get());
+  auto hash_rows = Collect(hash.get());
+  EXPECT_EQ(merge_rows.size(), 50u);
+  EXPECT_EQ(merge_rows.size(), hash_rows.size());
+}
+
+TEST_F(TableTest, GroupedAggregation) {
+  // Group salaries into two buckets by id parity via a computed column is
+  // out of scope; group by a constant-range column instead: id % nothing.
+  auto agg = MakeAggregate(MakeSeqScan(table_), {},
+                           {{AggFn::kCount, 0, "n"},
+                            {AggFn::kAvg, 2, "avg_salary"},
+                            {AggFn::kMin, 2, "min_salary"},
+                            {AggFn::kMax, 2, "max_salary"}});
+  auto rows = Collect(agg.get());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at(0).AsInt(), 100);
+  EXPECT_DOUBLE_EQ(rows[0].at(1).AsDouble(), 30000 + 99 * 100 / 2.0);
+  EXPECT_EQ(rows[0].at(2).AsInt(), 30000);
+  EXPECT_EQ(rows[0].at(3).AsInt(), 39900);
+}
+
+TEST_F(TableTest, DatabaseStatsSumTables) {
+  auto stats = db_.Stats();
+  EXPECT_GT(stats.data_bytes, 0u);
+  EXPECT_GT(stats.page_count, 0u);
+}
+
+TEST(CatalogTest, CreateDropSemantics) {
+  Database db;
+  ASSERT_TRUE(db.catalog().CreateTable("t", Schema({{"x",
+      DataType::kInt64}})).ok());
+  EXPECT_EQ(db.catalog()
+                .CreateTable("t", Schema({{"x", DataType::kInt64}}))
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(db.catalog().DropTable("t").ok());
+  EXPECT_EQ(db.catalog().DropTable("t").code(), StatusCode::kNotFound);
+  EXPECT_FALSE(db.catalog().GetTable("t").ok());
+}
+
+}  // namespace
+}  // namespace archis::minirel

@@ -1,0 +1,242 @@
+// Unit + property tests for temporal/: coalescing, restructuring, sweep
+// aggregates, and `now` handling.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "temporal/aggregate.h"
+#include "temporal/coalesce.h"
+#include "temporal/now.h"
+#include "temporal/restructure.h"
+
+namespace archis::temporal {
+namespace {
+
+Date D(int y, int m, int d) { return Date::FromYmd(y, m, d); }
+TimeInterval IV(Date a, Date b) { return TimeInterval(a, b); }
+
+TEST(CoalesceTest, MergesOverlappingAndAdjacent) {
+  auto out = CoalesceIntervals({
+      IV(D(1995, 1, 1), D(1995, 3, 31)),
+      IV(D(1995, 4, 1), D(1995, 6, 30)),   // adjacent
+      IV(D(1995, 6, 1), D(1995, 8, 31)),   // overlapping
+      IV(D(1996, 1, 1), D(1996, 2, 1)),    // disjoint
+  });
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], IV(D(1995, 1, 1), D(1995, 8, 31)));
+  EXPECT_EQ(out[1], IV(D(1996, 1, 1), D(1996, 2, 1)));
+}
+
+TEST(CoalesceTest, KeepsDistinctValuesApart) {
+  auto out = CoalesceValues({
+      {"60000", IV(D(1995, 1, 1), D(1995, 5, 31))},
+      {"70000", IV(D(1995, 6, 1), D(1995, 9, 30))},
+      {"60000", IV(D(1995, 6, 1), D(1995, 7, 31))},  // same value, adjacent
+  });
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].value, "60000");
+  EXPECT_EQ(out[0].interval, IV(D(1995, 1, 1), D(1995, 7, 31)));
+  EXPECT_EQ(out[1].value, "70000");
+}
+
+class CoalesceProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CoalesceProperty, IdempotentAndCoverancePreserving) {
+  std::mt19937 rng(GetParam());
+  std::vector<TimeInterval> input;
+  for (int i = 0; i < 60; ++i) {
+    Date start = D(1990, 1, 1).AddDays(static_cast<int64_t>(rng() % 2000));
+    input.push_back(IV(start, start.AddDays(static_cast<int64_t>(
+                                  rng() % 200))));
+  }
+  auto once = CoalesceIntervals(input);
+  auto twice = CoalesceIntervals(once);
+  EXPECT_EQ(once, twice);  // idempotent
+  // Output is disjoint, non-adjacent, sorted.
+  for (size_t i = 1; i < once.size(); ++i) {
+    EXPECT_LT(once[i - 1].tend.AddDays(1), once[i].tstart);
+  }
+  // Same day-coverage.
+  auto covered = [](const std::vector<TimeInterval>& ivs, Date d) {
+    for (const auto& iv : ivs) {
+      if (iv.Contains(d)) return true;
+    }
+    return false;
+  };
+  for (int probe = 0; probe < 300; ++probe) {
+    Date d = D(1990, 1, 1).AddDays(static_cast<int64_t>(rng() % 2300));
+    EXPECT_EQ(covered(input, d), covered(once, d)) << d.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoalesceProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+TEST(CoalesceTest, NodeFlavourPreservesTag) {
+  auto mk = [](const std::string& v, TimeInterval iv) {
+    auto n = xml::XmlNode::Element("salary");
+    n->SetInterval(iv);
+    n->AppendText(v);
+    return n;
+  };
+  auto out = CoalesceNodes({mk("70000", IV(D(1995, 6, 1), D(1995, 9, 30))),
+                            mk("70000", IV(D(1995, 10, 1), D(1996, 1, 1)))});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->name(), "salary");
+  EXPECT_EQ(out[0]->StringValue(), "70000");
+  EXPECT_EQ(*out[0]->Interval(), IV(D(1995, 6, 1), D(1996, 1, 1)));
+}
+
+TEST(RestructureTest, PairwiseIntersections) {
+  auto out = RestructureIntervals(
+      {IV(D(1995, 1, 1), D(1995, 9, 30)), IV(D(1995, 10, 1), D(1996, 12, 31))},
+      {IV(D(1995, 1, 1), D(1995, 5, 31)), IV(D(1995, 6, 1), D(1996, 12, 31))});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], IV(D(1995, 1, 1), D(1995, 5, 31)));
+  EXPECT_EQ(out[1], IV(D(1995, 6, 1), D(1995, 9, 30)));
+  EXPECT_EQ(out[2], IV(D(1995, 10, 1), D(1996, 12, 31)));
+}
+
+TEST(RestructureTest, MaxDurationResolvesNow) {
+  std::vector<TimeInterval> ivs = {IV(D(1995, 1, 1), D(1995, 1, 10)),
+                                   IV(D(1996, 1, 1), Date::Forever())};
+  EXPECT_EQ(MaxDurationDays(ivs, D(1996, 1, 5)), 10);  // live one is 5 days
+  EXPECT_EQ(MaxDurationDays(ivs, D(1996, 3, 1)), 61);  // now it dominates
+  EXPECT_EQ(MaxDurationDays({}, D(1996, 1, 1)), 0);
+}
+
+TEST(AggregateTest, TavgStepHistoryHandComputed) {
+  // Two employees: A earns 100 all year, B earns 300 for the middle third.
+  std::vector<TimedNumber> facts = {
+      {100, IV(D(2000, 1, 1), D(2000, 12, 31))},
+      {300, IV(D(2000, 5, 1), D(2000, 8, 31))},
+  };
+  auto steps = TemporalAggregate(facts, TemporalAggFn::kAvg);
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[0].interval, IV(D(2000, 1, 1), D(2000, 4, 30)));
+  EXPECT_DOUBLE_EQ(steps[0].value, 100);
+  EXPECT_EQ(steps[1].interval, IV(D(2000, 5, 1), D(2000, 8, 31)));
+  EXPECT_DOUBLE_EQ(steps[1].value, 200);
+  EXPECT_EQ(steps[2].interval, IV(D(2000, 9, 1), D(2000, 12, 31)));
+  EXPECT_DOUBLE_EQ(steps[2].value, 100);
+}
+
+TEST(AggregateTest, SumCountMaxMin) {
+  std::vector<TimedNumber> facts = {
+      {10, IV(D(2000, 1, 1), D(2000, 1, 31))},
+      {20, IV(D(2000, 1, 15), D(2000, 2, 15))},
+  };
+  auto sum = TemporalAggregate(facts, TemporalAggFn::kSum);
+  ASSERT_EQ(sum.size(), 3u);
+  EXPECT_DOUBLE_EQ(sum[1].value, 30);
+  auto count = TemporalAggregate(facts, TemporalAggFn::kCount);
+  EXPECT_DOUBLE_EQ(count[1].value, 2);
+  auto mx = TemporalAggregate(facts, TemporalAggFn::kMax);
+  EXPECT_DOUBLE_EQ(mx[0].value, 10);
+  EXPECT_DOUBLE_EQ(mx[1].value, 20);
+  auto mn = TemporalAggregate(facts, TemporalAggFn::kMin);
+  EXPECT_DOUBLE_EQ(mn[1].value, 10);
+  EXPECT_DOUBLE_EQ(mn[2].value, 20);
+}
+
+TEST(AggregateTest, LiveFactsRunToForever) {
+  std::vector<TimedNumber> facts = {{50, IV(D(2000, 1, 1), Date::Forever())}};
+  auto steps = TemporalAggregate(facts, TemporalAggFn::kAvg);
+  ASSERT_EQ(steps.size(), 1u);
+  EXPECT_TRUE(steps.back().interval.is_current());
+}
+
+class AggregateProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(AggregateProperty, SweepMatchesBruteForceDayByDay) {
+  std::mt19937 rng(GetParam());
+  std::vector<TimedNumber> facts;
+  for (int i = 0; i < 40; ++i) {
+    Date start = D(2000, 1, 1).AddDays(static_cast<int64_t>(rng() % 300));
+    facts.push_back({static_cast<double>(rng() % 1000),
+                     IV(start, start.AddDays(static_cast<int64_t>(
+                                   rng() % 150)))});
+  }
+  auto steps = TemporalAggregate(facts, TemporalAggFn::kAvg);
+  // Steps are disjoint and ordered.
+  for (size_t i = 1; i < steps.size(); ++i) {
+    EXPECT_LT(steps[i - 1].interval.tend, steps[i].interval.tstart);
+  }
+  // Brute force: for sampled days, compute avg directly.
+  for (int probe = 0; probe < 200; ++probe) {
+    Date d = D(2000, 1, 1).AddDays(static_cast<int64_t>(rng() % 500));
+    double sum = 0;
+    int64_t n = 0;
+    for (const auto& f : facts) {
+      if (f.interval.Contains(d)) {
+        sum += f.value;
+        ++n;
+      }
+    }
+    double expect = n == 0 ? -1 : sum / static_cast<double>(n);
+    double got = -1;
+    for (const auto& s : steps) {
+      if (s.interval.Contains(d)) got = s.value;
+    }
+    EXPECT_NEAR(got, expect, 1e-9) << d.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregateProperty,
+                         ::testing::Values(3u, 7u, 31u, 127u));
+
+TEST(AggregateTest, RisingIntervalsFindsRuns) {
+  std::vector<AggregateStep> hist = {
+      {IV(D(2000, 1, 1), D(2000, 1, 31)), 10, 1},
+      {IV(D(2000, 2, 1), D(2000, 2, 29)), 20, 1},  // 2000 is a leap year
+      {IV(D(2000, 3, 1), D(2000, 3, 31)), 30, 1},
+      {IV(D(2000, 4, 1), D(2000, 4, 30)), 5, 1},
+      {IV(D(2000, 5, 1), D(2000, 5, 31)), 50, 1},
+  };
+  auto rising = RisingIntervals(hist);
+  ASSERT_EQ(rising.size(), 2u);
+  EXPECT_EQ(rising[0], IV(D(2000, 1, 1), D(2000, 3, 31)));
+  EXPECT_EQ(rising[1], IV(D(2000, 4, 1), D(2000, 5, 31)));
+}
+
+TEST(AggregateTest, MovingWindowSmoothes) {
+  std::vector<AggregateStep> hist = {
+      {IV(D(2000, 1, 1), D(2000, 1, 10)), 0, 1},   // 10 days at 0
+      {IV(D(2000, 1, 11), D(2000, 1, 20)), 100, 1},  // 10 days at 100
+  };
+  auto smooth = MovingWindowAvg(hist, 20);
+  ASSERT_EQ(smooth.size(), 2u);
+  EXPECT_DOUBLE_EQ(smooth[0].value, 0);
+  EXPECT_DOUBLE_EQ(smooth[1].value, 50);  // half zeros, half hundreds
+}
+
+TEST(NowTest, RtendRewritesSentinel) {
+  auto e = xml::XmlNode::Element("salary");
+  e->SetInterval(IV(D(1995, 6, 1), Date::Forever()));
+  auto fixed = Rtend(e, D(2006, 1, 1));
+  EXPECT_EQ(*fixed->Attr("tend"), "2006-01-01");
+  EXPECT_EQ(*fixed->Attr("tstart"), "1995-06-01");
+  // Original untouched (deep copy).
+  EXPECT_EQ(*e->Attr("tend"), "9999-12-31");
+}
+
+TEST(NowTest, ExternalNowRewritesRecursively) {
+  auto root = xml::XmlNode::Element("employee");
+  root->SetInterval(IV(D(1995, 1, 1), Date::Forever()));
+  auto child = xml::XmlNode::Element("salary");
+  child->SetInterval(IV(D(1995, 6, 1), Date::Forever()));
+  root->AppendChild(child);
+  auto fixed = ExternalNow(root);
+  EXPECT_EQ(*fixed->Attr("tend"), "now");
+  EXPECT_EQ(*fixed->ChildElements()[0]->Attr("tend"), "now");
+}
+
+TEST(NowTest, EffectiveEnd) {
+  EXPECT_EQ(EffectiveEnd(IV(D(1995, 1, 1), Date::Forever()), D(2000, 1, 1)),
+            D(2000, 1, 1));
+  EXPECT_EQ(EffectiveEnd(IV(D(1995, 1, 1), D(1996, 1, 1)), D(2000, 1, 1)),
+            D(1996, 1, 1));
+}
+
+}  // namespace
+}  // namespace archis::temporal

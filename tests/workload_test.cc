@@ -1,0 +1,187 @@
+// Workload-generator tests plus whole-system invariants on generated data:
+// determinism, snapshot-vs-current-table consistency, and agreement between
+// ArchIS configurations and the native XML database on the bench queries.
+#include <gtest/gtest.h>
+
+#include "workload/employee_workload.h"
+#include "xmldb/xml_database.h"
+
+namespace archis::workload {
+namespace {
+
+using core::ArchIS;
+using core::ArchISOptions;
+using minirel::Tuple;
+using minirel::Value;
+
+WorkloadConfig SmallConfig() {
+  WorkloadConfig cfg;
+  cfg.initial_employees = 40;
+  cfg.years = 6;
+  return cfg;
+}
+
+TEST(WorkloadTest, GenerationIsDeterministicPerSeed) {
+  ArchISOptions opts;
+  ArchIS db1(opts, Date::FromYmd(1985, 1, 1));
+  ArchIS db2(opts, Date::FromYmd(1985, 1, 1));
+  EmployeeWorkload w1(SmallConfig()), w2(SmallConfig());
+  auto s1 = w1.Generate(&db1);
+  auto s2 = w2.Generate(&db2);
+  ASSERT_TRUE(s1.ok()) << s1.status().ToString();
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1->inserts, s2->inserts);
+  EXPECT_EQ(s1->updates, s2->updates);
+  EXPECT_EQ(s1->deletes, s2->deletes);
+  EXPECT_EQ(db1.HistoryStorageBytes(), db2.HistoryStorageBytes());
+
+  WorkloadConfig other = SmallConfig();
+  other.seed = 999;
+  ArchIS db3(opts, Date::FromYmd(1985, 1, 1));
+  EmployeeWorkload w3(other);
+  auto s3 = w3.Generate(&db3);
+  ASSERT_TRUE(s3.ok());
+  EXPECT_NE(s1->updates, s3->updates);
+}
+
+TEST(WorkloadTest, ProducesSubstantialHistory) {
+  ArchISOptions opts;
+  ArchIS db(opts, Date::FromYmd(1985, 1, 1));
+  EmployeeWorkload w(SmallConfig());
+  auto stats = w.Generate(&db);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->inserts, 40u);   // initial + hires
+  EXPECT_GT(stats->updates, 200u);  // raises/titles/depts over 6 years
+  EXPECT_GT(stats->deletes, 0u);
+  EXPECT_GT(stats->final_employee_count, 10);
+  // The probe employee survives the whole history.
+  auto snap = db.Snapshot("employees", db.Now());
+  ASSERT_TRUE(snap.ok());
+  bool probe_alive = false;
+  for (const Tuple& row : *snap) {
+    if (row.at(0).AsInt() == w.probe_id()) probe_alive = true;
+  }
+  EXPECT_TRUE(probe_alive);
+}
+
+// The fundamental transaction-time invariant: the snapshot of the H-tables
+// at the current time equals the current database contents.
+TEST(WorkloadTest, FinalSnapshotMatchesCurrentTable) {
+  ArchISOptions opts;
+  opts.segment.umin = 0.4;
+  ArchIS db(opts, Date::FromYmd(1985, 1, 1));
+  EmployeeWorkload w(SmallConfig());
+  ASSERT_TRUE(w.Generate(&db).ok());
+
+  auto snap = db.Snapshot("employees", db.Now());
+  ASSERT_TRUE(snap.ok());
+  auto table = db.current_db().catalog().GetTable("employees");
+  ASSERT_TRUE(table.ok());
+  std::map<int64_t, Tuple> current, snapshot;
+  (*table)->Scan([&](const storage::RecordId&, const Tuple& t) {
+    current[t.at(0).AsInt()] = t;
+    return true;
+  });
+  for (const Tuple& t : *snap) snapshot[t.at(0).AsInt()] = t;
+  ASSERT_EQ(current.size(), snapshot.size());
+  for (const auto& [id, row] : current) {
+    ASSERT_TRUE(snapshot.count(id)) << "missing id " << id;
+    EXPECT_EQ(row, snapshot[id]) << "id " << id;
+  }
+}
+
+// Historical snapshots must agree across layouts AND with the native XML
+// database over the published H-document (the paper's three systems).
+TEST(WorkloadTest, SnapshotsAgreeAcrossAllThreeSystems) {
+  auto make = [](bool seg, bool zip) {
+    ArchISOptions opts;
+    opts.segment.enabled = seg;
+    opts.segment.compress = zip;
+    opts.segment.umin = 0.4;
+    return std::make_unique<ArchIS>(opts, Date::FromYmd(1985, 1, 1));
+  };
+  auto plain = make(false, false);
+  auto seg = make(true, false);
+  auto zip = make(true, true);
+  WorkloadConfig cfg = SmallConfig();
+  cfg.initial_employees = 25;
+  cfg.years = 4;
+  for (auto* db : {plain.get(), seg.get(), zip.get()}) {
+    EmployeeWorkload w(cfg);  // same seed -> identical streams
+    ASSERT_TRUE(w.Generate(db).ok());
+  }
+
+  // TaminoLite gets the published H-document from the segmented instance.
+  xmldb::XmlDatabase tamino(xmldb::StorageMode::kCompressed, seg->Now());
+  auto doc = seg->PublishHistory("employees");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(tamino.PutDocument("employees.xml", *doc).ok());
+
+  for (int year = 1985; year <= 1988; ++year) {
+    Date t = Date::FromYmd(year, 7, 1);
+    auto s1 = plain->Snapshot("employees", t);
+    auto s2 = seg->Snapshot("employees", t);
+    auto s3 = zip->Snapshot("employees", t);
+    ASSERT_TRUE(s1.ok() && s2.ok() && s3.ok());
+    auto ids = [](const std::vector<Tuple>& rows) {
+      std::set<int64_t> out;
+      for (const Tuple& r : rows) out.insert(r.at(0).AsInt());
+      return out;
+    };
+    EXPECT_EQ(ids(*s1), ids(*s2)) << t.ToString();
+    EXPECT_EQ(ids(*s1), ids(*s3)) << t.ToString();
+
+    // Native XML DB snapshot via XQuery.
+    char q[256];
+    std::snprintf(q, sizeof(q),
+                  "for $e in doc(\"employees.xml\")/employees/employee/id"
+                  "[tstart(.) <= xs:date(\"%s\") and "
+                  "tend(.) >= xs:date(\"%s\")] return $e",
+                  t.ToString().c_str(), t.ToString().c_str());
+    auto native = tamino.Query(q);
+    ASSERT_TRUE(native.ok()) << native.status().ToString();
+    std::set<int64_t> native_ids;
+    for (const auto& item : *native) {
+      native_ids.insert(std::stoll(item.node()->StringValue()));
+    }
+    EXPECT_EQ(native_ids, ids(*s1)) << t.ToString();
+  }
+}
+
+TEST(WorkloadTest, DailyUpdateAdvancesClockAndArchives) {
+  ArchISOptions opts;
+  ArchIS db(opts, Date::FromYmd(1985, 1, 1));
+  WorkloadConfig cfg = SmallConfig();
+  cfg.years = 2;
+  EmployeeWorkload w(cfg);
+  ASSERT_TRUE(w.Generate(&db).ok());
+  Date before = db.Now();
+  uint64_t bytes_before = db.HistoryStorageBytes();
+  uint64_t total_updates = 0;
+  for (int d = 0; d < 60; ++d) {
+    auto stats = w.SimulateDay(&db);
+    ASSERT_TRUE(stats.ok());
+    total_updates += stats->updates;
+  }
+  EXPECT_EQ(db.Now(), before.AddDays(60));
+  EXPECT_GT(total_updates, 0u);
+  EXPECT_GE(db.HistoryStorageBytes(), bytes_before);
+}
+
+TEST(WorkloadTest, UpdateLogModeDefersArchival) {
+  ArchISOptions opts;
+  opts.capture_mode = core::CaptureMode::kUpdateLog;
+  ArchIS db(opts, Date::FromYmd(1985, 1, 1));
+  WorkloadConfig cfg = SmallConfig();
+  cfg.initial_employees = 10;
+  cfg.years = 1;
+  EmployeeWorkload w(cfg);
+  // Generate flushes at the end, so history must still be complete.
+  ASSERT_TRUE(w.Generate(&db).ok());
+  auto snap = db.Snapshot("employees", db.Now());
+  ASSERT_TRUE(snap.ok());
+  EXPECT_FALSE(snap->empty());
+}
+
+}  // namespace
+}  // namespace archis::workload

@@ -1,0 +1,143 @@
+// Unit tests for xml/: DOM, parser, serializer.
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace archis::xml {
+namespace {
+
+TEST(NodeTest, ElementConstruction) {
+  auto emp = XmlNode::Element("employee");
+  emp->SetAttr("tstart", "1995-01-01");
+  emp->SetAttr("tend", "9999-12-31");
+  emp->AppendText("Bob");
+  EXPECT_TRUE(emp->is_element());
+  EXPECT_EQ(emp->name(), "employee");
+  EXPECT_EQ(*emp->Attr("tstart"), "1995-01-01");
+  EXPECT_FALSE(emp->Attr("missing").has_value());
+  EXPECT_EQ(emp->StringValue(), "Bob");
+}
+
+TEST(NodeTest, SetAttrReplacesExisting) {
+  auto e = XmlNode::Element("x");
+  e->SetAttr("a", "1");
+  e->SetAttr("a", "2");
+  EXPECT_EQ(e->attrs().size(), 1u);
+  EXPECT_EQ(*e->Attr("a"), "2");
+}
+
+TEST(NodeTest, IntervalAccessors) {
+  auto e = XmlNode::Element("salary");
+  e->SetInterval(TimeInterval(Date::FromYmd(1995, 1, 1), Date::Forever()));
+  auto iv = e->Interval();
+  ASSERT_TRUE(iv.ok());
+  EXPECT_TRUE(iv->is_current());
+  auto bare = XmlNode::Element("bare");
+  EXPECT_EQ(bare->Interval().status().code(), StatusCode::kNotFound);
+}
+
+TEST(NodeTest, NavigationAndParentLinks) {
+  auto root = XmlNode::Element("employees");
+  auto child = XmlNode::Element("employee");
+  root->AppendChild(child);
+  root->AppendChild(XmlNode::Element("employee"));
+  root->AppendChild(XmlNode::Element("other"));
+  EXPECT_EQ(root->ChildrenNamed("employee").size(), 2u);
+  EXPECT_EQ(root->FirstChildNamed("other")->name(), "other");
+  EXPECT_EQ(root->FirstChildNamed("nope"), nullptr);
+  EXPECT_EQ(child->parent().get(), root.get());
+  EXPECT_EQ(root->CountElements(), 4u);
+}
+
+TEST(NodeTest, CloneIsDeepAndDetached) {
+  auto root = XmlNode::Element("a");
+  auto b = XmlNode::Element("b");
+  b->AppendText("text");
+  root->AppendChild(b);
+  auto copy = root->Clone();
+  EXPECT_EQ(copy->CountElements(), 2u);
+  EXPECT_EQ(copy->parent(), nullptr);
+  // Mutating the copy leaves the original alone.
+  copy->ChildElements()[0]->SetAttr("x", "1");
+  EXPECT_FALSE(root->ChildElements()[0]->Attr("x").has_value());
+}
+
+TEST(ParserTest, ParsesPaperStyleHDocument) {
+  const char* text = R"(<?xml version="1.0"?>
+<!-- employees H-document -->
+<employees tstart="1995-01-01" tend="9999-12-31">
+  <employee tstart="1995-01-01" tend="9999-12-31">
+    <id tstart="1995-01-01" tend="9999-12-31">1001</id>
+    <name tstart="1995-01-01" tend="9999-12-31">Bob</name>
+    <salary tstart="1995-01-01" tend="1995-05-31">60000</salary>
+    <salary tstart="1995-06-01" tend="9999-12-31">70000</salary>
+  </employee>
+</employees>)";
+  auto doc = ParseDocument(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ((*doc)->name(), "employees");
+  auto emp = (*doc)->FirstChildNamed("employee");
+  ASSERT_NE(emp, nullptr);
+  EXPECT_EQ(emp->ChildrenNamed("salary").size(), 2u);
+  EXPECT_EQ(emp->FirstChildNamed("name")->StringValue(), "Bob");
+}
+
+TEST(ParserTest, HandlesSelfClosingCdataAndEntities) {
+  auto doc = ParseDocument(
+      "<r><empty/><c><![CDATA[1 < 2 & 3]]></c><e>a &amp; b</e></r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE((*doc)->FirstChildNamed("empty")->children().empty());
+  EXPECT_EQ((*doc)->FirstChildNamed("c")->StringValue(), "1 < 2 & 3");
+  EXPECT_EQ((*doc)->FirstChildNamed("e")->StringValue(), "a & b");
+}
+
+TEST(ParserTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseDocument("").ok());
+  EXPECT_FALSE(ParseDocument("<a><b></a></b>").ok());
+  EXPECT_FALSE(ParseDocument("<a>").ok());
+  EXPECT_FALSE(ParseDocument("<a></a><b></b>").ok());
+  EXPECT_FALSE(ParseDocument("<a x=noquote></a>").ok());
+}
+
+TEST(SerializerTest, RoundTripsThroughParser) {
+  auto root = XmlNode::Element("depts");
+  root->SetInterval(TimeInterval(Date::FromYmd(1992, 1, 1), Date::Forever()));
+  auto dept = XmlNode::Element("dept");
+  dept->SetAttr("deptno", "d02");
+  auto mgr = XmlNode::Element("mgrno");
+  mgr->SetInterval(
+      TimeInterval(Date::FromYmd(1992, 1, 1), Date::FromYmd(1996, 12, 31)));
+  mgr->AppendText("3402");
+  dept->AppendChild(mgr);
+  root->AppendChild(dept);
+
+  std::string compact = Serialize(root);
+  auto back = ParseDocument(compact);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(Serialize(*back), compact);
+
+  SerializeOptions pretty;
+  pretty.pretty = true;
+  pretty.xml_declaration = true;
+  std::string formatted = Serialize(root, pretty);
+  EXPECT_NE(formatted.find("<?xml"), std::string::npos);
+  auto back2 = ParseDocument(formatted);
+  ASSERT_TRUE(back2.ok());
+  EXPECT_EQ(Serialize(*back2), compact);
+}
+
+TEST(SerializerTest, EscapesSpecialCharacters) {
+  auto e = XmlNode::Element("x");
+  e->SetAttr("a", "<&>\"");
+  e->AppendText("a<b&c");
+  std::string out = Serialize(e);
+  EXPECT_EQ(out.find('<', 1), out.find("</x>"));  // no raw '<' in content
+  auto back = ParseDocument(out);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->StringValue(), "a<b&c");
+  EXPECT_EQ(*(*back)->Attr("a"), "<&>\"");
+}
+
+}  // namespace
+}  // namespace archis::xml

@@ -1,0 +1,427 @@
+// XQuery engine tests: lexer/parser shapes, evaluation semantics, the
+// temporal function library, and all eight example queries of the paper's
+// Section 4 against the running example of Tables 1-2 / Figures 1-4.
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xquery/evaluator.h"
+#include "xquery/parser.h"
+
+namespace archis::xquery {
+namespace {
+
+Date D(int y, int m, int d) { return Date::FromYmd(y, m, d); }
+
+// The paper's running example: Bob's history (Table 1) plus two employees
+// added to make QUERY 7/8 non-empty, and the departments of Table 2.
+constexpr const char* kEmployeesXml = R"(
+<employees tstart="1995-01-01" tend="9999-12-31">
+  <employee tstart="1995-01-01" tend="1996-12-31">
+    <id tstart="1995-01-01" tend="1996-12-31">1001</id>
+    <name tstart="1995-01-01" tend="1996-12-31">Bob</name>
+    <salary tstart="1995-01-01" tend="1995-05-31">60000</salary>
+    <salary tstart="1995-06-01" tend="1996-12-31">70000</salary>
+    <title tstart="1995-01-01" tend="1995-09-30">Engineer</title>
+    <title tstart="1995-10-01" tend="1996-01-31">Sr Engineer</title>
+    <title tstart="1996-02-01" tend="1996-12-31">TechLeader</title>
+    <deptno tstart="1995-01-01" tend="1995-09-30">d01</deptno>
+    <deptno tstart="1995-10-01" tend="1996-12-31">d02</deptno>
+  </employee>
+  <employee tstart="1995-03-01" tend="9999-12-31">
+    <id tstart="1995-03-01" tend="9999-12-31">1002</id>
+    <name tstart="1995-03-01" tend="9999-12-31">Ann</name>
+    <salary tstart="1995-03-01" tend="9999-12-31">80000</salary>
+    <title tstart="1995-03-01" tend="9999-12-31">Sr Engineer</title>
+    <deptno tstart="1995-03-01" tend="9999-12-31">d01</deptno>
+  </employee>
+  <employee tstart="1995-01-01" tend="1996-12-31">
+    <id tstart="1995-01-01" tend="1996-12-31">1003</id>
+    <name tstart="1995-01-01" tend="1996-12-31">Carl</name>
+    <salary tstart="1995-01-01" tend="1996-12-31">65000</salary>
+    <title tstart="1995-01-01" tend="1996-12-31">Analyst</title>
+    <deptno tstart="1995-01-01" tend="1995-09-30">d01</deptno>
+    <deptno tstart="1995-10-01" tend="1996-12-31">d02</deptno>
+  </employee>
+</employees>)";
+
+constexpr const char* kDeptsXml = R"(
+<depts tstart="1992-01-01" tend="9999-12-31">
+  <dept tstart="1994-01-01" tend="1998-12-31">
+    <deptno tstart="1994-01-01" tend="1998-12-31">d01</deptno>
+    <deptname tstart="1994-01-01" tend="1998-12-31">QA</deptname>
+    <mgrno tstart="1994-01-01" tend="1998-12-31">2501</mgrno>
+  </dept>
+  <dept tstart="1992-01-01" tend="1998-12-31">
+    <deptno tstart="1992-01-01" tend="1998-12-31">d02</deptno>
+    <deptname tstart="1992-01-01" tend="1998-12-31">RD</deptname>
+    <mgrno tstart="1992-01-01" tend="1996-12-31">3402</mgrno>
+    <mgrno tstart="1997-01-01" tend="1998-12-31">1009</mgrno>
+  </dept>
+  <dept tstart="1993-01-01" tend="1997-12-31">
+    <deptno tstart="1993-01-01" tend="1997-12-31">d03</deptno>
+    <deptname tstart="1993-01-01" tend="1997-12-31">Sales</deptname>
+    <mgrno tstart="1993-01-01" tend="1997-12-31">4748</mgrno>
+  </dept>
+</depts>)";
+
+class XQueryPaperTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    employees_ = *xml::ParseDocument(kEmployeesXml);
+    depts_ = *xml::ParseDocument(kDeptsXml);
+    EvalContext ctx;
+    ctx.current_date = D(1997, 6, 1);
+    auto emp = employees_;
+    auto dep = depts_;
+    ctx.resolve_doc =
+        [emp, dep](const std::string& name) -> Result<xml::XmlNodePtr> {
+      if (name == "employees.xml" || name == "emp.xml") return emp;
+      if (name == "depts.xml") return dep;
+      return Status::NotFound("doc " + name);
+    };
+    evaluator_ = std::make_unique<Evaluator>(std::move(ctx));
+  }
+
+  Sequence Eval(const std::string& q) {
+    auto r = evaluator_->EvaluateQuery(q);
+    EXPECT_TRUE(r.ok()) << q << " -> " << r.status().ToString();
+    return r.ok() ? *r : Sequence{};
+  }
+
+  xml::XmlNodePtr employees_, depts_;
+  std::unique_ptr<Evaluator> evaluator_;
+};
+
+// -- Parser shapes -----------------------------------------------------------
+
+TEST(XQueryParserTest, ParsesFlworWithWhereReturn) {
+  auto e = ParseXQuery(
+      "for $e in doc(\"x\")/a/b where $e/c = \"v\" return $e/d");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ((*e)->kind, ExprKind::kFlwor);
+  EXPECT_EQ((*e)->clauses.size(), 1u);
+  EXPECT_NE((*e)->where, nullptr);
+}
+
+TEST(XQueryParserTest, ParsesMultiBindingFor) {
+  auto e = ParseXQuery("for $a in doc(\"x\")/r/s, $b in $a/t return $b");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->clauses.size(), 2u);
+  EXPECT_FALSE((*e)->clauses[1].is_let);
+}
+
+TEST(XQueryParserTest, ParsesDirectConstructor) {
+  auto e = ParseXQuery(
+      "for $e in doc(\"x\")/a/b return <out kind=\"emp\">{$e/name} "
+      "literal</out>");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  const ExprPtr& ret = (*e)->ret;
+  ASSERT_EQ(ret->kind, ExprKind::kElementCtor);
+  EXPECT_EQ(ret->str, "out");
+  ASSERT_EQ(ret->attrs.size(), 1u);
+  EXPECT_EQ(ret->attrs[0].value, "emp");
+  EXPECT_EQ(ret->children.size(), 2u);
+}
+
+TEST(XQueryParserTest, ParsesQuantified) {
+  auto e = ParseXQuery(
+      "for $x in doc(\"d\")/a/b where every $y in $x/c satisfies "
+      "(string($y) = \"q\") return $x");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ((*e)->where->kind, ExprKind::kQuantified);
+  EXPECT_TRUE((*e)->where->every_quant);
+}
+
+TEST(XQueryParserTest, ParsesCommentsAndParens) {
+  auto e = ParseXQuery("(: a comment :) for $x in doc(\"d\")/a/b return "
+                       "($x/c, $x/d)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ret->kind, ExprKind::kSequence);
+}
+
+TEST(XQueryParserTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseXQuery("for $x in").ok());
+  EXPECT_FALSE(ParseXQuery("for $x doc(\"d\")/a return $x").ok());
+  EXPECT_FALSE(ParseXQuery("let $x = 3 return $x").ok());  // needs :=
+  EXPECT_FALSE(ParseXQuery("for $x in doc(\"d\")/a[ return $x").ok());
+}
+
+// -- Paper Section 4 queries ---------------------------------------------------
+
+TEST_F(XQueryPaperTest, Query1TemporalProjection) {
+  Sequence r = Eval(
+      "element title_history{ for $t in doc(\"employees.xml\")/employees/"
+      "employee[name=\"Bob\"]/title return $t }");
+  ASSERT_EQ(r.size(), 1u);
+  auto titles = r[0].node()->ChildrenNamed("title");
+  ASSERT_EQ(titles.size(), 3u);
+  EXPECT_EQ(titles[0]->StringValue(), "Engineer");
+  EXPECT_EQ(titles[2]->StringValue(), "TechLeader");
+}
+
+TEST_F(XQueryPaperTest, Query2TemporalSnapshot) {
+  Sequence r = Eval(
+      "for $m in doc(\"depts.xml\")/depts/dept/mgrno"
+      "[tstart(.) <= xs:date(\"1994-05-06\") and "
+      " tend(.) >= xs:date(\"1994-05-06\")] return $m");
+  ASSERT_EQ(r.size(), 3u);  // 2501, 3402, 4748 all managed on that date
+  EXPECT_EQ(r[0].node()->StringValue(), "2501");
+}
+
+TEST_F(XQueryPaperTest, Query3TemporalSlicing) {
+  Sequence r = Eval(
+      "for $e in doc(\"employees.xml\")/employees/employee"
+      "[ toverlaps(., telement( xs:date(\"1994-05-06\"),"
+      " xs:date(\"1995-05-06\") ) ) ] return $e/name");
+  // Bob and Carl joined 1995-01-01; Ann 1995-03-01: all overlap the slice.
+  ASSERT_EQ(r.size(), 3u);
+}
+
+TEST_F(XQueryPaperTest, Query4TemporalJoin) {
+  Sequence r = Eval(
+      "element manages{"
+      " for $d in doc(\"depts.xml\")/depts/dept"
+      " for $m in $d/mgrno"
+      " return element manage {$d/deptno, $m,"
+      "  element employees {"
+      "   for $e in doc(\"employees.xml\")/employees/employee"
+      "   where $e/deptno = $d/deptno and"
+      "    not(empty(overlapinterval($e, $m) ) )"
+      "   return($e/name, overlapinterval($e,$m)) }}}");
+  ASSERT_EQ(r.size(), 1u);
+  auto manages = r[0].node()->ChildrenNamed("manage");
+  ASSERT_EQ(manages.size(), 4u);  // one per (dept, mgr) version
+  // d01's manager 2501 overlaps Bob, Ann and Carl.
+  const auto& d01 = manages[0];
+  EXPECT_EQ(d01->FirstChildNamed("deptno")->StringValue(), "d01");
+  auto emps = d01->FirstChildNamed("employees");
+  ASSERT_NE(emps, nullptr);
+  EXPECT_EQ(emps->ChildrenNamed("name").size(), 3u);
+  EXPECT_EQ(emps->ChildrenNamed("interval").size(), 3u);
+}
+
+TEST_F(XQueryPaperTest, Query5TemporalAggregate) {
+  Sequence r = Eval(
+      "let $s := document(\"emp.xml\")/employees/employee/salary "
+      "return tavg($s)");
+  // Average salary history changes at every salary event boundary.
+  ASSERT_GE(r.size(), 3u);
+  // First step: only Bob and Carl employed (60000+65000)/2.
+  EXPECT_EQ(r[0].node()->name(), "tavg");
+  EXPECT_EQ(r[0].node()->StringValue(), "62500.00");
+  auto iv = r[0].node()->Interval();
+  ASSERT_TRUE(iv.ok());
+  EXPECT_EQ(iv->tstart, D(1995, 1, 1));
+}
+
+TEST_F(XQueryPaperTest, Query6Restructuring) {
+  Sequence r = Eval(
+      "for $e in doc(\"emp.xml\")/employees/employee[name=\"Bob\"] "
+      "let $d := $e/deptno let $t := $e/title "
+      "let $overlaps := restructure($d, $t) return max($overlaps)");
+  ASSERT_EQ(r.size(), 1u);
+  // Bob's longest unchanged (dept,title) run: d02+TechLeader
+  // 1996-02-01..1996-12-31 = 335 days.
+  EXPECT_DOUBLE_EQ(r[0].number(), 335);
+}
+
+TEST_F(XQueryPaperTest, Query7Since) {
+  Sequence r = Eval(
+      "for $e in doc(\"employees.xml\")/employees/employee "
+      "let $m := $e/title[.=\"Sr Engineer\" and tend(.)=current-date()] "
+      "let $d := $e/deptno[.=\"d01\" and tcontains($m, .)] "
+      "where not empty($d) and not empty($m) "
+      "return <employee>{$e/id, $e/name}</employee>");
+  // Only Ann has been a Sr Engineer in d01 since she joined.
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].node()->FirstChildNamed("name")->StringValue(), "Ann");
+  EXPECT_EQ(r[0].node()->FirstChildNamed("id")->StringValue(), "1002");
+}
+
+TEST_F(XQueryPaperTest, Query8PeriodContainment) {
+  Sequence r = Eval(
+      "for $e1 in doc(\"employees.xml\")/employees/employee[name = \"Bob\"] "
+      "for $e2 in doc(\"employees.xml\")/employees/employee[name != \"Bob\"] "
+      "where (every $d1 in $e1/deptno satisfies some $d2 in $e2/deptno "
+      "satisfies (string($d1)=string($d2) and tequals($d2,$d1))) and "
+      "(every $d2 in $e2/deptno satisfies some $d1 in $e1/deptno "
+      "satisfies (string($d2)=string($d1) and tequals($d1,$d2))) "
+      "return <employee>{$e2/name}</employee>");
+  // Carl has exactly Bob's department history; Ann does not.
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].node()->StringValue(), "Carl");
+}
+
+// -- Function library ----------------------------------------------------------
+
+TEST_F(XQueryPaperTest, TemporalPredicateFunctions) {
+  EXPECT_TRUE(Eval("toverlaps(telement(xs:date(\"1995-01-01\"),"
+                   "xs:date(\"1995-06-01\")), telement("
+                   "xs:date(\"1995-05-01\"), xs:date(\"1995-12-31\")))")[0]
+                  .boolean());
+  EXPECT_TRUE(Eval("tprecedes(telement(xs:date(\"1995-01-01\"),"
+                   "xs:date(\"1995-02-01\")), telement("
+                   "xs:date(\"1995-03-01\"), xs:date(\"1995-12-31\")))")[0]
+                  .boolean());
+  EXPECT_TRUE(Eval("tmeets(telement(xs:date(\"1995-01-01\"),"
+                   "xs:date(\"1995-05-31\")), telement("
+                   "xs:date(\"1995-06-01\"), xs:date(\"1995-12-31\")))")[0]
+                  .boolean());
+  EXPECT_TRUE(Eval("tcontains(telement(xs:date(\"1995-01-01\"),"
+                   "xs:date(\"1995-12-31\")), telement("
+                   "xs:date(\"1995-03-01\"), xs:date(\"1995-06-30\")))")[0]
+                  .boolean());
+  EXPECT_FALSE(Eval("tequals(telement(xs:date(\"1995-01-01\"),"
+                    "xs:date(\"1995-12-31\")), telement("
+                    "xs:date(\"1995-01-01\"), xs:date(\"1995-06-30\")))")[0]
+                   .boolean());
+}
+
+TEST_F(XQueryPaperTest, IntervalAndDurationFunctions) {
+  Sequence span = Eval("timespan(telement(xs:date(\"1995-01-01\"),"
+                       "xs:date(\"1995-01-10\")))");
+  ASSERT_EQ(span.size(), 1u);
+  EXPECT_DOUBLE_EQ(span[0].number(), 10);
+  Sequence iv = Eval(
+      "tinterval(doc(\"employees.xml\")/employees/employee[name=\"Ann\"])");
+  ASSERT_EQ(iv.size(), 1u);
+  EXPECT_EQ(iv[0].node()->name(), "interval");
+  EXPECT_EQ(*iv[0].node()->Attr("tstart"), "1995-03-01");
+}
+
+TEST_F(XQueryPaperTest, TendResolvesNowToCurrentDate) {
+  // Ann's intervals are live: tend() must report the context current date.
+  Sequence r = Eval(
+      "for $e in doc(\"employees.xml\")/employees/employee[name=\"Ann\"] "
+      "return tend($e)");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].date(), D(1997, 6, 1));
+}
+
+TEST_F(XQueryPaperTest, RtendAndExternalNow) {
+  Sequence r1 = Eval(
+      "rtend(doc(\"employees.xml\")/employees/employee[name=\"Ann\"])");
+  ASSERT_EQ(r1.size(), 1u);
+  EXPECT_EQ(*r1[0].node()->Attr("tend"), "1997-06-01");
+  Sequence r2 = Eval(
+      "externalnow(doc(\"employees.xml\")/employees/employee[name=\"Ann\"])");
+  EXPECT_EQ(*r2[0].node()->Attr("tend"), "now");
+  // Child elements rewritten too.
+  EXPECT_EQ(*r2[0].node()->FirstChildNamed("salary")->Attr("tend"), "now");
+}
+
+TEST_F(XQueryPaperTest, CoalesceFunction) {
+  // Bob's two salary intervals don't coalesce (different values), but his
+  // two deptno entries for d02/d01 coalesce per value.
+  Sequence r = Eval(
+      "coalesce(doc(\"employees.xml\")/employees/employee/deptno)");
+  // d01 appears as Bob [95-01..95-09], Ann [95-03..now], Carl [95-01..95-09]
+  // -> coalesces to one interval [1995-01-01, now]; d02 from Bob+Carl.
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].node()->StringValue(), "d01");
+  EXPECT_EQ(*r[0].node()->Attr("tend"), "9999-12-31");
+  EXPECT_EQ(r[1].node()->StringValue(), "d02");
+}
+
+TEST_F(XQueryPaperTest, StandardBuiltins) {
+  EXPECT_DOUBLE_EQ(
+      Eval("count(doc(\"employees.xml\")/employees/employee)")[0].number(),
+      3);
+  EXPECT_DOUBLE_EQ(
+      Eval("max(doc(\"employees.xml\")/employees/employee/salary)")[0]
+          .number(),
+      80000);
+  EXPECT_EQ(
+      Eval("string(doc(\"employees.xml\")/employees/employee/name)")[0]
+          .str(),
+      "Bob");
+  EXPECT_EQ(Eval("distinct-values(doc(\"employees.xml\")/employees/"
+                 "employee/deptno)")
+                .size(),
+            2u);
+  EXPECT_TRUE(Eval("empty(())")[0].boolean());
+  EXPECT_DOUBLE_EQ(Eval("2 + 3 * 4")[0].number(), 14);
+  EXPECT_DOUBLE_EQ(Eval("10 div 4")[0].number(), 2.5);
+}
+
+TEST_F(XQueryPaperTest, AttributeAxisAndPositional) {
+  Sequence attr = Eval(
+      "for $e in doc(\"employees.xml\")/employees/employee[name=\"Ann\"] "
+      "return $e/@tstart");
+  ASSERT_EQ(attr.size(), 1u);
+  EXPECT_EQ(attr[0].str(), "1995-03-01");
+  Sequence second = Eval(
+      "doc(\"employees.xml\")/employees/employee[2]/name");
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].node()->StringValue(), "Ann");
+}
+
+TEST_F(XQueryPaperTest, DescendantAxis) {
+  Sequence r = Eval("count(doc(\"employees.xml\")//salary)");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r[0].number(), 4);
+}
+
+TEST_F(XQueryPaperTest, IfThenElseAndQuantifiers) {
+  Sequence r = Eval(
+      "if (exists(doc(\"employees.xml\")/employees/employee[name=\"Bob\"]))"
+      " then \"yes\" else \"no\"");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].str(), "yes");
+  Sequence q = Eval(
+      "some $s in doc(\"employees.xml\")/employees/employee/salary "
+      "satisfies $s > 75000");
+  EXPECT_TRUE(q[0].boolean());
+  Sequence q2 = Eval(
+      "every $s in doc(\"employees.xml\")/employees/employee/salary "
+      "satisfies $s > 75000");
+  EXPECT_FALSE(q2[0].boolean());
+}
+
+TEST_F(XQueryPaperTest, TemporalAggregateFamily) {
+  // tsum/tcount over all salaries: count peaks at 3 while everyone is
+  // employed, drops to 1 (Ann) after Bob and Carl leave.
+  Sequence cnt = Eval(
+      "tcount(doc(\"employees.xml\")/employees/employee/salary)");
+  ASSERT_FALSE(cnt.empty());
+  EXPECT_EQ(cnt.back().node()->StringValue(), "1.00");
+  Sequence mx = Eval(
+      "tmax(doc(\"employees.xml\")/employees/employee/salary)");
+  ASSERT_FALSE(mx.empty());
+  EXPECT_EQ(mx.back().node()->StringValue(), "80000.00");
+}
+
+TEST_F(XQueryPaperTest, RisingExtensionAggregate) {
+  // Total payroll rises when Ann joins (1995-03-01) and when Bob's salary
+  // jumps (1995-06-01), so a rising run must cover those boundaries.
+  Sequence r = Eval(
+      "trising(doc(\"employees.xml\")/employees/employee/salary)");
+  ASSERT_FALSE(r.empty());
+  EXPECT_EQ(r[0].node()->name(), "rising");
+  auto iv = r[0].node()->Interval();
+  ASSERT_TRUE(iv.ok());
+  EXPECT_LE(iv->tstart, D(1995, 3, 1));
+  EXPECT_GE(iv->tend, D(1995, 6, 1));
+}
+
+TEST_F(XQueryPaperTest, MovingWindowExtensionAggregate) {
+  Sequence r = Eval(
+      "tmovavg(doc(\"employees.xml\")/employees/employee/salary, 90)");
+  ASSERT_GE(r.size(), 3u);
+  for (const Item& item : r) {
+    EXPECT_EQ(item.node()->name(), "tmovavg");
+    EXPECT_TRUE(item.node()->Interval().ok());
+  }
+}
+
+TEST_F(XQueryPaperTest, ErrorsSurfaceCleanly) {
+  EXPECT_FALSE(evaluator_->EvaluateQuery("$unbound").ok());
+  EXPECT_FALSE(evaluator_->EvaluateQuery("nosuchfn(1)").ok());
+  EXPECT_FALSE(
+      evaluator_->EvaluateQuery("doc(\"missing.xml\")/a/b").ok());
+  EXPECT_FALSE(evaluator_->EvaluateQuery("tstart(\"not a node\")").ok());
+}
+
+}  // namespace
+}  // namespace archis::xquery
