@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clustering.dir/bench_clustering.cc.o"
+  "CMakeFiles/bench_clustering.dir/bench_clustering.cc.o.d"
+  "bench_clustering"
+  "bench_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

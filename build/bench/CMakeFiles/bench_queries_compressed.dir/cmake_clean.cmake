@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queries_compressed.dir/bench_queries_compressed.cc.o"
+  "CMakeFiles/bench_queries_compressed.dir/bench_queries_compressed.cc.o.d"
+  "bench_queries_compressed"
+  "bench_queries_compressed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queries_compressed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_umin.dir/bench_storage_umin.cc.o"
+  "CMakeFiles/bench_storage_umin.dir/bench_storage_umin.cc.o.d"
+  "bench_storage_umin"
+  "bench_storage_umin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_umin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_translation.dir/bench_translation.cc.o"
+  "CMakeFiles/bench_translation.dir/bench_translation.cc.o.d"
+  "bench_translation"
+  "bench_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

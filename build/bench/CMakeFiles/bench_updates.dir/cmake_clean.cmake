@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_updates.dir/bench_updates.cc.o"
+  "CMakeFiles/bench_updates.dir/bench_updates.cc.o.d"
+  "bench_updates"
+  "bench_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archive_compression.dir/archive_compression.cpp.o"
+  "CMakeFiles/archive_compression.dir/archive_compression.cpp.o.d"
+  "archive_compression"
+  "archive_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archive_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hr_audit.dir/hr_audit.cpp.o"
+  "CMakeFiles/hr_audit.dir/hr_audit.cpp.o.d"
+  "hr_audit"
+  "hr_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hr_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/date.cc" "src/CMakeFiles/archis_common.dir/common/date.cc.o" "gcc" "src/CMakeFiles/archis_common.dir/common/date.cc.o.d"
+  "/root/repo/src/common/interval.cc" "src/CMakeFiles/archis_common.dir/common/interval.cc.o" "gcc" "src/CMakeFiles/archis_common.dir/common/interval.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/archis_common.dir/common/status.cc.o" "gcc" "src/CMakeFiles/archis_common.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/archis_common.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/archis_common.dir/common/str_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archis_common.dir/common/date.cc.o"
+  "CMakeFiles/archis_common.dir/common/date.cc.o.d"
+  "CMakeFiles/archis_common.dir/common/interval.cc.o"
+  "CMakeFiles/archis_common.dir/common/interval.cc.o.d"
+  "CMakeFiles/archis_common.dir/common/status.cc.o"
+  "CMakeFiles/archis_common.dir/common/status.cc.o.d"
+  "CMakeFiles/archis_common.dir/common/str_util.cc.o"
+  "CMakeFiles/archis_common.dir/common/str_util.cc.o.d"
+  "libarchis_common.a"
+  "libarchis_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archis_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

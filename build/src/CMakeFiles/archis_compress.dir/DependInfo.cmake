@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/blob_store.cc" "src/CMakeFiles/archis_compress.dir/compress/blob_store.cc.o" "gcc" "src/CMakeFiles/archis_compress.dir/compress/blob_store.cc.o.d"
+  "/root/repo/src/compress/block_zip.cc" "src/CMakeFiles/archis_compress.dir/compress/block_zip.cc.o" "gcc" "src/CMakeFiles/archis_compress.dir/compress/block_zip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/archis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

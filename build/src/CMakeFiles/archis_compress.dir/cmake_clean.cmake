@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archis_compress.dir/compress/blob_store.cc.o"
+  "CMakeFiles/archis_compress.dir/compress/blob_store.cc.o.d"
+  "CMakeFiles/archis_compress.dir/compress/block_zip.cc.o"
+  "CMakeFiles/archis_compress.dir/compress/block_zip.cc.o.d"
+  "libarchis_compress.a"
+  "libarchis_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archis_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

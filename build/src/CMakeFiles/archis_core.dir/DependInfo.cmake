@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/archis/archis.cc" "src/CMakeFiles/archis_core.dir/archis/archis.cc.o" "gcc" "src/CMakeFiles/archis_core.dir/archis/archis.cc.o.d"
+  "/root/repo/src/archis/archiver.cc" "src/CMakeFiles/archis_core.dir/archis/archiver.cc.o" "gcc" "src/CMakeFiles/archis_core.dir/archis/archiver.cc.o.d"
+  "/root/repo/src/archis/change_capture.cc" "src/CMakeFiles/archis_core.dir/archis/change_capture.cc.o" "gcc" "src/CMakeFiles/archis_core.dir/archis/change_capture.cc.o.d"
+  "/root/repo/src/archis/compressed_segment.cc" "src/CMakeFiles/archis_core.dir/archis/compressed_segment.cc.o" "gcc" "src/CMakeFiles/archis_core.dir/archis/compressed_segment.cc.o.d"
+  "/root/repo/src/archis/htable.cc" "src/CMakeFiles/archis_core.dir/archis/htable.cc.o" "gcc" "src/CMakeFiles/archis_core.dir/archis/htable.cc.o.d"
+  "/root/repo/src/archis/publisher.cc" "src/CMakeFiles/archis_core.dir/archis/publisher.cc.o" "gcc" "src/CMakeFiles/archis_core.dir/archis/publisher.cc.o.d"
+  "/root/repo/src/archis/segment_manager.cc" "src/CMakeFiles/archis_core.dir/archis/segment_manager.cc.o" "gcc" "src/CMakeFiles/archis_core.dir/archis/segment_manager.cc.o.d"
+  "/root/repo/src/archis/sqlxml.cc" "src/CMakeFiles/archis_core.dir/archis/sqlxml.cc.o" "gcc" "src/CMakeFiles/archis_core.dir/archis/sqlxml.cc.o.d"
+  "/root/repo/src/archis/translator.cc" "src/CMakeFiles/archis_core.dir/archis/translator.cc.o" "gcc" "src/CMakeFiles/archis_core.dir/archis/translator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/archis_minirel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archis_xquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archis_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archis_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archis_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archis_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archis_core.dir/archis/archis.cc.o"
+  "CMakeFiles/archis_core.dir/archis/archis.cc.o.d"
+  "CMakeFiles/archis_core.dir/archis/archiver.cc.o"
+  "CMakeFiles/archis_core.dir/archis/archiver.cc.o.d"
+  "CMakeFiles/archis_core.dir/archis/change_capture.cc.o"
+  "CMakeFiles/archis_core.dir/archis/change_capture.cc.o.d"
+  "CMakeFiles/archis_core.dir/archis/compressed_segment.cc.o"
+  "CMakeFiles/archis_core.dir/archis/compressed_segment.cc.o.d"
+  "CMakeFiles/archis_core.dir/archis/htable.cc.o"
+  "CMakeFiles/archis_core.dir/archis/htable.cc.o.d"
+  "CMakeFiles/archis_core.dir/archis/publisher.cc.o"
+  "CMakeFiles/archis_core.dir/archis/publisher.cc.o.d"
+  "CMakeFiles/archis_core.dir/archis/segment_manager.cc.o"
+  "CMakeFiles/archis_core.dir/archis/segment_manager.cc.o.d"
+  "CMakeFiles/archis_core.dir/archis/sqlxml.cc.o"
+  "CMakeFiles/archis_core.dir/archis/sqlxml.cc.o.d"
+  "CMakeFiles/archis_core.dir/archis/translator.cc.o"
+  "CMakeFiles/archis_core.dir/archis/translator.cc.o.d"
+  "libarchis_core.a"
+  "libarchis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

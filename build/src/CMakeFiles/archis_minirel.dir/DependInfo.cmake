@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minirel/catalog.cc" "src/CMakeFiles/archis_minirel.dir/minirel/catalog.cc.o" "gcc" "src/CMakeFiles/archis_minirel.dir/minirel/catalog.cc.o.d"
+  "/root/repo/src/minirel/database.cc" "src/CMakeFiles/archis_minirel.dir/minirel/database.cc.o" "gcc" "src/CMakeFiles/archis_minirel.dir/minirel/database.cc.o.d"
+  "/root/repo/src/minirel/executor.cc" "src/CMakeFiles/archis_minirel.dir/minirel/executor.cc.o" "gcc" "src/CMakeFiles/archis_minirel.dir/minirel/executor.cc.o.d"
+  "/root/repo/src/minirel/predicate.cc" "src/CMakeFiles/archis_minirel.dir/minirel/predicate.cc.o" "gcc" "src/CMakeFiles/archis_minirel.dir/minirel/predicate.cc.o.d"
+  "/root/repo/src/minirel/schema.cc" "src/CMakeFiles/archis_minirel.dir/minirel/schema.cc.o" "gcc" "src/CMakeFiles/archis_minirel.dir/minirel/schema.cc.o.d"
+  "/root/repo/src/minirel/table.cc" "src/CMakeFiles/archis_minirel.dir/minirel/table.cc.o" "gcc" "src/CMakeFiles/archis_minirel.dir/minirel/table.cc.o.d"
+  "/root/repo/src/minirel/tuple.cc" "src/CMakeFiles/archis_minirel.dir/minirel/tuple.cc.o" "gcc" "src/CMakeFiles/archis_minirel.dir/minirel/tuple.cc.o.d"
+  "/root/repo/src/minirel/value.cc" "src/CMakeFiles/archis_minirel.dir/minirel/value.cc.o" "gcc" "src/CMakeFiles/archis_minirel.dir/minirel/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/archis_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

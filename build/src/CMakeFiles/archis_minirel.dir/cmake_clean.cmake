@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archis_minirel.dir/minirel/catalog.cc.o"
+  "CMakeFiles/archis_minirel.dir/minirel/catalog.cc.o.d"
+  "CMakeFiles/archis_minirel.dir/minirel/database.cc.o"
+  "CMakeFiles/archis_minirel.dir/minirel/database.cc.o.d"
+  "CMakeFiles/archis_minirel.dir/minirel/executor.cc.o"
+  "CMakeFiles/archis_minirel.dir/minirel/executor.cc.o.d"
+  "CMakeFiles/archis_minirel.dir/minirel/predicate.cc.o"
+  "CMakeFiles/archis_minirel.dir/minirel/predicate.cc.o.d"
+  "CMakeFiles/archis_minirel.dir/minirel/schema.cc.o"
+  "CMakeFiles/archis_minirel.dir/minirel/schema.cc.o.d"
+  "CMakeFiles/archis_minirel.dir/minirel/table.cc.o"
+  "CMakeFiles/archis_minirel.dir/minirel/table.cc.o.d"
+  "CMakeFiles/archis_minirel.dir/minirel/tuple.cc.o"
+  "CMakeFiles/archis_minirel.dir/minirel/tuple.cc.o.d"
+  "CMakeFiles/archis_minirel.dir/minirel/value.cc.o"
+  "CMakeFiles/archis_minirel.dir/minirel/value.cc.o.d"
+  "libarchis_minirel.a"
+  "libarchis_minirel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archis_minirel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bptree.cc" "src/CMakeFiles/archis_storage.dir/storage/bptree.cc.o" "gcc" "src/CMakeFiles/archis_storage.dir/storage/bptree.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/archis_storage.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/archis_storage.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/archis_storage.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/archis_storage.dir/storage/page.cc.o.d"
+  "/root/repo/src/storage/page_manager.cc" "src/CMakeFiles/archis_storage.dir/storage/page_manager.cc.o" "gcc" "src/CMakeFiles/archis_storage.dir/storage/page_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/archis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archis_storage.dir/storage/bptree.cc.o"
+  "CMakeFiles/archis_storage.dir/storage/bptree.cc.o.d"
+  "CMakeFiles/archis_storage.dir/storage/heap_file.cc.o"
+  "CMakeFiles/archis_storage.dir/storage/heap_file.cc.o.d"
+  "CMakeFiles/archis_storage.dir/storage/page.cc.o"
+  "CMakeFiles/archis_storage.dir/storage/page.cc.o.d"
+  "CMakeFiles/archis_storage.dir/storage/page_manager.cc.o"
+  "CMakeFiles/archis_storage.dir/storage/page_manager.cc.o.d"
+  "libarchis_storage.a"
+  "libarchis_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archis_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/temporal/aggregate.cc" "src/CMakeFiles/archis_temporal.dir/temporal/aggregate.cc.o" "gcc" "src/CMakeFiles/archis_temporal.dir/temporal/aggregate.cc.o.d"
+  "/root/repo/src/temporal/coalesce.cc" "src/CMakeFiles/archis_temporal.dir/temporal/coalesce.cc.o" "gcc" "src/CMakeFiles/archis_temporal.dir/temporal/coalesce.cc.o.d"
+  "/root/repo/src/temporal/now.cc" "src/CMakeFiles/archis_temporal.dir/temporal/now.cc.o" "gcc" "src/CMakeFiles/archis_temporal.dir/temporal/now.cc.o.d"
+  "/root/repo/src/temporal/restructure.cc" "src/CMakeFiles/archis_temporal.dir/temporal/restructure.cc.o" "gcc" "src/CMakeFiles/archis_temporal.dir/temporal/restructure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/archis_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

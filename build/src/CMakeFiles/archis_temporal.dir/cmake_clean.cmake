@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archis_temporal.dir/temporal/aggregate.cc.o"
+  "CMakeFiles/archis_temporal.dir/temporal/aggregate.cc.o.d"
+  "CMakeFiles/archis_temporal.dir/temporal/coalesce.cc.o"
+  "CMakeFiles/archis_temporal.dir/temporal/coalesce.cc.o.d"
+  "CMakeFiles/archis_temporal.dir/temporal/now.cc.o"
+  "CMakeFiles/archis_temporal.dir/temporal/now.cc.o.d"
+  "CMakeFiles/archis_temporal.dir/temporal/restructure.cc.o"
+  "CMakeFiles/archis_temporal.dir/temporal/restructure.cc.o.d"
+  "libarchis_temporal.a"
+  "libarchis_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archis_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

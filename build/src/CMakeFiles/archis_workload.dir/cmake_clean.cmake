@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archis_workload.dir/workload/employee_workload.cc.o"
+  "CMakeFiles/archis_workload.dir/workload/employee_workload.cc.o.d"
+  "libarchis_workload.a"
+  "libarchis_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archis_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libarchis_workload.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/node.cc" "src/CMakeFiles/archis_xml.dir/xml/node.cc.o" "gcc" "src/CMakeFiles/archis_xml.dir/xml/node.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/archis_xml.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/archis_xml.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/CMakeFiles/archis_xml.dir/xml/serializer.cc.o" "gcc" "src/CMakeFiles/archis_xml.dir/xml/serializer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/archis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

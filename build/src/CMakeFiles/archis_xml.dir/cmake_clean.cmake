@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archis_xml.dir/xml/node.cc.o"
+  "CMakeFiles/archis_xml.dir/xml/node.cc.o.d"
+  "CMakeFiles/archis_xml.dir/xml/parser.cc.o"
+  "CMakeFiles/archis_xml.dir/xml/parser.cc.o.d"
+  "CMakeFiles/archis_xml.dir/xml/serializer.cc.o"
+  "CMakeFiles/archis_xml.dir/xml/serializer.cc.o.d"
+  "libarchis_xml.a"
+  "libarchis_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archis_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archis_xmldb.dir/xmldb/document_store.cc.o"
+  "CMakeFiles/archis_xmldb.dir/xmldb/document_store.cc.o.d"
+  "CMakeFiles/archis_xmldb.dir/xmldb/xml_database.cc.o"
+  "CMakeFiles/archis_xmldb.dir/xmldb/xml_database.cc.o.d"
+  "libarchis_xmldb.a"
+  "libarchis_xmldb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archis_xmldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

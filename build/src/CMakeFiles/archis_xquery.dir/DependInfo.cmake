@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xquery/ast.cc" "src/CMakeFiles/archis_xquery.dir/xquery/ast.cc.o" "gcc" "src/CMakeFiles/archis_xquery.dir/xquery/ast.cc.o.d"
+  "/root/repo/src/xquery/evaluator.cc" "src/CMakeFiles/archis_xquery.dir/xquery/evaluator.cc.o" "gcc" "src/CMakeFiles/archis_xquery.dir/xquery/evaluator.cc.o.d"
+  "/root/repo/src/xquery/functions.cc" "src/CMakeFiles/archis_xquery.dir/xquery/functions.cc.o" "gcc" "src/CMakeFiles/archis_xquery.dir/xquery/functions.cc.o.d"
+  "/root/repo/src/xquery/lexer.cc" "src/CMakeFiles/archis_xquery.dir/xquery/lexer.cc.o" "gcc" "src/CMakeFiles/archis_xquery.dir/xquery/lexer.cc.o.d"
+  "/root/repo/src/xquery/parser.cc" "src/CMakeFiles/archis_xquery.dir/xquery/parser.cc.o" "gcc" "src/CMakeFiles/archis_xquery.dir/xquery/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/archis_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archis_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archis_xquery.dir/xquery/ast.cc.o"
+  "CMakeFiles/archis_xquery.dir/xquery/ast.cc.o.d"
+  "CMakeFiles/archis_xquery.dir/xquery/evaluator.cc.o"
+  "CMakeFiles/archis_xquery.dir/xquery/evaluator.cc.o.d"
+  "CMakeFiles/archis_xquery.dir/xquery/functions.cc.o"
+  "CMakeFiles/archis_xquery.dir/xquery/functions.cc.o.d"
+  "CMakeFiles/archis_xquery.dir/xquery/lexer.cc.o"
+  "CMakeFiles/archis_xquery.dir/xquery/lexer.cc.o.d"
+  "CMakeFiles/archis_xquery.dir/xquery/parser.cc.o"
+  "CMakeFiles/archis_xquery.dir/xquery/parser.cc.o.d"
+  "libarchis_xquery.a"
+  "libarchis_xquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archis_xquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

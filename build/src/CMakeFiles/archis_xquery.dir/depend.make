@@ -1,0 +1,2 @@
+# Empty dependencies file for archis_xquery.
+# This may be replaced when dependencies are built.

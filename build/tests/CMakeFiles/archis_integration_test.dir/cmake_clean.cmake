@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archis_integration_test.dir/archis_integration_test.cc.o"
+  "CMakeFiles/archis_integration_test.dir/archis_integration_test.cc.o.d"
+  "archis_integration_test"
+  "archis_integration_test.pdb"
+  "archis_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archis_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

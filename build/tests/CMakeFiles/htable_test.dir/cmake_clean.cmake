@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htable_test.dir/htable_test.cc.o"
+  "CMakeFiles/htable_test.dir/htable_test.cc.o.d"
+  "htable_test"
+  "htable_test.pdb"
+  "htable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minirel_test.dir/minirel_test.cc.o"
+  "CMakeFiles/minirel_test.dir/minirel_test.cc.o.d"
+  "minirel_test"
+  "minirel_test.pdb"
+  "minirel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minirel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_test.dir/segment_test.cc.o"
+  "CMakeFiles/segment_test.dir/segment_test.cc.o.d"
+  "segment_test"
+  "segment_test.pdb"
+  "segment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

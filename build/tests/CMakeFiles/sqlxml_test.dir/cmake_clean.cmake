@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlxml_test.dir/sqlxml_test.cc.o"
+  "CMakeFiles/sqlxml_test.dir/sqlxml_test.cc.o.d"
+  "sqlxml_test"
+  "sqlxml_test.pdb"
+  "sqlxml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlxml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translator_test.dir/translator_test.cc.o"
+  "CMakeFiles/translator_test.dir/translator_test.cc.o.d"
+  "translator_test"
+  "translator_test.pdb"
+  "translator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

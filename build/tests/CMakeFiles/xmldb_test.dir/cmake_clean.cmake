@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmldb_test.dir/xmldb_test.cc.o"
+  "CMakeFiles/xmldb_test.dir/xmldb_test.cc.o.d"
+  "xmldb_test"
+  "xmldb_test.pdb"
+  "xmldb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmldb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
