@@ -37,6 +37,8 @@ struct BuildOptions {
   bool tamino_compressed = true;
   int years = 17;
   int base_employees = 120;
+  int scan_threads = 1;           ///< parallel frozen-segment scan workers
+  uint64_t block_cache_bytes = 16ull << 20;  ///< 0 disables the block cache
 };
 
 /// Generates the workload into a fresh ArchIS (and TaminoLite fed from the
@@ -47,6 +49,8 @@ inline Systems BuildSystems(const BuildOptions& opts) {
   aopts.segment.enabled = opts.segment_clustering;
   aopts.segment.compress = opts.compress;
   aopts.segment.umin = opts.umin;
+  aopts.segment.scan_threads = opts.scan_threads;
+  aopts.segment.block_cache_bytes = opts.block_cache_bytes;
   sys.archis = std::make_unique<core::ArchIS>(aopts,
                                               Date::FromYmd(1985, 1, 1));
   sys.config.initial_employees = opts.base_employees * opts.scale;

@@ -4,44 +4,53 @@ namespace archis::core {
 
 Result<std::unique_ptr<CompressedSegment>> CompressedSegment::Build(
     const minirel::Schema& schema, const std::vector<minirel::Tuple>& rows,
-    size_t block_size) {
+    size_t block_size, uint64_t cache_bytes) {
   auto seg = std::unique_ptr<CompressedSegment>(new CompressedSegment());
   seg->schema_ = schema;
+  const size_t tstart_col = schema.num_columns() - 2;
+  const size_t tend_col = schema.num_columns() - 1;
   std::vector<std::pair<int64_t, std::string>> records;
+  std::vector<TimeInterval> times;
   records.reserve(rows.size());
+  times.reserve(rows.size());
   for (const minirel::Tuple& row : rows) {
     ARCHIS_ASSIGN_OR_RETURN(std::string bytes, row.Encode(schema));
     records.emplace_back(row.at(0).AsInt(), std::move(bytes));
+    times.emplace_back(row.at(tstart_col).AsDate(), row.at(tend_col).AsDate());
   }
   compress::BlockZipOptions opts;
   opts.block_size = block_size;
-  ARCHIS_RETURN_NOT_OK(seg->store_.Build(records, opts));
+  ARCHIS_RETURN_NOT_OK(seg->store_.Build(records, opts, times));
+  seg->store_.set_cache_capacity(cache_bytes);
   return seg;
+}
+
+Status CompressedSegment::Scan(
+    std::optional<int64_t> id, const std::optional<TimeInterval>& window,
+    const std::function<bool(const minirel::Tuple&)>& fn,
+    compress::BlobReadStats* stats) const {
+  const int64_t lo = id.value_or(INT64_MIN);
+  const int64_t hi = id.value_or(INT64_MAX);
+  return store_.ScanRangeInterval(
+      lo, hi, window,
+      [&](int64_t, const std::string& rec) {
+        auto t = minirel::Tuple::Decode(schema_, rec);
+        if (!t.ok()) return true;
+        return fn(*t);
+      },
+      stats);
 }
 
 Status CompressedSegment::ScanAll(
     const std::function<bool(const minirel::Tuple&)>& fn,
     compress::BlobReadStats* stats) const {
-  return store_.ScanAll(
-      [&](int64_t, const std::string& rec) {
-        auto t = minirel::Tuple::Decode(schema_, rec);
-        if (!t.ok()) return true;
-        return fn(*t);
-      },
-      stats);
+  return Scan(std::nullopt, std::nullopt, fn, stats);
 }
 
 Status CompressedSegment::ScanId(
     int64_t id, const std::function<bool(const minirel::Tuple&)>& fn,
     compress::BlobReadStats* stats) const {
-  return store_.ScanRange(
-      id, id,
-      [&](int64_t, const std::string& rec) {
-        auto t = minirel::Tuple::Decode(schema_, rec);
-        if (!t.ok()) return true;
-        return fn(*t);
-      },
-      stats);
+  return Scan(id, std::nullopt, fn, stats);
 }
 
 }  // namespace archis::core

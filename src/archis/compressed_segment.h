@@ -2,12 +2,16 @@
 //
 // Rows are sorted by id and stored in a BlobStore keyed by the id, so a
 // single-object lookup decompresses only the covering blocks while a
-// whole-segment scan decompresses all of them.
+// whole-segment scan decompresses all of them. Each block also carries a
+// temporal zone map (min tstart / max tend of its rows), so time-windowed
+// scans can skip blocks whose time envelope misses the query even when
+// their id range covers it.
 #ifndef ARCHIS_ARCHIS_COMPRESSED_SEGMENT_H_
 #define ARCHIS_ARCHIS_COMPRESSED_SEGMENT_H_
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,10 +23,23 @@ namespace archis::core {
 /// BlockZIP-compressed storage for one frozen segment's rows.
 class CompressedSegment {
  public:
-  /// Compresses `rows` (already id-sorted; encoded with `schema`).
+  /// Compresses `rows` (already id-sorted; encoded with `schema`; tstart
+  /// and tend in the last two columns). `cache_bytes` > 0 enables the
+  /// decompressed-block LRU cache of the underlying BlobStore.
   static Result<std::unique_ptr<CompressedSegment>> Build(
       const minirel::Schema& schema, const std::vector<minirel::Tuple>& rows,
-      size_t block_size);
+      size_t block_size, uint64_t cache_bytes = 0);
+
+  /// Decodes rows in stored (id, tstart) order. `id` restricts to one
+  /// object via the block sid ranges; `window` skips blocks via the
+  /// temporal zone maps. Rows of surviving blocks are NOT time-filtered —
+  /// the zone map is a block-level test only, row-level filtering stays
+  /// with the caller (which preserves the cross-segment dedup contract of
+  /// SegmentedStore::ScanSegments).
+  Status Scan(std::optional<int64_t> id,
+              const std::optional<TimeInterval>& window,
+              const std::function<bool(const minirel::Tuple&)>& fn,
+              compress::BlobReadStats* stats = nullptr) const;
 
   /// Decodes and yields every row.
   Status ScanAll(const std::function<bool(const minirel::Tuple&)>& fn,
@@ -36,6 +53,8 @@ class CompressedSegment {
   uint64_t CompressedBytes() const { return store_.CompressedBytes(); }
   uint64_t RawBytes() const { return store_.RawBytes(); }
   size_t block_count() const { return store_.block_count(); }
+
+  const compress::BlobStore& store() const { return store_; }
 
  private:
   CompressedSegment() = default;

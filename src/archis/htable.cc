@@ -1,5 +1,7 @@
 #include "archis/htable.h"
 
+#include <unordered_map>
+
 namespace archis::core {
 
 using minirel::DataType;
@@ -126,9 +128,13 @@ Result<std::vector<Tuple>> HTableSet::Snapshot(Date t) const {
     ids.push_back(row.at(0).AsInt());
     return true;
   }));
-  // Attribute values at t, per store.
-  std::vector<std::map<int64_t, Value>> attr_values(attr_stores_.size());
+  // Attribute values at t, per store. Hash maps: the reassembly loop below
+  // probes per (id, attribute), and output order comes from `ids`, not the
+  // map, so ordered containers only cost here.
+  std::vector<std::unordered_map<int64_t, Value>> attr_values(
+      attr_stores_.size());
   for (size_t a = 0; a < attr_stores_.size(); ++a) {
+    attr_values[a].reserve(ids.size());
     ARCHIS_RETURN_NOT_OK(
         attr_stores_[a]->ScanSnapshot(t, [&](const Tuple& row) {
           attr_values[a][row.at(0).AsInt()] = row.at(1);

@@ -9,9 +9,9 @@
 #ifndef ARCHIS_ARCHIS_HTABLE_H_
 #define ARCHIS_ARCHIS_HTABLE_H_
 
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "archis/segment_manager.h"
@@ -91,7 +91,7 @@ class HTableSet {
   std::vector<size_t> attr_positions_;
   std::unique_ptr<SegmentedStore> key_store_;
   std::vector<std::unique_ptr<SegmentedStore>> attr_stores_;
-  std::map<std::string, int64_t> surrogate_ids_;
+  std::unordered_map<std::string, int64_t> surrogate_ids_;
   int64_t next_surrogate_ = 1;
 };
 

@@ -1,8 +1,8 @@
 #include "archis/segment_manager.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <queue>
+#include <unordered_set>
 
 #include "minirel/executor.h"
 
@@ -12,6 +12,31 @@ using minirel::Schema;
 using minirel::Table;
 using minirel::Tuple;
 using minirel::Value;
+
+namespace {
+
+/// Identity of one version across segment copies: (id, tstart days).
+using VersionKey = std::pair<int64_t, int64_t>;
+
+struct VersionKeyHash {
+  size_t operator()(const VersionKey& k) const {
+    uint64_t h = static_cast<uint64_t>(k.first) * 0x9E3779B97F4A7C15ull;
+    h ^= static_cast<uint64_t>(k.second) + 0x9E3779B97F4A7C15ull +
+         (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+void AccumulateBlobStats(const compress::BlobReadStats& b,
+                         StoreScanStats* stats) {
+  if (stats == nullptr) return;
+  stats->blocks_decompressed += b.blocks_decompressed;
+  stats->blocks_pruned_by_time += b.blocks_pruned_by_time;
+  stats->block_cache_hits += b.block_cache_hits;
+  stats->block_cache_misses += b.block_cache_misses;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<SegmentedStore>> SegmentedStore::Create(
     minirel::Database* db, const std::string& name,
@@ -159,7 +184,8 @@ Status SegmentedStore::Freeze(Date now) {
   if (options_.compress) {
     ARCHIS_ASSIGN_OR_RETURN(
         std::unique_ptr<CompressedSegment> seg,
-        CompressedSegment::Build(row_schema_, rows, options_.block_size));
+        CompressedSegment::Build(row_schema_, rows, options_.block_size,
+                                 options_.block_cache_bytes));
     compressed_.push_back(std::move(seg));
   } else {
     compressed_.push_back(nullptr);
@@ -200,6 +226,50 @@ std::vector<int64_t> SegmentedStore::CoveringSegments(
   return out;
 }
 
+ThreadPool* SegmentedStore::ScanPool() const {
+  if (options_.scan_threads <= 1) return nullptr;
+  std::call_once(pool_once_, [this] {
+    pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(options_.scan_threads));
+  });
+  return pool_.get();
+}
+
+Status SegmentedStore::ScanFrozenSegment(
+    int64_t segno, const std::optional<TimeInterval>& window,
+    std::optional<int64_t> id_filter,
+    const std::function<bool(const Tuple&)>& fn,
+    StoreScanStats* stats) const {
+  if (stats != nullptr) ++stats->segments_scanned;
+  size_t idx = static_cast<size_t>(segno - 1);
+  if (idx < compressed_.size() && compressed_[idx] != nullptr) {
+    compress::BlobReadStats bstats;
+    Status st = compressed_[idx]->Scan(id_filter, window, fn, &bstats);
+    AccumulateBlobStats(bstats, stats);
+    return st;
+  }
+  if (arch_ != nullptr) {
+    const minirel::TableIndex* idx_si = arch_->GetIndex("segno_id");
+    minirel::IndexKey lo{Value(segno)};
+    minirel::IndexKey hi{Value(segno)};
+    if (id_filter) {
+      lo.push_back(Value(*id_filter));
+      hi.push_back(Value(*id_filter));
+    } else {
+      lo.push_back(Value(INT64_MIN));
+      hi.push_back(Value(INT64_MAX));
+    }
+    arch_->IndexScan(*idx_si, lo, hi,
+                     [&](const storage::RecordId&, const Tuple& arch_row) {
+      // Strip the segno column.
+      Tuple row(std::vector<Value>(arch_row.values().begin() + 1,
+                                   arch_row.values().end()));
+      return fn(row);
+    });
+  }
+  return Status::OK();
+}
+
 Status SegmentedStore::ScanSegments(
     const std::vector<int64_t>& segnos, bool include_live,
     const std::optional<TimeInterval>& filter,
@@ -214,8 +284,13 @@ Status SegmentedStore::ScanSegments(
   // Section 6.1) the seen-set stays empty-cold and costs nothing extra.
   const bool single_source =
       segnos.size() + (include_live ? 1 : 0) <= 1;
+  if (ThreadPool* pool = ScanPool();
+      pool != nullptr && segnos.size() > 1) {
+    return ScanSegmentsParallel(pool, segnos, include_live, filter,
+                                id_filter, fn, stats);
+  }
   bool stopped = false;
-  std::set<std::pair<int64_t, int64_t>> seen;
+  std::unordered_set<VersionKey, VersionKeyHash> seen;
   std::vector<Tuple> buffered;  // multi-source: deduped rows, sorted later
   auto admit = [&](const Tuple& row) {
     if (stats != nullptr) ++stats->tuples_scanned;
@@ -262,45 +337,8 @@ Status SegmentedStore::ScanSegments(
 
   for (auto it = segnos.rbegin(); it != segnos.rend(); ++it) {
     if (stopped) break;
-    int64_t segno = *it;
-    if (stats != nullptr) ++stats->segments_scanned;
-    size_t idx = static_cast<size_t>(segno - 1);
-    if (idx < compressed_.size() && compressed_[idx] != nullptr) {
-      compress::BlobReadStats bstats;
-      const CompressedSegment& seg = *compressed_[idx];
-      Status st;
-      if (id_filter) {
-        st = seg.ScanId(*id_filter, [&](const Tuple& row) {
-          return admit(row);
-        }, &bstats);
-      } else {
-        st = seg.ScanAll([&](const Tuple& row) {
-          return admit(row);
-        }, &bstats);
-      }
-      ARCHIS_RETURN_NOT_OK(st);
-      if (stats != nullptr) {
-        stats->blocks_decompressed += bstats.blocks_decompressed;
-      }
-    } else if (arch_ != nullptr) {
-      const minirel::TableIndex* idx_si = arch_->GetIndex("segno_id");
-      minirel::IndexKey lo{Value(segno)};
-      minirel::IndexKey hi{Value(segno)};
-      if (id_filter) {
-        lo.push_back(Value(*id_filter));
-        hi.push_back(Value(*id_filter));
-      } else {
-        lo.push_back(Value(INT64_MIN));
-        hi.push_back(Value(INT64_MAX));
-      }
-      arch_->IndexScan(*idx_si, lo, hi,
-                       [&](const storage::RecordId&, const Tuple& arch_row) {
-        // Strip the segno column.
-        Tuple row(std::vector<Value>(arch_row.values().begin() + 1,
-                                     arch_row.values().end()));
-        return admit(row);
-      });
-    }
+    ARCHIS_RETURN_NOT_OK(
+        ScanFrozenSegment(*it, filter, id_filter, admit, stats));
   }
 
   // Multi-source scans emit in chronological (id, tstart) order — the
@@ -314,6 +352,137 @@ Status SegmentedStore::ScanSegments(
   });
   for (const Tuple& row : buffered) {
     if (!fn(row)) break;
+  }
+  return Status::OK();
+}
+
+Status SegmentedStore::ScanSegmentsParallel(
+    ThreadPool* pool, const std::vector<int64_t>& segnos, bool include_live,
+    const std::optional<TimeInterval>& filter,
+    std::optional<int64_t> id_filter,
+    const std::function<bool(const Tuple&)>& fn,
+    StoreScanStats* stats) const {
+  // Each frozen segment is one pool task producing an id-sorted run
+  // (frozen segments are materialised in (id, tstart) order at freeze
+  // time, and both the compressed store and the (segno, id) index scan
+  // preserve it). The live segment is scanned on the calling thread while
+  // the workers run, then sorted. The runs are k-way merged by
+  // (id, tstart) with ties won by the newest source, which reproduces the
+  // sequential seen-set semantics: per version the newest copy is the one
+  // row-filtered and emitted, older copies are dropped.
+  struct SegRun {
+    int64_t segno = 0;
+    std::vector<Tuple> rows;
+    StoreScanStats stats;
+    Status status;
+  };
+  std::vector<SegRun> runs(segnos.size());
+  for (size_t i = 0; i < segnos.size(); ++i) {
+    runs[i].segno = segnos[segnos.size() - 1 - i];  // newest first
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(runs.size());
+  for (SegRun& run : runs) {
+    futures.push_back(pool->Submit([this, &run, &filter, id_filter] {
+      run.status = ScanFrozenSegment(
+          run.segno, filter, id_filter,
+          [&](const Tuple& row) {
+            ++run.stats.tuples_scanned;
+            if (id_filter && row.at(0).AsInt() != *id_filter) return true;
+            run.rows.push_back(row);
+            return true;
+          },
+          &run.stats);
+    }));
+  }
+
+  std::vector<Tuple> live_rows;
+  if (include_live) {
+    if (stats != nullptr) ++stats->segments_scanned;
+    auto collect = [&](const storage::RecordId&, const Tuple& row) {
+      if (stats != nullptr) ++stats->tuples_scanned;
+      if (id_filter && row.at(0).AsInt() != *id_filter) return true;
+      live_rows.push_back(row);
+      return true;
+    };
+    if (id_filter) {
+      const minirel::TableIndex* idx = live_->GetIndex("id");
+      minirel::IndexKey key{Value(*id_filter)};
+      live_->IndexScan(*idx, key, key, collect);
+    } else {
+      live_->Scan(collect);
+    }
+    std::sort(live_rows.begin(), live_rows.end(),
+              [&](const Tuple& a, const Tuple& b) {
+      if (a.at(0).AsInt() != b.at(0).AsInt()) {
+        return a.at(0).AsInt() < b.at(0).AsInt();
+      }
+      return a.at(tstart_col_).AsDate() < b.at(tstart_col_).AsDate();
+    });
+  }
+
+  for (std::future<void>& f : futures) f.get();
+  for (const SegRun& run : runs) {
+    ARCHIS_RETURN_NOT_OK(run.status);
+    if (stats != nullptr) {
+      stats->segments_scanned += run.stats.segments_scanned;
+      stats->tuples_scanned += run.stats.tuples_scanned;
+      stats->blocks_decompressed += run.stats.blocks_decompressed;
+      stats->blocks_pruned_by_time += run.stats.blocks_pruned_by_time;
+      stats->block_cache_hits += run.stats.block_cache_hits;
+      stats->block_cache_misses += run.stats.block_cache_misses;
+    }
+  }
+
+  // Merge: rank 0 is the live run (newest), rank r the r-th newest frozen
+  // segment. Smaller rank wins ties on (id, tstart).
+  std::vector<const std::vector<Tuple>*> sources;
+  sources.reserve(runs.size() + 1);
+  sources.push_back(&live_rows);
+  for (const SegRun& run : runs) sources.push_back(&run.rows);
+
+  struct Cursor {
+    size_t rank;
+    size_t pos;
+  };
+  auto row_at = [&](const Cursor& c) -> const Tuple& {
+    return (*sources[c.rank])[c.pos];
+  };
+  auto after = [&](const Cursor& a, const Cursor& b) {
+    const Tuple& ra = row_at(a);
+    const Tuple& rb = row_at(b);
+    if (ra.at(0).AsInt() != rb.at(0).AsInt()) {
+      return ra.at(0).AsInt() > rb.at(0).AsInt();
+    }
+    Date ta = ra.at(tstart_col_).AsDate();
+    Date tb = rb.at(tstart_col_).AsDate();
+    if (ta != tb) return ta > tb;
+    return a.rank > b.rank;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(after)> heads(
+      after);
+  for (size_t r = 0; r < sources.size(); ++r) {
+    if (!sources[r]->empty()) heads.push({r, 0});
+  }
+  bool have_last = false;
+  VersionKey last_key{0, 0};
+  while (!heads.empty()) {
+    Cursor c = heads.top();
+    heads.pop();
+    const Tuple& row = row_at(c);
+    VersionKey key{row.at(0).AsInt(), row.at(tstart_col_).AsDate().days()};
+    if (!have_last || key != last_key) {
+      have_last = true;
+      last_key = key;
+      bool pass = true;
+      if (filter) {
+        TimeInterval iv(row.at(tstart_col_).AsDate(),
+                        row.at(tend_col_).AsDate());
+        pass = iv.Overlaps(*filter);
+      }
+      if (pass && !fn(row)) return Status::OK();
+    }
+    if (++c.pos < sources[c.rank]->size()) heads.push(c);
   }
   return Status::OK();
 }

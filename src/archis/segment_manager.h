@@ -13,16 +13,27 @@
 // Invariants (1) tstart_tuple <= segend and (2) tend_tuple >= segstart hold
 // for every tuple in a frozen segment, which is what makes the segment
 // table a valid pruning index for snapshot and slicing queries.
+//
+// Read path: queries prune at three granularities — segment (the interval
+// table), block (temporal zone maps inside compressed segments), and row.
+// Multi-segment scans can run the frozen segments on a thread pool
+// (SegmentOptions::scan_threads > 1); each worker yields an id-sorted run
+// and the runs are k-way merged by (id, tstart) with newest-copy-wins
+// dedup, so the emission order and content are identical to the
+// sequential configuration. Concurrent read-only scans of one store are
+// thread-safe; scans concurrent with updates are not.
 #ifndef ARCHIS_ARCHIS_SEGMENT_MANAGER_H_
 #define ARCHIS_ARCHIS_SEGMENT_MANAGER_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "archis/compressed_segment.h"
 #include "common/interval.h"
+#include "common/thread_pool.h"
 #include "minirel/database.h"
 
 namespace archis::core {
@@ -46,6 +57,13 @@ struct SegmentOptions {
   bool compress = false;
   /// BlockZIP block size (paper uses 4000-byte BLOBs).
   size_t block_size = 4000;
+  /// Worker threads for multi-segment scans. 1 keeps the read path
+  /// strictly sequential; > 1 scans frozen segments in parallel and
+  /// k-way-merges the runs (same output, bit for bit).
+  int scan_threads = 1;
+  /// Capacity of the decompressed-block LRU cache per store, in bytes
+  /// (0 disables). Only compressed segments use it.
+  uint64_t block_cache_bytes = 16ull << 20;
 };
 
 /// Read-path statistics (what the paper's disk-bound timings measured).
@@ -54,6 +72,9 @@ struct StoreScanStats {
   uint64_t segments_scanned = 0;
   uint64_t tuples_scanned = 0;
   uint64_t blocks_decompressed = 0;
+  uint64_t blocks_pruned_by_time = 0;  ///< skipped via temporal zone maps
+  uint64_t block_cache_hits = 0;
+  uint64_t block_cache_misses = 0;
 };
 
 /// One segmented H-table.
@@ -151,8 +172,25 @@ class SegmentedStore {
                       std::optional<int64_t> id_filter,
                       const std::function<bool(const minirel::Tuple&)>& fn,
                       StoreScanStats* stats) const;
+  /// Parallel multi-source scan: frozen segments on the pool, live on the
+  /// calling thread, runs k-way merged. Same contract as ScanSegments.
+  Status ScanSegmentsParallel(
+      ThreadPool* pool, const std::vector<int64_t>& segnos, bool include_live,
+      const std::optional<TimeInterval>& filter,
+      std::optional<int64_t> id_filter,
+      const std::function<bool(const minirel::Tuple&)>& fn,
+      StoreScanStats* stats) const;
+  /// Scans one frozen segment, yielding raw rows (no dedup/time filter;
+  /// `window` only drives block-level zone-map pruning).
+  Status ScanFrozenSegment(
+      int64_t segno, const std::optional<TimeInterval>& window,
+      std::optional<int64_t> id_filter,
+      const std::function<bool(const minirel::Tuple&)>& fn,
+      StoreScanStats* stats) const;
   /// Frozen segments whose interval overlaps `iv`, oldest first.
   std::vector<int64_t> CoveringSegments(const TimeInterval& iv) const;
+  /// The scan pool, lazily created when scan_threads > 1 (else nullptr).
+  ThreadPool* ScanPool() const;
 
   std::string name_;
   minirel::Schema row_schema_;   // (id, values..., tstart, tend)
@@ -163,6 +201,8 @@ class SegmentedStore {
   minirel::Table* arch_ = nullptr;
   std::vector<SegmentInfo> segments_;
   std::vector<std::unique_ptr<CompressedSegment>> compressed_;  // by index
+  mutable std::once_flag pool_once_;
+  mutable std::unique_ptr<ThreadPool> pool_;
   Date live_start_;
   int64_t next_segno_ = 1;
   uint64_t live_total_ = 0;

@@ -99,6 +99,9 @@ Result<std::vector<HRow>> FetchVar(const Archiver& archiver,
     stats->rows_scanned += sstats.tuples_scanned;
     stats->segments_scanned += sstats.segments_scanned;
     stats->blocks_decompressed += sstats.blocks_decompressed;
+    stats->blocks_pruned_by_time += sstats.blocks_pruned_by_time;
+    stats->block_cache_hits += sstats.block_cache_hits;
+    stats->block_cache_misses += sstats.block_cache_misses;
   }
   // Store scans emit in (id, tstart) order already; keep it stable.
   std::stable_sort(rows.begin(), rows.end(),

@@ -129,6 +129,9 @@ struct PlanStats {
   uint64_t rows_joined = 0;
   uint64_t segments_scanned = 0;
   uint64_t blocks_decompressed = 0;
+  uint64_t blocks_pruned_by_time = 0;  ///< zone-map block skips
+  uint64_t block_cache_hits = 0;       ///< decompressed-block cache hits
+  uint64_t block_cache_misses = 0;
 };
 
 /// Executes `plan` against the archiver's H-tables, returning the

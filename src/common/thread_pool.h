@@ -1,0 +1,52 @@
+// A small fixed-size thread pool for read-path parallelism.
+//
+// Deliberately minimal: a bounded set of workers draining a FIFO task
+// queue. No work stealing, no task priorities — segment scans are
+// coarse-grained (one task per frozen segment) so a plain queue keeps the
+// scheduling overhead negligible next to block decompression. Safe to
+// Submit from multiple client threads concurrently; each caller joins on
+// the futures of its own tasks.
+#ifndef ARCHIS_COMMON_THREAD_POOL_H_
+#define ARCHIS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace archis {
+
+/// A fixed pool of `num_threads` workers executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue and joins all workers. Tasks already queued still
+  /// run to completion before destruction returns.
+  ~ThreadPool();
+
+  /// Enqueues `task`; the future resolves when it has run. Exceptions
+  /// thrown by the task are captured into the future.
+  std::future<void> Submit(std::function<void()> task);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace archis
+
+#endif  // ARCHIS_COMMON_THREAD_POOL_H_

@@ -7,19 +7,19 @@ namespace archis::storage {
 
 PageId PageManager::Allocate() {
   pages_.push_back(std::make_unique<Page>());
-  ++stats_.pages_allocated;
+  pages_allocated_.fetch_add(1, std::memory_order_relaxed);
   return static_cast<PageId>(pages_.size() - 1);
 }
 
 const Page& PageManager::ReadPage(PageId id) const {
   assert(id < pages_.size());
-  ++stats_.page_reads;
+  page_reads_.fetch_add(1, std::memory_order_relaxed);
   return *pages_[id];
 }
 
 Page& PageManager::WritePage(PageId id) {
   assert(id < pages_.size());
-  ++stats_.page_writes;
+  page_writes_.fetch_add(1, std::memory_order_relaxed);
   return *pages_[id];
 }
 

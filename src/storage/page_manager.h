@@ -9,6 +9,7 @@
 #ifndef ARCHIS_STORAGE_PAGE_MANAGER_H_
 #define ARCHIS_STORAGE_PAGE_MANAGER_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,13 +18,11 @@
 
 namespace archis::storage {
 
-/// Counters for logical I/O performed through a PageManager.
+/// A snapshot of the logical I/O performed through a PageManager.
 struct IoStats {
   uint64_t page_reads = 0;
   uint64_t page_writes = 0;
   uint64_t pages_allocated = 0;
-
-  void Reset() { *this = IoStats(); }
 };
 
 /// Allocates, pins and persists pages.
@@ -36,7 +35,9 @@ class PageManager {
   /// Allocates a fresh empty page and returns its id.
   PageId Allocate();
 
-  /// Read access; bumps the page-read counter.
+  /// Read access; bumps the page-read counter. Concurrent ReadPage calls
+  /// are safe (the counter is atomic), which is what allows parallel
+  /// segment scans to share one PageManager.
   const Page& ReadPage(PageId id) const;
 
   /// Write access; bumps the page-write counter.
@@ -48,8 +49,18 @@ class PageManager {
   /// Total bytes occupied by all pages (page_count * kPageSize).
   uint64_t total_bytes() const { return pages_.size() * uint64_t{kPageSize}; }
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  IoStats stats() const {
+    IoStats s;
+    s.page_reads = page_reads_.load(std::memory_order_relaxed);
+    s.page_writes = page_writes_.load(std::memory_order_relaxed);
+    s.pages_allocated = pages_allocated_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() {
+    page_reads_.store(0, std::memory_order_relaxed);
+    page_writes_.store(0, std::memory_order_relaxed);
+    pages_allocated_.store(0, std::memory_order_relaxed);
+  }
 
   /// Writes all pages to `path` (simple length-prefixed dump).
   Status PersistToFile(const std::string& path) const;
@@ -59,7 +70,9 @@ class PageManager {
 
  private:
   std::vector<std::unique_ptr<Page>> pages_;
-  mutable IoStats stats_;
+  mutable std::atomic<uint64_t> page_reads_{0};
+  std::atomic<uint64_t> page_writes_{0};
+  std::atomic<uint64_t> pages_allocated_{0};
 };
 
 }  // namespace archis::storage
