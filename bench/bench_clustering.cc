@@ -80,11 +80,16 @@ void BM_SnapshotOnCurrentDb(benchmark::State& state) {
   for (auto _ : state) {
     double sum = 0;
     uint64_t n = 0;
-    (*table)->Scan([&](const storage::RecordId&, const minirel::Tuple& t) {
-      sum += static_cast<double>(t.at(2).AsInt());
-      ++n;
-      return true;
-    });
+    Status st =
+        (*table)->Scan([&](const storage::RecordId&, const minirel::Tuple& t) {
+          sum += static_cast<double>(t.at(2).AsInt());
+          ++n;
+          return true;
+        });
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
     avg = n == 0 ? 0 : sum / static_cast<double>(n);
     benchmark::DoNotOptimize(avg);
   }

@@ -63,12 +63,12 @@ Result<storage::RecordId> ArchIS::FindByKey(
   }
   const minirel::TableIndex* idx = table->GetIndex("pk");
   std::optional<storage::RecordId> found;
-  table->IndexScan(*idx, key, key,
-                   [&](const storage::RecordId& rid, const Tuple& t) {
-    found = rid;
-    *row = t;
-    return false;
-  });
+  ARCHIS_RETURN_NOT_OK(table->IndexScan(
+      *idx, key, key, [&](const storage::RecordId& rid, const Tuple& t) {
+        found = rid;
+        *row = t;
+        return false;
+      }));
   if (!found) return Status::NotFound("no current row with that key");
   return *found;
 }
@@ -203,7 +203,7 @@ Result<xml::XmlNodePtr> ArchIS::PublishHistory(
     return Status::NotFound("relation '" + relation + "'");
   }
   ARCHIS_ASSIGN_OR_RETURN(HTableSet * set, archiver_.htables(relation));
-  TimeInterval relation_interval(clock_, Date::Forever());
+  TimeInterval relation_interval = MakeInterval(clock_, Date::Forever());
   for (const auto& entry : archiver_.relations()) {
     if (entry.name == relation) relation_interval = entry.interval;
   }

@@ -15,7 +15,7 @@ Status Archiver::RegisterRelation(const std::string& name,
       HTableSet::Create(hdb_, name, schema, key_columns, options, open_date));
   sets_[name] = std::move(set);
   relations_.push_back(
-      {name, TimeInterval(open_date, Date::Forever())});
+      {name, MakeInterval(open_date, Date::Forever())});
   return Status::OK();
 }
 

@@ -20,7 +20,7 @@ enum class ChangeKind { kInsert, kUpdate, kDelete };
 
 /// One captured change on a current table.
 struct ChangeRecord {
-  ChangeKind kind;
+  ChangeKind kind = ChangeKind::kInsert;
   std::string relation;
   minirel::Tuple old_row;  // valid for update/delete
   minirel::Tuple new_row;  // valid for insert/update

@@ -45,7 +45,7 @@ Result<xml::XmlNodePtr> PublishHistory(const HTableSet& set,
                             set.attribute_store(attr_names[a]));
     ARCHIS_RETURN_NOT_OK(store->ScanHistory([&](const Tuple& row) {
       versions[a][row.at(0).AsInt()].push_back(
-          {row.at(1), TimeInterval(row.at(2).AsDate(), row.at(3).AsDate())});
+          {row.at(1), MakeInterval(row.at(2).AsDate(), row.at(3).AsDate())});
       return true;
     }));
   }

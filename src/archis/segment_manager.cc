@@ -119,15 +119,15 @@ Status SegmentedStore::CloseVersion(int64_t id, Date now) {
   minirel::IndexKey key{Value(id)};
   std::optional<storage::RecordId> found_rid;
   std::optional<Tuple> found_row;
-  live_->IndexScan(*idx, key, key,
-                   [&](const storage::RecordId& rid, const Tuple& row) {
-    if (row.at(tend_col_).AsDate().IsForever()) {
-      found_rid = rid;
-      found_row = row;
-      return false;
-    }
-    return true;
-  });
+  ARCHIS_RETURN_NOT_OK(live_->IndexScan(
+      *idx, key, key, [&](const storage::RecordId& rid, const Tuple& row) {
+        if (row.at(tend_col_).AsDate().IsForever()) {
+          found_rid = rid;
+          found_row = row;
+          return false;
+        }
+        return true;
+      }));
   if (!found_rid) {
     return Status::NotFound("no live version of id " + std::to_string(id) +
                             " in " + name_);
@@ -162,10 +162,11 @@ Status SegmentedStore::Freeze(Date now) {
   // 1. Collect every tuple of the live segment, sorted by (id, tstart).
   std::vector<Tuple> rows;
   rows.reserve(live_total_);
-  live_->Scan([&](const storage::RecordId&, const Tuple& row) {
-    rows.push_back(row);
-    return true;
-  });
+  ARCHIS_RETURN_NOT_OK(
+      live_->Scan([&](const storage::RecordId&, const Tuple& row) {
+        rows.push_back(row);
+        return true;
+      }));
   std::sort(rows.begin(), rows.end(), [&](const Tuple& a, const Tuple& b) {
     if (a.at(0).AsInt() != b.at(0).AsInt()) {
       return a.at(0).AsInt() < b.at(0).AsInt();
@@ -176,7 +177,7 @@ Status SegmentedStore::Freeze(Date now) {
   // 2. Allocate the segment and record its interval.
   SegmentInfo info;
   info.segno = next_segno_++;
-  info.interval = TimeInterval(live_start_, now);
+  info.interval = MakeInterval(live_start_, now);
   info.tuple_count = rows.size();
   info.compressed = options_.compress;
 
@@ -228,10 +229,13 @@ std::vector<int64_t> SegmentedStore::CoveringSegments(
 
 ThreadPool* SegmentedStore::ScanPool() const {
   if (options_.scan_threads <= 1) return nullptr;
-  std::call_once(pool_once_, [this] {
+  MutexLock lock(pool_mu_);
+  if (pool_ == nullptr) {
     pool_ = std::make_unique<ThreadPool>(
         static_cast<size_t>(options_.scan_threads));
-  });
+  }
+  // The pool pointer is stable once created, so callers may use it after
+  // the lock drops.
   return pool_.get();
 }
 
@@ -259,13 +263,14 @@ Status SegmentedStore::ScanFrozenSegment(
       lo.push_back(Value(INT64_MIN));
       hi.push_back(Value(INT64_MAX));
     }
-    arch_->IndexScan(*idx_si, lo, hi,
-                     [&](const storage::RecordId&, const Tuple& arch_row) {
-      // Strip the segno column.
-      Tuple row(std::vector<Value>(arch_row.values().begin() + 1,
-                                   arch_row.values().end()));
-      return fn(row);
-    });
+    ARCHIS_RETURN_NOT_OK(arch_->IndexScan(
+        *idx_si, lo, hi,
+        [&](const storage::RecordId&, const Tuple& arch_row) {
+          // Strip the segno column.
+          Tuple row(std::vector<Value>(arch_row.values().begin() + 1,
+                                       arch_row.values().end()));
+          return fn(row);
+        }));
   }
   return Status::OK();
 }
@@ -318,22 +323,21 @@ Status SegmentedStore::ScanSegments(
 
   // Newest sources first: the live segment, then frozen segments in
   // reverse segno order.
-  auto scan_live = [&]() {
+  auto scan_live = [&]() -> Status {
     if (stats != nullptr) ++stats->segments_scanned;
     if (id_filter) {
       const minirel::TableIndex* idx = live_->GetIndex("id");
       minirel::IndexKey key{Value(*id_filter)};
-      live_->IndexScan(*idx, key, key,
-                       [&](const storage::RecordId&, const Tuple& row) {
-        return admit(row);
-      });
-    } else {
-      live_->Scan([&](const storage::RecordId&, const Tuple& row) {
-        return admit(row);
-      });
+      return live_->IndexScan(
+          *idx, key, key, [&](const storage::RecordId&, const Tuple& row) {
+            return admit(row);
+          });
     }
+    return live_->Scan([&](const storage::RecordId&, const Tuple& row) {
+      return admit(row);
+    });
   };
-  if (include_live) scan_live();
+  if (include_live) ARCHIS_RETURN_NOT_OK(scan_live());
 
   for (auto it = segnos.rbegin(); it != segnos.rend(); ++it) {
     if (stopped) break;
@@ -397,6 +401,9 @@ Status SegmentedStore::ScanSegmentsParallel(
   }
 
   std::vector<Tuple> live_rows;
+  // The worker futures must be drained before any early return, so the
+  // live-scan status is only checked after the join below.
+  Status live_status = Status::OK();
   if (include_live) {
     if (stats != nullptr) ++stats->segments_scanned;
     auto collect = [&](const storage::RecordId&, const Tuple& row) {
@@ -408,9 +415,9 @@ Status SegmentedStore::ScanSegmentsParallel(
     if (id_filter) {
       const minirel::TableIndex* idx = live_->GetIndex("id");
       minirel::IndexKey key{Value(*id_filter)};
-      live_->IndexScan(*idx, key, key, collect);
+      live_status = live_->IndexScan(*idx, key, key, collect);
     } else {
-      live_->Scan(collect);
+      live_status = live_->Scan(collect);
     }
     std::sort(live_rows.begin(), live_rows.end(),
               [&](const Tuple& a, const Tuple& b) {
@@ -422,6 +429,7 @@ Status SegmentedStore::ScanSegmentsParallel(
   }
 
   for (std::future<void>& f : futures) f.get();
+  ARCHIS_RETURN_NOT_OK(live_status);
   for (const SegRun& run : runs) {
     ARCHIS_RETURN_NOT_OK(run.status);
     if (stats != nullptr) {
@@ -557,11 +565,12 @@ uint64_t SegmentedStore::TotalTuples() const {
 
 uint64_t SegmentedStore::LogicalTuples() const {
   uint64_t n = 0;
-  Status st = ScanHistory([&](const Tuple&) {
+  // Best-effort introspection counter: a failed scan just reports the
+  // tuples seen so far, which is the most this size probe can promise.
+  IgnoreStatus(ScanHistory([&](const Tuple&) {
     ++n;
     return true;
-  });
-  (void)st;
+  }));
   return n;
 }
 

@@ -26,13 +26,14 @@
 #define ARCHIS_ARCHIS_SEGMENT_MANAGER_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "archis/compressed_segment.h"
 #include "common/interval.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "minirel/database.h"
 
@@ -190,7 +191,8 @@ class SegmentedStore {
   /// Frozen segments whose interval overlaps `iv`, oldest first.
   std::vector<int64_t> CoveringSegments(const TimeInterval& iv) const;
   /// The scan pool, lazily created when scan_threads > 1 (else nullptr).
-  ThreadPool* ScanPool() const;
+  /// Safe to call from concurrent scans; creation is mutex-protected.
+  ThreadPool* ScanPool() const ARCHIS_EXCLUDES(pool_mu_);
 
   std::string name_;
   minirel::Schema row_schema_;   // (id, values..., tstart, tend)
@@ -201,8 +203,8 @@ class SegmentedStore {
   minirel::Table* arch_ = nullptr;
   std::vector<SegmentInfo> segments_;
   std::vector<std::unique_ptr<CompressedSegment>> compressed_;  // by index
-  mutable std::once_flag pool_once_;
-  mutable std::unique_ptr<ThreadPool> pool_;
+  mutable Mutex pool_mu_;
+  mutable std::unique_ptr<ThreadPool> pool_ ARCHIS_GUARDED_BY(pool_mu_);
   Date live_start_;
   int64_t next_segno_ = 1;
   uint64_t live_total_ = 0;

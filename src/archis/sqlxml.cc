@@ -52,7 +52,7 @@ Result<std::vector<HRow>> FetchVar(const Archiver& archiver,
     HRow row;
     row.id = t.at(0).AsInt();
     if (has_value) row.value = t.at(1);
-    row.interval = TimeInterval(t.at(ncols - 2).AsDate(),
+    row.interval = MakeInterval(t.at(ncols - 2).AsDate(),
                                 t.at(ncols - 1).AsDate());
     if (var.current_only && !row.interval.is_current()) return true;
     for (const ValueCond& cond : var.value_conds) {
@@ -81,7 +81,7 @@ Result<std::vector<HRow>> FetchVar(const Archiver& archiver,
     // Temporal restrictions still apply on top of the id restriction.
     if (st.ok() && (var.snapshot || var.overlap)) {
       TimeInterval window = var.snapshot
-                                ? TimeInterval(*var.snapshot, *var.snapshot)
+                                ? MakeInterval(*var.snapshot, *var.snapshot)
                                 : *var.overlap;
       std::erase_if(rows, [&](const HRow& r) {
         return !r.interval.Overlaps(window);
@@ -641,7 +641,9 @@ std::string SqlXmlPlan::ToSql() const {
                       var.overlap->tend.ToString() + "')");
     }
     if (var.current_only) {
-      where.push_back(alias + ".tend = '9999-12-31'");
+      // The sentinel spelling comes from Date::Forever(), never a literal
+      // (archis-lint `forbidden-literal` keeps the encoding in one place).
+      where.push_back(alias + ".tend = '" + Date::Forever().ToString() + "'");
     }
   }
   for (const CrossCond& cond : cross_conds) {

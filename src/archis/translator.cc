@@ -297,7 +297,13 @@ class Translator {
           e->children.size() == 2) {
         auto d1 = ConstDate(e->children[0]);
         auto d2 = ConstDate(e->children[1]);
-        if (d1 && d2) return TimeInterval(*d1, *d2);
+        if (d1 && d2) {
+          // A backwards constant interval is not pushed down; it falls
+          // through to the general evaluation path like any non-constant
+          // operand (which reports the error to the user).
+          Result<TimeInterval> iv = MakeIntervalChecked(*d1, *d2);
+          if (iv.ok()) return *iv;
+        }
       }
       return std::nullopt;
     };
@@ -516,7 +522,7 @@ class Translator {
       if (*te_lower == *ts_upper) {
         var.snapshot = *te_lower;
       } else {
-        var.overlap = TimeInterval(*te_lower, *ts_upper);
+        var.overlap = MakeInterval(*te_lower, *ts_upper);
       }
     }
   }

@@ -4,10 +4,12 @@
 #ifndef ARCHIS_COMMON_INTERVAL_H_
 #define ARCHIS_COMMON_INTERVAL_H_
 
+#include <cassert>
 #include <optional>
 #include <string>
 
 #include "common/date.h"
+#include "common/status.h"
 
 namespace archis {
 
@@ -84,6 +86,29 @@ struct TimeInterval {
 
   auto operator<=>(const TimeInterval& other) const = default;
 };
+
+/// Validating factory — the sanctioned way to build an interval from two
+/// dates. Enforces the well-formedness invariant every temporal operator
+/// (coalescing, zone maps, segment pruning) silently assumes: tstart <=
+/// tend, i.e. the interval covers at least one day. Direct TimeInterval
+/// construction outside this header is flagged by archis-lint
+/// (`raw-interval`); use this when validity is structurally guaranteed and
+/// MakeIntervalChecked for untrusted input.
+inline TimeInterval MakeInterval(Date tstart, Date tend) {
+  assert(tstart <= tend && "MakeInterval: interval must be well-formed");
+  return TimeInterval(tstart, tend);
+}
+
+/// Checked factory for untrusted bounds (parsed documents, query text):
+/// InvalidArgument instead of an assert when tstart > tend.
+inline Result<TimeInterval> MakeIntervalChecked(Date tstart, Date tend) {
+  if (tstart > tend) {
+    return Status::InvalidArgument("invalid interval: tstart " +
+                                   tstart.ToString() + " > tend " +
+                                   tend.ToString());
+  }
+  return TimeInterval(tstart, tend);
+}
 
 }  // namespace archis
 

@@ -12,7 +12,7 @@
 namespace archis {
 
 /// Error category for a failed operation.
-enum class StatusCode {
+enum class [[nodiscard]] StatusCode {
   kOk = 0,
   kInvalidArgument,
   kNotFound,
@@ -34,7 +34,11 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// Cheap to copy in the OK case (no allocation). Construct error values
 /// through the named factories, e.g. `Status::InvalidArgument("bad key")`.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a latent data-loss bug (a failed
+/// flush that nobody noticed). Call sites that genuinely do not care must
+/// say so with IgnoreStatus(...) — never a bare cast.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -92,7 +96,7 @@ class Status {
 
 /// A value-or-error union: holds either a T or a non-OK Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : status_(std::move(status)) {  // NOLINT
@@ -121,6 +125,14 @@ class Result {
   std::optional<T> value_;
   Status status_;
 };
+
+/// Explicitly discards a Status (or Result) when failure is genuinely
+/// acceptable — e.g. best-effort cleanup on an already-failing path. Shows
+/// up in greps, unlike a cast to void; always pair with a comment saying
+/// why ignoring is safe.
+inline void IgnoreStatus(const Status&) {}
+template <typename T>
+inline void IgnoreStatus(const Result<T>&) {}
 
 // Propagate a non-OK Status from an expression.
 #define ARCHIS_RETURN_NOT_OK(expr)                  \

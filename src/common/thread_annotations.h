@@ -1,0 +1,82 @@
+// Clang thread-safety-analysis attribute macros (no-ops elsewhere).
+//
+// These wrap the capability-based annotations understood by clang's
+// -Wthread-safety pass so locking contracts are stated in the type system
+// and checked at compile time under ARCHIS_ANALYZE=ON. GCC defines none of
+// the attributes, so every macro expands to nothing there and the
+// annotated tree compiles identically.
+//
+// Conventions (see DESIGN.md "Static analysis & invariants"):
+//  * every mutex-protected member is ARCHIS_GUARDED_BY(its mutex);
+//  * private functions that assume a held lock are ARCHIS_REQUIRES(mu);
+//  * use archis::Mutex / archis::MutexLock (common/mutex.h), never raw
+//    std::mutex / std::lock_guard — archis-lint enforces this.
+#ifndef ARCHIS_COMMON_THREAD_ANNOTATIONS_H_
+#define ARCHIS_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define ARCHIS_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define ARCHIS_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+// A type that acts as a lock/capability (class-level attribute).
+#define ARCHIS_CAPABILITY(x) \
+  ARCHIS_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// An RAII type that acquires a capability in its constructor and releases
+// it in its destructor.
+#define ARCHIS_SCOPED_CAPABILITY \
+  ARCHIS_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// Data member protected by the given capability.
+#define ARCHIS_GUARDED_BY(x) ARCHIS_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// Pointer member whose pointee is protected by the given capability.
+#define ARCHIS_PT_GUARDED_BY(x) \
+  ARCHIS_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// Function requires the capability (caller must hold it).
+#define ARCHIS_REQUIRES(...) \
+  ARCHIS_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+// Function requires the capability in shared (reader) mode.
+#define ARCHIS_REQUIRES_SHARED(...) \
+  ARCHIS_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires the capability and does not release it.
+#define ARCHIS_ACQUIRE(...) \
+  ARCHIS_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define ARCHIS_ACQUIRE_SHARED(...) \
+  ARCHIS_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+// Function releases the capability (which the caller must hold).
+#define ARCHIS_RELEASE(...) \
+  ARCHIS_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define ARCHIS_RELEASE_SHARED(...) \
+  ARCHIS_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+// Function tries to acquire the capability; returns `b` on success.
+#define ARCHIS_TRY_ACQUIRE(...) \
+  ARCHIS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+// Function must be called with the capability NOT held.
+#define ARCHIS_EXCLUDES(...) \
+  ARCHIS_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Function returns a reference to the capability guarding its result.
+#define ARCHIS_RETURN_CAPABILITY(x) \
+  ARCHIS_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Escape hatch: disable analysis for one function (document why!).
+#define ARCHIS_NO_THREAD_SAFETY_ANALYSIS \
+  ARCHIS_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+// Compatibility aliases used by older attribute spellings (kept so the
+// wrappers below work on clangs predating the capability rename).
+#define ARCHIS_ASSERT_CAPABILITY(x) \
+  ARCHIS_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#endif  // ARCHIS_COMMON_THREAD_ANNOTATIONS_H_

@@ -1,5 +1,7 @@
 #include "common/thread_pool.h"
 
+#include <utility>
+
 namespace archis {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -12,10 +14,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -23,10 +25,10 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> wrapped(std::move(task));
   std::future<void> future = wrapped.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(wrapped));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 
@@ -34,8 +36,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      cv_.Wait(mu_, [this]() ARCHIS_REQUIRES(mu_) {
+        return shutting_down_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();

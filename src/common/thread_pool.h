@@ -9,13 +9,14 @@
 #ifndef ARCHIS_COMMON_THREAD_POOL_H_
 #define ARCHIS_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace archis {
 
@@ -40,10 +41,10 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::packaged_task<void()>> queue_;
-  bool shutting_down_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::packaged_task<void()>> queue_ ARCHIS_GUARDED_BY(mu_);
+  bool shutting_down_ ARCHIS_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -56,7 +56,7 @@ Status BlobStore::Build(
 void BlobStore::set_cache_capacity(uint64_t bytes) {
   cache_capacity_ = bytes;
   for (CacheShard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.entries.clear();
     shard.lru.clear();
     shard.bytes = 0;
@@ -66,7 +66,7 @@ void BlobStore::set_cache_capacity(uint64_t bytes) {
 uint64_t BlobStore::CachedBytes() const {
   uint64_t total = 0;
   for (CacheShard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.bytes;
   }
   return total;
@@ -86,7 +86,7 @@ Result<BlobStore::BlockPayloads> BlobStore::FetchBlock(
   }
   CacheShard& shard = shards_[b % kCacheShards];
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.entries.find(b);
     if (it != shard.entries.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.second);
@@ -107,7 +107,7 @@ Result<BlobStore::BlockPayloads> BlobStore::FetchBlock(
       std::move(payloads));
   const uint64_t charge = blocks_[b].raw_bytes;
   const uint64_t shard_capacity = cache_capacity_ / kCacheShards;
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (shard.entries.find(b) == shard.entries.end()) {
     shard.lru.push_front(b);
     shard.entries.emplace(b, std::make_pair(entry, shard.lru.begin()));

@@ -19,13 +19,14 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/interval.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "compress/block_zip.h"
 
 namespace archis::compress {
@@ -117,12 +118,13 @@ class BlobStore {
 
   /// One lock-striped slice of the LRU cache (keyed by blockno).
   struct CacheShard {
-    std::mutex mu;
-    std::list<uint64_t> lru;  // most recently used at the front
+    Mutex mu;
+    /// Most recently used at the front.
+    std::list<uint64_t> lru ARCHIS_GUARDED_BY(mu);
     std::unordered_map<uint64_t,
                        std::pair<BlockPayloads, std::list<uint64_t>::iterator>>
-        entries;
-    uint64_t bytes = 0;
+        entries ARCHIS_GUARDED_BY(mu);
+    uint64_t bytes ARCHIS_GUARDED_BY(mu) = 0;
   };
   static constexpr size_t kCacheShards = 8;
 

@@ -32,34 +32,41 @@ class MaterializedIterator : public RowIterator {
 // -- Implementation note: the scan operators materialise through the
 // Table/HeapFile callback API rather than re-implementing page walking.
 
-RowIteratorPtr MakePageScan(const Table* table,
-                            std::vector<storage::PageId> pages,
-                            Predicate pred) {
+Result<RowIteratorPtr> MakePageScan(const Table* table,
+                                    std::vector<storage::PageId> pages,
+                                    Predicate pred) {
   std::vector<Tuple> rows;
+  Status failure = Status::OK();
   table->heap().ScanPages(
       pages, [&](const storage::RecordId&, std::string_view bytes) {
         auto t = Tuple::Decode(table->schema(), bytes);
-        if (t.ok() && pred.Matches(*t)) rows.push_back(std::move(*t));
+        if (!t.ok()) {
+          failure = t.status();
+          return false;
+        }
+        if (pred.Matches(*t)) rows.push_back(std::move(*t));
         return true;
       });
-  return std::make_unique<MaterializedIterator>(table->schema(),
-                                                std::move(rows));
+  ARCHIS_RETURN_NOT_OK(failure);
+  return RowIteratorPtr(std::make_unique<MaterializedIterator>(
+      table->schema(), std::move(rows)));
 }
 
-RowIteratorPtr MakeSeqScan(const Table* table, Predicate pred) {
+Result<RowIteratorPtr> MakeSeqScan(const Table* table, Predicate pred) {
   return MakePageScan(table, table->heap().pages(), std::move(pred));
 }
 
-RowIteratorPtr MakeIndexScan(const Table* table, const TableIndex* index,
-                             IndexKey lo, IndexKey hi, Predicate pred) {
+Result<RowIteratorPtr> MakeIndexScan(const Table* table,
+                                     const TableIndex* index, IndexKey lo,
+                                     IndexKey hi, Predicate pred) {
   std::vector<Tuple> rows;
-  table->IndexScan(*index, lo, hi,
-                   [&](const storage::RecordId&, const Tuple& t) {
-    if (pred.Matches(t)) rows.push_back(t);
-    return true;
-  });
-  return std::make_unique<MaterializedIterator>(table->schema(),
-                                                std::move(rows));
+  ARCHIS_RETURN_NOT_OK(table->IndexScan(
+      *index, lo, hi, [&](const storage::RecordId&, const Tuple& t) {
+        if (pred.Matches(t)) rows.push_back(t);
+        return true;
+      }));
+  return RowIteratorPtr(std::make_unique<MaterializedIterator>(
+      table->schema(), std::move(rows)));
 }
 
 RowIteratorPtr MakeVectorScan(Schema schema, std::vector<Tuple> rows) {

@@ -30,17 +30,19 @@ class RowIterator {
 
 using RowIteratorPtr = std::unique_ptr<RowIterator>;
 
-/// Full scan of `table`, filtered by `pred`.
-RowIteratorPtr MakeSeqScan(const Table* table, Predicate pred = {});
+/// Full scan of `table`, filtered by `pred`. Fails on a corrupt row
+/// rather than silently dropping it from the result.
+Result<RowIteratorPtr> MakeSeqScan(const Table* table, Predicate pred = {});
 
 /// Scan restricted to the given heap pages (segment pruning), filtered.
-RowIteratorPtr MakePageScan(const Table* table,
-                            std::vector<storage::PageId> pages,
-                            Predicate pred = {});
+Result<RowIteratorPtr> MakePageScan(const Table* table,
+                                    std::vector<storage::PageId> pages,
+                                    Predicate pred = {});
 
 /// Index range scan on `index` for keys in [lo, hi], filtered by `pred`.
-RowIteratorPtr MakeIndexScan(const Table* table, const TableIndex* index,
-                             IndexKey lo, IndexKey hi, Predicate pred = {});
+Result<RowIteratorPtr> MakeIndexScan(const Table* table,
+                                     const TableIndex* index, IndexKey lo,
+                                     IndexKey hi, Predicate pred = {});
 
 /// Scan of an in-memory row vector (used for intermediate results).
 RowIteratorPtr MakeVectorScan(Schema schema, std::vector<Tuple> rows);

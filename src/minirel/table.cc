@@ -52,14 +52,14 @@ Status Table::CreateIndex(const std::string& index_name,
     ARCHIS_ASSIGN_OR_RETURN(size_t pos, schema_.ColumnIndex(col));
     idx->columns.push_back(pos);
   }
-  // Back-fill.
-  Status st = Status::OK();
-  Scan([&](const storage::RecordId& rid, const Tuple& t) {
+  // Back-fill; a corrupt row fails index creation instead of silently
+  // leaving the index incomplete.
+  ARCHIS_RETURN_NOT_OK(Scan([&](const storage::RecordId& rid, const Tuple& t) {
     idx->tree.Insert(KeyFor(*idx, t), rid);
     return true;
-  });
+  }));
   indexes_.push_back(std::move(idx));
-  return st;
+  return Status::OK();
 }
 
 const TableIndex* Table::GetIndex(const std::string& index_name) const {
@@ -78,36 +78,44 @@ const TableIndex* Table::FindIndexOn(const std::string& column) const {
   return nullptr;
 }
 
-void Table::Scan(const std::function<bool(const storage::RecordId&,
-                                          const Tuple&)>& fn) const {
+Status Table::Scan(const std::function<bool(const storage::RecordId&,
+                                            const Tuple&)>& fn) const {
+  Status failure = Status::OK();
   heap_.Scan([&](const storage::RecordId& rid, std::string_view bytes) {
     auto t = Tuple::Decode(schema_, bytes);
-    if (!t.ok()) return true;  // skip corrupt rows defensively
+    if (!t.ok()) {
+      failure = t.status();
+      return false;  // abort: a vanishing row is silent data loss
+    }
     return fn(rid, *t);
   });
+  return failure;
 }
 
-std::vector<Tuple> Table::Select(const Predicate& pred) const {
+Result<std::vector<Tuple>> Table::Select(const Predicate& pred) const {
   std::vector<Tuple> out;
-  Scan([&](const storage::RecordId&, const Tuple& t) {
+  ARCHIS_RETURN_NOT_OK(Scan([&](const storage::RecordId&, const Tuple& t) {
     if (pred.Matches(t)) out.push_back(t);
     return true;
-  });
+  }));
   return out;
 }
 
-void Table::IndexScan(const TableIndex& index, const IndexKey& lo,
-                      const IndexKey& hi,
-                      const std::function<bool(const storage::RecordId&,
-                                               const Tuple&)>& fn) const {
-  bool keep_going = true;
+Status Table::IndexScan(const TableIndex& index, const IndexKey& lo,
+                        const IndexKey& hi,
+                        const std::function<bool(const storage::RecordId&,
+                                                 const Tuple&)>& fn) const {
+  Status failure = Status::OK();
   index.tree.ScanRange(lo, hi,
                        [&](const IndexKey&, const storage::RecordId& rid) {
     auto t = Read(rid);
-    if (!t.ok()) return true;
-    keep_going = fn(rid, *t);
-    return keep_going;
+    if (!t.ok()) {
+      failure = t.status();
+      return false;
+    }
+    return fn(rid, *t);
   });
+  return failure;
 }
 
 uint64_t Table::IndexBytes() const {

@@ -61,17 +61,20 @@ class Table {
   const TableIndex* FindIndexOn(const std::string& column) const;
 
   /// Calls `fn(rid, tuple)` for every live row; stop early on false.
-  void Scan(const std::function<bool(const storage::RecordId&,
-                                     const Tuple&)>& fn) const;
+  /// A row that fails to decode aborts the scan with Corruption — silently
+  /// skipping it would make data loss invisible.
+  Status Scan(const std::function<bool(const storage::RecordId&,
+                                       const Tuple&)>& fn) const;
 
   /// Rows matching `pred` (full scan).
-  std::vector<Tuple> Select(const Predicate& pred) const;
+  Result<std::vector<Tuple>> Select(const Predicate& pred) const;
 
   /// Calls `fn` for rows whose index key is in [lo, hi] on `index`.
-  void IndexScan(const TableIndex& index, const IndexKey& lo,
-                 const IndexKey& hi,
-                 const std::function<bool(const storage::RecordId&,
-                                          const Tuple&)>& fn) const;
+  /// An index entry whose row cannot be read aborts with that error.
+  Status IndexScan(const TableIndex& index, const IndexKey& lo,
+                   const IndexKey& hi,
+                   const std::function<bool(const storage::RecordId&,
+                                            const Tuple&)>& fn) const;
 
   /// Live row count (scan).
   uint64_t RowCount() const { return heap_.CountLive(); }

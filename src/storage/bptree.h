@@ -28,7 +28,9 @@ class BPlusTree {
 
   BPlusTree() : root_(NewLeaf()) {}
 
-  /// Inserts a (key, value) pair.
+  /// Inserts a (key, value) pair. Infallible: purely in-memory, duplicate
+  /// keys are allowed, and node splits cannot fail.
+  // archis-lint: allow(void-mutator) -- no error path exists by design
   void Insert(const Key& key, const Value& value) {
     InsertResult r = InsertRec(root_.get(), key, value);
     if (r.split) {

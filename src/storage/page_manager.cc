@@ -6,24 +6,30 @@
 namespace archis::storage {
 
 PageId PageManager::Allocate() {
+  MutexLock lock(mu_);
   pages_.push_back(std::make_unique<Page>());
   pages_allocated_.fetch_add(1, std::memory_order_relaxed);
   return static_cast<PageId>(pages_.size() - 1);
 }
 
 const Page& PageManager::ReadPage(PageId id) const {
-  assert(id < pages_.size());
   page_reads_.fetch_add(1, std::memory_order_relaxed);
+  MutexLock lock(mu_);
+  assert(id < pages_.size());
+  // The unique_ptr pointee is stable, so the reference stays valid after
+  // the directory lock drops even if Allocate grows the vector.
   return *pages_[id];
 }
 
 Page& PageManager::WritePage(PageId id) {
-  assert(id < pages_.size());
   page_writes_.fetch_add(1, std::memory_order_relaxed);
+  MutexLock lock(mu_);
+  assert(id < pages_.size());
   return *pages_[id];
 }
 
 Status PageManager::PersistToFile(const std::string& path) const {
+  MutexLock lock(mu_);
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   const uint64_t n = pages_.size();
@@ -60,6 +66,7 @@ Status PageManager::LoadFromFile(const std::string& path) {
     pages.push_back(std::move(p));
   }
   std::fclose(f);
+  MutexLock lock(mu_);
   pages_ = std::move(pages);
   return Status::OK();
 }

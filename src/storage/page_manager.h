@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "storage/page.h"
 
 namespace archis::storage {
@@ -32,22 +34,31 @@ class PageManager {
   PageManager(const PageManager&) = delete;
   PageManager& operator=(const PageManager&) = delete;
 
-  /// Allocates a fresh empty page and returns its id.
-  PageId Allocate();
+  /// Allocates a fresh empty page and returns its id. Thread-safe: the
+  /// page directory is mutex-protected, so allocation may race with
+  /// concurrent ReadPage/WritePage on other pages.
+  PageId Allocate() ARCHIS_EXCLUDES(mu_);
 
   /// Read access; bumps the page-read counter. Concurrent ReadPage calls
-  /// are safe (the counter is atomic), which is what allows parallel
-  /// segment scans to share one PageManager.
-  const Page& ReadPage(PageId id) const;
+  /// are safe (page pointers are stable and the directory lookup is
+  /// locked), which is what allows parallel segment scans to share one
+  /// PageManager. Byte-level access to one page from multiple threads is
+  /// the caller's problem.
+  const Page& ReadPage(PageId id) const ARCHIS_EXCLUDES(mu_);
 
   /// Write access; bumps the page-write counter.
-  Page& WritePage(PageId id);
+  Page& WritePage(PageId id) ARCHIS_EXCLUDES(mu_);
 
   /// Number of pages allocated so far.
-  size_t page_count() const { return pages_.size(); }
+  size_t page_count() const ARCHIS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return pages_.size();
+  }
 
   /// Total bytes occupied by all pages (page_count * kPageSize).
-  uint64_t total_bytes() const { return pages_.size() * uint64_t{kPageSize}; }
+  uint64_t total_bytes() const ARCHIS_EXCLUDES(mu_) {
+    return page_count() * uint64_t{kPageSize};
+  }
 
   IoStats stats() const {
     IoStats s;
@@ -63,13 +74,17 @@ class PageManager {
   }
 
   /// Writes all pages to `path` (simple length-prefixed dump).
-  Status PersistToFile(const std::string& path) const;
+  Status PersistToFile(const std::string& path) const ARCHIS_EXCLUDES(mu_);
 
-  /// Replaces the current pages with the contents of `path`.
-  Status LoadFromFile(const std::string& path);
+  /// Replaces the current pages with the contents of `path`. Must not run
+  /// concurrently with reads (it swaps the whole directory).
+  Status LoadFromFile(const std::string& path) ARCHIS_EXCLUDES(mu_);
 
  private:
-  std::vector<std::unique_ptr<Page>> pages_;
+  /// Protects the page directory (the vector itself, not page contents;
+  /// pages are heap-allocated so references stay valid across Allocate).
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Page>> pages_ ARCHIS_GUARDED_BY(mu_);
   mutable std::atomic<uint64_t> page_reads_{0};
   std::atomic<uint64_t> page_writes_{0};
   std::atomic<uint64_t> pages_allocated_{0};

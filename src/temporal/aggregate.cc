@@ -62,7 +62,7 @@ std::vector<AggregateStep> Sweep(std::vector<TimedNumber> facts,
     const Date when = events[i].when;
     // Close the running interval one day before this boundary.
     if (open_start && st.count > 0) {
-      AggregateStep step{TimeInterval(*open_start, when.AddDays(-1)),
+      AggregateStep step{MakeInterval(*open_start, when.AddDays(-1)),
                          current_value(), st.count};
       if (!steps.empty() && steps.back().value == step.value &&
           steps.back().count == step.count &&
@@ -93,7 +93,7 @@ std::vector<AggregateStep> Sweep(std::vector<TimedNumber> facts,
   }
   // Tail: if facts remain live, the final step runs to `now`.
   if (open_start && st.count > 0) {
-    steps.push_back({TimeInterval(*open_start, Date::Forever()),
+    steps.push_back({MakeInterval(*open_start, Date::Forever()),
                      current_value(), st.count});
   }
   return steps;
@@ -143,7 +143,7 @@ std::vector<TimeInterval> RisingIntervals(
       ++j;
     }
     if (j > i) {
-      out.push_back(TimeInterval(history[i].interval.tstart,
+      out.push_back(MakeInterval(history[i].interval.tstart,
                                  history[j].interval.tend));
     }
     i = j + 1;

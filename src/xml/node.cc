@@ -46,7 +46,9 @@ Result<TimeInterval> XmlNode::Interval() const {
   }
   ARCHIS_ASSIGN_OR_RETURN(Date start, Date::Parse(*s));
   ARCHIS_ASSIGN_OR_RETURN(Date end, Date::Parse(*e));
-  return TimeInterval(start, end);
+  // Document attributes are untrusted input: reject tstart > tend here so
+  // malformed H-documents cannot leak ill-formed intervals inward.
+  return MakeIntervalChecked(start, end);
 }
 
 void XmlNode::SetInterval(const TimeInterval& iv) {

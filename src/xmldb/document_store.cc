@@ -141,11 +141,13 @@ Status DocumentStore::Put(const std::string& name,
     }
     doc.stats.stored_bytes = bytes;
   }
+  MutexLock lock(mu_);
   docs_[name] = std::move(doc);
   return Status::OK();
 }
 
 Result<xml::XmlNodePtr> DocumentStore::Get(const std::string& name) const {
+  MutexLock lock(mu_);
   auto it = docs_.find(name);
   if (it == docs_.end()) {
     return Status::NotFound("document '" + name + "'");
@@ -164,10 +166,12 @@ Result<xml::XmlNodePtr> DocumentStore::Get(const std::string& name) const {
 }
 
 bool DocumentStore::Has(const std::string& name) const {
+  MutexLock lock(mu_);
   return docs_.count(name) != 0;
 }
 
 Result<DocumentStats> DocumentStore::Stats(const std::string& name) const {
+  MutexLock lock(mu_);
   auto it = docs_.find(name);
   if (it == docs_.end()) {
     return Status::NotFound("document '" + name + "'");
@@ -176,12 +180,14 @@ Result<DocumentStats> DocumentStore::Stats(const std::string& name) const {
 }
 
 uint64_t DocumentStore::TotalStoredBytes() const {
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& [name, doc] : docs_) total += doc.stats.stored_bytes;
   return total;
 }
 
 std::vector<std::string> DocumentStore::Names() const {
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   for (const auto& [name, doc] : docs_) names.push_back(name);
   return names;

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "compress/block_zip.h"
 #include "xml/node.h"
 
@@ -33,28 +35,36 @@ struct DocumentStats {
 };
 
 /// Stores named XML documents and materialises them on demand.
+///
+/// Thread-safe: the document map is mutex-protected, so concurrent Put /
+/// Get from serving threads is allowed (Get decompresses under the lock —
+/// this baseline deliberately has no read-side caching or sharding, which
+/// is exactly the disadvantage the paper measures).
 class DocumentStore {
  public:
   explicit DocumentStore(StorageMode mode) : mode_(mode) {}
 
   /// Stores `root` under `name`, replacing any previous version.
-  Status Put(const std::string& name, const xml::XmlNodePtr& root);
+  Status Put(const std::string& name, const xml::XmlNodePtr& root)
+      ARCHIS_EXCLUDES(mu_);
 
   /// Materialises the document: decompress and/or re-parse from storage.
   /// Deliberately NOT cached — the paper's measurements are cold.
-  Result<xml::XmlNodePtr> Get(const std::string& name) const;
+  Result<xml::XmlNodePtr> Get(const std::string& name) const
+      ARCHIS_EXCLUDES(mu_);
 
   /// Whether `name` is stored.
-  bool Has(const std::string& name) const;
+  bool Has(const std::string& name) const ARCHIS_EXCLUDES(mu_);
 
   /// Per-document storage statistics.
-  Result<DocumentStats> Stats(const std::string& name) const;
+  Result<DocumentStats> Stats(const std::string& name) const
+      ARCHIS_EXCLUDES(mu_);
 
   /// Total stored bytes across documents.
-  uint64_t TotalStoredBytes() const;
+  uint64_t TotalStoredBytes() const ARCHIS_EXCLUDES(mu_);
 
   /// Names of stored documents.
-  std::vector<std::string> Names() const;
+  std::vector<std::string> Names() const ARCHIS_EXCLUDES(mu_);
 
   StorageMode mode() const { return mode_; }
 
@@ -68,7 +78,8 @@ class DocumentStore {
   };
 
   StorageMode mode_;
-  std::map<std::string, StoredDoc> docs_;
+  mutable Mutex mu_;
+  std::map<std::string, StoredDoc> docs_ ARCHIS_GUARDED_BY(mu_);
 };
 
 }  // namespace archis::xmldb

@@ -139,8 +139,10 @@ Result<Sequence> CallFunction(const std::string& name,
     };
     ARCHIS_ASSIGN_OR_RETURN(Date s, get_date(args[0]));
     ARCHIS_ASSIGN_OR_RETURN(Date e, get_date(args[1]));
-    return Sequence{Item(MakeIntervalElement(TimeInterval(s, e),
-                                             "telement"))};
+    // telement arguments come from query text; a backwards interval is a
+    // user error, reported rather than silently matching nothing.
+    ARCHIS_ASSIGN_OR_RETURN(TimeInterval iv, MakeIntervalChecked(s, e));
+    return Sequence{Item(MakeIntervalElement(iv, "telement"))};
   }
 
   // ---- Interval predicates ------------------------------------------------

@@ -1,0 +1,209 @@
+// Self-test for archis-lint: seeded violation fixtures prove every rule
+// can fire, and conforming fixtures prove the clean pass stays clean.
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace archis::lint {
+namespace {
+
+/// Names of the rules that fire for `contents` at `path`.
+std::vector<std::string> Fired(const std::string& path,
+                               const std::string& contents) {
+  std::vector<std::string> rules;
+  for (const Finding& f : LintSource(path, contents)) {
+    rules.push_back(f.rule);
+  }
+  std::sort(rules.begin(), rules.end());
+  rules.erase(std::unique(rules.begin(), rules.end()), rules.end());
+  return rules;
+}
+
+bool FiredRule(const std::string& path, const std::string& contents,
+               const std::string& rule) {
+  const auto rules = Fired(path, contents);
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+// ---- forbidden-literal ----------------------------------------------------
+
+TEST(ForbiddenLiteral, FiresOnSentinelString) {
+  EXPECT_TRUE(FiredRule("src/archis/seeded.cc",
+                        "const char* k = \"9999-12-31\";\n",
+                        "forbidden-literal"));
+}
+
+TEST(ForbiddenLiteral, FiresOnSentinelFromYmd) {
+  EXPECT_TRUE(FiredRule("src/storage/seeded.cc",
+                        "Date d = Date::FromYmd(9999, 12, 31);\n",
+                        "forbidden-literal"));
+}
+
+TEST(ForbiddenLiteral, AllowedInsideDateModule) {
+  EXPECT_FALSE(FiredRule("src/common/date.cc",
+                         "Date Date::Forever() { return FromYmd(9999, 12, "
+                         "31); }\n",
+                         "forbidden-literal"));
+  EXPECT_FALSE(FiredRule("src/temporal/now.cc",
+                         "bool IsNow(const std::string& s) { return s == "
+                         "\"9999-12-31\"; }\n",
+                         "forbidden-literal"));
+}
+
+TEST(ForbiddenLiteral, IgnoresComments) {
+  EXPECT_FALSE(FiredRule("src/archis/seeded.cc",
+                         "// the sentinel 9999-12-31 lives in date.cc\n"
+                         "/* also 9999-12-31 here */\n",
+                         "forbidden-literal"));
+}
+
+TEST(ForbiddenLiteral, ReportsLineNumber) {
+  const auto findings =
+      LintSource("src/archis/seeded.cc",
+                 "int x;\nint y;\nconst char* k = \"9999-12-31\";\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_EQ(findings[0].rule, "forbidden-literal");
+}
+
+// ---- raw-interval ---------------------------------------------------------
+
+TEST(RawInterval, FiresOnDirectConstruction) {
+  EXPECT_TRUE(FiredRule("src/temporal/seeded.cc",
+                        "auto iv = TimeInterval(a, b);\n", "raw-interval"));
+  EXPECT_TRUE(FiredRule("src/temporal/seeded.cc",
+                        "Use(TimeInterval{a, b});\n", "raw-interval"));
+}
+
+TEST(RawInterval, AllowsDefaultConstructionAndFactories) {
+  EXPECT_FALSE(FiredRule("src/temporal/seeded.cc",
+                         "TimeInterval iv;\n"
+                         "auto a = MakeInterval(s, e);\n"
+                         "auto b = MakeIntervalChecked(s, e);\n"
+                         "std::optional<TimeInterval> c;\n",
+                         "raw-interval"));
+}
+
+TEST(RawInterval, AllowedInsideIntervalModule) {
+  EXPECT_FALSE(FiredRule("src/common/interval.h",
+                         "return TimeInterval(MinDate(a, b), MaxDate(a, "
+                         "b));\n",
+                         "raw-interval"));
+}
+
+// ---- raw-mutex ------------------------------------------------------------
+
+TEST(RawMutex, FiresOnStdPrimitives) {
+  EXPECT_TRUE(FiredRule("src/archis/seeded.h", "std::mutex mu_;\n",
+                        "raw-mutex"));
+  EXPECT_TRUE(FiredRule("src/archis/seeded.cc",
+                        "std::lock_guard<std::mutex> l(mu_);\n",
+                        "raw-mutex"));
+  EXPECT_TRUE(FiredRule("src/archis/seeded.cc",
+                        "std::call_once(flag_, [] {});\n", "raw-mutex"));
+  EXPECT_TRUE(FiredRule("src/archis/seeded.h",
+                        "std::condition_variable_any cv_;\n", "raw-mutex"));
+}
+
+TEST(RawMutex, AllowsAnnotatedWrappers) {
+  EXPECT_FALSE(FiredRule("src/archis/seeded.h",
+                         "Mutex mu_;\nMutexLock lock(mu_);\nCondVar cv_;\n",
+                         "raw-mutex"));
+}
+
+TEST(RawMutex, AllowedInsideWrapperHeader) {
+  EXPECT_FALSE(FiredRule("src/common/mutex.h",
+                         "std::mutex mu_;\nstd::condition_variable cv_;\n",
+                         "raw-mutex"));
+}
+
+// ---- void-mutator ---------------------------------------------------------
+
+TEST(VoidMutator, FiresOnVoidReturningMutatorInScopedHeader) {
+  EXPECT_TRUE(FiredRule("src/storage/seeded.h", "void FlushAll();\n",
+                        "void-mutator"));
+  EXPECT_TRUE(FiredRule("src/compress/seeded.h",
+                        "virtual void WriteBlock(int b);\n", "void-mutator"));
+}
+
+TEST(VoidMutator, AllowsStatusReturnsAndAccessors) {
+  EXPECT_FALSE(FiredRule("src/storage/seeded.h",
+                         "Status FlushAll();\n"
+                         "void set_cache_capacity(uint64_t b);\n"
+                         "void reset();\n",
+                         "void-mutator"));
+}
+
+TEST(VoidMutator, OnlyAppliesToPersistenceHeaders) {
+  // xml/ is outside the storage-facing scope, and .cc files hold
+  // definitions whose declarations were already checked.
+  EXPECT_FALSE(FiredRule("src/xml/seeded.h", "void AppendChild(N n);\n",
+                         "void-mutator"));
+  EXPECT_FALSE(FiredRule("src/storage/seeded.cc", "void FlushAll() {}\n",
+                         "void-mutator"));
+}
+
+// ---- suppressions ---------------------------------------------------------
+
+TEST(Suppression, CommentAboveSuppressesFinding) {
+  EXPECT_FALSE(FiredRule(
+      "src/storage/seeded.h",
+      "// archis-lint: allow(void-mutator) -- provably infallible\n"
+      "void FlushAll();\n",
+      "void-mutator"));
+}
+
+TEST(Suppression, TrailingCommentSuppressesFinding) {
+  EXPECT_FALSE(FiredRule(
+      "src/archis/seeded.h",
+      "std::mutex mu_;  // archis-lint: allow(raw-mutex) -- seeded\n",
+      "raw-mutex"));
+}
+
+TEST(Suppression, OnlySuppressesNamedRule) {
+  EXPECT_TRUE(FiredRule(
+      "src/storage/seeded.h",
+      "// archis-lint: allow(raw-mutex) -- wrong rule named\n"
+      "void FlushAll();\n",
+      "void-mutator"));
+}
+
+// ---- conforming fixture ---------------------------------------------------
+
+TEST(CleanPass, ConformingSourceHasNoFindings) {
+  const std::string conforming =
+      "// A conforming storage header.\n"
+      "#include \"common/mutex.h\"\n"
+      "class Thing {\n"
+      " public:\n"
+      "  Status Flush();\n"
+      "  Result<TimeInterval> Window() const;\n"
+      " private:\n"
+      "  mutable Mutex mu_;\n"
+      "  TimeInterval window_ ARCHIS_GUARDED_BY(mu_);\n"
+      "};\n"
+      "inline TimeInterval Widen(TimeInterval iv) {\n"
+      "  return MakeInterval(iv.tstart, Date::Forever());\n"
+      "}\n";
+  EXPECT_TRUE(LintSource("src/storage/seeded.h", conforming).empty());
+}
+
+// ---- comment stripping ----------------------------------------------------
+
+TEST(StripCommentsTest, PreservesLineStructureAndStrings) {
+  const std::string src = "int a; // trailing\n/* b\nlines */ int c = 1;\n"
+                          "const char* s = \"// not a comment\";\n";
+  const std::string stripped = StripComments(src);
+  EXPECT_EQ(std::count(src.begin(), src.end(), '\n'),
+            std::count(stripped.begin(), stripped.end(), '\n'));
+  EXPECT_EQ(stripped.find("trailing"), std::string::npos);
+  EXPECT_NE(stripped.find("int c = 1;"), std::string::npos);
+  EXPECT_NE(stripped.find("\"// not a comment\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace archis::lint

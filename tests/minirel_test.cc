@@ -111,30 +111,32 @@ TEST_F(TableTest, IndexScanFindsSingleRow) {
   const TableIndex* idx = table_->GetIndex("id");
   ASSERT_NE(idx, nullptr);
   int hits = 0;
-  table_->IndexScan(*idx, {Value(int64_t{42})}, {Value(int64_t{42})},
-                    [&](const storage::RecordId&, const Tuple& t) {
+  ASSERT_TRUE(table_->IndexScan(*idx, {Value(int64_t{42})},
+                                {Value(int64_t{42})},
+                                [&](const storage::RecordId&, const Tuple& t) {
     EXPECT_EQ(t.at(1).AsString(), "emp42");
     ++hits;
     return true;
-  });
+  }).ok());
   EXPECT_EQ(hits, 1);
 }
 
 TEST_F(TableTest, DeleteMaintainsIndex) {
   const TableIndex* idx = table_->GetIndex("id");
   storage::RecordId victim;
-  table_->IndexScan(*idx, {Value(int64_t{7})}, {Value(int64_t{7})},
-                    [&](const storage::RecordId& rid, const Tuple&) {
+  ASSERT_TRUE(table_->IndexScan(*idx, {Value(int64_t{7})}, {Value(int64_t{7})},
+                                [&](const storage::RecordId& rid,
+                                    const Tuple&) {
     victim = rid;
     return false;
-  });
+  }).ok());
   ASSERT_TRUE(table_->Delete(victim).ok());
   int hits = 0;
-  table_->IndexScan(*idx, {Value(int64_t{7})}, {Value(int64_t{7})},
-                    [&](const storage::RecordId&, const Tuple&) {
+  ASSERT_TRUE(table_->IndexScan(*idx, {Value(int64_t{7})}, {Value(int64_t{7})},
+                                [&](const storage::RecordId&, const Tuple&) {
     ++hits;
     return true;
-  });
+  }).ok());
   EXPECT_EQ(hits, 0);
   EXPECT_EQ(table_->RowCount(), 99u);
 }
@@ -143,25 +145,27 @@ TEST_F(TableTest, UpdateReindexesChangedKeys) {
   const TableIndex* idx = table_->GetIndex("id");
   storage::RecordId rid;
   Tuple row;
-  table_->IndexScan(*idx, {Value(int64_t{3})}, {Value(int64_t{3})},
-                    [&](const storage::RecordId& r, const Tuple& t) {
+  ASSERT_TRUE(table_->IndexScan(*idx, {Value(int64_t{3})}, {Value(int64_t{3})},
+                                [&](const storage::RecordId& r,
+                                    const Tuple& t) {
     rid = r;
     row = t;
     return false;
-  });
+  }).ok());
   row.at(0) = Value(int64_t{1003});
   ASSERT_TRUE(table_->Update(&rid, row).ok());
   int old_hits = 0, new_hits = 0;
-  table_->IndexScan(*idx, {Value(int64_t{3})}, {Value(int64_t{3})},
-                    [&](const storage::RecordId&, const Tuple&) {
+  ASSERT_TRUE(table_->IndexScan(*idx, {Value(int64_t{3})}, {Value(int64_t{3})},
+                                [&](const storage::RecordId&, const Tuple&) {
     ++old_hits;
     return true;
-  });
-  table_->IndexScan(*idx, {Value(int64_t{1003})}, {Value(int64_t{1003})},
-                    [&](const storage::RecordId&, const Tuple&) {
+  }).ok());
+  ASSERT_TRUE(table_->IndexScan(*idx, {Value(int64_t{1003})},
+                                {Value(int64_t{1003})},
+                                [&](const storage::RecordId&, const Tuple&) {
     ++new_hits;
     return true;
-  });
+  }).ok());
   EXPECT_EQ(old_hits, 0);
   EXPECT_EQ(new_hits, 1);
 }
@@ -171,14 +175,16 @@ TEST_F(TableTest, SelectWithPredicate) {
   ASSERT_TRUE(db_.catalog().HasTable("emp"));
   pred.WhereConst(2, CompareOp::kGe, Value(int64_t{39000}));
   auto rows = table_->Select(pred);
-  EXPECT_EQ(rows.size(), 10u);  // salaries 39000..39900
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 10u);  // salaries 39000..39900
 }
 
 TEST_F(TableTest, ExecutorFilterProjectSort) {
   auto scan = MakeSeqScan(table_);
+  ASSERT_TRUE(scan.ok());
   Predicate pred;
   pred.WhereConst(0, CompareOp::kLt, Value(int64_t{10}));
-  auto filtered = MakeFilter(std::move(scan), std::move(pred));
+  auto filtered = MakeFilter(std::move(*scan), std::move(pred));
   auto projected = MakeProject(std::move(filtered), {1, 2});
   EXPECT_EQ(projected->schema().num_columns(), 2u);
   auto sorted = MakeSort(std::move(projected), {1});
@@ -196,10 +202,16 @@ TEST_F(TableTest, SortMergeJoinMatchesHashJoin) {
     ASSERT_TRUE(
         (*dept)->Insert(Tuple{Value(i), Value("d" + std::to_string(i))}).ok());
   }
-  auto merge = MakeSortMergeJoin(MakeSeqScan(table_), 0,
-                                 MakeSeqScan(*dept), 0, "r");
-  auto hash = MakeHashJoin(MakeSeqScan(table_), 0, MakeSeqScan(*dept), 0,
-                           "r");
+  auto emp_scan1 = MakeSeqScan(table_);
+  auto dept_scan1 = MakeSeqScan(*dept);
+  auto emp_scan2 = MakeSeqScan(table_);
+  auto dept_scan2 = MakeSeqScan(*dept);
+  ASSERT_TRUE(emp_scan1.ok() && dept_scan1.ok() && emp_scan2.ok() &&
+              dept_scan2.ok());
+  auto merge = MakeSortMergeJoin(std::move(*emp_scan1), 0,
+                                 std::move(*dept_scan1), 0, "r");
+  auto hash = MakeHashJoin(std::move(*emp_scan2), 0, std::move(*dept_scan2),
+                           0, "r");
   auto merge_rows = Collect(merge.get());
   auto hash_rows = Collect(hash.get());
   EXPECT_EQ(merge_rows.size(), 50u);
@@ -209,7 +221,9 @@ TEST_F(TableTest, SortMergeJoinMatchesHashJoin) {
 TEST_F(TableTest, GroupedAggregation) {
   // Group salaries into two buckets by id parity via a computed column is
   // out of scope; group by a constant-range column instead: id % nothing.
-  auto agg = MakeAggregate(MakeSeqScan(table_), {},
+  auto scan = MakeSeqScan(table_);
+  ASSERT_TRUE(scan.ok());
+  auto agg = MakeAggregate(std::move(*scan), {},
                            {{AggFn::kCount, 0, "n"},
                             {AggFn::kAvg, 2, "avg_salary"},
                             {AggFn::kMin, 2, "min_salary"},

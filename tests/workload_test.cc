@@ -78,10 +78,10 @@ TEST(WorkloadTest, FinalSnapshotMatchesCurrentTable) {
   auto table = db.current_db().catalog().GetTable("employees");
   ASSERT_TRUE(table.ok());
   std::map<int64_t, Tuple> current, snapshot;
-  (*table)->Scan([&](const storage::RecordId&, const Tuple& t) {
+  ASSERT_TRUE((*table)->Scan([&](const storage::RecordId&, const Tuple& t) {
     current[t.at(0).AsInt()] = t;
     return true;
-  });
+  }).ok());
   for (const Tuple& t : *snap) snapshot[t.at(0).AsInt()] = t;
   ASSERT_EQ(current.size(), snapshot.size());
   for (const auto& [id, row] : current) {

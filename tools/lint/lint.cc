@@ -1,0 +1,349 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace archis::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Whether `path` (forward slashes) ends with any of `suffixes`.
+bool PathEndsWithAny(const std::string& path,
+                     const std::vector<std::string>& suffixes) {
+  return std::any_of(suffixes.begin(), suffixes.end(),
+                     [&](const std::string& s) {
+                       return path.size() >= s.size() &&
+                              path.compare(path.size() - s.size(), s.size(),
+                                           s) == 0;
+                     });
+}
+
+bool PathContains(const std::string& path, const std::string& needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Line number (1-based) of byte offset `pos`.
+int LineOf(const std::string& text, size_t pos) {
+  return 1 + static_cast<int>(std::count(text.begin(), text.begin() + pos,
+                                         '\n'));
+}
+
+/// Lines carrying an `archis-lint: allow(<rule>)` suppression, per rule.
+/// A suppression covers its own line and the next one, so the comment can
+/// sit above the offending statement.
+std::set<std::pair<std::string, int>> Suppressions(const std::string& src) {
+  std::set<std::pair<std::string, int>> out;
+  static const std::string kTag = "archis-lint: allow(";
+  size_t pos = 0;
+  while ((pos = src.find(kTag, pos)) != std::string::npos) {
+    size_t open = pos + kTag.size();
+    size_t close = src.find(')', open);
+    if (close != std::string::npos) {
+      std::string rule = src.substr(open, close - open);
+      int line = LineOf(src, pos);
+      out.insert({rule, line});
+      out.insert({rule, line + 1});
+    }
+    pos = open;
+  }
+  return out;
+}
+
+struct RuleContext {
+  const std::string& path;      // normalized, forward slashes
+  const std::string& code;      // comments stripped, strings kept
+  const std::set<std::pair<std::string, int>>& suppressed;
+  std::vector<Finding>* findings;
+
+  void Report(const std::string& rule, size_t pos,
+              const std::string& message) const {
+    int line = LineOf(code, pos);
+    if (suppressed.count({rule, line}) != 0) return;
+    findings->push_back({path, line, rule, message});
+  }
+};
+
+// ---- Rule: forbidden-literal ---------------------------------------------
+
+void CheckForbiddenLiteral(const RuleContext& ctx) {
+  if (PathEndsWithAny(ctx.path, {"common/date.h", "common/date.cc",
+                                 "temporal/now.h", "temporal/now.cc"})) {
+    return;
+  }
+  for (const std::string& needle :
+       {std::string("9999-12-31"), std::string("FromYmd(9999")}) {
+    size_t pos = 0;
+    while ((pos = ctx.code.find(needle, pos)) != std::string::npos) {
+      ctx.Report("forbidden-literal", pos,
+                 "raw `now` sentinel ('" + needle +
+                     "'); use Date::Forever() / temporal::ForeverString()");
+      pos += needle.size();
+    }
+  }
+}
+
+// ---- Rule: raw-interval ---------------------------------------------------
+
+void CheckRawInterval(const RuleContext& ctx) {
+  if (PathEndsWithAny(ctx.path,
+                      {"common/interval.h", "common/interval.cc"})) {
+    return;
+  }
+  static const std::string kName = "TimeInterval";
+  size_t pos = 0;
+  while ((pos = ctx.code.find(kName, pos)) != std::string::npos) {
+    size_t start = pos;
+    pos += kName.size();
+    // Must be a whole identifier ("MakeTimeIntervalish" doesn't count).
+    if (start > 0 && IsIdentChar(ctx.code[start - 1])) continue;
+    size_t after = pos;
+    while (after < ctx.code.size() &&
+           std::isspace(static_cast<unsigned char>(ctx.code[after]))) {
+      ++after;
+    }
+    if (after >= ctx.code.size()) break;
+    char open = ctx.code[after];
+    if (open != '(' && open != '{') continue;  // not a construction
+    char close = open == '(' ? ')' : '}';
+    size_t arg = after + 1;
+    while (arg < ctx.code.size() &&
+           std::isspace(static_cast<unsigned char>(ctx.code[arg]))) {
+      ++arg;
+    }
+    if (arg >= ctx.code.size() || ctx.code[arg] == close) {
+      continue;  // TimeInterval() / TimeInterval{}: default init is fine
+    }
+    ctx.Report("raw-interval", start,
+               "direct TimeInterval construction bypasses validation; use "
+               "MakeInterval (guaranteed-valid bounds) or "
+               "MakeIntervalChecked (untrusted input)");
+  }
+}
+
+// ---- Rule: raw-mutex ------------------------------------------------------
+
+void CheckRawMutex(const RuleContext& ctx) {
+  if (PathEndsWithAny(ctx.path, {"common/mutex.h"})) return;
+  static const std::vector<std::string> kBanned = {
+      "std::mutex",       "std::recursive_mutex",
+      "std::timed_mutex", "std::shared_mutex",
+      "std::lock_guard",  "std::unique_lock",
+      "std::scoped_lock", "std::condition_variable",
+      "std::once_flag",   "std::call_once",
+  };
+  for (const std::string& needle : kBanned) {
+    size_t pos = 0;
+    while ((pos = ctx.code.find(needle, pos)) != std::string::npos) {
+      size_t start = pos;
+      pos += needle.size();
+      // Whole-token match only (std::condition_variable_any is caught by
+      // its own prefix entry, but don't double-report it).
+      if (pos < ctx.code.size() && IsIdentChar(ctx.code[pos])) {
+        if (needle != "std::condition_variable") {
+          continue;
+        }
+      }
+      ctx.Report("raw-mutex", start,
+                 "raw " + needle +
+                     " is invisible to thread-safety analysis; use the "
+                     "annotated archis::Mutex / MutexLock / CondVar "
+                     "(common/mutex.h)");
+    }
+  }
+}
+
+// ---- Rule: void-mutator ---------------------------------------------------
+
+void CheckVoidMutator(const RuleContext& ctx) {
+  // Public persistence-facing APIs only: a void mutator there has no
+  // error channel for the I/O failure it will eventually meet.
+  const bool in_scope =
+      (PathContains(ctx.path, "/storage/") ||
+       PathContains(ctx.path, "/archis/") ||
+       PathContains(ctx.path, "/compress/") ||
+       PathContains(ctx.path, "/xmldb/")) &&
+      PathEndsWithAny(ctx.path, {".h"});
+  if (!in_scope) return;
+  static const std::vector<std::string> kVerbs = {
+      "Insert", "Put",    "Write",   "Flush",  "Persist", "Load",
+      "Store",  "Append", "Close",   "Freeze", "Delete",  "Remove",
+      "Archive", "Commit", "Capture", "Publish",
+  };
+  static const std::string kVoid = "void";
+  size_t pos = 0;
+  while ((pos = ctx.code.find(kVoid, pos)) != std::string::npos) {
+    size_t start = pos;
+    pos += kVoid.size();
+    if (start > 0 && IsIdentChar(ctx.code[start - 1])) continue;
+    if (pos < ctx.code.size() && IsIdentChar(ctx.code[pos])) continue;
+    // Skip whitespace to the function name.
+    size_t name = pos;
+    while (name < ctx.code.size() &&
+           std::isspace(static_cast<unsigned char>(ctx.code[name]))) {
+      ++name;
+    }
+    size_t name_end = name;
+    while (name_end < ctx.code.size() && IsIdentChar(ctx.code[name_end])) {
+      ++name_end;
+    }
+    if (name_end == name || name_end >= ctx.code.size() ||
+        ctx.code[name_end] != '(') {
+      continue;  // `void*`, `void>`, or not a declaration
+    }
+    std::string fn = ctx.code.substr(name, name_end - name);
+    for (const std::string& verb : kVerbs) {
+      if (fn.compare(0, verb.size(), verb) == 0) {
+        ctx.Report("void-mutator", start,
+                   "public mutator '" + fn +
+                       "' returns void; return Status so failures are "
+                       "reportable (or suppress with a reason if it is "
+                       "provably infallible)");
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string Finding::ToString() const {
+  std::ostringstream os;
+  os << file << ":" << line << ": [" << rule << "] " << message;
+  return os.str();
+}
+
+std::string StripComments(const std::string& src) {
+  std::string out = src;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < src.size(); ++i) {
+    char c = src[i];
+    char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;  // skip escaped char
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> LintSource(const std::string& path,
+                                const std::string& contents) {
+  std::string normalized = path;
+  std::replace(normalized.begin(), normalized.end(), '\\', '/');
+  // The rule tables below necessarily spell every banned token in string
+  // literals, so the checker exempts its own implementation.
+  if (PathEndsWithAny(normalized, {"tools/lint/lint.cc"})) return {};
+  // Suppressions live in comments, so collect them before stripping.
+  const auto suppressed = Suppressions(contents);
+  const std::string code = StripComments(contents);
+  std::vector<Finding> findings;
+  RuleContext ctx{normalized, code, suppressed, &findings};
+  CheckForbiddenLiteral(ctx);
+  CheckRawInterval(ctx);
+  CheckRawMutex(ctx);
+  CheckVoidMutator(ctx);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+Result<std::vector<Finding>> LintTree(const std::vector<std::string>& roots) {
+  std::vector<Finding> all;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (!fs::exists(root, ec)) {
+      return Status::NotFound("lint root '" + root + "' does not exist");
+    }
+    std::vector<fs::path> files;
+    if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else {
+      for (fs::recursive_directory_iterator it(root, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        const fs::path& p = it->path();
+        // Never descend into build output or seeded violation fixtures.
+        if (it->is_directory()) {
+          const std::string name = p.filename().string();
+          if (name.rfind("build", 0) == 0 || name == "lint_fixtures") {
+            it.disable_recursion_pending();
+          }
+          continue;
+        }
+        const std::string ext = p.extension().string();
+        if (ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp") {
+          files.push_back(p);
+        }
+      }
+      if (ec) {
+        return Status::IOError("walking '" + root + "': " + ec.message());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& p : files) {
+      std::ifstream in(p, std::ios::binary);
+      if (!in) return Status::IOError("cannot read " + p.generic_string());
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      std::vector<Finding> f = LintSource(p.generic_string(), buf.str());
+      all.insert(all.end(), f.begin(), f.end());
+    }
+  }
+  return all;
+}
+
+}  // namespace archis::lint

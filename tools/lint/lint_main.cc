@@ -1,0 +1,31 @@
+// archis-lint CLI: scans source roots for domain-invariant violations.
+//
+//   archis-lint <path> [<path>...]
+//
+// Exit codes: 0 clean, 1 findings reported, 2 usage or I/O error.
+#include <cstdio>
+
+#include "lint/lint.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <path> [<path>...]\n", argv[0]);
+    return 2;
+  }
+  std::vector<std::string> roots(argv + 1, argv + argc);
+  archis::Result<std::vector<archis::lint::Finding>> findings =
+      archis::lint::LintTree(roots);
+  if (!findings.ok()) {
+    std::fprintf(stderr, "archis-lint: %s\n",
+                 findings.status().ToString().c_str());
+    return 2;
+  }
+  for (const archis::lint::Finding& f : *findings) {
+    std::fprintf(stderr, "%s\n", f.ToString().c_str());
+  }
+  if (!findings->empty()) {
+    std::fprintf(stderr, "archis-lint: %zu violation(s)\n", findings->size());
+    return 1;
+  }
+  return 0;
+}
