@@ -7,6 +7,9 @@
 // expensive but happens once per segment.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
+
 #include "bench_common.h"
 
 namespace archis::bench {
@@ -107,7 +110,73 @@ void BM_SegmentFreeze(benchmark::State& state) {
                           : "freeze all live segments");
 }
 
+void BM_CommitBatch(benchmark::State& state) {
+  // The transactional write path end to end: each iteration commits one
+  // explicit transaction of `batch` updates through the WAL (append +
+  // fsync + archive), so the group of sizes shows how commit cost
+  // amortises over the batch.
+  const int batch = static_cast<int>(state.range(0));
+  const std::string wal_path =
+      (std::filesystem::temp_directory_path() / "bench_commit.wal").string();
+  std::remove(wal_path.c_str());
+  core::ArchISOptions opts;
+  opts.wal.path = wal_path;
+  auto db = core::ArchIS::Open(opts, Date::FromYmd(2000, 1, 1));
+  if (!db.ok()) {
+    state.SkipWithError(db.status().ToString().c_str());
+    return;
+  }
+  constexpr int kRows = 64;
+  core::RelationSpec spec;
+  spec.name = "employees";
+  spec.schema = minirel::Schema({{"id", minirel::DataType::kInt64},
+                                 {"name", minirel::DataType::kString},
+                                 {"salary", minirel::DataType::kInt64}});
+  spec.key_columns = {"id"};
+  spec.doc_name = "employees.xml";
+  if (!(*db)->CreateRelation(spec).ok()) {
+    state.SkipWithError("create");
+    return;
+  }
+  for (int64_t id = 1; id <= kRows; ++id) {
+    minirel::Tuple row{minirel::Value(id), minirel::Value("emp"),
+                       minirel::Value(int64_t{50000})};
+    if (!(*db)->Insert("employees", row).ok()) {
+      state.SkipWithError("prime");
+      return;
+    }
+  }
+  int64_t salary = 50000;
+  for (auto _ : state) {
+    core::Transaction txn = (*db)->Begin();
+    for (int i = 0; i < batch; ++i) {
+      const int64_t id = i % kRows + 1;
+      minirel::Tuple row{minirel::Value(id), minirel::Value("emp"),
+                         minirel::Value(++salary)};
+      if (!txn.Update("employees", {minirel::Value(id)}, row).ok()) {
+        state.SkipWithError("update");
+        return;
+      }
+    }
+    Status st = txn.Commit();
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  state.counters["wal_bytes"] =
+      static_cast<double>((*db)->wal()->bytes_written());
+  state.counters["wal_syncs"] =
+      static_cast<double>((*db)->wal()->sync_count());
+  db->reset();
+  std::remove(wal_path.c_str());
+  state.SetLabel("durable batched commit (WAL append + fsync + archive)");
+}
+
 BENCHMARK(BM_ArchISSingleUpdate)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CommitBatch)->Arg(1)->Arg(8)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TaminoSingleUpdate)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ArchISDailyUpdate)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SegmentFreeze)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);

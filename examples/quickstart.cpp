@@ -35,17 +35,19 @@ int main() {
   options.segment.umin = 0.4;
   ArchIS db(options, Date::FromYmd(1995, 1, 1));
 
-  // 2. Register a relation. The DocBinding names the XML view: queries see
-  //    the history as doc("employees.xml")/employees/employee/...
-  Schema schema({{"id", DataType::kInt64},
-                 {"name", DataType::kString},
-                 {"salary", DataType::kInt64},
-                 {"title", DataType::kString},
-                 {"deptno", DataType::kString}});
-  Check(db.CreateRelation("employees", schema, {"id"},
-                          {"employees", "employees", "employee"},
-                          "employees.xml"),
-        "CreateRelation");
+  // 2. Register a relation. The spec names the XML view: queries see the
+  //    history as doc("employees.xml")/employees/employee/... (root and
+  //    entity tags default from the relation name).
+  archis::core::RelationSpec spec;
+  spec.name = "employees";
+  spec.schema = Schema({{"id", DataType::kInt64},
+                        {"name", DataType::kString},
+                        {"salary", DataType::kInt64},
+                        {"title", DataType::kString},
+                        {"deptno", DataType::kString}});
+  spec.key_columns = {"id"};
+  spec.doc_name = "employees.xml";
+  Check(db.CreateRelation(spec), "CreateRelation");
 
   // 3. Ordinary DML on the current table; every change is transparently
   //    archived into the H-tables at the transaction clock.

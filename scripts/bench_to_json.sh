@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Runs the Table 3 / Figure 8 query benchmark suite and records the results
-# as JSON, so the perf trajectory is tracked PR over PR.
+# Runs the benchmark suites and records the results as JSON, so the perf
+# trajectory is tracked PR over PR:
+#   bench_queries -> BENCH_queries.json   (Table 3 / Figure 8 queries)
+#   bench_updates -> BENCH_updates.json   (Section 8.4 updates + commits)
 #
-# Usage: scripts/bench_to_json.sh [output.json]
-#   BUILD_DIR=build-release scripts/bench_to_json.sh   # non-default build
+# Usage: scripts/bench_to_json.sh [suite ...]
+#   scripts/bench_to_json.sh                  # all suites
+#   scripts/bench_to_json.sh updates          # just bench_updates
+#   BUILD_DIR=build-release scripts/bench_to_json.sh
 #
 # Uses --benchmark_out (not --benchmark_format=json on stdout) so the
 # binary's human-readable preamble does not corrupt the JSON.
@@ -11,14 +15,19 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
-OUT="${1:-BENCH_queries.json}"
-BIN="$BUILD_DIR/bench/bench_queries"
-
-if [[ ! -x "$BIN" ]]; then
-  echo "error: $BIN not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
-  exit 1
+SUITES=("$@")
+if [[ ${#SUITES[@]} -eq 0 ]]; then
+  SUITES=(queries updates)
 fi
 
-"$BIN" --benchmark_out="$OUT" --benchmark_out_format=json \
-       --benchmark_repetitions="${REPETITIONS:-1}"
-echo "wrote $OUT"
+for suite in "${SUITES[@]}"; do
+  BIN="$BUILD_DIR/bench/bench_$suite"
+  OUT="BENCH_$suite.json"
+  if [[ ! -x "$BIN" ]]; then
+    echo "error: $BIN not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+  fi
+  "$BIN" --benchmark_out="$OUT" --benchmark_out_format=json \
+         --benchmark_repetitions="${REPETITIONS:-1}"
+  echo "wrote $OUT"
+done

@@ -5,7 +5,9 @@
 #   2. If clang++ is available: ARCHIS_ANALYZE=ON build, which turns on
 #      Clang thread-safety analysis with -Werror=thread-safety.
 #   3. archis-lint over src/ and tools/ (domain-invariant checker).
-#   4. If clang-tidy is available: .clang-tidy checks over src/.
+#   4. recovery_fuzz smoke sweep: randomized WAL crash points must all
+#      recover to the durably-committed state exactly.
+#   5. If clang-tidy is available: .clang-tidy checks over src/.
 #
 # Exits nonzero on the first failing step. Run from the repo root:
 #   scripts/check.sh
@@ -14,12 +16,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
-echo "==> [1/4] default build + tests"
+echo "==> [1/5] default build + tests"
 cmake -B build-check -S . >/dev/null
 cmake --build build-check -j"$JOBS"
 ctest --test-dir build-check --output-on-failure -j"$JOBS"
 
-echo "==> [2/4] clang thread-safety analysis (ARCHIS_ANALYZE=ON)"
+echo "==> [2/5] clang thread-safety analysis (ARCHIS_ANALYZE=ON)"
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-analyze -S . \
     -DCMAKE_CXX_COMPILER=clang++ -DARCHIS_ANALYZE=ON >/dev/null
@@ -28,10 +30,13 @@ else
   echo "    clang++ not found; skipping (annotations are no-ops under GCC)"
 fi
 
-echo "==> [3/4] archis-lint (domain invariants)"
+echo "==> [3/5] archis-lint (domain invariants)"
 ./build-check/tools/archis-lint src tools
 
-echo "==> [4/4] clang-tidy"
+echo "==> [4/5] recovery fuzz (randomized WAL crash points)"
+./build-check/tools/recovery_fuzz --runs "${FUZZ_RUNS:-8}"
+
+echo "==> [5/5] clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   # shellcheck disable=SC2046

@@ -10,42 +10,198 @@ using minirel::Table;
 using minirel::Tuple;
 using minirel::Value;
 
+// -- Transaction ---------------------------------------------------------------
+
+Transaction::Transaction(ArchIS* db, bool stamp_at_commit)
+    : db_(db), stamp_at_commit_(stamp_at_commit) {
+  if (stamp_at_commit_) ++db_->open_stamped_txns_;
+}
+
+Transaction::Transaction(Transaction&& other) noexcept
+    : db_(other.db_),
+      changes_(std::move(other.changes_)),
+      stamp_at_commit_(other.stamp_at_commit_),
+      finished_(other.finished_) {
+  // The moved-from handle is inert; this one inherits its open-txn count.
+  other.finished_ = true;
+  other.changes_.clear();
+}
+
+Transaction::~Transaction() {
+  if (!finished_) {
+    // Best-effort rollback: the destructor cannot report, and the undo can
+    // only fail if the instance is already inconsistent.
+    IgnoreStatus(Abort());
+  }
+}
+
+void Transaction::Finish() {
+  finished_ = true;
+  if (stamp_at_commit_) --db_->open_stamped_txns_;
+}
+
+Status Transaction::Insert(const std::string& relation, const Tuple& row) {
+  if (finished_) return Status::Aborted("transaction already finished");
+  return db_->TxnInsert(this, relation, row);
+}
+
+Status Transaction::Update(const std::string& relation,
+                           const std::vector<Value>& key,
+                           const Tuple& new_row) {
+  if (finished_) return Status::Aborted("transaction already finished");
+  return db_->TxnUpdate(this, relation, key, new_row);
+}
+
+Status Transaction::Delete(const std::string& relation,
+                           const std::vector<Value>& key) {
+  if (finished_) return Status::Aborted("transaction already finished");
+  return db_->TxnDelete(this, relation, key);
+}
+
+Status Transaction::Commit() {
+  if (finished_) return Status::Aborted("transaction already finished");
+  Finish();
+  return db_->CommitChanges(std::move(changes_), stamp_at_commit_);
+}
+
+Status Transaction::Abort() {
+  if (finished_) return Status::Aborted("transaction already finished");
+  Finish();
+  Status undo = db_->UndoCurrent(changes_);
+  changes_.clear();
+  return undo;
+}
+
+// -- Construction / recovery ---------------------------------------------------
+
 ArchIS::ArchIS(ArchISOptions options, Date start_date)
-    : options_(options), clock_(start_date), archiver_(&history_db_) {
-  capture_ = std::make_unique<ChangeCapture>(
-      options.capture_mode,
-      [this](const ChangeRecord& change) { return archiver_.Apply(change); });
+    : options_(std::move(options)), clock_(start_date),
+      archiver_(&history_db_) {}
+
+Result<std::unique_ptr<ArchIS>> ArchIS::Open(ArchISOptions options,
+                                             Date start_date) {
+  if (options.wal.path.empty()) {
+    return std::make_unique<ArchIS>(std::move(options), start_date);
+  }
+  ARCHIS_ASSIGN_OR_RETURN(WalRecovery recovery,
+                          Wal::Recover(options.wal.path));
+  const std::string wal_path = options.wal.path;
+  const WalOptions wal_options = options.wal;
+  auto db = std::make_unique<ArchIS>(std::move(options), start_date);
+  for (const WalReplayItem& item : recovery.items) {
+    if (const auto* create = std::get_if<WalCreateRelation>(&item)) {
+      ARCHIS_RETURN_NOT_OK(db->CreateRelationInternal(
+          create->spec, create->open_date, /*log_to_wal=*/false));
+      if (db->clock_ < create->open_date) db->clock_ = create->open_date;
+    } else if (const auto* drop = std::get_if<WalDropRelation>(&item)) {
+      ARCHIS_RETURN_NOT_OK(db->DropRelationInternal(drop->name, drop->when,
+                                                    /*log_to_wal=*/false));
+      if (db->clock_ < drop->when) db->clock_ = drop->when;
+    } else {
+      const auto& txn = std::get<WalCommittedTxn>(item);
+      ARCHIS_RETURN_NOT_OK(db->ApplyRecovered(txn));
+      if (db->clock_ < txn.commit_date) db->clock_ = txn.commit_date;
+    }
+  }
+  // Drop the torn tail so the resumed log is a clean extension of the
+  // prefix recovery just replayed.
+  ARCHIS_RETURN_NOT_OK(
+      storage::TruncateLogFile(wal_path, recovery.valid_bytes));
+  ARCHIS_ASSIGN_OR_RETURN(
+      db->wal_, Wal::Open(wal_options, recovery.max_txn_id + 1));
+  return db;
+}
+
+Status ArchIS::CheckWritable() const {
+  if (!options_.wal.path.empty() && wal_ == nullptr) {
+    return Status::InvalidArgument(
+        "WAL-configured ArchIS must be created with ArchIS::Open (recovery "
+        "has not run)");
+  }
+  return Status::OK();
+}
+
+// -- Schema --------------------------------------------------------------------
+
+Status ArchIS::CreateRelation(const RelationSpec& spec) {
+  ARCHIS_RETURN_NOT_OK(CheckWritable());
+  return CreateRelationInternal(spec, clock_, /*log_to_wal=*/true);
 }
 
 Status ArchIS::CreateRelation(const std::string& name, const Schema& schema,
                               const std::vector<std::string>& key_columns,
                               const DocBinding& doc,
                               const std::string& doc_name) {
-  ARCHIS_ASSIGN_OR_RETURN(Table * table,
-                          current_db_.catalog().CreateTable(name, schema));
-  ARCHIS_RETURN_NOT_OK(table->CreateIndex("pk", key_columns));
+  RelationSpec spec;
+  spec.name = name;
+  spec.schema = schema;
+  spec.key_columns = key_columns;
+  spec.doc_name = doc_name;
+  spec.root_tag = doc.root_tag;
+  spec.entity_tag = doc.entity_tag;
+  return CreateRelation(spec);
+}
+
+Status ArchIS::CreateRelationInternal(RelationSpec spec, Date open_date,
+                                      bool log_to_wal) {
+  if (spec.root_tag.empty()) spec.root_tag = spec.name;
+  if (spec.entity_tag.empty()) {
+    spec.entity_tag = spec.root_tag;
+    if (!spec.entity_tag.empty() && spec.entity_tag.back() == 's') {
+      spec.entity_tag.pop_back();
+    }
+  }
+  if (spec.doc_name.empty()) {
+    return Status::InvalidArgument("RelationSpec::doc_name must be set");
+  }
+  ARCHIS_ASSIGN_OR_RETURN(
+      Table * table, current_db_.catalog().CreateTable(spec.name, spec.schema));
+  ARCHIS_RETURN_NOT_OK(table->CreateIndex("pk", spec.key_columns));
   RelationInfo info;
-  info.key_columns = key_columns;
-  for (const std::string& k : key_columns) {
-    ARCHIS_ASSIGN_OR_RETURN(size_t pos, schema.ColumnIndex(k));
+  info.key_columns = spec.key_columns;
+  for (const std::string& k : spec.key_columns) {
+    ARCHIS_ASSIGN_OR_RETURN(size_t pos, spec.schema.ColumnIndex(k));
     info.key_positions.push_back(pos);
   }
-  info.doc = doc;
-  info.doc_name = doc_name;
-  relations_[name] = std::move(info);
-  return archiver_.RegisterRelation(name, schema, key_columns,
-                                    options_.segment, clock_);
+  info.doc.relation = spec.name;
+  info.doc.root_tag = spec.root_tag;
+  info.doc.entity_tag = spec.entity_tag;
+  info.doc_name = spec.doc_name;
+  relations_[spec.name] = std::move(info);
+  ARCHIS_RETURN_NOT_OK(archiver_.RegisterRelation(
+      spec.name, spec.schema, spec.key_columns, options_.segment, open_date));
+  if (log_to_wal && wal_ != nullptr) {
+    return wal_->LogCreateRelation(spec, open_date);
+  }
+  return Status::OK();
 }
 
 Status ArchIS::DropRelation(const std::string& name) {
+  ARCHIS_RETURN_NOT_OK(CheckWritable());
+  return DropRelationInternal(name, clock_, /*log_to_wal=*/true);
+}
+
+Status ArchIS::DropRelationInternal(const std::string& name, Date when,
+                                    bool log_to_wal) {
   if (relations_.count(name) == 0) {
     return Status::NotFound("relation '" + name + "'");
   }
   ARCHIS_RETURN_NOT_OK(current_db_.catalog().DropTable(name));
-  return archiver_.UnregisterRelation(name, clock_);
+  ARCHIS_RETURN_NOT_OK(archiver_.UnregisterRelation(name, when));
+  if (log_to_wal && wal_ != nullptr) {
+    return wal_->LogDropRelation(name, when);
+  }
+  return Status::OK();
 }
 
+// -- Transaction clock ---------------------------------------------------------
+
 Status ArchIS::AdvanceClock(Date now) {
+  if (open_stamped_txns_ > 0) {
+    return Status::InvalidArgument(
+        "cannot advance the clock while a transaction is open (a "
+        "transaction commits at one instant)");
+  }
   if (now < clock_) {
     return Status::InvalidArgument(
         "transaction time cannot move backwards (" + now.ToString() + " < " +
@@ -54,6 +210,69 @@ Status ArchIS::AdvanceClock(Date now) {
   clock_ = now;
   return Status::OK();
 }
+
+// -- DML -----------------------------------------------------------------------
+
+Transaction ArchIS::Begin() {
+  return Transaction(this, /*stamp_at_commit=*/true);
+}
+
+Transaction* ArchIS::AmbientTxn() {
+  if (!ambient_) {
+    // The ambient batch keeps per-statement dates: its statements may span
+    // clock advances (an update log accumulated over time), so re-stamping
+    // them at commit would rewrite history.
+    ambient_ = std::unique_ptr<Transaction>(
+        new Transaction(this, /*stamp_at_commit=*/false));
+  }
+  return ambient_.get();
+}
+
+Status ArchIS::Insert(const std::string& relation, const Tuple& row) {
+  ARCHIS_RETURN_NOT_OK(CheckWritable());
+  if (options_.capture_mode == CaptureMode::kUpdateLog) {
+    return AmbientTxn()->Insert(relation, row);
+  }
+  Transaction txn(this, /*stamp_at_commit=*/true);
+  ARCHIS_RETURN_NOT_OK(txn.Insert(relation, row));
+  return txn.Commit();
+}
+
+Status ArchIS::Update(const std::string& relation,
+                      const std::vector<Value>& key, const Tuple& new_row) {
+  ARCHIS_RETURN_NOT_OK(CheckWritable());
+  if (options_.capture_mode == CaptureMode::kUpdateLog) {
+    return AmbientTxn()->Update(relation, key, new_row);
+  }
+  Transaction txn(this, /*stamp_at_commit=*/true);
+  ARCHIS_RETURN_NOT_OK(txn.Update(relation, key, new_row));
+  return txn.Commit();
+}
+
+Status ArchIS::Delete(const std::string& relation,
+                      const std::vector<Value>& key) {
+  ARCHIS_RETURN_NOT_OK(CheckWritable());
+  if (options_.capture_mode == CaptureMode::kUpdateLog) {
+    return AmbientTxn()->Delete(relation, key);
+  }
+  Transaction txn(this, /*stamp_at_commit=*/true);
+  ARCHIS_RETURN_NOT_OK(txn.Delete(relation, key));
+  return txn.Commit();
+}
+
+Status ArchIS::Commit() {
+  if (!ambient_) return Status::OK();
+  std::unique_ptr<Transaction> txn = std::move(ambient_);
+  return txn->Commit();
+}
+
+size_t ArchIS::pending_changes() const {
+  return ambient_ ? ambient_->pending() : 0;
+}
+
+Status ArchIS::FlushLog() { return Commit(); }
+
+// -- Transaction plumbing ------------------------------------------------------
 
 Result<storage::RecordId> ArchIS::FindByKey(
     Table* table, const RelationInfo& info, const std::vector<Value>& key,
@@ -73,7 +292,15 @@ Result<storage::RecordId> ArchIS::FindByKey(
   return *found;
 }
 
-Status ArchIS::Insert(const std::string& relation, const Tuple& row) {
+std::vector<Value> ArchIS::KeyOf(const RelationInfo& info, const Tuple& row) {
+  std::vector<Value> key;
+  key.reserve(info.key_positions.size());
+  for (size_t pos : info.key_positions) key.push_back(row.at(pos));
+  return key;
+}
+
+Status ArchIS::TxnInsert(Transaction* txn, const std::string& relation,
+                         const Tuple& row) {
   auto info = relations_.find(relation);
   if (info == relations_.end()) {
     return Status::NotFound("relation '" + relation + "'");
@@ -86,11 +313,12 @@ Status ArchIS::Insert(const std::string& relation, const Tuple& row) {
   change.relation = relation;
   change.new_row = row;
   change.when = clock_;
-  return capture_->Record(std::move(change));
+  txn->changes_.push_back(std::move(change));
+  return Status::OK();
 }
 
-Status ArchIS::Update(const std::string& relation,
-                      const std::vector<Value>& key, const Tuple& new_row) {
+Status ArchIS::TxnUpdate(Transaction* txn, const std::string& relation,
+                         const std::vector<Value>& key, const Tuple& new_row) {
   auto info = relations_.find(relation);
   if (info == relations_.end()) {
     return Status::NotFound("relation '" + relation + "'");
@@ -113,11 +341,12 @@ Status ArchIS::Update(const std::string& relation,
   change.old_row = old_row;
   change.new_row = new_row;
   change.when = clock_;
-  return capture_->Record(std::move(change));
+  txn->changes_.push_back(std::move(change));
+  return Status::OK();
 }
 
-Status ArchIS::Delete(const std::string& relation,
-                      const std::vector<Value>& key) {
+Status ArchIS::TxnDelete(Transaction* txn, const std::string& relation,
+                         const std::vector<Value>& key) {
   auto info = relations_.find(relation);
   if (info == relations_.end()) {
     return Status::NotFound("relation '" + relation + "'");
@@ -133,10 +362,121 @@ Status ArchIS::Delete(const std::string& relation,
   change.relation = relation;
   change.old_row = old_row;
   change.when = clock_;
-  return capture_->Record(std::move(change));
+  txn->changes_.push_back(std::move(change));
+  return Status::OK();
 }
 
-Status ArchIS::FlushLog() { return capture_->Flush(); }
+Status ArchIS::CommitChanges(std::vector<ChangeRecord> changes,
+                             bool stamp_at_commit) {
+  if (changes.empty()) return Status::OK();
+  if (stamp_at_commit) {
+    // One transaction, one transaction-time instant. AdvanceClock is
+    // blocked while the batch is open, so the buffered dates can only
+    // equal clock_ already; stamping keeps the invariant explicit.
+    for (ChangeRecord& change : changes) change.when = clock_;
+  }
+  if (wal_ != nullptr) {
+    const uint64_t txn_id = wal_->NextTxnId();
+    ARCHIS_RETURN_NOT_OK(wal_->LogTransaction(txn_id, changes, clock_));
+  }
+  for (const ChangeRecord& change : changes) {
+    ARCHIS_RETURN_NOT_OK(archiver_.Apply(change));
+  }
+  return Status::OK();
+}
+
+Status ArchIS::UndoCurrent(const std::vector<ChangeRecord>& changes) {
+  for (auto it = changes.rbegin(); it != changes.rend(); ++it) {
+    const ChangeRecord& change = *it;
+    auto info = relations_.find(change.relation);
+    if (info == relations_.end()) {
+      return Status::Internal("undo for unknown relation '" +
+                              change.relation + "'");
+    }
+    ARCHIS_ASSIGN_OR_RETURN(Table * table,
+                            current_db_.catalog().GetTable(change.relation));
+    switch (change.kind) {
+      case ChangeKind::kInsert: {
+        Tuple row;
+        ARCHIS_ASSIGN_OR_RETURN(
+            storage::RecordId rid,
+            FindByKey(table, info->second, KeyOf(info->second, change.new_row),
+                      &row));
+        ARCHIS_RETURN_NOT_OK(table->Delete(rid));
+        break;
+      }
+      case ChangeKind::kUpdate: {
+        Tuple row;
+        ARCHIS_ASSIGN_OR_RETURN(
+            storage::RecordId rid,
+            FindByKey(table, info->second, KeyOf(info->second, change.new_row),
+                      &row));
+        ARCHIS_RETURN_NOT_OK(table->Update(&rid, change.old_row));
+        break;
+      }
+      case ChangeKind::kDelete:
+        ARCHIS_RETURN_NOT_OK(table->Insert(change.old_row).status());
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+// -- Recovery replay -----------------------------------------------------------
+
+Status ArchIS::ApplyRecovered(const WalCommittedTxn& txn) {
+  for (const ChangeRecord& change : txn.changes) {
+    ARCHIS_RETURN_NOT_OK(ReplayChange(change));
+  }
+  return Status::OK();
+}
+
+Status ArchIS::ReplayChange(const ChangeRecord& change) {
+  auto info = relations_.find(change.relation);
+  if (info == relations_.end()) {
+    return Status::Corruption("recovered change for unknown relation '" +
+                              change.relation + "'");
+  }
+  ARCHIS_ASSIGN_OR_RETURN(Table * table,
+                          current_db_.catalog().GetTable(change.relation));
+  switch (change.kind) {
+    case ChangeKind::kInsert: {
+      Tuple existing;
+      auto rid = FindByKey(table, info->second,
+                           KeyOf(info->second, change.new_row), &existing);
+      if (rid.ok()) return Status::OK();  // already applied
+      if (rid.status().code() != StatusCode::kNotFound) return rid.status();
+      ARCHIS_RETURN_NOT_OK(table->Insert(change.new_row).status());
+      return archiver_.Apply(change);
+    }
+    case ChangeKind::kUpdate: {
+      Tuple existing;
+      ARCHIS_ASSIGN_OR_RETURN(
+          storage::RecordId rid,
+          FindByKey(table, info->second, KeyOf(info->second, change.new_row),
+                    &existing));
+      if (existing == change.new_row) return Status::OK();  // already applied
+      ARCHIS_RETURN_NOT_OK(table->Update(&rid, change.new_row));
+      return archiver_.Apply(change);
+    }
+    case ChangeKind::kDelete: {
+      Tuple existing;
+      auto rid = FindByKey(table, info->second,
+                           KeyOf(info->second, change.old_row), &existing);
+      if (!rid.ok()) {
+        if (rid.status().code() == StatusCode::kNotFound) {
+          return Status::OK();  // already applied
+        }
+        return rid.status();
+      }
+      ARCHIS_RETURN_NOT_OK(table->Delete(*rid));
+      return archiver_.Apply(change);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+// -- Queries -------------------------------------------------------------------
 
 TranslatorContext ArchIS::translator_context() const {
   TranslatorContext ctx;
@@ -147,19 +487,23 @@ TranslatorContext ArchIS::translator_context() const {
   return ctx;
 }
 
-Result<QueryResult> ArchIS::Query(const std::string& xquery) {
+Result<QueryResult> ArchIS::Query(const std::string& xquery,
+                                  const QueryOptions& options) {
   QueryResult result;
-  auto plan = Translate(xquery);
-  if (plan.ok()) {
-    result.path = QueryPath::kTranslated;
-    result.sql = plan->ToSql();
-    ARCHIS_ASSIGN_OR_RETURN(result.xml, Execute(*plan, &result.stats));
-    return result;
+  if (options.force_path != QueryForce::kNative) {
+    auto plan = Translate(xquery);
+    if (plan.ok()) {
+      result.path = QueryPath::kTranslated;
+      result.sql = plan->ToSql();
+      ARCHIS_ASSIGN_OR_RETURN(result.xml, Execute(*plan, &result.stats));
+      return result;
+    }
+    if (options.force_path == QueryForce::kTranslated ||
+        plan.status().code() != StatusCode::kUnsupported) {
+      return plan.status();
+    }
   }
-  if (plan.status().code() != StatusCode::kUnsupported) {
-    return plan.status();
-  }
-  // Native fallback over published H-documents.
+  // Native evaluation over published H-documents.
   ARCHIS_ASSIGN_OR_RETURN(xquery::Sequence seq, QueryNative(xquery));
   result.path = QueryPath::kNativeFallback;
   result.xml = xml::XmlNode::Element("results");

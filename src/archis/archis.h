@@ -1,20 +1,32 @@
 // ArchIS: the Archival Information System facade (paper Figure 5).
 //
 // Owns the current database and the H-tables, captures every change to the
-// current tables (triggers or update log), and answers temporal XQuery
-// either by translation to SQL/XML plans executed on the H-tables (the
-// efficient path) or natively over published H-documents (the fallback /
-// cross-validation path).
+// current tables through a transactional write path (ArchIS::Transaction,
+// durably logged by the write-ahead change log in archis/wal.*), and
+// answers temporal XQuery either by translation to SQL/XML plans executed
+// on the H-tables (the efficient path) or natively over published
+// H-documents (the fallback / cross-validation path).
 //
 // Typical use:
 //
+//   RelationSpec spec;
+//   spec.name = "employees";
+//   spec.schema = schema;
+//   spec.key_columns = {"id"};
+//   spec.doc_name = "employees.xml";
 //   archis::core::ArchIS db(options, Date::FromYmd(1995, 1, 1));
-//   db.CreateRelation("employees", schema, {"id"},
-//                     {"employees.xml", "employees", "employee"});
-//   db.Insert("employees", row);
+//   db.CreateRelation(spec);
+//   db.Insert("employees", row);               // auto-commits (kTrigger)
 //   db.AdvanceClock(Date::FromYmd(1995, 6, 1));
-//   db.Update("employees", key, new_row);
+//   auto txn = db.Begin();                     // explicit write batch
+//   txn.Update("employees", key, new_row);     //   ... more DML ...
+//   txn.Commit();                              // one timestamp, durable
 //   auto xml = db.Query("for $e in doc(\"employees.xml\")/...");
+//
+// Durability: configure ArchISOptions::wal.path and construct through
+// ArchIS::Open, which replays the log (crash recovery) before accepting
+// new work. A default-constructed WalOptions (empty path) keeps the
+// instance purely in-memory, as before.
 #ifndef ARCHIS_ARCHIS_ARCHIS_H_
 #define ARCHIS_ARCHIS_ARCHIS_H_
 
@@ -23,7 +35,9 @@
 
 #include "archis/archiver.h"
 #include "archis/publisher.h"
+#include "archis/relation_spec.h"
 #include "archis/translator.h"
+#include "archis/wal.h"
 #include "xquery/evaluator.h"
 
 namespace archis::core {
@@ -32,10 +46,22 @@ namespace archis::core {
 struct ArchISOptions {
   SegmentOptions segment;  ///< clustering / compression knobs
   CaptureMode capture_mode = CaptureMode::kTrigger;
+  /// Durable change log; empty path = in-memory only. A WAL-configured
+  /// instance must be constructed with ArchIS::Open (which runs recovery).
+  WalOptions wal;
 };
 
 /// Which execution path answered a query.
 enum class QueryPath { kTranslated, kNativeFallback };
+
+/// Pins ArchIS::Query to one execution path. kTranslated fails with
+/// Unsupported instead of falling back; kNative skips translation.
+enum class QueryForce { kAuto, kTranslated, kNative };
+
+/// Per-query options.
+struct QueryOptions {
+  QueryForce force_path = QueryForce::kAuto;
+};
 
 /// Result of ArchIS::Query.
 struct QueryResult {
@@ -45,32 +71,24 @@ struct QueryResult {
   PlanStats stats;       ///< executor statistics (translated path only)
 };
 
-/// A transaction-time temporal database on a relational engine.
-class ArchIS {
+class ArchIS;
+
+/// A write batch on one ArchIS instance: DML applies to the current tables
+/// immediately (so reads within the batch see it) while the captured
+/// changes buffer until Commit, which (1) stamps every change with the
+/// commit-instant transaction time, (2) makes the whole batch durable in
+/// the WAL (group commit, fsync), and (3) archives it into the H-tables.
+/// Abort rolls the current tables back and archives nothing.
+///
+/// A Transaction must not outlive its ArchIS. Destroying an uncommitted
+/// Transaction aborts it.
+class Transaction {
  public:
-  ArchIS(ArchISOptions options, Date start_date);
-
-  // -- Schema -----------------------------------------------------------------
-
-  /// Creates a current table plus its H-tables, and registers the
-  /// H-document name for doc() references in queries.
-  Status CreateRelation(const std::string& name,
-                        const minirel::Schema& schema,
-                        const std::vector<std::string>& key_columns,
-                        const DocBinding& doc,
-                        const std::string& doc_name);
-
-  /// Drops the current table; history stays queryable, and the relation's
-  /// interval closes in the global relations table.
-  Status DropRelation(const std::string& name);
-
-  // -- Transaction clock -------------------------------------------------------
-
-  /// Advances the transaction-time clock (must not go backwards).
-  Status AdvanceClock(Date now);
-  Date Now() const { return clock_; }
-
-  // -- DML on the current database (change-captured) ----------------------------
+  Transaction(Transaction&& other) noexcept;
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+  Transaction& operator=(Transaction&&) = delete;
+  ~Transaction();
 
   Status Insert(const std::string& relation, const minirel::Tuple& row);
 
@@ -83,14 +101,115 @@ class ArchIS {
   Status Delete(const std::string& relation,
                 const std::vector<minirel::Value>& key);
 
-  /// Applies buffered changes (update-log capture mode).
+  /// Durably commits the batch. All changes carry one transaction-time
+  /// instant (the clock at commit). After Commit the handle is finished;
+  /// further DML returns Aborted.
+  Status Commit();
+
+  /// Rolls back the current tables to their pre-batch state; nothing is
+  /// logged or archived.
+  Status Abort();
+
+  /// Whether the transaction can still accept DML.
+  bool active() const { return !finished_; }
+
+  /// Buffered, not-yet-committed changes.
+  size_t pending() const { return changes_.size(); }
+
+ private:
+  friend class ArchIS;
+  Transaction(ArchIS* db, bool stamp_at_commit);
+
+  /// Marks the handle finished and releases its open-transaction count.
+  void Finish();
+
+  ArchIS* db_;
+  std::vector<ChangeRecord> changes_;
+  /// Explicit transactions stamp all changes at commit (one instant);
+  /// the ambient update-log batch keeps per-statement dates.
+  bool stamp_at_commit_;
+  bool finished_ = false;
+};
+
+/// A transaction-time temporal database on a relational engine.
+class ArchIS {
+ public:
+  /// In-memory instance (no WAL). If `options.wal.path` is set, every DML
+  /// call fails — durable instances must be built with Open so recovery
+  /// runs first.
+  ArchIS(ArchISOptions options, Date start_date);
+
+  /// Builds an instance with a durable change log: replays any committed
+  /// work found at `options.wal.path` (crash recovery — truncating a torn
+  /// tail), then opens the log for appending. With an empty WAL path this
+  /// is just the in-memory constructor.
+  static Result<std::unique_ptr<ArchIS>> Open(ArchISOptions options,
+                                              Date start_date);
+
+  // -- Schema -----------------------------------------------------------------
+
+  /// Creates a current table plus its H-tables, registers the H-document
+  /// name for doc() references, and durably logs the schema change.
+  /// Empty `spec.root_tag` defaults to the relation name; empty
+  /// `spec.entity_tag` to the root tag with a trailing 's' stripped.
+  Status CreateRelation(const RelationSpec& spec);
+
+  [[deprecated(
+      "pass a RelationSpec: the DocBinding/doc_name parameters duplicate "
+      "it")]]
+  Status CreateRelation(const std::string& name,
+                        const minirel::Schema& schema,
+                        const std::vector<std::string>& key_columns,
+                        const DocBinding& doc,
+                        const std::string& doc_name);
+
+  /// Drops the current table; history stays queryable, and the relation's
+  /// interval closes in the global relations table.
+  Status DropRelation(const std::string& name);
+
+  // -- Transaction clock -------------------------------------------------------
+
+  /// Advances the transaction-time clock (must not go backwards, and must
+  /// not move while an explicit transaction is open — a transaction
+  /// commits at one instant).
+  Status AdvanceClock(Date now);
+  Date Now() const { return clock_; }
+
+  // -- Transactional DML on the current database --------------------------------
+
+  /// Starts an explicit write batch. All its changes commit atomically at
+  /// one transaction-time instant.
+  Transaction Begin();
+
+  /// Statement-level DML. In kTrigger capture mode each call is its own
+  /// auto-committed transaction (durably logged before returning); in
+  /// kUpdateLog mode calls accumulate in the ambient batch until Commit.
+  Status Insert(const std::string& relation, const minirel::Tuple& row);
+  Status Update(const std::string& relation,
+                const std::vector<minirel::Value>& key,
+                const minirel::Tuple& new_row);
+  Status Delete(const std::string& relation,
+                const std::vector<minirel::Value>& key);
+
+  /// Commits the ambient batch (kUpdateLog capture mode). No-op when
+  /// nothing is buffered; OK in kTrigger mode (statements already
+  /// committed themselves).
+  Status Commit();
+
+  /// Buffered statement-level changes awaiting Commit.
+  size_t pending_changes() const;
+
+  [[deprecated("use Transaction::Commit (explicit batches) or "
+               "ArchIS::Commit (ambient update-log batch)")]]
   Status FlushLog();
 
   // -- Queries ------------------------------------------------------------------
 
   /// Answers an XQuery: translated to SQL/XML when the translator covers
   /// it, otherwise evaluated natively over published H-documents.
-  Result<QueryResult> Query(const std::string& xquery);
+  /// `options.force_path` pins one path (for equivalence testing).
+  Result<QueryResult> Query(const std::string& xquery,
+                            const QueryOptions& options = {});
 
   /// Translation only (the paper reports sub-0.1ms translation costs).
   Result<SqlXmlPlan> Translate(const std::string& xquery) const;
@@ -116,6 +235,18 @@ class ArchIS {
   Result<std::vector<minirel::Tuple>> Snapshot(const std::string& relation,
                                                Date t) const;
 
+  // -- Recovery ----------------------------------------------------------------
+
+  /// Applies one committed transaction recovered from a WAL (or streamed
+  /// from a replica). Idempotent: a change whose effect is already present
+  /// in the current table is skipped entirely, so replaying a log twice
+  /// yields the same state as replaying it once.
+  Status ApplyRecovered(const WalCommittedTxn& txn);
+
+  /// The WAL handle (nullptr for in-memory instances). Exposes group
+  /// commit counters for tests and benchmarks.
+  const Wal* wal() const { return wal_.get(); }
+
   // -- Maintenance / introspection -----------------------------------------------
 
   /// Freezes every live segment (e.g. before measuring compression).
@@ -134,6 +265,8 @@ class ArchIS {
   TranslatorContext translator_context() const;
 
  private:
+  friend class Transaction;
+
   struct RelationInfo {
     std::vector<std::string> key_columns;
     std::vector<size_t> key_positions;
@@ -141,17 +274,56 @@ class ArchIS {
     std::string doc_name;
   };
 
+  /// Fails DML on a WAL-configured instance that skipped recovery.
+  Status CheckWritable() const;
+
+  Status CreateRelationInternal(RelationSpec spec, Date open_date,
+                                bool log_to_wal);
+  Status DropRelationInternal(const std::string& name, Date when,
+                              bool log_to_wal);
+
+  // Transaction plumbing: validate + apply to the current table, then
+  // buffer the captured change in `txn`.
+  Status TxnInsert(Transaction* txn, const std::string& relation,
+                   const minirel::Tuple& row);
+  Status TxnUpdate(Transaction* txn, const std::string& relation,
+                   const std::vector<minirel::Value>& key,
+                   const minirel::Tuple& new_row);
+  Status TxnDelete(Transaction* txn, const std::string& relation,
+                   const std::vector<minirel::Value>& key);
+
+  /// Commit tail shared by every path: stamp (explicit batches), WAL
+  /// (durability), archive (H-tables).
+  Status CommitChanges(std::vector<ChangeRecord> changes,
+                       bool stamp_at_commit);
+
+  /// Reverses a batch's current-table effects (Transaction::Abort).
+  Status UndoCurrent(const std::vector<ChangeRecord>& changes);
+
+  /// Replays one recovered change; skips changes already applied.
+  Status ReplayChange(const ChangeRecord& change);
+
+  /// The ambient statement-level batch (kUpdateLog mode), lazily begun.
+  Transaction* AmbientTxn();
+
   Result<storage::RecordId> FindByKey(minirel::Table* table,
                                       const RelationInfo& info,
                                       const std::vector<minirel::Value>& key,
                                       minirel::Tuple* row) const;
+
+  /// Key column values of `row` under `info` (for replay/undo lookups).
+  static std::vector<minirel::Value> KeyOf(const RelationInfo& info,
+                                           const minirel::Tuple& row);
 
   ArchISOptions options_;
   Date clock_;
   minirel::Database current_db_;
   minirel::Database history_db_;
   Archiver archiver_;
-  std::unique_ptr<ChangeCapture> capture_;
+  std::unique_ptr<Wal> wal_;
+  std::unique_ptr<Transaction> ambient_;
+  /// Open explicit (stamp-at-commit) transactions; blocks AdvanceClock.
+  int open_stamped_txns_ = 0;
   std::map<std::string, RelationInfo> relations_;
 };
 

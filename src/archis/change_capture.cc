@@ -1,21 +1,76 @@
 #include "archis/change_capture.h"
 
+#include "common/coding.h"
+
 namespace archis::core {
 
-Status ChangeCapture::Record(ChangeRecord change) {
-  if (mode_ == CaptureMode::kTrigger) {
-    return sink_(change);
+namespace {
+
+using coding::AppendI64;
+using coding::AppendLengthPrefixed;
+using coding::AppendU32;
+using coding::ReadI64;
+using coding::ReadLengthPrefixed;
+using coding::ReadU32;
+using minirel::DataType;
+using minirel::Tuple;
+using minirel::Value;
+
+}  // namespace
+
+void EncodeTuple(const Tuple& row, std::string* out) {
+  AppendU32(static_cast<uint32_t>(row.size()), out);
+  for (const Value& v : row.values()) {
+    out->push_back(static_cast<char>(v.type()));
+    v.EncodeTo(out);
   }
-  log_.push_back(std::move(change));
-  return Status::OK();
 }
 
-Status ChangeCapture::Flush() {
-  for (const ChangeRecord& change : log_) {
-    ARCHIS_RETURN_NOT_OK(sink_(change));
+Result<Tuple> DecodeTuple(std::string_view data, size_t* pos) {
+  ARCHIS_ASSIGN_OR_RETURN(uint32_t n, ReadU32(data, pos));
+  Tuple row;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (*pos >= data.size()) {
+      return Status::Corruption("change record truncated (value tag)");
+    }
+    auto type = static_cast<DataType>(data[*pos]);
+    if (type != DataType::kInt64 && type != DataType::kDouble &&
+        type != DataType::kString && type != DataType::kDate) {
+      return Status::Corruption("change record has unknown value type tag");
+    }
+    ++*pos;
+    ARCHIS_ASSIGN_OR_RETURN(Value v, Value::DecodeFrom(type, data, pos));
+    row.Append(std::move(v));
   }
-  log_.clear();
-  return Status::OK();
+  return row;
+}
+
+void EncodeChangeRecord(const ChangeRecord& change, std::string* out) {
+  out->push_back(static_cast<char>(change.kind));
+  AppendLengthPrefixed(change.relation, out);
+  AppendI64(change.when.days(), out);
+  EncodeTuple(change.old_row, out);
+  EncodeTuple(change.new_row, out);
+}
+
+Result<ChangeRecord> DecodeChangeRecord(std::string_view data, size_t* pos) {
+  ChangeRecord change;
+  if (*pos >= data.size()) {
+    return Status::Corruption("change record truncated (kind)");
+  }
+  auto kind = static_cast<ChangeKind>(data[*pos]);
+  if (kind != ChangeKind::kInsert && kind != ChangeKind::kUpdate &&
+      kind != ChangeKind::kDelete) {
+    return Status::Corruption("change record has unknown kind");
+  }
+  change.kind = kind;
+  ++*pos;
+  ARCHIS_ASSIGN_OR_RETURN(change.relation, ReadLengthPrefixed(data, pos));
+  ARCHIS_ASSIGN_OR_RETURN(int64_t days, ReadI64(data, pos));
+  change.when = Date(days);
+  ARCHIS_ASSIGN_OR_RETURN(change.old_row, DecodeTuple(data, pos));
+  ARCHIS_ASSIGN_OR_RETURN(change.new_row, DecodeTuple(data, pos));
+  return change;
 }
 
 }  // namespace archis::core

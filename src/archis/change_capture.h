@@ -1,13 +1,18 @@
 // Change capture on the current database (paper Section 5.2).
 //
-// Changes can be tracked with triggers (each statement archived
-// synchronously — the ArchIS-DB2 configuration) or with an update log
-// (changes buffered and archived on Flush — the ArchIS-ATLaS
-// configuration, which the paper uses "for better performance").
+// A ChangeRecord is one captured change of one current table. Changes are
+// collected by the transactional write path (archis::core::Transaction):
+// in kTrigger capture mode every DML statement is its own auto-committed
+// transaction (the ArchIS-DB2 configuration, archived synchronously); in
+// kUpdateLog mode statements accumulate in an ambient write batch that is
+// durably logged and archived on Commit (the ArchIS-ATLaS configuration,
+// which the paper uses "for better performance").
+//
+// This header also owns the binary codec for ChangeRecord, the payload
+// format of the write-ahead change log (archis/wal.*).
 #ifndef ARCHIS_ARCHIS_CHANGE_CAPTURE_H_
 #define ARCHIS_ARCHIS_CHANGE_CAPTURE_H_
 
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -29,36 +34,23 @@ struct ChangeRecord {
 
 /// How changes reach the archiver.
 enum class CaptureMode {
-  kTrigger,    ///< archive synchronously per statement
-  kUpdateLog,  ///< buffer; archive on Flush()
+  kTrigger,    ///< every statement auto-commits (archived synchronously)
+  kUpdateLog,  ///< statements batch in the ambient transaction until Commit
 };
 
-/// Sink invoked for each change (in trigger mode) or each flushed batch.
-using ChangeSink = std::function<Status(const ChangeRecord&)>;
+/// Appends the binary encoding of `change` to `out`. Self-describing:
+/// tuples carry per-value type tags, so decoding needs no schema.
+void EncodeChangeRecord(const ChangeRecord& change, std::string* out);
 
-/// Collects changes and routes them to a sink.
-class ChangeCapture {
- public:
-  ChangeCapture(CaptureMode mode, ChangeSink sink)
-      : mode_(mode), sink_(std::move(sink)) {}
+/// Decodes a record produced by EncodeChangeRecord from `data` at `*pos`,
+/// advancing `*pos` past it. Corruption on malformed input.
+Result<ChangeRecord> DecodeChangeRecord(std::string_view data, size_t* pos);
 
-  /// Records a change; in trigger mode the sink runs before returning.
-  Status Record(ChangeRecord change);
+/// Appends the encoding of `row` (with type tags) to `out`.
+void EncodeTuple(const minirel::Tuple& row, std::string* out);
 
-  /// Applies all buffered changes to the sink in order (update-log mode).
-  Status Flush();
-
-  /// Buffered, not-yet-archived changes.
-  size_t pending() const { return log_.size(); }
-
-  CaptureMode mode() const { return mode_; }
-  void set_mode(CaptureMode mode) { mode_ = mode; }
-
- private:
-  CaptureMode mode_;
-  ChangeSink sink_;
-  std::vector<ChangeRecord> log_;
-};
+/// Decodes a tuple written by EncodeTuple.
+Result<minirel::Tuple> DecodeTuple(std::string_view data, size_t* pos);
 
 }  // namespace archis::core
 

@@ -1,0 +1,37 @@
+// RelationSpec: everything ArchIS needs to register one archived relation.
+//
+// Replaces the old five-parameter CreateRelation(name, schema, keys,
+// DocBinding, doc_name) signature, whose DocBinding::relation and doc_name
+// parameters duplicated information the facade already had. One struct,
+// each fact stated once; the DocBinding handed to the translator is
+// derived from it.
+#ifndef ARCHIS_ARCHIS_RELATION_SPEC_H_
+#define ARCHIS_ARCHIS_RELATION_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "minirel/schema.h"
+
+namespace archis::core {
+
+/// Declares one relation: its current-table schema, key, and the XML view
+/// under which its history is published and queried.
+struct RelationSpec {
+  /// Current-table (and H-table family) name, e.g. "employees".
+  std::string name;
+  minirel::Schema schema;
+  /// Key columns (invariant over history, paper Section 3).
+  std::vector<std::string> key_columns;
+  /// doc("...") reference naming the H-document, e.g. "employees.xml".
+  std::string doc_name;
+  /// Root element tag of the H-document; defaults to `name`.
+  std::string root_tag;
+  /// Per-key element tag; defaults to `root_tag` with a trailing 's'
+  /// stripped (employees -> employee).
+  std::string entity_tag;
+};
+
+}  // namespace archis::core
+
+#endif  // ARCHIS_ARCHIS_RELATION_SPEC_H_

@@ -1,0 +1,295 @@
+#include "archis/wal.h"
+
+#include <map>
+
+#include "common/coding.h"
+
+namespace archis::core {
+
+namespace {
+
+using coding::AppendI64;
+using coding::AppendLengthPrefixed;
+using coding::AppendU32;
+using coding::AppendU64;
+using coding::ReadI64;
+using coding::ReadLengthPrefixed;
+using coding::ReadU32;
+using coding::ReadU64;
+using minirel::Column;
+using minirel::DataType;
+using minirel::Schema;
+using storage::AppendFrame;
+
+void EncodeBegin(uint64_t txn_id, std::string* out) {
+  std::string payload;
+  payload.push_back(static_cast<char>(WalRecordType::kBegin));
+  AppendU64(txn_id, &payload);
+  AppendFrame(payload, out);
+}
+
+void EncodeChange(uint64_t txn_id, const ChangeRecord& change,
+                  std::string* out) {
+  std::string payload;
+  payload.push_back(static_cast<char>(WalRecordType::kChange));
+  AppendU64(txn_id, &payload);
+  EncodeChangeRecord(change, &payload);
+  AppendFrame(payload, out);
+}
+
+void EncodeCommit(uint64_t txn_id, Date commit_date, std::string* out) {
+  std::string payload;
+  payload.push_back(static_cast<char>(WalRecordType::kCommit));
+  AppendU64(txn_id, &payload);
+  AppendI64(commit_date.days(), &payload);
+  AppendFrame(payload, out);
+}
+
+void EncodeCreateRelation(const RelationSpec& spec, Date open_date,
+                          std::string* out) {
+  std::string payload;
+  payload.push_back(static_cast<char>(WalRecordType::kCreateRelation));
+  AppendLengthPrefixed(spec.name, &payload);
+  AppendU32(static_cast<uint32_t>(spec.schema.num_columns()), &payload);
+  for (const Column& col : spec.schema.columns()) {
+    AppendLengthPrefixed(col.name, &payload);
+    payload.push_back(static_cast<char>(col.type));
+  }
+  AppendU32(static_cast<uint32_t>(spec.key_columns.size()), &payload);
+  for (const std::string& k : spec.key_columns) {
+    AppendLengthPrefixed(k, &payload);
+  }
+  AppendLengthPrefixed(spec.doc_name, &payload);
+  AppendLengthPrefixed(spec.root_tag, &payload);
+  AppendLengthPrefixed(spec.entity_tag, &payload);
+  AppendI64(open_date.days(), &payload);
+  AppendFrame(payload, out);
+}
+
+void EncodeDropRelation(const std::string& name, Date when,
+                        std::string* out) {
+  std::string payload;
+  payload.push_back(static_cast<char>(WalRecordType::kDropRelation));
+  AppendLengthPrefixed(name, &payload);
+  AppendI64(when.days(), &payload);
+  AppendFrame(payload, out);
+}
+
+Result<WalCreateRelation> DecodeCreateRelation(std::string_view data,
+                                               size_t* pos) {
+  WalCreateRelation out;
+  ARCHIS_ASSIGN_OR_RETURN(out.spec.name, ReadLengthPrefixed(data, pos));
+  ARCHIS_ASSIGN_OR_RETURN(uint32_t ncols, ReadU32(data, pos));
+  std::vector<Column> cols;
+  for (uint32_t i = 0; i < ncols; ++i) {
+    Column col;
+    ARCHIS_ASSIGN_OR_RETURN(col.name, ReadLengthPrefixed(data, pos));
+    if (*pos >= data.size()) {
+      return Status::Corruption("WAL CreateRelation truncated (column type)");
+    }
+    col.type = static_cast<DataType>(data[*pos]);
+    ++*pos;
+    cols.push_back(std::move(col));
+  }
+  out.spec.schema = Schema(std::move(cols));
+  ARCHIS_ASSIGN_OR_RETURN(uint32_t nkeys, ReadU32(data, pos));
+  for (uint32_t i = 0; i < nkeys; ++i) {
+    ARCHIS_ASSIGN_OR_RETURN(std::string k, ReadLengthPrefixed(data, pos));
+    out.spec.key_columns.push_back(std::move(k));
+  }
+  ARCHIS_ASSIGN_OR_RETURN(out.spec.doc_name, ReadLengthPrefixed(data, pos));
+  ARCHIS_ASSIGN_OR_RETURN(out.spec.root_tag, ReadLengthPrefixed(data, pos));
+  ARCHIS_ASSIGN_OR_RETURN(out.spec.entity_tag,
+                          ReadLengthPrefixed(data, pos));
+  ARCHIS_ASSIGN_OR_RETURN(int64_t days, ReadI64(data, pos));
+  out.open_date = Date(days);
+  return out;
+}
+
+}  // namespace
+
+Result<WalRecovery> Wal::Recover(const std::string& path) {
+  ARCHIS_ASSIGN_OR_RETURN(storage::LogScan scan,
+                          storage::ScanLogFile(path));
+  WalRecovery rec;
+  rec.valid_bytes = scan.valid_bytes;
+  rec.torn_tail = scan.torn_tail;
+  // Transactions in flight: BEGIN seen, COMMIT not yet.
+  std::map<uint64_t, WalCommittedTxn> open;
+  for (const storage::LogRecord& record : scan.records) {
+    std::string_view payload = record.payload;
+    if (payload.empty()) {
+      return Status::Corruption("WAL record with empty payload");
+    }
+    auto type = static_cast<WalRecordType>(payload[0]);
+    size_t pos = 1;
+    switch (type) {
+      case WalRecordType::kBegin: {
+        ARCHIS_ASSIGN_OR_RETURN(uint64_t id, ReadU64(payload, &pos));
+        if (!open.try_emplace(id, WalCommittedTxn{id, Date(), {}}).second) {
+          return Status::Corruption("WAL BEGIN for already-open txn " +
+                                    std::to_string(id));
+        }
+        rec.max_txn_id = std::max(rec.max_txn_id, id);
+        break;
+      }
+      case WalRecordType::kChange: {
+        ARCHIS_ASSIGN_OR_RETURN(uint64_t id, ReadU64(payload, &pos));
+        auto it = open.find(id);
+        if (it == open.end()) {
+          return Status::Corruption("WAL CHANGE for unknown txn " +
+                                    std::to_string(id));
+        }
+        ARCHIS_ASSIGN_OR_RETURN(ChangeRecord change,
+                                DecodeChangeRecord(payload, &pos));
+        it->second.changes.push_back(std::move(change));
+        break;
+      }
+      case WalRecordType::kCommit: {
+        ARCHIS_ASSIGN_OR_RETURN(uint64_t id, ReadU64(payload, &pos));
+        auto it = open.find(id);
+        if (it == open.end()) {
+          return Status::Corruption("WAL COMMIT for unknown txn " +
+                                    std::to_string(id));
+        }
+        ARCHIS_ASSIGN_OR_RETURN(int64_t days, ReadI64(payload, &pos));
+        it->second.commit_date = Date(days);
+        rec.items.emplace_back(std::move(it->second));
+        open.erase(it);
+        break;
+      }
+      case WalRecordType::kCreateRelation: {
+        ARCHIS_ASSIGN_OR_RETURN(WalCreateRelation create,
+                                DecodeCreateRelation(payload, &pos));
+        rec.items.emplace_back(std::move(create));
+        break;
+      }
+      case WalRecordType::kDropRelation: {
+        WalDropRelation drop;
+        ARCHIS_ASSIGN_OR_RETURN(drop.name, ReadLengthPrefixed(payload, &pos));
+        ARCHIS_ASSIGN_OR_RETURN(int64_t days, ReadI64(payload, &pos));
+        drop.when = Date(days);
+        rec.items.emplace_back(std::move(drop));
+        break;
+      }
+      default:
+        return Status::Corruption("WAL record with unknown type " +
+                                  std::to_string(payload[0]));
+    }
+  }
+  // Whatever is still open was begun but never committed: crash fallout,
+  // dropped (its changes were never applied to any durable state).
+  rec.uncommitted_txns = open.size();
+  return rec;
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const WalOptions& options,
+                                       uint64_t next_txn_id) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("WAL path must not be empty");
+  }
+  storage::LogFileOptions lf;
+  lf.path = options.path;
+  lf.sync = options.sync;
+  lf.fail_after_bytes = options.fail_after_bytes;
+  ARCHIS_ASSIGN_OR_RETURN(std::unique_ptr<storage::AppendLogFile> file,
+                          storage::AppendLogFile::Open(lf));
+  auto wal = std::unique_ptr<Wal>(new Wal(std::move(file)));
+  wal->next_txn_id_ = next_txn_id == 0 ? 1 : next_txn_id;
+  return wal;
+}
+
+uint64_t Wal::NextTxnId() {
+  MutexLock lock(mu_);
+  return next_txn_id_++;
+}
+
+Status Wal::LogTransaction(uint64_t txn_id,
+                           const std::vector<ChangeRecord>& changes,
+                           Date commit_date) {
+  std::string framed;
+  EncodeBegin(txn_id, &framed);
+  for (const ChangeRecord& change : changes) {
+    EncodeChange(txn_id, change, &framed);
+  }
+  EncodeCommit(txn_id, commit_date, &framed);
+  return SubmitDurable(framed);
+}
+
+Status Wal::LogCreateRelation(const RelationSpec& spec, Date open_date) {
+  std::string framed;
+  EncodeCreateRelation(spec, open_date, &framed);
+  return SubmitDurable(framed);
+}
+
+Status Wal::LogDropRelation(const std::string& name, Date when) {
+  std::string framed;
+  EncodeDropRelation(name, when, &framed);
+  return SubmitDurable(framed);
+}
+
+Status Wal::SubmitDurable(std::string_view framed) {
+  mu_.Lock();
+  if (!dead_.ok()) {
+    Status st = dead_;
+    mu_.Unlock();
+    return st;
+  }
+  const uint64_t my_seq = ++submitted_seq_;
+  pending_.append(framed);
+  pending_seq_ = my_seq;
+  for (;;) {
+    if (durable_seq_ >= my_seq) {
+      ++commits_;
+      mu_.Unlock();
+      return Status::OK();
+    }
+    if (!dead_.ok()) {
+      Status st = dead_;
+      mu_.Unlock();
+      return st;
+    }
+    if (!sync_in_progress_) {
+      // Become the leader: write and sync everything accumulated so far,
+      // covering this caller and any followers that queued behind it.
+      sync_in_progress_ = true;
+      std::string batch = std::move(pending_);
+      pending_.clear();
+      const uint64_t batch_seq = pending_seq_;
+      mu_.Unlock();
+      Status io = file_->Append(batch);
+      if (io.ok()) io = file_->Sync();
+      mu_.Lock();
+      sync_in_progress_ = false;
+      bytes_ = file_->bytes_written();
+      if (io.ok()) {
+        durable_seq_ = batch_seq;
+        ++syncs_;
+      } else {
+        dead_ = io;  // the log is crashed; every committer sees the error
+      }
+      cv_.NotifyAll();
+    } else {
+      cv_.Wait(mu_, [this, my_seq]() ARCHIS_REQUIRES(mu_) {
+        return durable_seq_ >= my_seq || !sync_in_progress_ || !dead_.ok();
+      });
+    }
+  }
+}
+
+uint64_t Wal::commit_count() const {
+  MutexLock lock(mu_);
+  return commits_;
+}
+
+uint64_t Wal::sync_count() const {
+  MutexLock lock(mu_);
+  return syncs_;
+}
+
+uint64_t Wal::bytes_written() const {
+  MutexLock lock(mu_);
+  return bytes_;
+}
+
+}  // namespace archis::core

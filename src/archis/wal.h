@@ -1,0 +1,159 @@
+// Write-ahead change log: the durability backbone of the archiving
+// pipeline (DESIGN.md §8).
+//
+// Every schema change and every committed transaction is encoded into
+// CRC-framed records (storage/log_file.*) and fsynced before the commit
+// returns, so the change history that feeds the H-tables can always be
+// rebuilt after a crash. Record stream grammar:
+//
+//   log    := item*
+//   item   := CREATE_RELATION | DROP_RELATION | txn
+//   txn    := BEGIN CHANGE* COMMIT          (contiguous, one commit unit)
+//
+// A transaction is committed iff its COMMIT record is in the valid prefix
+// of the log; recovery drops torn tails and BEGIN/CHANGE runs without a
+// COMMIT. Group commit: concurrent LogTransaction callers coalesce — one
+// leader writes and fsyncs the accumulated batch while followers wait, so
+// N commits can cost far fewer than N syncs under load.
+#ifndef ARCHIS_ARCHIS_WAL_H_
+#define ARCHIS_ARCHIS_WAL_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "archis/change_capture.h"
+#include "archis/relation_spec.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "storage/log_file.h"
+
+namespace archis::core {
+
+/// WAL configuration (a member of ArchISOptions).
+struct WalOptions {
+  /// Log file path; empty disables the WAL (pure in-memory instance).
+  std::string path;
+  /// fsync on commit. Off trades the durability guarantee for speed.
+  bool sync = true;
+  /// Deterministic crash injection, forwarded to the log file: writes fail
+  /// once this many bytes were written through the handle (0 = never).
+  uint64_t fail_after_bytes = 0;
+};
+
+/// Record tags on the wire.
+enum class WalRecordType : uint8_t {
+  kBegin = 1,
+  kChange = 2,
+  kCommit = 3,
+  kCreateRelation = 4,
+  kDropRelation = 5,
+};
+
+/// A committed transaction recovered from the log.
+struct WalCommittedTxn {
+  uint64_t txn_id = 0;
+  Date commit_date;
+  std::vector<ChangeRecord> changes;
+};
+
+/// A durably logged CreateRelation.
+struct WalCreateRelation {
+  RelationSpec spec;
+  Date open_date;
+};
+
+/// A durably logged DropRelation.
+struct WalDropRelation {
+  std::string name;
+  Date when;
+};
+
+/// One replayable unit, in log order.
+using WalReplayItem =
+    std::variant<WalCreateRelation, WalDropRelation, WalCommittedTxn>;
+
+/// Everything recovery learns from reading a log.
+struct WalRecovery {
+  std::vector<WalReplayItem> items;
+  /// Byte length of the valid prefix (the opener truncates to this).
+  uint64_t valid_bytes = 0;
+  /// Whether a torn tail (truncated / CRC-failing bytes) was dropped.
+  bool torn_tail = false;
+  /// Transactions begun but never committed in the valid prefix.
+  size_t uncommitted_txns = 0;
+  /// Highest transaction id seen (the writer resumes above it).
+  uint64_t max_txn_id = 0;
+};
+
+/// The durable change log. Thread-safe: LogTransaction and the Log* DDL
+/// calls may race; they serialize on the group-commit queue.
+class Wal {
+ public:
+  /// Parses the log at `path`, returning replayable items in order. A
+  /// missing file recovers as empty. Only structural corruption *inside*
+  /// the valid prefix is an error; a torn tail is normal crash fallout.
+  static Result<WalRecovery> Recover(const std::string& path);
+
+  /// Opens the log for appending (creating it if missing), after the
+  /// caller has replayed Recover()'s items and truncated the torn tail.
+  /// `next_txn_id` seeds the id counter (recovery's max_txn_id + 1).
+  static Result<std::unique_ptr<Wal>> Open(const WalOptions& options,
+                                           uint64_t next_txn_id);
+
+  /// Allocates a fresh transaction id.
+  uint64_t NextTxnId();
+
+  /// Durably logs one committed transaction: BEGIN, the changes, COMMIT,
+  /// framed contiguously and fsynced (group commit) before returning OK.
+  /// After any I/O failure the WAL is dead and every call returns that
+  /// first error — the instance must be reopened (crash semantics).
+  Status LogTransaction(uint64_t txn_id,
+                        const std::vector<ChangeRecord>& changes,
+                        Date commit_date);
+
+  /// Durably logs a CreateRelation (auto-committed schema change).
+  Status LogCreateRelation(const RelationSpec& spec, Date open_date);
+
+  /// Durably logs a DropRelation.
+  Status LogDropRelation(const std::string& name, Date when);
+
+  /// Commit units durably logged (transactions + DDL records).
+  uint64_t commit_count() const;
+  /// fsync batches performed; under concurrent commit load this is the
+  /// group-commit win: sync_count() <= commit_count().
+  uint64_t sync_count() const;
+  /// Bytes appended through this handle.
+  uint64_t bytes_written() const;
+
+ private:
+  explicit Wal(std::unique_ptr<storage::AppendLogFile> file)
+      : file_(std::move(file)) {}
+
+  /// Appends `framed` and waits until it is durable (leader/follower
+  /// group commit).
+  Status SubmitDurable(std::string_view framed) ARCHIS_EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  /// Accumulated frames not yet handed to a leader.
+  std::string pending_ ARCHIS_GUARDED_BY(mu_);
+  uint64_t submitted_seq_ ARCHIS_GUARDED_BY(mu_) = 0;
+  uint64_t pending_seq_ ARCHIS_GUARDED_BY(mu_) = 0;
+  uint64_t durable_seq_ ARCHIS_GUARDED_BY(mu_) = 0;
+  bool sync_in_progress_ ARCHIS_GUARDED_BY(mu_) = false;
+  /// Sticky first I/O failure (the "crashed" state).
+  Status dead_ ARCHIS_GUARDED_BY(mu_);
+  uint64_t commits_ ARCHIS_GUARDED_BY(mu_) = 0;
+  uint64_t syncs_ ARCHIS_GUARDED_BY(mu_) = 0;
+  uint64_t bytes_ ARCHIS_GUARDED_BY(mu_) = 0;
+  uint64_t next_txn_id_ ARCHIS_GUARDED_BY(mu_) = 1;
+  /// Written only by the leader (guarded by sync_in_progress_, which is
+  /// itself mutex-protected, so accesses are ordered).
+  std::unique_ptr<storage::AppendLogFile> file_;
+};
+
+}  // namespace archis::core
+
+#endif  // ARCHIS_ARCHIS_WAL_H_

@@ -1,0 +1,69 @@
+// Little-endian byte codec helpers shared by the storage and WAL record
+// formats. Append* writes raw fixed-width values; Read* decodes with
+// bounds checking and returns Corruption on truncated input, so log
+// readers can treat any malformed record as a torn tail.
+#ifndef ARCHIS_COMMON_CODING_H_
+#define ARCHIS_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace archis::coding {
+
+template <typename T>
+void AppendRaw(T v, std::string* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+inline void AppendU32(uint32_t v, std::string* out) { AppendRaw(v, out); }
+inline void AppendU64(uint64_t v, std::string* out) { AppendRaw(v, out); }
+inline void AppendI64(int64_t v, std::string* out) { AppendRaw(v, out); }
+
+inline void AppendLengthPrefixed(std::string_view s, std::string* out) {
+  AppendU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+template <typename T>
+Result<T> ReadRaw(std::string_view data, size_t* pos) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (*pos + sizeof(T) > data.size()) {
+    return Status::Corruption("record truncated (fixed-width field)");
+  }
+  T v;
+  std::memcpy(&v, data.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return v;
+}
+
+inline Result<uint32_t> ReadU32(std::string_view data, size_t* pos) {
+  return ReadRaw<uint32_t>(data, pos);
+}
+inline Result<uint64_t> ReadU64(std::string_view data, size_t* pos) {
+  return ReadRaw<uint64_t>(data, pos);
+}
+inline Result<int64_t> ReadI64(std::string_view data, size_t* pos) {
+  return ReadRaw<int64_t>(data, pos);
+}
+
+inline Result<std::string> ReadLengthPrefixed(std::string_view data,
+                                              size_t* pos) {
+  ARCHIS_ASSIGN_OR_RETURN(uint32_t len, ReadU32(data, pos));
+  if (*pos + len > data.size()) {
+    return Status::Corruption("record truncated (length-prefixed field)");
+  }
+  std::string s(data.substr(*pos, len));
+  *pos += len;
+  return s;
+}
+
+}  // namespace archis::coding
+
+#endif  // ARCHIS_COMMON_CODING_H_

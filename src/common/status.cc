@@ -16,6 +16,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kTypeError: return "TypeError";
     case StatusCode::kUnsupported: return "Unsupported";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kAborted: return "Aborted";
   }
   return "Unknown";
 }

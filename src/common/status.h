@@ -25,6 +25,7 @@ enum class [[nodiscard]] StatusCode {
   kTypeError,
   kUnsupported,
   kInternal,
+  kAborted,
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -75,6 +76,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -63,12 +63,18 @@ Tuple EmployeeWorkload::EmployeeRow(const EmpState& e) const {
 }
 
 Status EmployeeWorkload::RegisterRelations(core::ArchIS* db) {
-  ARCHIS_RETURN_NOT_OK(db->CreateRelation(
-      "employees", EmployeeSchema(), {"id"},
-      {"employees", "employees", "employee"}, "employees.xml"));
-  ARCHIS_RETURN_NOT_OK(db->CreateRelation(
-      "depts", DeptSchema(), {"deptno_id"}, {"depts", "depts", "dept"},
-      "depts.xml"));
+  core::RelationSpec employees;
+  employees.name = "employees";
+  employees.schema = EmployeeSchema();
+  employees.key_columns = {"id"};
+  employees.doc_name = "employees.xml";
+  ARCHIS_RETURN_NOT_OK(db->CreateRelation(employees));
+  core::RelationSpec depts;
+  depts.name = "depts";
+  depts.schema = DeptSchema();
+  depts.key_columns = {"deptno_id"};
+  depts.doc_name = "depts.xml";
+  ARCHIS_RETURN_NOT_OK(db->CreateRelation(depts));
   // Seed departments.
   dept_mgrs_.assign(static_cast<size_t>(config_.num_depts), 0);
   for (int d = 1; d <= config_.num_depts; ++d) {
@@ -232,7 +238,7 @@ Result<WorkloadStats> EmployeeWorkload::Generate(core::ArchIS* db) {
   }
   ARCHIS_RETURN_NOT_OK(db->AdvanceClock(
       config_.start_date.AddDays(365LL * config_.years)));
-  ARCHIS_RETURN_NOT_OK(db->FlushLog());
+  ARCHIS_RETURN_NOT_OK(db->Commit());
   for (const EmpState& e : employees_) {
     if (e.active) ++stats.final_employee_count;
   }
@@ -263,7 +269,7 @@ Result<WorkloadStats> EmployeeWorkload::SimulateDay(core::ArchIS* db) {
       }
     }
   }
-  ARCHIS_RETURN_NOT_OK(db->FlushLog());
+  ARCHIS_RETURN_NOT_OK(db->Commit());
   stats.days_simulated = 1;
   return stats;
 }

@@ -1,0 +1,236 @@
+#include "workload/scripted_dml.h"
+
+#include <map>
+#include <random>
+
+#include "xml/serializer.h"
+
+namespace archis::workload {
+
+using core::RelationSpec;
+using core::Transaction;
+using minirel::DataType;
+using minirel::Schema;
+using minirel::Tuple;
+using minirel::Value;
+
+namespace {
+
+/// One buffered statement, so a unit can be replayed on the shadow.
+struct Stmt {
+  enum Kind { kInsert, kUpdate, kDelete } kind;
+  std::string relation;
+  int64_t id = 0;
+  Tuple row;  // insert/update payload
+};
+
+Schema EmpSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"salary", DataType::kInt64}});
+}
+
+Schema ProjSchema() {
+  return Schema({{"pid", DataType::kInt64}, {"budget", DataType::kInt64}});
+}
+
+RelationSpec EmpSpec() {
+  RelationSpec spec;
+  spec.name = "employees";
+  spec.schema = EmpSchema();
+  spec.key_columns = {"id"};
+  spec.doc_name = "employees.xml";
+  return spec;
+}
+
+RelationSpec ProjSpec() {
+  RelationSpec spec;
+  spec.name = "projects";
+  spec.schema = ProjSchema();
+  spec.key_columns = {"pid"};
+  spec.doc_name = "projects.xml";
+  return spec;
+}
+
+Status ApplyStmt(Transaction* txn, const Stmt& s) {
+  switch (s.kind) {
+    case Stmt::kInsert:
+      return txn->Insert(s.relation, s.row);
+    case Stmt::kUpdate:
+      return txn->Update(s.relation, {Value(s.id)}, s.row);
+    case Stmt::kDelete:
+      return txn->Delete(s.relation, {Value(s.id)});
+  }
+  return Status::Internal("unreachable");
+}
+
+bool IsCrash(const Status& st) {
+  return st.code() == StatusCode::kIOError;
+}
+
+}  // namespace
+
+Result<ScriptedDmlResult> RunScriptedDml(core::ArchIS* db,
+                                         core::ArchIS* shadow,
+                                         const ScriptedDmlConfig& config) {
+  std::mt19937 rng(config.seed);
+  ScriptedDmlResult result;
+
+  // One commit unit: run on the primary; if durable, mirror to the shadow.
+  // Returns false when the run must stop (injected crash).
+  auto commit_unit = [&](const std::vector<Stmt>& stmts) -> Result<bool> {
+    Transaction txn = db->Begin();
+    for (const Stmt& s : stmts) {
+      Status st = ApplyStmt(&txn, s);
+      if (IsCrash(st)) return false;
+      ARCHIS_RETURN_NOT_OK(st);
+    }
+    Status st = txn.Commit();
+    if (IsCrash(st)) return false;
+    ARCHIS_RETURN_NOT_OK(st);
+    ++result.committed_units;
+    if (shadow != nullptr) {
+      Transaction mirror = shadow->Begin();
+      for (const Stmt& s : stmts) {
+        ARCHIS_RETURN_NOT_OK(ApplyStmt(&mirror, s));
+      }
+      ARCHIS_RETURN_NOT_OK(mirror.Commit());
+    }
+    return true;
+  };
+
+  auto mirrored_ddl = [&](const Status& primary,
+                          auto&& apply_shadow) -> Result<bool> {
+    if (IsCrash(primary)) return false;
+    ARCHIS_RETURN_NOT_OK(primary);
+    ++result.committed_units;
+    if (shadow != nullptr) ARCHIS_RETURN_NOT_OK(apply_shadow());
+    return true;
+  };
+
+  ARCHIS_RETURN_NOT_OK(db->AdvanceClock(config.start_date));
+  if (shadow != nullptr) {
+    ARCHIS_RETURN_NOT_OK(shadow->AdvanceClock(config.start_date));
+  }
+  {
+    ARCHIS_ASSIGN_OR_RETURN(
+        bool alive, mirrored_ddl(db->CreateRelation(EmpSpec()), [&] {
+          return shadow->CreateRelation(EmpSpec());
+        }));
+    if (!alive) {
+      result.crashed = true;
+      return result;
+    }
+  }
+
+  // Model of the primary's current rows, to script valid statements.
+  std::map<int64_t, Tuple> employees;
+  std::map<int64_t, Tuple> projects;
+  bool projects_exists = false;
+  int64_t next_emp = 1001;
+  int64_t next_proj = 1;
+  Date clock = config.start_date;
+  const int create_proj_at = config.transactions / 3;
+  const int drop_proj_at = 2 * config.transactions / 3;
+
+  auto pick = [&](const std::map<int64_t, Tuple>& rows) {
+    auto it = rows.begin();
+    std::advance(it, static_cast<int64_t>(rng() % rows.size()));
+    return it->first;
+  };
+
+  for (int unit = 0; unit < config.transactions; ++unit) {
+    clock = clock.AddDays(1 + static_cast<int64_t>(rng() % 20));
+    ARCHIS_RETURN_NOT_OK(db->AdvanceClock(clock));
+    if (shadow != nullptr) ARCHIS_RETURN_NOT_OK(shadow->AdvanceClock(clock));
+
+    if (unit == create_proj_at) {
+      ARCHIS_ASSIGN_OR_RETURN(
+          bool alive, mirrored_ddl(db->CreateRelation(ProjSpec()), [&] {
+            return shadow->CreateRelation(ProjSpec());
+          }));
+      if (!alive) {
+        result.crashed = true;
+        return result;
+      }
+      projects_exists = true;
+    }
+    if (unit == drop_proj_at && projects_exists) {
+      ARCHIS_ASSIGN_OR_RETURN(
+          bool alive, mirrored_ddl(db->DropRelation("projects"), [&] {
+            return shadow->DropRelation("projects");
+          }));
+      if (!alive) {
+        result.crashed = true;
+        return result;
+      }
+      projects_exists = false;
+      projects.clear();
+    }
+
+    const int batch =
+        1 + static_cast<int>(rng() % static_cast<uint32_t>(
+                                         std::max(1, config.max_batch)));
+    std::vector<Stmt> stmts;
+    for (int i = 0; i < batch; ++i) {
+      const uint32_t dice = rng() % 10;
+      if (projects_exists && dice == 9) {
+        Stmt s;
+        s.kind = Stmt::kInsert;
+        s.relation = "projects";
+        s.id = next_proj++;
+        s.row = Tuple{Value(s.id), Value(int64_t{1000} * (s.id % 7 + 1))};
+        projects[s.id] = s.row;
+        stmts.push_back(std::move(s));
+      } else if (dice < 4 || employees.empty()) {
+        Stmt s;
+        s.kind = Stmt::kInsert;
+        s.relation = "employees";
+        s.id = next_emp++;
+        s.row = Tuple{Value(s.id), Value("emp" + std::to_string(s.id)),
+                      Value(int64_t{30000} + int64_t(rng() % 50000))};
+        employees[s.id] = s.row;
+        stmts.push_back(std::move(s));
+      } else if (dice < 8) {
+        Stmt s;
+        s.kind = Stmt::kUpdate;
+        s.relation = "employees";
+        s.id = pick(employees);
+        Tuple row = employees[s.id];
+        row.at(2) = Value(row.at(2).AsInt() + 500 + int64_t(rng() % 4000));
+        s.row = row;
+        employees[s.id] = row;
+        stmts.push_back(std::move(s));
+      } else {
+        Stmt s;
+        s.kind = Stmt::kDelete;
+        s.relation = "employees";
+        s.id = pick(employees);
+        employees.erase(s.id);
+        stmts.push_back(std::move(s));
+      }
+    }
+    ARCHIS_ASSIGN_OR_RETURN(bool alive, commit_unit(stmts));
+    if (!alive) {
+      result.crashed = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+std::string SerializeAllHistories(core::ArchIS* db) {
+  std::string out;
+  for (const auto& entry : db->archiver().relations()) {
+    auto doc = db->PublishHistory(entry.name);
+    if (!doc.ok()) {
+      out += "<dropped name=\"" + entry.name + "\"/>";
+      continue;
+    }
+    out += xml::Serialize(*doc);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace archis::workload

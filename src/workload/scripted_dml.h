@@ -1,0 +1,52 @@
+// A deterministic DML script shared by the crash-recovery matrix test and
+// the recovery fuzz tool.
+//
+// The runner drives one ArchIS instance through a seeded sequence of
+// commit units (explicit transactions plus occasional DDL) and mirrors
+// each unit onto a shadow instance only after the primary reports it
+// durable. When the primary's WAL has an injected crash point
+// (WalOptions::fail_after_bytes), the shadow therefore holds exactly the
+// durably-committed prefix — the state recovery must reproduce.
+#ifndef ARCHIS_WORKLOAD_SCRIPTED_DML_H_
+#define ARCHIS_WORKLOAD_SCRIPTED_DML_H_
+
+#include "archis/archis.h"
+
+namespace archis::workload {
+
+/// Shape of the scripted run (fully determined by `seed`).
+struct ScriptedDmlConfig {
+  uint32_t seed = 42;
+  /// Transaction commit units to attempt (DDL units are added on top: a
+  /// second relation is created a third of the way in and dropped at two
+  /// thirds, so the log also exercises schema records).
+  int transactions = 40;
+  /// Max DML statements per transaction (>= 1).
+  int max_batch = 4;
+  Date start_date = Date::FromYmd(1995, 1, 1);
+};
+
+/// Outcome of a scripted run.
+struct ScriptedDmlResult {
+  /// Commit units (transactions + DDL) the primary reported durable.
+  int committed_units = 0;
+  /// Whether the run stopped early on an injected I/O failure.
+  bool crashed = false;
+};
+
+/// Runs the script against `db`, mirroring durably-committed units onto
+/// `shadow` (may be null). An IOError from the primary ends the run with
+/// `crashed = true`; any other failure propagates as an error.
+Result<ScriptedDmlResult> RunScriptedDml(core::ArchIS* db,
+                                         core::ArchIS* shadow,
+                                         const ScriptedDmlConfig& config);
+
+/// Serialized H-document of every relation ever registered on `db`, in
+/// registration order — the comparison key for recovery equivalence.
+/// Dropped relations (whose history remains archived but whose facade
+/// entry is gone) are identified by name.
+std::string SerializeAllHistories(core::ArchIS* db);
+
+}  // namespace archis::workload
+
+#endif  // ARCHIS_WORKLOAD_SCRIPTED_DML_H_

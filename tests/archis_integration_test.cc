@@ -36,10 +36,12 @@ class PaperExampleTest : public ::testing::Test {
     opts.segment.enabled = true;
     opts.segment.umin = 0.4;
     db_ = std::make_unique<ArchIS>(opts, D(1995, 1, 1));
-    ASSERT_TRUE(db_->CreateRelation("employees", EmpSchema(), {"id"},
-                                    {"employees", "employees", "employee"},
-                                    "employees.xml")
-                    .ok());
+    RelationSpec spec;
+    spec.name = "employees";
+    spec.schema = EmpSchema();
+    spec.key_columns = {"id"};
+    spec.doc_name = "employees.xml";
+    ASSERT_TRUE(db_->CreateRelation(spec).ok());
     Put(D(1995, 1, 1), 60000, "Engineer", "d01", /*insert=*/true);
     Put(D(1995, 6, 1), 70000, "Engineer", "d01");
     Put(D(1995, 10, 1), 70000, "Sr Engineer", "d02");

@@ -1,6 +1,6 @@
-// Unit tests for H-tables (paper Section 5.1), change capture (Section
-// 5.2), the archiver and the H-document publisher — including composite
-// keys with surrogate ids.
+// Unit tests for H-tables (paper Section 5.1), the change-record codec
+// (WAL wire format), the archiver and the H-document publisher — including
+// composite keys with surrogate ids.
 #include <gtest/gtest.h>
 
 #include "archis/archiver.h"
@@ -104,47 +104,72 @@ TEST(HTableSetTest, SnapshotJoinsAllStores) {
   EXPECT_TRUE(gone->empty());
 }
 
-TEST(ChangeCaptureTest, TriggerModeIsSynchronous) {
-  std::vector<ChangeKind> seen;
-  ChangeCapture capture(CaptureMode::kTrigger,
-                        [&](const ChangeRecord& c) {
-    seen.push_back(c.kind);
-    return Status::OK();
-  });
-  ChangeRecord c;
-  c.kind = ChangeKind::kInsert;
-  ASSERT_TRUE(capture.Record(c).ok());
-  EXPECT_EQ(seen.size(), 1u);
-  EXPECT_EQ(capture.pending(), 0u);
+TEST(ChangeRecordCodecTest, RoundTripsEveryKind) {
+  ChangeRecord update;
+  update.kind = ChangeKind::kUpdate;
+  update.relation = "employees";
+  update.old_row = Tuple{Value(int64_t{1}), Value("Ann"), Value(1.5),
+                         Value(D(1995, 1, 1))};
+  update.new_row = Tuple{Value(int64_t{1}), Value("Ann"), Value(2.5),
+                         Value(D(1996, 1, 1))};
+  update.when = D(1996, 2, 3);
+  ChangeRecord insert;
+  insert.kind = ChangeKind::kInsert;
+  insert.relation = "depts";
+  insert.new_row = Tuple{Value(int64_t{7})};
+  insert.when = D(2000, 12, 31);
+  ChangeRecord del;
+  del.kind = ChangeKind::kDelete;
+  del.relation = "depts";
+  del.old_row = Tuple{Value(int64_t{7})};
+  del.when = D(2001, 1, 1);
+
+  std::string buf;
+  EncodeChangeRecord(update, &buf);
+  EncodeChangeRecord(insert, &buf);
+  EncodeChangeRecord(del, &buf);
+
+  size_t pos = 0;
+  for (const ChangeRecord* want : {&update, &insert, &del}) {
+    auto got = DecodeChangeRecord(buf, &pos);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got->kind, want->kind);
+    EXPECT_EQ(got->relation, want->relation);
+    EXPECT_EQ(got->old_row, want->old_row);
+    EXPECT_EQ(got->new_row, want->new_row);
+    EXPECT_EQ(got->when, want->when);
+  }
+  EXPECT_EQ(pos, buf.size());
 }
 
-TEST(ChangeCaptureTest, UpdateLogModeBuffersUntilFlush) {
-  std::vector<ChangeKind> seen;
-  ChangeCapture capture(CaptureMode::kUpdateLog,
-                        [&](const ChangeRecord& c) {
-    seen.push_back(c.kind);
-    return Status::OK();
-  });
+TEST(ChangeRecordCodecTest, TruncationIsCorruptionNotCrash) {
   ChangeRecord c;
   c.kind = ChangeKind::kInsert;
-  ASSERT_TRUE(capture.Record(c).ok());
-  c.kind = ChangeKind::kDelete;
-  ASSERT_TRUE(capture.Record(c).ok());
-  EXPECT_TRUE(seen.empty());
-  EXPECT_EQ(capture.pending(), 2u);
-  ASSERT_TRUE(capture.Flush().ok());
-  ASSERT_EQ(seen.size(), 2u);
-  EXPECT_EQ(seen[0], ChangeKind::kInsert);  // order preserved
-  EXPECT_EQ(seen[1], ChangeKind::kDelete);
-  EXPECT_EQ(capture.pending(), 0u);
+  c.relation = "employees";
+  c.new_row = Tuple{Value(int64_t{42}), Value("Bob")};
+  c.when = D(1995, 1, 1);
+  std::string buf;
+  EncodeChangeRecord(c, &buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    size_t pos = 0;
+    auto got = DecodeChangeRecord(std::string_view(buf).substr(0, cut), &pos);
+    EXPECT_FALSE(got.ok()) << "cut at " << cut;
+  }
 }
 
-TEST(ChangeCaptureTest, SinkErrorsPropagate) {
-  ChangeCapture capture(CaptureMode::kTrigger, [](const ChangeRecord&) {
-    return Status::Internal("boom");
-  });
+TEST(ChangeRecordCodecTest, RejectsUnknownKindAndType) {
   ChangeRecord c;
-  EXPECT_EQ(capture.Record(c).code(), StatusCode::kInternal);
+  c.kind = ChangeKind::kInsert;
+  c.relation = "r";
+  c.new_row = Tuple{Value(int64_t{1})};
+  c.when = D(1995, 1, 1);
+  std::string buf;
+  EncodeChangeRecord(c, &buf);
+  std::string bad_kind = buf;
+  bad_kind[0] = 99;  // kind tag is the first byte
+  size_t pos = 0;
+  EXPECT_EQ(DecodeChangeRecord(bad_kind, &pos).status().code(),
+            StatusCode::kCorruption);
 }
 
 TEST(ArchiverTest, MaintainsGlobalRelationsTable) {

@@ -147,6 +147,44 @@ TEST(VoidMutator, OnlyAppliesToPersistenceHeaders) {
                          "void-mutator"));
 }
 
+// ---- deprecated-api -------------------------------------------------------
+
+TEST(DeprecatedApi, FiresOnFlushLog) {
+  EXPECT_TRUE(FiredRule("src/workload/seeded.cc",
+                        "ARCHIS_RETURN_NOT_OK(db->FlushLog());\n",
+                        "deprecated-api"));
+}
+
+TEST(DeprecatedApi, FiresOnLegacyCreateRelation) {
+  EXPECT_TRUE(FiredRule(
+      "tests/seeded.cc",
+      "ASSERT_TRUE(db.CreateRelation(\"emp\", schema, {\"id\"},\n"
+      "                              binding, \"emps.xml\").ok());\n",
+      "deprecated-api"));
+}
+
+TEST(DeprecatedApi, AllowsRelationSpecOverloadAndCommit) {
+  EXPECT_FALSE(FiredRule("src/workload/seeded.cc",
+                         "RelationSpec spec;\n"
+                         "spec.name = \"employees\";\n"
+                         "ARCHIS_RETURN_NOT_OK(db->CreateRelation(spec));\n"
+                         "ARCHIS_RETURN_NOT_OK(db->Commit());\n",
+                         "deprecated-api"));
+}
+
+TEST(DeprecatedApi, AllowedInsideFacadeShims) {
+  EXPECT_FALSE(FiredRule("src/archis/archis.cc",
+                         "Status ArchIS::FlushLog() { return Commit(); }\n",
+                         "deprecated-api"));
+}
+
+TEST(DeprecatedApi, IgnoresLongerIdentifiers) {
+  EXPECT_FALSE(FiredRule("src/archis/seeded.cc",
+                         "void FlushLogBuffers();\n"
+                         "int MyFlushLog = 0;\n",
+                         "deprecated-api"));
+}
+
 // ---- suppressions ---------------------------------------------------------
 
 TEST(Suppression, CommentAboveSuppressesFinding) {

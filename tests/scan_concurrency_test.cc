@@ -369,10 +369,12 @@ TEST(ScanConcurrencyTest, PublishedHistoryIsByteIdenticalAcrossThreads) {
     opts.segment.compress = true;
     opts.segment.scan_threads = threads;
     auto db = std::make_unique<ArchIS>(opts, D(1995, 1, 1));
-    EXPECT_TRUE(db->CreateRelation("employees", emp, {"id"},
-                                   {"employees", "employees", "employee"},
-                                   "employees.xml")
-                    .ok());
+    RelationSpec spec;
+    spec.name = "employees";
+    spec.schema = emp;
+    spec.key_columns = {"id"};
+    spec.doc_name = "employees.xml";
+    EXPECT_TRUE(db->CreateRelation(spec).ok());
     std::mt19937 rng(11);
     Date day = D(1995, 1, 1);
     for (int64_t id = 1; id <= 12; ++id) {

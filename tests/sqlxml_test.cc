@@ -23,16 +23,23 @@ class SqlXmlTest : public ::testing::Test {
     ArchISOptions opts;
     opts.segment.umin = 0.4;
     db_ = std::make_unique<ArchIS>(opts, D(2000, 1, 1));
-    Schema emp({{"id", DataType::kInt64},
-                {"salary", DataType::kInt64},
-                {"title", DataType::kString}});
-    ASSERT_TRUE(db_->CreateRelation("emp", emp, {"id"},
-                                    {"emps", "emps", "emp"}, "emps.xml")
-                    .ok());
-    Schema dept({{"dno", DataType::kInt64}, {"mgr", DataType::kInt64}});
-    ASSERT_TRUE(db_->CreateRelation("dept", dept, {"dno"},
-                                    {"depts", "depts", "dept"}, "depts.xml")
-                    .ok());
+    RelationSpec emp;
+    emp.name = "emp";
+    emp.schema = Schema({{"id", DataType::kInt64},
+                         {"salary", DataType::kInt64},
+                         {"title", DataType::kString}});
+    emp.key_columns = {"id"};
+    emp.doc_name = "emps.xml";
+    emp.root_tag = "emps";
+    ASSERT_TRUE(db_->CreateRelation(emp).ok());
+    RelationSpec dept;
+    dept.name = "dept";
+    dept.schema =
+        Schema({{"dno", DataType::kInt64}, {"mgr", DataType::kInt64}});
+    dept.key_columns = {"dno"};
+    dept.doc_name = "depts.xml";
+    dept.root_tag = "depts";
+    ASSERT_TRUE(db_->CreateRelation(dept).ok());
     // id 1: salary 100 -> 200 (2001), title A throughout.
     // id 2: salary 500 throughout, title B -> C (2002).
     Ins("emp", {Value(int64_t{1}), Value(int64_t{100}), Value("A")});

@@ -213,6 +213,54 @@ void CheckVoidMutator(const RuleContext& ctx) {
   }
 }
 
+// ---- Rule: deprecated-api -------------------------------------------------
+
+void CheckDeprecatedApi(const RuleContext& ctx) {
+  // The [[deprecated]] shims themselves live in the facade; the linter
+  // holds the pattern strings.
+  if (PathEndsWithAny(ctx.path, {"archis/archis.h", "archis/archis.cc",
+                                 "tools/lint/lint.cc"})) {
+    return;
+  }
+  // FlushLog: retired by the transactional write path.
+  static const std::string kFlush = "FlushLog";
+  size_t pos = 0;
+  while ((pos = ctx.code.find(kFlush, pos)) != std::string::npos) {
+    size_t start = pos;
+    pos += kFlush.size();
+    if (start > 0 && IsIdentChar(ctx.code[start - 1])) continue;
+    if (pos < ctx.code.size() && IsIdentChar(ctx.code[pos])) continue;
+    ctx.Report("deprecated-api", start,
+               "FlushLog() is deprecated; commit through "
+               "Transaction::Commit() or ArchIS::Commit()");
+  }
+  // Legacy five-parameter CreateRelation: its first argument was the
+  // relation name — a string literal right after the paren gives it away.
+  // The replacement takes a RelationSpec.
+  static const std::string kCreate = "CreateRelation";
+  pos = 0;
+  while ((pos = ctx.code.find(kCreate, pos)) != std::string::npos) {
+    size_t start = pos;
+    pos += kCreate.size();
+    if (start > 0 && IsIdentChar(ctx.code[start - 1])) continue;
+    size_t after = pos;
+    while (after < ctx.code.size() &&
+           std::isspace(static_cast<unsigned char>(ctx.code[after]))) {
+      ++after;
+    }
+    if (after >= ctx.code.size() || ctx.code[after] != '(') continue;
+    ++after;
+    while (after < ctx.code.size() &&
+           std::isspace(static_cast<unsigned char>(ctx.code[after]))) {
+      ++after;
+    }
+    if (after >= ctx.code.size() || ctx.code[after] != '"') continue;
+    ctx.Report("deprecated-api", start,
+               "legacy five-parameter CreateRelation(name, ...); pass a "
+               "RelationSpec instead");
+  }
+}
+
 }  // namespace
 
 std::string Finding::ToString() const {
@@ -294,6 +342,7 @@ std::vector<Finding> LintSource(const std::string& path,
   CheckRawInterval(ctx);
   CheckRawMutex(ctx);
   CheckVoidMutator(ctx);
+  CheckDeprecatedApi(ctx);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.rule) <

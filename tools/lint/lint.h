@@ -20,6 +20,10 @@
 //                      xmldb headers must return Status — a void mutator
 //                      has no way to report the I/O or validation failure
 //                      it will eventually hit.
+//   deprecated-api     Retired facade entry points (FlushLog, the
+//                      five-parameter CreateRelation) still compile through
+//                      [[deprecated]] shims; new code must use the
+//                      transactional write path and RelationSpec.
 //
 // Findings on a line (or the line below) can be suppressed with a comment:
 //   // archis-lint: allow(<rule>) -- <why this is safe>
