@@ -1,0 +1,95 @@
+// Observability overhead: the metrics layer must be invisible on the hot
+// query path. BM_MetricsOverhead runs the Q2 cached-snapshot workload (the
+// same shape as BM_CachedSnapshot in bench_queries) with the registry
+// globally disabled (Arg 0) and enabled (Arg 1); the acceptance bar is
+// an enabled/disabled delta under 2%. The micro-benchmarks price the
+// individual instruments so a regression is attributable.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/metrics.h"
+
+namespace archis::bench {
+namespace {
+
+Systems& CachedSystems() {
+  static Systems sys = [] {
+    BuildOptions opts;
+    opts.compress = true;
+    opts.block_cache_bytes = 16ull << 20;
+    opts.with_tamino = false;
+    return BuildSystems(opts);
+  }();
+  return sys;
+}
+
+// The ablation lever: Arg(0) freezes every instrument (Counter::Inc is a
+// single relaxed load), Arg(1) is production configuration.
+void BM_MetricsOverhead(benchmark::State& state) {
+  Systems& sys = CachedSystems();
+  core::SqlXmlPlan plan = PlanQ2(sys);
+  core::PlanStats stats;
+  metrics::SetEnabled(state.range(0) != 0);
+  for (auto _ : state) {
+    stats = core::PlanStats();
+    auto r = sys.archis->Execute(plan, &stats);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  metrics::SetEnabled(true);
+  state.counters["rows_scanned"] = static_cast<double>(stats.rows_scanned);
+  state.SetLabel(state.range(0) != 0 ? "Q2 snapshot, metrics enabled"
+                                     : "Q2 snapshot, metrics disabled");
+}
+
+void BM_CounterInc(benchmark::State& state) {
+  static metrics::Counter counter;
+  metrics::SetEnabled(state.range(0) != 0);
+  for (auto _ : state) {
+    counter.Inc();
+  }
+  metrics::SetEnabled(true);
+  state.SetLabel(state.range(0) != 0 ? "enabled" : "disabled");
+}
+
+void BM_HistogramObserve(benchmark::State& state) {
+  static metrics::Histogram hist(metrics::DefaultLatencyBuckets());
+  double v = 1e-6;
+  for (auto _ : state) {
+    hist.Observe(v);
+    v = v < 1.0 ? v * 1.7 : 1e-6;  // sweep the bucket ladder
+  }
+}
+
+void BM_ProfiledQuery(benchmark::State& state) {
+  // Prices QueryOptions::collect_profile end to end (span allocation +
+  // tree build + TakeProfile) against the same query unprofiled.
+  Systems& sys = CachedSystems();
+  const std::string xq = XqQ2(sys);
+  core::QueryOptions opts;
+  opts.collect_profile = state.range(0) != 0;
+  for (auto _ : state) {
+    auto r = sys.archis->Query(xq, opts);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(opts.collect_profile ? "collect_profile=true"
+                                      : "collect_profile=false");
+}
+
+BENCHMARK(BM_MetricsOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProfiledQuery)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CounterInc)->Arg(0)->Arg(1);
+BENCHMARK(BM_HistogramObserve);
+
+}  // namespace
+}  // namespace archis::bench
+
+int main(int argc, char** argv) {
+  printf("== Observability overhead: metrics/trace cost on the Q2 hot path "
+         "==\n");
+  printf("Acceptance: BM_MetricsOverhead enabled vs disabled within 2%%.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

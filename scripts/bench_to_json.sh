@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Runs the benchmark suites and records the results as JSON, so the perf
 # trajectory is tracked PR over PR:
-#   bench_queries -> BENCH_queries.json   (Table 3 / Figure 8 queries)
-#   bench_updates -> BENCH_updates.json   (Section 8.4 updates + commits)
+#   bench_queries       -> BENCH_queries.json       (Table 3 / Figure 8)
+#   bench_updates       -> BENCH_updates.json       (Section 8.4 updates)
+#   bench_observability -> BENCH_observability.json (metrics overhead)
 #
 # Usage: scripts/bench_to_json.sh [suite ...]
 #   scripts/bench_to_json.sh                  # all suites
@@ -17,7 +18,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 SUITES=("$@")
 if [[ ${#SUITES[@]} -eq 0 ]]; then
-  SUITES=(queries updates)
+  SUITES=(queries updates observability)
 fi
 
 for suite in "${SUITES[@]}"; do

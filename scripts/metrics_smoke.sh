@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Metrics smoke test: drives tools/archis-stats through a durable employee
+# workload plus a profiled snapshot query, then asserts that
+#   - the trace profile contains the parse/translate/execute/segment-scan
+#     span tree,
+#   - the Prometheus exposition is well-formed and every load-bearing
+#     instrument (WAL fsync, block cache, page IO, segment usefulness)
+#     actually moved.
+#
+# Usage: BUILD_DIR=build scripts/metrics_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+BIN="$BUILD_DIR/tools/archis-stats"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built" >&2
+  exit 1
+fi
+
+WAL="$(mktemp -u /tmp/archis-metrics-smoke.XXXXXX.wal)"
+trap 'rm -f "$WAL"' EXIT
+
+OUT="$("$BIN" --workload --employees 60 --years 8 --wal "$WAL" \
+              --default-query --repeat 2 --profile)"
+
+fail() {
+  echo "metrics smoke FAILED: $1" >&2
+  echo "---- archis-stats output ----" >&2
+  echo "$OUT" >&2
+  exit 1
+}
+
+# 1. The profile renders the full span tree.
+for span in query parse translate execute segment-scan; do
+  echo "$OUT" | grep -qE "^ *$span +[0-9.]+ ms" \
+    || fail "profile is missing span '$span'"
+done
+
+# 2. Load-bearing counters moved: WAL group commit, block cache, page IO,
+#    clustering, capture, query accounting.
+for metric in \
+    archis_wal_fsync_seconds_count \
+    archis_wal_syncs_total \
+    archis_block_cache_hits_total \
+    archis_page_reads_total \
+    archis_segment_freezes_total \
+    archis_segment_freeze_usefulness_count \
+    archis_txn_commits_total \
+    archis_changes_captured_total \
+    archis_queries_translated_total \
+    archis_query_seconds_count; do
+  echo "$OUT" | grep -qE "^$metric [1-9][0-9]*$" \
+    || fail "metric '$metric' absent or zero"
+done
+
+# 3. Exposition well-formedness: after '== metrics ==', every line is a
+#    comment or `name[{le="..."}] value`.
+BAD=$(echo "$OUT" | sed -n '/^== metrics ==$/,$p' | tail -n +2 | grep -vE \
+  '^(# (HELP|TYPE) .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9][0-9eE.+-]*)$' \
+  || true)
+[[ -z "$BAD" ]] || fail "malformed exposition lines: $BAD"
+
+echo "metrics smoke passed"

@@ -1,5 +1,9 @@
 #include "archis/archis.h"
 
+#include <chrono>
+
+#include "common/log.h"
+#include "common/metrics.h"
 #include "xml/serializer.h"
 #include "xquery/parser.h"
 
@@ -9,6 +13,60 @@ using minirel::Schema;
 using minirel::Table;
 using minirel::Tuple;
 using minirel::Value;
+
+namespace {
+
+// Facade-level metric catalog (DESIGN.md §9): query path mix and latency,
+// change-capture throughput, transaction outcomes.
+metrics::Counter* QueriesTranslatedMetric() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_queries_translated_total",
+      "Queries answered by the translated SQL/XML path");
+  return c;
+}
+
+metrics::Counter* QueriesNativeMetric() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_queries_native_total",
+      "Queries answered by native evaluation over published H-documents");
+  return c;
+}
+
+metrics::Counter* QueryFailuresMetric() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_query_failures_total",
+      "Queries that returned a non-OK status on every attempted path");
+  return c;
+}
+
+metrics::Histogram* QuerySecondsMetric() {
+  static metrics::Histogram* h = metrics::Registry::Global().GetHistogram(
+      "archis_query_seconds", "End-to-end ArchIS::Query latency",
+      metrics::DefaultLatencyBuckets());
+  return h;
+}
+
+metrics::Counter* TxnCommitsMetric() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_txn_commits_total",
+      "Committed change batches (explicit, ambient and autocommit)");
+  return c;
+}
+
+metrics::Counter* TxnAbortsMetric() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_txn_aborts_total", "Aborted (rolled back) change batches");
+  return c;
+}
+
+metrics::Counter* ChangesCapturedMetric() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_changes_captured_total",
+      "Change records committed into the H-tables (capture throughput)");
+  return c;
+}
+
+}  // namespace
 
 // -- Transaction ---------------------------------------------------------------
 
@@ -67,6 +125,7 @@ Status Transaction::Commit() {
 Status Transaction::Abort() {
   if (finished_) return Status::Aborted("transaction already finished");
   Finish();
+  if (!changes_.empty()) TxnAbortsMetric()->Inc();
   Status undo = db_->UndoCurrent(changes_);
   changes_.clear();
   return undo;
@@ -109,6 +168,20 @@ Result<std::unique_ptr<ArchIS>> ArchIS::Open(ArchISOptions options,
       storage::TruncateLogFile(wal_path, recovery.valid_bytes));
   ARCHIS_ASSIGN_OR_RETURN(
       db->wal_, Wal::Open(wal_options, recovery.max_txn_id + 1));
+  static metrics::Counter* recoveries = metrics::Registry::Global().GetCounter(
+      "archis_wal_recoveries_total", "WAL recovery passes run by Open");
+  static metrics::Counter* recovered_items =
+      metrics::Registry::Global().GetCounter(
+          "archis_wal_recovered_items_total",
+          "Committed transactions and DDL records replayed by recovery");
+  recoveries->Inc();
+  recovered_items->Inc(recovery.items.size());
+  logging::Info("wal.recovered")
+      .Kv("path", wal_path)
+      .Kv("items", recovery.items.size())
+      .Kv("valid_bytes", recovery.valid_bytes)
+      .Kv("next_txn_id", recovery.max_txn_id + 1)
+      .Kv("clock", db->clock_.ToString());
   return db;
 }
 
@@ -382,6 +455,8 @@ Status ArchIS::CommitChanges(std::vector<ChangeRecord> changes,
   for (const ChangeRecord& change : changes) {
     ARCHIS_RETURN_NOT_OK(archiver_.Apply(change));
   }
+  TxnCommitsMetric()->Inc();
+  ChangesCapturedMetric()->Inc(changes.size());
   return Status::OK();
 }
 
@@ -489,31 +564,71 @@ TranslatorContext ArchIS::translator_context() const {
 
 Result<QueryResult> ArchIS::Query(const std::string& xquery,
                                   const QueryOptions& options) {
+  trace::Trace tr;
+  trace::Trace* trace = options.collect_profile ? &tr : nullptr;
+  const auto started = std::chrono::steady_clock::now();
+  auto observe_latency = [&started] {
+    QuerySecondsMetric()->Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count());
+  };
+  auto fail = [&](Status st) {
+    QueryFailuresMetric()->Inc();
+    observe_latency();
+    return st;
+  };
   QueryResult result;
   if (options.force_path != QueryForce::kNative) {
-    auto plan = Translate(xquery);
+    // Parse and translate under separate spans (the paper reports both
+    // costs; Translate() keeps them fused for API compatibility).
+    Result<xquery::ExprPtr> ast = [&]() -> Result<xquery::ExprPtr> {
+      trace::ScopedSpan span(trace, "parse");
+      return xquery::ParseXQuery(xquery);
+    }();
+    Result<SqlXmlPlan> plan =
+        ast.ok() ? [&]() -> Result<SqlXmlPlan> {
+          trace::ScopedSpan span(trace, "translate");
+          return TranslateXQuery(*ast, translator_context());
+        }()
+                 : Result<SqlXmlPlan>(ast.status());
     if (plan.ok()) {
       result.path = QueryPath::kTranslated;
       result.sql = plan->ToSql();
-      ARCHIS_ASSIGN_OR_RETURN(result.xml, Execute(*plan, &result.stats));
+      Result<xml::XmlNodePtr> xml = [&]() -> Result<xml::XmlNodePtr> {
+        trace::ScopedSpan span(trace, "execute");
+        return Execute(*plan, &result.stats, trace);
+      }();
+      if (!xml.ok()) return fail(xml.status());
+      result.xml = std::move(*xml);
+      QueriesTranslatedMetric()->Inc();
+      observe_latency();
+      if (trace != nullptr) result.profile = tr.TakeProfile();
       return result;
     }
     if (options.force_path == QueryForce::kTranslated ||
         plan.status().code() != StatusCode::kUnsupported) {
-      return plan.status();
+      return fail(plan.status());
     }
   }
   // Native evaluation over published H-documents.
-  ARCHIS_ASSIGN_OR_RETURN(xquery::Sequence seq, QueryNative(xquery));
+  Result<xquery::Sequence> seq = [&]() -> Result<xquery::Sequence> {
+    trace::ScopedSpan span(trace, "native-eval");
+    return QueryNative(xquery);
+  }();
+  if (!seq.ok()) return fail(seq.status());
   result.path = QueryPath::kNativeFallback;
   result.xml = xml::XmlNode::Element("results");
-  for (const xquery::Item& item : seq) {
+  for (const xquery::Item& item : *seq) {
     if (item.is_node()) {
       result.xml->AppendChild(item.node()->Clone());
     } else {
       result.xml->AppendText(item.StringValue());
     }
   }
+  QueriesNativeMetric()->Inc();
+  observe_latency();
+  if (trace != nullptr) result.profile = tr.TakeProfile();
   return result;
 }
 
@@ -522,8 +637,13 @@ Result<SqlXmlPlan> ArchIS::Translate(const std::string& xquery) const {
 }
 
 Result<xml::XmlNodePtr> ArchIS::Execute(const SqlXmlPlan& plan,
-                                        PlanStats* stats) const {
-  return ExecutePlan(archiver_, plan, clock_, stats);
+                                        PlanStats* stats,
+                                        trace::Trace* trace) const {
+  return ExecutePlan(archiver_, plan, clock_, stats, trace);
+}
+
+std::string ArchIS::DumpMetrics() {
+  return metrics::Registry::Global().TextFormat();
 }
 
 Result<xquery::Sequence> ArchIS::QueryNative(const std::string& xquery) {

@@ -31,9 +31,11 @@
 #define ARCHIS_ARCHIS_ARCHIS_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "archis/archiver.h"
+#include "common/trace.h"
 #include "archis/publisher.h"
 #include "archis/relation_spec.h"
 #include "archis/translator.h"
@@ -61,6 +63,10 @@ enum class QueryForce { kAuto, kTranslated, kNative };
 /// Per-query options.
 struct QueryOptions {
   QueryForce force_path = QueryForce::kAuto;
+  /// Collect a span-tree profile (parse -> translate -> execute ->
+  /// segment scans) on QueryResult::profile. Off by default: profiling
+  /// allocates per span, so it is opt-in per query.
+  bool collect_profile = false;
 };
 
 /// Result of ArchIS::Query.
@@ -69,6 +75,9 @@ struct QueryResult {
   QueryPath path;        ///< translated SQL/XML or native fallback
   std::string sql;       ///< rendered SQL/XML (translated path only)
   PlanStats stats;       ///< executor statistics (translated path only)
+  /// Span tree of this query (QueryOptions::collect_profile); its
+  /// Render() is the EXPLAIN-style breakdown.
+  std::optional<trace::QueryProfile> profile;
 };
 
 class ArchIS;
@@ -216,7 +225,8 @@ class ArchIS {
 
   /// Executes a (possibly hand-built) plan against the H-tables.
   Result<xml::XmlNodePtr> Execute(const SqlXmlPlan& plan,
-                                  PlanStats* stats = nullptr) const;
+                                  PlanStats* stats = nullptr,
+                                  trace::Trace* trace = nullptr) const;
 
   /// Native evaluation over published H-documents.
   Result<xquery::Sequence> QueryNative(const std::string& xquery);
@@ -246,6 +256,12 @@ class ArchIS {
   /// The WAL handle (nullptr for in-memory instances). Exposes group
   /// commit counters for tests and benchmarks.
   const Wal* wal() const { return wal_.get(); }
+
+  /// Prometheus-style text exposition of the process-wide metrics
+  /// registry (WAL group commit, block cache, page IO, segment
+  /// clustering, query/executor counters). Static because the registry is
+  /// process-wide; see DESIGN.md §9 for the catalog.
+  static std::string DumpMetrics();
 
   // -- Maintenance / introspection -----------------------------------------------
 

@@ -4,6 +4,8 @@
 #include <queue>
 #include <unordered_set>
 
+#include "common/log.h"
+#include "common/metrics.h"
 #include "minirel/executor.h"
 
 namespace archis::core {
@@ -14,6 +16,46 @@ using minirel::Tuple;
 using minirel::Value;
 
 namespace {
+
+// Clustering observability (DESIGN.md §9): every freeze decision records
+// the usefulness ratio U = N_live / N_all it was taken at, so the paper's
+// usefulness-based clustering behaviour (TR-81 §6) is measurable on any
+// workload, not just in the umin benchmark.
+metrics::Counter* FreezesMetric() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_segment_freezes_total",
+      "Live segments frozen (usefulness-based clustering events)");
+  return c;
+}
+
+metrics::Histogram* FreezeUsefulnessMetric() {
+  static metrics::Histogram* h = metrics::Registry::Global().GetHistogram(
+      "archis_segment_freeze_usefulness",
+      "Usefulness ratio U = N_live/N_all observed at freeze time",
+      metrics::LinearBuckets(0.05, 0.05, 20));
+  return h;
+}
+
+metrics::Gauge* FrozenSegmentsMetric() {
+  static metrics::Gauge* g = metrics::Registry::Global().GetGauge(
+      "archis_frozen_segments",
+      "Frozen segments currently held across all stores in this process");
+  return g;
+}
+
+metrics::Counter* FrozenTuplesMetric() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_segment_frozen_tuples_total",
+      "Tuples moved from live to frozen segments");
+  return c;
+}
+
+metrics::Counter* SegmentScansMetric() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_segment_scans_total",
+      "Segments (live or frozen) visited by store scans");
+  return c;
+}
 
 /// Identity of one version across segment copies: (id, tstart days).
 using VersionKey = std::pair<int64_t, int64_t>;
@@ -75,6 +117,10 @@ Result<std::unique_ptr<SegmentedStore>> SegmentedStore::Create(
         "segno_id", {"segno", row_schema.column(0).name}));
   }
   return store;
+}
+
+SegmentedStore::~SegmentedStore() {
+  FrozenSegmentsMetric()->Add(-static_cast<int64_t>(segments_.size()));
 }
 
 Status SegmentedStore::InsertVersion(int64_t id,
@@ -158,6 +204,8 @@ Status SegmentedStore::FreezeIfNeeded(Date now) {
 
 Status SegmentedStore::Freeze(Date now) {
   if (!options_.enabled || live_total_ == 0) return Status::OK();
+  // The clustering decision this freeze embodies: U at freeze time.
+  const double usefulness_at_freeze = Usefulness();
 
   // 1. Collect every tuple of the live segment, sorted by (id, tstart).
   std::vector<Tuple> rows;
@@ -215,6 +263,17 @@ Status SegmentedStore::Freeze(Date now) {
   live_total_ = carried.size();
   live_current_ = carried.size();
   live_start_ = now;
+  FreezesMetric()->Inc();
+  FreezeUsefulnessMetric()->Observe(usefulness_at_freeze);
+  FrozenSegmentsMetric()->Add(1);
+  FrozenTuplesMetric()->Inc(info.tuple_count);
+  logging::Debug("segment.freeze")
+      .Kv("store", name_)
+      .Kv("segno", info.segno)
+      .Kv("usefulness", usefulness_at_freeze)
+      .Kv("tuples", info.tuple_count)
+      .Kv("carried_live", carried.size())
+      .Kv("compressed", options_.compress);
   return Status::OK();
 }
 
@@ -245,6 +304,7 @@ Status SegmentedStore::ScanFrozenSegment(
     const std::function<bool(const Tuple&)>& fn,
     StoreScanStats* stats) const {
   if (stats != nullptr) ++stats->segments_scanned;
+  SegmentScansMetric()->Inc();
   size_t idx = static_cast<size_t>(segno - 1);
   if (idx < compressed_.size() && compressed_[idx] != nullptr) {
     compress::BlobReadStats bstats;
@@ -325,6 +385,7 @@ Status SegmentedStore::ScanSegments(
   // reverse segno order.
   auto scan_live = [&]() -> Status {
     if (stats != nullptr) ++stats->segments_scanned;
+    SegmentScansMetric()->Inc();
     if (id_filter) {
       const minirel::TableIndex* idx = live_->GetIndex("id");
       minirel::IndexKey key{Value(*id_filter)};
@@ -406,6 +467,7 @@ Status SegmentedStore::ScanSegmentsParallel(
   Status live_status = Status::OK();
   if (include_live) {
     if (stats != nullptr) ++stats->segments_scanned;
+    SegmentScansMetric()->Inc();
     auto collect = [&](const storage::RecordId&, const Tuple& row) {
       if (stats != nullptr) ++stats->tuples_scanned;
       if (id_filter && row.at(0).AsInt() != *id_filter) return true;
@@ -429,9 +491,10 @@ Status SegmentedStore::ScanSegmentsParallel(
   }
 
   for (std::future<void>& f : futures) f.get();
-  ARCHIS_RETURN_NOT_OK(live_status);
+  // Accumulate every run's stats BEFORE any status check: a failing run
+  // must not drop the work the other runs (and the live scan) already did,
+  // or failed scans become invisible in metrics.
   for (const SegRun& run : runs) {
-    ARCHIS_RETURN_NOT_OK(run.status);
     if (stats != nullptr) {
       stats->segments_scanned += run.stats.segments_scanned;
       stats->tuples_scanned += run.stats.tuples_scanned;
@@ -440,6 +503,10 @@ Status SegmentedStore::ScanSegmentsParallel(
       stats->block_cache_hits += run.stats.block_cache_hits;
       stats->block_cache_misses += run.stats.block_cache_misses;
     }
+  }
+  ARCHIS_RETURN_NOT_OK(live_status);
+  for (const SegRun& run : runs) {
+    ARCHIS_RETURN_NOT_OK(run.status);
   }
 
   // Merge: rank 0 is the live run (newest), rank r the r-th newest frozen

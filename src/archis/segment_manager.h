@@ -92,6 +92,10 @@ class SegmentedStore {
       const minirel::Schema& row_schema, SegmentOptions options,
       Date open_date);
 
+  /// Releases this store's contribution to the process-wide frozen-segment
+  /// gauge (archis_frozen_segments).
+  ~SegmentedStore();
+
   const std::string& name() const { return name_; }
   const minirel::Schema& row_schema() const { return row_schema_; }
   const SegmentOptions& options() const { return options_; }

@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 
+#include "common/metrics.h"
 #include "temporal/aggregate.h"
 
 namespace archis::core {
@@ -35,7 +36,13 @@ Value ColValue(const HRow& row, HCol col) {
 /// Fetches the rows of one plan variable, sorted by id, with every
 /// pushed-down condition applied (segment pruning happens inside the store).
 Result<std::vector<HRow>> FetchVar(const Archiver& archiver,
-                                   const PlanVar& var, PlanStats* stats) {
+                                   const PlanVar& var, PlanStats* stats,
+                                   trace::Trace* trace) {
+  trace::ScopedSpan span(
+      trace, "segment-scan");
+  span.Note("table", var.attribute.empty() ? var.relation + "_id"
+                                           : var.relation + "_" +
+                                                 var.attribute);
   ARCHIS_ASSIGN_OR_RETURN(HTableSet* set, archiver.htables(var.relation));
   SegmentedStore* store = nullptr;
   if (var.attribute.empty()) {
@@ -94,7 +101,8 @@ Result<std::vector<HRow>> FetchVar(const Archiver& archiver,
   } else {
     st = store->ScanHistory(admit, &sstats);
   }
-  ARCHIS_RETURN_NOT_OK(st);
+  // Accumulate before the status check: a failed scan must still be
+  // attributed (its segments were visited, its blocks decompressed).
   if (stats != nullptr) {
     stats->rows_scanned += sstats.tuples_scanned;
     stats->segments_scanned += sstats.segments_scanned;
@@ -103,6 +111,14 @@ Result<std::vector<HRow>> FetchVar(const Archiver& archiver,
     stats->block_cache_hits += sstats.block_cache_hits;
     stats->block_cache_misses += sstats.block_cache_misses;
   }
+  span.Note("rows", static_cast<uint64_t>(rows.size()));
+  span.Note("tuples_scanned", sstats.tuples_scanned);
+  span.Note("segments", sstats.segments_scanned);
+  if (sstats.blocks_decompressed + sstats.block_cache_hits > 0) {
+    span.Note("blocks_decompressed", sstats.blocks_decompressed);
+    span.Note("cache_hits", sstats.block_cache_hits);
+  }
+  ARCHIS_RETURN_NOT_OK(st);
   // Store scans emit in (id, tstart) order already; keep it stable.
   std::stable_sort(rows.begin(), rows.end(),
                    [](const HRow& a, const HRow& b) { return a.id < b.id; });
@@ -284,9 +300,12 @@ void EmitSpecForGroup(const OutputSpec& spec,
 
 }  // namespace
 
-Result<xml::XmlNodePtr> ExecutePlan(const Archiver& archiver,
-                                    const SqlXmlPlan& plan,
-                                    Date current_date, PlanStats* stats) {
+namespace {
+
+Result<xml::XmlNodePtr> ExecutePlanImpl(const Archiver& archiver,
+                                        const SqlXmlPlan& plan,
+                                        Date current_date, PlanStats* stats,
+                                        trace::Trace* trace) {
   (void)current_date;
   if (plan.vars.empty()) {
     return Status::InvalidArgument("plan has no variables");
@@ -295,7 +314,7 @@ Result<xml::XmlNodePtr> ExecutePlan(const Archiver& archiver,
   inputs.reserve(plan.vars.size());
   for (const PlanVar& var : plan.vars) {
     ARCHIS_ASSIGN_OR_RETURN(std::vector<HRow> rows,
-                            FetchVar(archiver, var, stats));
+                            FetchVar(archiver, var, stats, trace));
     inputs.push_back(std::move(rows));
   }
 
@@ -303,6 +322,8 @@ Result<xml::XmlNodePtr> ExecutePlan(const Archiver& archiver,
   // merge; groups combine by cross product filtered by the cross conditions
   // (Algorithm 1 only generates id joins between variables rooted in the
   // same document variable).
+  std::optional<trace::ScopedSpan> join_span;
+  if (trace != nullptr) join_span.emplace(trace, "join");
   std::map<size_t, std::vector<size_t>> group_members;
   for (size_t v = 0; v < plan.vars.size(); ++v) {
     size_t gid = plan.join_on_id ? plan.vars[v].join_group : v;
@@ -377,6 +398,10 @@ Result<xml::XmlNodePtr> ExecutePlan(const Archiver& archiver,
       }
     }
     joined = std::move(unique);
+  }
+  if (join_span.has_value()) {
+    join_span->Note("rows_joined", static_cast<uint64_t>(joined.size()));
+    join_span.reset();
   }
 
   auto root = xml::XmlNode::Element("results");
@@ -483,6 +508,54 @@ Result<xml::XmlNodePtr> ExecutePlan(const Archiver& archiver,
     }
   }
   return root;
+}
+
+}  // namespace
+
+Result<xml::XmlNodePtr> ExecutePlan(const Archiver& archiver,
+                                    const SqlXmlPlan& plan,
+                                    Date current_date, PlanStats* stats,
+                                    trace::Trace* trace) {
+  static metrics::Counter* rows_scanned =
+      metrics::Registry::Global().GetCounter(
+          "archis_exec_rows_scanned_total",
+          "H-table rows scanned by the SQL/XML executor");
+  static metrics::Counter* rows_joined =
+      metrics::Registry::Global().GetCounter(
+          "archis_exec_rows_joined_total",
+          "Rows produced by the executor's id-equijoin phase");
+  static metrics::Counter* segments_scanned =
+      metrics::Registry::Global().GetCounter(
+          "archis_exec_segments_scanned_total",
+          "Segments visited by SQL/XML plan scans");
+  static metrics::Counter* plans =
+      metrics::Registry::Global().GetCounter(
+          "archis_exec_plans_total", "SQL/XML plans executed");
+  static metrics::Counter* plan_failures =
+      metrics::Registry::Global().GetCounter(
+          "archis_exec_plan_failures_total",
+          "SQL/XML plan executions that returned a non-OK status");
+
+  // Run with a local PlanStats so the partial work of a failing plan is
+  // still published (registry + caller), then merge into the caller's.
+  PlanStats local;
+  Result<xml::XmlNodePtr> result =
+      ExecutePlanImpl(archiver, plan, current_date, &local, trace);
+  if (stats != nullptr) {
+    stats->rows_scanned += local.rows_scanned;
+    stats->rows_joined += local.rows_joined;
+    stats->segments_scanned += local.segments_scanned;
+    stats->blocks_decompressed += local.blocks_decompressed;
+    stats->blocks_pruned_by_time += local.blocks_pruned_by_time;
+    stats->block_cache_hits += local.block_cache_hits;
+    stats->block_cache_misses += local.block_cache_misses;
+  }
+  rows_scanned->Inc(local.rows_scanned);
+  rows_joined->Inc(local.rows_joined);
+  segments_scanned->Inc(local.segments_scanned);
+  plans->Inc();
+  if (!result.ok()) plan_failures->Inc();
+  return result;
 }
 
 // ---------------------------------------------------------------------------

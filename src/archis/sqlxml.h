@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "archis/archiver.h"
+#include "common/trace.h"
 #include "xml/node.h"
 
 namespace archis::core {
@@ -136,10 +137,16 @@ struct PlanStats {
 
 /// Executes `plan` against the archiver's H-tables, returning the
 /// constructed XML (for aggregate plans, a single element with the value).
+///
+/// `stats` receives the executor counters; on a non-OK return it still
+/// holds the partial work done up to the failure, so failed queries stay
+/// attributable. A non-null `trace` gets one segment-scan span per plan
+/// variable plus a join span, nested under the caller's execute span.
 Result<xml::XmlNodePtr> ExecutePlan(const Archiver& archiver,
                                     const SqlXmlPlan& plan,
                                     Date current_date,
-                                    PlanStats* stats = nullptr);
+                                    PlanStats* stats = nullptr,
+                                    trace::Trace* trace = nullptr);
 
 }  // namespace archis::core
 

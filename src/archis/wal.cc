@@ -1,12 +1,60 @@
 #include "archis/wal.h"
 
+#include <chrono>
 #include <map>
 
 #include "common/coding.h"
+#include "common/log.h"
+#include "common/metrics.h"
 
 namespace archis::core {
 
 namespace {
+
+// Group-commit observability (DESIGN.md §9): fsync latency, how much each
+// sync batch coalesces, and how often committers ride a leader's sync
+// instead of issuing their own.
+metrics::Histogram* WalFsyncSecondsMetric() {
+  static metrics::Histogram* h = metrics::Registry::Global().GetHistogram(
+      "archis_wal_fsync_seconds",
+      "Latency of one WAL leader append+fsync batch",
+      metrics::DefaultLatencyBuckets());
+  return h;
+}
+
+metrics::Histogram* WalBatchBytesMetric() {
+  static metrics::Histogram* h = metrics::Registry::Global().GetHistogram(
+      "archis_wal_sync_batch_bytes",
+      "Bytes coalesced into one WAL append+fsync batch",
+      metrics::DefaultSizeBuckets());
+  return h;
+}
+
+metrics::Counter* WalCommitsMetric() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_wal_commits_total", "Durable WAL commits acknowledged");
+  return c;
+}
+
+metrics::Counter* WalSyncsMetric() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_wal_syncs_total", "WAL leader append+fsync batches issued");
+  return c;
+}
+
+metrics::Counter* WalBytesMetric() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_wal_bytes_written_total", "Framed bytes appended to the WAL");
+  return c;
+}
+
+metrics::Counter* WalFollowerWaitsMetric() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_wal_follower_waits_total",
+      "Times a committer waited on another thread's in-flight sync "
+      "instead of leading its own");
+  return c;
+}
 
 using coding::AppendI64;
 using coding::AppendLengthPrefixed;
@@ -242,6 +290,7 @@ Status Wal::SubmitDurable(std::string_view framed) {
     if (durable_seq_ >= my_seq) {
       ++commits_;
       mu_.Unlock();
+      WalCommitsMetric()->Inc();
       return Status::OK();
     }
     if (!dead_.ok()) {
@@ -257,19 +306,32 @@ Status Wal::SubmitDurable(std::string_view framed) {
       pending_.clear();
       const uint64_t batch_seq = pending_seq_;
       mu_.Unlock();
+      const auto sync_start = std::chrono::steady_clock::now();
       Status io = file_->Append(batch);
       if (io.ok()) io = file_->Sync();
+      const double sync_secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        sync_start)
+              .count();
       mu_.Lock();
       sync_in_progress_ = false;
       bytes_ = file_->bytes_written();
       if (io.ok()) {
         durable_seq_ = batch_seq;
         ++syncs_;
+        WalFsyncSecondsMetric()->Observe(sync_secs);
+        WalBatchBytesMetric()->Observe(static_cast<double>(batch.size()));
+        WalSyncsMetric()->Inc();
+        WalBytesMetric()->Inc(batch.size());
       } else {
         dead_ = io;  // the log is crashed; every committer sees the error
+        logging::Error("wal.dead")
+            .Kv("error", io.ToString())
+            .Kv("batch_bytes", batch.size());
       }
       cv_.NotifyAll();
     } else {
+      WalFollowerWaitsMetric()->Inc();
       cv_.Wait(mu_, [this, my_seq]() ARCHIS_REQUIRES(mu_) {
         return durable_seq_ >= my_seq || !sync_in_progress_ || !dead_.ok();
       });

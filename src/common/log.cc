@@ -1,0 +1,230 @@
+#include "common/log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+#include "common/mutex.h"
+
+namespace archis::logging {
+
+namespace {
+
+int LevelFromEnv() {
+  const char* env = std::getenv("ARCHIS_LOG");
+  if (env == nullptr) return static_cast<int>(Level::kWarn);
+  const std::string_view v = env;
+  if (v == "debug") return static_cast<int>(Level::kDebug);
+  if (v == "info") return static_cast<int>(Level::kInfo);
+  if (v == "warn") return static_cast<int>(Level::kWarn);
+  if (v == "error") return static_cast<int>(Level::kError);
+  if (v == "off") return static_cast<int>(Level::kOff);
+  return static_cast<int>(Level::kWarn);
+}
+
+std::atomic<int>& MinLevelVar() {
+  static std::atomic<int> level{LevelFromEnv()};
+  return level;
+}
+
+std::atomic<int> g_format{static_cast<int>(Format::kKeyValue)};
+
+struct SinkHolder {
+  Mutex mu;
+  std::function<void(const std::string&)> sink ARCHIS_GUARDED_BY(mu);
+};
+
+SinkHolder& Sink() {
+  static SinkHolder* holder = new SinkHolder();
+  return *holder;
+}
+
+void Emit(const std::string& line) {
+  SinkHolder& holder = Sink();
+  MutexLock lock(holder.mu);
+  if (holder.sink) {
+    holder.sink(line);
+    return;
+  }
+  // The one sanctioned raw-stderr write in src/ (this IS the logger).
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fputc('\n', stderr);
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: return "off";
+  }
+  return "?";
+}
+
+std::string Utc() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int ms = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, ms);
+  return buf;
+}
+
+bool NeedsQuoting(std::string_view v) {
+  if (v.empty()) return true;
+  for (char c : v) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\n' || c == '\t') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendEscaped(std::string_view v, std::string* out) {
+  for (char c : v) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      default: out->push_back(c);
+    }
+  }
+}
+
+Format CurrentFormat() {
+  return static_cast<Format>(g_format.load(std::memory_order_relaxed));
+}
+
+void AppendStringField(std::string_view key, std::string_view value,
+                       std::string* line) {
+  if (CurrentFormat() == Format::kJson) {
+    line->append(",\"");
+    AppendEscaped(key, line);
+    line->append("\":\"");
+    AppendEscaped(value, line);
+    line->append("\"");
+    return;
+  }
+  line->push_back(' ');
+  line->append(key);
+  line->push_back('=');
+  if (NeedsQuoting(value)) {
+    line->push_back('"');
+    AppendEscaped(value, line);
+    line->push_back('"');
+  } else {
+    line->append(value);
+  }
+}
+
+void AppendRawField(std::string_view key, std::string_view value,
+                    std::string* line) {
+  if (CurrentFormat() == Format::kJson) {
+    line->append(",\"");
+    AppendEscaped(key, line);
+    line->append("\":");
+    line->append(value);
+    return;
+  }
+  line->push_back(' ');
+  line->append(key);
+  line->push_back('=');
+  line->append(value);
+}
+
+}  // namespace
+
+Level MinLevel() {
+  return static_cast<Level>(MinLevelVar().load(std::memory_order_relaxed));
+}
+
+void SetMinLevel(Level level) {
+  MinLevelVar().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void SetFormat(Format format) {
+  g_format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+void SetSink(std::function<void(const std::string&)> sink) {
+  SinkHolder& holder = Sink();
+  MutexLock lock(holder.mu);
+  holder.sink = std::move(sink);
+}
+
+Event::Event(Level level, std::string_view event)
+    : enabled_(LevelEnabled(level)), level_(level) {
+  if (!enabled_) return;
+  if (CurrentFormat() == Format::kJson) {
+    line_ = "{\"ts\":\"" + Utc() + "\",\"level\":\"" + LevelName(level_) +
+            "\",\"event\":\"";
+    AppendEscaped(event, &line_);
+    line_.append("\"");
+  } else {
+    line_ = "ts=" + Utc() + " level=" + LevelName(level_) + " event=";
+    line_.append(event);
+  }
+}
+
+Event::~Event() {
+  if (!enabled_) return;
+  if (CurrentFormat() == Format::kJson) line_.append("}");
+  Emit(line_);
+}
+
+Event& Event::Kv(std::string_view key, std::string_view value) {
+  if (enabled_) AppendStringField(key, value, &line_);
+  return *this;
+}
+
+Event& Event::Kv(std::string_view key, const char* value) {
+  return Kv(key, std::string_view(value));
+}
+
+Event& Event::Kv(std::string_view key, const std::string& value) {
+  return Kv(key, std::string_view(value));
+}
+
+Event& Event::Kv(std::string_view key, int64_t value) {
+  if (enabled_) AppendRawField(key, std::to_string(value), &line_);
+  return *this;
+}
+
+Event& Event::Kv(std::string_view key, uint64_t value) {
+  if (enabled_) AppendRawField(key, std::to_string(value), &line_);
+  return *this;
+}
+
+Event& Event::Kv(std::string_view key, int value) {
+  return Kv(key, static_cast<int64_t>(value));
+}
+
+Event& Event::Kv(std::string_view key, unsigned value) {
+  return Kv(key, static_cast<uint64_t>(value));
+}
+
+Event& Event::Kv(std::string_view key, double value) {
+  if (enabled_) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    AppendRawField(key, buf, &line_);
+  }
+  return *this;
+}
+
+Event& Event::Kv(std::string_view key, bool value) {
+  if (enabled_) AppendRawField(key, value ? "true" : "false", &line_);
+  return *this;
+}
+
+}  // namespace archis::logging

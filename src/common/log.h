@@ -1,0 +1,82 @@
+// Structured, leveled logging for src/.
+//
+// Raw printf/std::cerr logging is banned in src/ (archis-lint rule
+// `raw-logging`): ad-hoc prose lines cannot be filtered, parsed or
+// attributed. This logger emits one structured line per event — key=value
+// by default, JSON-line optionally — through a swappable sink:
+//
+//   logging::Info("wal.recovered")
+//       .Kv("path", path).Kv("items", n).Kv("torn_tail", torn);
+//   // => ts=2026-08-06T12:00:00.123Z level=info event=wal.recovered
+//   //    path=/tmp/wal.log items=12 torn_tail=false
+//
+// The Event emits in its destructor (end of the full statement). Events
+// below the minimum level cost one relaxed atomic load and build nothing.
+// Default minimum level is warn so tests and benchmarks stay quiet; the
+// ARCHIS_LOG environment variable (debug|info|warn|error|off) overrides it
+// at process start, SetMinLevel() at runtime.
+#ifndef ARCHIS_COMMON_LOG_H_
+#define ARCHIS_COMMON_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace archis::logging {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+Level MinLevel();
+void SetMinLevel(Level level);
+inline bool LevelEnabled(Level level) { return level >= MinLevel(); }
+
+enum class Format { kKeyValue, kJson };
+void SetFormat(Format format);
+
+/// Replaces the sink (default: one line to stderr). Pass nullptr to
+/// restore the default. Used by tests to capture output.
+void SetSink(std::function<void(const std::string&)> sink);
+
+/// One structured log line, emitted on destruction. Move-only temporary:
+/// always use via the Debug()/Info()/Warn()/Error() factories.
+class Event {
+ public:
+  Event(Level level, std::string_view event);
+  ~Event();
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  Event& Kv(std::string_view key, std::string_view value);
+  Event& Kv(std::string_view key, const char* value);
+  Event& Kv(std::string_view key, const std::string& value);
+  Event& Kv(std::string_view key, int64_t value);
+  Event& Kv(std::string_view key, uint64_t value);
+  Event& Kv(std::string_view key, int value);
+  Event& Kv(std::string_view key, unsigned value);
+  Event& Kv(std::string_view key, double value);
+  Event& Kv(std::string_view key, bool value);
+
+ private:
+  bool enabled_;
+  Level level_;
+  std::string line_;
+};
+
+inline Event Debug(std::string_view event) {
+  return Event(Level::kDebug, event);
+}
+inline Event Info(std::string_view event) {
+  return Event(Level::kInfo, event);
+}
+inline Event Warn(std::string_view event) {
+  return Event(Level::kWarn, event);
+}
+inline Event Error(std::string_view event) {
+  return Event(Level::kError, event);
+}
+
+}  // namespace archis::logging
+
+#endif  // ARCHIS_COMMON_LOG_H_

@@ -1,0 +1,217 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace archis::metrics {
+
+std::atomic<bool> g_enabled{true};
+
+void SetEnabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+// -- Histogram -----------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::Observe(double v) {
+  if (!Enabled()) return;
+  size_t i = std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+             bounds_.begin();
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double old = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(old, old + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Percentile(double p) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  const double rank = p * static_cast<double>(total);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c > 0 && static_cast<double>(cum + c) >= rank) {
+      // Interpolate inside the covering bucket; the +Inf bucket clamps to
+      // the largest finite bound.
+      if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double frac =
+          (rank - static_cast<double>(cum)) / static_cast<double>(c);
+      return lower + frac * (upper - lower);
+    }
+    cum += c;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu sum=%.6g p50=%.3g p95=%.3g p99=%.3g",
+                static_cast<unsigned long long>(count()), sum(),
+                Percentile(0.50), Percentile(0.95), Percentile(0.99));
+  return buf;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor, int n) {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+  double v = start;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(v);
+    v *= factor;
+  }
+  return out;
+}
+
+std::vector<double> LinearBuckets(double start, double step, int n) {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(start + step * i);
+  return out;
+}
+
+std::vector<double> DefaultLatencyBuckets() {
+  // 1us .. 10s in a 1-2-5 decade ladder (seconds).
+  return {1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3,
+          5e-3, 1e-2, 2e-2, 5e-2, 0.1,  0.2,  0.5,  1.0,  2.5,  5.0,  10.0};
+}
+
+std::vector<double> DefaultSizeBuckets() {
+  return ExponentialBuckets(64.0, 4.0, 10);  // 64B .. ~16MiB
+}
+
+// -- Registry ------------------------------------------------------------------
+
+Registry& Registry::Global() {
+  static Registry* g = new Registry();
+  return *g;
+}
+
+Counter* Registry::GetCounter(const std::string& name,
+                              const std::string& help) {
+  MutexLock lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = Kind::kCounter;
+    e.help = help;
+    e.counter = std::make_unique<Counter>();
+    it = entries_.emplace(name, std::move(e)).first;
+  }
+  if (it->second.kind != Kind::kCounter) {
+    static Counter* mismatch = new Counter();
+    return mismatch;
+  }
+  return it->second.counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& help) {
+  MutexLock lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = Kind::kGauge;
+    e.help = help;
+    e.gauge = std::make_unique<Gauge>();
+    it = entries_.emplace(name, std::move(e)).first;
+  }
+  if (it->second.kind != Kind::kGauge) {
+    static Gauge* mismatch = new Gauge();
+    return mismatch;
+  }
+  return it->second.gauge.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& help,
+                                  std::vector<double> bounds) {
+  MutexLock lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = Kind::kHistogram;
+    e.help = help;
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+    it = entries_.emplace(name, std::move(e)).first;
+  }
+  if (it->second.kind != Kind::kHistogram) {
+    static Histogram* mismatch = new Histogram({1.0});
+    return mismatch;
+  }
+  return it->second.histogram.get();
+}
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Registry::TextFormat() const {
+  MutexLock lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, e] : entries_) {
+    os << "# HELP " << name << " " << e.help << "\n";
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << name << " counter\n";
+        os << name << " " << e.counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n";
+        os << name << " " << e.gauge->value() << "\n";
+        break;
+      case Kind::kHistogram: {
+        os << "# TYPE " << name << " histogram\n";
+        const Histogram& h = *e.histogram;
+        uint64_t cum = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cum += h.bucket_count(i);
+          os << name << "_bucket{le=\"" << FormatDouble(h.bounds()[i])
+             << "\"} " << cum << "\n";
+        }
+        cum += h.bucket_count(h.bounds().size());
+        os << name << "_bucket{le=\"+Inf\"} " << cum << "\n";
+        os << name << "_sum " << FormatDouble(h.sum()) << "\n";
+        os << name << "_count " << h.count() << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+void Registry::ResetValues() {
+  MutexLock lock(mu_);
+  for (auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter: e.counter->Reset(); break;
+      case Kind::kGauge: e.gauge->Reset(); break;
+      case Kind::kHistogram: e.histogram->Reset(); break;
+    }
+  }
+}
+
+}  // namespace archis::metrics

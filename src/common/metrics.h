@@ -1,0 +1,171 @@
+// Process-wide metrics registry (counters, gauges, fixed-bucket latency
+// histograms) with Prometheus-style text exposition.
+//
+// The paper's claims are quantitative — query speed of the translated
+// SQL/XML path, compression ratio, usefulness-based clustering behaviour —
+// so every hot layer (WAL group commit, block cache, page IO, segment
+// freezes, the plan executor) publishes into one registry that can be
+// dumped on any run (ArchIS::DumpMetrics(), tools/archis-stats), not just
+// inside unit tests.
+//
+// Cost model: an enabled Counter::Inc is one relaxed atomic load (the
+// global enable flag) plus one relaxed fetch_add; a disabled one is just
+// the load. Histogram::Observe adds a bucket search over a small fixed
+// bound table. Instruments are created once (get-or-create by name, stable
+// addresses) and cached in function-local statics at the call sites, so
+// the registry lock is off every hot path.
+//
+// Thread safety: all instrument mutations are lock-free atomics; creation
+// and TextFormat() take the registry mutex.
+#ifndef ARCHIS_COMMON_METRICS_H_
+#define ARCHIS_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace archis::metrics {
+
+/// Global kill switch, default on. Exists so BM_MetricsOverhead can ablate
+/// the instrumentation cost; a disabled instrument still exists and still
+/// renders (frozen) in TextFormat().
+extern std::atomic<bool> g_enabled;
+
+inline bool Enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+void SetEnabled(bool on);
+
+/// Monotonic event count. Wraps modulo 2^64 on overflow (no saturation, no
+/// error): consumers must treat it as a modular counter, which is what
+/// rate() computations over text exposition do anyway.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Inc(uint64_t n = 1) {
+    if (Enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that can go up and down (e.g. live tuples in the hot segment).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) {
+    if (Enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t d) {
+    if (Enabled()) value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: cumulative counts per upper bound plus an
+/// implicit +Inf bucket, a running sum and a total count. Percentiles are
+/// estimated by linear interpolation inside the covering bucket (the
+/// standard Prometheus histogram_quantile estimate); observations above
+/// the largest finite bound clamp to it.
+class Histogram {
+ public:
+  /// `bounds` are strictly increasing finite upper bounds.
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double v);
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  /// p in [0, 1]; returns 0 on an empty histogram.
+  double Percentile(double p) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket `i` (i == bounds().size() is the +Inf bucket).
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+  /// "count=12 sum=0.034 p50=1.2e-03 p95=4.1e-03 p99=8.0e-03" — the human
+  /// summary archis-stats prints next to the exposition.
+  std::string Summary() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Exponential bucket bounds: start, start*factor, ... (n bounds).
+std::vector<double> ExponentialBuckets(double start, double factor, int n);
+/// Linear bucket bounds: start, start+step, ... (n bounds).
+std::vector<double> LinearBuckets(double start, double step, int n);
+/// 1us .. 10s latency bounds (seconds) for IO / query latencies.
+std::vector<double> DefaultLatencyBuckets();
+/// 64B .. 16MiB size bounds (bytes) for batch / payload sizes.
+std::vector<double> DefaultSizeBuckets();
+
+/// Name-keyed instrument registry. Get-or-create returns stable pointers;
+/// call sites cache them in function-local statics. Asking for an existing
+/// name with a different instrument type returns a detached dummy (never
+/// rendered) instead of crashing — the lint/test layer catches the
+/// conflict via TextFormat().
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every ArchIS layer publishes into.
+  static Registry& Global();
+
+  Counter* GetCounter(const std::string& name, const std::string& help);
+  Gauge* GetGauge(const std::string& name, const std::string& help);
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds);
+
+  /// Prometheus text exposition (# HELP / # TYPE, `_bucket{le="..."}` /
+  /// `_sum` / `_count` for histograms), instruments sorted by name.
+  std::string TextFormat() const;
+
+  /// Zeroes every instrument's value; registrations (and cached call-site
+  /// pointers) stay valid. For tests and the bench ablation.
+  void ResetValues();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ ARCHIS_GUARDED_BY(mu_);
+};
+
+}  // namespace archis::metrics
+
+#endif  // ARCHIS_COMMON_METRICS_H_

@@ -1,0 +1,104 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace archis::trace {
+
+const Span* FindSpan(const Span& root, const std::string& name) {
+  if (root.name == name) return &root;
+  for (const Span& child : root.children) {
+    if (const Span* found = FindSpan(child, name)) return found;
+  }
+  return nullptr;
+}
+
+Trace::Trace() : start_(std::chrono::steady_clock::now()) {
+  root_.name = "query";
+  open_.push_back(&root_);
+}
+
+uint64_t Trace::ElapsedNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+QueryProfile Trace::TakeProfile() {
+  root_.duration_ns = std::max<uint64_t>(ElapsedNs(), 1);
+  QueryProfile profile;
+  profile.root = std::move(root_);
+  root_ = Span{};
+  open_.clear();
+  return profile;
+}
+
+ScopedSpan::ScopedSpan(Trace* t, std::string name) : trace_(t) {
+  if (trace_ == nullptr || trace_->open_.empty()) return;
+  Span* parent = trace_->open_.back();
+  parent->children.push_back(Span{});
+  span_ = &parent->children.back();
+  span_->name = std::move(name);
+  span_->start_ns = trace_->ElapsedNs();
+  trace_->open_.push_back(span_);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (span_ == nullptr) return;
+  // Clamp to 1ns so a closed span always reports a non-zero duration.
+  span_->duration_ns =
+      std::max<uint64_t>(trace_->ElapsedNs() - span_->start_ns, 1);
+  trace_->open_.pop_back();
+}
+
+void ScopedSpan::Note(const std::string& key, std::string value) {
+  if (span_ == nullptr) return;
+  span_->notes.emplace_back(key, std::move(value));
+}
+
+void ScopedSpan::Note(const std::string& key, uint64_t value) {
+  Note(key, std::to_string(value));
+}
+
+namespace {
+
+void RenderSpan(const Span& span, int depth, size_t name_width,
+                std::string* out) {
+  std::string line(static_cast<size_t>(depth) * 2, ' ');
+  line += span.name;
+  if (line.size() < name_width) line.resize(name_width, ' ');
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "  %10.3f ms",
+                static_cast<double>(span.duration_ns) / 1e6);
+  line += buf;
+  for (const auto& [k, v] : span.notes) {
+    line += "  ";
+    line += k;
+    line += "=";
+    line += v;
+  }
+  out->append(line);
+  out->push_back('\n');
+  for (const Span& child : span.children) {
+    RenderSpan(child, depth + 1, name_width, out);
+  }
+}
+
+size_t MaxNameWidth(const Span& span, int depth) {
+  size_t w = static_cast<size_t>(depth) * 2 + span.name.size();
+  for (const Span& child : span.children) {
+    w = std::max(w, MaxNameWidth(child, depth + 1));
+  }
+  return w;
+}
+
+}  // namespace
+
+std::string QueryProfile::Render() const {
+  std::string out;
+  RenderSpan(root, 0, MaxNameWidth(root, 0), &out);
+  return out;
+}
+
+}  // namespace archis::trace

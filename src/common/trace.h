@@ -1,0 +1,94 @@
+// Per-query RAII trace spans and the EXPLAIN-style profile renderer.
+//
+// A Trace owns a span tree built by properly nested ScopedSpan guards on
+// the query thread: the facade opens parse / translate / execute spans,
+// the plan executor opens one segment-scan span per plan variable, and
+// every span can carry key=value notes (row counts, cache hits, the table
+// scanned). When QueryOptions::collect_profile is set the tree is
+// surfaced on QueryResult as a QueryProfile whose Render() is the
+// human-readable EXPLAIN output.
+//
+// A null Trace* makes every ScopedSpan a no-op, so instrumented code paths
+// pay nothing when no profile was requested. Spans are built on one thread
+// (the query thread); work fanned out to scan-pool workers is reported as
+// notes/counters on the enclosing span, not as child spans.
+#ifndef ARCHIS_COMMON_TRACE_H_
+#define ARCHIS_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace archis::trace {
+
+/// One node of the profile tree.
+struct Span {
+  std::string name;
+  uint64_t start_ns = 0;     ///< offset from the trace start
+  uint64_t duration_ns = 0;  ///< >= 1 once closed (clamped, so a recorded
+                             ///< span is always distinguishable from a
+                             ///< never-run one)
+  std::vector<std::pair<std::string, std::string>> notes;
+  std::vector<Span> children;
+};
+
+/// Depth-first search by span name; nullptr when absent.
+const Span* FindSpan(const Span& root, const std::string& name);
+
+/// The completed profile of one query.
+struct QueryProfile {
+  Span root;
+  /// EXPLAIN-style indented tree, one span per line:
+  ///   query                       2.314 ms
+  ///     execute                   2.201 ms
+  ///       segment-scan            1.806 ms  table=employees_salary rows=42
+  std::string Render() const;
+};
+
+class ScopedSpan;
+
+/// Span-tree builder for one query. Not thread-safe: one Trace is driven
+/// by one query thread.
+class Trace {
+ public:
+  Trace();
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  /// Closes the root span and hands the finished tree out.
+  QueryProfile TakeProfile();
+
+ private:
+  friend class ScopedSpan;
+  uint64_t ElapsedNs() const;
+
+  std::chrono::steady_clock::time_point start_;
+  Span root_;
+  /// Open-span stack; back() is the innermost open span. Pointers stay
+  /// valid because RAII nesting means a parent's children vector only
+  /// grows while none of its existing children is open.
+  std::vector<Span*> open_;
+};
+
+/// RAII guard for one span. Constructing on a null Trace is a no-op.
+class ScopedSpan {
+ public:
+  ScopedSpan(Trace* t, std::string name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a key=value annotation to this span.
+  void Note(const std::string& key, std::string value);
+  void Note(const std::string& key, uint64_t value);
+
+ private:
+  Trace* trace_;
+  Span* span_ = nullptr;
+};
+
+}  // namespace archis::trace
+
+#endif  // ARCHIS_COMMON_TRACE_H_

@@ -3,7 +3,50 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/metrics.h"
+
 namespace archis::compress {
+
+namespace {
+
+// Registry mirrors of the per-scan BlobReadStats, so cache effectiveness
+// is visible process-wide (DESIGN.md §9) and not only on plumbed scans.
+metrics::Counter* CacheHitsMetric() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_block_cache_hits_total",
+      "Decompressed-block LRU cache hits across all frozen segments");
+  return c;
+}
+
+metrics::Counter* CacheMissesMetric() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_block_cache_misses_total",
+      "Decompressed-block LRU cache misses across all frozen segments");
+  return c;
+}
+
+metrics::Counter* BlocksDecompressedMetric() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_blocks_decompressed_total",
+      "BlockZIP blocks inflated (cache misses + uncached fetches)");
+  return c;
+}
+
+metrics::Counter* BytesDecompressedMetric() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_block_decompressed_bytes_total",
+      "Raw bytes produced by BlockZIP inflation");
+  return c;
+}
+
+metrics::Counter* BlocksPrunedMetric() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_blocks_pruned_by_time_total",
+      "Blocks skipped by the temporal zone map before decompression");
+  return c;
+}
+
+}  // namespace
 
 Status BlobStore::Build(
     const std::vector<std::pair<int64_t, std::string>>& records,
@@ -81,6 +124,8 @@ Result<BlobStore::BlockPayloads> BlobStore::FetchBlock(
       ++stats->blocks_decompressed;
       stats->bytes_decompressed += blocks_[b].raw_bytes;
     }
+    BlocksDecompressedMetric()->Inc();
+    BytesDecompressedMetric()->Inc(blocks_[b].raw_bytes);
     return std::make_shared<const std::vector<std::string>>(
         std::move(payloads));
   }
@@ -91,6 +136,7 @@ Result<BlobStore::BlockPayloads> BlobStore::FetchBlock(
     if (it != shard.entries.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.second);
       if (stats != nullptr) ++stats->block_cache_hits;
+      CacheHitsMetric()->Inc();
       return it->second.first;
     }
   }
@@ -103,6 +149,9 @@ Result<BlobStore::BlockPayloads> BlobStore::FetchBlock(
     ++stats->blocks_decompressed;
     stats->bytes_decompressed += blocks_[b].raw_bytes;
   }
+  CacheMissesMetric()->Inc();
+  BlocksDecompressedMetric()->Inc();
+  BytesDecompressedMetric()->Inc(blocks_[b].raw_bytes);
   auto entry = std::make_shared<const std::vector<std::string>>(
       std::move(payloads));
   const uint64_t charge = blocks_[b].raw_bytes;
@@ -133,6 +182,7 @@ Status BlobStore::ScanRangeInterval(
     if (window.has_value() && (meta_[b].max_tend < window->tstart.days() ||
                                meta_[b].min_tstart > window->tend.days())) {
       if (stats != nullptr) ++stats->blocks_pruned_by_time;
+      BlocksPrunedMetric()->Inc();
       continue;
     }
     ARCHIS_ASSIGN_OR_RETURN(BlockPayloads payloads, FetchBlock(b, stats));

@@ -230,6 +230,58 @@ TEST(CleanPass, ConformingSourceHasNoFindings) {
   EXPECT_TRUE(LintSource("src/storage/seeded.h", conforming).empty());
 }
 
+// ---- raw-logging ----------------------------------------------------------
+
+TEST(RawLogging, FiresOnFprintfStderr) {
+  EXPECT_TRUE(FiredRule("src/archis/seeded.cc",
+                        "void F() { std::fprintf(stderr, \"oops\\n\"); }\n",
+                        "raw-logging"));
+}
+
+TEST(RawLogging, FiresOnStdCoutAndCerr) {
+  EXPECT_TRUE(FiredRule("src/minirel/seeded.cc",
+                        "void F() { std::cout << \"x\"; }\n",
+                        "raw-logging"));
+  EXPECT_TRUE(FiredRule("src/minirel/seeded.cc",
+                        "void F() { std::cerr << \"x\"; }\n",
+                        "raw-logging"));
+}
+
+TEST(RawLogging, IgnoresSnprintfAndOtherLongerTokens) {
+  EXPECT_FALSE(FiredRule(
+      "src/archis/seeded.cc",
+      "void F() { char b[8]; std::snprintf(b, sizeof(b), \"%d\", 1); }\n",
+      "raw-logging"));
+  EXPECT_FALSE(FiredRule("src/archis/seeded.cc",
+                         "void F() { std::vsnprintf(nullptr, 0, \"\", {}); "
+                         "}\n",
+                         "raw-logging"));
+}
+
+TEST(RawLogging, OnlyAppliesToSrc) {
+  EXPECT_FALSE(FiredRule("bench/bench_common.h",
+                         "void F() { std::fprintf(stderr, \"bench\\n\"); }\n",
+                         "raw-logging"));
+  EXPECT_FALSE(FiredRule("tools/archis_stats/archis_stats_main.cc",
+                         "void F() { std::printf(\"metrics\\n\"); }\n",
+                         "raw-logging"));
+}
+
+TEST(RawLogging, AllowedInsideLoggerImplementation) {
+  EXPECT_FALSE(FiredRule("src/common/log.cc",
+                         "void Emit() { std::fwrite(0, 1, 0, stderr); "
+                         "std::fputc('\\n', stderr); }\n",
+                         "raw-logging"));
+}
+
+TEST(RawLogging, SuppressionComment) {
+  EXPECT_FALSE(FiredRule(
+      "src/archis/seeded.cc",
+      "// archis-lint: allow(raw-logging) -- early-boot, logger not up\n"
+      "void F() { std::fprintf(stderr, \"boot\\n\"); }\n",
+      "raw-logging"));
+}
+
 // ---- comment stripping ----------------------------------------------------
 
 TEST(StripCommentsTest, PreservesLineStructureAndStrings) {

@@ -1,0 +1,454 @@
+// Tests for the observability layer: the metrics registry (counters,
+// gauges, histograms, exposition), the per-query trace spans, the
+// structured logger, and the end-to-end wiring through ArchIS::Query /
+// ArchIS::DumpMetrics on a real workload.
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "archis/archis.h"
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "workload/employee_workload.h"
+#include "xml/serializer.h"
+
+namespace archis {
+namespace {
+
+using core::ArchIS;
+using core::ArchISOptions;
+using core::PlanStats;
+using core::PlanVar;
+using core::QueryOptions;
+using core::SqlXmlPlan;
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+
+TEST(CounterTest, IncrementsAndWrapsModulo2e64) {
+  metrics::Counter c;
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Overflow is modular, not saturating: a rate() over text exposition
+  // handles wraps, so the counter must too.
+  c.Inc(UINT64_MAX - 41);
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(CounterTest, DisabledCounterIsFrozen) {
+  metrics::Counter c;
+  c.Inc(3);
+  metrics::SetEnabled(false);
+  c.Inc(100);
+  metrics::SetEnabled(true);
+  EXPECT_EQ(c.value(), 3u);
+  c.Inc();
+  EXPECT_EQ(c.value(), 4u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsLoseNothing) {
+  metrics::Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kIncs = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncs; ++i) c.Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kIncs);
+}
+
+TEST(GaugeTest, SetAndAddBothDirections) {
+  metrics::Gauge g;
+  g.Set(10);
+  g.Add(-25);
+  EXPECT_EQ(g.value(), -15);
+  g.Add(15);
+  EXPECT_EQ(g.value(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(HistogramTest, BucketsAreCumulativeWithInfOverflow) {
+  metrics::Histogram h({1.0, 2.0, 5.0});
+  h.Observe(0.5);   // bucket le=1
+  h.Observe(1.0);   // le=1 (upper bound is inclusive)
+  h.Observe(1.5);   // le=2
+  h.Observe(100.0); // +Inf
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 103.0);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // +Inf
+}
+
+TEST(HistogramTest, PercentileInterpolatesInsideCoveringBucket) {
+  metrics::Histogram h({10.0, 20.0, 30.0});
+  for (int i = 0; i < 100; ++i) h.Observe(15.0);  // all in (10, 20]
+  // The covering bucket for every quantile is (10, 20]; interpolation
+  // stays inside it.
+  EXPECT_GE(h.Percentile(0.50), 10.0);
+  EXPECT_LE(h.Percentile(0.50), 20.0);
+  EXPECT_GE(h.Percentile(0.99), h.Percentile(0.50));
+}
+
+TEST(HistogramTest, PercentileOrderingAcrossBuckets) {
+  metrics::Histogram h(metrics::LinearBuckets(1.0, 1.0, 10));
+  for (int i = 1; i <= 10; ++i) {
+    for (int j = 0; j < 10; ++j) h.Observe(static_cast<double>(i) - 0.5);
+  }
+  const double p50 = h.Percentile(0.50);
+  const double p95 = h.Percentile(0.95);
+  const double p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_NEAR(p50, 5.0, 1.0);
+  EXPECT_NEAR(p95, 9.5, 1.0);
+}
+
+TEST(HistogramTest, EmptyAndOverflowClampBehaviour) {
+  metrics::Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  h.Observe(50.0);
+  // Everything landed above the largest finite bound: the estimate clamps
+  // to that bound rather than inventing mass beyond it.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 2.0);
+}
+
+TEST(HistogramTest, ConcurrentObservePreservesTotals) {
+  metrics::Histogram h(metrics::ExponentialBuckets(1.0, 2.0, 8));
+  constexpr int kThreads = 8;
+  constexpr int kObs = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kObs; ++i) h.Observe(1.0 + (t + i) % 7);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kObs);
+  uint64_t in_buckets = 0;
+  for (size_t i = 0; i <= h.bounds().size(); ++i) in_buckets += h.bucket_count(i);
+  EXPECT_EQ(in_buckets, h.count());
+}
+
+TEST(HistogramTest, BucketHelpers) {
+  const auto exp = metrics::ExponentialBuckets(1e-6, 10.0, 4);
+  ASSERT_EQ(exp.size(), 4u);
+  EXPECT_DOUBLE_EQ(exp[0], 1e-6);
+  EXPECT_NEAR(exp[3], 1e-3, 1e-12);
+  const auto lin = metrics::LinearBuckets(0.05, 0.05, 20);
+  ASSERT_EQ(lin.size(), 20u);
+  EXPECT_NEAR(lin.back(), 1.0, 1e-9);
+  // Default ladders must be strictly increasing (lower_bound depends on it).
+  for (const auto& bounds :
+       {metrics::DefaultLatencyBuckets(), metrics::DefaultSizeBuckets()}) {
+    for (size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(RegistryTest, GetOrCreateReturnsStablePointers) {
+  metrics::Registry reg;
+  metrics::Counter* a = reg.GetCounter("requests_total", "help");
+  metrics::Counter* b = reg.GetCounter("requests_total", "ignored");
+  EXPECT_EQ(a, b);
+  a->Inc(5);
+  EXPECT_EQ(b->value(), 5u);
+}
+
+TEST(RegistryTest, TypeMismatchReturnsDetachedDummy) {
+  metrics::Registry reg;
+  reg.GetCounter("x_total", "a counter");
+  metrics::Gauge* dummy = reg.GetGauge("x_total", "now a gauge?");
+  ASSERT_NE(dummy, nullptr);
+  dummy->Set(123);  // must not crash, must not render
+  const std::string text = reg.TextFormat();
+  EXPECT_NE(text.find("# TYPE x_total counter"), std::string::npos);
+  EXPECT_EQ(text.find("123"), std::string::npos);
+}
+
+TEST(RegistryTest, TextFormatIsWellFormedExposition) {
+  metrics::Registry reg;
+  reg.GetCounter("b_total", "b counter")->Inc(2);
+  reg.GetGauge("a_gauge", "a gauge")->Set(-7);
+  auto* h = reg.GetHistogram("lat_seconds", "latency", {0.1, 1.0});
+  h->Observe(0.05);
+  h->Observe(10.0);
+  const std::string text = reg.TextFormat();
+  // Instruments sort by name: a_gauge before b_total before lat_seconds.
+  EXPECT_LT(text.find("a_gauge"), text.find("b_total"));
+  EXPECT_LT(text.find("b_total"), text.find("lat_seconds"));
+  // Every non-comment line is `name{labels} value`.
+  const std::regex line_re(
+      R"(^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9].*$|^# (HELP|TYPE) .*$)");
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(std::regex_match(line, line_re)) << "bad line: " << line;
+  }
+  // Histogram exposition: cumulative buckets, +Inf, sum, count.
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"0.1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 2"), std::string::npos);
+}
+
+TEST(RegistryTest, ResetValuesKeepsRegistrations) {
+  metrics::Registry reg;
+  metrics::Counter* c = reg.GetCounter("c_total", "h");
+  auto* h = reg.GetHistogram("h_seconds", "h", {1.0});
+  c->Inc(9);
+  h->Observe(0.5);
+  reg.ResetValues();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(reg.GetCounter("c_total", "h"), c);  // same instrument
+}
+
+// ---------------------------------------------------------------------------
+// Trace
+
+TEST(TraceTest, NullTraceSpansAreNoOps) {
+  trace::ScopedSpan span(nullptr, "never");
+  span.Note("k", "v");  // must not crash
+}
+
+TEST(TraceTest, BuildsNestedTreeWithNotesAndDurations) {
+  trace::Trace tr;
+  {
+    trace::ScopedSpan parse(&tr, "parse");
+  }
+  {
+    trace::ScopedSpan exec(&tr, "execute");
+    {
+      trace::ScopedSpan scan(&tr, "segment-scan");
+      scan.Note("table", "employees_salary");
+      scan.Note("rows", uint64_t{42});
+    }
+  }
+  trace::QueryProfile profile = tr.TakeProfile();
+  EXPECT_EQ(profile.root.name, "query");
+  ASSERT_EQ(profile.root.children.size(), 2u);
+  EXPECT_GE(profile.root.duration_ns, 1u);
+
+  const trace::Span* scan = trace::FindSpan(profile.root, "segment-scan");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_GE(scan->duration_ns, 1u);
+  ASSERT_EQ(scan->notes.size(), 2u);
+  EXPECT_EQ(scan->notes[0].first, "table");
+  EXPECT_EQ(scan->notes[1].second, "42");
+  EXPECT_EQ(trace::FindSpan(profile.root, "nope"), nullptr);
+
+  const std::string rendered = profile.Render();
+  EXPECT_NE(rendered.find("query"), std::string::npos);
+  EXPECT_NE(rendered.find("segment-scan"), std::string::npos);
+  EXPECT_NE(rendered.find("table=employees_salary"), std::string::npos);
+  EXPECT_NE(rendered.find("ms"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Logger
+
+class LogCapture {
+ public:
+  LogCapture() {
+    logging::SetSink([this](const std::string& line) { lines_.push_back(line); });
+  }
+  ~LogCapture() {
+    logging::SetSink(nullptr);
+    logging::SetMinLevel(logging::Level::kWarn);
+    logging::SetFormat(logging::Format::kKeyValue);
+  }
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+TEST(LogTest, KeyValueLineWithQuoting) {
+  LogCapture cap;
+  logging::SetMinLevel(logging::Level::kInfo);
+  logging::Info("test.event")
+      .Kv("plain", "simple")
+      .Kv("spaced", "two words")
+      .Kv("n", 42)
+      .Kv("flag", true);
+  ASSERT_EQ(cap.lines().size(), 1u);
+  const std::string& line = cap.lines()[0];
+  EXPECT_NE(line.find("level=info"), std::string::npos);
+  EXPECT_NE(line.find("event=test.event"), std::string::npos);
+  EXPECT_NE(line.find("plain=simple"), std::string::npos);
+  EXPECT_NE(line.find("spaced=\"two words\""), std::string::npos);
+  EXPECT_NE(line.find("n=42"), std::string::npos);
+  EXPECT_NE(line.find("flag=true"), std::string::npos);
+  EXPECT_NE(line.find("ts="), std::string::npos);
+}
+
+TEST(LogTest, LevelFilteringDropsBelowMin) {
+  LogCapture cap;
+  logging::SetMinLevel(logging::Level::kWarn);
+  logging::Debug("dropped").Kv("k", 1);
+  logging::Info("dropped").Kv("k", 2);
+  logging::Warn("kept");
+  logging::Error("kept.too");
+  ASSERT_EQ(cap.lines().size(), 2u);
+  EXPECT_NE(cap.lines()[0].find("kept"), std::string::npos);
+  EXPECT_NE(cap.lines()[1].find("level=error"), std::string::npos);
+}
+
+TEST(LogTest, JsonFormatEscapes) {
+  LogCapture cap;
+  logging::SetMinLevel(logging::Level::kInfo);
+  logging::SetFormat(logging::Format::kJson);
+  logging::Info("json.event").Kv("msg", "a \"quoted\"\nvalue");
+  ASSERT_EQ(cap.lines().size(), 1u);
+  const std::string& line = cap.lines()[0];
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\"event\":\"json.event\""), std::string::npos);
+  EXPECT_NE(line.find("\\\"quoted\\\"\\nvalue"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: workload -> freeze -> profiled query -> DumpMetrics
+
+uint64_t GlobalCounterValue(const std::string& name) {
+  return metrics::Registry::Global().GetCounter(name, "")->value();
+}
+
+TEST(ObservabilityIntegrationTest, ProfiledQueryAndMetricsExposition) {
+  ArchISOptions options;
+  options.segment.compress = true;
+  options.wal.path = std::string(::testing::TempDir()) + "/metrics_test.wal";
+  std::remove(options.wal.path.c_str());  // a prior run's log would replay
+
+  workload::WorkloadConfig config;
+  config.initial_employees = 30;
+  config.years = 4;
+
+  auto opened = ArchIS::Open(options, config.start_date);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  ArchIS& db = **opened;
+
+  workload::EmployeeWorkload wl(config);
+  auto stats = wl.Generate(&db);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_TRUE(db.FreezeAll().ok());
+
+  const std::string query =
+      "for $s in doc(\"employees.xml\")/employees/employee/"
+      "salary[tstart(.) <= xs:date(\"1987-06-01\") and "
+      "tend(.) >= xs:date(\"1987-06-01\")] return $s";
+
+  // Cold run warms the block cache so the profiled run records hits.
+  QueryOptions qopts;
+  ASSERT_TRUE(db.Query(query, qopts).ok());
+
+  qopts.collect_profile = true;
+  auto result = db.Query(query, qopts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->profile.has_value());
+
+  const trace::Span& root = result->profile->root;
+  for (const char* name : {"parse", "translate", "execute", "segment-scan"}) {
+    const trace::Span* span = trace::FindSpan(root, name);
+    ASSERT_NE(span, nullptr) << "missing span " << name;
+    EXPECT_GE(span->duration_ns, 1u) << name;
+  }
+  // The scan span carries its executor notes.
+  const trace::Span* scan = trace::FindSpan(root, "segment-scan");
+  bool has_rows_note = false;
+  for (const auto& [k, v] : scan->notes) has_rows_note |= (k == "rows");
+  EXPECT_TRUE(has_rows_note);
+
+  // An unprofiled query must not pay for a tree.
+  qopts.collect_profile = false;
+  auto plain = db.Query(query, qopts);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->profile.has_value());
+
+  const std::string text = ArchIS::DumpMetrics();
+  const std::regex nonzero(
+      "(archis_wal_fsync_seconds_count|archis_block_cache_hits_total|"
+      "archis_page_reads_total|archis_segment_freezes_total|"
+      "archis_segment_freeze_usefulness_count|archis_queries_translated_total|"
+      "archis_txn_commits_total|archis_changes_captured_total) ([0-9]+)");
+  std::map<std::string, uint64_t> seen;
+  for (std::sregex_iterator it(text.begin(), text.end(), nonzero), end;
+       it != end; ++it) {
+    seen[(*it)[1]] = std::stoull((*it)[2]);
+  }
+  for (const char* name :
+       {"archis_wal_fsync_seconds_count", "archis_block_cache_hits_total",
+        "archis_page_reads_total", "archis_segment_freezes_total",
+        "archis_segment_freeze_usefulness_count",
+        "archis_queries_translated_total", "archis_txn_commits_total",
+        "archis_changes_captured_total"}) {
+    ASSERT_TRUE(seen.count(name)) << name << " absent from exposition";
+    EXPECT_GT(seen[name], 0u) << name << " never incremented";
+  }
+}
+
+TEST(ObservabilityIntegrationTest, FailedPlansStayAttributable) {
+  ArchISOptions options;
+  ArchIS db(options, Date::FromYmd(1990, 1, 1));
+
+  const uint64_t plans_before = GlobalCounterValue("archis_exec_plans_total");
+  const uint64_t failures_before =
+      GlobalCounterValue("archis_exec_plan_failures_total");
+
+  SqlXmlPlan plan;
+  PlanVar var;
+  var.xq_name = "$x";
+  var.relation = "no_such_relation";
+  plan.vars.push_back(var);
+
+  PlanStats stats;
+  auto result = db.Execute(plan, &stats);
+  EXPECT_FALSE(result.ok());
+
+  // Satellite fix: the failure still lands in the registry (and any stats
+  // gathered before the error stay in `stats`), so failed queries show up
+  // in rates instead of vanishing.
+  EXPECT_EQ(GlobalCounterValue("archis_exec_plans_total"), plans_before + 1);
+  EXPECT_EQ(GlobalCounterValue("archis_exec_plan_failures_total"),
+            failures_before + 1);
+}
+
+TEST(ObservabilityIntegrationTest, QueryFailureCountsAndLatencyObserved) {
+  ArchISOptions options;
+  ArchIS db(options, Date::FromYmd(1990, 1, 1));
+  const uint64_t failures_before =
+      GlobalCounterValue("archis_query_failures_total");
+  auto result = db.Query("for $x in ((((", QueryOptions{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(GlobalCounterValue("archis_query_failures_total"),
+            failures_before + 1);
+}
+
+}  // namespace
+}  // namespace archis

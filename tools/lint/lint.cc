@@ -261,6 +261,44 @@ void CheckDeprecatedApi(const RuleContext& ctx) {
   }
 }
 
+// ---- Rule: raw-logging ----------------------------------------------------
+
+void CheckRawLogging(const RuleContext& ctx) {
+  // Production sources only: tools, tests and bench are user-facing
+  // programs that legitimately print. The logger implementation is the
+  // one sanctioned raw writer.
+  const bool in_scope =
+      ctx.path.rfind("src/", 0) == 0 || PathContains(ctx.path, "/src/");
+  if (!in_scope) return;
+  if (PathEndsWithAny(ctx.path, {"common/log.h", "common/log.cc"})) return;
+  // Whole-token matches only, so std::snprintf / fwrite(file IO) never
+  // fire. std::clog is the iostream third sibling; vprintf/vfprintf the
+  // stdio variadic forms.
+  static const std::vector<std::string> kBanned = {
+      "printf",    "fprintf",   "vprintf",   "vfprintf",
+      "puts",      "fputs",     "std::cout", "std::cerr",
+      "std::clog",
+  };
+  for (const std::string& needle : kBanned) {
+    size_t pos = 0;
+    while ((pos = ctx.code.find(needle, pos)) != std::string::npos) {
+      size_t start = pos;
+      pos += needle.size();
+      // Token boundaries: "snprintf" must not match "printf", and
+      // "fprintf" must not match inside "vfprintf". A preceding ':' means
+      // a qualified name we didn't spell (std::printf is still printf —
+      // allow the qualifier itself).
+      if (start > 0 && IsIdentChar(ctx.code[start - 1])) continue;
+      if (pos < ctx.code.size() && IsIdentChar(ctx.code[pos])) continue;
+      ctx.Report("raw-logging", start,
+                 "raw console output ('" + needle +
+                     "') in src/; emit structured events through the "
+                     "leveled logger (common/log.h), e.g. "
+                     "archis::logging::Warn(\"event\").Kv(...)");
+    }
+  }
+}
+
 }  // namespace
 
 std::string Finding::ToString() const {
@@ -343,6 +381,7 @@ std::vector<Finding> LintSource(const std::string& path,
   CheckRawMutex(ctx);
   CheckVoidMutator(ctx);
   CheckDeprecatedApi(ctx);
+  CheckRawLogging(ctx);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.rule) <

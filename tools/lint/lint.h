@@ -24,6 +24,11 @@
 //                      five-parameter CreateRelation) still compile through
 //                      [[deprecated]] shims; new code must use the
 //                      transactional write path and RelationSpec.
+//   raw-logging        printf / fprintf / std::cout / std::cerr logging in
+//                      src/ produces unstructured, unfilterable prose; all
+//                      diagnostics go through the leveled key=value logger
+//                      in common/log.h (which is itself exempt, as are
+//                      tools/tests/bench outside src/).
 //
 // Findings on a line (or the line below) can be suppressed with a comment:
 //   // archis-lint: allow(<rule>) -- <why this is safe>
