@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "archis/checkpoint.h"
 #include "bench_common.h"
 
 namespace archis::bench {
@@ -174,12 +175,106 @@ void BM_CommitBatch(benchmark::State& state) {
   state.SetLabel("durable batched commit (WAL append + fsync + archive)");
 }
 
+void BM_RecoveryReplay(benchmark::State& state) {
+  // Recovery-time-vs-WAL-size ablation (DESIGN.md §10): `txns` committed
+  // transactions accumulate in the log; with checkpointing enabled a
+  // quiesced Checkpoint() runs after them, so the timed Open replays only
+  // the fixed post-checkpoint suffix instead of the whole history. The
+  // wal_replayed_bytes counter is the receipt: it grows with `txns` in the
+  // no-checkpoint rows and stays flat in the checkpointed ones.
+  const int txns = static_cast<int>(state.range(0));
+  const bool checkpointed = state.range(1) == 1;
+  constexpr int kSuffixTxns = 4;
+  constexpr int kRows = 64;
+  const std::string wal_path =
+      (std::filesystem::temp_directory_path() / "bench_recovery.wal")
+          .string();
+  core::ArchISOptions opts;
+  opts.wal.path = wal_path;
+  opts.wal.sync = false;  // measuring replay, not the build-up fsyncs
+  uint64_t replayed_bytes = 0;
+  uint64_t log_bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::remove(wal_path.c_str());
+    std::remove(core::CheckpointPath(wal_path).c_str());
+    std::remove(core::CheckpointPrevPath(wal_path).c_str());
+    {
+      auto db = core::ArchIS::Open(opts, Date::FromYmd(2000, 1, 1));
+      if (!db.ok()) {
+        state.SkipWithError(db.status().ToString().c_str());
+        return;
+      }
+      core::RelationSpec spec;
+      spec.name = "employees";
+      spec.schema = minirel::Schema({{"id", minirel::DataType::kInt64},
+                                     {"name", minirel::DataType::kString},
+                                     {"salary", minirel::DataType::kInt64}});
+      spec.key_columns = {"id"};
+      spec.doc_name = "employees.xml";
+      bool ok = (*db)->CreateRelation(spec).ok();
+      for (int64_t id = 1; ok && id <= kRows; ++id) {
+        ok = (*db)
+                 ->Insert("employees",
+                          minirel::Tuple{minirel::Value(id),
+                                         minirel::Value("emp"),
+                                         minirel::Value(int64_t{50000})})
+                 .ok();
+      }
+      int64_t salary = 50000;
+      auto commit_one = [&](int i) {
+        core::Transaction txn = (*db)->Begin();
+        const int64_t id = i % kRows + 1;
+        minirel::Tuple row{minirel::Value(id), minirel::Value("emp"),
+                           minirel::Value(++salary)};
+        return txn.Update("employees", {minirel::Value(id)}, row).ok() &&
+               txn.Commit().ok();
+      };
+      for (int i = 0; ok && i < txns; ++i) ok = commit_one(i);
+      if (ok && checkpointed) ok = (*db)->Checkpoint().ok();
+      for (int i = 0; ok && i < kSuffixTxns; ++i) ok = commit_one(txns + i);
+      if (!ok) {
+        state.SkipWithError("workload build-up failed");
+        return;
+      }
+      log_bytes = (*db)->wal()->end_offset();
+      db->reset();
+    }
+    state.ResumeTiming();
+    auto recovered = core::ArchIS::Open(opts, Date::FromYmd(2000, 1, 1));
+    if (!recovered.ok()) {
+      state.SkipWithError(recovered.status().ToString().c_str());
+      return;
+    }
+    state.PauseTiming();
+    replayed_bytes = (*recovered)->last_recovery_replayed_bytes();
+    recovered->reset();
+    state.ResumeTiming();
+  }
+  std::remove(wal_path.c_str());
+  std::remove(core::CheckpointPath(wal_path).c_str());
+  std::remove(core::CheckpointPrevPath(wal_path).c_str());
+  state.counters["wal_bytes"] = static_cast<double>(log_bytes);
+  state.counters["wal_replayed_bytes"] = static_cast<double>(replayed_bytes);
+  state.SetLabel(checkpointed
+                     ? "Open after checkpoint: replay = post-ckpt suffix"
+                     : "Open without checkpoint: replay = full history");
+}
+
 BENCHMARK(BM_ArchISSingleUpdate)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CommitBatch)->Arg(1)->Arg(8)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TaminoSingleUpdate)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ArchISDailyUpdate)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SegmentFreeze)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RecoveryReplay)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace archis::bench

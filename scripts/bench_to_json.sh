@@ -4,10 +4,14 @@
 #   bench_queries       -> BENCH_queries.json       (Table 3 / Figure 8)
 #   bench_updates       -> BENCH_updates.json       (Section 8.4 updates)
 #   bench_observability -> BENCH_observability.json (metrics overhead)
+#   recovery            -> BENCH_recovery.json      (recovery time vs WAL
+#                          size, with/without checkpoint; a filtered run of
+#                          bench_updates)
 #
 # Usage: scripts/bench_to_json.sh [suite ...]
 #   scripts/bench_to_json.sh                  # all suites
 #   scripts/bench_to_json.sh updates          # just bench_updates
+#   scripts/bench_to_json.sh recovery         # just the recovery ablation
 #   BUILD_DIR=build-release scripts/bench_to_json.sh
 #
 # Uses --benchmark_out (not --benchmark_format=json on stdout) so the
@@ -18,17 +22,25 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 SUITES=("$@")
 if [[ ${#SUITES[@]} -eq 0 ]]; then
-  SUITES=(queries updates observability)
+  SUITES=(queries updates observability recovery)
 fi
 
 for suite in "${SUITES[@]}"; do
-  BIN="$BUILD_DIR/bench/bench_$suite"
+  # The recovery ablation lives in bench_updates; select it by filter so it
+  # gets its own JSON series without a dedicated binary.
+  FILTER=()
+  if [[ "$suite" == "recovery" ]]; then
+    BIN="$BUILD_DIR/bench/bench_updates"
+    FILTER=(--benchmark_filter=Recovery)
+  else
+    BIN="$BUILD_DIR/bench/bench_$suite"
+  fi
   OUT="BENCH_$suite.json"
   if [[ ! -x "$BIN" ]]; then
     echo "error: $BIN not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
     exit 1
   fi
   "$BIN" --benchmark_out="$OUT" --benchmark_out_format=json \
-         --benchmark_repetitions="${REPETITIONS:-1}"
+         --benchmark_repetitions="${REPETITIONS:-1}" "${FILTER[@]}"
   echo "wrote $OUT"
 done

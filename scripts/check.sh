@@ -5,8 +5,9 @@
 #   2. If clang++ is available: ARCHIS_ANALYZE=ON build, which turns on
 #      Clang thread-safety analysis with -Werror=thread-safety.
 #   3. archis-lint over src/ and tools/ (domain-invariant checker).
-#   4. recovery_fuzz smoke sweep: randomized WAL crash points must all
-#      recover to the durably-committed state exactly.
+#   4. recovery_fuzz smoke sweep: randomized WAL crash points, checkpoint
+#      crash-phase sweeps, and auto-checkpoint + crash combinations must
+#      all recover to the durably-committed state exactly.
 #   5. metrics smoke: archis-stats on a durable workload must produce the
 #      full profile span tree and a well-formed, non-zero exposition.
 #   6. If clang-tidy is available: .clang-tidy checks over src/.
@@ -35,7 +36,7 @@ fi
 echo "==> [3/6] archis-lint (domain invariants)"
 ./build-check/tools/archis-lint src tools
 
-echo "==> [4/6] recovery fuzz (randomized WAL crash points)"
+echo "==> [4/6] recovery fuzz (WAL crash points + checkpoint phases)"
 ./build-check/tools/recovery_fuzz --runs "${FUZZ_RUNS:-8}"
 
 echo "==> [5/6] metrics smoke (profile spans + exposition)"

@@ -1,5 +1,6 @@
 #include "archis/archis.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/log.h"
@@ -63,6 +64,36 @@ metrics::Counter* ChangesCapturedMetric() {
   static metrics::Counter* c = metrics::Registry::Global().GetCounter(
       "archis_changes_captured_total",
       "Change records committed into the H-tables (capture throughput)");
+  return c;
+}
+
+// Checkpoint / bounded recovery metrics (DESIGN.md §10).
+metrics::Histogram* CheckpointSecondsMetric() {
+  static metrics::Histogram* h = metrics::Registry::Global().GetHistogram(
+      "archis_checkpoint_seconds",
+      "Latency of one full checkpoint (snapshot + install + WAL reset)",
+      metrics::DefaultLatencyBuckets());
+  return h;
+}
+
+metrics::Counter* CheckpointsMetric() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_checkpoints_total", "Checkpoints completed (manual + auto)");
+  return c;
+}
+
+metrics::Counter* WalRecoveredBytesMetric() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_wal_recovered_bytes",
+      "WAL bytes replayed by recovery (suffix past the manifest only)");
+  return c;
+}
+
+metrics::Counter* ManifestFallbacksMetric() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_checkpoint_manifest_fallbacks_total",
+      "Recoveries that found the newest manifest torn and used the "
+      "previous one");
   return c;
 }
 
@@ -142,12 +173,51 @@ Result<std::unique_ptr<ArchIS>> ArchIS::Open(ArchISOptions options,
   if (options.wal.path.empty()) {
     return std::make_unique<ArchIS>(std::move(options), start_date);
   }
-  ARCHIS_ASSIGN_OR_RETURN(WalRecovery recovery,
-                          Wal::Recover(options.wal.path));
   const std::string wal_path = options.wal.path;
   const WalOptions wal_options = options.wal;
+  // Manifest first (bounded recovery, DESIGN.md §10): restore the snapshot,
+  // then replay only the log suffix past it.
+  LoadedCheckpoint ckpt = LoadCheckpoint(wal_path);
+  if (ckpt.fell_back) ManifestFallbacksMetric()->Inc();
+  ARCHIS_ASSIGN_OR_RETURN(WalRecovery recovery, Wal::Recover(wal_path));
   auto db = std::make_unique<ArchIS>(std::move(options), start_date);
-  for (const WalReplayItem& item : recovery.items) {
+  uint64_t replay_from = 0;
+  if (ckpt.manifest.has_value()) {
+    const CheckpointManifest& manifest = *ckpt.manifest;
+    if (recovery.has_checkpoint_marker &&
+        recovery.checkpoint_seq > manifest.seq) {
+      return Status::Corruption(
+          "WAL was truncated by checkpoint " +
+          std::to_string(recovery.checkpoint_seq) +
+          " but the newest readable manifest is seq " +
+          std::to_string(manifest.seq));
+    }
+    ARCHIS_RETURN_NOT_OK(db->RestoreFromCheckpoint(manifest));
+    db->checkpoint_seq_ = manifest.seq;
+    if (db->clock_ < Date(manifest.clock_days)) {
+      db->clock_ = Date(manifest.clock_days);
+    }
+    // A marker of the manifest's own seq means the log *is* this
+    // checkpoint's suffix (offsets restarted at 0); an older / absent
+    // marker means the log layout is still the one the manifest measured,
+    // so its recorded offset is the replay boundary.
+    if (!recovery.has_checkpoint_marker ||
+        recovery.checkpoint_seq < manifest.seq) {
+      replay_from = manifest.wal_offset;
+    }
+  } else if (recovery.has_checkpoint_marker) {
+    return Status::Corruption(
+        "WAL was truncated by checkpoint " +
+        std::to_string(recovery.checkpoint_seq) +
+        " but no checkpoint manifest is readable");
+  }
+  size_t replayed_items = 0;
+  uint64_t first_replayed_offset = recovery.valid_bytes;
+  for (size_t i = 0; i < recovery.items.size(); ++i) {
+    if (recovery.item_offsets[i] < replay_from) continue;
+    if (replayed_items == 0) first_replayed_offset = recovery.item_offsets[i];
+    ++replayed_items;
+    const WalReplayItem& item = recovery.items[i];
     if (const auto* create = std::get_if<WalCreateRelation>(&item)) {
       ARCHIS_RETURN_NOT_OK(db->CreateRelationInternal(
           create->spec, create->open_date, /*log_to_wal=*/false));
@@ -162,12 +232,17 @@ Result<std::unique_ptr<ArchIS>> ArchIS::Open(ArchISOptions options,
       if (db->clock_ < txn.commit_date) db->clock_ = txn.commit_date;
     }
   }
+  const uint64_t replayed_bytes = recovery.valid_bytes - first_replayed_offset;
   // Drop the torn tail so the resumed log is a clean extension of the
   // prefix recovery just replayed.
   ARCHIS_RETURN_NOT_OK(
       storage::TruncateLogFile(wal_path, recovery.valid_bytes));
-  ARCHIS_ASSIGN_OR_RETURN(
-      db->wal_, Wal::Open(wal_options, recovery.max_txn_id + 1));
+  uint64_t next_txn_id = recovery.max_txn_id + 1;
+  if (ckpt.manifest.has_value() && next_txn_id < ckpt.manifest->next_txn_id) {
+    next_txn_id = ckpt.manifest->next_txn_id;
+  }
+  ARCHIS_ASSIGN_OR_RETURN(db->wal_, Wal::Open(wal_options, next_txn_id));
+  db->last_recovery_replayed_bytes_ = replayed_bytes;
   static metrics::Counter* recoveries = metrics::Registry::Global().GetCounter(
       "archis_wal_recoveries_total", "WAL recovery passes run by Open");
   static metrics::Counter* recovered_items =
@@ -175,12 +250,17 @@ Result<std::unique_ptr<ArchIS>> ArchIS::Open(ArchISOptions options,
           "archis_wal_recovered_items_total",
           "Committed transactions and DDL records replayed by recovery");
   recoveries->Inc();
-  recovered_items->Inc(recovery.items.size());
+  recovered_items->Inc(replayed_items);
+  WalRecoveredBytesMetric()->Inc(replayed_bytes);
   logging::Info("wal.recovered")
       .Kv("path", wal_path)
-      .Kv("items", recovery.items.size())
+      .Kv("items", replayed_items)
+      .Kv("skipped_items", recovery.items.size() - replayed_items)
       .Kv("valid_bytes", recovery.valid_bytes)
-      .Kv("next_txn_id", recovery.max_txn_id + 1)
+      .Kv("replayed_bytes", replayed_bytes)
+      .Kv("checkpoint_seq", db->checkpoint_seq_)
+      .Kv("manifest_fallback", ckpt.fell_back)
+      .Kv("next_txn_id", next_txn_id)
       .Kv("clock", db->clock_.ToString());
   return db;
 }
@@ -457,6 +537,7 @@ Status ArchIS::CommitChanges(std::vector<ChangeRecord> changes,
   }
   TxnCommitsMetric()->Inc();
   ChangesCapturedMetric()->Inc(changes.size());
+  MaybeAutoCheckpoint();
   return Status::OK();
 }
 
@@ -549,6 +630,159 @@ Status ArchIS::ReplayChange(const ChangeRecord& change) {
     }
   }
   return Status::Internal("unreachable");
+}
+
+// -- Checkpointing -------------------------------------------------------------
+
+Status ArchIS::Checkpoint(CheckpointCrashPoint crash_point) {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument(
+        "Checkpoint requires a WAL-backed instance (in-memory instances "
+        "have nothing to truncate)");
+  }
+  if (open_stamped_txns_ > 0) {
+    return Status::InvalidArgument(
+        "cannot checkpoint while a transaction is open");
+  }
+  if (pending_changes() > 0) {
+    return Status::InvalidArgument(
+        "cannot checkpoint with buffered ambient changes (Commit first)");
+  }
+  const auto started = std::chrono::steady_clock::now();
+  CheckpointManifest manifest;
+  manifest.seq = checkpoint_seq_ + 1;
+  manifest.clock_days = clock_.days();
+  manifest.next_txn_id = wal_->PeekNextTxnId();
+  manifest.wal_offset = wal_->end_offset();
+  for (const Archiver::RelationEntry& entry : archiver_.relations()) {
+    ARCHIS_ASSIGN_OR_RETURN(CheckpointRelation rel,
+                            CaptureRelation(entry.name, entry.interval));
+    manifest.relations.push_back(std::move(rel));
+  }
+  ARCHIS_ASSIGN_OR_RETURN(std::string bytes,
+                          EncodeCheckpointManifest(manifest));
+  ARCHIS_RETURN_NOT_OK(
+      InstallCheckpointManifest(options_.wal.path, bytes, crash_point));
+  if (crash_point == CheckpointCrashPoint::kBeforeWalReset) {
+    return Status::IOError("injected crash before WAL reset");
+  }
+  ARCHIS_RETURN_NOT_OK(wal_->ResetAfterCheckpoint(manifest.seq));
+  checkpoint_seq_ = manifest.seq;
+  wal_bytes_at_last_checkpoint_ = wal_->bytes_written();
+  CheckpointsMetric()->Inc();
+  CheckpointSecondsMetric()->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count());
+  logging::Info("checkpoint.complete")
+      .Kv("seq", manifest.seq)
+      .Kv("relations", manifest.relations.size())
+      .Kv("manifest_bytes", bytes.size())
+      .Kv("clock", clock_.ToString());
+  return Status::OK();
+}
+
+Result<CheckpointRelation> ArchIS::CaptureRelation(
+    const std::string& name, const TimeInterval& interval) const {
+  auto info = relations_.find(name);
+  if (info == relations_.end()) {
+    return Status::Internal("archived relation '" + name +
+                            "' has no catalog entry");
+  }
+  ARCHIS_ASSIGN_OR_RETURN(HTableSet * set, archiver_.htables(name));
+  CheckpointRelation rel;
+  rel.spec.name = name;
+  rel.spec.schema = set->current_schema();
+  rel.spec.key_columns = set->key_columns();
+  rel.spec.doc_name = info->second.doc_name;
+  rel.spec.root_tag = info->second.doc.root_tag;
+  rel.spec.entity_tag = info->second.doc.entity_tag;
+  rel.open_days = interval.tstart.days();
+  rel.close_days = interval.tend.days();
+  rel.dropped = !interval.is_current();
+  rel.surrogates.assign(set->surrogate_ids().begin(),
+                        set->surrogate_ids().end());
+  std::sort(rel.surrogates.begin(), rel.surrogates.end());
+  rel.next_surrogate = set->next_surrogate();
+  // Raw deduplicated store rows, key table first (the manifest must round-
+  // trip re-insertions of one key without merging their intervals, which
+  // the published H-document would).
+  rel.store_rows.emplace_back();
+  ARCHIS_RETURN_NOT_OK(
+      set->key_store()->ScanHistory([&](const Tuple& row) {
+        rel.store_rows.back().push_back(row);
+        return true;
+      }));
+  for (const std::string& attr : set->attribute_names()) {
+    ARCHIS_ASSIGN_OR_RETURN(SegmentedStore * store,
+                            set->attribute_store(attr));
+    rel.store_rows.emplace_back();
+    ARCHIS_RETURN_NOT_OK(store->ScanHistory([&](const Tuple& row) {
+      rel.store_rows.back().push_back(row);
+      return true;
+    }));
+  }
+  if (!rel.dropped) {
+    ARCHIS_ASSIGN_OR_RETURN(Table * table,
+                            current_db_.catalog().GetTable(name));
+    ARCHIS_RETURN_NOT_OK(
+        table->Scan([&](const storage::RecordId&, const Tuple& row) {
+          rel.current_rows.push_back(row);
+          return true;
+        }));
+  }
+  return rel;
+}
+
+Status ArchIS::RestoreFromCheckpoint(const CheckpointManifest& manifest) {
+  for (const CheckpointRelation& rel : manifest.relations) {
+    ARCHIS_RETURN_NOT_OK(CreateRelationInternal(rel.spec, Date(rel.open_days),
+                                                /*log_to_wal=*/false));
+    ARCHIS_ASSIGN_OR_RETURN(HTableSet * set,
+                            archiver_.htables(rel.spec.name));
+    set->RestoreSurrogates(rel.surrogates, rel.next_surrogate);
+    if (rel.store_rows.size() != 1 + set->attribute_names().size()) {
+      return Status::Corruption(
+          "manifest for '" + rel.spec.name + "' carries " +
+          std::to_string(rel.store_rows.size()) + " stores, schema needs " +
+          std::to_string(1 + set->attribute_names().size()));
+    }
+    ARCHIS_RETURN_NOT_OK(
+        set->key_store()->LoadCheckpointRows(rel.store_rows[0]));
+    for (size_t a = 0; a < set->attribute_names().size(); ++a) {
+      ARCHIS_ASSIGN_OR_RETURN(
+          SegmentedStore * store,
+          set->attribute_store(set->attribute_names()[a]));
+      ARCHIS_RETURN_NOT_OK(store->LoadCheckpointRows(rel.store_rows[1 + a]));
+    }
+    if (rel.dropped) {
+      ARCHIS_RETURN_NOT_OK(DropRelationInternal(
+          rel.spec.name, Date(rel.close_days), /*log_to_wal=*/false));
+    } else {
+      ARCHIS_ASSIGN_OR_RETURN(Table * table,
+                              current_db_.catalog().GetTable(rel.spec.name));
+      for (const Tuple& row : rel.current_rows) {
+        ARCHIS_RETURN_NOT_OK(table->Insert(row).status());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void ArchIS::MaybeAutoCheckpoint() {
+  const uint64_t threshold = options_.wal.checkpoint_after_bytes;
+  if (wal_ == nullptr || threshold == 0) return;
+  // Quiesce gate: mid-transaction commits (or a half-flushed ambient
+  // batch) retry at the next commit that finds the instance idle.
+  if (open_stamped_txns_ > 0 || pending_changes() > 0) return;
+  if (wal_->bytes_written() - wal_bytes_at_last_checkpoint_ < threshold) {
+    return;
+  }
+  Status st = Checkpoint();
+  if (!st.ok()) {
+    // The triggering commit is already durable, so it must not fail here;
+    // a dead WAL surfaces on the next commit.
+    logging::Warn("checkpoint.auto_failed").Kv("error", st.message());
+  }
 }
 
 // -- Queries -------------------------------------------------------------------

@@ -35,6 +35,7 @@
 #include <string>
 
 #include "archis/archiver.h"
+#include "archis/checkpoint.h"
 #include "common/trace.h"
 #include "archis/publisher.h"
 #include "archis/relation_spec.h"
@@ -253,6 +254,28 @@ class ArchIS {
   /// yields the same state as replaying it once.
   Status ApplyRecovered(const WalCommittedTxn& txn);
 
+  /// Checkpoints the instance (DESIGN.md §10): snapshots all durable state
+  /// into a manifest next to the WAL, installs it atomically, then
+  /// truncates the WAL to a single marker — after which recovery replays
+  /// only post-checkpoint commits. Requires a WAL-backed instance at
+  /// quiesce (no open transaction, no buffered ambient changes).
+  /// `crash_point` injects a deterministic stop for crash-recovery tests;
+  /// every injected stop leaves a state recovery handles exactly.
+  Status Checkpoint(
+      CheckpointCrashPoint crash_point = CheckpointCrashPoint::kNone);
+
+  /// Bytes of WAL suffix the last Open replayed (0 when the manifest
+  /// covered everything). After a quiesced checkpoint + clean reopen this
+  /// is exactly the traffic since that checkpoint — the bounded-recovery
+  /// guarantee, asserted by tests via archis_wal_recovered_bytes too.
+  uint64_t last_recovery_replayed_bytes() const {
+    return last_recovery_replayed_bytes_;
+  }
+
+  /// Sequence number of the checkpoint this instance recovered from or
+  /// last wrote (0 = none yet).
+  uint64_t checkpoint_seq() const { return checkpoint_seq_; }
+
   /// The WAL handle (nullptr for in-memory instances). Exposes group
   /// commit counters for tests and benchmarks.
   const Wal* wal() const { return wal_.get(); }
@@ -319,6 +342,19 @@ class ArchIS {
   /// Replays one recovered change; skips changes already applied.
   Status ReplayChange(const ChangeRecord& change);
 
+  /// Rebuilds catalog, H-tables, surrogates, current tables and clock from
+  /// a manifest (recovery, before the WAL suffix is replayed).
+  Status RestoreFromCheckpoint(const CheckpointManifest& manifest);
+
+  /// Snapshot of one registered relation for a manifest.
+  Result<CheckpointRelation> CaptureRelation(
+      const std::string& name, const TimeInterval& interval) const;
+
+  /// Runs Checkpoint() when the auto-checkpoint byte threshold is crossed.
+  /// Failures are logged, not returned: the committed batch that triggered
+  /// us is already durable, and a dead WAL surfaces on the next commit.
+  void MaybeAutoCheckpoint();
+
   /// The ambient statement-level batch (kUpdateLog mode), lazily begun.
   Transaction* AmbientTxn();
 
@@ -341,6 +377,11 @@ class ArchIS {
   /// Open explicit (stamp-at-commit) transactions; blocks AdvanceClock.
   int open_stamped_txns_ = 0;
   std::map<std::string, RelationInfo> relations_;
+  /// Last checkpoint written or recovered from (0 = none).
+  uint64_t checkpoint_seq_ = 0;
+  /// Wal::bytes_written() at the last checkpoint (auto-checkpoint delta).
+  uint64_t wal_bytes_at_last_checkpoint_ = 0;
+  uint64_t last_recovery_replayed_bytes_ = 0;
 };
 
 }  // namespace archis::core

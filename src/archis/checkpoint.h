@@ -1,0 +1,121 @@
+// Checkpoint manifests: bounded-time crash recovery for ArchIS (DESIGN.md
+// §10, after the ARIES-style fuzzy checkpoints of Stasis).
+//
+// A checkpoint persists the instance's full durable state — relation
+// catalog, H-table store rows, surrogate-id assignments, current-table
+// rows, clock and txn-id counter — into a CRC-framed manifest file next to
+// the WAL, installs it atomically (write-temp + fsync + rename, previous
+// manifest kept as a fallback), then truncates the WAL down to a single
+// checkpoint marker. Recovery loads the newest usable manifest and replays
+// only the WAL suffix past it, so recovery time is bounded by the write
+// traffic since the last checkpoint instead of the database's lifetime.
+//
+// Manifest layout (frames as in storage/log_file.*):
+//
+//   manifest := HEADER relation* FOOTER
+//   HEADER   := magic, version, seq, clock, next_txn_id, wal_offset
+//   relation := spec, interval, dropped?, surrogates, store rows, current rows
+//   FOOTER   := seq          (absence of the footer = torn manifest)
+#ifndef ARCHIS_ARCHIS_CHECKPOINT_H_
+#define ARCHIS_ARCHIS_CHECKPOINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "archis/relation_spec.h"
+#include "common/status.h"
+#include "minirel/tuple.h"
+
+namespace archis::core {
+
+/// Deterministic crash injection for the checkpoint protocol: the
+/// checkpoint stops with an IOError just *before* the named step, leaving
+/// exactly the on-disk state a power loss at that instant would.
+enum class CheckpointCrashPoint {
+  kNone,
+  /// Temp manifest written but not fsynced (nothing installed).
+  kBeforeManifestSync,
+  /// Temp manifest durable; the rename pair has not run.
+  kBeforeInstall,
+  /// Manifest installed; the WAL has not been truncated.
+  kBeforeWalReset,
+};
+
+/// One relation's durable state inside a manifest. Store rows are the raw
+/// deduplicated H-table history (full row tuples in store-schema order),
+/// not the published H-document: re-insertions of one key must survive a
+/// round trip without their intervals merging.
+struct CheckpointRelation {
+  RelationSpec spec;
+  int64_t open_days = 0;
+  /// Interval close (drop date); Forever while the relation is live.
+  int64_t close_days = 0;
+  bool dropped = false;
+  /// Surrogate-id assignments (composite-key relations), sorted by key.
+  std::vector<std::pair<std::string, int64_t>> surrogates;
+  int64_t next_surrogate = 1;
+  /// store_rows[0] = key table; store_rows[1 + i] = attribute i's table,
+  /// in HTableSet::attribute_names() order.
+  std::vector<std::vector<minirel::Tuple>> store_rows;
+  /// Current-table rows (empty for dropped relations).
+  std::vector<minirel::Tuple> current_rows;
+};
+
+/// Everything a checkpoint persists.
+struct CheckpointManifest {
+  /// Monotonic checkpoint sequence number (matches the WAL marker).
+  uint64_t seq = 0;
+  int64_t clock_days = 0;
+  uint64_t next_txn_id = 1;
+  /// WAL end offset at checkpoint time: recovery replays only items at or
+  /// past this offset (in the log layout of that instant — a log that was
+  /// since truncated announces it with a marker of this seq).
+  uint64_t wal_offset = 0;
+  std::vector<CheckpointRelation> relations;
+};
+
+/// Manifest file names, derived from the WAL path.
+std::string CheckpointPath(const std::string& wal_path);
+std::string CheckpointPrevPath(const std::string& wal_path);
+std::string CheckpointTmpPath(const std::string& wal_path);
+
+/// Row schemas of one relation's H-table stores ([0] = key table, then one
+/// per non-key column in schema order), mirroring HTableSet::Create.
+Result<std::vector<minirel::Schema>> StoreSchemasFor(const RelationSpec& spec);
+
+/// Serializes a manifest into CRC-framed bytes.
+Result<std::string> EncodeCheckpointManifest(
+    const CheckpointManifest& manifest);
+
+/// Reads and validates the manifest at `path`: Corruption when the header
+/// or footer is missing or any frame is torn.
+Result<CheckpointManifest> ReadCheckpointManifest(const std::string& path);
+
+/// Outcome of looking for a manifest next to the WAL.
+struct LoadedCheckpoint {
+  /// The newest usable manifest; nullopt when none exists.
+  std::optional<CheckpointManifest> manifest;
+  /// Whether the newest manifest was unusable (torn / mid-install crash)
+  /// and the previous one was used instead.
+  bool fell_back = false;
+};
+
+/// Loads `<wal>.ckpt`, falling back to `<wal>.ckpt.prev` when the newest
+/// is missing or torn. Never fails: an unusable pair is just "no
+/// checkpoint" (the caller decides whether that is tolerable).
+LoadedCheckpoint LoadCheckpoint(const std::string& wal_path);
+
+/// Atomically installs `bytes` as the newest manifest: write the temp
+/// file, fsync it, rotate ckpt -> ckpt.prev, rename tmp -> ckpt, fsync the
+/// directory. `crash` injects a stop just before the named step
+/// (kBeforeWalReset completes the install; the caller owns that step).
+Status InstallCheckpointManifest(const std::string& wal_path,
+                                 const std::string& bytes,
+                                 CheckpointCrashPoint crash);
+
+}  // namespace archis::core
+
+#endif  // ARCHIS_ARCHIS_CHECKPOINT_H_

@@ -59,6 +59,14 @@ Result<std::unique_ptr<HTableSet>> HTableSet::Create(
   return set;
 }
 
+void HTableSet::RestoreSurrogates(
+    const std::vector<std::pair<std::string, int64_t>>& entries,
+    int64_t next_surrogate) {
+  surrogate_ids_.clear();
+  for (const auto& [key, id] : entries) surrogate_ids_[key] = id;
+  next_surrogate_ = next_surrogate;
+}
+
 Result<int64_t> HTableSet::IdFor(const Tuple& current_row) {
   if (natural_int_key_) {
     return current_row.at(key_positions_[0]).AsInt();
@@ -89,8 +97,7 @@ Status HTableSet::ArchiveUpdate(const Tuple& old_row, const Tuple& new_row,
     const Value& old_v = old_row.at(attr_positions_[a]);
     const Value& new_v = new_row.at(attr_positions_[a]);
     if (old_v == new_v) continue;  // grouped: running interval continues
-    ARCHIS_RETURN_NOT_OK(attr_stores_[a]->CloseVersion(id, now));
-    ARCHIS_RETURN_NOT_OK(attr_stores_[a]->InsertVersion(id, {new_v}, now));
+    ARCHIS_RETURN_NOT_OK(attr_stores_[a]->ReplaceVersion(id, {new_v}, now));
   }
   return Status::OK();
 }

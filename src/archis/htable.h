@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "archis/segment_manager.h"
@@ -34,10 +35,28 @@ class HTableSet {
   const std::string& relation() const { return name_; }
   const minirel::Schema& current_schema() const { return current_schema_; }
 
+  /// Key column names (as passed to Create).
+  const std::vector<std::string>& key_columns() const { return key_columns_; }
+
   /// Names of the archived attribute columns (non-key columns).
   const std::vector<std::string>& attribute_names() const {
     return attr_names_;
   }
+
+  /// Surrogate-id assignments (empty for natural single-int keys). Each
+  /// entry maps the encoded key bytes to the id archived under it; the
+  /// checkpoint manifest persists them so ids stay stable across recovery.
+  const std::unordered_map<std::string, int64_t>& surrogate_ids() const {
+    return surrogate_ids_;
+  }
+  int64_t next_surrogate() const { return next_surrogate_; }
+
+  /// Restores surrogate assignments captured by a checkpoint. Must run
+  /// before any archival touches this set (fresh instance during
+  /// recovery); a stale mapping would hand out ids already in history.
+  void RestoreSurrogates(
+      const std::vector<std::pair<std::string, int64_t>>& entries,
+      int64_t next_surrogate);
 
   /// The surrogate/natural id for a current tuple; assigns a fresh
   /// surrogate for unseen composite keys.

@@ -1,0 +1,58 @@
+#include "archis/relation_spec.h"
+
+#include "common/coding.h"
+
+namespace archis::core {
+
+using coding::AppendLengthPrefixed;
+using coding::AppendU32;
+using coding::ReadLengthPrefixed;
+using coding::ReadU32;
+using minirel::Column;
+using minirel::DataType;
+using minirel::Schema;
+
+void EncodeRelationSpec(const RelationSpec& spec, std::string* out) {
+  AppendLengthPrefixed(spec.name, out);
+  AppendU32(static_cast<uint32_t>(spec.schema.num_columns()), out);
+  for (const Column& col : spec.schema.columns()) {
+    AppendLengthPrefixed(col.name, out);
+    out->push_back(static_cast<char>(col.type));
+  }
+  AppendU32(static_cast<uint32_t>(spec.key_columns.size()), out);
+  for (const std::string& k : spec.key_columns) {
+    AppendLengthPrefixed(k, out);
+  }
+  AppendLengthPrefixed(spec.doc_name, out);
+  AppendLengthPrefixed(spec.root_tag, out);
+  AppendLengthPrefixed(spec.entity_tag, out);
+}
+
+Result<RelationSpec> DecodeRelationSpec(std::string_view data, size_t* pos) {
+  RelationSpec spec;
+  ARCHIS_ASSIGN_OR_RETURN(spec.name, ReadLengthPrefixed(data, pos));
+  ARCHIS_ASSIGN_OR_RETURN(uint32_t ncols, ReadU32(data, pos));
+  std::vector<Column> cols;
+  for (uint32_t i = 0; i < ncols; ++i) {
+    Column col;
+    ARCHIS_ASSIGN_OR_RETURN(col.name, ReadLengthPrefixed(data, pos));
+    if (*pos >= data.size()) {
+      return Status::Corruption("RelationSpec truncated (column type)");
+    }
+    col.type = static_cast<DataType>(data[*pos]);
+    ++*pos;
+    cols.push_back(std::move(col));
+  }
+  spec.schema = Schema(std::move(cols));
+  ARCHIS_ASSIGN_OR_RETURN(uint32_t nkeys, ReadU32(data, pos));
+  for (uint32_t i = 0; i < nkeys; ++i) {
+    ARCHIS_ASSIGN_OR_RETURN(std::string k, ReadLengthPrefixed(data, pos));
+    spec.key_columns.push_back(std::move(k));
+  }
+  ARCHIS_ASSIGN_OR_RETURN(spec.doc_name, ReadLengthPrefixed(data, pos));
+  ARCHIS_ASSIGN_OR_RETURN(spec.root_tag, ReadLengthPrefixed(data, pos));
+  ARCHIS_ASSIGN_OR_RETURN(spec.entity_tag, ReadLengthPrefixed(data, pos));
+  return spec;
+}
+
+}  // namespace archis::core

@@ -9,8 +9,10 @@
 #define ARCHIS_ARCHIS_RELATION_SPEC_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "minirel/schema.h"
 
 namespace archis::core {
@@ -31,6 +33,14 @@ struct RelationSpec {
   /// stripped (employees -> employee).
   std::string entity_tag;
 };
+
+/// Appends the wire encoding of `spec` to `out`. One codec shared by the
+/// WAL CreateRelation record and the checkpoint manifest, so a relation
+/// recovered from either source is bit-identical.
+void EncodeRelationSpec(const RelationSpec& spec, std::string* out);
+
+/// Decodes a RelationSpec from `data` at `*pos`, advancing `*pos`.
+Result<RelationSpec> DecodeRelationSpec(std::string_view data, size_t* pos);
 
 }  // namespace archis::core
 

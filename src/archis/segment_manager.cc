@@ -160,24 +160,52 @@ Status SegmentedStore::LoadVersion(int64_t id,
   return Status::OK();
 }
 
-Status SegmentedStore::CloseVersion(int64_t id, Date now) {
+Status SegmentedStore::LoadCheckpointRows(
+    const std::vector<minirel::Tuple>& rows) {
+  if (TotalTuples() != 0) {
+    return Status::InvalidArgument("checkpoint restore into non-empty store " +
+                                   name_);
+  }
+  for (const Tuple& row : rows) {
+    if (row.size() != row_schema_.num_columns()) {
+      return Status::Corruption("checkpoint row arity mismatch for " + name_);
+    }
+    std::vector<Value> values;
+    for (size_t i = 1; i + 2 < row.size(); ++i) values.push_back(row.at(i));
+    ARCHIS_ASSIGN_OR_RETURN(
+        TimeInterval interval,
+        MakeIntervalChecked(row.at(row.size() - 2).AsDate(),
+                            row.at(row.size() - 1).AsDate()));
+    ARCHIS_RETURN_NOT_OK(LoadVersion(row.at(0).AsInt(), values, interval));
+  }
+  return Status::OK();
+}
+
+Status SegmentedStore::FindOpenVersion(int64_t id,
+                                       std::optional<storage::RecordId>* rid,
+                                       std::optional<Tuple>* row) {
   const minirel::TableIndex* idx = live_->GetIndex("id");
   minirel::IndexKey key{Value(id)};
-  std::optional<storage::RecordId> found_rid;
-  std::optional<Tuple> found_row;
   ARCHIS_RETURN_NOT_OK(live_->IndexScan(
-      *idx, key, key, [&](const storage::RecordId& rid, const Tuple& row) {
-        if (row.at(tend_col_).AsDate().IsForever()) {
-          found_rid = rid;
-          found_row = row;
+      *idx, key, key, [&](const storage::RecordId& r, const Tuple& t) {
+        if (t.at(tend_col_).AsDate().IsForever()) {
+          *rid = r;
+          *row = t;
           return false;
         }
         return true;
       }));
-  if (!found_rid) {
+  if (!rid->has_value()) {
     return Status::NotFound("no live version of id " + std::to_string(id) +
                             " in " + name_);
   }
+  return Status::OK();
+}
+
+Status SegmentedStore::CloseVersion(int64_t id, Date now) {
+  std::optional<storage::RecordId> found_rid;
+  std::optional<Tuple> found_row;
+  ARCHIS_RETURN_NOT_OK(FindOpenVersion(id, &found_rid, &found_row));
   Tuple row = *found_row;
   // Close the interval the day before the change takes effect, matching the
   // paper's adjacent-interval samples (…02/19/1989][02/20/1989…).
@@ -188,6 +216,34 @@ Status SegmentedStore::CloseVersion(int64_t id, Date now) {
   ARCHIS_RETURN_NOT_OK(live_->Update(&rid, row));
   if (live_current_ > 0) --live_current_;
   return FreezeIfNeeded(now);
+}
+
+Status SegmentedStore::ReplaceVersion(int64_t id,
+                                      const std::vector<Value>& values,
+                                      Date now) {
+  if (values.size() + 3 != row_schema_.num_columns()) {
+    return Status::InvalidArgument("value arity mismatch for " + name_);
+  }
+  std::optional<storage::RecordId> found_rid;
+  std::optional<Tuple> found_row;
+  ARCHIS_RETURN_NOT_OK(FindOpenVersion(id, &found_rid, &found_row));
+  if (found_row->at(tstart_col_).AsDate() == now) {
+    // The open version was born today; overwrite its value columns so the
+    // store never holds two versions sharing (id, tstart). A frozen copy of
+    // the old value may exist, but the live row is the newer source and
+    // shadows it in every scan.
+    Tuple row = *found_row;
+    for (size_t i = 0; i < values.size(); ++i) row.at(1 + i) = values[i];
+    storage::RecordId rid = *found_rid;
+    return live_->Update(&rid, row);
+  }
+  Tuple row = *found_row;
+  row.at(tend_col_) = Value(now.AddDays(-1));
+  storage::RecordId rid = *found_rid;
+  ARCHIS_RETURN_NOT_OK(live_->Update(&rid, row));
+  if (live_current_ > 0) --live_current_;
+  ARCHIS_RETURN_NOT_OK(FreezeIfNeeded(now));
+  return InsertVersion(id, values, now);
 }
 
 double SegmentedStore::Usefulness() const {

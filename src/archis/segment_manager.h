@@ -111,11 +111,27 @@ class SegmentedStore {
   /// live version exists. Clamps so tend >= tstart.
   Status CloseVersion(int64_t id, Date now);
 
+  /// Replaces the current version for `id` with `values` as of `now`: closes
+  /// the open version at now - 1 and appends a new current one. When the open
+  /// version also started on `now` it is rewritten in place instead
+  /// (day-granularity last-writer-wins) — closing it would mint a second
+  /// version with the same (id, tstart), which is the key the multi-source
+  /// scan dedup treats as "same version, newest copy wins".
+  Status ReplaceVersion(int64_t id, const std::vector<minirel::Value>& values,
+                        Date now);
+
   /// Bulk-loads a version with an explicit interval (the H-document import
   /// path). The row lands in the live segment; normal freezing applies on
   /// subsequent updates.
   Status LoadVersion(int64_t id, const std::vector<minirel::Value>& values,
                      const TimeInterval& interval);
+
+  /// Restores a store's full logical history from checkpoint rows: each
+  /// row is a complete (id, values..., tstart, tend) tuple in row-schema
+  /// order, landing in the live segment. The store must be empty — this is
+  /// the recovery path, not an append path; physical segmentation is
+  /// rebuilt lazily by subsequent freezes.
+  Status LoadCheckpointRows(const std::vector<minirel::Tuple>& rows);
 
   /// Current usefulness of the live segment (1.0 when empty).
   double Usefulness() const;
@@ -172,6 +188,9 @@ class SegmentedStore {
   SegmentedStore() = default;
 
   Status FreezeIfNeeded(Date now);
+  /// Locates the open (tend = forever) live row for `id`; NotFound if none.
+  Status FindOpenVersion(int64_t id, std::optional<storage::RecordId>* rid,
+                         std::optional<minirel::Tuple>* row);
   Status ScanSegments(const std::vector<int64_t>& segnos, bool include_live,
                       const std::optional<TimeInterval>& filter,
                       std::optional<int64_t> id_filter,

@@ -58,15 +58,10 @@ metrics::Counter* WalFollowerWaitsMetric() {
 
 using coding::AppendI64;
 using coding::AppendLengthPrefixed;
-using coding::AppendU32;
 using coding::AppendU64;
 using coding::ReadI64;
 using coding::ReadLengthPrefixed;
-using coding::ReadU32;
 using coding::ReadU64;
-using minirel::Column;
-using minirel::DataType;
-using minirel::Schema;
 using storage::AppendFrame;
 
 void EncodeBegin(uint64_t txn_id, std::string* out) {
@@ -97,19 +92,7 @@ void EncodeCreateRelation(const RelationSpec& spec, Date open_date,
                           std::string* out) {
   std::string payload;
   payload.push_back(static_cast<char>(WalRecordType::kCreateRelation));
-  AppendLengthPrefixed(spec.name, &payload);
-  AppendU32(static_cast<uint32_t>(spec.schema.num_columns()), &payload);
-  for (const Column& col : spec.schema.columns()) {
-    AppendLengthPrefixed(col.name, &payload);
-    payload.push_back(static_cast<char>(col.type));
-  }
-  AppendU32(static_cast<uint32_t>(spec.key_columns.size()), &payload);
-  for (const std::string& k : spec.key_columns) {
-    AppendLengthPrefixed(k, &payload);
-  }
-  AppendLengthPrefixed(spec.doc_name, &payload);
-  AppendLengthPrefixed(spec.root_tag, &payload);
-  AppendLengthPrefixed(spec.entity_tag, &payload);
+  EncodeRelationSpec(spec, &payload);
   AppendI64(open_date.days(), &payload);
   AppendFrame(payload, out);
 }
@@ -123,32 +106,17 @@ void EncodeDropRelation(const std::string& name, Date when,
   AppendFrame(payload, out);
 }
 
+void EncodeCheckpointMarker(uint64_t checkpoint_seq, std::string* out) {
+  std::string payload;
+  payload.push_back(static_cast<char>(WalRecordType::kCheckpoint));
+  AppendU64(checkpoint_seq, &payload);
+  AppendFrame(payload, out);
+}
+
 Result<WalCreateRelation> DecodeCreateRelation(std::string_view data,
                                                size_t* pos) {
   WalCreateRelation out;
-  ARCHIS_ASSIGN_OR_RETURN(out.spec.name, ReadLengthPrefixed(data, pos));
-  ARCHIS_ASSIGN_OR_RETURN(uint32_t ncols, ReadU32(data, pos));
-  std::vector<Column> cols;
-  for (uint32_t i = 0; i < ncols; ++i) {
-    Column col;
-    ARCHIS_ASSIGN_OR_RETURN(col.name, ReadLengthPrefixed(data, pos));
-    if (*pos >= data.size()) {
-      return Status::Corruption("WAL CreateRelation truncated (column type)");
-    }
-    col.type = static_cast<DataType>(data[*pos]);
-    ++*pos;
-    cols.push_back(std::move(col));
-  }
-  out.spec.schema = Schema(std::move(cols));
-  ARCHIS_ASSIGN_OR_RETURN(uint32_t nkeys, ReadU32(data, pos));
-  for (uint32_t i = 0; i < nkeys; ++i) {
-    ARCHIS_ASSIGN_OR_RETURN(std::string k, ReadLengthPrefixed(data, pos));
-    out.spec.key_columns.push_back(std::move(k));
-  }
-  ARCHIS_ASSIGN_OR_RETURN(out.spec.doc_name, ReadLengthPrefixed(data, pos));
-  ARCHIS_ASSIGN_OR_RETURN(out.spec.root_tag, ReadLengthPrefixed(data, pos));
-  ARCHIS_ASSIGN_OR_RETURN(out.spec.entity_tag,
-                          ReadLengthPrefixed(data, pos));
+  ARCHIS_ASSIGN_OR_RETURN(out.spec, DecodeRelationSpec(data, pos));
   ARCHIS_ASSIGN_OR_RETURN(int64_t days, ReadI64(data, pos));
   out.open_date = Date(days);
   return out;
@@ -162,8 +130,14 @@ Result<WalRecovery> Wal::Recover(const std::string& path) {
   WalRecovery rec;
   rec.valid_bytes = scan.valid_bytes;
   rec.torn_tail = scan.torn_tail;
-  // Transactions in flight: BEGIN seen, COMMIT not yet.
-  std::map<uint64_t, WalCommittedTxn> open;
+  // Transactions in flight: BEGIN seen, COMMIT not yet. The offset is the
+  // BEGIN frame's, so a whole transaction sorts before or after a
+  // checkpoint boundary as one unit (its frames are written contiguously).
+  struct OpenTxn {
+    WalCommittedTxn txn;
+    uint64_t begin_offset = 0;
+  };
+  std::map<uint64_t, OpenTxn> open;
   for (const storage::LogRecord& record : scan.records) {
     std::string_view payload = record.payload;
     if (payload.empty()) {
@@ -174,7 +148,10 @@ Result<WalRecovery> Wal::Recover(const std::string& path) {
     switch (type) {
       case WalRecordType::kBegin: {
         ARCHIS_ASSIGN_OR_RETURN(uint64_t id, ReadU64(payload, &pos));
-        if (!open.try_emplace(id, WalCommittedTxn{id, Date(), {}}).second) {
+        if (!open.try_emplace(id,
+                              OpenTxn{WalCommittedTxn{id, Date(), {}},
+                                      record.offset})
+                 .second) {
           return Status::Corruption("WAL BEGIN for already-open txn " +
                                     std::to_string(id));
         }
@@ -190,7 +167,7 @@ Result<WalRecovery> Wal::Recover(const std::string& path) {
         }
         ARCHIS_ASSIGN_OR_RETURN(ChangeRecord change,
                                 DecodeChangeRecord(payload, &pos));
-        it->second.changes.push_back(std::move(change));
+        it->second.txn.changes.push_back(std::move(change));
         break;
       }
       case WalRecordType::kCommit: {
@@ -201,8 +178,9 @@ Result<WalRecovery> Wal::Recover(const std::string& path) {
                                     std::to_string(id));
         }
         ARCHIS_ASSIGN_OR_RETURN(int64_t days, ReadI64(payload, &pos));
-        it->second.commit_date = Date(days);
-        rec.items.emplace_back(std::move(it->second));
+        it->second.txn.commit_date = Date(days);
+        rec.items.emplace_back(std::move(it->second.txn));
+        rec.item_offsets.push_back(it->second.begin_offset);
         open.erase(it);
         break;
       }
@@ -210,6 +188,7 @@ Result<WalRecovery> Wal::Recover(const std::string& path) {
         ARCHIS_ASSIGN_OR_RETURN(WalCreateRelation create,
                                 DecodeCreateRelation(payload, &pos));
         rec.items.emplace_back(std::move(create));
+        rec.item_offsets.push_back(record.offset);
         break;
       }
       case WalRecordType::kDropRelation: {
@@ -218,6 +197,17 @@ Result<WalRecovery> Wal::Recover(const std::string& path) {
         ARCHIS_ASSIGN_OR_RETURN(int64_t days, ReadI64(payload, &pos));
         drop.when = Date(days);
         rec.items.emplace_back(std::move(drop));
+        rec.item_offsets.push_back(record.offset);
+        break;
+      }
+      case WalRecordType::kCheckpoint: {
+        // Only ever written as the first record of a freshly truncated
+        // log; anywhere else the log was stitched together wrongly.
+        if (record.offset != 0) {
+          return Status::Corruption("WAL checkpoint marker not at offset 0");
+        }
+        ARCHIS_ASSIGN_OR_RETURN(rec.checkpoint_seq, ReadU64(payload, &pos));
+        rec.has_checkpoint_marker = true;
         break;
       }
       default:
@@ -250,6 +240,38 @@ Result<std::unique_ptr<Wal>> Wal::Open(const WalOptions& options,
 uint64_t Wal::NextTxnId() {
   MutexLock lock(mu_);
   return next_txn_id_++;
+}
+
+uint64_t Wal::PeekNextTxnId() const {
+  MutexLock lock(mu_);
+  return next_txn_id_;
+}
+
+Status Wal::ResetAfterCheckpoint(uint64_t checkpoint_seq) {
+  MutexLock lock(mu_);
+  if (!dead_.ok()) return dead_;
+  if (sync_in_progress_ || !pending_.empty()) {
+    return Status::InvalidArgument(
+        "WAL reset with commits in flight (checkpoint requires quiesce)");
+  }
+  // Truncate, then immediately re-seed the log with a durable marker. If
+  // any step fails the WAL is dead (sticky), so a log truncated here either
+  // starts with this marker or accepts no further commits — recovery can
+  // trust a marker-less log to be the pre-checkpoint one.
+  std::string framed;
+  EncodeCheckpointMarker(checkpoint_seq, &framed);
+  Status io = file_->Reset();
+  if (io.ok()) io = file_->Append(framed);
+  if (io.ok()) io = file_->Sync();
+  bytes_ = file_->bytes_written();
+  if (!io.ok()) {
+    dead_ = io;
+    logging::Error("wal.dead")
+        .Kv("error", io.ToString())
+        .Kv("op", "checkpoint-reset");
+    return io;
+  }
+  return Status::OK();
 }
 
 Status Wal::LogTransaction(uint64_t txn_id,
@@ -352,6 +374,13 @@ uint64_t Wal::sync_count() const {
 uint64_t Wal::bytes_written() const {
   MutexLock lock(mu_);
   return bytes_;
+}
+
+uint64_t Wal::end_offset() const {
+  MutexLock lock(mu_);
+  // The facade only reads this at quiesce (no sync in flight), when the
+  // leaderless file handle is safe to inspect from under the mutex.
+  return file_->end_offset();
 }
 
 }  // namespace archis::core

@@ -40,6 +40,11 @@ struct WalOptions {
   /// Deterministic crash injection, forwarded to the log file: writes fail
   /// once this many bytes were written through the handle (0 = never).
   uint64_t fail_after_bytes = 0;
+  /// Auto-checkpoint policy: once this many bytes have been committed to
+  /// the WAL since the last checkpoint, ArchIS checkpoints after the
+  /// commit that crossed the threshold, bounding both the log size and
+  /// recovery time (DESIGN.md §10). 0 disables (manual Checkpoint only).
+  uint64_t checkpoint_after_bytes = 0;
 };
 
 /// Record tags on the wire.
@@ -49,6 +54,10 @@ enum class WalRecordType : uint8_t {
   kCommit = 3,
   kCreateRelation = 4,
   kDropRelation = 5,
+  /// Written as the first (and only first) record right after a checkpoint
+  /// truncates the log; carries the checkpoint sequence number so recovery
+  /// can tell a truncated log from one the manifest has not yet absorbed.
+  kCheckpoint = 6,
 };
 
 /// A committed transaction recovered from the log.
@@ -77,6 +86,10 @@ using WalReplayItem =
 /// Everything recovery learns from reading a log.
 struct WalRecovery {
   std::vector<WalReplayItem> items;
+  /// Byte offset where each item begins (a transaction starts at its BEGIN
+  /// frame), parallel to `items`. Checkpointed recovery replays only items
+  /// at or past the manifest's recorded WAL offset.
+  std::vector<uint64_t> item_offsets;
   /// Byte length of the valid prefix (the opener truncates to this).
   uint64_t valid_bytes = 0;
   /// Whether a torn tail (truncated / CRC-failing bytes) was dropped.
@@ -85,6 +98,10 @@ struct WalRecovery {
   size_t uncommitted_txns = 0;
   /// Highest transaction id seen (the writer resumes above it).
   uint64_t max_txn_id = 0;
+  /// Whether the log opens with a checkpoint marker (it was truncated by
+  /// that checkpoint), and the marker's sequence number.
+  bool has_checkpoint_marker = false;
+  uint64_t checkpoint_seq = 0;
 };
 
 /// The durable change log. Thread-safe: LogTransaction and the Log* DDL
@@ -104,6 +121,17 @@ class Wal {
 
   /// Allocates a fresh transaction id.
   uint64_t NextTxnId();
+
+  /// The id the next NextTxnId() call would return (checkpoint manifests
+  /// persist it so truncating the log does not reset the counter).
+  uint64_t PeekNextTxnId() const;
+
+  /// Truncates the log in place and restarts it with a durable checkpoint
+  /// marker carrying `checkpoint_seq`. Called by ArchIS::Checkpoint after
+  /// the manifest is atomically installed; must not race commits (the
+  /// facade only checkpoints at quiesce). On I/O failure the WAL is dead,
+  /// exactly as for a failed commit.
+  Status ResetAfterCheckpoint(uint64_t checkpoint_seq);
 
   /// Durably logs one committed transaction: BEGIN, the changes, COMMIT,
   /// framed contiguously and fsynced (group commit) before returning OK.
@@ -126,6 +154,10 @@ class Wal {
   uint64_t sync_count() const;
   /// Bytes appended through this handle.
   uint64_t bytes_written() const;
+  /// Current end-of-file offset (drops to just past the checkpoint marker
+  /// after ResetAfterCheckpoint). The checkpoint manifest records this as
+  /// the boundary between absorbed and still-replayable log bytes.
+  uint64_t end_offset() const;
 
  private:
   explicit Wal(std::unique_ptr<storage::AppendLogFile> file)

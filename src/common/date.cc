@@ -36,17 +36,46 @@ Date Date::FromYmd(int year, int month, int day) {
 
 Date Date::Forever() { return FromYmd(9999, 12, 31); }
 
+bool Date::IsLeapYear(int year) {
+  return year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+}
+
+int Date::DaysInMonth(int year, int month) {
+  static constexpr int kLengths[12] = {31, 28, 31, 30, 31, 30,
+                                       31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) return 0;
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kLengths[month - 1];
+}
+
 Result<Date> Date::Parse(const std::string& text) {
+  // %n (bytes consumed) must equal the input length: "2005-01-01x" is not
+  // a date, and DaysFromCivil would otherwise fold whatever sscanf matched
+  // into a silently wrong day count.
+  const int len = static_cast<int>(text.size());
   int y = 0, m = 0, d = 0;
-  if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) == 3) {
-    // fall through to validation
-  } else if (std::sscanf(text.c_str(), "%d/%d/%d", &m, &d, &y) == 3) {
+  int consumed = -1;
+  bool parsed =
+      std::sscanf(text.c_str(), "%d-%d-%d%n", &y, &m, &d, &consumed) == 3 &&
+      consumed == len;
+  if (!parsed) {
+    consumed = -1;
     // MM/DD/YYYY
-  } else {
+    parsed =
+        std::sscanf(text.c_str(), "%d/%d/%d%n", &m, &d, &y, &consumed) == 3 &&
+        consumed == len;
+  }
+  if (!parsed) {
     return Status::ParseError("unparsable date: '" + text + "'");
   }
-  if (m < 1 || m > 12 || d < 1 || d > 31 || y < 0 || y > 9999) {
+  if (m < 1 || m > 12 || y < 0 || y > 9999) {
     return Status::ParseError("date out of range: '" + text + "'");
+  }
+  if (d < 1 || d > DaysInMonth(y, m)) {
+    // Calendar-invalid days (2005-02-30, 2005-04-31, Feb 29 off leap
+    // years) must not normalise into the next month: a tstart/tend read
+    // back from an H-document has to be the date that was written.
+    return Status::ParseError("day out of range for month: '" + text + "'");
   }
   return FromYmd(y, m, d);
 }

@@ -30,8 +30,16 @@ class Date {
   static Date FromYmd(int year, int month, int day);
 
   /// Parses "YYYY-MM-DD". Also accepts "MM/DD/YYYY" (the paper prints H-table
-  /// samples in that format).
+  /// samples in that format). The day is validated against the true month
+  /// length (leap-year aware) and trailing garbage is rejected: "2005-02-30"
+  /// and "2005-01-01x" are ParseError, never a silently normalised date.
   static Result<Date> Parse(const std::string& text);
+
+  /// Whether `year` is a Gregorian leap year.
+  static bool IsLeapYear(int year);
+
+  /// Number of days in `month` (1..12) of `year`; 0 for an invalid month.
+  static int DaysInMonth(int year, int month);
 
   /// The end-of-time sentinel 9999-12-31 that internally represents `now`.
   static Date Forever();

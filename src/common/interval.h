@@ -51,9 +51,12 @@ struct TimeInterval {
   }
 
   /// Whether this interval ends exactly one day before `other` starts
-  /// (tmeets): adjacency under inclusive day-granularity intervals.
+  /// (tmeets): adjacency under inclusive day-granularity intervals. A
+  /// current interval never meets anything — its end is the `now` sentinel,
+  /// which has no successor day, and computing tend + 1 would step past
+  /// Date::Forever() into dates that cannot exist in any H-table.
   bool Meets(const TimeInterval& other) const {
-    return tend.AddDays(1) == other.tstart;
+    return !is_current() && tend.AddDays(1) == other.tstart;
   }
 
   /// Whether the two intervals are identical (tequals).

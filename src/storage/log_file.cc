@@ -128,6 +128,7 @@ Status AppendLogFile::Append(std::string_view framed) {
     }
     done += static_cast<size_t>(n);
     bytes_written_ += static_cast<uint64_t>(n);
+    end_offset_ += static_cast<uint64_t>(n);
   }
   if (allowed < framed.size()) {
     dead_ = Status::IOError("injected crash after " +
@@ -145,6 +146,16 @@ Status AppendLogFile::Sync() {
     dead_ = Status::IOError(Errno("fsync", options_.path));
     return dead_;
   }
+  return Status::OK();
+}
+
+Status AppendLogFile::Reset() {
+  ARCHIS_RETURN_NOT_OK(dead_);
+  if (::ftruncate(fd_, 0) != 0) {
+    dead_ = Status::IOError(Errno("ftruncate", options_.path));
+    return dead_;
+  }
+  end_offset_ = 0;
   return Status::OK();
 }
 

@@ -88,18 +88,25 @@ class AppendLogFile {
   /// Makes all appended bytes durable.
   Status Sync();
 
+  /// Truncates the file to empty in place (the WAL checkpoint reset path).
+  /// The handle stays open; subsequent appends start at offset zero. The
+  /// bytes-written counter — and with it the fault-injection budget —
+  /// carries over, so a handle near its injected crash stays near it.
+  Status Reset();
+
   /// Bytes written through this handle (not counting pre-existing ones).
   uint64_t bytes_written() const { return bytes_written_; }
 
-  /// File size at open time plus bytes written since.
-  uint64_t end_offset() const { return base_offset_ + bytes_written_; }
+  /// Current end-of-file offset: file size at open time plus bytes written
+  /// since, dropped back to zero by Reset().
+  uint64_t end_offset() const { return end_offset_; }
 
  private:
   AppendLogFile(int fd, uint64_t base_offset, LogFileOptions options)
-      : fd_(fd), base_offset_(base_offset), options_(std::move(options)) {}
+      : fd_(fd), end_offset_(base_offset), options_(std::move(options)) {}
 
   int fd_ = -1;
-  uint64_t base_offset_ = 0;
+  uint64_t end_offset_ = 0;
   uint64_t bytes_written_ = 0;
   LogFileOptions options_;
   Status dead_;  ///< sticky first failure

@@ -40,22 +40,29 @@ std::vector<TimedValue> CoalesceValues(std::vector<TimedValue> in) {
   return out;
 }
 
-std::vector<xml::XmlNodePtr> CoalesceNodes(
+Result<std::vector<xml::XmlNodePtr>> CoalesceNodes(
     const std::vector<xml::XmlNodePtr>& nodes) {
-  std::vector<TimedValue> timed;
-  std::string tag;
+  std::vector<std::string> tag_order;
+  std::map<std::string, std::vector<TimedValue>> by_tag;
   for (const auto& n : nodes) {
     auto iv = n->Interval();
-    if (!iv.ok()) continue;
-    if (tag.empty()) tag = n->name();
-    timed.push_back({n->StringValue(), *iv});
+    if (!iv.ok()) {
+      return Status::InvalidArgument(
+          "coalesce: element <" + n->name() +
+          "> has no valid interval: " + iv.status().message());
+    }
+    auto [it, inserted] = by_tag.try_emplace(n->name());
+    if (inserted) tag_order.push_back(n->name());
+    it->second.push_back({n->StringValue(), *iv});
   }
   std::vector<xml::XmlNodePtr> out;
-  for (const TimedValue& tv : CoalesceValues(std::move(timed))) {
-    auto node = xml::XmlNode::Element(tag.empty() ? "value" : tag);
-    node->SetInterval(tv.interval);
-    node->AppendText(tv.value);
-    out.push_back(std::move(node));
+  for (const std::string& tag : tag_order) {
+    for (const TimedValue& tv : CoalesceValues(std::move(by_tag[tag]))) {
+      auto node = xml::XmlNode::Element(tag);
+      node->SetInterval(tv.interval);
+      node->AppendText(tv.value);
+      out.push_back(std::move(node));
+    }
   }
   return out;
 }

@@ -32,10 +32,13 @@ std::vector<TimeInterval> CoalesceIntervals(std::vector<TimeInterval> in);
 std::vector<TimedValue> CoalesceValues(std::vector<TimedValue> in);
 
 /// Coalesces a list of timestamped XML elements (the paper's
-/// `coalesce($l)` UDF): elements are value-equivalent when their string
-/// values are equal; returns fresh elements with merged intervals,
-/// preserving the elements' tag name.
-std::vector<xml::XmlNodePtr> CoalesceNodes(
+/// `coalesce($l)` UDF). Elements are grouped by tag name (facts under
+/// different tags are never the same fact, whatever their string values);
+/// within a group, elements are value-equivalent when their string values
+/// are equal. Returns fresh elements with merged intervals, groups in
+/// first-appearance order of their tag. A node whose interval is missing
+/// or unparsable is an error — silently dropping it would lose history.
+Result<std::vector<xml::XmlNodePtr>> CoalesceNodes(
     const std::vector<xml::XmlNodePtr>& nodes);
 
 }  // namespace archis::temporal

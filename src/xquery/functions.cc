@@ -176,8 +176,10 @@ Result<Sequence> CallFunction(const std::string& name,
   // ---- Restructuring ------------------------------------------------------
   if (name == "coalesce") {
     ARCHIS_RETURN_NOT_OK(Arity(name, args, 1));
+    ARCHIS_ASSIGN_OR_RETURN(std::vector<xml::XmlNodePtr> coalesced,
+                            temporal::CoalesceNodes(ArgNodes(args[0])));
     Sequence out;
-    for (auto& node : temporal::CoalesceNodes(ArgNodes(args[0]))) {
+    for (auto& node : coalesced) {
       out.push_back(Item(std::move(node)));
     }
     return out;

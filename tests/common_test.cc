@@ -1,6 +1,8 @@
 // Unit tests for common/: Status/Result, Date, TimeInterval, str_util.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "common/date.h"
 #include "common/interval.h"
 #include "common/status.h"
@@ -74,6 +76,61 @@ TEST(DateTest, RejectsGarbage) {
   EXPECT_FALSE(Date::Parse("1995-13-01").ok());
   EXPECT_FALSE(Date::Parse("1995-01-42").ok());
 }
+
+TEST(DateTest, RejectsDaysPastTrueMonthLength) {
+  // These used to normalise silently (2005-02-30 -> 2005-03-02); the
+  // calendar validator now rejects them as ParseError.
+  EXPECT_EQ(Date::Parse("2005-02-30").status().code(),
+            StatusCode::kParseError);
+  EXPECT_FALSE(Date::Parse("2005-04-31").ok());
+  EXPECT_FALSE(Date::Parse("2005-02-29").ok());  // 2005 is not a leap year
+  EXPECT_TRUE(Date::Parse("2004-02-29").ok());   // 2004 is
+  EXPECT_FALSE(Date::Parse("1900-02-29").ok());  // century, not leap
+  EXPECT_TRUE(Date::Parse("2000-02-29").ok());   // 400-year rule
+  EXPECT_FALSE(Date::Parse("02/30/2005").ok());  // US format validated too
+}
+
+TEST(DateTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(Date::Parse("2005-01-01x").ok());
+  EXPECT_FALSE(Date::Parse("2005-01-01 ").ok());
+  EXPECT_FALSE(Date::Parse("06/01/1995junk").ok());
+  EXPECT_TRUE(Date::Parse("2005-01-01").ok());
+}
+
+TEST(DateTest, DaysInMonthTable) {
+  EXPECT_EQ(Date::DaysInMonth(1995, 1), 31);
+  EXPECT_EQ(Date::DaysInMonth(1995, 2), 28);
+  EXPECT_EQ(Date::DaysInMonth(1996, 2), 29);
+  EXPECT_EQ(Date::DaysInMonth(1995, 4), 30);
+  EXPECT_EQ(Date::DaysInMonth(1995, 0), 0);
+  EXPECT_EQ(Date::DaysInMonth(1995, 13), 0);
+}
+
+class DateCalendarProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DateCalendarProperty, EveryValidDayRoundTripsAndOneDayPastFails) {
+  const int year = GetParam();
+  for (int month = 1; month <= 12; ++month) {
+    const int len = Date::DaysInMonth(year, month);
+    for (int day = 1; day <= len; ++day) {
+      Date d = Date::FromYmd(year, month, day);
+      auto parsed = Date::Parse(d.ToString());
+      ASSERT_TRUE(parsed.ok()) << d.ToString();
+      EXPECT_EQ(*parsed, d);
+      EXPECT_EQ(parsed->year(), year);
+      EXPECT_EQ(parsed->month(), month);
+      EXPECT_EQ(parsed->day(), day);
+    }
+    // The first nonexistent day of each month must be rejected.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, len + 1);
+    EXPECT_FALSE(Date::Parse(buf).ok()) << buf;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LeapAndCommonYears, DateCalendarProperty,
+                         ::testing::Values(1900, 1995, 1996, 2000, 2004,
+                                           2005));
 
 TEST(DateTest, ForeverIsEndOfTime) {
   EXPECT_EQ(Date::Forever().ToString(), "9999-12-31");

@@ -9,8 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <functional>
 
+#include "archis/checkpoint.h"
+#include "common/metrics.h"
 #include "workload/scripted_dml.h"
 #include "xml/serializer.h"
 
@@ -29,6 +32,11 @@ Date D(int y, int m, int d) { return Date::FromYmd(y, m, d); }
 std::string TempPath(const std::string& name) {
   std::string path = ::testing::TempDir() + "/" + name;
   std::remove(path.c_str());
+  // Checkpoint artifacts outlive the WAL file; a stale manifest from a
+  // previous test-binary run must not leak into this one's recovery.
+  std::remove(CheckpointPath(path).c_str());
+  std::remove(CheckpointPrevPath(path).c_str());
+  std::remove(CheckpointTmpPath(path).c_str());
   return path;
 }
 
@@ -335,6 +343,315 @@ TEST(RecoveryTest, CrashAtEveryRecordBoundaryRecoversCommittedPrefix) {
   }
   // The matrix exercised real recoveries, not just empty logs.
   EXPECT_GT(nonempty_recoveries, 0);
+}
+
+// -- Checkpointing -------------------------------------------------------------
+
+metrics::Counter* RecoveredBytesCounter() {
+  return metrics::Registry::Global().GetCounter(
+      "archis_wal_recovered_bytes",
+      "WAL bytes replayed by recovery (suffix past the manifest only)");
+}
+
+metrics::Counter* FallbacksCounter() {
+  return metrics::Registry::Global().GetCounter(
+      "archis_checkpoint_manifest_fallbacks_total",
+      "Recoveries that found the newest manifest torn and used the "
+      "previous one");
+}
+
+TEST(CheckpointTest, RequiresWalAndQuiesce) {
+  // In-memory instances have no log to truncate.
+  ArchIS mem(ArchISOptions{}, D(1995, 1, 1));
+  EXPECT_EQ(mem.Checkpoint().code(), StatusCode::kInvalidArgument);
+
+  ArchISOptions opts;
+  opts.wal.path = TempPath("ckpt_quiesce.wal");
+  auto db = ArchIS::Open(opts, D(1995, 1, 1));
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->CreateRelation(EmpSpec()).ok());
+  {
+    Transaction txn = (*db)->Begin();
+    ASSERT_TRUE(txn.Insert("employees", Emp(1, "Ann", 100)).ok());
+    EXPECT_EQ((*db)->Checkpoint().code(), StatusCode::kInvalidArgument);
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  EXPECT_TRUE((*db)->Checkpoint().ok());
+  EXPECT_EQ((*db)->checkpoint_seq(), 1u);
+
+  // Buffered ambient changes (kUpdateLog mode) also block the snapshot.
+  ArchISOptions log_opts;
+  log_opts.capture_mode = CaptureMode::kUpdateLog;
+  log_opts.wal.path = TempPath("ckpt_quiesce_ambient.wal");
+  auto db2 = ArchIS::Open(log_opts, D(1995, 1, 1));
+  ASSERT_TRUE(db2.ok());
+  ASSERT_TRUE((*db2)->CreateRelation(EmpSpec()).ok());
+  ASSERT_TRUE((*db2)->Insert("employees", Emp(1, "Ann", 100)).ok());
+  EXPECT_EQ((*db2)->Checkpoint().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE((*db2)->Commit().ok());
+  EXPECT_TRUE((*db2)->Checkpoint().ok());
+}
+
+// The bounded-recovery guarantee: after a checkpoint, Open replays only
+// the WAL suffix written since it, asserted both through the facade
+// accessor and the archis_wal_recovered_bytes counter.
+TEST(CheckpointTest, OpenReplaysOnlyTheWalSuffixPastACheckpoint) {
+  const std::string path = TempPath("ckpt_suffix.wal");
+  ArchISOptions opts;
+  opts.wal.path = path;
+  {
+    auto db = ArchIS::Open(opts, D(1995, 1, 1));
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateRelation(EmpSpec()).ok());
+    for (int i = 1; i <= 20; ++i) {
+      ASSERT_TRUE((*db)->AdvanceClock(D(1995, 1, 1).AddDays(i)).ok());
+      ASSERT_TRUE(
+          (*db)->Insert("employees", Emp(i, "e" + std::to_string(i), 100 * i))
+              .ok());
+    }
+  }
+  // Reopen with no checkpoint: the whole log replays.
+  uint64_t full_replay_bytes = 0;
+  std::string after_checkpoint;
+  {
+    auto db = ArchIS::Open(opts, D(1995, 1, 1));
+    ASSERT_TRUE(db.ok());
+    full_replay_bytes = (*db)->last_recovery_replayed_bytes();
+    EXPECT_GT(full_replay_bytes, 0u);
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    after_checkpoint = AllHistories(db->get());
+  }
+  // Reopen right after the checkpoint: nothing to replay.
+  {
+    const uint64_t before = RecoveredBytesCounter()->value();
+    auto db = ArchIS::Open(opts, D(1995, 1, 1));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_EQ((*db)->last_recovery_replayed_bytes(), 0u);
+    EXPECT_EQ(RecoveredBytesCounter()->value() - before, 0u);
+    EXPECT_EQ((*db)->checkpoint_seq(), 1u);
+    EXPECT_EQ(AllHistories(db->get()), after_checkpoint);
+    EXPECT_EQ((*db)->Now(), D(1995, 1, 21));
+    // Post-checkpoint traffic, including DDL, lands in the suffix.
+    RelationSpec proj;
+    proj.name = "projects";
+    proj.schema = Schema({{"pid", DataType::kInt64},
+                          {"budget", DataType::kInt64}});
+    proj.key_columns = {"pid"};
+    proj.doc_name = "projects.xml";
+    ASSERT_TRUE((*db)->CreateRelation(proj).ok());
+    ASSERT_TRUE((*db)->AdvanceClock(D(1995, 2, 1)).ok());
+    ASSERT_TRUE((*db)->Insert("projects",
+                              Tuple{Value(int64_t{1}), Value(int64_t{5000})})
+                    .ok());
+    ASSERT_TRUE((*db)->Update("employees", {Value(int64_t{3})},
+                              Emp(3, "e3", 9999))
+                    .ok());
+    after_checkpoint = AllHistories(db->get());
+  }
+  // Reopen again: only that suffix replays, and it is far smaller than
+  // the pre-checkpoint full replay.
+  {
+    const uint64_t before = RecoveredBytesCounter()->value();
+    auto db = ArchIS::Open(opts, D(1995, 1, 1));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    const uint64_t suffix = (*db)->last_recovery_replayed_bytes();
+    EXPECT_GT(suffix, 0u);
+    EXPECT_LT(suffix, full_replay_bytes);
+    EXPECT_EQ(RecoveredBytesCounter()->value() - before, suffix);
+    EXPECT_EQ(AllHistories(db->get()), after_checkpoint);
+  }
+}
+
+// The checkpoint crash matrix: a deterministic crash is injected before
+// every phase of the protocol (manifest fsync, atomic install, WAL reset),
+// with and without a completed earlier checkpoint, and recovery must
+// reproduce the durably-acked shadow byte for byte every time.
+TEST(CheckpointTest, CrashAtEveryCheckpointPhaseRecoversShadowState) {
+  const CheckpointCrashPoint phases[] = {
+      CheckpointCrashPoint::kBeforeManifestSync,
+      CheckpointCrashPoint::kBeforeInstall,
+      CheckpointCrashPoint::kBeforeWalReset,
+  };
+  ScriptedDmlConfig cfg;
+  cfg.seed = 19;
+  cfg.transactions = 10;
+  int case_no = 0;
+  for (int prior_checkpoint = 0; prior_checkpoint <= 1; ++prior_checkpoint) {
+    for (CheckpointCrashPoint phase : phases) {
+      SCOPED_TRACE("phase " + std::to_string(static_cast<int>(phase)) +
+                   " prior_checkpoint " + std::to_string(prior_checkpoint));
+      const std::string path =
+          TempPath("ckpt_crash_" + std::to_string(case_no++) + ".wal");
+      ArchISOptions opts;
+      opts.wal.path = path;
+      auto db = ArchIS::Open(opts, cfg.start_date);
+      ASSERT_TRUE(db.ok());
+      ArchIS shadow(ArchISOptions{}, cfg.start_date);
+      auto run = RunScriptedDml(db->get(), &shadow, cfg);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      ASSERT_FALSE(run->crashed);
+      if (prior_checkpoint) {
+        ASSERT_TRUE((*db)->Checkpoint().ok());
+        // Post-checkpoint traffic the crashed second checkpoint must not
+        // lose, mirrored onto the shadow.
+        for (int i = 1; i <= 3; ++i) {
+          ASSERT_TRUE((*db)->Insert("employees", Emp(i, "post", 50 * i)).ok());
+          ASSERT_TRUE(shadow.Insert("employees", Emp(i, "post", 50 * i)).ok());
+        }
+      }
+      const std::string expected = AllHistories(&shadow);
+      Status st = (*db)->Checkpoint(phase);
+      ASSERT_EQ(st.code(), StatusCode::kIOError) << st.ToString();
+      db->reset();  // "power loss"
+
+      ArchISOptions reopen;
+      reopen.wal.path = path;
+      auto recovered = ArchIS::Open(reopen, cfg.start_date);
+      ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+      EXPECT_EQ(AllHistories(recovered->get()), expected);
+      // The recovered instance is fully operational: it takes new durable
+      // work and a subsequent checkpoint succeeds.
+      ASSERT_TRUE(
+          (*recovered)->Insert("employees", Emp(999, "after", 1)).ok());
+      ASSERT_TRUE(shadow.Insert("employees", Emp(999, "after", 1)).ok());
+      ASSERT_TRUE((*recovered)->Checkpoint().ok());
+      recovered->reset();
+      auto again = ArchIS::Open(reopen, cfg.start_date);
+      ASSERT_TRUE(again.ok()) << again.status().ToString();
+      EXPECT_EQ(AllHistories(again->get()), AllHistories(&shadow));
+      EXPECT_EQ((*again)->last_recovery_replayed_bytes(), 0u);
+    }
+  }
+}
+
+// A lying disk tears the newest manifest after install: recovery must fall
+// back to the previous manifest and still converge with the shadow,
+// because the WAL it pairs with was never truncated.
+TEST(CheckpointTest, TornNewestManifestFallsBackToPrevious) {
+  const std::string path = TempPath("ckpt_fallback.wal");
+  ArchISOptions opts;
+  opts.wal.path = path;
+  ArchIS shadow(ArchISOptions{}, D(1995, 1, 1));
+  {
+    auto db = ArchIS::Open(opts, D(1995, 1, 1));
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateRelation(EmpSpec()).ok());
+    ASSERT_TRUE(shadow.CreateRelation(EmpSpec()).ok());
+    for (int i = 1; i <= 5; ++i) {
+      ASSERT_TRUE((*db)->Insert("employees", Emp(i, "a", 10 * i)).ok());
+      ASSERT_TRUE(shadow.Insert("employees", Emp(i, "a", 10 * i)).ok());
+    }
+    ASSERT_TRUE((*db)->Checkpoint().ok());  // seq 1
+    ASSERT_TRUE((*db)->AdvanceClock(D(1995, 6, 1)).ok());
+    ASSERT_TRUE(shadow.AdvanceClock(D(1995, 6, 1)).ok());
+    for (int i = 6; i <= 9; ++i) {
+      ASSERT_TRUE((*db)->Insert("employees", Emp(i, "b", 10 * i)).ok());
+      ASSERT_TRUE(shadow.Insert("employees", Emp(i, "b", 10 * i)).ok());
+    }
+    // Second checkpoint installs manifest seq 2 (rotating seq 1 to .prev)
+    // but "crashes" before the WAL reset, so the log still carries
+    // everything since seq 1.
+    ASSERT_EQ((*db)->Checkpoint(CheckpointCrashPoint::kBeforeWalReset).code(),
+              StatusCode::kIOError);
+  }
+  // Tear the newest manifest in half.
+  const std::string newest = CheckpointPath(path);
+  const auto full_size = std::filesystem::file_size(newest);
+  ASSERT_GT(full_size, 16u);
+  std::filesystem::resize_file(newest, full_size / 2);
+
+  const uint64_t fallbacks_before = FallbacksCounter()->value();
+  auto db = ArchIS::Open(opts, D(1995, 1, 1));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(FallbacksCounter()->value() - fallbacks_before, 1u);
+  EXPECT_EQ((*db)->checkpoint_seq(), 1u);  // recovered from the fallback
+  EXPECT_EQ(AllHistories(db->get()), AllHistories(&shadow));
+}
+
+// WalOptions::checkpoint_after_bytes keeps the log (and therefore
+// recovery time) bounded under a sustained workload.
+TEST(CheckpointTest, AutoCheckpointBoundsWalSizeUnderSustainedLoad) {
+  const std::string path = TempPath("ckpt_auto.wal");
+  const uint64_t threshold = 8 * 1024;
+  ArchISOptions opts;
+  opts.wal.path = path;
+  opts.wal.checkpoint_after_bytes = threshold;
+  std::string final_state;
+  uint64_t max_wal_size = 0;
+  {
+    auto db = ArchIS::Open(opts, D(1995, 1, 1));
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateRelation(EmpSpec()).ok());
+    for (int i = 1; i <= 300; ++i) {
+      if (i % 25 == 0) {
+        ASSERT_TRUE((*db)->AdvanceClock(D(1995, 1, 1).AddDays(i / 25)).ok());
+      }
+      ASSERT_TRUE(
+          (*db)->Insert("employees", Emp(i, "w" + std::to_string(i), i)).ok());
+      max_wal_size =
+          std::max<uint64_t>(max_wal_size, std::filesystem::file_size(path));
+    }
+    EXPECT_GT((*db)->checkpoint_seq(), 1u);
+    final_state = AllHistories(db->get());
+  }
+  // Bounded: the log never grows past the threshold plus one commit unit
+  // (the commit that crosses the threshold triggers the truncation).
+  EXPECT_LT(max_wal_size, 2 * threshold);
+  // And the recovery bound follows the log bound.
+  auto db = ArchIS::Open(opts, D(1995, 1, 1));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_LT((*db)->last_recovery_replayed_bytes(), 2 * threshold);
+  EXPECT_EQ(AllHistories(db->get()), final_state);
+}
+
+// Composite (surrogate) keys: the manifest must persist the surrogate-id
+// map so recovered instances continue numbering where they left off
+// instead of splitting one key's history across two ids.
+TEST(CheckpointTest, SurrogateKeysStayStableAcrossCheckpointRecovery) {
+  const std::string path = TempPath("ckpt_surrogate.wal");
+  RelationSpec spec;
+  spec.name = "parts";
+  spec.schema = Schema({{"code", DataType::kString},
+                        {"qty", DataType::kInt64}});
+  spec.key_columns = {"code"};
+  spec.doc_name = "parts.xml";
+  ArchISOptions opts;
+  opts.wal.path = path;
+  {
+    auto db = ArchIS::Open(opts, D(1995, 1, 1));
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateRelation(spec).ok());
+    ASSERT_TRUE(
+        (*db)->Insert("parts", Tuple{Value("ax"), Value(int64_t{1})}).ok());
+    ASSERT_TRUE(
+        (*db)->Insert("parts", Tuple{Value("bx"), Value(int64_t{2})}).ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  auto db = ArchIS::Open(opts, D(1995, 1, 1));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto set = (*db)->archiver().htables("parts");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ((*set)->surrogate_ids().size(), 2u);
+  EXPECT_EQ((*set)->next_surrogate(), 3);
+  // Updating an existing key continues its history under the same id ...
+  ASSERT_TRUE((*db)->AdvanceClock(D(1995, 3, 1)).ok());
+  ASSERT_TRUE((*db)->Update("parts", {Value("ax")},
+                            Tuple{Value("ax"), Value(int64_t{10})})
+                  .ok());
+  // ... and a new key gets the next unused surrogate, not a recycled one.
+  ASSERT_TRUE(
+      (*db)->Insert("parts", Tuple{Value("cx"), Value(int64_t{3})}).ok());
+  EXPECT_EQ((*set)->surrogate_ids().size(), 3u);
+  EXPECT_EQ((*set)->next_surrogate(), 4);
+  // The key store holds exactly three ids (no history split).
+  uint64_t key_rows = 0;
+  ASSERT_TRUE((*set)->key_store()
+                  ->ScanHistory([&](const Tuple&) {
+                    ++key_rows;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(key_rows, 3u);
 }
 
 }  // namespace

@@ -81,6 +81,76 @@ TEST(SegmentedStoreTest, DisabledModeNeverFreezes) {
   EXPECT_EQ(store->LogicalTuples(), 51u);
 }
 
+TEST(SegmentedStoreTest, SameDayReplaceRewritesInPlace) {
+  // Closing a version born today and inserting its successor would mint two
+  // versions sharing (id, tstart) — the key the multi-source scan dedup
+  // collapses. ReplaceVersion must rewrite the open version in place
+  // instead, so history output is freeze-state independent.
+  minirel::Database db;
+  SegmentOptions opts;
+  opts.umin = 0.5;
+  auto store = MakeStore(&db, opts);
+  Date day = D(1990, 1, 1);
+  ASSERT_TRUE(store->InsertVersion(1, {Value(int64_t{100})}, day).ok());
+  ASSERT_TRUE(store->ReplaceVersion(1, {Value(int64_t{150})}, day).ok());
+  ASSERT_TRUE(store->ReplaceVersion(1, {Value(int64_t{175})}, day).ok());
+  std::vector<Tuple> rows;
+  ASSERT_TRUE(store->ScanHistory([&](const Tuple& row) {
+                rows.push_back(row);
+                return true;
+              }).ok());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at(1).AsInt(), 175);
+  EXPECT_EQ(rows[0].at(2).AsDate(), day);
+  EXPECT_TRUE(rows[0].at(3).AsDate().IsForever());
+
+  // A next-day replace takes the regular close + insert path.
+  ASSERT_TRUE(
+      store->ReplaceVersion(1, {Value(int64_t{200})}, day.AddDays(1)).ok());
+  rows.clear();
+  ASSERT_TRUE(store->ScanHistory([&](const Tuple& row) {
+                rows.push_back(row);
+                return true;
+              }).ok());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].at(1).AsInt(), 175);
+  EXPECT_EQ(rows[0].at(3).AsDate(), day);
+  EXPECT_EQ(rows[1].at(1).AsInt(), 200);
+  EXPECT_EQ(rows[1].at(2).AsDate(), day.AddDays(1));
+  EXPECT_EQ(store->ReplaceVersion(99, {Value(int64_t{1})}, day).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SegmentedStoreTest, SameDayReplaceShadowsFrozenCopy) {
+  // The open version gets frozen (copied into a segment), then replaced on
+  // its birth day: the live rewrite must shadow the stale frozen copy in
+  // multi-source scans rather than surface both values.
+  minirel::Database db;
+  SegmentOptions opts;
+  opts.umin = 0.5;
+  auto store = MakeStore(&db, opts);
+  Date day = D(1990, 1, 1);
+  for (int64_t id = 1; id <= 4; ++id) {
+    ASSERT_TRUE(store->InsertVersion(id, {Value(100 * id)}, day).ok());
+  }
+  day = day.AddDays(5);
+  ASSERT_TRUE(store->InsertVersion(5, {Value(int64_t{500})}, day).ok());
+  // Close ids 1-3 without replacement to push U below 0.5 and force a
+  // freeze; the frozen segment captures id 5's open version (value 500).
+  for (int64_t id = 1; id <= 3; ++id) {
+    ASSERT_TRUE(store->CloseVersion(id, day).ok());
+  }
+  ASSERT_GE(store->segments().size(), 1u);
+  ASSERT_TRUE(store->ReplaceVersion(5, {Value(int64_t{550})}, day).ok());
+  std::map<int64_t, std::vector<int64_t>> by_id;
+  ASSERT_TRUE(store->ScanHistory([&](const Tuple& row) {
+                by_id[row.at(0).AsInt()].push_back(row.at(1).AsInt());
+                return true;
+              }).ok());
+  ASSERT_EQ(by_id[5].size(), 1u);
+  EXPECT_EQ(by_id[5][0], 550);
+}
+
 TEST(SegmentedStoreTest, CloseVersionErrorsWithoutLiveRow) {
   minirel::Database db;
   auto store = MakeStore(&db, SegmentOptions{});

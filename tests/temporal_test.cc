@@ -72,19 +72,73 @@ TEST_P(CoalesceProperty, IdempotentAndCoverancePreserving) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CoalesceProperty,
                          ::testing::Values(11u, 22u, 33u, 44u));
 
+xml::XmlNodePtr MkTimed(const std::string& tag, const std::string& v,
+                        TimeInterval iv) {
+  auto n = xml::XmlNode::Element(tag);
+  n->SetInterval(iv);
+  n->AppendText(v);
+  return n;
+}
+
 TEST(CoalesceTest, NodeFlavourPreservesTag) {
-  auto mk = [](const std::string& v, TimeInterval iv) {
-    auto n = xml::XmlNode::Element("salary");
-    n->SetInterval(iv);
-    n->AppendText(v);
-    return n;
-  };
-  auto out = CoalesceNodes({mk("70000", IV(D(1995, 6, 1), D(1995, 9, 30))),
-                            mk("70000", IV(D(1995, 10, 1), D(1996, 1, 1)))});
-  ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0]->name(), "salary");
-  EXPECT_EQ(out[0]->StringValue(), "70000");
-  EXPECT_EQ(*out[0]->Interval(), IV(D(1995, 6, 1), D(1996, 1, 1)));
+  auto out = CoalesceNodes(
+      {MkTimed("salary", "70000", IV(D(1995, 6, 1), D(1995, 9, 30))),
+       MkTimed("salary", "70000", IV(D(1995, 10, 1), D(1996, 1, 1)))});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0]->name(), "salary");
+  EXPECT_EQ((*out)[0]->StringValue(), "70000");
+  EXPECT_EQ(*(*out)[0]->Interval(), IV(D(1995, 6, 1), D(1996, 1, 1)));
+}
+
+TEST(CoalesceTest, NodeFlavourGroupsByTagNotAcross) {
+  // salary and title histories interleaved in one sequence: coalescing
+  // must merge within each tag and never across tags, and the output
+  // keeps first-appearance tag order.
+  auto out = CoalesceNodes(
+      {MkTimed("salary", "70000", IV(D(1995, 1, 1), D(1995, 6, 30))),
+       MkTimed("title", "Engineer", IV(D(1995, 1, 1), D(1995, 12, 31))),
+       MkTimed("salary", "70000", IV(D(1995, 7, 1), D(1995, 12, 31))),
+       MkTimed("title", "Engineer", IV(D(1996, 1, 1), D(1996, 6, 30)))});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ((*out)[0]->name(), "salary");
+  EXPECT_EQ(*(*out)[0]->Interval(), IV(D(1995, 1, 1), D(1995, 12, 31)));
+  EXPECT_EQ((*out)[1]->name(), "title");
+  EXPECT_EQ(*(*out)[1]->Interval(), IV(D(1995, 1, 1), D(1996, 6, 30)));
+}
+
+TEST(CoalesceTest, NodeFlavourRejectsInvalidInterval) {
+  auto good = MkTimed("salary", "70000", IV(D(1995, 1, 1), D(1995, 6, 30)));
+  auto bad = xml::XmlNode::Element("salary");
+  bad->AppendText("80000");  // no tstart/tend at all
+  auto out = CoalesceNodes({good, bad});
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(out.status().message().find("salary"), std::string::npos);
+}
+
+TEST(CoalesceTest, NodeFlavourMergesAdjacentAtForever) {
+  // A closed interval adjacent to one running to the `now` sentinel must
+  // merge without Meets() overflowing past Forever.
+  auto out = CoalesceNodes(
+      {MkTimed("salary", "70000", IV(D(1995, 1, 1), D(1995, 6, 30))),
+       MkTimed("salary", "70000", IV(D(1995, 7, 1), Date::Forever()))});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(*(*out)[0]->Interval(), IV(D(1995, 1, 1), Date::Forever()));
+  EXPECT_TRUE((*out)[0]->Interval()->is_current());
+}
+
+TEST(IntervalTest, MeetsGuardsForeverSentinel) {
+  TimeInterval current = IV(D(1995, 1, 1), Date::Forever());
+  TimeInterval later = IV(Date::Forever().AddDays(1), Date::Forever());
+  // A current interval meets nothing: its end is `now`, not a real day,
+  // and AddDays(1) past the sentinel must not fabricate adjacency.
+  EXPECT_FALSE(current.Meets(later));
+  EXPECT_FALSE(current.Meets(current));
+  TimeInterval closed = IV(D(1995, 1, 1), D(1995, 6, 30));
+  EXPECT_TRUE(closed.Meets(IV(D(1995, 7, 1), Date::Forever())));
 }
 
 TEST(RestructureTest, PairwiseIntersections) {

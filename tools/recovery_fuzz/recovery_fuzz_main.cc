@@ -1,7 +1,8 @@
-// recovery_fuzz: randomized crash-recovery checker for the WAL write path.
+// recovery_fuzz: randomized crash-recovery checker for the WAL write path
+// and the checkpoint protocol.
 //
 // Each run drives the scripted DML workload (src/workload/scripted_dml.h)
-// twice against a WAL-backed ArchIS instance:
+// through four passes against a WAL-backed ArchIS instance:
 //
 //   1. A clean pass measures the log size and verifies that a clean
 //      close-and-reopen reproduces the H-documents byte for byte.
@@ -9,6 +10,15 @@
 //      inside the log, mirrors durably-committed units onto an in-memory
 //      shadow, reopens the torn log, and verifies the recovered
 //      H-documents match the shadow exactly.
+//   3. A checkpoint sweep runs the workload to completion, then crashes
+//      the checkpoint at every phase of its protocol (before the manifest
+//      fsync, before the atomic install, before the WAL reset) plus the
+//      no-crash case; every variant must reopen to the shadow's state,
+//      and the clean variant must replay zero WAL suffix bytes.
+//   4. An auto-checkpoint crash pass enables
+//      WalOptions::checkpoint_after_bytes with a seed-derived threshold
+//      and re-injects the crash offset, so torn logs around checkpoint
+//      truncations are exercised too.
 //
 // Exits nonzero (with the offending seed and crash offset) on the first
 // divergence, so a failure is directly reproducible:
@@ -22,6 +32,7 @@
 #include <string>
 
 #include "archis/archis.h"
+#include "archis/checkpoint.h"
 #include "workload/scripted_dml.h"
 
 namespace {
@@ -29,6 +40,10 @@ namespace {
 using archis::Date;
 using archis::core::ArchIS;
 using archis::core::ArchISOptions;
+using archis::core::CheckpointCrashPoint;
+using archis::core::CheckpointPath;
+using archis::core::CheckpointPrevPath;
+using archis::core::CheckpointTmpPath;
 using archis::workload::RunScriptedDml;
 using archis::workload::ScriptedDmlConfig;
 using archis::workload::SerializeAllHistories;
@@ -52,6 +67,31 @@ int Fail(const char* what, const std::string& detail) {
   return 1;
 }
 
+/// Dumps both sides of a failed equivalence next to the WAL so a
+/// divergence is diffable, not just detectable.
+void WriteMismatch(const std::string& wal_path, const std::string& recovered,
+                   const std::string& shadow) {
+  auto dump = [](const std::string& path, const std::string& text) {
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+    }
+  };
+  dump(wal_path + ".recovered.xml", recovered);
+  dump(wal_path + ".shadow.xml", shadow);
+  std::fprintf(stderr, "recovery_fuzz: dumped %s.{recovered,shadow}.xml\n",
+               wal_path.c_str());
+}
+
+/// Removes the WAL and every checkpoint artefact so the next pass starts
+/// from a genuinely empty instance (the paths are reused across passes).
+void RemoveInstanceFiles(const std::string& wal_path) {
+  std::remove(wal_path.c_str());
+  std::remove(CheckpointPath(wal_path).c_str());
+  std::remove(CheckpointPrevPath(wal_path).c_str());
+  std::remove(CheckpointTmpPath(wal_path).c_str());
+}
+
 /// One fuzz iteration; returns 0 on success.
 int RunOne(uint32_t seed, int transactions, const std::string& wal_path,
            uint32_t* rng) {
@@ -63,7 +103,7 @@ int RunOne(uint32_t seed, int transactions, const std::string& wal_path,
   wal_opts.wal.path = wal_path;
 
   // ---- clean pass: measure the log, verify clean reopen ----
-  std::remove(wal_path.c_str());
+  RemoveInstanceFiles(wal_path);
   auto clean = ArchIS::Open(wal_opts, cfg.start_date);
   if (!clean.ok()) return Fail("open (clean)", clean.status().ToString());
   auto clean_run = RunScriptedDml(clean->get(), nullptr, cfg);
@@ -90,7 +130,7 @@ int RunOne(uint32_t seed, int transactions, const std::string& wal_path,
   // ---- crash pass: torn log must recover to the shadow's state ----
   if (log_bytes == 0) return Fail("clean pass", "empty log");
   const uint64_t budget = 1 + NextRand(rng) % log_bytes;
-  std::remove(wal_path.c_str());
+  RemoveInstanceFiles(wal_path);
   ArchISOptions crash_opts = wal_opts;
   crash_opts.wal.fail_after_bytes = budget;
   auto primary = ArchIS::Open(crash_opts, cfg.start_date);
@@ -114,11 +154,92 @@ int RunOne(uint32_t seed, int transactions, const std::string& wal_path,
                     " committed_units=" +
                     std::to_string(crash_run->committed_units));
   }
+  // ---- checkpoint sweep: crash at every phase of the protocol ----
+  const CheckpointCrashPoint phases[] = {
+      CheckpointCrashPoint::kNone,
+      CheckpointCrashPoint::kBeforeManifestSync,
+      CheckpointCrashPoint::kBeforeInstall,
+      CheckpointCrashPoint::kBeforeWalReset,
+  };
+  for (CheckpointCrashPoint phase : phases) {
+    const std::string tag =
+        "seed=" + std::to_string(seed) +
+        " phase=" + std::to_string(static_cast<int>(phase));
+    RemoveInstanceFiles(wal_path);
+    auto ckpt_db = ArchIS::Open(wal_opts, cfg.start_date);
+    if (!ckpt_db.ok()) {
+      return Fail("open (checkpoint)", ckpt_db.status().ToString());
+    }
+    ArchIS ckpt_shadow(ArchISOptions{}, cfg.start_date);
+    auto ckpt_run = RunScriptedDml(ckpt_db->get(), &ckpt_shadow, cfg);
+    if (!ckpt_run.ok()) {
+      return Fail("scripted dml (checkpoint)", ckpt_run.status().ToString());
+    }
+    archis::Status st = (*ckpt_db)->Checkpoint(phase);
+    if (phase == CheckpointCrashPoint::kNone ? !st.ok() : st.ok()) {
+      return Fail("checkpoint status", tag + " -> " + st.ToString());
+    }
+    ckpt_db->reset();  // "power loss" at the injected phase
+
+    auto ckpt_recovered = ArchIS::Open(wal_opts, cfg.start_date);
+    if (!ckpt_recovered.ok()) {
+      return Fail("reopen (checkpoint)",
+                  tag + " -> " + ckpt_recovered.status().ToString());
+    }
+    if (SerializeAllHistories(ckpt_recovered->get()) !=
+        SerializeAllHistories(&ckpt_shadow)) {
+      return Fail("checkpoint recovery mismatch", tag);
+    }
+    if (phase == CheckpointCrashPoint::kNone &&
+        (*ckpt_recovered)->last_recovery_replayed_bytes() != 0) {
+      return Fail("checkpoint suffix not bounded",
+                  tag + " replayed_bytes=" +
+                      std::to_string(
+                          (*ckpt_recovered)->last_recovery_replayed_bytes()));
+    }
+  }
+
+  // ---- auto-checkpoint crash pass: torn logs around truncations ----
+  const uint64_t auto_threshold = 1 + NextRand(rng) % (1 + log_bytes / 2);
+  RemoveInstanceFiles(wal_path);
+  ArchISOptions auto_opts = wal_opts;
+  auto_opts.wal.fail_after_bytes = budget;
+  auto_opts.wal.checkpoint_after_bytes = auto_threshold;
+  auto auto_primary = ArchIS::Open(auto_opts, cfg.start_date);
+  if (!auto_primary.ok()) {
+    return Fail("open (auto-checkpoint)", auto_primary.status().ToString());
+  }
+  ArchIS auto_shadow(ArchISOptions{}, cfg.start_date);
+  auto auto_run = RunScriptedDml(auto_primary->get(), &auto_shadow, cfg);
+  if (!auto_run.ok()) {
+    return Fail("scripted dml (auto-checkpoint)",
+                auto_run.status().ToString());
+  }
+  auto_primary->reset();
+
+  auto auto_recovered = ArchIS::Open(wal_opts, cfg.start_date);
+  if (!auto_recovered.ok()) {
+    return Fail("reopen (auto-checkpoint)",
+                auto_recovered.status().ToString());
+  }
+  if (SerializeAllHistories(auto_recovered->get()) !=
+      SerializeAllHistories(&auto_shadow)) {
+    WriteMismatch(wal_path, SerializeAllHistories(auto_recovered->get()),
+                  SerializeAllHistories(&auto_shadow));
+    return Fail("auto-checkpoint recovery mismatch",
+                "seed=" + std::to_string(seed) +
+                    " fail_after_bytes=" + std::to_string(budget) +
+                    " checkpoint_after_bytes=" +
+                    std::to_string(auto_threshold));
+  }
+
   std::printf(
-      "  seed=%u log=%llu bytes crash@%llu committed=%d crashed=%s ok\n",
+      "  seed=%u log=%llu bytes crash@%llu committed=%d crashed=%s "
+      "ckpt-phases=4 auto-ckpt@%llu ok\n",
       seed, static_cast<unsigned long long>(log_bytes),
       static_cast<unsigned long long>(budget), crash_run->committed_units,
-      crash_run->crashed ? "yes" : "no");
+      crash_run->crashed ? "yes" : "no",
+      static_cast<unsigned long long>(auto_threshold));
   return 0;
 }
 
@@ -171,7 +292,7 @@ int main(int argc, char** argv) {
       return rc;
     }
   }
-  std::remove(wal_path.c_str());
+  RemoveInstanceFiles(wal_path);
   std::printf("recovery_fuzz: all %d runs recovered exactly\n", args.runs);
   return 0;
 }
