@@ -13,6 +13,8 @@
 #   scripts/bench_to_json.sh updates          # just bench_updates
 #   scripts/bench_to_json.sh recovery         # just the recovery ablation
 #   BUILD_DIR=build-release scripts/bench_to_json.sh
+#   MIN_TIME=1s scripts/bench_to_json.sh queries   # steadier numbers for
+#                                                  # A/B ablation pairs
 #
 # Uses --benchmark_out (not --benchmark_format=json on stdout) so the
 # binary's human-readable preamble does not corrupt the JSON.
@@ -40,7 +42,11 @@ for suite in "${SUITES[@]}"; do
     echo "error: $BIN not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
     exit 1
   fi
+  MT=()
+  if [[ -n "${MIN_TIME:-}" ]]; then
+    MT=(--benchmark_min_time="$MIN_TIME")
+  fi
   "$BIN" --benchmark_out="$OUT" --benchmark_out_format=json \
-         --benchmark_repetitions="${REPETITIONS:-1}" "${FILTER[@]}"
+         --benchmark_repetitions="${REPETITIONS:-1}" "${MT[@]}" "${FILTER[@]}"
   echo "wrote $OUT"
 done

@@ -10,7 +10,11 @@
 #      all recover to the durably-committed state exactly.
 #   5. metrics smoke: archis-stats on a durable workload must produce the
 #      full profile span tree and a well-formed, non-zero exposition.
-#   6. If clang-tidy is available: .clang-tidy checks over src/.
+#   6. planner-forced equivalence: the translated-vs-native equivalence
+#      suite re-runs with the physical planner pinned both ways
+#      (ARCHIS_FORCE_PLAN=cost, then =fixed), so cost-based plans and the
+#      legacy shape must both match native answers exactly.
+#   7. If clang-tidy is available: .clang-tidy checks over src/.
 #
 # Exits nonzero on the first failing step. Run from the repo root:
 #   scripts/check.sh
@@ -19,12 +23,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
-echo "==> [1/6] default build + tests"
+echo "==> [1/7] default build + tests"
 cmake -B build-check -S . >/dev/null
 cmake --build build-check -j"$JOBS"
 ctest --test-dir build-check --output-on-failure -j"$JOBS"
 
-echo "==> [2/6] clang thread-safety analysis (ARCHIS_ANALYZE=ON)"
+echo "==> [2/7] clang thread-safety analysis (ARCHIS_ANALYZE=ON)"
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-analyze -S . \
     -DCMAKE_CXX_COMPILER=clang++ -DARCHIS_ANALYZE=ON >/dev/null
@@ -33,16 +37,20 @@ else
   echo "    clang++ not found; skipping (annotations are no-ops under GCC)"
 fi
 
-echo "==> [3/6] archis-lint (domain invariants)"
+echo "==> [3/7] archis-lint (domain invariants)"
 ./build-check/tools/archis-lint src tools
 
-echo "==> [4/6] recovery fuzz (WAL crash points + checkpoint phases)"
+echo "==> [4/7] recovery fuzz (WAL crash points + checkpoint phases)"
 ./build-check/tools/recovery_fuzz --runs "${FUZZ_RUNS:-8}"
 
-echo "==> [5/6] metrics smoke (profile spans + exposition)"
+echo "==> [5/7] metrics smoke (profile spans + exposition)"
 BUILD_DIR=build-check scripts/metrics_smoke.sh
 
-echo "==> [6/6] clang-tidy"
+echo "==> [6/7] planner-forced equivalence (cost-based, then fixed)"
+ARCHIS_FORCE_PLAN=cost ./build-check/tests/equivalence_test
+ARCHIS_FORCE_PLAN=fixed ./build-check/tests/equivalence_test
+
+echo "==> [7/7] clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   # shellcheck disable=SC2046

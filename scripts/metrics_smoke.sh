@@ -31,9 +31,11 @@ fail() {
   exit 1
 }
 
-# 1. The profile renders the full span tree.
+# 1. The profile renders the full span tree. (Herestrings, not
+#    `echo | grep -q`: under pipefail an early-exiting grep -q can EPIPE
+#    the echo and fail the check even though the pattern matched.)
 for span in query parse translate execute segment-scan; do
-  echo "$OUT" | grep -qE "^ *$span +[0-9.]+ ms" \
+  grep -qE "^ *$span +[0-9.]+ ms" <<<"$OUT" \
     || fail "profile is missing span '$span'"
 done
 
@@ -50,7 +52,7 @@ for metric in \
     archis_changes_captured_total \
     archis_queries_translated_total \
     archis_query_seconds_count; do
-  echo "$OUT" | grep -qE "^$metric [1-9][0-9]*$" \
+  grep -qE "^$metric [1-9][0-9]*$" <<<"$OUT" \
     || fail "metric '$metric' absent or zero"
 done
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "archis/planner.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "xml/serializer.h"
@@ -323,6 +324,7 @@ Status ArchIS::CreateRelationInternal(RelationSpec spec, Date open_date,
   relations_[spec.name] = std::move(info);
   ARCHIS_RETURN_NOT_OK(archiver_.RegisterRelation(
       spec.name, spec.schema, spec.key_columns, options_.segment, open_date));
+  InvalidatePlanCache();
   if (log_to_wal && wal_ != nullptr) {
     return wal_->LogCreateRelation(spec, open_date);
   }
@@ -341,6 +343,7 @@ Status ArchIS::DropRelationInternal(const std::string& name, Date when,
   }
   ARCHIS_RETURN_NOT_OK(current_db_.catalog().DropTable(name));
   ARCHIS_RETURN_NOT_OK(archiver_.UnregisterRelation(name, when));
+  InvalidatePlanCache();
   if (log_to_wal && wal_ != nullptr) {
     return wal_->LogDropRelation(name, when);
   }
@@ -535,6 +538,7 @@ Status ArchIS::CommitChanges(std::vector<ChangeRecord> changes,
   for (const ChangeRecord& change : changes) {
     ARCHIS_RETURN_NOT_OK(archiver_.Apply(change));
   }
+  InvalidatePlanCache();
   TxnCommitsMetric()->Inc();
   ChangesCapturedMetric()->Inc(changes.size());
   MaybeAutoCheckpoint();
@@ -584,6 +588,7 @@ Status ArchIS::ApplyRecovered(const WalCommittedTxn& txn) {
   for (const ChangeRecord& change : txn.changes) {
     ARCHIS_RETURN_NOT_OK(ReplayChange(change));
   }
+  InvalidatePlanCache();
   return Status::OK();
 }
 
@@ -712,6 +717,7 @@ Result<CheckpointRelation> ArchIS::CaptureRelation(
         rel.store_rows.back().push_back(row);
         return true;
       }));
+  rel.store_stats.push_back(set->key_store()->statistics().Encode());
   for (const std::string& attr : set->attribute_names()) {
     ARCHIS_ASSIGN_OR_RETURN(SegmentedStore * store,
                             set->attribute_store(attr));
@@ -720,6 +726,7 @@ Result<CheckpointRelation> ArchIS::CaptureRelation(
       rel.store_rows.back().push_back(row);
       return true;
     }));
+    rel.store_stats.push_back(store->statistics().Encode());
   }
   if (!rel.dropped) {
     ARCHIS_ASSIGN_OR_RETURN(Table * table,
@@ -746,13 +753,27 @@ Status ArchIS::RestoreFromCheckpoint(const CheckpointManifest& manifest) {
           std::to_string(rel.store_rows.size()) + " stores, schema needs " +
           std::to_string(1 + set->attribute_names().size()));
     }
+    // Install the checkpointed statistics snapshot over the rebuild's
+    // (identical for deterministic stats, but the manifest is the record).
+    const bool has_stats = rel.store_stats.size() == rel.store_rows.size();
     ARCHIS_RETURN_NOT_OK(
         set->key_store()->LoadCheckpointRows(rel.store_rows[0]));
+    if (has_stats) {
+      ARCHIS_ASSIGN_OR_RETURN(StoreStatistics stats,
+                              StoreStatistics::Decode(rel.store_stats[0]));
+      set->key_store()->RestoreStatistics(std::move(stats));
+    }
     for (size_t a = 0; a < set->attribute_names().size(); ++a) {
       ARCHIS_ASSIGN_OR_RETURN(
           SegmentedStore * store,
           set->attribute_store(set->attribute_names()[a]));
       ARCHIS_RETURN_NOT_OK(store->LoadCheckpointRows(rel.store_rows[1 + a]));
+      if (has_stats) {
+        ARCHIS_ASSIGN_OR_RETURN(
+            StoreStatistics stats,
+            StoreStatistics::Decode(rel.store_stats[1 + a]));
+        store->RestoreStatistics(std::move(stats));
+      }
     }
     if (rel.dropped) {
       ARCHIS_RETURN_NOT_OK(DropRelationInternal(
@@ -765,6 +786,7 @@ Status ArchIS::RestoreFromCheckpoint(const CheckpointManifest& manifest) {
       }
     }
   }
+  InvalidatePlanCache();
   return Status::OK();
 }
 
@@ -831,7 +853,7 @@ Result<QueryResult> ArchIS::Query(const std::string& xquery,
       result.sql = plan->ToSql();
       Result<xml::XmlNodePtr> xml = [&]() -> Result<xml::XmlNodePtr> {
         trace::ScopedSpan span(trace, "execute");
-        return Execute(*plan, &result.stats, trace);
+        return Execute(*plan, &result.stats, trace, options.force_plan);
       }();
       if (!xml.ok()) return fail(xml.status());
       result.xml = std::move(*xml);
@@ -871,9 +893,66 @@ Result<SqlXmlPlan> ArchIS::Translate(const std::string& xquery) const {
 }
 
 Result<xml::XmlNodePtr> ArchIS::Execute(const SqlXmlPlan& plan,
-                                        PlanStats* stats,
-                                        trace::Trace* trace) const {
-  return ExecutePlan(archiver_, plan, clock_, stats, trace);
+                                        PlanStats* stats, trace::Trace* trace,
+                                        PlanForce force_plan) const {
+  static metrics::Counter* forced = metrics::Registry::Global().GetCounter(
+      "archis_planner_forced_total",
+      "Plan executions whose physical shape was pinned by "
+      "QueryOptions::force_plan");
+  static metrics::Counter* fallbacks = metrics::Registry::Global().GetCounter(
+      "archis_planner_fallbacks_total",
+      "Cost-based planning failures that fell back to the fixed shape");
+  static metrics::Counter* cache_hits = metrics::Registry::Global().GetCounter(
+      "archis_planner_cache_hits_total",
+      "Executions that reused a cached physical plan (same structural "
+      "key, no intervening mutation)");
+  static metrics::Counter* cache_misses =
+      metrics::Registry::Global().GetCounter(
+          "archis_planner_cache_misses_total",
+          "Executions that ran the cost-based planner (cold or stale "
+          "cache entry)");
+  if (force_plan != PlanForce::kAuto) forced->Inc();
+  if (force_plan == PlanForce::kFixed) {
+    // nullptr physical = the fixed legacy shape (DefaultPhysicalPlan).
+    return ExecutePlan(archiver_, plan, clock_, stats, trace);
+  }
+  // Plan cache: repeated executions of a structurally identical plan at
+  // unchanged statistics (no mutation since planning) skip PlanQuery
+  // entirely — prepared-statement behavior, so cheap point queries don't
+  // pay planning on every call. The hit path is kept allocation-free: a
+  // thread-local scratch buffer for the key, a shared_ptr copy out of
+  // the cache.
+  thread_local std::string key;
+  key.clear();
+  AppendPlanCacheKey(plan, &key);
+  std::shared_ptr<const PhysicalPlan> physical;
+  {
+    MutexLock l(plan_cache_mu_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end() && it->second.epoch == plan_epoch_) {
+      physical = it->second.physical;
+    }
+  }
+  if (physical != nullptr) {
+    cache_hits->Inc();
+  } else {
+    cache_misses->Inc();
+    Result<PhysicalPlan> planned = PlanQuery(archiver_, plan);
+    if (!planned.ok()) {
+      if (force_plan == PlanForce::kCostBased) return planned.status();
+      fallbacks->Inc();
+      return ExecutePlan(archiver_, plan, clock_, stats, trace);
+    }
+    physical = std::make_shared<const PhysicalPlan>(std::move(*planned));
+    MutexLock l(plan_cache_mu_);
+    // Bounded cache: a workload with unbounded distinct shapes (e.g. a
+    // fresh constant per query) must not grow the map forever. 256
+    // prepared shapes is far beyond any suite here; wholesale clear keeps
+    // eviction O(1) without LRU bookkeeping.
+    if (plan_cache_.size() >= 256) plan_cache_.clear();
+    plan_cache_[key] = CachedPlan{plan_epoch_, physical};
+  }
+  return ExecutePlan(archiver_, plan, clock_, stats, trace, physical.get());
 }
 
 std::string ArchIS::DumpMetrics() {
@@ -914,7 +993,9 @@ Result<xml::XmlNodePtr> ArchIS::PublishHistory(
 Status ArchIS::ImportHistory(const std::string& relation,
                              const xml::XmlNodePtr& doc) {
   ARCHIS_ASSIGN_OR_RETURN(HTableSet * set, archiver_.htables(relation));
-  return core::ImportHistory(set, doc);
+  ARCHIS_RETURN_NOT_OK(core::ImportHistory(set, doc));
+  InvalidatePlanCache();
+  return Status::OK();
 }
 
 Result<std::vector<Tuple>> ArchIS::Snapshot(const std::string& relation,
@@ -923,6 +1004,15 @@ Result<std::vector<Tuple>> ArchIS::Snapshot(const std::string& relation,
   return set->Snapshot(t);
 }
 
-Status ArchIS::FreezeAll() { return archiver_.FreezeAll(clock_); }
+Status ArchIS::FreezeAll() {
+  ARCHIS_RETURN_NOT_OK(archiver_.FreezeAll(clock_));
+  InvalidatePlanCache();
+  return Status::OK();
+}
+
+void ArchIS::InvalidatePlanCache() {
+  MutexLock l(plan_cache_mu_);
+  ++plan_epoch_;
+}
 
 }  // namespace archis::core

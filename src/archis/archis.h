@@ -33,9 +33,11 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "archis/archiver.h"
 #include "archis/checkpoint.h"
+#include "common/mutex.h"
 #include "common/trace.h"
 #include "archis/publisher.h"
 #include "archis/relation_spec.h"
@@ -61,9 +63,16 @@ enum class QueryPath { kTranslated, kNativeFallback };
 /// Unsupported instead of falling back; kNative skips translation.
 enum class QueryForce { kAuto, kTranslated, kNative };
 
+/// Pins the physical planner for translated queries. kAuto runs the
+/// cost-based planner and falls back to the fixed shape if planning
+/// fails; kCostBased fails instead of falling back; kFixed bypasses the
+/// planner (the pre-planner executor shape — the ablation baseline).
+enum class PlanForce { kAuto, kCostBased, kFixed };
+
 /// Per-query options.
 struct QueryOptions {
   QueryForce force_path = QueryForce::kAuto;
+  PlanForce force_plan = PlanForce::kAuto;
   /// Collect a span-tree profile (parse -> translate -> execute ->
   /// segment scans) on QueryResult::profile. Off by default: profiling
   /// allocates per span, so it is opt-in per query.
@@ -224,10 +233,14 @@ class ArchIS {
   /// Translation only (the paper reports sub-0.1ms translation costs).
   Result<SqlXmlPlan> Translate(const std::string& xquery) const;
 
-  /// Executes a (possibly hand-built) plan against the H-tables.
+  /// Executes a (possibly hand-built) plan against the H-tables. The
+  /// physical shape comes from the cost-based planner unless `force_plan`
+  /// says otherwise (see PlanForce).
   Result<xml::XmlNodePtr> Execute(const SqlXmlPlan& plan,
                                   PlanStats* stats = nullptr,
-                                  trace::Trace* trace = nullptr) const;
+                                  trace::Trace* trace = nullptr,
+                                  PlanForce force_plan = PlanForce::kAuto)
+      const;
 
   /// Native evaluation over published H-documents.
   Result<xquery::Sequence> QueryNative(const std::string& xquery);
@@ -350,6 +363,23 @@ class ArchIS {
   Result<CheckpointRelation> CaptureRelation(
       const std::string& name, const TimeInterval& interval) const;
 
+  /// A cost-based physical plan cached by ArchIS::Execute, keyed by
+  /// AppendPlanCacheKey (planner.h). `epoch` is the plan_epoch_ value at
+  /// planning time; entries from older epochs replan. A stale plan could
+  /// only change the access strategy, never the answer (both shapes are
+  /// answer-equivalent — the forced-plan equivalence suite is the proof),
+  /// so the epoch guards freshness of the cost model, not correctness.
+  /// Shared ownership keeps a cache hit at pointer-copy cost; the plan
+  /// itself was produced by PlanQuery and is immutable once cached.
+  struct CachedPlan {
+    uint64_t epoch = 0;
+    std::shared_ptr<const PhysicalPlan> physical;
+  };
+
+  /// Drops cached plan validity after any mutation that changes segment
+  /// statistics or the set of relations (commit, freeze, DDL, recovery).
+  void InvalidatePlanCache();
+
   /// Runs Checkpoint() when the auto-checkpoint byte threshold is crossed.
   /// Failures are logged, not returned: the committed batch that triggered
   /// us is already durable, and a dead WAL surfaces on the next commit.
@@ -377,6 +407,14 @@ class ArchIS {
   /// Open explicit (stamp-at-commit) transactions; blocks AdvanceClock.
   int open_stamped_txns_ = 0;
   std::map<std::string, RelationInfo> relations_;
+  /// Plan cache for Execute (mutable: queries are const). The mutex makes
+  /// the cache safe under concurrent read-only queries; mutations happen
+  /// single-threaded but still bump the epoch under the lock.
+  mutable Mutex plan_cache_mu_;
+  mutable std::unordered_map<std::string, CachedPlan> plan_cache_
+      ARCHIS_GUARDED_BY(plan_cache_mu_);
+  /// Bumped by InvalidatePlanCache on every statistics-changing mutation.
+  mutable uint64_t plan_epoch_ ARCHIS_GUARDED_BY(plan_cache_mu_) = 0;
   /// Last checkpoint written or recovered from (0 = none).
   uint64_t checkpoint_seq_ = 0;
   /// Wal::bytes_written() at the last checkpoint (auto-checkpoint delta).

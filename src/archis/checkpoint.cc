@@ -28,7 +28,10 @@ using storage::AppendFrame;
 
 // "CKP1", little-endian.
 constexpr uint32_t kMagic = 0x31504B43;
-constexpr uint32_t kVersion = 1;
+// Version 2 added per-store statistics blobs after the current rows;
+// version-1 manifests (no stats) still decode, with empty store_stats.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 
 enum class RecordType : uint8_t { kHeader = 1, kRelation = 2, kFooter = 3 };
 
@@ -89,10 +92,22 @@ Result<std::string> EncodeRelation(const CheckpointRelation& rel) {
   ARCHIS_ASSIGN_OR_RETURN(std::string current,
                           EncodeRows(rel.current_rows, rel.spec.schema));
   payload.append(current);
+  // v2: per-store statistics snapshots (may be absent when a caller built
+  // the relation by hand; recovery then rebuilds from the rows).
+  if (!rel.store_stats.empty() &&
+      rel.store_stats.size() != rel.store_rows.size()) {
+    return Status::Internal("checkpoint: stats count mismatch for '" +
+                            rel.spec.name + "'");
+  }
+  AppendU32(static_cast<uint32_t>(rel.store_stats.size()), &payload);
+  for (const std::string& stats : rel.store_stats) {
+    AppendLengthPrefixed(stats, &payload);
+  }
   return payload;
 }
 
-Result<CheckpointRelation> DecodeRelation(std::string_view payload,
+Result<CheckpointRelation> DecodeRelation(uint32_t version,
+                                          std::string_view payload,
                                           size_t* pos) {
   CheckpointRelation rel;
   ARCHIS_ASSIGN_OR_RETURN(rel.spec, DecodeRelationSpec(payload, pos));
@@ -126,6 +141,20 @@ Result<CheckpointRelation> DecodeRelation(std::string_view payload,
   }
   ARCHIS_ASSIGN_OR_RETURN(rel.current_rows,
                           DecodeRows(rel.spec.schema, payload, pos));
+  if (version >= 2) {
+    ARCHIS_ASSIGN_OR_RETURN(uint32_t nstats, ReadU32(payload, pos));
+    if (nstats != 0 && nstats != nstores) {
+      return Status::Corruption(
+          "checkpoint relation '" + rel.spec.name + "' has " +
+          std::to_string(nstats) + " stats blobs for " +
+          std::to_string(nstores) + " stores");
+    }
+    for (uint32_t s = 0; s < nstats; ++s) {
+      ARCHIS_ASSIGN_OR_RETURN(std::string stats,
+                              ReadLengthPrefixed(payload, pos));
+      rel.store_stats.push_back(std::move(stats));
+    }
+  }
   return rel;
 }
 
@@ -231,6 +260,7 @@ Result<CheckpointManifest> ReadCheckpointManifest(const std::string& path) {
                               "' missing or empty");
   }
   CheckpointManifest manifest;
+  uint32_t manifest_version = kVersion;
   bool footer_seen = false;
   for (size_t i = 0; i < scan.records.size(); ++i) {
     std::string_view payload = scan.records[i].payload;
@@ -248,10 +278,11 @@ Result<CheckpointManifest> ReadCheckpointManifest(const std::string& path) {
       if (magic != kMagic) {
         return Status::Corruption("checkpoint manifest bad magic");
       }
-      if (version != kVersion) {
+      if (version < kMinVersion || version > kVersion) {
         return Status::Corruption("checkpoint manifest version " +
                                   std::to_string(version) + " unsupported");
       }
+      manifest_version = version;
       ARCHIS_ASSIGN_OR_RETURN(manifest.seq, ReadU64(payload, &pos));
       ARCHIS_ASSIGN_OR_RETURN(manifest.clock_days, ReadI64(payload, &pos));
       ARCHIS_ASSIGN_OR_RETURN(manifest.next_txn_id, ReadU64(payload, &pos));
@@ -264,8 +295,9 @@ Result<CheckpointManifest> ReadCheckpointManifest(const std::string& path) {
     }
     switch (type) {
       case RecordType::kRelation: {
-        ARCHIS_ASSIGN_OR_RETURN(CheckpointRelation rel,
-                                DecodeRelation(payload, &pos));
+        ARCHIS_ASSIGN_OR_RETURN(
+            CheckpointRelation rel,
+            DecodeRelation(manifest_version, payload, &pos));
         manifest.relations.push_back(std::move(rel));
         break;
       }

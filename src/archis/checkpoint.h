@@ -62,6 +62,11 @@ struct CheckpointRelation {
   std::vector<std::vector<minirel::Tuple>> store_rows;
   /// Current-table rows (empty for dropped relations).
   std::vector<minirel::Tuple> current_rows;
+  /// Encoded StoreStatistics per store (parallel to store_rows), so
+  /// recovery installs the checkpointed planner estimates byte-for-byte.
+  /// Empty when decoded from a version-1 manifest — the restore rebuild
+  /// (LoadCheckpointRows -> LoadVersion) covers that case.
+  std::vector<std::string> store_stats;
 };
 
 /// Everything a checkpoint persists.

@@ -54,6 +54,12 @@ class CompressedSegment {
   uint64_t RawBytes() const { return store_.RawBytes(); }
   size_t block_count() const { return store_.block_count(); }
 
+  /// Blocks a `window`-restricted Scan would decompress after zone-map
+  /// pruning (all of them when `window` is empty). Metadata only.
+  uint64_t BlocksOverlapping(const std::optional<TimeInterval>& window) const {
+    return store_.CountBlocksOverlapping(window);
+  }
+
   const compress::BlobStore& store() const { return store_; }
 
  private:

@@ -137,6 +137,10 @@ Status SegmentedStore::InsertVersion(int64_t id,
   ARCHIS_RETURN_NOT_OK(live_->Insert(row).status());
   ++live_total_;
   ++live_current_;
+  ++stats_.versions_total;
+  ++stats_.versions_open;
+  stats_.tstart_hist.Add(now.days());
+  stats_.distinct_ids.Add(id);
   return Status::OK();
 }
 
@@ -157,6 +161,14 @@ Status SegmentedStore::LoadVersion(int64_t id,
   ARCHIS_RETURN_NOT_OK(live_->Insert(row).status());
   ++live_total_;
   if (interval.is_current()) ++live_current_;
+  ++stats_.versions_total;
+  stats_.tstart_hist.Add(interval.tstart.days());
+  stats_.distinct_ids.Add(id);
+  if (interval.is_current()) {
+    ++stats_.versions_open;
+  } else {
+    stats_.tend_hist.Add(interval.tend.days());
+  }
   return Status::OK();
 }
 
@@ -215,6 +227,8 @@ Status SegmentedStore::CloseVersion(int64_t id, Date now) {
   storage::RecordId rid = *found_rid;
   ARCHIS_RETURN_NOT_OK(live_->Update(&rid, row));
   if (live_current_ > 0) --live_current_;
+  if (stats_.versions_open > 0) --stats_.versions_open;
+  stats_.tend_hist.Add(end.days());
   return FreezeIfNeeded(now);
 }
 
@@ -238,10 +252,16 @@ Status SegmentedStore::ReplaceVersion(int64_t id,
     return live_->Update(&rid, row);
   }
   Tuple row = *found_row;
-  row.at(tend_col_) = Value(now.AddDays(-1));
+  Date closed_at = now.AddDays(-1);
+  if (closed_at < row.at(tstart_col_).AsDate()) {
+    closed_at = row.at(tstart_col_).AsDate();
+  }
+  row.at(tend_col_) = Value(closed_at);
   storage::RecordId rid = *found_rid;
   ARCHIS_RETURN_NOT_OK(live_->Update(&rid, row));
   if (live_current_ > 0) --live_current_;
+  if (stats_.versions_open > 0) --stats_.versions_open;
+  stats_.tend_hist.Add(closed_at.days());
   ARCHIS_RETURN_NOT_OK(FreezeIfNeeded(now));
   return InsertVersion(id, values, now);
 }
@@ -284,6 +304,13 @@ Status SegmentedStore::Freeze(Date now) {
   info.interval = MakeInterval(live_start_, now);
   info.tuple_count = rows.size();
   info.compressed = options_.compress;
+  // Rows are (id, tstart)-sorted, so the exact distinct-id count of the
+  // segment is one transition scan (planner input, DESIGN.md §11).
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i == 0 || rows[i].at(0).AsInt() != rows[i - 1].at(0).AsInt()) {
+      ++info.distinct_ids;
+    }
+  }
 
   // 3. Materialise the frozen segment: BlockZIP blob or id-clustered rows.
   if (options_.compress) {
@@ -291,6 +318,7 @@ Status SegmentedStore::Freeze(Date now) {
         std::unique_ptr<CompressedSegment> seg,
         CompressedSegment::Build(row_schema_, rows, options_.block_size,
                                  options_.block_cache_bytes));
+    info.blocks = seg->block_count();
     compressed_.push_back(std::move(seg));
   } else {
     compressed_.push_back(nullptr);
@@ -678,6 +706,16 @@ uint64_t SegmentedStore::StorageBytes() const {
     if (seg != nullptr) total += seg->CompressedBytes();
   }
   return total;
+}
+
+uint64_t SegmentedStore::BlocksOverlapping(
+    size_t index, const std::optional<TimeInterval>& window) const {
+  if (index >= compressed_.size() || compressed_[index] == nullptr) return 0;
+  return compressed_[index]->BlocksOverlapping(window);
+}
+
+minirel::TableStats SegmentedStore::LiveTableStats() const {
+  return live_->Stats();
 }
 
 uint64_t SegmentedStore::TotalTuples() const {

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "archis/compressed_segment.h"
+#include "archis/stats.h"
 #include "common/interval.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -39,12 +40,18 @@
 
 namespace archis::core {
 
-/// Metadata row of the paper's `segment(segno, segstart, segend)` table.
+/// Metadata row of the paper's `segment(segno, segstart, segend)` table,
+/// extended with the per-segment statistics the cost-based planner reads
+/// (DESIGN.md §11). distinct_ids is exact — rows are id-sorted at freeze
+/// time, so counting id transitions is free.
 struct SegmentInfo {
   int64_t segno;
   TimeInterval interval;
   bool compressed = false;
   uint64_t tuple_count = 0;
+  uint64_t distinct_ids = 0;
+  /// BlockZIP blocks (0 for uncompressed segments).
+  uint64_t blocks = 0;
 };
 
 /// Tuning knobs for a SegmentedStore.
@@ -168,6 +175,27 @@ class SegmentedStore {
   /// The segment metadata table (frozen segments only).
   const std::vector<SegmentInfo>& segments() const { return segments_; }
 
+  /// The statistics catalog entry for this store, maintained incrementally
+  /// by the update path and rebuilt by recovery (LoadCheckpointRows routes
+  /// through LoadVersion).
+  const StoreStatistics& statistics() const { return stats_; }
+
+  /// Installs a statistics snapshot captured by a checkpoint manifest,
+  /// replacing whatever the restore rebuild accumulated. Recovery calls
+  /// this after LoadCheckpointRows so planner estimates match the
+  /// checkpointed instance exactly.
+  void RestoreStatistics(StoreStatistics stats) { stats_ = std::move(stats); }
+
+  /// Blocks of frozen segment `index` (its position in segments()) that a
+  /// scan restricted to `window` would decompress, after temporal zone-map
+  /// pruning. 0 for uncompressed segments; metadata only, nothing is read.
+  uint64_t BlocksOverlapping(size_t index,
+                             const std::optional<TimeInterval>& window) const;
+
+  /// Heap statistics of the live segment's backing table (page counts for
+  /// the planner's live-scan cost).
+  minirel::TableStats LiveTableStats() const;
+
   /// Interval covered by the live segment so far: [live_start, now-ish].
   Date live_start() const { return live_start_; }
 
@@ -229,6 +257,7 @@ class SegmentedStore {
   mutable Mutex pool_mu_;
   mutable std::unique_ptr<ThreadPool> pool_ ARCHIS_GUARDED_BY(pool_mu_);
   Date live_start_;
+  StoreStatistics stats_;
   int64_t next_segno_ = 1;
   uint64_t live_total_ = 0;
   uint64_t live_current_ = 0;

@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 
+#include "archis/planner.h"
 #include "common/metrics.h"
 #include "temporal/aggregate.h"
 
@@ -35,14 +36,30 @@ Value ColValue(const HRow& row, HCol col) {
 
 /// Fetches the rows of one plan variable, sorted by id, with every
 /// pushed-down condition applied (segment pruning happens inside the store).
+/// `vp` is the planner's access-path decision for this variable: kIdIndex
+/// probes the id index and post-filters time; kSegmentMerge runs the
+/// temporally pruned merge-scan and post-filters any id restriction.
 Result<std::vector<HRow>> FetchVar(const Archiver& archiver,
-                                   const PlanVar& var, PlanStats* stats,
+                                   const PlanVar& var, const VarPlan& vp,
+                                   bool cost_based, PlanStats* stats,
                                    trace::Trace* trace) {
   trace::ScopedSpan span(
       trace, "segment-scan");
-  span.Note("table", var.attribute.empty() ? var.relation + "_id"
-                                           : var.relation + "_" +
-                                                 var.attribute);
+  const bool use_id_index =
+      vp.path == AccessPath::kIdIndex && var.id_eq.has_value();
+  if (trace != nullptr) {
+    // Note values concatenate/format strings; only pay when a profile is
+    // actually being collected.
+    span.Note("table", var.attribute.empty() ? var.relation + "_id"
+                                             : var.relation + "_" +
+                                                   var.attribute);
+    span.Note("path", use_id_index ? "id-index" : "segment-merge");
+    if (cost_based) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", vp.est_rows);
+      span.Note("est_rows", std::string(buf));
+    }
+  }
   ARCHIS_ASSIGN_OR_RETURN(HTableSet* set, archiver.htables(var.relation));
   SegmentedStore* store = nullptr;
   if (var.attribute.empty()) {
@@ -58,6 +75,9 @@ Result<std::vector<HRow>> FetchVar(const Archiver& archiver,
   auto admit = [&](const Tuple& t) {
     HRow row;
     row.id = t.at(0).AsInt();
+    // Id restriction as a row post-filter on the merge path (a no-op on
+    // the id-index path, where the scan already restricted).
+    if (var.id_eq.has_value() && row.id != *var.id_eq) return true;
     if (has_value) row.value = t.at(1);
     row.interval = MakeInterval(t.at(ncols - 2).AsDate(),
                                 t.at(ncols - 1).AsDate());
@@ -83,7 +103,7 @@ Result<std::vector<HRow>> FetchVar(const Archiver& archiver,
   };
 
   Status st;
-  if (var.id_eq.has_value()) {
+  if (use_id_index) {
     st = store->ScanId(*var.id_eq, admit, &sstats);
     // Temporal restrictions still apply on top of the id restriction.
     if (st.ok() && (var.snapshot || var.overlap)) {
@@ -302,20 +322,167 @@ void EmitSpecForGroup(const OutputSpec& spec,
 
 namespace {
 
+/// One aggregate input fact: (join id, the aggregated variable's row).
+using AggFact = std::pair<int64_t, const HRow*>;
+
+/// Evaluates the plan's aggregate over `facts` and renders the result
+/// element(s). Shared by the join pipeline (facts = first variable of each
+/// joined row) and the streaming pushdown path (facts = the single
+/// variable's scan output, no join or row buffers in between).
+xml::XmlNodePtr RenderAggregate(const SqlXmlPlan& plan,
+                                const std::vector<AggFact>& facts,
+                                PlanStats* stats) {
+  auto root = xml::XmlNode::Element("results");
+
+  // Temporal aggregate: the sweep over matching facts (Section 5.4 maps
+  // these to SQL:2003 OLAP functions; we run the same single scan).
+  if (plan.aggregate == PlanAggregate::kTAvg) {
+    std::vector<temporal::TimedNumber> tfacts;
+    for (const AggFact& fact : facts) {
+      auto v = ColValue(*fact.second, HCol::kValue).AsNumeric();
+      if (v.ok()) tfacts.push_back({*v, fact.second->interval});
+    }
+    uint64_t steps = 0;
+    for (const temporal::AggregateStep& step : temporal::TemporalAggregate(
+             std::move(tfacts), temporal::TemporalAggFn::kAvg)) {
+      auto elem = xml::XmlNode::Element("tavg");
+      elem->SetInterval(step.interval);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2f", step.value);
+      elem->AppendText(buf);
+      root->AppendChild(std::move(elem));
+      ++steps;
+    }
+    if (stats != nullptr) stats->result_rows = steps;
+    return root;
+  }
+
+  // Scalar aggregates (Section 5.4: OLAP-function mapping).
+  double result = 0;
+  switch (plan.aggregate) {
+    case PlanAggregate::kAvgValue: {
+      double sum = 0;
+      for (const AggFact& fact : facts) {
+        auto v = ColValue(*fact.second, HCol::kValue).AsNumeric();
+        if (v.ok()) sum += *v;
+      }
+      result = facts.empty() ? 0 : sum / static_cast<double>(facts.size());
+      break;
+    }
+    case PlanAggregate::kCount:
+      result = static_cast<double>(facts.size());
+      break;
+    case PlanAggregate::kCountDistinctIds: {
+      std::set<int64_t> ids;
+      for (const AggFact& fact : facts) ids.insert(fact.first);
+      result = static_cast<double>(ids.size());
+      break;
+    }
+    case PlanAggregate::kMaxValue: {
+      bool first = true;
+      for (const AggFact& fact : facts) {
+        auto v = ColValue(*fact.second, HCol::kValue).AsNumeric();
+        if (!v.ok()) continue;
+        if (first || *v > result) result = *v;
+        first = false;
+      }
+      break;
+    }
+    case PlanAggregate::kMaxIncrease: {
+      // Temporal self-join per id: the best value delta between two
+      // versions whose starts are within the window.
+      std::map<int64_t, std::vector<std::pair<Date, double>>> by_id;
+      for (const AggFact& fact : facts) {
+        auto v = ColValue(*fact.second, HCol::kValue).AsNumeric();
+        if (v.ok()) {
+          by_id[fact.first].emplace_back(fact.second->interval.tstart, *v);
+        }
+      }
+      for (auto& [id, versions] : by_id) {
+        std::sort(versions.begin(), versions.end());
+        for (size_t i = 0; i < versions.size(); ++i) {
+          for (size_t j = i + 1; j < versions.size(); ++j) {
+            if (versions[j].first - versions[i].first >
+                plan.agg_window_days) {
+              break;
+            }
+            result = std::max(result,
+                              versions[j].second - versions[i].second);
+          }
+        }
+      }
+      break;
+    }
+    case PlanAggregate::kNone:
+    case PlanAggregate::kTAvg:
+      break;
+  }
+  auto elem = xml::XmlNode::Element(
+      plan.output.name.empty() ? "result" : plan.output.name);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", result);
+  elem->AppendText(buf);
+  root->AppendChild(std::move(elem));
+  if (stats != nullptr) stats->result_rows = 1;
+  return root;
+}
+
 Result<xml::XmlNodePtr> ExecutePlanImpl(const Archiver& archiver,
                                         const SqlXmlPlan& plan,
                                         Date current_date, PlanStats* stats,
-                                        trace::Trace* trace) {
+                                        trace::Trace* trace,
+                                        const PhysicalPlan& physical) {
   (void)current_date;
   if (plan.vars.empty()) {
     return Status::InvalidArgument("plan has no variables");
   }
-  std::vector<std::vector<HRow>> inputs;
-  inputs.reserve(plan.vars.size());
-  for (const PlanVar& var : plan.vars) {
-    ARCHIS_ASSIGN_OR_RETURN(std::vector<HRow> rows,
-                            FetchVar(archiver, var, stats, trace));
-    inputs.push_back(std::move(rows));
+  if (physical.vars.size() != plan.vars.size() ||
+      physical.fetch_order.size() != plan.vars.size()) {
+    return Status::InvalidArgument(
+        "physical plan does not match the logical plan");
+  }
+  if (stats != nullptr) {
+    stats->cost_based_plan = physical.cost_based;
+    stats->est_cost = physical.est_total_cost;
+    stats->est_rows = physical.est_result_rows;
+  }
+  if (trace != nullptr) {
+    // Describe() formats several floats; only pay for it when a profile
+    // is actually being collected.
+    trace::ScopedSpan plan_span(trace, "plan");
+    plan_span.Note("physical", physical.Describe());
+  }
+
+  // Fetch phase, in the planner's order. A variable that fetches empty
+  // empties the whole join (its join group's partial is empty, and the
+  // cross-product gate below requires every partial non-empty), so a
+  // cost-based plan stops fetching at the first empty input. The fixed
+  // legacy shape keeps the eager behaviour.
+  std::vector<std::vector<HRow>> inputs(plan.vars.size());
+  for (size_t ord : physical.fetch_order) {
+    ARCHIS_ASSIGN_OR_RETURN(
+        std::vector<HRow> rows,
+        FetchVar(archiver, plan.vars[ord], physical.vars[ord],
+                 physical.cost_based, stats, trace));
+    const bool empty = rows.empty();
+    inputs[ord] = std::move(rows);
+    if (physical.cost_based && empty) {
+      if (trace != nullptr) {
+        trace->NoteCurrent("early_exit", "empty-input v" + std::to_string(ord));
+      }
+      break;
+    }
+  }
+
+  // Aggregate pushdown: a single-variable aggregate with no cross
+  // conditions consumes the scan output directly — no join, no JoinedRow
+  // buffers, no distinct pass (single-variable rows are already unique).
+  if (physical.stream_aggregate && plan.vars.size() == 1 &&
+      plan.cross_conds.empty() && plan.aggregate != PlanAggregate::kNone) {
+    std::vector<AggFact> facts;
+    facts.reserve(inputs[0].size());
+    for (const HRow& r : inputs[0]) facts.emplace_back(r.id, &r);
+    return RenderAggregate(plan, facts, stats);
   }
 
   // Join phase. Variables in the same join group id-equijoin via a sorted
@@ -404,95 +571,19 @@ Result<xml::XmlNodePtr> ExecutePlanImpl(const Archiver& archiver,
     join_span.reset();
   }
 
-  auto root = xml::XmlNode::Element("results");
-
-  // Temporal aggregate: the sweep over matching facts (Section 5.4 maps
-  // these to SQL:2003 OLAP functions; we run the same single scan).
-  if (plan.aggregate == PlanAggregate::kTAvg) {
-    std::vector<temporal::TimedNumber> facts;
-    for (const auto& [id, row] : joined) {
-      auto v = ColValue(*row[0], HCol::kValue).AsNumeric();
-      if (v.ok()) facts.push_back({*v, row[0]->interval});
-    }
-    for (const temporal::AggregateStep& step : temporal::TemporalAggregate(
-             std::move(facts), temporal::TemporalAggFn::kAvg)) {
-      auto elem = xml::XmlNode::Element("tavg");
-      elem->SetInterval(step.interval);
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.2f", step.value);
-      elem->AppendText(buf);
-      root->AppendChild(std::move(elem));
-    }
-    return root;
-  }
-
-  // Scalar aggregates (Section 5.4: OLAP-function mapping).
+  // Aggregates over the joined rows (the non-pushdown shape: multi
+  // variable, cross conditions, or planner off).
   if (plan.aggregate != PlanAggregate::kNone) {
-    double result = 0;
-    switch (plan.aggregate) {
-      case PlanAggregate::kAvgValue: {
-        double sum = 0;
-        for (const auto& [id, row] : joined) {
-          auto v = ColValue(*row[0], HCol::kValue).AsNumeric();
-          if (v.ok()) sum += *v;
-        }
-        result = joined.empty() ? 0 : sum / static_cast<double>(joined.size());
-        break;
-      }
-      case PlanAggregate::kCount:
-        result = static_cast<double>(joined.size());
-        break;
-      case PlanAggregate::kCountDistinctIds: {
-        std::set<int64_t> ids;
-        for (const auto& [id, row] : joined) ids.insert(id);
-        result = static_cast<double>(ids.size());
-        break;
-      }
-      case PlanAggregate::kMaxValue: {
-        bool first = true;
-        for (const auto& [id, row] : joined) {
-          auto v = ColValue(*row[0], HCol::kValue).AsNumeric();
-          if (!v.ok()) continue;
-          if (first || *v > result) result = *v;
-          first = false;
-        }
-        break;
-      }
-      case PlanAggregate::kMaxIncrease: {
-        // Temporal self-join per id: the best value delta between two
-        // versions whose starts are within the window.
-        std::map<int64_t, std::vector<std::pair<Date, double>>> by_id;
-        for (const auto& [id, row] : joined) {
-          auto v = ColValue(*row[0], HCol::kValue).AsNumeric();
-          if (v.ok()) by_id[id].emplace_back(row[0]->interval.tstart, *v);
-        }
-        for (auto& [id, versions] : by_id) {
-          std::sort(versions.begin(), versions.end());
-          for (size_t i = 0; i < versions.size(); ++i) {
-            for (size_t j = i + 1; j < versions.size(); ++j) {
-              if (versions[j].first - versions[i].first >
-                  plan.agg_window_days) {
-                break;
-              }
-              result = std::max(result,
-                                versions[j].second - versions[i].second);
-            }
-          }
-        }
-        break;
-      }
-      case PlanAggregate::kNone:
-      case PlanAggregate::kTAvg:
-        break;
-    }
-    auto elem = xml::XmlNode::Element(
-        plan.output.name.empty() ? "result" : plan.output.name);
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.4f", result);
-    elem->AppendText(buf);
-    root->AppendChild(std::move(elem));
-    return root;
+    std::vector<AggFact> facts;
+    facts.reserve(joined.size());
+    for (const auto& [id, row] : joined) facts.emplace_back(id, row[0]);
+    return RenderAggregate(plan, facts, stats);
   }
+
+  if (stats != nullptr) {
+    stats->result_rows = static_cast<uint64_t>(joined.size());
+  }
+  auto root = xml::XmlNode::Element("results");
 
   // XML construction phase.
   if (SpecContainsAgg(plan.output)) {
@@ -515,7 +606,8 @@ Result<xml::XmlNodePtr> ExecutePlanImpl(const Archiver& archiver,
 Result<xml::XmlNodePtr> ExecutePlan(const Archiver& archiver,
                                     const SqlXmlPlan& plan,
                                     Date current_date, PlanStats* stats,
-                                    trace::Trace* trace) {
+                                    trace::Trace* trace,
+                                    const PhysicalPlan* physical) {
   static metrics::Counter* rows_scanned =
       metrics::Registry::Global().GetCounter(
           "archis_exec_rows_scanned_total",
@@ -536,11 +628,18 @@ Result<xml::XmlNodePtr> ExecutePlan(const Archiver& archiver,
           "archis_exec_plan_failures_total",
           "SQL/XML plan executions that returned a non-OK status");
 
+  // A caller without a planner decision runs the fixed legacy shape.
+  std::optional<PhysicalPlan> fallback;
+  if (physical == nullptr) {
+    fallback = DefaultPhysicalPlan(plan);
+    physical = &*fallback;
+  }
+
   // Run with a local PlanStats so the partial work of a failing plan is
   // still published (registry + caller), then merge into the caller's.
   PlanStats local;
   Result<xml::XmlNodePtr> result =
-      ExecutePlanImpl(archiver, plan, current_date, &local, trace);
+      ExecutePlanImpl(archiver, plan, current_date, &local, trace, *physical);
   if (stats != nullptr) {
     stats->rows_scanned += local.rows_scanned;
     stats->rows_joined += local.rows_joined;
@@ -549,6 +648,17 @@ Result<xml::XmlNodePtr> ExecutePlan(const Archiver& archiver,
     stats->blocks_pruned_by_time += local.blocks_pruned_by_time;
     stats->block_cache_hits += local.block_cache_hits;
     stats->block_cache_misses += local.block_cache_misses;
+    stats->cost_based_plan = local.cost_based_plan;
+    stats->est_cost = local.est_cost;
+    stats->est_rows = local.est_rows;
+    stats->result_rows += local.result_rows;
+  }
+  // Estimate-vs-actual on the caller's execute span (the EXPLAIN surface).
+  if (trace != nullptr && result.ok()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", local.est_rows);
+    trace->NoteCurrent("est_rows", std::string(buf));
+    trace->NoteCurrent("actual_rows", local.result_rows);
   }
   rows_scanned->Inc(local.rows_scanned);
   rows_joined->Inc(local.rows_joined);

@@ -124,6 +124,48 @@ struct SqlXmlPlan {
   std::string ToSql() const;
 };
 
+/// Physical access path for one plan variable. The translator's logical
+/// plan (PlanVar) says *what* to fetch; the planner (archis/planner.h)
+/// decides *how* — the paper's §6 pruning model finally gets a chooser.
+enum class AccessPath {
+  /// ScanId: per-segment B+-tree / block-sid probes for one object, with
+  /// temporal conditions applied as a row post-filter.
+  kIdIndex,
+  /// Temporal merge-scan: segment-interval pruning (snapshot / overlap /
+  /// history), with any id restriction applied as a row post-filter.
+  kSegmentMerge,
+};
+
+/// The planner's decision for one plan variable.
+struct VarPlan {
+  AccessPath path = AccessPath::kSegmentMerge;
+  double est_rows = 0;      ///< rows surviving the pushed-down conditions
+  double est_cost = 0;      ///< cost units for this access (DESIGN.md §11)
+  uint64_t est_segments = 0;  ///< segments the chosen path touches
+};
+
+/// A complete physical plan for one SqlXmlPlan. Constructed ONLY by
+/// archis/planner.* (PlanQuery / DefaultPhysicalPlan — the archis-lint
+/// `plan-ownership` rule pins this); the executor consumes it read-only.
+struct PhysicalPlan {
+  std::vector<VarPlan> vars;        ///< parallel to SqlXmlPlan::vars
+  /// Variable fetch order, cheapest (fewest estimated rows) first; a
+  /// variable that fetches empty short-circuits the rest (any empty input
+  /// empties the join's cross product).
+  std::vector<size_t> fetch_order;
+  /// Compute the scalar/temporal aggregate while scanning, skipping the
+  /// join/buffer pipeline (single-variable plans only).
+  bool stream_aggregate = false;
+  /// False for the fixed legacy shape (planner off).
+  bool cost_based = false;
+  double est_total_cost = 0;
+  double est_result_rows = 0;
+
+  /// One-line rendering for EXPLAIN / logging, e.g.
+  /// "cost-based v0=id-index v1=segment-merge agg-pushdown".
+  std::string Describe() const;
+};
+
 /// Executor statistics for one plan run.
 struct PlanStats {
   uint64_t rows_scanned = 0;
@@ -133,6 +175,11 @@ struct PlanStats {
   uint64_t blocks_pruned_by_time = 0;  ///< zone-map block skips
   uint64_t block_cache_hits = 0;       ///< decompressed-block cache hits
   uint64_t block_cache_misses = 0;
+  // Planner surface: estimate vs outcome for the run (DESIGN.md §11).
+  bool cost_based_plan = false;  ///< whether a cost-based physical plan ran
+  double est_cost = 0;           ///< planner cost estimate (cost units)
+  double est_rows = 0;           ///< planner output-row estimate
+  uint64_t result_rows = 0;      ///< actual joined output rows
 };
 
 /// Executes `plan` against the archiver's H-tables, returning the
@@ -142,11 +189,16 @@ struct PlanStats {
 /// holds the partial work done up to the failure, so failed queries stay
 /// attributable. A non-null `trace` gets one segment-scan span per plan
 /// variable plus a join span, nested under the caller's execute span.
+///
+/// `physical` is the planner's decision (archis/planner.h); nullptr runs
+/// the fixed legacy shape (DefaultPhysicalPlan), which reproduces the
+/// pre-planner executor exactly.
 Result<xml::XmlNodePtr> ExecutePlan(const Archiver& archiver,
                                     const SqlXmlPlan& plan,
                                     Date current_date,
                                     PlanStats* stats = nullptr,
-                                    trace::Trace* trace = nullptr);
+                                    trace::Trace* trace = nullptr,
+                                    const PhysicalPlan* physical = nullptr);
 
 }  // namespace archis::core
 

@@ -1,0 +1,198 @@
+#include "archis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/coding.h"
+
+namespace archis::core {
+
+using coding::AppendI64;
+using coding::AppendU32;
+using coding::AppendU64;
+using coding::ReadI64;
+using coding::ReadU32;
+using coding::ReadU64;
+
+namespace {
+
+int64_t AlignDown(int64_t day, int64_t width) {
+  int64_t q = day / width;
+  if (day % width != 0 && day < 0) --q;
+  return q * width;
+}
+
+}  // namespace
+
+// -- TemporalHistogram --------------------------------------------------------
+
+void TemporalHistogram::CoverDay(int64_t day) {
+  if (total_ == 0) {
+    base_ = AlignDown(day, width_);
+    return;
+  }
+  const auto buckets = static_cast<int64_t>(kBuckets);
+  const int64_t lo = std::min(base_, day);
+  const int64_t hi = std::max(base_ + width_ * buckets - 1, day);
+  int64_t new_width = width_;
+  int64_t new_base = AlignDown(lo, new_width);
+  while (hi >= new_base + new_width * buckets) {
+    new_width *= 2;
+    new_base = AlignDown(lo, new_width);
+  }
+  if (new_width == width_) return;
+  // Remap: the final range covers both the old range and `day`, widths are
+  // grid-aligned powers of two, so every old bucket lands wholly inside
+  // one new bucket.
+  std::array<uint64_t, kBuckets> merged{};
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    const int64_t start = base_ + static_cast<int64_t>(i) * width_;
+    merged[static_cast<size_t>((start - new_base) / new_width)] += counts_[i];
+  }
+  counts_ = merged;
+  base_ = new_base;
+  width_ = new_width;
+}
+
+void TemporalHistogram::Add(int64_t day) {
+  CoverDay(day);
+  counts_[static_cast<size_t>((day - base_) / width_)] += 1;
+  ++total_;
+}
+
+double TemporalHistogram::FractionIn(int64_t lo, int64_t hi) const {
+  if (total_ == 0 || hi < lo) return 0.0;
+  double in = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    const int64_t b_lo = base_ + static_cast<int64_t>(i) * width_;
+    const int64_t b_hi = b_lo + width_ - 1;
+    const int64_t o_lo = std::max(lo, b_lo);
+    const int64_t o_hi = std::min(hi, b_hi);
+    if (o_hi < o_lo) continue;
+    in += static_cast<double>(counts_[i]) *
+          (static_cast<double>(o_hi - o_lo + 1) /
+           static_cast<double>(width_));
+  }
+  return in / static_cast<double>(total_);
+}
+
+void TemporalHistogram::AppendTo(std::string* out) const {
+  AppendI64(base_, out);
+  AppendI64(width_, out);
+  AppendU64(total_, out);
+  for (uint64_t c : counts_) AppendU64(c, out);
+}
+
+Result<TemporalHistogram> TemporalHistogram::Parse(std::string_view data,
+                                                   size_t* pos) {
+  TemporalHistogram h;
+  ARCHIS_ASSIGN_OR_RETURN(h.base_, ReadI64(data, pos));
+  ARCHIS_ASSIGN_OR_RETURN(h.width_, ReadI64(data, pos));
+  if (h.width_ < 1) return Status::Corruption("histogram width < 1");
+  ARCHIS_ASSIGN_OR_RETURN(h.total_, ReadU64(data, pos));
+  for (uint64_t& c : h.counts_) {
+    ARCHIS_ASSIGN_OR_RETURN(c, ReadU64(data, pos));
+  }
+  return h;
+}
+
+// -- DistinctEstimator --------------------------------------------------------
+
+void DistinctEstimator::Add(int64_t id) {
+  // splitmix64 finalizer: deterministic, well-mixed for sequential ids.
+  auto x = static_cast<uint64_t>(id) + 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  const size_t bit = static_cast<size_t>(x % kBits);
+  const uint64_t mask = 1ull << (bit % 64);
+  if ((words_[bit / 64] & mask) == 0) {
+    words_[bit / 64] |= mask;
+    ++set_bits_;
+  }
+}
+
+uint64_t DistinctEstimator::Estimate() const {
+  if (set_bits_ == 0) return 0;
+  if (set_bits_ >= kBits) return kBits * 8;  // saturated: a coarse floor
+  const double m = kBits;
+  const double unset = m - static_cast<double>(set_bits_);
+  return static_cast<uint64_t>(std::llround(-m * std::log(unset / m)));
+}
+
+void DistinctEstimator::AppendTo(std::string* out) const {
+  AppendU32(set_bits_, out);
+  for (uint64_t w : words_) AppendU64(w, out);
+}
+
+Result<DistinctEstimator> DistinctEstimator::Parse(std::string_view data,
+                                                   size_t* pos) {
+  DistinctEstimator e;
+  ARCHIS_ASSIGN_OR_RETURN(e.set_bits_, ReadU32(data, pos));
+  for (uint64_t& w : e.words_) {
+    ARCHIS_ASSIGN_OR_RETURN(w, ReadU64(data, pos));
+  }
+  return e;
+}
+
+// -- StoreStatistics ----------------------------------------------------------
+
+double StoreStatistics::EstimateOverlapping(const TimeInterval& window) const {
+  if (versions_total == 0) return 0.0;
+  const auto total = static_cast<double>(versions_total);
+  // Versions whose tstart is past the window end cannot overlap it.
+  const double started =
+      total * tstart_hist.FractionAtMost(window.tend.days());
+  // Closed versions whose tend precedes the window start ended too early;
+  // open versions always reach the window.
+  const double ended_before =
+      static_cast<double>(tend_hist.total()) *
+      tend_hist.FractionIn(INT64_MIN, window.tstart.days() - 1);
+  return std::clamp(started - ended_before, 0.0, total);
+}
+
+double StoreStatistics::VersionsPerId() const {
+  const uint64_t ids = distinct_ids.Estimate();
+  if (ids == 0) return 0.0;
+  return std::max(1.0, static_cast<double>(versions_total) /
+                           static_cast<double>(ids));
+}
+
+void StoreStatistics::AppendTo(std::string* out) const {
+  AppendU64(versions_total, out);
+  AppendU64(versions_open, out);
+  tstart_hist.AppendTo(out);
+  tend_hist.AppendTo(out);
+  distinct_ids.AppendTo(out);
+}
+
+Result<StoreStatistics> StoreStatistics::Parse(std::string_view data,
+                                               size_t* pos) {
+  StoreStatistics s;
+  ARCHIS_ASSIGN_OR_RETURN(s.versions_total, ReadU64(data, pos));
+  ARCHIS_ASSIGN_OR_RETURN(s.versions_open, ReadU64(data, pos));
+  ARCHIS_ASSIGN_OR_RETURN(s.tstart_hist, TemporalHistogram::Parse(data, pos));
+  ARCHIS_ASSIGN_OR_RETURN(s.tend_hist, TemporalHistogram::Parse(data, pos));
+  ARCHIS_ASSIGN_OR_RETURN(s.distinct_ids,
+                          DistinctEstimator::Parse(data, pos));
+  return s;
+}
+
+std::string StoreStatistics::Encode() const {
+  std::string out;
+  AppendTo(&out);
+  return out;
+}
+
+Result<StoreStatistics> StoreStatistics::Decode(std::string_view data) {
+  size_t pos = 0;
+  ARCHIS_ASSIGN_OR_RETURN(StoreStatistics s, Parse(data, &pos));
+  if (pos != data.size()) {
+    return Status::Corruption("store statistics snapshot has trailing bytes");
+  }
+  return s;
+}
+
+}  // namespace archis::core

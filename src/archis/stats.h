@@ -1,0 +1,131 @@
+// Per-store statistics for cost-based planning (DESIGN.md §11).
+//
+// Every SegmentedStore maintains a StoreStatistics incrementally on its
+// update path: logical version counts, live ratio, temporal histograms of
+// version starts and ends, and a distinct-id estimate. The planner turns
+// these into selectivity and cost estimates grounded in the paper's §6
+// segment-length model (Eq. 3/4): how many segments a time-restricted
+// query must touch, how many tuples each contributes, and how many
+// compressed blocks it must inflate.
+//
+// The structures are streaming (no sample buffers) and deterministic, so
+// a store rebuilt from the same logical rows in any order reports the
+// same counts; histograms are grid-aligned so bucket boundaries depend
+// only on the data range, not on insertion order. Checkpoint manifests
+// persist an encoded snapshot per store and recovery installs it, so
+// planner estimates survive a restart byte-for-byte.
+#ifndef ARCHIS_ARCHIS_STATS_H_
+#define ARCHIS_ARCHIS_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/interval.h"
+#include "common/status.h"
+
+namespace archis::core {
+
+/// Fixed-width streaming histogram over day-encoded dates. The bucket
+/// grid is anchored at absolute day 0 with a power-of-two bucket width
+/// that doubles when a sample falls outside the covered range, so the
+/// final layout is a function of the value range alone.
+class TemporalHistogram {
+ public:
+  static constexpr size_t kBuckets = 32;
+
+  void Add(int64_t day);
+
+  uint64_t total() const { return total_; }
+
+  /// Estimated fraction of recorded days in [lo, hi], assuming uniform
+  /// spread inside boundary buckets. 0 when the histogram is empty.
+  double FractionIn(int64_t lo, int64_t hi) const;
+
+  /// Estimated fraction of recorded days <= day.
+  double FractionAtMost(int64_t day) const { return FractionIn(INT64_MIN, day); }
+
+  bool operator==(const TemporalHistogram& other) const = default;
+
+  // archis-lint: allow(void-mutator) -- const encoder, infallible append
+  void AppendTo(std::string* out) const;
+  static Result<TemporalHistogram> Parse(std::string_view data, size_t* pos);
+
+ private:
+  /// Grows the bucket width / shifts the base until `day` fits.
+  void CoverDay(int64_t day);
+
+  int64_t base_ = 0;   ///< day of bucket 0's lower edge (multiple of width_)
+  int64_t width_ = 1;  ///< days per bucket, power of two
+  uint64_t total_ = 0;
+  std::array<uint64_t, kBuckets> counts_{};
+};
+
+/// Linear-counting distinct estimator over int64 ids: a fixed bitmap of
+/// 2^12 buckets addressed by a deterministic mix, estimated as
+/// -m * ln(unset / m). Exact for small id sets, within a few percent up
+/// to ~10x the bitmap size — plenty for join-order decisions.
+class DistinctEstimator {
+ public:
+  static constexpr size_t kBits = 4096;
+
+  void Add(int64_t id);
+
+  /// Estimated number of distinct ids added.
+  uint64_t Estimate() const;
+
+  bool operator==(const DistinctEstimator& other) const = default;
+
+  // archis-lint: allow(void-mutator) -- const encoder, infallible append
+  void AppendTo(std::string* out) const;
+  static Result<DistinctEstimator> Parse(std::string_view data, size_t* pos);
+
+ private:
+  std::array<uint64_t, kBits / 64> words_{};
+  uint32_t set_bits_ = 0;
+};
+
+/// The statistics catalog entry of one H-table store.
+struct StoreStatistics {
+  /// Logical versions recorded (live + closed, deduplicated history).
+  uint64_t versions_total = 0;
+  /// Versions still open (tend = forever).
+  uint64_t versions_open = 0;
+  TemporalHistogram tstart_hist;
+  /// Ends of closed versions only (the forever sentinel would swamp the
+  /// range; open versions are tracked by versions_open instead).
+  TemporalHistogram tend_hist;
+  DistinctEstimator distinct_ids;
+
+  /// Fraction of versions still open — the store-wide analogue of the
+  /// paper's segment usefulness U.
+  double LiveRatio() const {
+    return versions_total == 0
+               ? 1.0
+               : static_cast<double>(versions_open) /
+                     static_cast<double>(versions_total);
+  }
+
+  /// Estimated logical versions whose interval overlaps `window`:
+  /// started at or before the window end, minus those that closed
+  /// strictly before the window start.
+  double EstimateOverlapping(const TimeInterval& window) const;
+
+  /// Estimated versions per distinct id (>= 1 once non-empty).
+  double VersionsPerId() const;
+
+  bool operator==(const StoreStatistics& other) const = default;
+
+  // archis-lint: allow(void-mutator) -- const encoder, infallible append
+  void AppendTo(std::string* out) const;
+  static Result<StoreStatistics> Parse(std::string_view data, size_t* pos);
+
+  /// Whole-snapshot codec used by checkpoint manifests.
+  std::string Encode() const;
+  static Result<StoreStatistics> Decode(std::string_view data);
+};
+
+}  // namespace archis::core
+
+#endif  // ARCHIS_ARCHIS_STATS_H_

@@ -34,6 +34,15 @@ QueryProfile Trace::TakeProfile() {
   return profile;
 }
 
+void Trace::NoteCurrent(const std::string& key, std::string value) {
+  if (open_.empty()) return;
+  open_.back()->notes.emplace_back(key, std::move(value));
+}
+
+void Trace::NoteCurrent(const std::string& key, uint64_t value) {
+  NoteCurrent(key, std::to_string(value));
+}
+
 ScopedSpan::ScopedSpan(Trace* t, std::string name) : trace_(t) {
   if (trace_ == nullptr || trace_->open_.empty()) return;
   Span* parent = trace_->open_.back();

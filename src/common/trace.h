@@ -60,6 +60,13 @@ class Trace {
   /// Closes the root span and hands the finished tree out.
   QueryProfile TakeProfile();
 
+  /// Attaches a key=value annotation to the innermost open span. Lets a
+  /// callee annotate its caller's span (e.g. the plan executor putting
+  /// estimated-vs-actual rows on the facade's execute span) without
+  /// owning a ScopedSpan of its own.
+  void NoteCurrent(const std::string& key, std::string value);
+  void NoteCurrent(const std::string& key, uint64_t value);
+
  private:
   friend class ScopedSpan;
   uint64_t ElapsedNs() const;

@@ -223,4 +223,18 @@ uint64_t BlobStore::RawBytes() const {
   return total;
 }
 
+uint64_t BlobStore::CountBlocksOverlapping(
+    const std::optional<TimeInterval>& window) const {
+  if (!window.has_value()) return meta_.size();
+  uint64_t n = 0;
+  for (const BlobBlockMeta& m : meta_) {
+    // Same envelope test as ScanRangeInterval's zone-map prune.
+    if (m.max_tend >= window->tstart.days() &&
+        m.min_tstart <= window->tend.days()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
 }  // namespace archis::compress

@@ -101,6 +101,13 @@ class BlobStore {
   /// Number of blocks.
   size_t block_count() const { return blocks_.size(); }
 
+  /// Blocks a window-restricted scan would have to decompress: the count
+  /// of blocks whose temporal zone map overlaps `window` (all blocks when
+  /// `window` is empty). Pure metadata walk — nothing is decompressed —
+  /// which is what lets the planner cost a merge-scan without running it.
+  uint64_t CountBlocksOverlapping(
+      const std::optional<TimeInterval>& window) const;
+
   /// Metadata for each block (the paper's `*_segrange`-style index).
   const std::vector<BlobBlockMeta>& metadata() const { return meta_; }
 

@@ -29,6 +29,11 @@ bool Catalog::HasTable(const std::string& name) const {
   return tables_.count(name) != 0;
 }
 
+Result<TableStats> Catalog::StatsFor(const std::string& name) const {
+  ARCHIS_ASSIGN_OR_RETURN(Table * table, GetTable(name));
+  return table->Stats();
+}
+
 std::vector<std::string> Catalog::TableNames() const {
   std::vector<std::string> names;
   names.reserve(tables_.size());

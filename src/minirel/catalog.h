@@ -31,6 +31,10 @@ class Catalog {
   /// Names of all tables, sorted.
   std::vector<std::string> TableNames() const;
 
+  /// Metadata statistics for the table named `name`, or NotFound. The
+  /// statistics-catalog entry point for cost-based planning.
+  Result<TableStats> StatsFor(const std::string& name) const;
+
  private:
   storage::PageManager* pm_;
   std::map<std::string, std::unique_ptr<Table>> tables_;

@@ -5,11 +5,11 @@ namespace archis::minirel {
 DatabaseStats Database::Stats() const {
   DatabaseStats stats;
   for (const std::string& name : catalog_.TableNames()) {
-    auto table = catalog_.GetTable(name);
-    if (!table.ok()) continue;
-    stats.data_bytes += (*table)->DataBytes();
-    stats.index_bytes += (*table)->IndexBytes();
-    stats.page_count += (*table)->heap().pages().size();
+    auto ts = catalog_.StatsFor(name);
+    if (!ts.ok()) continue;
+    stats.data_bytes += ts->data_bytes;
+    stats.index_bytes += ts->index_bytes;
+    stats.page_count += ts->pages;
   }
   return stats;
 }

@@ -269,4 +269,11 @@ std::vector<Tuple> Collect(RowIterator* it) {
   return rows;
 }
 
+double EstimateEquiJoinRows(double left_rows, double right_rows,
+                            double left_distinct, double right_distinct) {
+  if (left_rows <= 0.0 || right_rows <= 0.0) return 0.0;
+  const double d = std::max({left_distinct, right_distinct, 1.0});
+  return left_rows * right_rows / d;
+}
+
 }  // namespace archis::minirel

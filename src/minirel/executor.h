@@ -69,6 +69,14 @@ RowIteratorPtr MakeHashJoin(RowIteratorPtr left, size_t left_col,
                             RowIteratorPtr right, size_t right_col,
                             const std::string& right_prefix);
 
+/// Textbook output-cardinality estimate for the equi-joins above:
+/// |L join R| ~= |L| * |R| / max(V(L, col), V(R, col)), assuming
+/// containment of value sets. Distinct counts < 1 are clamped to 1; an
+/// empty input estimates 0. Used by the cost-based planner to order
+/// multi-variable temporal joins.
+double EstimateEquiJoinRows(double left_rows, double right_rows,
+                            double left_distinct, double right_distinct);
+
 /// Aggregate functions.
 enum class AggFn { kCount, kSum, kAvg, kMin, kMax };
 

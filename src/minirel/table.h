@@ -17,6 +17,14 @@ namespace archis::minirel {
 /// lexicographically.
 using IndexKey = std::vector<Value>;
 
+/// Planner-facing statistics of one table, derived from heap and index
+/// metadata alone — cheap enough to consult on every query plan.
+struct TableStats {
+  uint64_t pages = 0;       ///< allocated heap pages
+  uint64_t data_bytes = 0;  ///< heap bytes (pages * page size)
+  uint64_t index_bytes = 0;
+};
+
 /// A secondary index over a subset of a table's columns.
 struct TableIndex {
   std::string name;
@@ -84,6 +92,11 @@ class Table {
 
   /// Approximate index bytes across all indexes.
   uint64_t IndexBytes() const;
+
+  /// Heap/index metadata statistics (no row scan).
+  TableStats Stats() const {
+    return {heap_.pages().size(), heap_.SizeBytes(), IndexBytes()};
+  }
 
   storage::HeapFile& heap() { return heap_; }
   const storage::HeapFile& heap() const { return heap_; }

@@ -5,6 +5,8 @@
 // Algorithm 1.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <set>
 
 #include "workload/employee_workload.h"
@@ -14,6 +16,20 @@ namespace {
 
 using workload::EmployeeWorkload;
 using workload::WorkloadConfig;
+
+/// Physical-plan pin for the whole suite, from ARCHIS_FORCE_PLAN:
+/// "fixed" runs every translated query on the pre-planner executor shape,
+/// "cost" makes planner failures hard errors. scripts/check.sh runs the
+/// suite under both values, so a planner bug cannot hide behind the
+/// kAuto fallback.
+PlanForce ForcedPlan() {
+  const char* v = std::getenv("ARCHIS_FORCE_PLAN");
+  if (v == nullptr) return PlanForce::kAuto;
+  if (std::strcmp(v, "fixed") == 0) return PlanForce::kFixed;
+  if (std::strcmp(v, "cost") == 0) return PlanForce::kCostBased;
+  ADD_FAILURE() << "unknown ARCHIS_FORCE_PLAN value: " << v;
+  return PlanForce::kAuto;
+}
 
 class TranslationEquivalence : public ::testing::TestWithParam<int> {
  public:
@@ -41,7 +57,8 @@ class TranslationEquivalence : public ::testing::TestWithParam<int> {
   static std::multiset<std::pair<std::string, std::string>> RunBoth(
       const std::string& query, bool* translated) {
     auto result =
-        Db()->Query(query, QueryOptions{.force_path = QueryForce::kTranslated});
+        Db()->Query(query, QueryOptions{.force_path = QueryForce::kTranslated,
+                                        .force_plan = ForcedPlan()});
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     *translated = result.ok() &&
                   result->path == QueryPath::kTranslated;
@@ -140,7 +157,8 @@ TEST(TranslationEquivalenceMisc, CurrentTenseQueryAgrees) {
       "let $m := $e/title[tend(.)=current-date()] "
       "where not empty($m) return $e/id";
   auto result =
-      db->Query(q, QueryOptions{.force_path = QueryForce::kTranslated});
+      db->Query(q, QueryOptions{.force_path = QueryForce::kTranslated,
+                                .force_plan = ForcedPlan()});
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->path, QueryPath::kTranslated);
   // kNative skips the translator entirely and evaluates over the
@@ -160,7 +178,7 @@ TEST(TranslationEquivalenceMisc, TavgAgreesWithNative) {
   const std::string q =
       "let $s := doc(\"employees.xml\")/employees/employee/salary "
       "return tavg($s)";
-  auto result = db->Query(q);
+  auto result = db->Query(q, QueryOptions{.force_plan = ForcedPlan()});
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->path, QueryPath::kTranslated);
   auto native = db->QueryNative(q);

@@ -282,6 +282,44 @@ TEST(RawLogging, SuppressionComment) {
       "raw-logging"));
 }
 
+// ---- plan-ownership -------------------------------------------------------
+
+TEST(PlanOwnership, FiresOnBraceConstruction) {
+  EXPECT_TRUE(FiredRule("src/archis/seeded.cc",
+                        "auto p = PhysicalPlan{};\n", "plan-ownership"));
+}
+
+TEST(PlanOwnership, FiresOnLocalDeclaration) {
+  EXPECT_TRUE(FiredRule("src/archis/seeded.cc", "PhysicalPlan p;\n",
+                        "plan-ownership"));
+  EXPECT_TRUE(FiredRule("src/archis/seeded.cc",
+                        "PhysicalPlan p = Cook();\n", "plan-ownership"));
+}
+
+TEST(PlanOwnership, AllowsReferencesAndFunctionDeclarations) {
+  EXPECT_FALSE(FiredRule(
+      "src/archis/seeded.cc",
+      "void Run(const PhysicalPlan& p);\n"
+      "const PhysicalPlan* chosen = nullptr;\n"
+      "PhysicalPlan DefaultPhysicalPlan(const SqlXmlPlan& plan);\n"
+      "std::optional<PhysicalPlan> fallback;\n",
+      "plan-ownership"));
+}
+
+TEST(PlanOwnership, AllowsStructDefinitionAndPlanner) {
+  EXPECT_FALSE(FiredRule("src/archis/sqlxml.h",
+                         "struct PhysicalPlan {\n  double est = 0;\n};\n",
+                         "plan-ownership"));
+  EXPECT_FALSE(FiredRule("src/archis/planner.cc",
+                         "PhysicalPlan physical;\nreturn physical;\n",
+                         "plan-ownership"));
+}
+
+TEST(PlanOwnership, OnlyAppliesToSrc) {
+  EXPECT_FALSE(FiredRule("tests/seeded.cc", "PhysicalPlan p;\n",
+                         "plan-ownership"));
+}
+
 // ---- comment stripping ----------------------------------------------------
 
 TEST(StripCommentsTest, PreservesLineStructureAndStrings) {

@@ -299,6 +299,72 @@ void CheckRawLogging(const RuleContext& ctx) {
   }
 }
 
+// ---- Rule: plan-ownership -------------------------------------------------
+
+void CheckPlanOwnership(const RuleContext& ctx) {
+  // PhysicalPlan values are produced by the cost-based planner alone
+  // (archis/planner.*); any other construction — brace-init or a local
+  // declaration — bypasses the cost model and ships an unplanned shape to
+  // the executor. References and pointers are fine: the executor consumes
+  // plans read-only.
+  const bool in_scope =
+      ctx.path.rfind("src/", 0) == 0 || PathContains(ctx.path, "/src/");
+  if (!in_scope) return;
+  if (PathEndsWithAny(ctx.path, {"archis/planner.cc"})) return;
+  static const std::string kName = "PhysicalPlan";
+  size_t pos = 0;
+  while ((pos = ctx.code.find(kName, pos)) != std::string::npos) {
+    const size_t start = pos;
+    pos += kName.size();
+    if (start > 0 && IsIdentChar(ctx.code[start - 1])) continue;
+    if (pos < ctx.code.size() && IsIdentChar(ctx.code[pos])) continue;
+    // The type's own definition ("struct PhysicalPlan { ... }").
+    size_t before = start;
+    while (before > 0 && std::isspace(static_cast<unsigned char>(
+                             ctx.code[before - 1]))) {
+      --before;
+    }
+    size_t word = before;
+    while (word > 0 && IsIdentChar(ctx.code[word - 1])) --word;
+    const std::string prev = ctx.code.substr(word, before - word);
+    if (prev == "struct" || prev == "class") continue;
+    size_t after = pos;
+    while (after < ctx.code.size() &&
+           std::isspace(static_cast<unsigned char>(ctx.code[after]))) {
+      ++after;
+    }
+    if (after >= ctx.code.size()) break;
+    bool constructs = false;
+    if (ctx.code[after] == '{') {
+      constructs = true;  // PhysicalPlan{...} aggregate construction
+    } else if (IsIdentChar(ctx.code[after])) {
+      // `PhysicalPlan name;` / `= ...` / `{...}` declares a value; a '('
+      // after the identifier is a function declaration returning one.
+      size_t ident_end = after;
+      while (ident_end < ctx.code.size() && IsIdentChar(ctx.code[ident_end])) {
+        ++ident_end;
+      }
+      size_t tail = ident_end;
+      while (tail < ctx.code.size() &&
+             std::isspace(static_cast<unsigned char>(ctx.code[tail]))) {
+        ++tail;
+      }
+      if (tail < ctx.code.size() &&
+          (ctx.code[tail] == ';' || ctx.code[tail] == '=' ||
+           ctx.code[tail] == '{')) {
+        constructs = true;
+      }
+    }
+    if (constructs) {
+      ctx.Report("plan-ownership", start,
+                 "PhysicalPlan constructed outside the planner; obtain one "
+                 "from PlanQuery() / DefaultPhysicalPlan() "
+                 "(archis/planner.h) — the planner is the sole producer of "
+                 "physical plans");
+    }
+  }
+}
+
 }  // namespace
 
 std::string Finding::ToString() const {
@@ -382,6 +448,7 @@ std::vector<Finding> LintSource(const std::string& path,
   CheckVoidMutator(ctx);
   CheckDeprecatedApi(ctx);
   CheckRawLogging(ctx);
+  CheckPlanOwnership(ctx);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.rule) <

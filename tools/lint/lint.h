@@ -29,6 +29,11 @@
 //                      diagnostics go through the leveled key=value logger
 //                      in common/log.h (which is itself exempt, as are
 //                      tools/tests/bench outside src/).
+//   plan-ownership     PhysicalPlan values (the executor's physical query
+//                      shape) are produced only by the cost-based planner
+//                      in archis/planner.*; constructing one anywhere else
+//                      in src/ ships an unplanned shape to the executor.
+//                      Consumers hold references/pointers only.
 //
 // Findings on a line (or the line below) can be suppressed with a comment:
 //   // archis-lint: allow(<rule>) -- <why this is safe>
