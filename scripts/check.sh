@@ -5,30 +5,76 @@
 #   2. If clang++ is available: ARCHIS_ANALYZE=ON build, which turns on
 #      Clang thread-safety analysis with -Werror=thread-safety.
 #   3. archis-lint over src/ and tools/ (domain-invariant checker).
-#   4. recovery_fuzz smoke sweep: randomized WAL crash points, checkpoint
+#   4. archis-analyze over src/ and tools/: whole-program lock-order
+#      cycle search and status-propagation check (DESIGN.md §12).
+#   5. recovery_fuzz smoke sweep: randomized WAL crash points, checkpoint
 #      crash-phase sweeps, and auto-checkpoint + crash combinations must
 #      all recover to the durably-committed state exactly.
-#   5. metrics smoke: archis-stats on a durable workload must produce the
+#   6. metrics smoke: archis-stats on a durable workload must produce the
 #      full profile span tree and a well-formed, non-zero exposition.
-#   6. planner-forced equivalence: the translated-vs-native equivalence
+#   7. planner-forced equivalence: the translated-vs-native equivalence
 #      suite re-runs with the physical planner pinned both ways
 #      (ARCHIS_FORCE_PLAN=cost, then =fixed), so cost-based plans and the
 #      legacy shape must both match native answers exactly.
-#   7. If clang-tidy is available: .clang-tidy checks over src/.
+#   8. ThreadSanitizer build + full ctest, with the debug-build lock-rank
+#      assertions live: every test doubles as a validation of the lock
+#      hierarchy in src/common/lock_rank.h, and TSan catches the races
+#      the static side cannot see.
+#   9. If clang-tidy is available: .clang-tidy checks over src/.
 #
-# Exits nonzero on the first failing step. Run from the repo root:
+# Exits nonzero on the first failing step and prints a per-step timing
+# summary on exit (success or failure). Run from the repo root:
 #   scripts/check.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
-echo "==> [1/7] default build + tests"
+STEP_NAMES=()
+STEP_SECS=()
+CURRENT_STEP=""
+STEP_START=0
+
+step() {
+  step_end
+  CURRENT_STEP="$1"
+  STEP_START=$SECONDS
+  echo "==> $1"
+}
+
+step_end() {
+  if [[ -n "$CURRENT_STEP" ]]; then
+    STEP_NAMES+=("$CURRENT_STEP")
+    STEP_SECS+=($((SECONDS - STEP_START)))
+    CURRENT_STEP=""
+  fi
+}
+
+timing_summary() {
+  local status=$?
+  step_end
+  if [[ ${#STEP_NAMES[@]} -gt 0 ]]; then
+    echo
+    echo "==> timing summary"
+    local i
+    for i in "${!STEP_NAMES[@]}"; do
+      printf '    %4ss  %s\n' "${STEP_SECS[$i]}" "${STEP_NAMES[$i]}"
+    done
+    printf '    %4ss  total\n' "$SECONDS"
+  fi
+  if [[ $status -ne 0 ]]; then
+    echo "==> FAILED (exit $status)"
+  fi
+  return "$status"
+}
+trap timing_summary EXIT
+
+step "[1/9] default build + tests"
 cmake -B build-check -S . >/dev/null
 cmake --build build-check -j"$JOBS"
 ctest --test-dir build-check --output-on-failure -j"$JOBS"
 
-echo "==> [2/7] clang thread-safety analysis (ARCHIS_ANALYZE=ON)"
+step "[2/9] clang thread-safety analysis (ARCHIS_ANALYZE=ON)"
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-analyze -S . \
     -DCMAKE_CXX_COMPILER=clang++ -DARCHIS_ANALYZE=ON >/dev/null
@@ -37,20 +83,28 @@ else
   echo "    clang++ not found; skipping (annotations are no-ops under GCC)"
 fi
 
-echo "==> [3/7] archis-lint (domain invariants)"
+step "[3/9] archis-lint (domain invariants)"
 ./build-check/tools/archis-lint src tools
 
-echo "==> [4/7] recovery fuzz (WAL crash points + checkpoint phases)"
+step "[4/9] archis-analyze (lock-order graph + status propagation)"
+./build-check/tools/archis-analyze src tools
+
+step "[5/9] recovery fuzz (WAL crash points + checkpoint phases)"
 ./build-check/tools/recovery_fuzz --runs "${FUZZ_RUNS:-8}"
 
-echo "==> [5/7] metrics smoke (profile spans + exposition)"
+step "[6/9] metrics smoke (profile spans + exposition)"
 BUILD_DIR=build-check scripts/metrics_smoke.sh
 
-echo "==> [6/7] planner-forced equivalence (cost-based, then fixed)"
+step "[7/9] planner-forced equivalence (cost-based, then fixed)"
 ARCHIS_FORCE_PLAN=cost ./build-check/tests/equivalence_test
 ARCHIS_FORCE_PLAN=fixed ./build-check/tests/equivalence_test
 
-echo "==> [7/7] clang-tidy"
+step "[8/9] ThreadSanitizer + lock-rank assertions (full ctest)"
+cmake -B build-tsan -S . -DARCHIS_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$JOBS"
+ctest --test-dir build-tsan --output-on-failure -j"$JOBS"
+
+step "[9/9] clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   # shellcheck disable=SC2046
@@ -60,4 +114,5 @@ else
   echo "    clang-tidy not found; skipping"
 fi
 
+step_end
 echo "==> all checks passed"

@@ -37,6 +37,7 @@
 
 #include "archis/archiver.h"
 #include "archis/checkpoint.h"
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/trace.h"
 #include "archis/publisher.h"
@@ -410,7 +411,7 @@ class ArchIS {
   /// Plan cache for Execute (mutable: queries are const). The mutex makes
   /// the cache safe under concurrent read-only queries; mutations happen
   /// single-threaded but still bump the epoch under the lock.
-  mutable Mutex plan_cache_mu_;
+  mutable Mutex plan_cache_mu_{LockRank::kFacadePlanCache};
   mutable std::unordered_map<std::string, CachedPlan> plan_cache_
       ARCHIS_GUARDED_BY(plan_cache_mu_);
   /// Bumped by InvalidatePlanCache on every statistics-changing mutation.

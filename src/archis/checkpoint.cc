@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/coding.h"
+#include "common/log.h"
 #include "storage/log_file.h"
 
 namespace archis::core {
@@ -334,9 +335,21 @@ LoadedCheckpoint LoadCheckpoint(const std::string& wal_path) {
   Result<CheckpointManifest> prev =
       ReadCheckpointManifest(CheckpointPrevPath(wal_path));
   if (prev.ok()) {
+    // The current manifest was unreadable (torn install or corruption)
+    // but the previous generation is intact — recovery proceeds from it,
+    // replaying more WAL. Worth a warning: a torn install is expected
+    // after a crash mid-checkpoint, repeated ones are not.
+    logging::Warn("checkpoint.fallback")
+        .Kv("error", newest.status().ToString());
     loaded.manifest = std::move(*prev);
     loaded.fell_back = true;
+    return loaded;
   }
+  // Neither generation is readable: normal for a store that has never
+  // checkpointed, so keep it off the warning channel.
+  logging::Debug("checkpoint.none")
+      .Kv("newest", newest.status().ToString())
+      .Kv("prev", prev.status().ToString());
   return loaded;
 }
 

@@ -33,6 +33,7 @@
 #include "archis/compressed_segment.h"
 #include "archis/stats.h"
 #include "common/interval.h"
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
@@ -254,7 +255,7 @@ class SegmentedStore {
   minirel::Table* arch_ = nullptr;
   std::vector<SegmentInfo> segments_;
   std::vector<std::unique_ptr<CompressedSegment>> compressed_;  // by index
-  mutable Mutex pool_mu_;
+  mutable Mutex pool_mu_{LockRank::kSegmentScanPool};
   mutable std::unique_ptr<ThreadPool> pool_ ARCHIS_GUARDED_BY(pool_mu_);
   Date live_start_;
   StoreStatistics stats_;

@@ -25,6 +25,7 @@
 
 #include "archis/change_capture.h"
 #include "archis/relation_spec.h"
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "storage/log_file.h"
@@ -167,7 +168,7 @@ class Wal {
   /// group commit).
   Status SubmitDurable(std::string_view framed) ARCHIS_EXCLUDES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kWal};
   CondVar cv_;
   /// Accumulated frames not yet handed to a leader.
   std::string pending_ ARCHIS_GUARDED_BY(mu_);

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <ctime>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 
 namespace archis::logging {
@@ -30,7 +31,7 @@ std::atomic<int>& MinLevelVar() {
 std::atomic<int> g_format{static_cast<int>(Format::kKeyValue)};
 
 struct SinkHolder {
-  Mutex mu;
+  Mutex mu{LockRank::kLogSink};
   std::function<void(const std::string&)> sink ARCHIS_GUARDED_BY(mu);
 };
 

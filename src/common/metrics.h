@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 
 namespace archis::metrics {
@@ -162,7 +163,7 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kMetricsRegistry};
   std::map<std::string, Entry> entries_ ARCHIS_GUARDED_BY(mu_);
 };
 

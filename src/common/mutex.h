@@ -16,26 +16,51 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/lock_rank.h"
 #include "common/thread_annotations.h"
 
 namespace archis {
 
 class CondVar;
 
-/// A standard mutex carrying the clang "mutex" capability.
+/// A standard mutex carrying the clang "mutex" capability and a lock
+/// rank. Named mutexes in src/ must be constructed with a LockRank from
+/// common/lock_rank.h (archis-lint rule `lock-rank`); debug builds then
+/// assert that every thread acquires ranked locks in strictly increasing
+/// order, turning any would-be deadlock into an immediate abort at the
+/// first out-of-order acquisition.
 class ARCHIS_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  constexpr explicit Mutex(LockRank rank) : rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ARCHIS_ACQUIRE() { mu_.lock(); }
-  void Unlock() ARCHIS_RELEASE() { mu_.unlock(); }
-  bool TryLock() ARCHIS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ARCHIS_ACQUIRE() {
+    // Check *before* blocking so the violation report fires instead of
+    // the deadlock it predicts.
+    lock_rank::CheckAcquire(rank_);
+    mu_.lock();
+    lock_rank::NoteAcquired(rank_);
+  }
+  void Unlock() ARCHIS_RELEASE() {
+    lock_rank::NoteReleased(rank_);
+    mu_.unlock();
+  }
+  bool TryLock() ARCHIS_TRY_ACQUIRE(true) {
+    // TryLock cannot deadlock, so no order check — but a successful
+    // acquisition still joins the held stack for later checks.
+    if (!mu_.try_lock()) return false;
+    lock_rank::NoteAcquired(rank_);
+    return true;
+  }
+
+  LockRank rank() const { return rank_; }
 
  private:
   friend class CondVar;
   std::mutex mu_;
+  LockRank rank_ = LockRank::kUnranked;
 };
 
 /// RAII lock for archis::Mutex (the only way code should take one).

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -41,7 +42,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  Mutex mu_;
+  Mutex mu_{LockRank::kThreadPool};
   CondVar cv_;
   std::deque<std::packaged_task<void()>> queue_ ARCHIS_GUARDED_BY(mu_);
   bool shutting_down_ ARCHIS_GUARDED_BY(mu_) = false;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/interval.h"
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "compress/block_zip.h"
@@ -125,7 +126,7 @@ class BlobStore {
 
   /// One lock-striped slice of the LRU cache (keyed by blockno).
   struct CacheShard {
-    Mutex mu;
+    Mutex mu{LockRank::kBlobCacheShard};
     /// Most recently used at the front.
     std::list<uint64_t> lru ARCHIS_GUARDED_BY(mu);
     std::unordered_map<uint64_t,

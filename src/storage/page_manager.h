@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "storage/page.h"
@@ -83,7 +84,7 @@ class PageManager {
  private:
   /// Protects the page directory (the vector itself, not page contents;
   /// pages are heap-allocated so references stay valid across Allocate).
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kPageManager};
   std::vector<std::unique_ptr<Page>> pages_ ARCHIS_GUARDED_BY(mu_);
   mutable std::atomic<uint64_t> page_reads_{0};
   std::atomic<uint64_t> page_writes_{0};

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "compress/block_zip.h"
@@ -78,7 +79,7 @@ class DocumentStore {
   };
 
   StorageMode mode_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kDocumentStore};
   std::map<std::string, StoredDoc> docs_ ARCHIS_GUARDED_BY(mu_);
 };
 

@@ -1,0 +1,357 @@
+// Self-test for archis-analyze: seeded deadlock / dropped-status fixtures
+// prove the static checks fire (with correct witnesses), conforming
+// fixtures prove the clean pass stays clean, and a death test proves the
+// runtime lock-rank assertion catches the same out-of-order acquisition
+// the static side predicts.
+#include "analyze/analyze.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define ARCHIS_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ARCHIS_TSAN 1
+#endif
+#endif
+
+namespace archis::analyze {
+namespace {
+
+/// Runs the analyzer over in-memory sources, returning the findings.
+std::vector<Finding> Analyze(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  Analyzer a;
+  for (const auto& [path, contents] : sources) {
+    a.AddSource(path, contents);
+  }
+  a.Finalize();
+  return a.findings();
+}
+
+bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+// Shared fixture scaffolding: a header declaring two independently owned
+// mutexes, in the archis::Mutex idiom the analyzer expects.
+const char kTwoLockHeader[] =
+    "class Alpha {\n"
+    " public:\n"
+    "  void TakeBoth();\n"
+    "  Mutex mu_{LockRank::kWal};\n"
+    "};\n"
+    "class Beta {\n"
+    " public:\n"
+    "  void TakeBoth();\n"
+    "  Mutex mu_{LockRank::kThreadPool};\n"
+    "};\n";
+
+// ---- lock-cycle -----------------------------------------------------------
+
+TEST(LockCycle, TwoLockCycleFiresWithBothWitnesses) {
+  // Alpha::TakeBoth: alpha.mu_ then beta.mu_; Beta::TakeBoth: the
+  // reverse. Classic AB/BA deadlock.
+  const std::string cc =
+      "void Alpha::TakeBoth(Beta& beta) {\n"
+      "  MutexLock lock(mu_);\n"
+      "  MutexLock other(beta.mu_);\n"
+      "}\n"
+      "void Beta::TakeBoth(Alpha& alpha) {\n"
+      "  MutexLock lock(mu_);\n"
+      "  MutexLock other(alpha.mu_);\n"
+      "}\n";
+  const auto findings =
+      Analyze({{"src/fix/two.h", kTwoLockHeader}, {"src/fix/two.cc", cc}});
+  ASSERT_TRUE(HasRule(findings, "lock-cycle"));
+  const Finding& f = findings.front();
+  EXPECT_NE(f.message.find("Alpha::mu_"), std::string::npos) << f.message;
+  EXPECT_NE(f.message.find("Beta::mu_"), std::string::npos) << f.message;
+  // Both interleavings must be reported as witnesses.
+  std::string joined;
+  for (const auto& w : f.witness) joined += w + "\n";
+  EXPECT_NE(joined.find("Alpha::TakeBoth"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("Beta::TakeBoth"), std::string::npos) << joined;
+}
+
+TEST(LockCycle, ThreeLockCycleFires) {
+  const std::string h =
+      "class A { public: void F(); Mutex mu_{LockRank::kWal}; };\n"
+      "class B { public: void F(); Mutex mu_{LockRank::kThreadPool}; };\n"
+      "class C { public: void F(); Mutex mu_{LockRank::kLogSink}; };\n";
+  const std::string cc =
+      "void A::F(B& b) { MutexLock l(mu_); MutexLock m(b.mu_); }\n"
+      "void B::F(C& c) { MutexLock l(mu_); MutexLock m(c.mu_); }\n"
+      "void C::F(A& a) { MutexLock l(mu_); MutexLock m(a.mu_); }\n";
+  const auto findings =
+      Analyze({{"src/fix/three.h", h}, {"src/fix/three.cc", cc}});
+  ASSERT_TRUE(HasRule(findings, "lock-cycle"));
+  const std::string& msg = findings.front().message;
+  EXPECT_NE(msg.find("A::mu_"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("B::mu_"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("C::mu_"), std::string::npos) << msg;
+}
+
+TEST(LockCycle, CycleThroughCalleeFires) {
+  // The second hop of the cycle happens inside a callee: Alpha holds its
+  // lock while calling a Beta method that locks Beta, and vice versa.
+  const std::string cc =
+      "void Alpha::TakeBoth(Beta& beta) {\n"
+      "  MutexLock lock(mu_);\n"
+      "  beta.Poke();\n"
+      "}\n"
+      "void Beta::Poke() { MutexLock lock(mu_); }\n"
+      "void Beta::TakeBoth(Alpha& alpha) {\n"
+      "  MutexLock lock(mu_);\n"
+      "  alpha.Poke();\n"
+      "}\n"
+      "void Alpha::Poke() { MutexLock lock(mu_); }\n";
+  const auto findings =
+      Analyze({{"src/fix/two.h", kTwoLockHeader}, {"src/fix/two.cc", cc}});
+  EXPECT_TRUE(HasRule(findings, "lock-cycle"));
+}
+
+TEST(LockCycle, ConditionalScopedAcquisitionDoesNotFire) {
+  // The first lock is taken in a conditional scope that CLOSES before the
+  // second acquisition: no overlap, no edge, no cycle. A flow-insensitive
+  // pass would report AB/BA here.
+  const std::string cc =
+      "void Alpha::TakeBoth(Beta& beta) {\n"
+      "  if (ready) {\n"
+      "    MutexLock lock(mu_);\n"
+      "  }\n"
+      "  MutexLock other(beta.mu_);\n"
+      "}\n"
+      "void Beta::TakeBoth(Alpha& alpha) {\n"
+      "  if (ready) {\n"
+      "    MutexLock lock(mu_);\n"
+      "  }\n"
+      "  MutexLock other(alpha.mu_);\n"
+      "}\n";
+  const auto findings =
+      Analyze({{"src/fix/two.h", kTwoLockHeader}, {"src/fix/two.cc", cc}});
+  EXPECT_FALSE(HasRule(findings, "lock-cycle"));
+}
+
+TEST(LockCycle, ManualUnlockEndsTheHold) {
+  // The WAL leader pattern: Lock() ... Unlock() manually, then another
+  // lock. After the Unlock, nothing is held — no edge.
+  const std::string cc =
+      "void Alpha::TakeBoth(Beta& beta) {\n"
+      "  mu_.Lock();\n"
+      "  mu_.Unlock();\n"
+      "  MutexLock other(beta.mu_);\n"
+      "}\n"
+      "void Beta::TakeBoth(Alpha& alpha) {\n"
+      "  mu_.Lock();\n"
+      "  mu_.Unlock();\n"
+      "  MutexLock other(alpha.mu_);\n"
+      "}\n";
+  const auto findings =
+      Analyze({{"src/fix/two.h", kTwoLockHeader}, {"src/fix/two.cc", cc}});
+  EXPECT_FALSE(HasRule(findings, "lock-cycle"));
+}
+
+TEST(LockCycle, SuppressionOnWitnessLineSilences) {
+  const std::string cc =
+      "void Alpha::TakeBoth(Beta& beta) {\n"
+      "  MutexLock lock(mu_);\n"
+      "  // archis-analyze: allow(lock-cycle) -- fixture: proven unreachable\n"
+      "  MutexLock other(beta.mu_);\n"
+      "}\n"
+      "void Beta::TakeBoth(Alpha& alpha) {\n"
+      "  MutexLock lock(mu_);\n"
+      "  MutexLock other(alpha.mu_);\n"
+      "}\n";
+  const auto findings =
+      Analyze({{"src/fix/two.h", kTwoLockHeader}, {"src/fix/two.cc", cc}});
+  EXPECT_FALSE(HasRule(findings, "lock-cycle"));
+}
+
+// ---- dropped-error-arm ----------------------------------------------------
+
+TEST(DroppedErrorArm, FiresWhenErrorArmFallsOffTheEnd) {
+  const std::string cc =
+      "void Flush() {\n"
+      "  Status st = WriteEverything();\n"
+      "  if (st.ok()) {\n"
+      "    count++;\n"
+      "  }\n"
+      "}\n";
+  const auto findings = Analyze({{"src/fix/drop.cc", cc}});
+  ASSERT_TRUE(HasRule(findings, "dropped-error-arm"));
+  EXPECT_EQ(findings.front().line, 2);
+}
+
+TEST(DroppedErrorArm, ReturningThePathConsumes) {
+  const std::string cc =
+      "Status Flush() {\n"
+      "  Status st = WriteEverything();\n"
+      "  if (!st.ok()) return st;\n"
+      "  return Status::OK();\n"
+      "}\n";
+  EXPECT_FALSE(
+      HasRule(Analyze({{"src/fix/ok1.cc", cc}}), "dropped-error-arm"));
+}
+
+TEST(DroppedErrorArm, LoggingOrIgnoringConsumes) {
+  const std::string logged =
+      "void Flush() {\n"
+      "  Status st = WriteEverything();\n"
+      "  if (!st.ok()) {\n"
+      "    logging::Error(\"flush\").Kv(\"error\", st.ToString());\n"
+      "  }\n"
+      "}\n";
+  const std::string ignored =
+      "void Flush() {\n"
+      "  Status st = WriteEverything();\n"
+      "  if (st.ok()) count++;\n"
+      "  IgnoreStatus(st);\n"
+      "}\n";
+  EXPECT_FALSE(
+      HasRule(Analyze({{"src/fix/ok2.cc", logged}}), "dropped-error-arm"));
+  EXPECT_FALSE(
+      HasRule(Analyze({{"src/fix/ok3.cc", ignored}}), "dropped-error-arm"));
+}
+
+TEST(DroppedErrorArm, ResultValueIsChecked) {
+  const std::string cc =
+      "void Load() {\n"
+      "  Result<int> r = Parse();\n"
+      "  if (r.ok()) {\n"
+      "    Use(*r);\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(
+      HasRule(Analyze({{"src/fix/drop2.cc", cc}}), "dropped-error-arm"));
+}
+
+TEST(DroppedErrorArm, SuppressionSilences) {
+  const std::string cc =
+      "void Flush() {\n"
+      "  // archis-analyze: allow(dropped-error-arm) -- fixture\n"
+      "  Status st = WriteEverything();\n"
+      "  if (st.ok()) count++;\n"
+      "}\n";
+  EXPECT_FALSE(
+      HasRule(Analyze({{"src/fix/ok4.cc", cc}}), "dropped-error-arm"));
+}
+
+// ---- JSON output ----------------------------------------------------------
+
+// A minimal structural validator: object/array nesting balanced outside
+// strings, and the expected keys present.
+bool JsonIsBalanced(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(JsonOutput, WellFormedWithEscaping) {
+  std::vector<Finding> findings(1);
+  findings[0].file = "src/a \"b\"\\c.cc";
+  findings[0].line = 7;
+  findings[0].rule = "lock-cycle";
+  findings[0].message = "cycle A -> B\n -> A";
+  findings[0].witness = {"step\t1", "step 2"};
+  const std::string json = FindingsToJson(findings);
+  EXPECT_TRUE(JsonIsBalanced(json)) << json;
+  EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"line\":7"), std::string::npos);
+  EXPECT_NE(json.find("\\\"b\\\"\\\\c"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+}
+
+TEST(JsonOutput, EmptyFindingsIsValidDocument) {
+  const std::string json = FindingsToJson({});
+  EXPECT_EQ(json, "{\"version\":1,\"findings\":[]}");
+}
+
+// ---- the real tree --------------------------------------------------------
+
+TEST(RealTree, MutexDeclarationsAreRankedAndResolved) {
+  // Run over the actual src/ tree (tests execute from build/tests; the
+  // source dir is compiled in).
+  auto result = AnalyzeTree({ARCHIS_SOURCE_DIR "/src"});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Analyzer& a = result.value();
+  EXPECT_TRUE(a.findings().empty());
+  EXPECT_GE(a.mutex_decls().size(), 9u);
+  for (const auto& d : a.mutex_decls()) {
+    EXPECT_FALSE(d.rank.empty()) << d.id << " has no LockRank";
+  }
+  // The hierarchy table row count matches the declarations.
+  const std::string table = a.LockHierarchyTable();
+  EXPECT_EQ(static_cast<size_t>(
+                std::count(table.begin(), table.end(), '\n')),
+            a.mutex_decls().size() + 2);  // header + separator
+}
+
+// ---- runtime lock-rank enforcement ----------------------------------------
+
+#if !defined(NDEBUG) && !defined(ARCHIS_TSAN)
+TEST(LockRankRuntimeDeathTest, OutOfOrderAcquisitionAborts) {
+  // Static analysis predicts kWal (20) may not be acquired while holding
+  // kThreadPool (40); the runtime assertion must agree, loudly.
+  EXPECT_DEATH(
+      {
+        Mutex pool(LockRank::kThreadPool);
+        Mutex wal(LockRank::kWal);
+        MutexLock hold(pool);
+        MutexLock violate(wal);
+      },
+      "lock-rank violation");
+}
+#endif
+
+TEST(LockRankRuntime, MonotonicAcquisitionIsAllowed) {
+  Mutex wal(LockRank::kWal);
+  Mutex pool(LockRank::kThreadPool);
+  MutexLock a(wal);
+  MutexLock b(pool);  // 20 -> 40: increasing, fine
+  EXPECT_GE(lock_rank::HeldDepth(), 0);
+}
+
+TEST(LockRankRuntime, UnrankedMutexIsExemptEitherWay) {
+  Mutex ranked(LockRank::kLogSink);
+  Mutex scratch;  // kUnranked
+  MutexLock a(ranked);
+  MutexLock b(scratch);  // acquiring unranked under the top rank: fine
+}
+
+TEST(LockRankRuntime, ManualReleaseRestoresDepth) {
+#ifndef NDEBUG
+  const int before = lock_rank::HeldDepth();
+  Mutex wal(LockRank::kWal);
+  wal.Lock();
+  EXPECT_EQ(lock_rank::HeldDepth(), before + 1);
+  wal.Unlock();
+  EXPECT_EQ(lock_rank::HeldDepth(), before);
+#endif
+}
+
+}  // namespace
+}  // namespace archis::analyze

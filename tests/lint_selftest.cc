@@ -221,7 +221,7 @@ TEST(CleanPass, ConformingSourceHasNoFindings) {
       "  Status Flush();\n"
       "  Result<TimeInterval> Window() const;\n"
       " private:\n"
-      "  mutable Mutex mu_;\n"
+      "  mutable Mutex mu_{LockRank::kPageManager};\n"
       "  TimeInterval window_ ARCHIS_GUARDED_BY(mu_);\n"
       "};\n"
       "inline TimeInterval Widen(TimeInterval iv) {\n"
@@ -318,6 +318,55 @@ TEST(PlanOwnership, AllowsStructDefinitionAndPlanner) {
 TEST(PlanOwnership, OnlyAppliesToSrc) {
   EXPECT_FALSE(FiredRule("tests/seeded.cc", "PhysicalPlan p;\n",
                          "plan-ownership"));
+}
+
+// ---- lock-rank ------------------------------------------------------------
+
+TEST(LockRank, FiresOnUnrankedDeclaration) {
+  EXPECT_TRUE(FiredRule("src/archis/seeded.h", "  mutable Mutex mu_;\n",
+                        "lock-rank"));
+  EXPECT_TRUE(FiredRule("src/archis/seeded.h", "  archis::Mutex mu;\n",
+                        "lock-rank"));
+}
+
+TEST(LockRank, FiresOnEmptyBraceInit) {
+  EXPECT_TRUE(
+      FiredRule("src/archis/seeded.h", "  Mutex mu_{};\n", "lock-rank"));
+}
+
+TEST(LockRank, AllowsRankedDeclaration) {
+  EXPECT_FALSE(FiredRule("src/archis/seeded.h",
+                         "  mutable Mutex mu_{LockRank::kWal};\n",
+                         "lock-rank"));
+}
+
+TEST(LockRank, AllowsUsesAndMutexLock) {
+  EXPECT_FALSE(FiredRule("src/archis/seeded.cc",
+                         "void F(Mutex& mu) {\n"
+                         "  MutexLock lock(mu);\n"
+                         "  Mutex* p = &mu;\n"
+                         "}\n",
+                         "lock-rank"));
+}
+
+TEST(LockRank, OnlyAppliesToSrc) {
+  EXPECT_FALSE(
+      FiredRule("tests/seeded.cc", "Mutex scratch;\n", "lock-rank"));
+  EXPECT_FALSE(
+      FiredRule("tools/seeded.cc", "Mutex scratch;\n", "lock-rank"));
+}
+
+TEST(LockRank, MutexImplementationExempt) {
+  EXPECT_FALSE(FiredRule("src/common/mutex.h", "  Mutex fallback_;\n",
+                         "lock-rank"));
+}
+
+TEST(LockRank, SuppressionComment) {
+  EXPECT_FALSE(FiredRule(
+      "src/archis/seeded.h",
+      "  // archis-lint: allow(lock-rank) -- scratch lock in a test shim\n"
+      "  Mutex mu_;\n",
+      "lock-rank"));
 }
 
 // ---- comment stripping ----------------------------------------------------

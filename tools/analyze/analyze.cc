@@ -1,0 +1,1512 @@
+#include "analyze/analyze.h"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "lint/lint.h"  // StripComments: same comment/string semantics
+
+namespace archis::analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- Lexer ----------------------------------------------------------------
+
+struct Token {
+  enum Kind { kIdent, kNumber, kString, kPunct } kind;
+  std::string text;
+  int line = 0;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Tokenizes comment-stripped C++. String/char literals collapse to one
+/// token so nothing inside them can look like code.
+std::vector<Token> Lex(const std::string& code) {
+  std::vector<Token> out;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = code.size();
+  while (i < n) {
+    char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(code[j])) ++j;
+      out.push_back({Token::kIdent, code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      size_t j = i + 1;
+      while (j < n && (IsIdentChar(code[j]) || code[j] == '.')) ++j;
+      out.push_back({Token::kNumber, code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      while (j < n && code[j] != quote) {
+        if (code[j] == '\\') ++j;
+        if (code[j] == '\n') ++line;
+        ++j;
+      }
+      out.push_back({Token::kString, std::string(1, quote), line});
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    // Multi-char punctuation the parser cares about.
+    if (c == ':' && i + 1 < n && code[i + 1] == ':') {
+      out.push_back({Token::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && code[i + 1] == '>') {
+      out.push_back({Token::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    out.push_back({Token::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+/// Index of the token matching the opener at `open` ('(', '{' or '<' with
+/// its closer), or toks.size() if unbalanced.
+size_t MatchForward(const std::vector<Token>& toks, size_t open,
+                    const char* opener, const char* closer) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::kPunct) continue;
+    if (toks[i].text == opener) ++depth;
+    else if (toks[i].text == closer && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+bool IsPunct(const Token& t, const char* s) {
+  return t.kind == Token::kPunct && t.text == s;
+}
+bool IsIdent(const Token& t, const char* s) {
+  return t.kind == Token::kIdent && t.text == s;
+}
+
+/// All-caps identifiers are macros (EXPECT_*, ARCHIS_*) — never call
+/// targets or lock names.
+bool LooksLikeMacro(const std::string& s) {
+  bool has_alpha = false;
+  for (char c : s) {
+    if (std::islower(static_cast<unsigned char>(c)) != 0) return false;
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0) has_alpha = true;
+  }
+  return has_alpha;
+}
+
+const std::set<std::string>& CallKeywords() {
+  static const std::set<std::string> kw = {
+      "if",       "for",         "while",          "switch",
+      "return",   "sizeof",      "catch",          "new",
+      "delete",   "throw",       "static_cast",    "dynamic_cast",
+      "const_cast", "reinterpret_cast", "alignof", "decltype",
+      "noexcept", "assert",      "defined",        "alignas",
+  };
+  return kw;
+}
+
+/// "src/archis/wal.cc" -> "wal" (drives sibling-file lock resolution).
+std::string FileStem(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+std::string LastComponent(const std::string& qual) {
+  size_t pos = qual.rfind("::");
+  return pos == std::string::npos ? qual : qual.substr(pos + 2);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Finding::ToString() const {
+  std::ostringstream os;
+  os << file << ":" << line << ": [" << rule << "] " << message;
+  for (const std::string& w : witness) os << "\n    " << w;
+  return os.str();
+}
+
+// ---- Structure parse ------------------------------------------------------
+
+namespace {
+
+/// Walks one file's token stream, discovering mutex declarations,
+/// LockRank enum values and function definitions; function bodies are
+/// handed to the flow pass via the callback.
+struct StructureParser {
+  const std::vector<Token>& toks;
+  const std::string& file;
+  std::vector<MutexDecl>* decls;
+  std::map<std::string, int>* rank_values;
+  // (qual_name, unqual, class_chain, line, body_begin, body_end)
+  struct FnSpan {
+    std::string qual;
+    std::string unqual;
+    std::string class_chain;
+    int line;
+    size_t begin;
+    size_t end;
+    size_t params_begin = 0;  // inside the parameter parens
+    size_t params_end = 0;
+  };
+  std::vector<FnSpan>* functions;
+  struct ClassSpan {
+    std::string chain;
+    size_t begin;
+    size_t end;
+  };
+  std::vector<ClassSpan>* class_spans;
+  std::set<std::string>* class_names;
+
+  std::vector<std::string> class_stack;  // enclosing class/struct names
+
+  void Parse() { ParseDeclarations(0, toks.size()); }
+
+  std::string ClassChain() const {
+    std::string out;
+    for (const std::string& c : class_stack) {
+      if (!out.empty()) out += "::";
+      out += c;
+    }
+    return out;
+  }
+
+  /// Skips a balanced (), {} or <> group starting at `i` (which must be
+  /// the opener); returns the index after the closer.
+  size_t SkipBalanced(size_t i, const char* open, const char* close) {
+    size_t m = MatchForward(toks, i, open, close);
+    return m >= toks.size() ? toks.size() : m + 1;
+  }
+
+  /// Advances to just after the next ';' at brace/paren depth zero.
+  size_t SkipToSemicolon(size_t i) {
+    int pdepth = 0, bdepth = 0;
+    for (; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Token::kPunct) continue;
+      if (t.text == "(") ++pdepth;
+      else if (t.text == ")") --pdepth;
+      else if (t.text == "{") ++bdepth;
+      else if (t.text == "}") --bdepth;
+      else if (t.text == ";" && pdepth <= 0 && bdepth <= 0) return i + 1;
+    }
+    return toks.size();
+  }
+
+  void ParseDeclarations(size_t begin, size_t end) {
+    size_t i = begin;
+    while (i < end) {
+      const Token& t = toks[i];
+      if (IsPunct(t, "{")) {  // stray block / brace initializer
+        size_t close = MatchForward(toks, i, "{", "}");
+        ParseDeclarations(i + 1, std::min(close, end));
+        i = close >= end ? end : close + 1;
+        continue;
+      }
+      if (IsPunct(t, "}")) return;  // caller mismatch; be forgiving
+      if (t.kind != Token::kIdent) {
+        if (IsPunct(t, "=")) {
+          i = SkipToSemicolon(i);  // initializer (may hold lambdas)
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      if (t.text == "namespace") {
+        i = ParseNamespace(i, end);
+        continue;
+      }
+      if (t.text == "class" || t.text == "struct" || t.text == "union") {
+        i = ParseClass(i, end);
+        continue;
+      }
+      if (t.text == "enum") {
+        i = ParseEnum(i, end);
+        continue;
+      }
+      if (t.text == "template") {
+        ++i;
+        if (i < end && IsPunct(toks[i], "<")) i = SkipBalanced(i, "<", ">");
+        continue;
+      }
+      if (t.text == "using" || t.text == "typedef" ||
+          t.text == "static_assert" || t.text == "friend") {
+        i = SkipToSemicolon(i);
+        continue;
+      }
+      if (t.text == "public" || t.text == "private" ||
+          t.text == "protected") {
+        ++i;  // and the ':' after it
+        if (i < end && IsPunct(toks[i], ":")) ++i;
+        continue;
+      }
+      if (t.text == "mutable" || t.text == "static" || t.text == "inline" ||
+          t.text == "constexpr" || t.text == "extern" ||
+          t.text == "explicit" || t.text == "virtual" ||
+          t.text == "thread_local" || t.text == "const") {
+        ++i;
+        continue;
+      }
+      // Mutex member/variable declaration?
+      size_t after_mutex = MatchMutexType(i, end);
+      if (after_mutex != 0) {
+        i = ParseMutexDecl(after_mutex, end);
+        continue;
+      }
+      // Function definition?
+      size_t next = TryParseFunction(i, end);
+      if (next != 0) {
+        i = next;
+        continue;
+      }
+      ++i;
+    }
+  }
+
+  size_t ParseNamespace(size_t i, size_t end) {
+    ++i;  // 'namespace'
+    while (i < end && (toks[i].kind == Token::kIdent ||
+                       IsPunct(toks[i], "::"))) {
+      ++i;  // name (possibly nested a::b)
+    }
+    if (i < end && IsPunct(toks[i], "{")) {
+      size_t close = MatchForward(toks, i, "{", "}");
+      ParseDeclarations(i + 1, std::min(close, end));
+      return close >= end ? end : close + 1;
+    }
+    return i;  // alias or malformed; resume
+  }
+
+  size_t ParseClass(size_t i, size_t end) {
+    ++i;  // 'class' / 'struct'
+    // The name is the last plain identifier before '{', ':' or ';' —
+    // attribute macros like ARCHIS_CAPABILITY("mutex") precede it and are
+    // recognized by their parenthesized arguments.
+    std::string name;
+    while (i < end) {
+      const Token& t = toks[i];
+      if (t.kind == Token::kIdent && !IsIdent(t, "final") &&
+          !IsIdent(t, "alignas")) {
+        ++i;
+        if (i < end && IsPunct(toks[i], "(")) {
+          i = SkipBalanced(i, "(", ")");  // macro invocation, not the name
+          continue;
+        }
+        name = t.text;
+        continue;
+      }
+      if (IsPunct(t, "<")) {  // template args in a specialization
+        i = SkipBalanced(i, "<", ">");
+        continue;
+      }
+      if (IsPunct(t, "{") || IsPunct(t, ";") || IsPunct(t, ":")) break;
+      ++i;
+    }
+    // Base-clause: skip to the '{' or ';'.
+    while (i < end && !IsPunct(toks[i], "{") && !IsPunct(toks[i], ";")) {
+      if (IsPunct(toks[i], "<")) {
+        i = SkipBalanced(i, "<", ">");
+        continue;
+      }
+      ++i;
+    }
+    if (i >= end || IsPunct(toks[i], ";")) return i + 1;  // fwd decl
+    size_t close = MatchForward(toks, i, "{", "}");
+    class_stack.push_back(name.empty() ? "<anon>" : name);
+    if (!name.empty() && class_names != nullptr) class_names->insert(name);
+    if (class_spans != nullptr) {
+      class_spans->push_back({ClassChain(), i + 1, std::min(close, end)});
+    }
+    ParseDeclarations(i + 1, std::min(close, end));
+    class_stack.pop_back();
+    return close >= end ? end : close + 1;
+  }
+
+  size_t ParseEnum(size_t i, size_t end) {
+    // Harvest `enum class LockRank : int { kName = N, ... }` ordinals so
+    // the hierarchy table can sort by rank without hardcoding the enum.
+    size_t j = i + 1;
+    if (j < end && (IsIdent(toks[j], "class") || IsIdent(toks[j], "struct"))) {
+      ++j;
+    }
+    std::string name;
+    if (j < end && toks[j].kind == Token::kIdent) name = toks[j].text;
+    while (j < end && !IsPunct(toks[j], "{") && !IsPunct(toks[j], ";")) ++j;
+    if (j >= end || IsPunct(toks[j], ";")) return j + 1;
+    size_t close = MatchForward(toks, j, "{", "}");
+    if (name == "LockRank" && rank_values != nullptr) {
+      for (size_t k = j + 1; k + 2 < close; ++k) {
+        if (toks[k].kind == Token::kIdent && IsPunct(toks[k + 1], "=") &&
+            toks[k + 2].kind == Token::kNumber) {
+          (*rank_values)[toks[k].text] = std::atoi(toks[k + 2].text.c_str());
+        }
+      }
+    }
+    return close >= end ? end : close + 1;
+  }
+
+  /// If tokens at `i` name the archis Mutex type ("Mutex" or
+  /// "archis::Mutex"), returns the index just after the type name;
+  /// otherwise 0.
+  size_t MatchMutexType(size_t i, size_t end) {
+    if (IsIdent(toks[i], "archis") && i + 2 < end &&
+        IsPunct(toks[i + 1], "::") && IsIdent(toks[i + 2], "Mutex")) {
+      return i + 3;
+    }
+    if (IsIdent(toks[i], "Mutex")) return i + 1;
+    return 0;
+  }
+
+  /// Parses `Mutex name;` / `Mutex name{LockRank::kX};` after the type.
+  /// Returns the index to resume from (0 = not a declaration).
+  size_t ParseMutexDecl(size_t i, size_t end) {
+    if (i >= end || toks[i].kind != Token::kIdent) return i;  // `Mutex&` etc
+    const std::string member = toks[i].text;
+    const int line = toks[i].line;
+    size_t j = i + 1;
+    std::string rank;
+    if (j < end && IsPunct(toks[j], "{")) {
+      size_t close = MatchForward(toks, j, "{", "}");
+      for (size_t k = j + 1; k + 2 < close && k + 2 < end; ++k) {
+        if (IsIdent(toks[k], "LockRank") && IsPunct(toks[k + 1], "::") &&
+            toks[k + 2].kind == Token::kIdent) {
+          rank = toks[k + 2].text;
+        }
+      }
+      j = close >= end ? end : close + 1;
+    }
+    if (j >= end || !IsPunct(toks[j], ";")) return i;  // not a declaration
+    MutexDecl d;
+    d.member = member;
+    d.file = file;
+    d.line = line;
+    d.rank = rank;
+    const std::string owner = ClassChain();
+    d.id = (owner.empty() ? FileStem(file) : owner) + "::" + member;
+    decls->push_back(d);
+    return j + 1;
+  }
+
+  /// Attempts to parse a function definition starting at token `i`.
+  /// Returns the index after the body on success, 0 otherwise.
+  size_t TryParseFunction(size_t i, size_t end) {
+    // Qualified name chain: [~] IDENT ( :: [~] IDENT )*, or operatorX.
+    std::vector<std::string> chain;
+    size_t j = i;
+    int name_line = toks[i].line;
+    while (j < end) {
+      bool dtor = false;
+      if (IsPunct(toks[j], "~")) {
+        dtor = true;
+        ++j;
+      }
+      if (j >= end || toks[j].kind != Token::kIdent) return 0;
+      if (IsIdent(toks[j], "operator")) {
+        // operator==, operator(), operator[], operator bool, ...
+        std::string op = "operator";
+        ++j;
+        if (j + 1 < end && IsPunct(toks[j], "(") && IsPunct(toks[j + 1], ")")) {
+          op += "()";
+          j += 2;
+        } else {
+          while (j < end && !IsPunct(toks[j], "(")) {
+            op += toks[j].text;
+            ++j;
+          }
+        }
+        chain.push_back(op);
+        break;
+      }
+      chain.push_back((dtor ? "~" : "") + toks[j].text);
+      ++j;
+      if (j < end && IsPunct(toks[j], "<")) {
+        // Template-id (rare in definitions); skip the arguments.
+        size_t after = SkipBalanced(j, "<", ">");
+        // Only treat as part of the name if a '::' or '(' follows —
+        // otherwise this was a comparison and we are not in a function.
+        if (after < end &&
+            (IsPunct(toks[after], "::") || IsPunct(toks[after], "("))) {
+          j = after;
+        }
+      }
+      if (j < end && IsPunct(toks[j], "::")) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (chain.empty() || j >= end || !IsPunct(toks[j], "(")) return 0;
+    size_t params_close = MatchForward(toks, j, "(", ")");
+    if (params_close >= end) return 0;
+    // Trailer: const/noexcept/ref-qualifiers/attribute macros/-> type,
+    // then either '{' (definition), ':' (ctor-init then '{'), or ';'/'='
+    // (declaration — not ours).
+    size_t k = params_close + 1;
+    while (k < end) {
+      const Token& t = toks[k];
+      if (IsPunct(t, "{")) break;
+      if (IsPunct(t, ";") || IsPunct(t, "=") || IsPunct(t, ",") ||
+          IsPunct(t, ")")) {
+        return 0;
+      }
+      if (IsPunct(t, ":")) {
+        // Ctor-init list: scan to the body '{' at depth 0. A '{' whose
+        // previous token is an identifier or '>' is a member brace-init.
+        ++k;
+        int pdepth = 0;
+        while (k < end) {
+          const Token& u = toks[k];
+          if (IsPunct(u, "(")) {
+            k = SkipBalanced(k, "(", ")");
+            continue;
+          }
+          if (IsPunct(u, "{")) {
+            const Token& prev = toks[k - 1];
+            if (pdepth == 0 && prev.kind != Token::kIdent &&
+                !IsPunct(prev, ">")) {
+              break;  // the body
+            }
+            k = SkipBalanced(k, "{", "}");
+            continue;
+          }
+          if (IsPunct(u, ";")) return 0;  // gave up: not a definition
+          ++k;
+        }
+        break;
+      }
+      if (t.kind == Token::kIdent) {
+        ++k;
+        if (k < end && IsPunct(toks[k], "(")) k = SkipBalanced(k, "(", ")");
+        continue;
+      }
+      if (IsPunct(t, "->")) {
+        ++k;  // trailing return type: idents/templates until '{' or ';'
+        continue;
+      }
+      if (IsPunct(t, "<")) {
+        k = SkipBalanced(k, "<", ">");
+        continue;
+      }
+      ++k;  // &, &&, *, etc.
+    }
+    if (k >= end || !IsPunct(toks[k], "{")) return 0;
+    size_t body_close = MatchForward(toks, k, "{", "}");
+
+    FnSpan fn;
+    fn.unqual = chain.back();
+    std::string qual = ClassChain();
+    for (size_t c = 0; c + 1 < chain.size(); ++c) {
+      if (!qual.empty()) qual += "::";
+      qual += chain[c];
+    }
+    fn.class_chain = qual;
+    fn.qual = qual.empty() ? fn.unqual : qual + "::" + fn.unqual;
+    fn.line = name_line;
+    fn.begin = k + 1;
+    fn.end = std::min(body_close, end);
+    fn.params_begin = j + 1;
+    fn.params_end = params_close;
+    functions->push_back(fn);
+    return body_close >= end ? end : body_close + 1;
+  }
+};
+
+/// Lexical variable-type harvest over a token range: records `Type name`
+/// declaration pairs (also through `&`, `*` and one template level, so
+/// `std::unique_ptr<storage::LogFile> file_` maps file_ → LogFile).
+/// Heuristic by design — first recording per name wins, and consumers
+/// only trust a type that names a class defined in the scanned tree.
+void HarvestVarTypes(const std::vector<Token>& toks, size_t begin, size_t end,
+                     std::map<std::string, std::string>* out) {
+  static const std::set<std::string> kNotTypes = {
+      "return", "new",    "delete", "const",  "constexpr", "static",
+      "mutable", "inline", "auto",  "case",   "goto",      "using",
+      "typename", "else",  "do",    "throw",  "operator",  "struct",
+      "class",  "enum",   "public", "private", "protected", "template",
+      "namespace", "if",  "while",  "for",    "switch",    "sizeof",
+      "explicit", "virtual", "override", "final", "typedef", "friend",
+      "extern", "thread_local", "co_return", "co_await", "break",
+      "continue", "default", "union", "this", "static_assert",
+  };
+  static const std::set<std::string> kSmartPtr = {"unique_ptr",
+                                                  "shared_ptr"};
+  for (size_t i = begin; i < end; ++i) {
+    if (toks[i].kind != Token::kIdent || kNotTypes.count(toks[i].text) != 0) {
+      continue;
+    }
+    std::string type = toks[i].text;
+    size_t j = i + 1;
+    if (j < end && IsPunct(toks[j], "<")) {
+      size_t close = MatchForward(toks, j, "<", ">");
+      if (close >= end) continue;
+      if (kSmartPtr.count(type) != 0) {
+        for (size_t k = j + 1; k < close; ++k) {  // pointee is the type
+          if (toks[k].kind == Token::kIdent) type = toks[k].text;
+        }
+      }
+      j = close + 1;
+    }
+    while (j < end && (IsPunct(toks[j], "&") || IsPunct(toks[j], "*"))) ++j;
+    if (j >= end || toks[j].kind != Token::kIdent ||
+        kNotTypes.count(toks[j].text) != 0) {
+      continue;
+    }
+    if (j + 1 >= end) {
+      // Range end terminates the declaration (a parameter list's closing
+      // paren sits just outside the harvested span).
+      out->emplace(toks[j].text, type);
+      continue;
+    }
+    const Token& after = toks[j + 1];
+    if (IsPunct(after, ";") || IsPunct(after, "=") || IsPunct(after, ",") ||
+        IsPunct(after, ")") || IsPunct(after, "{")) {
+      out->emplace(toks[j].text, type);
+    }
+  }
+}
+
+}  // namespace
+
+// ---- Flow pass over one function body -------------------------------------
+
+namespace {
+
+/// Tracks lock lifetimes through a function body: MutexLock RAII scopes,
+/// manual Lock()/Unlock() pairs (the WAL group-commit leader handoff),
+/// and calls made while at least one lock is held.
+struct BodyFlow {
+  const std::vector<Token>& toks;
+  const std::string& file;
+  size_t begin;
+  size_t end;
+
+  // Output: indices into `acquires` for edges/calls.
+  struct Acq {
+    std::string member;
+    std::string owner;  // receiver ident of the lock expression, or ""
+    int line;
+  };
+  std::vector<Acq>* acquires;
+  std::vector<std::pair<int, int>>* intra_edges;
+  struct Call {
+    std::string callee;
+    std::string receiver;
+    std::vector<int> held;
+    int line;
+  };
+  std::vector<Call>* calls;
+
+  void Run() {
+    // Scope stack: each entry holds indices of locks acquired in it.
+    std::vector<std::vector<int>> scopes(1);
+    // Manual acquisitions (via .Lock()) live in the scope where they
+    // happened but are released by .Unlock() wherever it appears.
+    size_t i = begin;
+    while (i < end) {
+      const Token& t = toks[i];
+      if (IsPunct(t, "{")) {
+        scopes.emplace_back();
+        ++i;
+        continue;
+      }
+      if (IsPunct(t, "}")) {
+        if (scopes.size() > 1) scopes.pop_back();
+        ++i;
+        continue;
+      }
+      // MutexLock var(expr) / MutexLock var{expr}
+      if (IsIdent(t, "MutexLock") && i + 2 < end &&
+          toks[i + 1].kind == Token::kIdent) {
+        size_t open = i + 2;
+        if (IsPunct(toks[open], "(") || IsPunct(toks[open], "{")) {
+          const char* op = toks[open].text == "(" ? "(" : "{";
+          const char* cl = toks[open].text == "(" ? ")" : "}";
+          size_t close = MatchForward(toks, open, op, cl);
+          auto [member, owner] = MemberAndOwnerIn(open + 1, close);
+          if (!member.empty()) {
+            Acquire(member, owner, toks[i].line, &scopes);
+          }
+          i = close >= end ? end : close + 1;
+          continue;
+        }
+      }
+      // expr.Lock() / expr->Lock() ; expr.Unlock() / expr->Unlock()
+      if ((IsIdent(t, "Lock") || IsIdent(t, "Unlock")) && i > begin &&
+          (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->")) &&
+          i + 1 < end && IsPunct(toks[i + 1], "(")) {
+        std::string member = ObjectMemberBefore(i - 1);
+        if (!member.empty()) {
+          std::string owner;  // `beta.mu_.Lock()` → owner beta
+          if (i >= begin + 4 &&
+              (IsPunct(toks[i - 3], ".") || IsPunct(toks[i - 3], "->")) &&
+              toks[i - 4].kind == Token::kIdent) {
+            owner = toks[i - 4].text;
+          }
+          if (t.text == "Lock") {
+            Acquire(member, owner, t.line, &scopes);
+          } else {
+            Release(member, &scopes);
+          }
+        }
+        i += 2;
+        continue;
+      }
+      // Call site: IDENT '(' with locks held.
+      if (t.kind == Token::kIdent && i + 1 < end && IsPunct(toks[i + 1], "(") &&
+          CallKeywords().count(t.text) == 0 && !LooksLikeMacro(t.text) &&
+          !IsIdent(t, "MutexLock") && !IsIdent(t, "Mutex") &&
+          !IsIdent(t, "CondVar") && !IsIdent(t, "Wait") &&
+          !IsIdent(t, "NotifyOne") && !IsIdent(t, "NotifyAll") &&
+          !IsIdent(t, "TryLock")) {
+        // Record every call: lock-free calls still matter, because the
+        // callee's transitive acquisitions propagate to call sites that
+        // DO hold locks.
+        std::vector<int> held;
+        for (const auto& scope : scopes) {
+          held.insert(held.end(), scope.begin(), scope.end());
+        }
+        std::string receiver;
+        if (i >= begin + 1 &&
+            (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"))) {
+          // `obj.f()` keeps the object name; `Expr().f()` keeps a marker
+          // meaning "a method of some class we could not name".
+          receiver = (i >= begin + 2 && toks[i - 2].kind == Token::kIdent)
+                         ? toks[i - 2].text
+                         : "<expr>";
+        } else if (i >= begin + 2 && IsPunct(toks[i - 1], "::") &&
+                   toks[i - 2].kind == Token::kIdent) {
+          receiver = "::" + toks[i - 2].text;  // Class:: or namespace::
+        }
+        calls->push_back({t.text, std::move(receiver), std::move(held),
+                          t.line});
+        ++i;
+        continue;
+      }
+      ++i;
+    }
+  }
+
+  /// Lock member name + receiver ident of an acquisition expression:
+  /// `mu_` → (mu_, ""), `shard.mu` → (mu, shard), `this->mu_` → (mu_, this).
+  std::pair<std::string, std::string> MemberAndOwnerIn(size_t from,
+                                                       size_t to) const {
+    size_t last = to;
+    for (size_t k = from; k < to && k < end; ++k) {
+      if (toks[k].kind == Token::kIdent) last = k;
+    }
+    if (last >= to) return {"", ""};
+    std::string owner;
+    if (last >= from + 2 &&
+        (IsPunct(toks[last - 1], ".") || IsPunct(toks[last - 1], "->")) &&
+        toks[last - 2].kind == Token::kIdent) {
+      owner = toks[last - 2].text;
+    }
+    return {toks[last].text, owner};
+  }
+
+  /// The identifier immediately before a `.`/`->` at index `dot`.
+  std::string ObjectMemberBefore(size_t dot) const {
+    if (dot == 0) return "";
+    const Token& t = toks[dot - 1];
+    return t.kind == Token::kIdent ? t.text : "";
+  }
+
+  void Acquire(const std::string& member, const std::string& owner, int line,
+               std::vector<std::vector<int>>* scopes) {
+    int idx = static_cast<int>(acquires->size());
+    acquires->push_back({member, owner, line});
+    for (const auto& scope : *scopes) {
+      for (int h : scope) intra_edges->push_back({h, idx});
+    }
+    scopes->back().push_back(idx);
+  }
+
+  void Release(const std::string& member,
+               std::vector<std::vector<int>>* scopes) {
+    // Innermost-first search; member-name match is exact enough inside
+    // one function.
+    for (auto s = scopes->rbegin(); s != scopes->rend(); ++s) {
+      for (auto it = s->rbegin(); it != s->rend(); ++it) {
+        if ((*acquires)[*it].member == member) {
+          s->erase(std::next(it).base());
+          return;
+        }
+      }
+    }
+  }
+};
+
+// ---- Status-propagation pass ----------------------------------------------
+
+/// Scans one function body for Status/Result locals whose error arm is
+/// dropped: tested with .ok() but never propagated anywhere.
+void CheckStatusPropagation(const std::vector<Token>& toks, size_t begin,
+                            size_t end, const std::string& file,
+                            const std::string& fn_name,
+                            std::vector<Finding>* out) {
+  struct Local {
+    std::string name;
+    int line;
+    size_t decl_index;
+    bool is_result;
+  };
+  std::vector<Local> locals;
+  std::set<std::string> seen;  // first declaration wins per name
+  for (size_t i = begin; i < end; ++i) {
+    const Token& t = toks[i];
+    bool is_result = IsIdent(t, "Result");
+    if (!IsIdent(t, "Status") && !is_result) continue;
+    if (i > begin && IsPunct(toks[i - 1], "::") &&
+        !(i > begin + 1 && IsIdent(toks[i - 2], "archis"))) {
+      continue;  // SomeOther::Status
+    }
+    size_t j = i + 1;
+    if (is_result) {
+      if (j >= end || !IsPunct(toks[j], "<")) continue;
+      j = MatchForward(toks, j, "<", ">");
+      if (j >= end) continue;
+      ++j;
+    }
+    if (j >= end || toks[j].kind != Token::kIdent) continue;
+    // Declaration needs an initializer or bare ';' next: `Status st = ..`,
+    // `Status st(..)`, `Status st;`. Anything else (e.g. a cast, a
+    // function declaration) is skipped.
+    if (j + 1 >= end) continue;
+    const Token& after = toks[j + 1];
+    if (!IsPunct(after, "=") && !IsPunct(after, ";") && !IsPunct(after, "(") &&
+        !IsPunct(after, "{")) {
+      continue;
+    }
+    if (IsPunct(after, "(")) {
+      // `Status name(...)` could be a local function-style init; require
+      // the close to be followed by ';' to exclude declarations.
+      size_t close = MatchForward(toks, j + 1, "(", ")");
+      if (close + 1 >= end || !IsPunct(toks[close + 1], ";")) continue;
+    }
+    if (seen.insert(toks[j].text).second) {
+      locals.push_back({toks[j].text, toks[j].line, j, is_result});
+    }
+  }
+
+  for (const Local& v : locals) {
+    bool branched = false;
+    bool consumed = false;
+    bool in_return = false;
+    for (size_t i = v.decl_index + 1; i < end && !consumed; ++i) {
+      const Token& t = toks[i];
+      if (IsIdent(t, "return")) in_return = true;
+      if (IsPunct(t, ";")) in_return = false;
+      if (t.kind != Token::kIdent || t.text != v.name) continue;
+      // Member access spelled `x.name` is some other entity's member.
+      if (i > begin &&
+          (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"))) {
+        continue;
+      }
+      // `v.ok()` → branched; `v.status()/message()/code()/ToString()` →
+      // the error is inspected, i.e. consumed.
+      if (i + 3 < end &&
+          (IsPunct(toks[i + 1], ".") || IsPunct(toks[i + 1], "->")) &&
+          toks[i + 2].kind == Token::kIdent && IsPunct(toks[i + 3], "(")) {
+        const std::string& m = toks[i + 2].text;
+        if (m == "ok") {
+          branched = true;
+          continue;
+        }
+        if (m == "status" || m == "message" || m == "code" ||
+            m == "ToString") {
+          consumed = true;
+          break;
+        }
+      }
+      if (in_return) {  // `return v;` / `return cond ? x : v;`
+        consumed = true;
+        break;
+      }
+      if (i > begin && IsPunct(toks[i - 1], "=")) {  // assigned onward
+        consumed = true;
+        break;
+      }
+      // Passed as an argument (including IgnoreStatus(v), Use(&v),
+      // std::move(v)) — but `(v.ok()` was already classified above.
+      size_t p = i;
+      while (p > begin && IsPunct(toks[p - 1], "&")) --p;
+      if (p > begin && (IsPunct(toks[p - 1], "(") || IsPunct(toks[p - 1], ","))) {
+        bool is_ok_probe =
+            i + 2 < end &&
+            (IsPunct(toks[i + 1], ".") || IsPunct(toks[i + 1], "->")) &&
+            IsIdent(toks[i + 2], "ok");
+        if (!is_ok_probe) {
+          consumed = true;
+          break;
+        }
+      }
+    }
+    if (branched && !consumed) {
+      Finding f;
+      f.file = file;
+      f.line = v.line;
+      f.rule = "dropped-error-arm";
+      f.message = std::string(v.is_result ? "Result" : "Status") + " '" +
+                  v.name + "' in " + fn_name +
+                  " is branched on with ok() but its error arm is never "
+                  "propagated (not returned, assigned onward, passed on, "
+                  "inspected, or IgnoreStatus()-ed)";
+      out->push_back(f);
+    }
+  }
+}
+
+/// Collects `archis-analyze: allow(<rule>)` suppressions from the raw
+/// (un-stripped) contents; each covers its own line and the next.
+void CollectAllows(
+    const std::string& path, const std::string& contents,
+    std::vector<std::pair<std::string, std::pair<std::string, int>>>* out) {
+  static const std::string kTag = "archis-analyze: allow(";
+  size_t pos = 0;
+  while ((pos = contents.find(kTag, pos)) != std::string::npos) {
+    size_t open = pos + kTag.size();
+    size_t close = contents.find(')', open);
+    if (close == std::string::npos) break;
+    std::string rule = contents.substr(open, close - open);
+    int line = 1 + static_cast<int>(
+                       std::count(contents.begin(), contents.begin() + pos,
+                                  '\n'));
+    out->push_back({rule, {path, line}});
+    out->push_back({rule, {path, line + 1}});
+    pos = open;
+  }
+}
+
+}  // namespace
+
+// ---- Analyzer -------------------------------------------------------------
+
+void Analyzer::AddSource(const std::string& path,
+                         const std::string& contents) {
+  std::string normalized = path;
+  std::replace(normalized.begin(), normalized.end(), '\\', '/');
+  CollectAllows(normalized, contents, &allows_);
+  const std::string code = lint::StripComments(contents);
+  const std::vector<Token> toks = Lex(code);
+
+  std::vector<StructureParser::FnSpan> spans;
+  std::vector<StructureParser::ClassSpan> class_spans;
+  StructureParser parser{toks,   normalized,   &mutex_decls_, &rank_values_,
+                         &spans, &class_spans, &class_names_, {}};
+  parser.Parse();
+  for (const auto& cs : class_spans) {
+    HarvestVarTypes(toks, cs.begin, cs.end, &class_var_types_[cs.chain]);
+  }
+
+  for (const auto& span : spans) {
+    FunctionRec fn;
+    fn.qual_name = span.qual;
+    fn.unqual = span.unqual;
+    fn.class_chain = span.class_chain;
+    fn.file = normalized;
+    fn.line = span.line;
+
+    std::vector<BodyFlow::Acq> raw_acquires;
+    std::vector<BodyFlow::Call> raw_calls;
+    BodyFlow flow{toks,          normalized,  span.begin, span.end,
+                  &raw_acquires, &fn.intra_edges, &raw_calls};
+    flow.Run();
+    for (const auto& a : raw_acquires) {
+      fn.acquires.push_back({a.member, a.owner, "", normalized, a.line});
+    }
+    for (auto& c : raw_calls) {
+      fn.calls.push_back({c.callee, std::move(c.receiver), std::move(c.held),
+                          normalized, c.line});
+    }
+    CheckStatusPropagation(toks, span.begin, span.end, normalized,
+                           span.qual, &fn.local_findings);
+    HarvestVarTypes(toks, span.params_begin, span.params_end, &fn.var_types);
+    HarvestVarTypes(toks, span.begin, span.end, &fn.var_types);
+    functions_.push_back(std::move(fn));
+  }
+}
+
+bool Analyzer::IsSuppressed(const std::string& rule, const std::string& file,
+                            int line) const {
+  return std::find(allows_.begin(), allows_.end(),
+                   std::make_pair(rule, std::make_pair(file, line))) !=
+         allows_.end();
+}
+
+void Analyzer::ResolveLocks() {
+  // member name → declarations, for steps 2/3 of resolution.
+  std::map<std::string, std::vector<const MutexDecl*>> by_member;
+  for (const MutexDecl& d : mutex_decls_) by_member[d.member].push_back(&d);
+
+  auto owner_type = [&](const FunctionRec& fn,
+                        const std::string& owner) -> std::string {
+    auto local = fn.var_types.find(owner);
+    if (local != fn.var_types.end()) return local->second;
+    auto cls = class_var_types_.find(fn.class_chain);
+    if (cls != class_var_types_.end()) {
+      auto member = cls->second.find(owner);
+      if (member != cls->second.end()) return member->second;
+    }
+    return "";
+  };
+  auto resolve = [&](const RawAcq& acq,
+                     const FunctionRec& fn) -> std::string {
+    auto it = by_member.find(acq.member);
+    if (it == by_member.end()) return "";
+    const std::vector<const MutexDecl*>& cands = it->second;
+    auto decl_owner = [&](const MutexDecl* d) {
+      return d->id.substr(0, d->id.size() - acq.member.size() - 2);
+    };
+    // 0. Explicit receiver with a harvested type: `shard.mu` binds to
+    //    CacheShard::mu, `beta.mu_` to Beta::mu_ — never to the caller's
+    //    own same-named member.
+    if (!acq.owner.empty() && acq.owner != "this") {
+      const std::string t = owner_type(fn, acq.owner);
+      if (!t.empty()) {
+        for (const MutexDecl* d : cands) {
+          if (LastComponent(decl_owner(d)) == t) return d->id;
+        }
+        return "";  // typed receiver, but no such mutex: stay unresolved
+      }
+    }
+    // 1. A member of the enclosing class (implicit `this`).
+    if (acq.owner.empty() || acq.owner == "this") {
+      if (!fn.class_chain.empty()) {
+        const std::string cls = LastComponent(fn.class_chain);
+        for (const MutexDecl* d : cands) {
+          const std::string owner = decl_owner(d);
+          if (LastComponent(owner) == cls || owner == fn.class_chain) {
+            return d->id;
+          }
+        }
+      }
+    }
+    // 2. Declared in the sibling header/source of the use site.
+    const std::string stem = FileStem(acq.file);
+    const MutexDecl* sibling = nullptr;
+    int sibling_count = 0;
+    for (const MutexDecl* d : cands) {
+      if (FileStem(d->file) == stem) {
+        sibling = d;
+        ++sibling_count;
+      }
+    }
+    if (sibling_count == 1) return sibling->id;
+    // 3. Unique across the whole tree.
+    if (cands.size() == 1) return cands[0]->id;
+    return "";  // ambiguous: excluded from the graph rather than guessed
+  };
+
+  for (FunctionRec& fn : functions_) {
+    for (RawAcq& a : fn.acquires) {
+      a.resolved = resolve(a, fn);
+    }
+  }
+}
+
+void Analyzer::BuildGraphAndCycles() {
+  struct WitnessSite {
+    std::string file;
+    int line;
+    std::string text;
+  };
+  std::map<std::pair<std::string, std::string>, std::vector<WitnessSite>>
+      graph;
+  auto add_edge = [&](const std::string& from, const std::string& to,
+                      const std::string& file, int line,
+                      const std::string& text) {
+    auto& wits = graph[{from, to}];
+    if (wits.size() < 6) wits.push_back({file, line, text});
+  };
+
+  // Intra-function edges.
+  for (const FunctionRec& fn : functions_) {
+    for (const auto& [h, a] : fn.intra_edges) {
+      const RawAcq& held = fn.acquires[h];
+      const RawAcq& acq = fn.acquires[a];
+      if (held.resolved.empty() || acq.resolved.empty()) continue;
+      std::ostringstream w;
+      w << acq.file << ":" << acq.line << ": " << fn.qual_name
+        << " acquires " << acq.resolved << " while holding " << held.resolved
+        << " (held since :" << held.line << ")";
+      add_edge(held.resolved, acq.resolved, acq.file, acq.line, w.str());
+    }
+  }
+
+  // Call edges. Each function's *transitive* acquisition set is computed
+  // to a fixpoint over the call graph (callees resolve by unqualified
+  // name, union over same-named definitions, minus candidates excluded by
+  // an explicit receiver). Transitivity matters: the blob-cache shard
+  // lock reaches the metrics-registry lock only through a metric-helper
+  // hop that never takes a lock itself.
+  std::map<std::string, std::vector<size_t>> by_name;
+  for (size_t i = 0; i < functions_.size(); ++i) {
+    by_name[functions_[i].unqual].push_back(i);
+  }
+  // Per function: lock id → representative acquisition site + call path.
+  struct AcqSite {
+    std::string file;
+    int line = 0;
+    std::string path;  // "Registry::GetOrCreate" or "Helper -> ... -> f"
+  };
+  std::vector<std::map<std::string, AcqSite>> trans(functions_.size());
+  for (size_t i = 0; i < functions_.size(); ++i) {
+    for (const RawAcq& a : functions_[i].acquires) {
+      if (a.resolved.empty()) continue;
+      trans[i].emplace(a.resolved,
+                       AcqSite{a.file, a.line, functions_[i].qual_name});
+    }
+  }
+  // Dispatch rules, keyed by the shape of the call expression:
+  //   bare `f()` / `this->f()`  — the caller's own class or a free
+  //                               function; never another class's method.
+  //   `Q::f()`                  — methods of class Q (or a free function:
+  //                               Q may be a namespace).
+  //   `obj.f()` / `obj->f()`    — if obj's declared type is known (local,
+  //                               parameter or member harvest) and names a
+  //                               class in the tree, exactly that class's
+  //                               methods; a known but foreign type (std::
+  //                               etc.) dispatches nowhere; an unknown
+  //                               receiver falls back to any class's
+  //                               method except the caller's own
+  //                               (`file_->bytes_written()` must not loop
+  //                               back into Wal and fake a self-deadlock).
+  //   `Expr().f()`              — any class's method.
+  auto receiver_type = [&](const FunctionRec& fn,
+                           const std::string& receiver) -> std::string {
+    auto local = fn.var_types.find(receiver);
+    if (local != fn.var_types.end()) return local->second;
+    auto cls = class_var_types_.find(fn.class_chain);
+    if (cls != class_var_types_.end()) {
+      auto member = cls->second.find(receiver);
+      if (member != cls->second.end()) return member->second;
+    }
+    return "";
+  };
+  auto candidates_of = [&](const FunctionRec& fn, const RawCall& call) {
+    std::vector<size_t> out;
+    auto it = by_name.find(call.callee);
+    if (it == by_name.end()) return out;
+    std::string recv_type;
+    bool typed = false;
+    if (!call.receiver.empty() && call.receiver != "this" &&
+        call.receiver != "<expr>" && call.receiver[0] != ':') {
+      recv_type = receiver_type(fn, call.receiver);
+      typed = !recv_type.empty();
+      if (typed && class_names_.count(recv_type) == 0) {
+        return out;  // a type we never parsed: its methods are not ours
+      }
+    }
+    for (size_t j : it->second) {
+      const FunctionRec& callee = functions_[j];
+      if (&callee == &fn) continue;  // self-recursion adds nothing
+      if (call.receiver.empty() || call.receiver == "this") {
+        if (!callee.class_chain.empty() &&
+            callee.class_chain != fn.class_chain) {
+          continue;
+        }
+      } else if (call.receiver[0] == ':') {
+        const std::string qualifier = call.receiver.substr(2);
+        if (!callee.class_chain.empty() &&
+            LastComponent(callee.class_chain) != qualifier) {
+          continue;
+        }
+      } else if (call.receiver == "<expr>") {
+        if (callee.class_chain.empty()) continue;
+      } else if (typed) {
+        if (LastComponent(callee.class_chain) != recv_type) continue;
+      } else {
+        if (callee.class_chain.empty()) continue;
+        if (!fn.class_chain.empty() &&
+            callee.class_chain == fn.class_chain) {
+          continue;
+        }
+      }
+      out.push_back(j);
+    }
+    return out;
+  };
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (size_t i = 0; i < functions_.size(); ++i) {
+      for (const RawCall& call : functions_[i].calls) {
+        for (size_t j : candidates_of(functions_[i], call)) {
+          for (const auto& [lock, site] : trans[j]) {
+            if (trans[i].count(lock) != 0) continue;
+            AcqSite inherited = site;
+            if (inherited.path.size() < 160) {  // keep witnesses readable
+              inherited.path =
+                  functions_[i].qual_name + " -> " + inherited.path;
+            }
+            trans[i].emplace(lock, std::move(inherited));
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  for (const FunctionRec& fn : functions_) {
+    for (const RawCall& call : fn.calls) {
+      if (call.held.empty()) continue;
+      for (size_t j : candidates_of(fn, call)) {
+        for (const auto& [lock, site] : trans[j]) {
+          for (int h : call.held) {
+            const RawAcq& held = fn.acquires[h];
+            if (held.resolved.empty()) continue;
+            std::ostringstream w;
+            w << call.file << ":" << call.line << ": " << fn.qual_name
+              << " holds " << held.resolved << " while calling "
+              << functions_[j].qual_name << "(), which acquires " << lock
+              << " at " << site.file << ":" << site.line << " (via "
+              << site.path << ")";
+            add_edge(held.resolved, lock, call.file, call.line, w.str());
+          }
+        }
+      }
+    }
+  }
+
+  // Publish the edge list.
+  for (const auto& [key, wits] : graph) {
+    LockEdge e;
+    e.from = key.first;
+    e.to = key.second;
+    e.file = wits.front().file;
+    e.line = wits.front().line;
+    for (const WitnessSite& w : wits) e.witness.push_back(w.text);
+    edges_.push_back(std::move(e));
+  }
+
+  // Cycle search: Tarjan SCCs, then one canonical shortest cycle per SCC.
+  std::vector<std::string> nodes;
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [key, wits] : graph) {
+    (void)wits;
+    adj[key.first].push_back(key.second);
+    nodes.push_back(key.first);
+    nodes.push_back(key.second);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+
+  std::map<std::string, int> index, low, comp;
+  std::vector<std::string> stack;
+  std::set<std::string> on_stack;
+  int next_index = 0, next_comp = 0;
+  // Iterative Tarjan (explicit frames; the graph is tiny but recursion
+  // depth should not depend on it).
+  struct Frame {
+    std::string node;
+    size_t child = 0;
+  };
+  for (const std::string& root : nodes) {
+    if (index.count(root) != 0) continue;
+    std::vector<Frame> frames{{root, 0}};
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const std::string& v = f.node;
+      if (f.child == 0 && index.count(v) == 0) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(v);
+        on_stack.insert(v);
+      }
+      const std::vector<std::string>& out = adj[v];
+      bool descended = false;
+      while (f.child < out.size()) {
+        const std::string& w = out[f.child++];
+        if (index.count(w) == 0) {
+          frames.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack.count(w) != 0) low[v] = std::min(low[v], index[w]);
+      }
+      if (descended) continue;
+      if (low[v] == index[v]) {
+        while (true) {
+          std::string w = stack.back();
+          stack.pop_back();
+          on_stack.erase(w);
+          comp[w] = next_comp;
+          if (w == v) break;
+        }
+        ++next_comp;
+      }
+      std::string finished = v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        low[frames.back().node] =
+            std::min(low[frames.back().node], low[finished]);
+      }
+    }
+  }
+
+  std::map<int, std::vector<std::string>> sccs;
+  for (const auto& [node, c] : comp) sccs[c].push_back(node);
+
+  for (auto& [c, members] : sccs) {
+    (void)c;
+    std::sort(members.begin(), members.end());
+    const std::string& start = members.front();
+    bool self_loop = graph.count({start, start}) != 0;
+    if (members.size() == 1 && !self_loop) continue;
+
+    // Shortest cycle from `start` back to itself inside the SCC.
+    std::vector<std::string> path;
+    if (self_loop) {
+      path = {start, start};
+    } else {
+      std::set<std::string> in_scc(members.begin(), members.end());
+      std::map<std::string, std::string> parent;
+      std::deque<std::string> queue;
+      for (const std::string& n : adj[start]) {
+        if (in_scc.count(n) != 0 && parent.count(n) == 0) {
+          parent[n] = start;
+          queue.push_back(n);
+        }
+      }
+      std::string found;
+      while (!queue.empty() && found.empty()) {
+        std::string v = queue.front();
+        queue.pop_front();
+        if (v == start) {
+          found = v;
+          break;
+        }
+        for (const std::string& w : adj[v]) {
+          if (in_scc.count(w) == 0) continue;
+          if (w == start) {
+            parent[start + "\x01"] = v;  // sentinel key for the return hop
+            found = start;
+            break;
+          }
+          if (parent.count(w) == 0) {
+            parent[w] = v;
+            queue.push_back(w);
+          }
+        }
+      }
+      if (found.empty()) continue;  // disconnected? (cannot happen in SCC)
+      // Reconstruct start → ... → start.
+      std::vector<std::string> rev{start};
+      std::string cur = parent[start + "\x01"];
+      while (cur != start) {
+        rev.push_back(cur);
+        cur = parent[cur];
+      }
+      rev.push_back(start);
+      path.assign(rev.rbegin(), rev.rend());
+    }
+
+    // Assemble the finding: every witness of every edge on the cycle.
+    Finding f;
+    f.rule = "lock-cycle";
+    std::ostringstream msg;
+    msg << "potential deadlock: lock-order cycle ";
+    for (size_t i = 0; i < path.size(); ++i) {
+      if (i != 0) msg << " -> ";
+      msg << path[i];
+    }
+    f.message = msg.str();
+    bool suppressed = false;
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      const auto& wits = graph[{path[i], path[i + 1]}];
+      for (const WitnessSite& w : wits) {
+        f.witness.push_back(w.text);
+        if (IsSuppressed("lock-cycle", w.file, w.line)) suppressed = true;
+        if (f.file.empty()) {
+          f.file = w.file;
+          f.line = w.line;
+        }
+      }
+    }
+    if (!suppressed) findings_.push_back(std::move(f));
+  }
+}
+
+void Analyzer::Finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  ResolveLocks();
+  BuildGraphAndCycles();
+  for (const FunctionRec& fn : functions_) {
+    for (const Finding& f : fn.local_findings) {
+      if (!IsSuppressed(f.rule, f.file, f.line)) findings_.push_back(f);
+    }
+  }
+  std::sort(mutex_decls_.begin(), mutex_decls_.end(),
+            [](const MutexDecl& a, const MutexDecl& b) {
+              return std::tie(a.id, a.file, a.line) <
+                     std::tie(b.id, b.file, b.line);
+            });
+  std::sort(edges_.begin(), edges_.end(),
+            [](const LockEdge& a, const LockEdge& b) {
+              return std::tie(a.from, a.to) < std::tie(b.from, b.to);
+            });
+  std::sort(findings_.begin(), findings_.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+}
+
+std::string Analyzer::LockHierarchyTable() const {
+  // Out-edges per lock id.
+  std::map<std::string, std::vector<std::string>> out;
+  for (const LockEdge& e : edges_) out[e.from].push_back(e.to);
+
+  auto ordinal = [&](const MutexDecl& d) {
+    auto it = rank_values_.find(d.rank);
+    return it == rank_values_.end() ? 1 << 30 : it->second;
+  };
+  std::vector<const MutexDecl*> rows;
+  for (const MutexDecl& d : mutex_decls_) rows.push_back(&d);
+  std::sort(rows.begin(), rows.end(),
+            [&](const MutexDecl* a, const MutexDecl* b) {
+              return std::make_pair(ordinal(*a), a->id) <
+                     std::make_pair(ordinal(*b), b->id);
+            });
+
+  std::ostringstream os;
+  os << "| Ordinal | LockRank | Mutex | Declared | Acquired while held |\n";
+  os << "|---:|---|---|---|---|\n";
+  for (const MutexDecl* d : rows) {
+    os << "| " << (ordinal(*d) == 1 << 30 ? std::string("—")
+                                          : std::to_string(ordinal(*d)))
+       << " | `" << (d->rank.empty() ? std::string("(unranked)") : d->rank)
+       << "` | `" << d->id << "` | " << d->file << ":" << d->line << " | ";
+    auto it = out.find(d->id);
+    if (it == out.end()) {
+      os << "—";
+    } else {
+      std::vector<std::string> targets = it->second;
+      std::sort(targets.begin(), targets.end());
+      targets.erase(std::unique(targets.begin(), targets.end()),
+                    targets.end());
+      for (size_t i = 0; i < targets.size(); ++i) {
+        if (i != 0) os << ", ";
+        os << "`" << targets[i] << "`";
+      }
+    }
+    os << " |\n";
+  }
+  return os.str();
+}
+
+Result<Analyzer> AnalyzeTree(const std::vector<std::string>& roots) {
+  Analyzer analyzer;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (!fs::exists(root, ec)) {
+      return Status::NotFound("analyze root '" + root + "' does not exist");
+    }
+    std::vector<fs::path> files;
+    if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else {
+      for (fs::recursive_directory_iterator it(root, ec), dir_end;
+           it != dir_end && !ec; it.increment(ec)) {
+        const fs::path& p = it->path();
+        if (it->is_directory()) {
+          const std::string name = p.filename().string();
+          if (name.rfind("build", 0) == 0 || name == "lint_fixtures" ||
+              name == "analyze_fixtures" || name == ".git") {
+            it.disable_recursion_pending();
+          }
+          continue;
+        }
+        const std::string ext = p.extension().string();
+        if (ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp") {
+          files.push_back(p);
+        }
+      }
+      if (ec) {
+        return Status::IOError("walking '" + root + "': " + ec.message());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& p : files) {
+      std::ifstream in(p, std::ios::binary);
+      if (!in) return Status::IOError("cannot read " + p.generic_string());
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      analyzer.AddSource(p.generic_string(), buf.str());
+    }
+  }
+  analyzer.Finalize();
+  return analyzer;
+}
+
+std::string FindingsToJson(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "{\"version\":1,\"findings\":[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) os << ",";
+    os << "{\"file\":\"" << JsonEscape(f.file) << "\",\"line\":" << f.line
+       << ",\"rule\":\"" << JsonEscape(f.rule) << "\",\"message\":\""
+       << JsonEscape(f.message) << "\",\"witness\":[";
+    for (size_t w = 0; w < f.witness.size(); ++w) {
+      if (w != 0) os << ",";
+      os << "\"" << JsonEscape(f.witness[w]) << "\"";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace archis::analyze

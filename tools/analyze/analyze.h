@@ -1,0 +1,181 @@
+// archis-analyze: flow-aware static analysis over the archis source tree.
+//
+// Where archis-lint (tools/lint/) pins line-scoped textual invariants,
+// this pass understands enough C++ structure — scopes, function bodies,
+// lock lifetimes — to check two whole-program properties that regexes
+// cannot see:
+//
+//   lock-cycle         Builds the whole-program lock-order graph: an edge
+//                      A → B means "some thread acquires mutex B while
+//                      holding mutex A", discovered either directly inside
+//                      one function body (MutexLock scopes and the manual
+//                      Lock()/Unlock() leader handoff in the WAL are both
+//                      tracked flow-sensitively) or through a direct
+//                      callee defined in the scanned tree. Any cycle in
+//                      the graph is a potential deadlock; the finding
+//                      carries a witness line for every edge on the cycle,
+//                      so a 2-cycle reports both interleavings.
+//
+//   dropped-error-arm  Per-function status propagation: a local Status /
+//                      Result<T> that is branched on for success
+//                      (`.ok()`) but never returned, assigned onward,
+//                      passed to another function, inspected
+//                      (status/message/code/ToString) or explicitly
+//                      IgnoreStatus()-ed has an error arm that falls off
+//                      the end of the function — the silent-data-loss
+//                      shape the [[nodiscard]] layer cannot catch once
+//                      the value has been named.
+//
+// The analysis is deliberately lightweight: a lexer plus a scope tracker,
+// not a compiler. It resolves a lock acquisition to its declaration by
+// member name, preferring (1) a member of the enclosing class, (2) a
+// declaration in the sibling header/source of the use site, (3) a unique
+// global match; unresolvable acquisitions are tracked for scope lifetime
+// but excluded from the graph rather than guessed at. Call edges resolve
+// one level deep (direct callees by unqualified name, union over
+// same-named definitions).
+//
+// The statically derived hierarchy is mirrored at runtime by the
+// LockRank registry (src/common/lock_rank.h): ranks must follow the
+// topological order of this graph, and debug builds assert it per-thread
+// on every acquisition.
+//
+// False positives are suppressed in place, same shape as archis-lint:
+//   // archis-analyze: allow(<rule>) -- <why this is safe>
+// covering the tagged line and the next. For lock-cycle findings the
+// suppression may sit on any witness line of the cycle.
+#ifndef ARCHIS_TOOLS_ANALYZE_ANALYZE_H_
+#define ARCHIS_TOOLS_ANALYZE_ANALYZE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace archis::analyze {
+
+/// One analysis finding.
+struct Finding {
+  std::string file;   // anchor site (first witness / declaration)
+  int line = 0;       // 1-based
+  std::string rule;   // "lock-cycle" | "dropped-error-arm"
+  std::string message;
+  std::vector<std::string> witness;  // one human-readable step per line
+
+  std::string ToString() const;
+};
+
+/// A named mutex declaration discovered in the tree.
+struct MutexDecl {
+  std::string id;      // "Wal::mu_", "BlobStore::CacheShard::mu", ...
+  std::string member;  // "mu_"
+  std::string file;
+  int line = 0;
+  std::string rank;    // "kWal" if declared with a LockRank, else ""
+};
+
+/// A directed lock-order edge with its witnesses.
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::vector<std::string> witness;  // capped; first is the anchor
+  std::string file;                  // anchor site of first witness
+  int line = 0;
+};
+
+/// Whole-program analysis over a set of sources. Feed every file first,
+/// then Finalize() once; the accessors are valid afterwards.
+class Analyzer {
+ public:
+  /// Parses one source file into the program model. `path` is kept for
+  /// reporting and drives sibling-file lock resolution.
+  void AddSource(const std::string& path, const std::string& contents);
+
+  /// Resolves call edges, builds the lock-order graph, runs the checks.
+  void Finalize();
+
+  /// All findings, deterministically ordered, suppressions applied.
+  const std::vector<Finding>& findings() const { return findings_; }
+
+  /// Every named mutex declaration seen (sorted by id).
+  const std::vector<MutexDecl>& mutex_decls() const { return mutex_decls_; }
+
+  /// The lock-order graph (sorted by from/to).
+  const std::vector<LockEdge>& edges() const { return edges_; }
+
+  /// Markdown table of the discovered hierarchy: one row per declared
+  /// mutex, with its rank, declaration site and outgoing edges. This is
+  /// what DESIGN.md §12 embeds.
+  std::string LockHierarchyTable() const;
+
+ private:
+  // Program model. AddSource records acquisitions by member name only;
+  // Finalize resolves them against the full declaration registry (a .cc
+  // may be added before the .h that declares its mutex).
+  struct RawAcq {
+    std::string member;    // last identifier of the lock expression
+    std::string owner;     // receiver ident in `beta.mu_` / `shard.mu`, ""
+    std::string resolved;  // lock id, filled in by Finalize ("" if not)
+    std::string file;
+    int line = 0;
+  };
+  struct RawCall {
+    std::string callee;     // unqualified callee name
+    // Explicit receiver identifier for `obj.f()` / `obj->f()`, "" for a
+    // bare call. A non-`this` receiver cannot dispatch to the caller's
+    // own class, which resolution uses to avoid phantom self-edges.
+    std::string receiver;
+    std::vector<int> held;  // indices into FunctionRec::acquires
+    std::string file;
+    int line = 0;
+  };
+  struct FunctionRec {
+    std::string qual_name;    // "Wal::Append"
+    std::string unqual;       // "Append"
+    std::string class_chain;  // "Wal", "BlobStore::CacheShard", "" if free
+    std::string file;
+    int line = 0;
+    std::vector<RawAcq> acquires;
+    std::vector<std::pair<int, int>> intra_edges;  // (held, acquired)
+    std::vector<RawCall> calls;  // every direct call (held set may be empty)
+    // Local/parameter variable → declared type (last class-like
+    // identifier), harvested lexically. Lets `page.Insert(...)` dispatch
+    // to Page::Insert instead of every Insert in the program.
+    std::map<std::string, std::string> var_types;
+    std::vector<Finding> local_findings;  // dropped-error-arm, unsuppressed
+  };
+
+  void ResolveLocks();
+  void BuildGraphAndCycles();
+
+  std::vector<Finding> findings_;
+  std::vector<MutexDecl> mutex_decls_;
+  std::vector<LockEdge> edges_;
+  std::vector<FunctionRec> functions_;
+  std::map<std::string, int> rank_values_;  // harvested from enum LockRank
+  std::set<std::string> class_names_;       // every class/struct defined
+  // class chain → member name → declared type (same harvest as
+  // FunctionRec::var_types but over the class body; resolves `file_->`).
+  std::map<std::string, std::map<std::string, std::string>> class_var_types_;
+  // (rule, file, line) triples carrying an allow() suppression.
+  std::vector<std::pair<std::string, std::pair<std::string, int>>> allows_;
+  bool finalized_ = false;
+
+  bool IsSuppressed(const std::string& rule, const std::string& file,
+                    int line) const;
+};
+
+/// Loads and analyzes every *.h/*.cc/*.cpp under `roots` (skipping build
+/// trees and seeded fixture directories), returning a finalized Analyzer.
+Result<Analyzer> AnalyzeTree(const std::vector<std::string>& roots);
+
+/// Machine-readable form: {"version":1,"findings":[{file,line,rule,
+/// message,witness:[...]}]}.
+std::string FindingsToJson(const std::vector<Finding>& findings);
+
+}  // namespace archis::analyze
+
+#endif  // ARCHIS_TOOLS_ANALYZE_ANALYZE_H_

@@ -1,0 +1,72 @@
+// archis-analyze CLI.
+//
+//   archis-analyze [--json] [--lock-table] <root>...
+//
+// Analyzes every C++ source under the given roots. Exit code 0 when the
+// tree is clean, 1 when there are unsuppressed findings, 2 on usage or
+// I/O errors. --json emits the machine-readable findings document on
+// stdout instead of the human-readable report; --lock-table prints the
+// discovered lock-hierarchy markdown table (used to regenerate the
+// DESIGN.md §12 table) and nothing else.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analyze/analyze.h"
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool lock_table = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--lock-table") {
+      lock_table = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: archis-analyze [--json] [--lock-table] <root>...\n");
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr,
+                 "usage: archis-analyze [--json] [--lock-table] <root>...\n");
+    return 2;
+  }
+
+  auto result = archis::analyze::AnalyzeTree(roots);
+  if (!result.ok()) {
+    std::fprintf(stderr, "archis-analyze: %s\n",
+                 result.status().ToString().c_str());
+    return 2;
+  }
+  const archis::analyze::Analyzer& analyzer = result.value();
+
+  if (lock_table) {
+    std::fputs(analyzer.LockHierarchyTable().c_str(), stdout);
+    return analyzer.findings().empty() ? 0 : 1;
+  }
+  if (json) {
+    std::fputs(archis::analyze::FindingsToJson(analyzer.findings()).c_str(),
+               stdout);
+    std::fputc('\n', stdout);
+    return analyzer.findings().empty() ? 0 : 1;
+  }
+
+  for (const auto& f : analyzer.findings()) {
+    std::fprintf(stdout, "%s\n", f.ToString().c_str());
+  }
+  if (analyzer.findings().empty()) {
+    std::fprintf(stdout,
+                 "archis-analyze: clean (%zu mutexes, %zu lock-order edges)\n",
+                 analyzer.mutex_decls().size(), analyzer.edges().size());
+    return 0;
+  }
+  std::fprintf(stdout, "archis-analyze: %zu finding(s)\n",
+               analyzer.findings().size());
+  return 1;
+}

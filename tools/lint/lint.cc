@@ -213,6 +213,63 @@ void CheckVoidMutator(const RuleContext& ctx) {
   }
 }
 
+// ---- Rule: lock-rank ------------------------------------------------------
+
+void CheckLockRank(const RuleContext& ctx) {
+  // Named mutexes in src/ must join the lock hierarchy at declaration.
+  // The primitive's own internals are exempt; tests and tools may declare
+  // scratch mutexes (fixtures, selftests) without a rank.
+  if (!PathContains(ctx.path, "src/")) return;
+  if (PathEndsWithAny(ctx.path, {"common/mutex.h"})) return;
+  static const std::string kNeedle = "Mutex";
+  size_t pos = 0;
+  while ((pos = ctx.code.find(kNeedle, pos)) != std::string::npos) {
+    const size_t start = pos;
+    pos += kNeedle.size();
+    // Whole token only: MutexLock, SomeMutexish etc. are not declarations
+    // of archis::Mutex.
+    if (start > 0 && IsIdentChar(ctx.code[start - 1])) continue;
+    if (pos < ctx.code.size() && IsIdentChar(ctx.code[pos])) continue;
+    size_t i = pos;
+    auto skip_ws = [&] {
+      while (i < ctx.code.size() &&
+             std::isspace(static_cast<unsigned char>(ctx.code[i]))) {
+        ++i;
+      }
+    };
+    skip_ws();
+    // `Mutex&`, `Mutex*`, `Mutex(` ... are uses, not declarations.
+    if (i >= ctx.code.size() || !IsIdentChar(ctx.code[i]) ||
+        std::isdigit(static_cast<unsigned char>(ctx.code[i])) != 0) {
+      continue;
+    }
+    while (i < ctx.code.size() && IsIdentChar(ctx.code[i])) ++i;
+    skip_ws();
+    if (i >= ctx.code.size()) continue;
+    if (ctx.code[i] == ';') {
+      ctx.Report("lock-rank", start,
+                 "named archis::Mutex declared without a LockRank; "
+                 "construct it with an ordinal from common/lock_rank.h "
+                 "(e.g. Mutex mu_{LockRank::kWal}) so rank-monotonic "
+                 "acquisition is enforced in debug builds");
+      continue;
+    }
+    if (ctx.code[i] == '{') {
+      size_t close = ctx.code.find('}', i);
+      if (close == std::string::npos) continue;
+      if (ctx.code.substr(i, close - i).find("LockRank") ==
+          std::string::npos) {
+        ctx.Report("lock-rank", start,
+                   "named archis::Mutex initialized without a LockRank; "
+                   "construct it with an ordinal from common/lock_rank.h "
+                   "(e.g. Mutex mu_{LockRank::kWal}) so rank-monotonic "
+                   "acquisition is enforced in debug builds");
+      }
+      continue;
+    }
+  }
+}
+
 // ---- Rule: deprecated-api -------------------------------------------------
 
 void CheckDeprecatedApi(const RuleContext& ctx) {
@@ -446,6 +503,7 @@ std::vector<Finding> LintSource(const std::string& path,
   CheckRawInterval(ctx);
   CheckRawMutex(ctx);
   CheckVoidMutator(ctx);
+  CheckLockRank(ctx);
   CheckDeprecatedApi(ctx);
   CheckRawLogging(ctx);
   CheckPlanOwnership(ctx);

@@ -34,6 +34,12 @@
 //                      in archis/planner.*; constructing one anywhere else
 //                      in src/ ships an unplanned shape to the executor.
 //                      Consumers hold references/pointers only.
+//   lock-rank          Every named archis::Mutex declared in src/ must be
+//                      constructed with a LockRank from common/lock_rank.h
+//                      (e.g. `Mutex mu_{LockRank::kWal};`). Ranked locks
+//                      are what the debug-build monotonic-acquisition
+//                      assertion and archis-analyze's lock-order graph
+//                      key off; an unranked mutex is invisible to both.
 //
 // Findings on a line (or the line below) can be suppressed with a comment:
 //   // archis-lint: allow(<rule>) -- <why this is safe>
