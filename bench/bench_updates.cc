@@ -149,7 +149,12 @@ void BM_CommitBatch(benchmark::State& state) {
   }
   int64_t salary = 50000;
   for (auto _ : state) {
-    core::Transaction txn = (*db)->Begin();
+    auto begun = (*db)->Begin();
+    if (!begun.ok()) {
+      state.SkipWithError(begun.status().ToString().c_str());
+      return;
+    }
+    core::Transaction txn = std::move(*begun);
     for (int i = 0; i < batch; ++i) {
       const int64_t id = i % kRows + 1;
       minirel::Tuple row{minirel::Value(id), minirel::Value("emp"),
@@ -223,7 +228,9 @@ void BM_RecoveryReplay(benchmark::State& state) {
       }
       int64_t salary = 50000;
       auto commit_one = [&](int i) {
-        core::Transaction txn = (*db)->Begin();
+        auto begun = (*db)->Begin();
+        if (!begun.ok()) return false;
+        core::Transaction txn = std::move(*begun);
         const int64_t id = i % kRows + 1;
         minirel::Tuple row{minirel::Value(id), minirel::Value("emp"),
                            minirel::Value(++salary)};

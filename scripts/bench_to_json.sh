@@ -4,6 +4,8 @@
 #   bench_queries       -> BENCH_queries.json       (Table 3 / Figure 8)
 #   bench_updates       -> BENCH_updates.json       (Section 8.4 updates)
 #   bench_observability -> BENCH_observability.json (metrics overhead)
+#   bench_concurrency   -> BENCH_concurrency.json   (commit throughput vs
+#                          writer count; checkpoint time vs DB size)
 #   recovery            -> BENCH_recovery.json      (recovery time vs WAL
 #                          size, with/without checkpoint; a filtered run of
 #                          bench_updates)
@@ -24,7 +26,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 SUITES=("$@")
 if [[ ${#SUITES[@]} -eq 0 ]]; then
-  SUITES=(queries updates observability recovery)
+  SUITES=(queries updates observability recovery concurrency)
 fi
 
 for suite in "${SUITES[@]}"; do

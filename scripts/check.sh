@@ -8,8 +8,10 @@
 #   4. archis-analyze over src/ and tools/: whole-program lock-order
 #      cycle search and status-propagation check (DESIGN.md §12).
 #   5. recovery_fuzz smoke sweep: randomized WAL crash points, checkpoint
-#      crash-phase sweeps, and auto-checkpoint + crash combinations must
-#      all recover to the durably-committed state exactly.
+#      crash-phase sweeps, auto-checkpoint + crash combinations, and a
+#      concurrent-writer pass (4 threads, fuzzy checkpoints mid-flight,
+#      commit-time conflicts on a shared key) must all recover to the
+#      durably-committed state exactly.
 #   6. metrics smoke: archis-stats on a durable workload must produce the
 #      full profile span tree and a well-formed, non-zero exposition.
 #   7. planner-forced equivalence: the translated-vs-native equivalence
@@ -89,7 +91,7 @@ step "[3/9] archis-lint (domain invariants)"
 step "[4/9] archis-analyze (lock-order graph + status propagation)"
 ./build-check/tools/archis-analyze src tools
 
-step "[5/9] recovery fuzz (WAL crash points + checkpoint phases)"
+step "[5/9] recovery fuzz (WAL crash points + checkpoint phases + concurrent writers)"
 ./build-check/tools/recovery_fuzz --runs "${FUZZ_RUNS:-8}"
 
 step "[6/9] metrics smoke (profile spans + exposition)"

@@ -19,9 +19,17 @@
 //   db.Insert("employees", row);               // auto-commits (kTrigger)
 //   db.AdvanceClock(Date::FromYmd(1995, 6, 1));
 //   auto txn = db.Begin();                     // explicit write batch
-//   txn.Update("employees", key, new_row);     //   ... more DML ...
-//   txn.Commit();                              // one timestamp, durable
+//   txn->Update("employees", key, new_row);    //   ... more DML ...
+//   txn->Commit();                             // one timestamp, durable
 //   auto xml = db.Query("for $e in doc(\"employees.xml\")/...");
+//
+// Concurrency: any number of transactions (up to
+// ArchISOptions::max_open_transactions) may be open at once, each owned by
+// one thread. DML buffers in the transaction (deferred apply); Commit
+// validates the write set against every transaction that committed since
+// Begin (first committer wins) and applies + archives + logs the batch
+// atomically under the commit lock. A conflicting commit fails with
+// StatusCode::kConflict and aborts the transaction.
 //
 // Durability: configure ArchISOptions::wal.path and construct through
 // ArchIS::Open, which replays the log (crash recovery) before accepting
@@ -30,15 +38,20 @@
 #ifndef ARCHIS_ARCHIS_ARCHIS_H_
 #define ARCHIS_ARCHIS_ARCHIS_H_
 
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "archis/archiver.h"
 #include "archis/checkpoint.h"
 #include "common/lock_rank.h"
 #include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/trace.h"
 #include "archis/publisher.h"
 #include "archis/relation_spec.h"
@@ -55,6 +68,9 @@ struct ArchISOptions {
   /// Durable change log; empty path = in-memory only. A WAL-configured
   /// instance must be constructed with ArchIS::Open (which runs recovery).
   WalOptions wal;
+  /// Admission limit for concurrently open transactions (Begin fails with
+  /// InvalidArgument beyond it). The ambient update-log batch counts too.
+  size_t max_open_transactions = 64;
 };
 
 /// Which execution path answered a query.
@@ -93,12 +109,21 @@ struct QueryResult {
 
 class ArchIS;
 
-/// A write batch on one ArchIS instance: DML applies to the current tables
-/// immediately (so reads within the batch see it) while the captured
-/// changes buffer until Commit, which (1) stamps every change with the
-/// commit-instant transaction time, (2) makes the whole batch durable in
-/// the WAL (group commit, fsync), and (3) archives it into the H-tables.
-/// Abort rolls the current tables back and archives nothing.
+/// A write batch on one ArchIS instance. DML buffers in the transaction
+/// (reads through the handle see its own writes; nothing touches the
+/// current tables until Commit), Commit validates the write set against
+/// concurrently committed transactions (first committer wins), stamps
+/// every change with the commit-instant transaction time, makes the batch
+/// durable in the WAL (group commit, fsync) and archives it into the
+/// H-tables. A conflicting Commit fails with StatusCode::kConflict and
+/// the transaction is aborted.
+///
+/// A Transaction is movable but single-thread-affine: the first thread to
+/// use a handle (fresh from Begin, or freshly moved) claims it, and from
+/// then on only that thread may call its methods. A move releases the
+/// claim, so the natural handoff idiom works — move the handle into a
+/// lambda or thread closure and use it over there; the receiving thread
+/// claims it on first use.
 ///
 /// A Transaction must not outlive its ArchIS. Destroying an uncommitted
 /// Transaction aborts it.
@@ -122,12 +147,13 @@ class Transaction {
                 const std::vector<minirel::Value>& key);
 
   /// Durably commits the batch. All changes carry one transaction-time
-  /// instant (the clock at commit). After Commit the handle is finished;
-  /// further DML returns Aborted.
-  Status Commit();
+  /// instant (the clock at commit). Fails with StatusCode::kConflict
+  /// (naming the contested key) when another transaction committed a row
+  /// in this write set after Begin; the transaction is then aborted.
+  /// After Commit the handle is finished; further DML returns Aborted.
+  [[nodiscard]] Status Commit();
 
-  /// Rolls back the current tables to their pre-batch state; nothing is
-  /// logged or archived.
+  /// Discards the batch; nothing is applied, logged or archived.
   Status Abort();
 
   /// Whether the transaction can still accept DML.
@@ -136,19 +162,45 @@ class Transaction {
   /// Buffered, not-yet-committed changes.
   size_t pending() const { return changes_.size(); }
 
+  /// Transaction id (WAL frame correlation; diagnostics).
+  uint64_t id() const { return txn_id_; }
+
  private:
   friend class ArchIS;
-  Transaction(ArchIS* db, bool stamp_at_commit);
 
-  /// Marks the handle finished and releases its open-transaction count.
-  void Finish();
+  /// Write-set overlay entry: the transaction's view of one key.
+  /// `row` is the pending current-table tuple (nullopt = deleted);
+  /// `display` renders the key for conflict messages.
+  struct OverlayEntry {
+    std::optional<minirel::Tuple> row;
+    std::string display;
+  };
+
+  Transaction(ArchIS* db, uint64_t txn_id, uint64_t begin_seq,
+              bool stamp_at_commit);
+
+  /// Rejects calls from any thread but the owner (see class comment);
+  /// claims the calling thread when the handle is freshly moved.
+  Status CheckThread();
 
   ArchIS* db_;
+  uint64_t txn_id_;
+  /// Commit sequence number at Begin; commits with a later sequence on an
+  /// overlapping key are conflicts.
+  uint64_t begin_seq_;
   std::vector<ChangeRecord> changes_;
+  /// Write set keyed by relation + encoded key values.
+  std::map<std::string, OverlayEntry> overlay_;
+  /// Owning thread. A move resets it to the null id ("unclaimed"); the
+  /// first use after a move claims the calling thread.
+  std::thread::id owner_;
   /// Explicit transactions stamp all changes at commit (one instant);
   /// the ambient update-log batch keeps per-statement dates.
   bool stamp_at_commit_;
   bool finished_ = false;
+  /// Whether a BEGIN frame has been written for this txn (lazily, on the
+  /// first DML statement).
+  bool wal_begun_ = false;
 };
 
 /// A transaction-time temporal database on a relational engine.
@@ -159,10 +211,11 @@ class ArchIS {
   /// runs first.
   ArchIS(ArchISOptions options, Date start_date);
 
-  /// Builds an instance with a durable change log: replays any committed
-  /// work found at `options.wal.path` (crash recovery — truncating a torn
-  /// tail), then opens the log for appending. With an empty WAL path this
-  /// is just the in-memory constructor.
+  /// Builds an instance with a durable change log: restores the newest
+  /// checkpoint chain (base manifest + incremental deltas), replays the
+  /// WAL suffix of commits past the chain (truncating a torn tail), then
+  /// opens the log for appending. With an empty WAL path this is just the
+  /// in-memory constructor.
   static Result<std::unique_ptr<ArchIS>> Open(ArchISOptions options,
                                               Date start_date);
 
@@ -174,32 +227,25 @@ class ArchIS {
   /// `spec.entity_tag` to the root tag with a trailing 's' stripped.
   Status CreateRelation(const RelationSpec& spec);
 
-  [[deprecated(
-      "pass a RelationSpec: the DocBinding/doc_name parameters duplicate "
-      "it")]]
-  Status CreateRelation(const std::string& name,
-                        const minirel::Schema& schema,
-                        const std::vector<std::string>& key_columns,
-                        const DocBinding& doc,
-                        const std::string& doc_name);
-
   /// Drops the current table; history stays queryable, and the relation's
   /// interval closes in the global relations table.
   Status DropRelation(const std::string& name);
 
   // -- Transaction clock -------------------------------------------------------
 
-  /// Advances the transaction-time clock (must not go backwards, and must
-  /// not move while an explicit transaction is open — a transaction
-  /// commits at one instant).
+  /// Advances the transaction-time clock (must not go backwards). Open
+  /// transactions are unaffected: their changes are stamped at the clock
+  /// value of their commit instant, not of their Begin.
   Status AdvanceClock(Date now);
   Date Now() const { return clock_; }
 
   // -- Transactional DML on the current database --------------------------------
 
   /// Starts an explicit write batch. All its changes commit atomically at
-  /// one transaction-time instant.
-  Transaction Begin();
+  /// one transaction-time instant. Fails (InvalidArgument) when
+  /// max_open_transactions handles are already open, or on a
+  /// WAL-configured instance that skipped recovery.
+  [[nodiscard]] Result<Transaction> Begin();
 
   /// Statement-level DML. In kTrigger capture mode each call is its own
   /// auto-committed transaction (durably logged before returning); in
@@ -218,10 +264,6 @@ class ArchIS {
 
   /// Buffered statement-level changes awaiting Commit.
   size_t pending_changes() const;
-
-  [[deprecated("use Transaction::Commit (explicit batches) or "
-               "ArchIS::Commit (ambient update-log batch)")]]
-  Status FlushLog();
 
   // -- Queries ------------------------------------------------------------------
 
@@ -268,11 +310,15 @@ class ArchIS {
   /// yields the same state as replaying it once.
   Status ApplyRecovered(const WalCommittedTxn& txn);
 
-  /// Checkpoints the instance (DESIGN.md §10): snapshots all durable state
-  /// into a manifest next to the WAL, installs it atomically, then
-  /// truncates the WAL to a single marker — after which recovery replays
-  /// only post-checkpoint commits. Requires a WAL-backed instance at
-  /// quiesce (no open transaction, no buffered ambient changes).
+  /// Fuzzy incremental checkpoint (DESIGN.md §13): captures durable state
+  /// under the commit lock — no quiesce; open transactions keep running —
+  /// and installs it next to the WAL. The first checkpoint (and every
+  /// WalOptions::checkpoint_base_every-th, and the one after any DDL)
+  /// writes a full base manifest via atomic rename; the others append a
+  /// delta holding only rows dirtied since the previous capture, so the
+  /// manifest cost tracks the write rate, not the database size. The WAL
+  /// is truncated to a marker only when the instance happens to be fully
+  /// quiesced; otherwise recovery bounds replay by commit sequence.
   /// `crash_point` injects a deterministic stop for crash-recovery tests;
   /// every injected stop leaves a state recovery handles exactly.
   Status Checkpoint(
@@ -327,16 +373,27 @@ class ArchIS {
     std::string doc_name;
   };
 
+  /// Dirty state drained from one relation by a checkpoint capture, kept
+  /// until the install succeeds so a failed install can merge it back.
+  struct RelationDirty {
+    std::string name;
+    /// Per store (key store first, then attributes): version identities.
+    std::vector<std::set<std::pair<int64_t, int64_t>>> store_dirty;
+    std::vector<std::pair<std::string, int64_t>> surrogates;
+    std::set<std::string> current_keys;
+  };
+
   /// Fails DML on a WAL-configured instance that skipped recovery.
   Status CheckWritable() const;
 
   Status CreateRelationInternal(RelationSpec spec, Date open_date,
-                                bool log_to_wal);
+                                bool log_to_wal) ARCHIS_EXCLUDES(commit_mu_);
   Status DropRelationInternal(const std::string& name, Date when,
-                              bool log_to_wal);
+                              bool log_to_wal) ARCHIS_EXCLUDES(commit_mu_);
 
-  // Transaction plumbing: validate + apply to the current table, then
-  // buffer the captured change in `txn`.
+  // Transaction plumbing: validate against the transaction's view (its
+  // overlay, then the committed table), buffer the change and its WAL
+  // frame. Nothing is applied until Commit.
   Status TxnInsert(Transaction* txn, const std::string& relation,
                    const minirel::Tuple& row);
   Status TxnUpdate(Transaction* txn, const std::string& relation,
@@ -345,24 +402,60 @@ class ArchIS {
   Status TxnDelete(Transaction* txn, const std::string& relation,
                    const std::vector<minirel::Value>& key);
 
-  /// Commit tail shared by every path: stamp (explicit batches), WAL
-  /// (durability), archive (H-tables).
-  Status CommitChanges(std::vector<ChangeRecord> changes,
-                       bool stamp_at_commit);
+  /// Commit protocol: conflict-validate the write set, stamp, apply to
+  /// the current tables, archive, log; wait for durability outside the
+  /// commit lock (group commit).
+  Status CommitTxn(Transaction* txn);
 
-  /// Reverses a batch's current-table effects (Transaction::Abort).
-  Status UndoCurrent(const std::vector<ChangeRecord>& changes);
+  /// Abort protocol: deregister and best-effort log an ABORT frame.
+  Status AbortTxn(Transaction* txn);
+
+  /// Applies one committed change to the current table + H-tables and
+  /// marks the row dirty for the next incremental checkpoint.
+  Status ApplyCommitted(const ChangeRecord& change)
+      ARCHIS_REQUIRES(commit_mu_);
+
+  /// Deregisters `txn_id`; the last one out clears the committed-writer
+  /// index (nothing left to conflict with).
+  void UnregisterTxnLocked(uint64_t txn_id) ARCHIS_REQUIRES(commit_mu_);
 
   /// Replays one recovered change; skips changes already applied.
-  Status ReplayChange(const ChangeRecord& change);
+  Status ReplayChange(const ChangeRecord& change)
+      ARCHIS_REQUIRES(commit_mu_);
 
   /// Rebuilds catalog, H-tables, surrogates, current tables and clock from
-  /// a manifest (recovery, before the WAL suffix is replayed).
+  /// a base manifest (recovery, before deltas and the WAL suffix).
   Status RestoreFromCheckpoint(const CheckpointManifest& manifest);
 
-  /// Snapshot of one registered relation for a manifest.
-  Result<CheckpointRelation> CaptureRelation(
-      const std::string& name, const TimeInterval& interval) const;
+  /// Applies one incremental delta manifest on top of the restored base:
+  /// upserts store rows by version identity, merges surrogates, installs
+  /// the statistics snapshots and patches the current tables.
+  Status ApplyCheckpointDelta(const CheckpointManifest& manifest);
+
+  /// Clears every dirty marker (stores, surrogates, current keys) after a
+  /// chain restore; WAL-suffix replay re-marks what it touches.
+  void ClearAllDirty();
+
+  /// Full snapshot of one registered relation for a base manifest.
+  Result<CheckpointRelation> CaptureRelation(const std::string& name,
+                                             const TimeInterval& interval)
+      ARCHIS_REQUIRES(commit_mu_);
+
+  /// Dirty-rows-only snapshot for a delta manifest; drains dirty state
+  /// into `drained` for merge-back on install failure.
+  Result<CheckpointRelation> CaptureRelationDelta(const std::string& name,
+                                                  const TimeInterval& interval,
+                                                  RelationDirty* drained)
+      ARCHIS_REQUIRES(commit_mu_);
+
+  /// Drains dirty state of `name` without capturing (base captures are
+  /// full, but must still reset the delta baseline).
+  void DrainDirty(const std::string& name, RelationDirty* drained)
+      ARCHIS_REQUIRES(commit_mu_);
+
+  /// Re-marks dirty state drained by a capture whose install failed.
+  void MergeDirtyBack(const std::vector<RelationDirty>& drained)
+      ARCHIS_REQUIRES(commit_mu_);
 
   /// A cost-based physical plan cached by ArchIS::Execute, keyed by
   /// AppendPlanCacheKey (planner.h). `epoch` is the plan_epoch_ value at
@@ -386,17 +479,33 @@ class ArchIS {
   /// us is already durable, and a dead WAL surfaces on the next commit.
   void MaybeAutoCheckpoint();
 
+  /// Starts a transaction; explicit batches stamp at commit, the ambient
+  /// update-log batch keeps per-statement dates.
+  Result<Transaction> BeginInternal(bool stamp_at_commit);
+
   /// The ambient statement-level batch (kUpdateLog mode), lazily begun.
-  Transaction* AmbientTxn();
+  Result<Transaction*> AmbientTxn();
 
   Result<storage::RecordId> FindByKey(minirel::Table* table,
                                       const RelationInfo& info,
                                       const std::vector<minirel::Value>& key,
                                       minirel::Tuple* row) const;
 
-  /// Key column values of `row` under `info` (for replay/undo lookups).
+  /// Key column values of `row` under `info` (for replay/apply lookups).
   static std::vector<minirel::Value> KeyOf(const RelationInfo& info,
                                            const minirel::Tuple& row);
+
+  /// Write-set key: relation + '\0' + encoded key values.
+  static std::string WriteSetKey(const std::string& relation,
+                                 const std::vector<minirel::Value>& key);
+
+  /// Self-describing encoding of the key values (decodable without a
+  /// schema — delta manifests persist these for current-table deletes).
+  static std::string EncodeKeyValues(const std::vector<minirel::Value>& key);
+
+  /// "relation(v1, v2)" — the conflict-message rendering of a key.
+  static std::string DisplayKey(const std::string& relation,
+                                const std::vector<minirel::Value>& key);
 
   ArchISOptions options_;
   Date clock_;
@@ -405,9 +514,39 @@ class ArchIS {
   Archiver archiver_;
   std::unique_ptr<Wal> wal_;
   std::unique_ptr<Transaction> ambient_;
-  /// Open explicit (stamp-at-commit) transactions; blocks AdvanceClock.
-  int open_stamped_txns_ = 0;
   std::map<std::string, RelationInfo> relations_;
+
+  /// Commit lock: serializes DML validation, commit apply, clock moves
+  /// and DDL. Held briefly; commit durability waits happen outside it.
+  Mutex commit_mu_{LockRank::kFacadeCommit};
+  /// Monotone commit sequence (order of committed transactions).
+  uint64_t commit_seq_ ARCHIS_GUARDED_BY(commit_mu_) = 0;
+  /// Txn-id source for in-memory instances (WAL instances use the log's).
+  uint64_t next_txn_id_ ARCHIS_GUARDED_BY(commit_mu_) = 1;
+  /// Ids of open transactions (admission + checkpoint active table).
+  std::set<uint64_t> open_txns_ ARCHIS_GUARDED_BY(commit_mu_);
+  /// Last commit sequence that wrote each write-set key. Cleared when the
+  /// last open transaction finishes (no one left to conflict).
+  std::unordered_map<std::string, uint64_t> key_last_writer_
+      ARCHIS_GUARDED_BY(commit_mu_);
+  /// Current-table rows (encoded key values per relation) written since
+  /// the last checkpoint capture.
+  std::map<std::string, std::set<std::string>> dirty_current_keys_
+      ARCHIS_GUARDED_BY(commit_mu_);
+  /// Forces the next checkpoint to write a full base manifest. Starts
+  /// true (fresh or recovered instances have no in-process chain) and is
+  /// re-set by DDL, whose effects deltas cannot express.
+  bool ddl_since_checkpoint_ ARCHIS_GUARDED_BY(commit_mu_) = true;
+
+  /// Serializes checkpoint captures/installs against each other (ranked
+  /// outside the commit lock: capture acquires commit_mu_ inside it).
+  Mutex checkpoint_mu_{LockRank::kFacadeCheckpoint};
+  /// Manifests in the current chain file (base + deltas appended since).
+  size_t checkpoint_chain_len_ ARCHIS_GUARDED_BY(checkpoint_mu_) = 0;
+  /// Bytes of complete manifests in the chain file (append offset for the
+  /// next delta; stale bytes past it are truncated away).
+  uint64_t checkpoint_file_valid_bytes_ ARCHIS_GUARDED_BY(checkpoint_mu_) = 0;
+
   /// Plan cache for Execute (mutable: queries are const). The mutex makes
   /// the cache safe under concurrent read-only queries; mutations happen
   /// single-threaded but still bump the epoch under the lock.
@@ -416,10 +555,11 @@ class ArchIS {
       ARCHIS_GUARDED_BY(plan_cache_mu_);
   /// Bumped by InvalidatePlanCache on every statistics-changing mutation.
   mutable uint64_t plan_epoch_ ARCHIS_GUARDED_BY(plan_cache_mu_) = 0;
+  /// Wal::bytes_written() at the last checkpoint (auto-checkpoint delta).
+  uint64_t wal_bytes_at_last_checkpoint_ ARCHIS_GUARDED_BY(checkpoint_mu_) =
+      0;
   /// Last checkpoint written or recovered from (0 = none).
   uint64_t checkpoint_seq_ = 0;
-  /// Wal::bytes_written() at the last checkpoint (auto-checkpoint delta).
-  uint64_t wal_bytes_at_last_checkpoint_ = 0;
   uint64_t last_recovery_replayed_bytes_ = 0;
 };
 

@@ -30,8 +30,11 @@ using storage::AppendFrame;
 // "CKP1", little-endian.
 constexpr uint32_t kMagic = 0x31504B43;
 // Version 2 added per-store statistics blobs after the current rows;
-// version-1 manifests (no stats) still decode, with empty store_stats.
-constexpr uint32_t kVersion = 2;
+// version 3 added the incremental chain (base/delta kind, prev_seq,
+// absorbed commit sequence, active-transaction table, per-relation full
+// flag and current-key deletes). Older manifests still decode, with the
+// pre-incremental defaults (full base, offset-based replay).
+constexpr uint32_t kVersion = 3;
 constexpr uint32_t kMinVersion = 1;
 
 enum class RecordType : uint8_t { kHeader = 1, kRelation = 2, kFooter = 3 };
@@ -104,6 +107,12 @@ Result<std::string> EncodeRelation(const CheckpointRelation& rel) {
   for (const std::string& stats : rel.store_stats) {
     AppendLengthPrefixed(stats, &payload);
   }
+  // v3: delta support — full flag and deleted current keys.
+  payload.push_back(rel.full ? 1 : 0);
+  AppendU32(static_cast<uint32_t>(rel.current_deletes.size()), &payload);
+  for (const std::string& key : rel.current_deletes) {
+    AppendLengthPrefixed(key, &payload);
+  }
   return payload;
 }
 
@@ -156,7 +165,55 @@ Result<CheckpointRelation> DecodeRelation(uint32_t version,
       rel.store_stats.push_back(std::move(stats));
     }
   }
+  if (version >= 3) {
+    if (*pos >= payload.size()) {
+      return Status::Corruption("checkpoint relation truncated (full flag)");
+    }
+    rel.full = payload[*pos] != 0;
+    ++*pos;
+    ARCHIS_ASSIGN_OR_RETURN(uint32_t ndeletes, ReadU32(payload, pos));
+    for (uint32_t i = 0; i < ndeletes; ++i) {
+      ARCHIS_ASSIGN_OR_RETURN(std::string key,
+                              ReadLengthPrefixed(payload, pos));
+      rel.current_deletes.push_back(std::move(key));
+    }
+  }
   return rel;
+}
+
+Result<CheckpointManifest> DecodeHeader(std::string_view payload,
+                                        size_t* pos) {
+  CheckpointManifest manifest;
+  ARCHIS_ASSIGN_OR_RETURN(uint32_t magic, ReadU32(payload, pos));
+  ARCHIS_ASSIGN_OR_RETURN(uint32_t version, ReadU32(payload, pos));
+  if (magic != kMagic) {
+    return Status::Corruption("checkpoint manifest bad magic");
+  }
+  if (version < kMinVersion || version > kVersion) {
+    return Status::Corruption("checkpoint manifest version " +
+                              std::to_string(version) + " unsupported");
+  }
+  manifest.version = version;
+  ARCHIS_ASSIGN_OR_RETURN(manifest.seq, ReadU64(payload, pos));
+  ARCHIS_ASSIGN_OR_RETURN(manifest.clock_days, ReadI64(payload, pos));
+  ARCHIS_ASSIGN_OR_RETURN(manifest.next_txn_id, ReadU64(payload, pos));
+  ARCHIS_ASSIGN_OR_RETURN(manifest.wal_offset, ReadU64(payload, pos));
+  if (version >= 3) {
+    if (*pos >= payload.size()) {
+      return Status::Corruption("checkpoint header truncated (kind)");
+    }
+    manifest.base = payload[*pos] != 0;
+    ++*pos;
+    ARCHIS_ASSIGN_OR_RETURN(manifest.prev_seq, ReadU64(payload, pos));
+    ARCHIS_ASSIGN_OR_RETURN(manifest.absorbed_commit_seq,
+                            ReadU64(payload, pos));
+    ARCHIS_ASSIGN_OR_RETURN(uint32_t nactive, ReadU32(payload, pos));
+    for (uint32_t i = 0; i < nactive; ++i) {
+      ARCHIS_ASSIGN_OR_RETURN(uint64_t id, ReadU64(payload, pos));
+      manifest.active_txn_ids.push_back(id);
+    }
+  }
+  return manifest;
 }
 
 Status WriteFileDurably(const std::string& path, const std::string& bytes,
@@ -242,6 +299,13 @@ Result<std::string> EncodeCheckpointManifest(
   AppendI64(manifest.clock_days, &header);
   AppendU64(manifest.next_txn_id, &header);
   AppendU64(manifest.wal_offset, &header);
+  header.push_back(manifest.base ? 1 : 0);
+  AppendU64(manifest.prev_seq, &header);
+  AppendU64(manifest.absorbed_commit_seq, &header);
+  AppendU32(static_cast<uint32_t>(manifest.active_txn_ids.size()), &header);
+  for (uint64_t id : manifest.active_txn_ids) {
+    AppendU64(id, &header);
+  }
   AppendFrame(header, &out);
   for (const CheckpointRelation& rel : manifest.relations) {
     ARCHIS_ASSIGN_OR_RETURN(std::string payload, EncodeRelation(rel));
@@ -254,15 +318,15 @@ Result<std::string> EncodeCheckpointManifest(
   return out;
 }
 
-Result<CheckpointManifest> ReadCheckpointManifest(const std::string& path) {
+Result<CheckpointChain> ReadCheckpointChain(const std::string& path) {
   ARCHIS_ASSIGN_OR_RETURN(storage::LogScan scan, storage::ScanLogFile(path));
   if (scan.records.empty()) {
-    return Status::Corruption("checkpoint manifest '" + path +
+    return Status::Corruption("checkpoint chain '" + path +
                               "' missing or empty");
   }
-  CheckpointManifest manifest;
-  uint32_t manifest_version = kVersion;
-  bool footer_seen = false;
+  CheckpointChain chain;
+  CheckpointManifest current;
+  bool in_progress = false;
   for (size_t i = 0; i < scan.records.size(); ++i) {
     std::string_view payload = scan.records[i].payload;
     if (payload.empty()) {
@@ -270,44 +334,43 @@ Result<CheckpointManifest> ReadCheckpointManifest(const std::string& path) {
     }
     auto type = static_cast<RecordType>(payload[0]);
     size_t pos = 1;
-    if (i == 0) {
-      if (type != RecordType::kHeader) {
-        return Status::Corruption("checkpoint manifest missing header");
-      }
-      ARCHIS_ASSIGN_OR_RETURN(uint32_t magic, ReadU32(payload, &pos));
-      ARCHIS_ASSIGN_OR_RETURN(uint32_t version, ReadU32(payload, &pos));
-      if (magic != kMagic) {
-        return Status::Corruption("checkpoint manifest bad magic");
-      }
-      if (version < kMinVersion || version > kVersion) {
-        return Status::Corruption("checkpoint manifest version " +
-                                  std::to_string(version) + " unsupported");
-      }
-      manifest_version = version;
-      ARCHIS_ASSIGN_OR_RETURN(manifest.seq, ReadU64(payload, &pos));
-      ARCHIS_ASSIGN_OR_RETURN(manifest.clock_days, ReadI64(payload, &pos));
-      ARCHIS_ASSIGN_OR_RETURN(manifest.next_txn_id, ReadU64(payload, &pos));
-      ARCHIS_ASSIGN_OR_RETURN(manifest.wal_offset, ReadU64(payload, &pos));
-      continue;
-    }
-    if (footer_seen) {
-      return Status::Corruption("checkpoint manifest has records after "
-                                "the footer");
-    }
     switch (type) {
+      case RecordType::kHeader: {
+        if (in_progress) {
+          // A footer-less manifest can only be the torn *tail* of the
+          // chain (appends truncate to the valid prefix first); a header
+          // on top of one mid-file means the chain was stitched wrongly.
+          return Status::Corruption(
+              "checkpoint header inside an unfinished manifest");
+        }
+        ARCHIS_ASSIGN_OR_RETURN(current, DecodeHeader(payload, &pos));
+        in_progress = true;
+        break;
+      }
       case RecordType::kRelation: {
+        if (!in_progress) {
+          return Status::Corruption("checkpoint relation outside a manifest");
+        }
         ARCHIS_ASSIGN_OR_RETURN(
             CheckpointRelation rel,
-            DecodeRelation(manifest_version, payload, &pos));
-        manifest.relations.push_back(std::move(rel));
+            DecodeRelation(current.version, payload, &pos));
+        current.relations.push_back(std::move(rel));
         break;
       }
       case RecordType::kFooter: {
+        if (!in_progress) {
+          return Status::Corruption("checkpoint footer outside a manifest");
+        }
         ARCHIS_ASSIGN_OR_RETURN(uint64_t seq, ReadU64(payload, &pos));
-        if (seq != manifest.seq) {
+        if (seq != current.seq) {
           return Status::Corruption("checkpoint footer seq mismatch");
         }
-        footer_seen = true;
+        chain.manifests.push_back(std::move(current));
+        current = CheckpointManifest{};
+        in_progress = false;
+        chain.valid_bytes = i + 1 < scan.records.size()
+                                ? scan.records[i + 1].offset
+                                : scan.valid_bytes;
         break;
       }
       default:
@@ -315,42 +378,58 @@ Result<CheckpointManifest> ReadCheckpointManifest(const std::string& path) {
                                   std::to_string(payload[0]));
     }
   }
-  if (!footer_seen) {
-    // The write was torn before completing: the manifest never became
-    // current and must not be trusted.
-    return Status::Corruption("checkpoint manifest '" + path +
-                              "' has no footer (torn write)");
+  // A manifest still open at end-of-scan is a torn append: drop it (its
+  // bytes sit past valid_bytes and will be truncated by the next delta).
+  if (chain.manifests.empty()) {
+    return Status::Corruption("checkpoint chain '" + path +
+                              "' has no complete manifest (torn write)");
   }
-  return manifest;
+  // Validate the chain links: one base, then deltas in sequence order.
+  for (size_t i = 0; i < chain.manifests.size(); ++i) {
+    const CheckpointManifest& m = chain.manifests[i];
+    if (i == 0) {
+      if (!m.base) {
+        return Status::Corruption("checkpoint chain starts with a delta");
+      }
+      continue;
+    }
+    const CheckpointManifest& prior = chain.manifests[i - 1];
+    if (m.base) {
+      return Status::Corruption("checkpoint base manifest mid-chain");
+    }
+    if (m.prev_seq != prior.seq || m.seq <= prior.seq) {
+      return Status::Corruption(
+          "checkpoint delta seq " + std::to_string(m.seq) +
+          " does not extend manifest seq " + std::to_string(prior.seq));
+    }
+  }
+  return chain;
 }
 
-LoadedCheckpoint LoadCheckpoint(const std::string& wal_path) {
-  LoadedCheckpoint loaded;
-  Result<CheckpointManifest> newest =
-      ReadCheckpointManifest(CheckpointPath(wal_path));
+CheckpointChain LoadCheckpointChain(const std::string& wal_path) {
+  Result<CheckpointChain> newest =
+      ReadCheckpointChain(CheckpointPath(wal_path));
   if (newest.ok()) {
-    loaded.manifest = std::move(*newest);
-    return loaded;
+    return std::move(*newest);
   }
-  Result<CheckpointManifest> prev =
-      ReadCheckpointManifest(CheckpointPrevPath(wal_path));
+  Result<CheckpointChain> prev =
+      ReadCheckpointChain(CheckpointPrevPath(wal_path));
   if (prev.ok()) {
-    // The current manifest was unreadable (torn install or corruption)
-    // but the previous generation is intact — recovery proceeds from it,
+    // The current chain was unreadable (torn install or corruption) but
+    // the previous generation is intact — recovery proceeds from it,
     // replaying more WAL. Worth a warning: a torn install is expected
     // after a crash mid-checkpoint, repeated ones are not.
     logging::Warn("checkpoint.fallback")
         .Kv("error", newest.status().ToString());
-    loaded.manifest = std::move(*prev);
-    loaded.fell_back = true;
-    return loaded;
+    prev->fell_back = true;
+    return std::move(*prev);
   }
   // Neither generation is readable: normal for a store that has never
   // checkpointed, so keep it off the warning channel.
   logging::Debug("checkpoint.none")
       .Kv("newest", newest.status().ToString())
       .Kv("prev", prev.status().ToString());
-  return loaded;
+  return CheckpointChain{};
 }
 
 Status InstallCheckpointManifest(const std::string& wal_path,
@@ -379,6 +458,55 @@ Status InstallCheckpointManifest(const std::string& wal_path,
     return Status::IOError(Errno("rename", tmp));
   }
   return SyncDirectoryOf(ckpt);
+}
+
+Status AppendCheckpointDelta(const std::string& wal_path,
+                             const std::string& bytes, uint64_t valid_bytes,
+                             CheckpointCrashPoint crash) {
+  if (crash == CheckpointCrashPoint::kBeforeInstall) {
+    // For a delta, "install" is the append itself: stop before touching
+    // the chain so the file stays exactly as the previous checkpoint
+    // left it.
+    return Status::IOError("injected crash before checkpoint delta append");
+  }
+  const std::string ckpt = CheckpointPath(wal_path);
+  int fd = ::open(ckpt.c_str(), O_WRONLY);
+  if (fd < 0) return Status::IOError(Errno("open", ckpt));
+  // Chop any torn tail from a previously failed append, then extend.
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
+    Status st = Status::IOError(Errno("ftruncate", ckpt));
+    ::close(fd);
+    return st;
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    Status st = Status::IOError(Errno("lseek", ckpt));
+    ::close(fd);
+    return st;
+  }
+  size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Status::IOError(Errno("write", ckpt));
+      ::close(fd);
+      return st;
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (crash == CheckpointCrashPoint::kBeforeManifestSync) {
+    // Appended but not fsynced: after a "crash" the tail may be torn,
+    // which the chain parser tolerates by dropping it.
+    ::close(fd);
+    return Status::IOError("injected crash before checkpoint delta fsync");
+  }
+  if (::fsync(fd) != 0) {
+    Status st = Status::IOError(Errno("fsync", ckpt));
+    ::close(fd);
+    return st;
+  }
+  ::close(fd);
+  return Status::OK();
 }
 
 }  // namespace archis::core

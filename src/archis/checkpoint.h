@@ -1,26 +1,36 @@
 // Checkpoint manifests: bounded-time crash recovery for ArchIS (DESIGN.md
-// §10, after the ARIES-style fuzzy checkpoints of Stasis).
+// §10, §13, after the ARIES-style fuzzy checkpoints of Stasis).
 //
-// A checkpoint persists the instance's full durable state — relation
-// catalog, H-table store rows, surrogate-id assignments, current-table
-// rows, clock and txn-id counter — into a CRC-framed manifest file next to
-// the WAL, installs it atomically (write-temp + fsync + rename, previous
-// manifest kept as a fallback), then truncates the WAL down to a single
-// checkpoint marker. Recovery loads the newest usable manifest and replays
-// only the WAL suffix past it, so recovery time is bounded by the write
-// traffic since the last checkpoint instead of the database's lifetime.
+// A checkpoint persists durable state — relation catalog, H-table store
+// rows, surrogate-id assignments, current-table rows, clock and txn-id
+// counter — into CRC-framed manifests next to the WAL. Since v3 the
+// manifest file is a *chain*: a full base manifest followed by incremental
+// deltas, each carrying only the state dirtied since the previous
+// manifest plus the commit-sequence low-water mark and the table of
+// transactions still open at capture time. Recovery loads the chain
+// (falling back to the previous generation on a torn base), applies the
+// base then each delta, and replays only the WAL suffix past the last
+// absorbed commit sequence — so both checkpoint cost and recovery time
+// are bounded by write traffic, not database size.
 //
-// Manifest layout (frames as in storage/log_file.*):
+// Chain layout (frames as in storage/log_file.*):
 //
+//   chain    := manifest+
 //   manifest := HEADER relation* FOOTER
-//   HEADER   := magic, version, seq, clock, next_txn_id, wal_offset
-//   relation := spec, interval, dropped?, surrogates, store rows, current rows
+//   HEADER   := magic, version, seq, clock, next_txn_id, wal_offset,
+//               base?, prev_seq, absorbed_commit_seq, active_txn_ids
+//   relation := spec, interval, dropped?, surrogates, store rows,
+//               current rows, stats, full?, current deletes
 //   FOOTER   := seq          (absence of the footer = torn manifest)
+//
+// A base manifest is installed atomically (write-temp + fsync + rename,
+// previous chain kept as `.ckpt.prev`); a delta is appended to the live
+// chain file and fsynced. A torn delta append only ever damages the tail,
+// which the chain parser drops.
 #ifndef ARCHIS_ARCHIS_CHECKPOINT_H_
 #define ARCHIS_ARCHIS_CHECKPOINT_H_
 
 #include <cstdint>
-#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -36,9 +46,11 @@ namespace archis::core {
 /// exactly the on-disk state a power loss at that instant would.
 enum class CheckpointCrashPoint {
   kNone,
-  /// Temp manifest written but not fsynced (nothing installed).
+  /// Base: temp manifest written but not fsynced (nothing installed).
+  /// Delta: bytes appended to the chain but not fsynced (torn tail).
   kBeforeManifestSync,
-  /// Temp manifest durable; the rename pair has not run.
+  /// Base: temp manifest durable; the rename pair has not run.
+  /// Delta: nothing appended at all.
   kBeforeInstall,
   /// Manifest installed; the WAL has not been truncated.
   kBeforeWalReset,
@@ -55,30 +67,56 @@ struct CheckpointRelation {
   int64_t close_days = 0;
   bool dropped = false;
   /// Surrogate-id assignments (composite-key relations), sorted by key.
+  /// In a delta: only assignments made since the previous manifest.
   std::vector<std::pair<std::string, int64_t>> surrogates;
   int64_t next_surrogate = 1;
   /// store_rows[0] = key table; store_rows[1 + i] = attribute i's table,
-  /// in HTableSet::attribute_names() order.
+  /// in HTableSet::attribute_names() order. In a delta: only the versions
+  /// dirtied since the previous manifest (upserted by identity (id,
+  /// tstart) at restore).
   std::vector<std::vector<minirel::Tuple>> store_rows;
-  /// Current-table rows (empty for dropped relations).
+  /// Current-table rows (empty for dropped relations). In a delta: only
+  /// rows whose key was written since the previous manifest (upserts).
   std::vector<minirel::Tuple> current_rows;
   /// Encoded StoreStatistics per store (parallel to store_rows), so
   /// recovery installs the checkpointed planner estimates byte-for-byte.
   /// Empty when decoded from a version-1 manifest — the restore rebuild
   /// (LoadCheckpointRows -> LoadVersion) covers that case.
   std::vector<std::string> store_stats;
+  /// Whether this entry carries the relation's complete state (base
+  /// manifests) or only the dirty subset (deltas). Pre-v3 decodes as true.
+  bool full = true;
+  /// Delta only: current-table keys deleted since the previous manifest,
+  /// as schema-free EncodeTuple blobs of the key values.
+  std::vector<std::string> current_deletes;
 };
 
-/// Everything a checkpoint persists.
+/// Everything one checkpoint persists (one link of the chain).
 struct CheckpointManifest {
+  /// Format version this manifest was decoded from (writers always emit
+  /// the current version). Pre-v3 manifests replay the WAL by byte
+  /// offset; v3+ replays by commit sequence.
+  uint32_t version = 3;
   /// Monotonic checkpoint sequence number (matches the WAL marker).
   uint64_t seq = 0;
   int64_t clock_days = 0;
   uint64_t next_txn_id = 1;
-  /// WAL end offset at checkpoint time: recovery replays only items at or
-  /// past this offset (in the log layout of that instant — a log that was
-  /// since truncated announces it with a marker of this seq).
+  /// WAL end offset at checkpoint time (legacy replay filter; v3 keeps
+  /// writing it for diagnostics but recovery filters by commit_seq).
   uint64_t wal_offset = 0;
+  /// Chain linkage: a base starts a chain; a delta extends the manifest
+  /// whose seq equals prev_seq.
+  bool base = true;
+  uint64_t prev_seq = 0;
+  /// Commit-sequence low-water mark: every commit with seq <= this is
+  /// fully reflected in the chain up to and including this manifest;
+  /// recovery replays only WAL items above it.
+  uint64_t absorbed_commit_seq = 0;
+  /// Transactions open at capture time (fuzzy checkpoint): their
+  /// BEGIN/CHANGE frames may precede the capture in the WAL, but their
+  /// effects are not in the manifest — replay picks them up from their
+  /// COMMIT records (seq > absorbed_commit_seq) or drops them.
+  std::vector<uint64_t> active_txn_ids;
   std::vector<CheckpointRelation> relations;
 };
 
@@ -91,35 +129,46 @@ std::string CheckpointTmpPath(const std::string& wal_path);
 /// per non-key column in schema order), mirroring HTableSet::Create.
 Result<std::vector<minirel::Schema>> StoreSchemasFor(const RelationSpec& spec);
 
-/// Serializes a manifest into CRC-framed bytes.
+/// Serializes one manifest (base or delta) into CRC-framed bytes.
 Result<std::string> EncodeCheckpointManifest(
     const CheckpointManifest& manifest);
 
-/// Reads and validates the manifest at `path`: Corruption when the header
-/// or footer is missing or any frame is torn.
-Result<CheckpointManifest> ReadCheckpointManifest(const std::string& path);
-
-/// Outcome of looking for a manifest next to the WAL.
-struct LoadedCheckpoint {
-  /// The newest usable manifest; nullopt when none exists.
-  std::optional<CheckpointManifest> manifest;
-  /// Whether the newest manifest was unusable (torn / mid-install crash)
-  /// and the previous one was used instead.
+/// A parsed manifest chain: the base plus zero or more deltas, in order.
+struct CheckpointChain {
+  std::vector<CheckpointManifest> manifests;
+  /// Byte length of the complete-manifest prefix of the chain file. An
+  /// incomplete tail manifest (torn delta append) is dropped and excluded;
+  /// the next delta append truncates to this before writing.
+  uint64_t valid_bytes = 0;
+  /// Whether the newest chain was unusable and `.ckpt.prev` was loaded.
   bool fell_back = false;
 };
 
-/// Loads `<wal>.ckpt`, falling back to `<wal>.ckpt.prev` when the newest
-/// is missing or torn. Never fails: an unusable pair is just "no
-/// checkpoint" (the caller decides whether that is tolerable).
-LoadedCheckpoint LoadCheckpoint(const std::string& wal_path);
+/// Reads and validates the chain at `path`: the first manifest must be a
+/// base, every later one a delta linked by prev_seq with increasing seq.
+/// An incomplete tail manifest is dropped silently (torn append); missing
+/// header/footer structure anywhere else, or a broken link, is Corruption.
+Result<CheckpointChain> ReadCheckpointChain(const std::string& path);
 
-/// Atomically installs `bytes` as the newest manifest: write the temp
+/// Loads `<wal>.ckpt`, falling back to `<wal>.ckpt.prev` when the newest
+/// chain is missing or unusable. Never fails: an unusable pair is just an
+/// empty chain (the caller decides whether that is tolerable).
+CheckpointChain LoadCheckpointChain(const std::string& wal_path);
+
+/// Atomically installs `bytes` as a fresh base chain: write the temp
 /// file, fsync it, rotate ckpt -> ckpt.prev, rename tmp -> ckpt, fsync the
 /// directory. `crash` injects a stop just before the named step
 /// (kBeforeWalReset completes the install; the caller owns that step).
 Status InstallCheckpointManifest(const std::string& wal_path,
                                  const std::string& bytes,
                                  CheckpointCrashPoint crash);
+
+/// Appends `bytes` (one encoded delta manifest) to the live chain file,
+/// truncating any torn tail past `valid_bytes` first, and fsyncs. The
+/// previous generation (`.ckpt.prev`) is untouched. `crash` as above.
+Status AppendCheckpointDelta(const std::string& wal_path,
+                             const std::string& bytes, uint64_t valid_bytes,
+                             CheckpointCrashPoint crash);
 
 }  // namespace archis::core
 

@@ -1,5 +1,6 @@
 #include "archis/htable.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 namespace archis::core {
@@ -63,8 +64,29 @@ void HTableSet::RestoreSurrogates(
     const std::vector<std::pair<std::string, int64_t>>& entries,
     int64_t next_surrogate) {
   surrogate_ids_.clear();
+  dirty_surrogates_.clear();
   for (const auto& [key, id] : entries) surrogate_ids_[key] = id;
   next_surrogate_ = next_surrogate;
+}
+
+void HTableSet::AddSurrogates(
+    const std::vector<std::pair<std::string, int64_t>>& entries,
+    int64_t next_surrogate) {
+  for (const auto& [key, id] : entries) surrogate_ids_[key] = id;
+  next_surrogate_ = std::max(next_surrogate_, next_surrogate);
+}
+
+std::vector<std::pair<std::string, int64_t>>
+HTableSet::TakeDirtySurrogates() {
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.swap(dirty_surrogates_);
+  return out;
+}
+
+void HTableSet::MergeDirtySurrogates(
+    const std::vector<std::pair<std::string, int64_t>>& entries) {
+  dirty_surrogates_.insert(dirty_surrogates_.begin(), entries.begin(),
+                           entries.end());
 }
 
 Result<int64_t> HTableSet::IdFor(const Tuple& current_row) {
@@ -76,7 +98,10 @@ Result<int64_t> HTableSet::IdFor(const Tuple& current_row) {
     current_row.at(kp).EncodeTo(&encoded);
   }
   auto [it, inserted] = surrogate_ids_.try_emplace(encoded, next_surrogate_);
-  if (inserted) ++next_surrogate_;
+  if (inserted) {
+    ++next_surrogate_;
+    dirty_surrogates_.emplace_back(it->first, it->second);
+  }
   return it->second;
 }
 

@@ -54,9 +54,25 @@ class HTableSet {
   /// Restores surrogate assignments captured by a checkpoint. Must run
   /// before any archival touches this set (fresh instance during
   /// recovery); a stale mapping would hand out ids already in history.
+  /// Clears dirty tracking — restored assignments are already durable.
   void RestoreSurrogates(
       const std::vector<std::pair<std::string, int64_t>>& entries,
       int64_t next_surrogate);
+
+  /// Merges delta-manifest surrogate assignments on top of a restored
+  /// base (recovery only); `next_surrogate` advances the counter.
+  void AddSurrogates(
+      const std::vector<std::pair<std::string, int64_t>>& entries,
+      int64_t next_surrogate);
+
+  /// Surrogate assignments minted since the last checkpoint capture
+  /// (fuzzy incremental checkpoints persist only these in a delta).
+  /// TakeDirtySurrogates drains; MergeDirtySurrogates undoes a failed
+  /// capture.
+  size_t dirty_surrogate_count() const { return dirty_surrogates_.size(); }
+  std::vector<std::pair<std::string, int64_t>> TakeDirtySurrogates();
+  void MergeDirtySurrogates(
+      const std::vector<std::pair<std::string, int64_t>>& entries);
 
   /// The surrogate/natural id for a current tuple; assigns a fresh
   /// surrogate for unseen composite keys.
@@ -111,6 +127,8 @@ class HTableSet {
   std::unique_ptr<SegmentedStore> key_store_;
   std::vector<std::unique_ptr<SegmentedStore>> attr_stores_;
   std::unordered_map<std::string, int64_t> surrogate_ids_;
+  /// Assignments minted since the last checkpoint capture, in mint order.
+  std::vector<std::pair<std::string, int64_t>> dirty_surrogates_;
   int64_t next_surrogate_ = 1;
 };
 

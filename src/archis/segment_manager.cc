@@ -141,6 +141,7 @@ Status SegmentedStore::InsertVersion(int64_t id,
   ++stats_.versions_open;
   stats_.tstart_hist.Add(now.days());
   stats_.distinct_ids.Add(id);
+  dirty_.emplace(id, now.days());
   return Status::OK();
 }
 
@@ -169,6 +170,7 @@ Status SegmentedStore::LoadVersion(int64_t id,
   } else {
     stats_.tend_hist.Add(interval.tend.days());
   }
+  dirty_.emplace(id, interval.tstart.days());
   return Status::OK();
 }
 
@@ -191,6 +193,62 @@ Status SegmentedStore::LoadCheckpointRows(
     ARCHIS_RETURN_NOT_OK(LoadVersion(row.at(0).AsInt(), values, interval));
   }
   return Status::OK();
+}
+
+Status SegmentedStore::UpsertCheckpointRow(const Tuple& row) {
+  if (row.size() != row_schema_.num_columns()) {
+    return Status::Corruption("checkpoint row arity mismatch for " + name_);
+  }
+  const int64_t id = row.at(0).AsInt();
+  const Date tstart = row.at(tstart_col_).AsDate();
+  ARCHIS_ASSIGN_OR_RETURN(
+      TimeInterval interval,
+      MakeIntervalChecked(tstart, row.at(tend_col_).AsDate()));
+  // Restored rows all sit in the live segment (restore never freezes), so
+  // the live id index sees every version of this id.
+  std::optional<storage::RecordId> found_rid;
+  std::optional<Tuple> found_row;
+  const minirel::TableIndex* idx = live_->GetIndex("id");
+  minirel::IndexKey key{Value(id)};
+  ARCHIS_RETURN_NOT_OK(live_->IndexScan(
+      *idx, key, key, [&](const storage::RecordId& r, const Tuple& t) {
+        if (t.at(tstart_col_).AsDate() == tstart) {
+          found_rid = r;
+          found_row = t;
+          return false;
+        }
+        return true;
+      }));
+  if (!found_rid.has_value()) {
+    std::vector<Value> values;
+    for (size_t i = 1; i + 2 < row.size(); ++i) values.push_back(row.at(i));
+    return LoadVersion(id, values, interval);
+  }
+  const bool was_open = found_row->at(tend_col_).AsDate().IsForever();
+  storage::RecordId rid = *found_rid;
+  ARCHIS_RETURN_NOT_OK(live_->Update(&rid, row));
+  // Keep the open/closed counters coherent; the full statistics snapshot
+  // is installed from the delta's stats blob afterwards.
+  if (was_open && !interval.is_current()) {
+    if (live_current_ > 0) --live_current_;
+    if (stats_.versions_open > 0) --stats_.versions_open;
+  } else if (!was_open && interval.is_current()) {
+    ++live_current_;
+    ++stats_.versions_open;
+  }
+  dirty_.emplace(id, tstart.days());
+  return Status::OK();
+}
+
+std::set<std::pair<int64_t, int64_t>> SegmentedStore::TakeDirty() {
+  std::set<std::pair<int64_t, int64_t>> out;
+  out.swap(dirty_);
+  return out;
+}
+
+void SegmentedStore::MergeDirty(
+    const std::set<std::pair<int64_t, int64_t>>& dirty) {
+  dirty_.insert(dirty.begin(), dirty.end());
 }
 
 Status SegmentedStore::FindOpenVersion(int64_t id,
@@ -229,6 +287,7 @@ Status SegmentedStore::CloseVersion(int64_t id, Date now) {
   if (live_current_ > 0) --live_current_;
   if (stats_.versions_open > 0) --stats_.versions_open;
   stats_.tend_hist.Add(end.days());
+  dirty_.emplace(id, row.at(tstart_col_).AsDate().days());
   return FreezeIfNeeded(now);
 }
 
@@ -249,7 +308,9 @@ Status SegmentedStore::ReplaceVersion(int64_t id,
     Tuple row = *found_row;
     for (size_t i = 0; i < values.size(); ++i) row.at(1 + i) = values[i];
     storage::RecordId rid = *found_rid;
-    return live_->Update(&rid, row);
+    ARCHIS_RETURN_NOT_OK(live_->Update(&rid, row));
+    dirty_.emplace(id, now.days());
+    return Status::OK();
   }
   Tuple row = *found_row;
   Date closed_at = now.AddDays(-1);
@@ -262,6 +323,7 @@ Status SegmentedStore::ReplaceVersion(int64_t id,
   if (live_current_ > 0) --live_current_;
   if (stats_.versions_open > 0) --stats_.versions_open;
   stats_.tend_hist.Add(closed_at.days());
+  dirty_.emplace(id, row.at(tstart_col_).AsDate().days());
   ARCHIS_RETURN_NOT_OK(FreezeIfNeeded(now));
   return InsertVersion(id, values, now);
 }

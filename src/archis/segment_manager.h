@@ -27,7 +27,9 @@
 
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "archis/compressed_segment.h"
@@ -140,6 +142,25 @@ class SegmentedStore {
   /// the recovery path, not an append path; physical segmentation is
   /// rebuilt lazily by subsequent freezes.
   Status LoadCheckpointRows(const std::vector<minirel::Tuple>& rows);
+
+  /// Applies one checkpoint-delta row by version identity (id, tstart):
+  /// rewrites the matching live row in place, or bulk-loads the row when
+  /// the version is new. Recovery-only, like LoadCheckpointRows; the
+  /// caller installs the delta's statistics snapshot afterwards.
+  Status UpsertCheckpointRow(const minirel::Tuple& row);
+
+  // -- Dirty tracking (fuzzy incremental checkpoints, DESIGN.md §13) --------
+
+  /// Version identities (id, tstart days) written since the last
+  /// checkpoint capture. A checkpoint drains this with TakeDirty(),
+  /// serializes the named rows into a delta manifest, and merges the set
+  /// back with MergeDirty() if the install fails.
+  size_t dirty_count() const { return dirty_.size(); }
+  std::set<std::pair<int64_t, int64_t>> TakeDirty();
+  void MergeDirty(const std::set<std::pair<int64_t, int64_t>>& dirty);
+  /// Recovery hook: restored rows are not "dirty" (they are already in
+  /// the manifest chain), so restore clears before WAL replay re-marks.
+  void ClearDirty() { dirty_.clear(); }
 
   /// Current usefulness of the live segment (1.0 when empty).
   double Usefulness() const;
@@ -259,6 +280,10 @@ class SegmentedStore {
   mutable std::unique_ptr<ThreadPool> pool_ ARCHIS_GUARDED_BY(pool_mu_);
   Date live_start_;
   StoreStatistics stats_;
+  /// Versions written since the last checkpoint capture, by identity
+  /// (id, tstart days) — the same key the multi-segment dedup uses, so a
+  /// delta row replayed onto a restored store lands on the right version.
+  std::set<std::pair<int64_t, int64_t>> dirty_;
   int64_t next_segno_ = 1;
   uint64_t live_total_ = 0;
   uint64_t live_current_ = 0;

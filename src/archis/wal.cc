@@ -80,29 +80,41 @@ void EncodeChange(uint64_t txn_id, const ChangeRecord& change,
   AppendFrame(payload, out);
 }
 
-void EncodeCommit(uint64_t txn_id, Date commit_date, std::string* out) {
+void EncodeCommit(uint64_t txn_id, Date commit_date, bool stamped,
+                  uint64_t commit_seq, std::string* out) {
   std::string payload;
   payload.push_back(static_cast<char>(WalRecordType::kCommit));
   AppendU64(txn_id, &payload);
   AppendI64(commit_date.days(), &payload);
+  payload.push_back(stamped ? 1 : 0);
+  AppendU64(commit_seq, &payload);
+  AppendFrame(payload, out);
+}
+
+void EncodeAbort(uint64_t txn_id, std::string* out) {
+  std::string payload;
+  payload.push_back(static_cast<char>(WalRecordType::kAbort));
+  AppendU64(txn_id, &payload);
   AppendFrame(payload, out);
 }
 
 void EncodeCreateRelation(const RelationSpec& spec, Date open_date,
-                          std::string* out) {
+                          uint64_t commit_seq, std::string* out) {
   std::string payload;
   payload.push_back(static_cast<char>(WalRecordType::kCreateRelation));
   EncodeRelationSpec(spec, &payload);
   AppendI64(open_date.days(), &payload);
+  AppendU64(commit_seq, &payload);
   AppendFrame(payload, out);
 }
 
 void EncodeDropRelation(const std::string& name, Date when,
-                        std::string* out) {
+                        uint64_t commit_seq, std::string* out) {
   std::string payload;
   payload.push_back(static_cast<char>(WalRecordType::kDropRelation));
   AppendLengthPrefixed(name, &payload);
   AppendI64(when.days(), &payload);
+  AppendU64(commit_seq, &payload);
   AppendFrame(payload, out);
 }
 
@@ -119,6 +131,7 @@ Result<WalCreateRelation> DecodeCreateRelation(std::string_view data,
   ARCHIS_ASSIGN_OR_RETURN(out.spec, DecodeRelationSpec(data, pos));
   ARCHIS_ASSIGN_OR_RETURN(int64_t days, ReadI64(data, pos));
   out.open_date = Date(days);
+  ARCHIS_ASSIGN_OR_RETURN(out.commit_seq, ReadU64(data, pos));
   return out;
 }
 
@@ -130,9 +143,10 @@ Result<WalRecovery> Wal::Recover(const std::string& path) {
   WalRecovery rec;
   rec.valid_bytes = scan.valid_bytes;
   rec.torn_tail = scan.torn_tail;
-  // Transactions in flight: BEGIN seen, COMMIT not yet. The offset is the
-  // BEGIN frame's, so a whole transaction sorts before or after a
-  // checkpoint boundary as one unit (its frames are written contiguously).
+  // Transactions in flight: BEGIN seen, COMMIT/ABORT not yet. The offset
+  // is the BEGIN frame's: a committed transaction is replay-ordered by its
+  // COMMIT record but *located* at its BEGIN, so offset-based filtering
+  // (legacy manifests) treats the whole run as one unit.
   struct OpenTxn {
     WalCommittedTxn txn;
     uint64_t begin_offset = 0;
@@ -149,7 +163,7 @@ Result<WalRecovery> Wal::Recover(const std::string& path) {
       case WalRecordType::kBegin: {
         ARCHIS_ASSIGN_OR_RETURN(uint64_t id, ReadU64(payload, &pos));
         if (!open.try_emplace(id,
-                              OpenTxn{WalCommittedTxn{id, Date(), {}},
+                              OpenTxn{WalCommittedTxn{id, Date(), 0, {}},
                                       record.offset})
                  .second) {
           return Status::Corruption("WAL BEGIN for already-open txn " +
@@ -178,15 +192,39 @@ Result<WalRecovery> Wal::Recover(const std::string& path) {
                                     std::to_string(id));
         }
         ARCHIS_ASSIGN_OR_RETURN(int64_t days, ReadI64(payload, &pos));
+        if (pos >= payload.size()) {
+          return Status::Corruption("WAL COMMIT truncated payload");
+        }
+        const bool stamped = payload[pos++] != 0;
+        ARCHIS_ASSIGN_OR_RETURN(uint64_t seq, ReadU64(payload, &pos));
         it->second.txn.commit_date = Date(days);
+        it->second.txn.commit_seq = seq;
+        if (stamped) {
+          // Explicit transactions commit at one instant: their CHANGE
+          // frames were logged at DML time (possibly before a clock
+          // advance), so the commit date overrides the per-change dates.
+          for (ChangeRecord& change : it->second.txn.changes) {
+            change.when = Date(days);
+          }
+        }
+        rec.max_commit_seq = std::max(rec.max_commit_seq, seq);
         rec.items.emplace_back(std::move(it->second.txn));
         rec.item_offsets.push_back(it->second.begin_offset);
         open.erase(it);
         break;
       }
+      case WalRecordType::kAbort: {
+        ARCHIS_ASSIGN_OR_RETURN(uint64_t id, ReadU64(payload, &pos));
+        if (open.erase(id) == 0) {
+          return Status::Corruption("WAL ABORT for unknown txn " +
+                                    std::to_string(id));
+        }
+        break;
+      }
       case WalRecordType::kCreateRelation: {
         ARCHIS_ASSIGN_OR_RETURN(WalCreateRelation create,
                                 DecodeCreateRelation(payload, &pos));
+        rec.max_commit_seq = std::max(rec.max_commit_seq, create.commit_seq);
         rec.items.emplace_back(std::move(create));
         rec.item_offsets.push_back(record.offset);
         break;
@@ -196,6 +234,8 @@ Result<WalRecovery> Wal::Recover(const std::string& path) {
         ARCHIS_ASSIGN_OR_RETURN(drop.name, ReadLengthPrefixed(payload, &pos));
         ARCHIS_ASSIGN_OR_RETURN(int64_t days, ReadI64(payload, &pos));
         drop.when = Date(days);
+        ARCHIS_ASSIGN_OR_RETURN(drop.commit_seq, ReadU64(payload, &pos));
+        rec.max_commit_seq = std::max(rec.max_commit_seq, drop.commit_seq);
         rec.items.emplace_back(std::move(drop));
         rec.item_offsets.push_back(record.offset);
         break;
@@ -252,7 +292,7 @@ Status Wal::ResetAfterCheckpoint(uint64_t checkpoint_seq) {
   if (!dead_.ok()) return dead_;
   if (sync_in_progress_ || !pending_.empty()) {
     return Status::InvalidArgument(
-        "WAL reset with commits in flight (checkpoint requires quiesce)");
+        "WAL reset with frames in flight (truncation requires an idle log)");
   }
   // Truncate, then immediately re-seed the log with a durable marker. If
   // any step fails the WAL is dead (sticky), so a log truncated here either
@@ -274,45 +314,94 @@ Status Wal::ResetAfterCheckpoint(uint64_t checkpoint_seq) {
   return Status::OK();
 }
 
+Status Wal::EnqueueBegin(uint64_t txn_id) {
+  std::string framed;
+  EncodeBegin(txn_id, &framed);
+  return Enqueue(framed).status();
+}
+
+Status Wal::EnqueueChange(uint64_t txn_id, const ChangeRecord& change) {
+  std::string framed;
+  EncodeChange(txn_id, change, &framed);
+  return Enqueue(framed).status();
+}
+
+Status Wal::EnqueueAbort(uint64_t txn_id) {
+  std::string framed;
+  EncodeAbort(txn_id, &framed);
+  return Enqueue(framed).status();
+}
+
+Result<uint64_t> Wal::EnqueueCommit(uint64_t txn_id, Date commit_date,
+                                    bool stamped, uint64_t commit_seq) {
+  std::string framed;
+  EncodeCommit(txn_id, commit_date, stamped, commit_seq, &framed);
+  return Enqueue(framed);
+}
+
+Status Wal::WaitDurable(uint64_t ticket) {
+  return WaitDurableInternal(ticket, /*count_commit=*/true);
+}
+
+Status Wal::FlushDurable() {
+  uint64_t ticket;
+  {
+    MutexLock lock(mu_);
+    if (!dead_.ok()) return dead_;
+    ticket = submitted_seq_;
+  }
+  if (ticket == 0) return Status::OK();
+  return WaitDurableInternal(ticket, /*count_commit=*/false);
+}
+
 Status Wal::LogTransaction(uint64_t txn_id,
                            const std::vector<ChangeRecord>& changes,
-                           Date commit_date) {
+                           Date commit_date, bool stamped,
+                           uint64_t commit_seq) {
   std::string framed;
   EncodeBegin(txn_id, &framed);
   for (const ChangeRecord& change : changes) {
     EncodeChange(txn_id, change, &framed);
   }
-  EncodeCommit(txn_id, commit_date, &framed);
+  EncodeCommit(txn_id, commit_date, stamped, commit_seq, &framed);
   return SubmitDurable(framed);
 }
 
-Status Wal::LogCreateRelation(const RelationSpec& spec, Date open_date) {
+Status Wal::LogCreateRelation(const RelationSpec& spec, Date open_date,
+                              uint64_t commit_seq) {
   std::string framed;
-  EncodeCreateRelation(spec, open_date, &framed);
+  EncodeCreateRelation(spec, open_date, commit_seq, &framed);
   return SubmitDurable(framed);
 }
 
-Status Wal::LogDropRelation(const std::string& name, Date when) {
+Status Wal::LogDropRelation(const std::string& name, Date when,
+                            uint64_t commit_seq) {
   std::string framed;
-  EncodeDropRelation(name, when, &framed);
+  EncodeDropRelation(name, when, commit_seq, &framed);
   return SubmitDurable(framed);
 }
 
-Status Wal::SubmitDurable(std::string_view framed) {
-  mu_.Lock();
-  if (!dead_.ok()) {
-    Status st = dead_;
-    mu_.Unlock();
-    return st;
-  }
+Result<uint64_t> Wal::Enqueue(std::string_view framed) {
+  MutexLock lock(mu_);
+  if (!dead_.ok()) return dead_;
   const uint64_t my_seq = ++submitted_seq_;
   pending_.append(framed);
   pending_seq_ = my_seq;
+  return my_seq;
+}
+
+Status Wal::SubmitDurable(std::string_view framed) {
+  ARCHIS_ASSIGN_OR_RETURN(uint64_t ticket, Enqueue(framed));
+  return WaitDurableInternal(ticket, /*count_commit=*/true);
+}
+
+Status Wal::WaitDurableInternal(uint64_t ticket, bool count_commit) {
+  mu_.Lock();
   for (;;) {
-    if (durable_seq_ >= my_seq) {
-      ++commits_;
+    if (durable_seq_ >= ticket) {
+      if (count_commit) ++commits_;
       mu_.Unlock();
-      WalCommitsMetric()->Inc();
+      if (count_commit) WalCommitsMetric()->Inc();
       return Status::OK();
     }
     if (!dead_.ok()) {
@@ -323,6 +412,8 @@ Status Wal::SubmitDurable(std::string_view framed) {
     if (!sync_in_progress_) {
       // Become the leader: write and sync everything accumulated so far,
       // covering this caller and any followers that queued behind it.
+      // Every frame <= ticket is in pending_ here: not durable, and no
+      // other leader is in flight to have taken it.
       sync_in_progress_ = true;
       std::string batch = std::move(pending_);
       pending_.clear();
@@ -354,8 +445,8 @@ Status Wal::SubmitDurable(std::string_view framed) {
       cv_.NotifyAll();
     } else {
       WalFollowerWaitsMetric()->Inc();
-      cv_.Wait(mu_, [this, my_seq]() ARCHIS_REQUIRES(mu_) {
-        return durable_seq_ >= my_seq || !sync_in_progress_ || !dead_.ok();
+      cv_.Wait(mu_, [this, ticket]() ARCHIS_REQUIRES(mu_) {
+        return durable_seq_ >= ticket || !sync_in_progress_ || !dead_.ok();
       });
     }
   }
@@ -378,8 +469,8 @@ uint64_t Wal::bytes_written() const {
 
 uint64_t Wal::end_offset() const {
   MutexLock lock(mu_);
-  // The facade only reads this at quiesce (no sync in flight), when the
-  // leaderless file handle is safe to inspect from under the mutex.
+  // Callers read this after FlushDurable() under the facade commit lock
+  // (no leader in flight), when the file handle is safe to inspect.
   return file_->end_offset();
 }
 

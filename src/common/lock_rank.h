@@ -34,6 +34,16 @@ namespace archis {
 /// per thread; kUnranked opts a mutex out of checking (tests, scratch).
 enum class LockRank : int {
   kUnranked = 0,
+  /// ArchIS::checkpoint_mu_ — serializes whole checkpoints (capture +
+  /// manifest install + WAL truncation) against each other. Outermost
+  /// facade lock: a checkpoint acquires the commit lock inside it.
+  kFacadeCheckpoint = 3,
+  /// ArchIS::commit_mu_ — the commit lock: write-set validation,
+  /// current-table apply, H-table archive and WAL enqueue of one
+  /// committing transaction, plus DML reads of the current tables.
+  /// Everything the write path touches (plan cache, WAL, stores) ranks
+  /// above it.
+  kFacadeCommit = 5,
   /// ArchIS::plan_cache_mu_ — facade plan-cache lookup/insert/epoch bump.
   kFacadePlanCache = 10,
   /// Wal::mu_ — group-commit leader/follower handoff.
@@ -60,6 +70,8 @@ enum class LockRank : int {
 inline const char* LockRankName(LockRank r) {
   switch (r) {
     case LockRank::kUnranked:        return "kUnranked";
+    case LockRank::kFacadeCheckpoint: return "kFacadeCheckpoint";
+    case LockRank::kFacadeCommit:    return "kFacadeCommit";
     case LockRank::kFacadePlanCache: return "kFacadePlanCache";
     case LockRank::kWal:             return "kWal";
     case LockRank::kSegmentScanPool: return "kSegmentScanPool";

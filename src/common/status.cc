@@ -17,6 +17,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kUnsupported: return "Unsupported";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kConflict: return "Conflict";
   }
   return "Unknown";
 }

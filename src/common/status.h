@@ -26,6 +26,10 @@ enum class [[nodiscard]] StatusCode {
   kUnsupported,
   kInternal,
   kAborted,
+  /// First-committer-wins write-write conflict: another transaction
+  /// committed a change to a key in this transaction's write set after it
+  /// began. Retryable — re-run the transaction against the new state.
+  kConflict,
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -79,6 +83,10 @@ class [[nodiscard]] Status {
   }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

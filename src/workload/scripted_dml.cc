@@ -79,7 +79,7 @@ Result<ScriptedDmlResult> RunScriptedDml(core::ArchIS* db,
   // One commit unit: run on the primary; if durable, mirror to the shadow.
   // Returns false when the run must stop (injected crash).
   auto commit_unit = [&](const std::vector<Stmt>& stmts) -> Result<bool> {
-    Transaction txn = db->Begin();
+    ARCHIS_ASSIGN_OR_RETURN(Transaction txn, db->Begin());
     for (const Stmt& s : stmts) {
       Status st = ApplyStmt(&txn, s);
       if (IsCrash(st)) return false;
@@ -90,7 +90,7 @@ Result<ScriptedDmlResult> RunScriptedDml(core::ArchIS* db,
     ARCHIS_RETURN_NOT_OK(st);
     ++result.committed_units;
     if (shadow != nullptr) {
-      Transaction mirror = shadow->Begin();
+      ARCHIS_ASSIGN_OR_RETURN(Transaction mirror, shadow->Begin());
       for (const Stmt& s : stmts) {
         ARCHIS_RETURN_NOT_OK(ApplyStmt(&mirror, s));
       }

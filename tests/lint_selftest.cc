@@ -172,10 +172,12 @@ TEST(DeprecatedApi, AllowsRelationSpecOverloadAndCommit) {
                          "deprecated-api"));
 }
 
-TEST(DeprecatedApi, AllowedInsideFacadeShims) {
-  EXPECT_FALSE(FiredRule("src/archis/archis.cc",
-                         "Status ArchIS::FlushLog() { return Commit(); }\n",
-                         "deprecated-api"));
+TEST(DeprecatedApi, FiresInsideTheFacadeNowThatTheShimsAreGone) {
+  // The [[deprecated]] shims were deleted, and with them the facade's
+  // grandfathered exemption: reintroducing one is a lint error.
+  EXPECT_TRUE(FiredRule("src/archis/archis.cc",
+                        "Status ArchIS::FlushLog() { return Commit(); }\n",
+                        "deprecated-api"));
 }
 
 TEST(DeprecatedApi, IgnoresLongerIdentifiers) {

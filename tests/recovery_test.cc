@@ -8,9 +8,11 @@
 // recovered, uncommitted means absent.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <functional>
+#include <thread>
 
 #include "archis/checkpoint.h"
 #include "common/metrics.h"
@@ -55,6 +57,14 @@ Tuple Emp(int64_t id, const std::string& name, int64_t salary) {
   return Tuple{Value(id), Value(name), Value(salary)};
 }
 
+/// Unwraps ArchIS::Begin into a named Transaction, failing the test on a
+/// refused admission.
+#define BEGIN_TXN(var, db)                                    \
+  auto var##_result = (db)->Begin();                          \
+  ASSERT_TRUE(var##_result.ok())                              \
+      << var##_result.status().ToString();                    \
+  Transaction var = std::move(*var##_result)
+
 /// Comparison key for recovery equivalence (shared with recovery_fuzz).
 std::string AllHistories(ArchIS* db) {
   return workload::SerializeAllHistories(db);
@@ -76,7 +86,7 @@ TEST(TransactionTest, ExplicitBatchCommitsAtOneInstant) {
   ArchIS db(ArchISOptions{}, D(1995, 1, 1));
   ASSERT_TRUE(db.CreateRelation(EmpSpec()).ok());
   ASSERT_TRUE(db.AdvanceClock(D(1995, 4, 2)).ok());
-  Transaction txn = db.Begin();
+  BEGIN_TXN(txn, &db);
   ASSERT_TRUE(txn.Insert("employees", Emp(1, "Ann", 100)).ok());
   ASSERT_TRUE(txn.Insert("employees", Emp(2, "Bob", 200)).ok());
   ASSERT_TRUE(txn.Update("employees", {Value(int64_t{1})},
@@ -99,20 +109,33 @@ TEST(TransactionTest, ExplicitBatchCommitsAtOneInstant) {
   EXPECT_GE(versions, 3u);
 }
 
-TEST(TransactionTest, AdvanceClockIsBlockedWhileATxnIsOpen) {
+TEST(TransactionTest, AdvanceClockPermittedWhileATxnIsOpen) {
+  // Open transactions no longer pin the clock: their changes are stamped
+  // at the clock value of the commit instant, so a clock advance between
+  // Begin and Commit simply moves the batch's timestamp forward.
   ArchIS db(ArchISOptions{}, D(1995, 1, 1));
   ASSERT_TRUE(db.CreateRelation(EmpSpec()).ok());
   {
-    Transaction txn = db.Begin();
+    BEGIN_TXN(txn, &db);
     ASSERT_TRUE(txn.Insert("employees", Emp(1, "Ann", 100)).ok());
-    EXPECT_EQ(db.AdvanceClock(D(1995, 2, 1)).code(),
-              StatusCode::kInvalidArgument);
+    EXPECT_TRUE(db.AdvanceClock(D(1995, 2, 1)).ok());
     ASSERT_TRUE(txn.Commit().ok());
   }
-  EXPECT_TRUE(db.AdvanceClock(D(1995, 2, 1)).ok());
+  // The batch committed at the advanced clock, not at Begin's.
+  auto snap_before = db.Snapshot("employees", D(1995, 1, 15));
+  ASSERT_TRUE(snap_before.ok());
+  EXPECT_TRUE(snap_before->empty());
+  auto snap_after = db.Snapshot("employees", D(1995, 2, 1));
+  ASSERT_TRUE(snap_after.ok());
+  EXPECT_EQ(snap_after->size(), 1u);
+  // Backwards moves are still rejected.
+  EXPECT_EQ(db.AdvanceClock(D(1995, 1, 15)).code(),
+            StatusCode::kInvalidArgument);
 }
 
-TEST(TransactionTest, AbortRollsBackCurrentStateAndArchivesNothing) {
+TEST(TransactionTest, AbortDiscardsTheBatchWithoutApplyingAnything) {
+  // Deferred apply: buffered DML never touches the current tables or the
+  // H-tables, so Abort is a pure discard — no undo pass.
   ArchIS db(ArchISOptions{}, D(1995, 1, 1));
   ASSERT_TRUE(db.CreateRelation(EmpSpec()).ok());
   ASSERT_TRUE(db.Insert("employees", Emp(1, "Ann", 100)).ok());
@@ -120,7 +143,7 @@ TEST(TransactionTest, AbortRollsBackCurrentStateAndArchivesNothing) {
   auto doc_before = db.PublishHistory("employees");
   ASSERT_TRUE(doc_before.ok());
 
-  Transaction txn = db.Begin();
+  BEGIN_TXN(txn, &db);
   ASSERT_TRUE(txn.Insert("employees", Emp(2, "Bob", 200)).ok());
   ASSERT_TRUE(txn.Update("employees", {Value(int64_t{1})},
                          Emp(1, "Ann", 999)).ok());
@@ -140,20 +163,20 @@ TEST(TransactionTest, DestructorAbortsAnUncommittedBatch) {
   ArchIS db(ArchISOptions{}, D(1995, 1, 1));
   ASSERT_TRUE(db.CreateRelation(EmpSpec()).ok());
   {
-    Transaction txn = db.Begin();
+    BEGIN_TXN(txn, &db);
     ASSERT_TRUE(txn.Insert("employees", Emp(1, "Ann", 100)).ok());
   }
   auto table = db.current_db().catalog().GetTable("employees");
   ASSERT_TRUE(table.ok());
   EXPECT_EQ((*table)->RowCount(), 0u);
-  // The clock is usable again (the open-txn count was released).
+  // The destructor released the admission slot.
   EXPECT_TRUE(db.AdvanceClock(D(1995, 2, 1)).ok());
 }
 
 TEST(TransactionTest, FinishedHandleRejectsFurtherUse) {
   ArchIS db(ArchISOptions{}, D(1995, 1, 1));
   ASSERT_TRUE(db.CreateRelation(EmpSpec()).ok());
-  Transaction txn = db.Begin();
+  BEGIN_TXN(txn, &db);
   ASSERT_TRUE(txn.Insert("employees", Emp(1, "Ann", 100)).ok());
   ASSERT_TRUE(txn.Commit().ok());
   EXPECT_EQ(txn.Insert("employees", Emp(2, "Bob", 200)).code(),
@@ -187,24 +210,187 @@ TEST(TransactionTest, AmbientUpdateLogBatchBuffersUntilCommit) {
   EXPECT_EQ((*snap)[0], Emp(1, "Ann", 100));
 }
 
-TEST(TransactionTest, DeprecatedShimsStillWork) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  ArchISOptions opts;
-  opts.capture_mode = CaptureMode::kUpdateLog;
-  ArchIS db(opts, D(1995, 1, 1));
-  Schema schema({{"id", DataType::kInt64}, {"name", DataType::kString}});
-  // archis-lint: allow(deprecated-api) -- this test exercises the shims
-  ASSERT_TRUE(db.CreateRelation("emp", schema, {"id"},
-                                DocBinding{"emp", "emps", "emp"}, "emps.xml")
-                  .ok());
-  ASSERT_TRUE(db.Insert("emp", Tuple{Value(int64_t{1}), Value("A")}).ok());
-  // archis-lint: allow(deprecated-api) -- this test exercises the shims
-  ASSERT_TRUE(db.FlushLog().ok());
-#pragma GCC diagnostic pop
-  auto snap = db.Snapshot("emp", D(1995, 1, 1));
+TEST(TransactionTest, ReadYourOwnWritesThroughTheOverlay) {
+  // A transaction sees its own buffered writes: inserting a key twice in
+  // one batch is AlreadyExists, updating a buffered insert works, and a
+  // buffered delete makes the key invisible to later statements.
+  ArchIS db(ArchISOptions{}, D(1995, 1, 1));
+  ASSERT_TRUE(db.CreateRelation(EmpSpec()).ok());
+  BEGIN_TXN(txn, &db);
+  ASSERT_TRUE(txn.Insert("employees", Emp(1, "Ann", 100)).ok());
+  EXPECT_EQ(txn.Insert("employees", Emp(1, "Ann", 100)).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(txn.Update("employees", {Value(int64_t{1})},
+                         Emp(1, "Ann", 150)).ok());
+  ASSERT_TRUE(txn.Delete("employees", {Value(int64_t{1})}).ok());
+  EXPECT_EQ(txn.Update("employees", {Value(int64_t{1})},
+                       Emp(1, "Ann", 200)).code(),
+            StatusCode::kNotFound);
+  // Re-inserting a key the batch deleted is allowed again.
+  ASSERT_TRUE(txn.Insert("employees", Emp(1, "Ann", 300)).ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  auto snap = db.Snapshot("employees", D(1995, 1, 1));
   ASSERT_TRUE(snap.ok());
-  EXPECT_EQ(snap->size(), 1u);
+  ASSERT_EQ(snap->size(), 1u);
+  EXPECT_EQ((*snap)[0], Emp(1, "Ann", 300));
+}
+
+TEST(TransactionTest, FirstCommitterWinsOnOverlappingWriteSets) {
+  ArchIS db(ArchISOptions{}, D(1995, 1, 1));
+  ASSERT_TRUE(db.CreateRelation(EmpSpec()).ok());
+  ASSERT_TRUE(db.Insert("employees", Emp(1, "Ann", 100)).ok());
+  ASSERT_TRUE(db.Insert("employees", Emp(2, "Bob", 200)).ok());
+
+  // Overlap on key 1: the second committer loses.
+  {
+    BEGIN_TXN(a, &db);
+    BEGIN_TXN(b, &db);
+    ASSERT_TRUE(a.Update("employees", {Value(int64_t{1})},
+                         Emp(1, "Ann", 111)).ok());
+    ASSERT_TRUE(b.Update("employees", {Value(int64_t{1})},
+                         Emp(1, "Ann", 122)).ok());
+    ASSERT_TRUE(a.Commit().ok());
+    Status st = b.Commit();
+    EXPECT_EQ(st.code(), StatusCode::kConflict) << st.ToString();
+    // The conflict message names the contested key.
+    EXPECT_NE(st.message().find("employees(1)"), std::string::npos)
+        << st.ToString();
+  }
+  auto snap = db.Snapshot("employees", D(1995, 1, 1));
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ((*snap)[0], Emp(1, "Ann", 111));  // the loser applied nothing
+
+  // Disjoint write sets: both committers win, and the clock may advance
+  // between their commits while both are still open.
+  {
+    BEGIN_TXN(a, &db);
+    BEGIN_TXN(b, &db);
+    ASSERT_TRUE(a.Update("employees", {Value(int64_t{1})},
+                         Emp(1, "Ann", 131)).ok());
+    ASSERT_TRUE(b.Update("employees", {Value(int64_t{2})},
+                         Emp(2, "Bob", 232)).ok());
+    ASSERT_TRUE(a.Commit().ok());
+    ASSERT_TRUE(db.AdvanceClock(D(1995, 2, 1)).ok());
+    ASSERT_TRUE(b.Commit().ok());
+    // b committed at the advanced clock instant.
+    auto early = db.Snapshot("employees", D(1995, 1, 15));
+    ASSERT_TRUE(early.ok());
+    for (const Tuple& row : *early) {
+      if (row.at(0) == Value(int64_t{2})) {
+        EXPECT_EQ(row, Emp(2, "Bob", 200));
+      }
+    }
+    auto late = db.Snapshot("employees", D(1995, 2, 1));
+    ASSERT_TRUE(late.ok());
+    for (const Tuple& row : *late) {
+      if (row.at(0) == Value(int64_t{2})) {
+        EXPECT_EQ(row, Emp(2, "Bob", 232));
+      }
+    }
+  }
+
+  // Delete/update overlap conflicts the same way as update/update.
+  {
+    BEGIN_TXN(a, &db);
+    BEGIN_TXN(b, &db);
+    ASSERT_TRUE(a.Delete("employees", {Value(int64_t{2})}).ok());
+    ASSERT_TRUE(b.Update("employees", {Value(int64_t{2})},
+                         Emp(2, "Bob", 999)).ok());
+    ASSERT_TRUE(a.Commit().ok());
+    EXPECT_EQ(b.Commit().code(), StatusCode::kConflict);
+  }
+
+  // A transaction begun after the winner committed does not conflict.
+  {
+    BEGIN_TXN(c, &db);
+    ASSERT_TRUE(c.Update("employees", {Value(int64_t{1})},
+                         Emp(1, "Ann", 141)).ok());
+    ASSERT_TRUE(c.Commit().ok());
+  }
+}
+
+TEST(TransactionTest, AdmissionLimitBoundsOpenTransactions) {
+  ArchISOptions opts;
+  opts.max_open_transactions = 2;
+  ArchIS db(opts, D(1995, 1, 1));
+  ASSERT_TRUE(db.CreateRelation(EmpSpec()).ok());
+  BEGIN_TXN(a, &db);
+  BEGIN_TXN(b, &db);
+  auto c = db.Begin();
+  EXPECT_EQ(c.status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(a.Abort().ok());
+  auto d = db.Begin();
+  EXPECT_TRUE(d.ok());  // the slot was released
+  ASSERT_TRUE(b.Abort().ok());
+}
+
+TEST(TransactionTest, HandlesAreThreadAffineButMovable) {
+  ArchIS db(ArchISOptions{}, D(1995, 1, 1));
+  ASSERT_TRUE(db.CreateRelation(EmpSpec()).ok());
+  // The first thread to use a handle claims it; after that, using it from
+  // a foreign thread without moving it is rejected.
+  {
+    BEGIN_TXN(txn, &db);
+    ASSERT_TRUE(txn.Insert("employees", Emp(1, "Ann", 100)).ok());
+    Status cross;
+    std::thread worker([&] {
+      cross = txn.Insert("employees", Emp(99, "Eve", 999));
+    });
+    worker.join();
+    EXPECT_EQ(cross.code(), StatusCode::kInvalidArgument);
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  // Moving the handle transfers ownership to the receiving thread.
+  {
+    BEGIN_TXN(txn, &db);
+    ASSERT_TRUE(txn.Insert("employees", Emp(2, "Bob", 200)).ok());
+    Status moved_insert, moved_commit;
+    std::thread worker([t = std::move(txn), &moved_insert,
+                        &moved_commit]() mutable {
+      moved_insert = t.Insert("employees", Emp(3, "Cay", 300));
+      moved_commit = t.Commit();
+    });
+    worker.join();
+    EXPECT_TRUE(moved_insert.ok()) << moved_insert.ToString();
+    EXPECT_TRUE(moved_commit.ok()) << moved_commit.ToString();
+  }
+  auto snap = db.Snapshot("employees", D(1995, 1, 1));
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->size(), 3u);
+}
+
+TEST(TransactionTest, ConcurrentDisjointWritersAllCommit) {
+  // The tentpole scenario: writer threads with disjoint write sets hold
+  // open transactions simultaneously while the clock advances between
+  // their commits; every batch commits, none conflicts.
+  constexpr int kWriters = 4;
+  constexpr int kTxnsPerWriter = 8;
+  ArchIS db(ArchISOptions{}, D(1995, 1, 1));
+  ASSERT_TRUE(db.CreateRelation(EmpSpec()).ok());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&db, &failures, w] {
+      for (int i = 0; i < kTxnsPerWriter; ++i) {
+        const int64_t id = w * 1000 + i;
+        auto begun = db.Begin();
+        if (!begun.ok()) { ++failures; return; }
+        Transaction txn = std::move(*begun);
+        if (!txn.Insert("employees", Emp(id, "w" + std::to_string(w), id))
+                 .ok() ||
+            !txn.Commit().ok()) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto snap = db.Snapshot("employees", db.Now());
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->size(), size_t{kWriters} * kTxnsPerWriter);
 }
 
 TEST(RecoveryTest, WalConfiguredConstructorRequiresOpen) {
@@ -228,7 +414,7 @@ TEST(RecoveryTest, CleanShutdownReopensWithIdenticalHistoryAndClock) {
     ASSERT_TRUE((*db)->CreateRelation(EmpSpec()).ok());
     ASSERT_TRUE((*db)->Insert("employees", Emp(1, "Ann", 100)).ok());
     ASSERT_TRUE((*db)->AdvanceClock(D(1996, 3, 4)).ok());
-    Transaction txn = (*db)->Begin();
+    BEGIN_TXN(txn, db->get());
     ASSERT_TRUE(txn.Insert("employees", Emp(2, "Bob", 200)).ok());
     ASSERT_TRUE(txn.Update("employees", {Value(int64_t{1})},
                            Emp(1, "Ann", 160)).ok());
@@ -260,7 +446,7 @@ TEST(RecoveryTest, ReplayIsIdempotent) {
     auto db = ArchIS::Open(opts, D(1995, 1, 1));
     ASSERT_TRUE(db.ok());
     ASSERT_TRUE((*db)->CreateRelation(EmpSpec()).ok());
-    Transaction txn = (*db)->Begin();
+    BEGIN_TXN(txn, db->get());
     ASSERT_TRUE(txn.Insert("employees", Emp(1, "Ann", 100)).ok());
     ASSERT_TRUE(txn.Insert("employees", Emp(2, "Bob", 200)).ok());
     ASSERT_TRUE(txn.Commit().ok());
@@ -360,34 +546,49 @@ metrics::Counter* FallbacksCounter() {
       "previous one");
 }
 
-TEST(CheckpointTest, RequiresWalAndQuiesce) {
+TEST(CheckpointTest, RequiresWalButNotQuiesce) {
   // In-memory instances have no log to truncate.
   ArchIS mem(ArchISOptions{}, D(1995, 1, 1));
   EXPECT_EQ(mem.Checkpoint().code(), StatusCode::kInvalidArgument);
 
+  // Fuzzy checkpoints run while transactions are open; the uncommitted
+  // batch is simply not in the manifest and recovers from its COMMIT
+  // record (or not at all).
+  const std::string path = TempPath("ckpt_fuzzy.wal");
   ArchISOptions opts;
-  opts.wal.path = TempPath("ckpt_quiesce.wal");
-  auto db = ArchIS::Open(opts, D(1995, 1, 1));
-  ASSERT_TRUE(db.ok());
-  ASSERT_TRUE((*db)->CreateRelation(EmpSpec()).ok());
+  opts.wal.path = path;
+  std::string committed_state;
   {
-    Transaction txn = (*db)->Begin();
-    ASSERT_TRUE(txn.Insert("employees", Emp(1, "Ann", 100)).ok());
-    EXPECT_EQ((*db)->Checkpoint().code(), StatusCode::kInvalidArgument);
-    ASSERT_TRUE(txn.Commit().ok());
+    auto db = ArchIS::Open(opts, D(1995, 1, 1));
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateRelation(EmpSpec()).ok());
+    ASSERT_TRUE((*db)->Insert("employees", Emp(1, "Ann", 100)).ok());
+    {
+      BEGIN_TXN(txn, db->get());
+      ASSERT_TRUE(txn.Insert("employees", Emp(2, "Bob", 200)).ok());
+      EXPECT_TRUE((*db)->Checkpoint().ok());  // no quiesce required
+      EXPECT_EQ((*db)->checkpoint_seq(), 1u);
+      ASSERT_TRUE(txn.Commit().ok());
+    }
+    EXPECT_TRUE((*db)->Checkpoint().ok());
+    EXPECT_EQ((*db)->checkpoint_seq(), 2u);
+    committed_state = AllHistories(db->get());
   }
-  EXPECT_TRUE((*db)->Checkpoint().ok());
-  EXPECT_EQ((*db)->checkpoint_seq(), 1u);
+  // Both the pre-checkpoint commit and the one that straddled the fuzzy
+  // capture survive a reopen.
+  auto db = ArchIS::Open(opts, D(1995, 1, 1));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(AllHistories(db->get()), committed_state);
 
-  // Buffered ambient changes (kUpdateLog mode) also block the snapshot.
+  // Buffered ambient changes (kUpdateLog mode) don't block it either.
   ArchISOptions log_opts;
   log_opts.capture_mode = CaptureMode::kUpdateLog;
-  log_opts.wal.path = TempPath("ckpt_quiesce_ambient.wal");
+  log_opts.wal.path = TempPath("ckpt_fuzzy_ambient.wal");
   auto db2 = ArchIS::Open(log_opts, D(1995, 1, 1));
   ASSERT_TRUE(db2.ok());
   ASSERT_TRUE((*db2)->CreateRelation(EmpSpec()).ok());
   ASSERT_TRUE((*db2)->Insert("employees", Emp(1, "Ann", 100)).ok());
-  EXPECT_EQ((*db2)->Checkpoint().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE((*db2)->Checkpoint().ok());
   ASSERT_TRUE((*db2)->Commit().ok());
   EXPECT_TRUE((*db2)->Checkpoint().ok());
 }
@@ -531,6 +732,10 @@ TEST(CheckpointTest, TornNewestManifestFallsBackToPrevious) {
   const std::string path = TempPath("ckpt_fallback.wal");
   ArchISOptions opts;
   opts.wal.path = path;
+  // Every checkpoint writes a base (and rotates the previous chain to
+  // .prev) so tearing the newest file exercises the generation fallback
+  // rather than the in-chain torn-delta handling.
+  opts.wal.checkpoint_base_every = 1;
   ArchIS shadow(ArchISOptions{}, D(1995, 1, 1));
   {
     auto db = ArchIS::Open(opts, D(1995, 1, 1));
@@ -602,6 +807,121 @@ TEST(CheckpointTest, AutoCheckpointBoundsWalSizeUnderSustainedLoad) {
   ASSERT_TRUE(db.ok()) << db.status().ToString();
   EXPECT_LT((*db)->last_recovery_replayed_bytes(), 2 * threshold);
   EXPECT_EQ(AllHistories(db->get()), final_state);
+}
+
+// The incremental chain end to end: a base manifest, two delta appends,
+// and a WAL suffix must recover to byte-identical H-documents — and the
+// deltas must stay small (proportional to the rows dirtied, not to the
+// database), which is the whole point of fuzzy incremental checkpoints.
+TEST(CheckpointTest, IncrementalChainWithWalSuffixRecoversExactly) {
+  const std::string path = TempPath("ckpt_chain.wal");
+  ArchISOptions opts;
+  opts.wal.path = path;
+  ArchIS shadow(ArchISOptions{}, D(1995, 1, 1));
+  uint64_t base_bytes = 0;
+  std::string expected;
+  {
+    auto db = ArchIS::Open(opts, D(1995, 1, 1));
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateRelation(EmpSpec()).ok());
+    ASSERT_TRUE(shadow.CreateRelation(EmpSpec()).ok());
+    // A wide base: 60 rows.
+    for (int i = 1; i <= 60; ++i) {
+      ASSERT_TRUE((*db)->Insert("employees", Emp(i, "base", 10 * i)).ok());
+      ASSERT_TRUE(shadow.Insert("employees", Emp(i, "base", 10 * i)).ok());
+    }
+    ASSERT_TRUE((*db)->Checkpoint().ok());  // base, seq 1
+    base_bytes = std::filesystem::file_size(CheckpointPath(path));
+
+    // Delta 1: touch two rows.
+    ASSERT_TRUE((*db)->AdvanceClock(D(1995, 2, 1)).ok());
+    ASSERT_TRUE(shadow.AdvanceClock(D(1995, 2, 1)).ok());
+    ASSERT_TRUE((*db)->Update("employees", {Value(int64_t{1})},
+                              Emp(1, "d1", 11)).ok());
+    ASSERT_TRUE(shadow.Update("employees", {Value(int64_t{1})},
+                              Emp(1, "d1", 11)).ok());
+    ASSERT_TRUE((*db)->Delete("employees", {Value(int64_t{60})}).ok());
+    ASSERT_TRUE(shadow.Delete("employees", {Value(int64_t{60})}).ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());  // delta, seq 2
+    const uint64_t after_delta1 =
+        std::filesystem::file_size(CheckpointPath(path));
+    // The delta appended far less than a second base would have.
+    EXPECT_LT(after_delta1 - base_bytes, base_bytes / 2);
+
+    // Delta 2: an update and a fresh insert.
+    ASSERT_TRUE((*db)->AdvanceClock(D(1995, 3, 1)).ok());
+    ASSERT_TRUE(shadow.AdvanceClock(D(1995, 3, 1)).ok());
+    ASSERT_TRUE((*db)->Update("employees", {Value(int64_t{2})},
+                              Emp(2, "d2", 22)).ok());
+    ASSERT_TRUE(shadow.Update("employees", {Value(int64_t{2})},
+                              Emp(2, "d2", 22)).ok());
+    ASSERT_TRUE((*db)->Insert("employees", Emp(61, "d2", 61)).ok());
+    ASSERT_TRUE(shadow.Insert("employees", Emp(61, "d2", 61)).ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());  // delta, seq 3
+
+    // WAL suffix past the chain: commits never absorbed by any manifest.
+    ASSERT_TRUE((*db)->AdvanceClock(D(1995, 4, 1)).ok());
+    ASSERT_TRUE(shadow.AdvanceClock(D(1995, 4, 1)).ok());
+    ASSERT_TRUE((*db)->Update("employees", {Value(int64_t{3})},
+                              Emp(3, "suffix", 33)).ok());
+    ASSERT_TRUE(shadow.Update("employees", {Value(int64_t{3})},
+                              Emp(3, "suffix", 33)).ok());
+    ASSERT_TRUE((*db)->Insert("employees", Emp(62, "suffix", 62)).ok());
+    ASSERT_TRUE(shadow.Insert("employees", Emp(62, "suffix", 62)).ok());
+    expected = AllHistories(db->get());
+    ASSERT_EQ(expected, AllHistories(&shadow));
+  }
+  auto db = ArchIS::Open(opts, D(1995, 1, 1));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(AllHistories(db->get()), expected);
+  EXPECT_EQ((*db)->checkpoint_seq(), 3u);
+  EXPECT_EQ((*db)->Now(), D(1995, 4, 1));
+  // The recovered instance keeps working: another delta cycle and reopen.
+  ASSERT_TRUE((*db)->Insert("employees", Emp(63, "post", 63)).ok());
+  ASSERT_TRUE(shadow.Insert("employees", Emp(63, "post", 63)).ok());
+  ASSERT_TRUE((*db)->Checkpoint().ok());
+  expected = AllHistories(db->get());
+  db->reset();
+  auto again = ArchIS::Open(opts, D(1995, 1, 1));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(AllHistories(again->get()), expected);
+  EXPECT_EQ(AllHistories(again->get()), AllHistories(&shadow));
+}
+
+// Crash while two transactions interleave in the log: the committed one
+// recovers, the uncommitted one's BEGIN/CHANGE frames (made durable by the
+// winner's group-commit batch) are dropped.
+TEST(RecoveryTest, CrashDuringConcurrentCommitDropsTheUncommittedRun) {
+  const std::string path = TempPath("concurrent_crash.wal");
+  ArchISOptions opts;
+  opts.wal.path = path;
+  ArchIS shadow(ArchISOptions{}, D(1995, 1, 1));
+  {
+    auto db = ArchIS::Open(opts, D(1995, 1, 1));
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateRelation(EmpSpec()).ok());
+    ASSERT_TRUE(shadow.CreateRelation(EmpSpec()).ok());
+    BEGIN_TXN(loser, db->get());
+    BEGIN_TXN(winner, db->get());
+    // The loser's frames are enqueued first, so they land in the log
+    // ahead of the winner's COMMIT — interleaved, durable, uncommitted.
+    ASSERT_TRUE(loser.Insert("employees", Emp(1, "uncommitted", 1)).ok());
+    ASSERT_TRUE(winner.Insert("employees", Emp(2, "committed", 2)).ok());
+    ASSERT_TRUE(winner.Commit().ok());
+    ASSERT_TRUE(shadow.Insert("employees", Emp(2, "committed", 2)).ok());
+    // "Power loss" with the loser still open: drop the handle and the
+    // instance without committing.
+    IgnoreStatus(loser.Abort());
+  }
+  auto rec = Wal::Recover(path);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->items.size(), 2u);  // CREATE + the winner's txn
+  auto db = ArchIS::Open(opts, D(1995, 1, 1));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(AllHistories(db->get()), AllHistories(&shadow));
+  auto table = (*db)->current_db().catalog().GetTable("employees");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->RowCount(), 1u);
 }
 
 // Composite (surrogate) keys: the manifest must persist the surrogate-id

@@ -273,10 +273,9 @@ void CheckLockRank(const RuleContext& ctx) {
 // ---- Rule: deprecated-api -------------------------------------------------
 
 void CheckDeprecatedApi(const RuleContext& ctx) {
-  // The [[deprecated]] shims themselves live in the facade; the linter
-  // holds the pattern strings.
-  if (PathEndsWithAny(ctx.path, {"archis/archis.h", "archis/archis.cc",
-                                 "tools/lint/lint.cc"})) {
+  // The shims are gone from the facade; only the linter itself (which
+  // holds the pattern strings) is exempt.
+  if (PathEndsWithAny(ctx.path, {"tools/lint/lint.cc"})) {
     return;
   }
   // FlushLog: retired by the transactional write path.

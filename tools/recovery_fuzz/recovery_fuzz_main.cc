@@ -19,10 +19,19 @@
 //      WalOptions::checkpoint_after_bytes with a seed-derived threshold
 //      and re-injects the crash offset, so torn logs around checkpoint
 //      truncations are exercised too.
+//   5. A concurrent-writer pass runs four writer threads with disjoint
+//      key ranges (plus one deliberately shared key) against one
+//      WAL-backed instance while the main thread advances the clock and
+//      takes fuzzy checkpoints mid-flight; after the writers join, the
+//      instance is dropped without a clean close and the reopen must
+//      reproduce the pre-crash H-documents byte for byte, with every
+//      acknowledged commit present.
 //
 // Exits nonzero (with the offending seed and crash offset) on the first
 // divergence, so a failure is directly reproducible:
 //   recovery_fuzz --runs 16 --seed 7 --transactions 24
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +39,8 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "archis/archis.h"
 #include "archis/checkpoint.h"
@@ -44,6 +55,11 @@ using archis::core::CheckpointCrashPoint;
 using archis::core::CheckpointPath;
 using archis::core::CheckpointPrevPath;
 using archis::core::CheckpointTmpPath;
+using archis::Status;
+using archis::StatusCode;
+using archis::core::RelationSpec;
+using archis::core::Transaction;
+namespace minirel = archis::minirel;
 using archis::workload::RunScriptedDml;
 using archis::workload::ScriptedDmlConfig;
 using archis::workload::SerializeAllHistories;
@@ -90,6 +106,177 @@ void RemoveInstanceFiles(const std::string& wal_path) {
   std::remove(CheckpointPath(wal_path).c_str());
   std::remove(CheckpointPrevPath(wal_path).c_str());
   std::remove(CheckpointTmpPath(wal_path).c_str());
+}
+
+/// Concurrent-writer pass: four writer threads with disjoint key ranges
+/// (plus one shared key they contend on) run against one WAL-backed
+/// instance while the main thread advances the clock and takes fuzzy
+/// checkpoints. The instance is then dropped without a clean close; the
+/// reopen must reproduce the pre-drop H-documents exactly and every
+/// acknowledged commit must be present. Returns 0 on success.
+int RunConcurrentPass(uint32_t seed, const std::string& wal_path) {
+  constexpr int kWriters = 4;
+  constexpr int kKeysPerWriter = 4;
+  constexpr int kTxnsPerWriter = 24;
+  constexpr int64_t kSharedKey = 9000;
+  constexpr int64_t kSharedValue = 777;
+  const std::string tag = "seed=" + std::to_string(seed);
+
+  RemoveInstanceFiles(wal_path);
+  ArchISOptions opts;
+  opts.wal.path = wal_path;
+  // A short chain period so the pass crosses base and delta manifests.
+  opts.wal.checkpoint_base_every = 2;
+  const Date start = Date::FromYmd(2000, 1, 1);
+  auto opened = ArchIS::Open(opts, start);
+  if (!opened.ok()) {
+    return Fail("open (concurrent)", opened.status().ToString());
+  }
+  ArchIS* db = opened->get();
+  RelationSpec spec;
+  spec.name = "counters";
+  spec.schema = minirel::Schema({{"id", minirel::DataType::kInt64},
+                                 {"count", minirel::DataType::kInt64}});
+  spec.key_columns = {"id"};
+  spec.doc_name = "counters.xml";
+  if (!db->CreateRelation(spec).ok()) {
+    return Fail("create (concurrent)", tag);
+  }
+
+  std::atomic<int> failures{0};
+  std::atomic<int> conflicts{0};
+  // Per-slot count of acknowledged (durably committed) increments. Each
+  // slot is written by exactly one thread; the join is the read barrier.
+  std::vector<int> acked(kWriters * kKeysPerWriter, 0);
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, db, w] {
+      uint32_t rng = seed * 7919u + static_cast<uint32_t>(w) * 104729u + 1;
+      for (int t = 0; t < kTxnsPerWriter; ++t) {
+        const int slot =
+            w * kKeysPerWriter +
+            static_cast<int>(NextRand(&rng) % kKeysPerWriter);
+        const int64_t id = 1 + slot;
+        const int64_t next = acked[slot] + 1;
+        auto begun = db->Begin();
+        if (!begun.ok()) {
+          ++failures;
+          return;
+        }
+        Transaction txn = std::move(*begun);
+        minirel::Tuple row{minirel::Value(id), minirel::Value(next)};
+        Status st = next == 1
+                        ? txn.Insert("counters", row)
+                        : txn.Update("counters", {minirel::Value(id)}, row);
+        if (!st.ok()) {
+          std::fprintf(stderr, "concurrent writer %d: write slot %d: %s\n", w,
+                       slot, st.ToString().c_str());
+          ++failures;
+          return;
+        }
+        if (NextRand(&rng) % 5 == 0) {
+          // Exercise interleaved ABORT frames: the batch must vanish.
+          if (!txn.Abort().ok()) ++failures;
+          continue;
+        }
+        if (NextRand(&rng) % 4 == 0) {
+          // Contend on the shared key; the write is idempotent so the
+          // final value is fixed no matter which committer wins.
+          minirel::Tuple shared{minirel::Value(kSharedKey),
+                                minirel::Value(kSharedValue)};
+          Status sst = txn.Update("counters", {minirel::Value(kSharedKey)},
+                                  shared);
+          if (sst.code() == StatusCode::kNotFound) {
+            sst = txn.Insert("counters", shared);
+          }
+          // A commit landing between the probe and the insert can turn
+          // either arm into AlreadyExists/NotFound; the commit-time
+          // conflict check is the real arbiter, so just drop the write.
+          if (!sst.ok() && sst.code() != StatusCode::kAlreadyExists &&
+              sst.code() != StatusCode::kNotFound) {
+            ++failures;
+            return;
+          }
+          // Hold the shared key in the write set a moment so overlapping
+          // committers actually collide and exercise kConflict.
+          std::this_thread::sleep_for(std::chrono::microseconds(500));
+        }
+        Status cst = txn.Commit();
+        if (cst.ok()) {
+          acked[slot] = static_cast<int>(next);
+        } else if (cst.code() == StatusCode::kConflict) {
+          ++conflicts;  // first committer won the shared key; batch dropped
+        } else {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  // Fuzzy checkpoints and clock advances race the writers.
+  Date clock = start;
+  Status pace = Status::OK();
+  for (int i = 0; i < 6 && pace.ok(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    clock = clock.AddDays(1);
+    pace = db->AdvanceClock(clock);
+    if (pace.ok()) pace = db->Checkpoint();
+  }
+  for (std::thread& thr : writers) thr.join();
+  if (!pace.ok()) {
+    return Fail("checkpoint (concurrent)", tag + " -> " + pace.ToString());
+  }
+  if (failures.load() != 0) {
+    return Fail("writer failures (concurrent)",
+                tag + " failures=" + std::to_string(failures.load()));
+  }
+
+  // Every acknowledged increment must be visible, at its final value.
+  auto snap = db->Snapshot("counters", db->Now());
+  if (!snap.ok()) return Fail("snapshot (concurrent)", tag);
+  std::vector<int64_t> current(kWriters * kKeysPerWriter, 0);
+  bool shared_present = false;
+  for (const minirel::Tuple& row : *snap) {
+    const int64_t id = row.at(0).AsInt();
+    if (id == kSharedKey) {
+      shared_present = true;
+      if (row.at(1).AsInt() != kSharedValue) {
+        return Fail("shared key value (concurrent)", tag);
+      }
+      continue;
+    }
+    current[static_cast<size_t>(id - 1)] = row.at(1).AsInt();
+  }
+  for (size_t slot = 0; slot < acked.size(); ++slot) {
+    if (current[slot] != acked[slot]) {
+      return Fail("acked commit missing (concurrent)",
+                  tag + " slot=" + std::to_string(slot) + " acked=" +
+                      std::to_string(acked[slot]) + " visible=" +
+                      std::to_string(current[slot]));
+    }
+  }
+
+  // "Power loss" after the writers are done: everything acknowledged is
+  // durable, so the reopen must rebuild this exact state from the
+  // checkpoint chain plus the WAL suffix.
+  const std::string pre_drop = SerializeAllHistories(db);
+  opened->reset();
+  auto recovered = ArchIS::Open(opts, start);
+  if (!recovered.ok()) {
+    return Fail("reopen (concurrent)", recovered.status().ToString());
+  }
+  if (SerializeAllHistories(recovered->get()) != pre_drop) {
+    WriteMismatch(wal_path, SerializeAllHistories(recovered->get()),
+                  pre_drop);
+    return Fail("concurrent recovery mismatch",
+                tag + " conflicts=" + std::to_string(conflicts.load()));
+  }
+  std::printf("  seed=%u concurrent: %d writers, conflicts=%d, shared=%s, "
+              "recovered exactly\n",
+              seed, kWriters, conflicts.load(),
+              shared_present ? "yes" : "no");
+  return 0;
 }
 
 /// One fuzz iteration; returns 0 on success.
@@ -240,7 +427,9 @@ int RunOne(uint32_t seed, int transactions, const std::string& wal_path,
       static_cast<unsigned long long>(budget), crash_run->committed_units,
       crash_run->crashed ? "yes" : "no",
       static_cast<unsigned long long>(auto_threshold));
-  return 0;
+
+  // ---- concurrent-writer pass: fuzzy checkpoints under real threads ----
+  return RunConcurrentPass(seed, wal_path);
 }
 
 }  // namespace
