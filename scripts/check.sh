@@ -14,15 +14,19 @@
 #      durably-committed state exactly.
 #   6. metrics smoke: archis-stats on a durable workload must produce the
 #      full profile span tree and a well-formed, non-zero exposition.
-#   7. planner-forced equivalence: the translated-vs-native equivalence
+#   7. flight-recorder trace: archis-stats runs the workload with the
+#      always-on recorder, dumps the Chrome trace JSON, and trace_check
+#      validates it structurally (snake_case names, phases, timestamps).
+#   8. planner-forced equivalence: the translated-vs-native equivalence
 #      suite re-runs with the physical planner pinned both ways
 #      (ARCHIS_FORCE_PLAN=cost, then =fixed), so cost-based plans and the
 #      legacy shape must both match native answers exactly.
-#   8. ThreadSanitizer build + full ctest, with the debug-build lock-rank
+#   9. ThreadSanitizer build + full ctest, with the debug-build lock-rank
 #      assertions live: every test doubles as a validation of the lock
 #      hierarchy in src/common/lock_rank.h, and TSan catches the races
-#      the static side cannot see.
-#   9. If clang-tidy is available: .clang-tidy checks over src/.
+#      the static side cannot see. The flight-recorder seqlock tests run
+#      here too, so a data race in the ring protocol fails this step.
+#  10. If clang-tidy is available: .clang-tidy checks over src/.
 #
 # Exits nonzero on the first failing step and prints a per-step timing
 # summary on exit (success or failure). Run from the repo root:
@@ -71,12 +75,12 @@ timing_summary() {
 }
 trap timing_summary EXIT
 
-step "[1/9] default build + tests"
+step "[1/10] default build + tests"
 cmake -B build-check -S . >/dev/null
 cmake --build build-check -j"$JOBS"
 ctest --test-dir build-check --output-on-failure -j"$JOBS"
 
-step "[2/9] clang thread-safety analysis (ARCHIS_ANALYZE=ON)"
+step "[2/10] clang thread-safety analysis (ARCHIS_ANALYZE=ON)"
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-analyze -S . \
     -DCMAKE_CXX_COMPILER=clang++ -DARCHIS_ANALYZE=ON >/dev/null
@@ -85,28 +89,35 @@ else
   echo "    clang++ not found; skipping (annotations are no-ops under GCC)"
 fi
 
-step "[3/9] archis-lint (domain invariants)"
+step "[3/10] archis-lint (domain invariants)"
 ./build-check/tools/archis-lint src tools
 
-step "[4/9] archis-analyze (lock-order graph + status propagation)"
+step "[4/10] archis-analyze (lock-order graph + status propagation)"
 ./build-check/tools/archis-analyze src tools
 
-step "[5/9] recovery fuzz (WAL crash points + checkpoint phases + concurrent writers)"
+step "[5/10] recovery fuzz (WAL crash points + checkpoint phases + concurrent writers)"
 ./build-check/tools/recovery_fuzz --runs "${FUZZ_RUNS:-8}"
 
-step "[6/9] metrics smoke (profile spans + exposition)"
+step "[6/10] metrics smoke (profile spans + exposition)"
 BUILD_DIR=build-check scripts/metrics_smoke.sh
 
-step "[7/9] planner-forced equivalence (cost-based, then fixed)"
+step "[7/10] flight-recorder trace (workload -> Chrome trace -> trace_check)"
+TRACE_TMP="$(mktemp /tmp/archis_trace.XXXXXX.json)"
+./build-check/tools/archis-stats --workload --default-query --trace - \
+  > "$TRACE_TMP"
+./build-check/tools/trace_check "$TRACE_TMP" --min-events 50
+rm -f "$TRACE_TMP"
+
+step "[8/10] planner-forced equivalence (cost-based, then fixed)"
 ARCHIS_FORCE_PLAN=cost ./build-check/tests/equivalence_test
 ARCHIS_FORCE_PLAN=fixed ./build-check/tests/equivalence_test
 
-step "[8/9] ThreadSanitizer + lock-rank assertions (full ctest)"
+step "[9/10] ThreadSanitizer + lock-rank assertions (full ctest)"
 cmake -B build-tsan -S . -DARCHIS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j"$JOBS"
 
-step "[9/9] clang-tidy"
+step "[10/10] clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   # shellcheck disable=SC2046

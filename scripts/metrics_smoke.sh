@@ -56,10 +56,22 @@ for metric in \
     || fail "metric '$metric' absent or zero"
 done
 
-# 3. Exposition well-formedness: after '== metrics ==', every line is a
-#    comment or `name[{le="..."}] value`.
+# 3. The sliding-window families render their labeled gauges (rate plus
+#    percentiles over the trailing windows — DESIGN.md §14.5).
+for line in \
+    'archis_query_window_seconds\{window="1s",stat="rate"\}' \
+    'archis_query_window_seconds\{window="60s",stat="p99"\}' \
+    'archis_fsync_window_seconds\{window="10s",stat="p95"\}'; do
+  grep -qE "^$line " <<<"$OUT" \
+    || fail "windowed gauge '$line' absent from exposition"
+done
+
+# 4. Exposition well-formedness: after '== metrics ==', every line is a
+#    comment or `name[{label="...",...}] value` (labels cover `le` buckets,
+#    windowed `window`/`stat` pairs and breakdown families like
+#    `archis_txn_abort_total{reason=...}`).
 BAD=$(echo "$OUT" | sed -n '/^== metrics ==$/,$p' | tail -n +2 | grep -vE \
-  '^(# (HELP|TYPE) .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9][0-9eE.+-]*)$' \
+  '^(# (HELP|TYPE) .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+="[^"]*"(,[a-zA-Z_]+="[^"]*")*\})? -?[0-9][0-9eE.+-]*)$' \
   || true)
 [[ -z "$BAD" ]] || fail "malformed exposition lines: $BAD"
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <map>
 
 #include "archis/planner.h"
+#include "common/flight_recorder.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "xml/serializer.h"
@@ -74,6 +76,76 @@ metrics::Counter* ChangesCapturedMetric() {
       "archis_changes_captured_total",
       "Change records committed into the H-tables (capture throughput)");
   return c;
+}
+
+metrics::Counter* ConflictChangesMetric() {
+  // Conflict-aborted commits keep their CHANGE attribution instead of
+  // vanishing: same family as the committed counter, outcome-labeled.
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "archis_changes_captured_total{outcome=\"conflict\"}",
+      "Change records committed into the H-tables (capture throughput)");
+  return c;
+}
+
+metrics::Histogram* CommitSecondsMetric(bool conflict) {
+  static metrics::Histogram* ok = metrics::Registry::Global().GetHistogram(
+      "archis_commit_seconds{outcome=\"ok\"}",
+      "Commit latency (Begin-to-durable) by outcome",
+      metrics::DefaultLatencyBuckets());
+  static metrics::Histogram* lost = metrics::Registry::Global().GetHistogram(
+      "archis_commit_seconds{outcome=\"conflict\"}",
+      "Commit latency (Begin-to-durable) by outcome",
+      metrics::DefaultLatencyBuckets());
+  return conflict ? lost : ok;
+}
+
+metrics::Counter* AbortReasonMetric(fr::AbortReason reason) {
+  // archis_txn_abort_total{reason=...}: the per-cause breakdown of the
+  // aggregate archis_txn_aborts_total counter.
+  static constexpr char kHelp[] =
+      "Transaction aborts broken down by reason";
+  static metrics::Counter* explicit_abort =
+      metrics::Registry::Global().GetCounter(
+          "archis_txn_abort_total{reason=\"explicit\"}", kHelp);
+  static metrics::Counter* conflict = metrics::Registry::Global().GetCounter(
+      "archis_txn_abort_total{reason=\"conflict\"}", kHelp);
+  static metrics::Counter* wrong_thread =
+      metrics::Registry::Global().GetCounter(
+          "archis_txn_abort_total{reason=\"wrong_thread\"}", kHelp);
+  static metrics::Counter* wal_poison =
+      metrics::Registry::Global().GetCounter(
+          "archis_txn_abort_total{reason=\"wal_poison\"}", kHelp);
+  switch (reason) {
+    case fr::AbortReason::kConflict:
+      return conflict;
+    case fr::AbortReason::kWrongThread:
+      return wrong_thread;
+    case fr::AbortReason::kWalPoison:
+      return wal_poison;
+    case fr::AbortReason::kExplicit:
+      break;
+  }
+  return explicit_abort;
+}
+
+// Sliding-window views (DESIGN.md §14): rate + percentiles over the
+// trailing 1s/10s/60s, rendered as labeled gauges in the exposition.
+metrics::WindowedHistogram* QueryWindowMetric() {
+  static metrics::WindowedHistogram* w =
+      metrics::Registry::Global().GetWindowed(
+          "archis_query_window_seconds",
+          "Query latency over sliding 1s/10s/60s windows",
+          metrics::DefaultLatencyBuckets());
+  return w;
+}
+
+metrics::WindowedHistogram* ConflictWindowMetric() {
+  static metrics::WindowedHistogram* w =
+      metrics::Registry::Global().GetWindowed(
+          "archis_conflict_window",
+          "Commit conflicts over sliding 1s/10s/60s windows (rate)",
+          metrics::DefaultLatencyBuckets());
+  return w;
 }
 
 // Checkpoint / bounded recovery metrics (DESIGN.md §10, §13).
@@ -162,6 +234,9 @@ Status Transaction::CheckThread() {
     return Status::OK();
   }
   if (std::this_thread::get_id() != owner_) {
+    AbortReasonMetric(fr::AbortReason::kWrongThread)->Inc();
+    fr::Record(fr::EventType::kTxnAbort, txn_id_, 0,
+               static_cast<uint32_t>(fr::AbortReason::kWrongThread));
     return Status::InvalidArgument(
         "Transaction is single-thread-affine: only the owning thread may "
         "use it — move the handle to hand it to another thread");
@@ -207,9 +282,49 @@ Status Transaction::Abort() {
 
 // -- Construction / recovery ---------------------------------------------------
 
+// Crash-dump contributor: renders this instance's active-transaction table
+// and commit sequence into the `.crashdump` JSON. Best-effort by design —
+// if the crashing thread died holding commit_mu_, TryLock fails and the
+// source reports "unavailable" instead of deadlocking the signal handler.
+class ArchIS::CrashSource : public fr::CrashInfoSource {
+ public:
+  explicit CrashSource(ArchIS* db) : db_(db) {}
+
+  void AppendCrashJson(std::string* out) override {
+    if (!db_->commit_mu_.TryLock()) {
+      out->append("{\"active_txns\":\"unavailable\"}");
+      return;
+    }
+    out->append("{\"active_txns\":[");
+    bool first = true;
+    for (uint64_t id : db_->open_txns_) {
+      if (!first) out->push_back(',');
+      first = false;
+      out->append(std::to_string(id));
+    }
+    out->append("],\"commit_seq\":");
+    out->append(std::to_string(db_->commit_seq_));
+    out->push_back('}');
+    db_->commit_mu_.Unlock();
+  }
+
+ private:
+  ArchIS* db_;
+};
+
 ArchIS::ArchIS(ArchISOptions options, Date start_date)
-    : options_(std::move(options)), clock_(start_date),
-      archiver_(&history_db_) {}
+    : crash_source_(std::make_unique<CrashSource>(this)),
+      options_(std::move(options)), clock_(start_date),
+      archiver_(&history_db_) {
+  fr::InstallCrashHandler();
+  fr::RegisterCrashInfoSource(crash_source_.get());
+}
+
+ArchIS::~ArchIS() { fr::UnregisterCrashInfoSource(crash_source_.get()); }
+
+std::string ArchIS::DumpTrace() {
+  return fr::ToChromeTraceJson(fr::Snapshot());
+}
 
 Result<std::unique_ptr<ArchIS>> ArchIS::Open(ArchISOptions options,
                                              Date start_date) {
@@ -451,6 +566,7 @@ Result<Transaction> ArchIS::BeginInternal(bool stamp_at_commit) {
   }
   const uint64_t txn_id = wal_ != nullptr ? wal_->NextTxnId() : next_txn_id_++;
   open_txns_.insert(txn_id);
+  fr::Record(fr::EventType::kTxnBegin, txn_id);
   return Transaction(this, txn_id, commit_seq_, stamp_at_commit);
 }
 
@@ -768,7 +884,14 @@ Status ArchIS::CommitTxn(Transaction* txn) {
     return Status::OK();
   }
   const size_t nchanges = txn->changes_.size();
+  const auto commit_started = std::chrono::steady_clock::now();
+  auto commit_seconds = [&commit_started] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         commit_started)
+        .count();
+  };
   uint64_t ticket = 0;
+  uint64_t committed_seq = 0;
   {
     MutexLock lock(commit_mu_);
     // First committer wins: any key this transaction wrote that a later
@@ -776,12 +899,25 @@ Status ArchIS::CommitTxn(Transaction* txn) {
     for (const auto& [wkey, entry] : txn->overlay_) {
       auto it = key_last_writer_.find(wkey);
       if (it != key_last_writer_.end() && it->second > txn->begin_seq_) {
+        // UnregisterTxnLocked may clear key_last_writer_ (last open txn
+        // gone), invalidating `it` — read the winner's seq first.
+        const uint64_t winner_seq = it->second;
         if (wal_ != nullptr && txn->wal_begun_) {
           IgnoreStatus(wal_->EnqueueAbort(txn->txn_id_));
         }
         UnregisterTxnLocked(txn->txn_id_);
         TxnConflictsMetric()->Inc();
         TxnAbortsMetric()->Inc();
+        AbortReasonMetric(fr::AbortReason::kConflict)->Inc();
+        // Conflict-aborted commits keep their latency and CHANGE-count
+        // attribution (outcome=conflict) instead of vanishing.
+        CommitSecondsMetric(/*conflict=*/true)->Observe(commit_seconds());
+        ConflictChangesMetric()->Inc(nchanges);
+        ConflictWindowMetric()->Observe(0.0);
+        fr::Record(fr::EventType::kTxnConflict, txn->txn_id_, winner_seq, 0,
+                   entry.display);
+        fr::Record(fr::EventType::kTxnAbort, txn->txn_id_, 0,
+                   static_cast<uint32_t>(fr::AbortReason::kConflict));
         return Status::Conflict(
             "write-write conflict on " + entry.display +
             ": a concurrent transaction committed this key first");
@@ -799,6 +935,10 @@ Status ArchIS::CommitTxn(Transaction* txn) {
           txn->txn_id_, clock_, txn->stamp_at_commit_, seq);
       if (!enq.ok()) {
         UnregisterTxnLocked(txn->txn_id_);
+        TxnAbortsMetric()->Inc();
+        AbortReasonMetric(fr::AbortReason::kWalPoison)->Inc();
+        fr::Record(fr::EventType::kTxnAbort, txn->txn_id_, 0,
+                   static_cast<uint32_t>(fr::AbortReason::kWalPoison));
         return enq.status();
       }
       ticket = *enq;
@@ -816,14 +956,27 @@ Status ArchIS::CommitTxn(Transaction* txn) {
     for (const auto& [wkey, entry] : txn->overlay_) {
       key_last_writer_[wkey] = seq;
     }
+    committed_seq = seq;
     UnregisterTxnLocked(txn->txn_id_);
   }
   if (wal_ != nullptr) {
-    ARCHIS_RETURN_NOT_OK(wal_->WaitDurable(ticket));
+    Status durable = wal_->WaitDurable(ticket);
+    if (!durable.ok()) {
+      TxnAbortsMetric()->Inc();
+      AbortReasonMetric(fr::AbortReason::kWalPoison)->Inc();
+      fr::Record(fr::EventType::kTxnAbort, txn->txn_id_, 0,
+                 static_cast<uint32_t>(fr::AbortReason::kWalPoison));
+      return durable;
+    }
   }
   InvalidatePlanCache();
   TxnCommitsMetric()->Inc();
   ChangesCapturedMetric()->Inc(nchanges);
+  CommitSecondsMetric(/*conflict=*/false)->Observe(commit_seconds());
+  // Recorded only after WaitDurable succeeds: every txn_commit event in a
+  // crash dump must name a transaction the WAL will recover as committed.
+  fr::Record(fr::EventType::kTxnCommit, txn->txn_id_, committed_seq,
+             static_cast<uint32_t>(nchanges));
   MaybeAutoCheckpoint();
   return Status::OK();
 }
@@ -836,7 +989,12 @@ Status ArchIS::AbortTxn(Transaction* txn) {
     IgnoreStatus(wal_->EnqueueAbort(txn->txn_id_));
   }
   UnregisterTxnLocked(txn->txn_id_);
-  if (!txn->changes_.empty()) TxnAbortsMetric()->Inc();
+  if (!txn->changes_.empty()) {
+    TxnAbortsMetric()->Inc();
+    AbortReasonMetric(fr::AbortReason::kExplicit)->Inc();
+  }
+  fr::Record(fr::EventType::kTxnAbort, txn->txn_id_, 0,
+             static_cast<uint32_t>(fr::AbortReason::kExplicit));
   txn->changes_.clear();
   txn->overlay_.clear();
   return Status::OK();
@@ -941,6 +1099,7 @@ Status ArchIS::Checkpoint(CheckpointCrashPoint crash_point) {
     had_ddl = ddl_since_checkpoint_;
     ddl_since_checkpoint_ = false;
     manifest.seq = checkpoint_seq_ + 1;
+    fr::Record(fr::EventType::kCheckpointPhase, manifest.seq, 0, 0, "capture");
     manifest.clock_days = clock_.days();
     manifest.next_txn_id = wal_->PeekNextTxnId();
     manifest.wal_offset = wal_->end_offset();
@@ -1006,7 +1165,9 @@ Status ArchIS::Checkpoint(CheckpointCrashPoint crash_point) {
     for (const auto& rows : rel.store_rows) manifest_rows += rows.size();
     manifest_rows += rel.current_rows.size() + rel.current_deletes.size();
   }
+  fr::Record(fr::EventType::kCheckpointPhase, manifest.seq, 0, 0, "encode");
   Result<std::string> encoded = EncodeCheckpointManifest(manifest);
+  fr::Record(fr::EventType::kCheckpointPhase, manifest.seq, 0, 0, "install");
   Status install =
       encoded.ok()
           ? (is_base ? InstallCheckpointManifest(options_.wal.path, *encoded,
@@ -1041,6 +1202,8 @@ Status ArchIS::Checkpoint(CheckpointCrashPoint crash_point) {
       ARCHIS_RETURN_NOT_OK(wal_->FlushDurable());
       ARCHIS_RETURN_NOT_OK(wal_->ResetAfterCheckpoint(manifest.seq));
       wal_reset = true;
+      fr::Record(fr::EventType::kCheckpointPhase, manifest.seq, 0, 0,
+                 "wal_reset");
     }
   }
   wal_bytes_at_last_checkpoint_ = wal_->bytes_written();
@@ -1049,6 +1212,7 @@ Status ArchIS::Checkpoint(CheckpointCrashPoint crash_point) {
   CheckpointSecondsMetric()->Observe(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
           .count());
+  fr::Record(fr::EventType::kCheckpointPhase, manifest.seq, 0, 0, "complete");
   logging::Info("checkpoint.complete")
       .Kv("seq", manifest.seq)
       .Kv("kind", is_base ? "base" : "delta")
@@ -1432,21 +1596,71 @@ TranslatorContext ArchIS::translator_context() const {
   return ctx;
 }
 
+namespace {
+
+// ARCHIS_SLOW_QUERY_MS, parsed once. Unset, unparseable or <= 0 disables.
+double SlowQueryEnvMs() {
+  static const double ms = [] {
+    const char* env = std::getenv("ARCHIS_SLOW_QUERY_MS");
+    if (env == nullptr) return 0.0;
+    char* end = nullptr;
+    double v = std::strtod(env, &end);
+    return (end == env || v <= 0) ? 0.0 : v;
+  }();
+  return ms;
+}
+
+}  // namespace
+
 Result<QueryResult> ArchIS::Query(const std::string& xquery,
                                   const QueryOptions& options) {
+  double slow_ms = options.slow_query_ms;
+  if (slow_ms < 0) slow_ms = SlowQueryEnvMs();
   trace::Trace tr;
-  trace::Trace* trace = options.collect_profile ? &tr : nullptr;
+  // A live slow-query threshold forces profile collection so the slow log
+  // can carry the rendered span tree even when the caller did not ask for
+  // one; the profile only reaches QueryResult when collect_profile is set.
+  trace::Trace* trace =
+      (options.collect_profile || slow_ms > 0) ? &tr : nullptr;
   const auto started = std::chrono::steady_clock::now();
-  auto observe_latency = [&started] {
-    QuerySecondsMetric()->Observe(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      started)
-            .count());
+  auto observe_latency = [&started](bool ok, uint64_t rows) {
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - started)
+                            .count();
+    QuerySecondsMetric()->Observe(secs);
+    QueryWindowMetric()->Observe(secs);
+    fr::Record(fr::EventType::kQueryExecute, rows,
+               static_cast<uint64_t>(secs * 1e9), ok ? 1u : 0u);
+    return secs;
   };
   auto fail = [&](Status st) {
     QueryFailuresMetric()->Inc();
-    observe_latency();
+    observe_latency(/*ok=*/false, 0);
     return st;
+  };
+  // Success tail shared by both paths: windowed + flight-recorder
+  // accounting, slow-query log, profile hand-off.
+  auto finish = [&](QueryResult* result, uint64_t rows) {
+    const double secs = observe_latency(/*ok=*/true, rows);
+    std::optional<trace::QueryProfile> profile;
+    if (trace != nullptr) profile = tr.TakeProfile();
+    if (slow_ms > 0 && secs * 1e3 >= slow_ms) {
+      fr::Record(fr::EventType::kSlowQuery,
+                 static_cast<uint64_t>(slow_ms * 1e6),
+                 static_cast<uint64_t>(secs * 1e9));
+      constexpr size_t kMaxLoggedQuery = 200;
+      logging::Warn("query.slow")
+          .Kv("ms", secs * 1e3)
+          .Kv("threshold_ms", slow_ms)
+          .Kv("path", result->path == QueryPath::kTranslated ? "translated"
+                                                             : "native")
+          .Kv("rows", rows)
+          .Kv("query", xquery.size() > kMaxLoggedQuery
+                           ? xquery.substr(0, kMaxLoggedQuery) + "..."
+                           : xquery)
+          .Kv("profile", profile ? profile->Render() : std::string());
+    }
+    if (options.collect_profile) result->profile = std::move(profile);
   };
   QueryResult result;
   if (options.force_path != QueryForce::kNative) {
@@ -1472,8 +1686,7 @@ Result<QueryResult> ArchIS::Query(const std::string& xquery,
       if (!xml.ok()) return fail(xml.status());
       result.xml = std::move(*xml);
       QueriesTranslatedMetric()->Inc();
-      observe_latency();
-      if (trace != nullptr) result.profile = tr.TakeProfile();
+      finish(&result, result.stats.result_rows);
       return result;
     }
     if (options.force_path == QueryForce::kTranslated ||
@@ -1497,8 +1710,7 @@ Result<QueryResult> ArchIS::Query(const std::string& xquery,
     }
   }
   QueriesNativeMetric()->Inc();
-  observe_latency();
-  if (trace != nullptr) result.profile = tr.TakeProfile();
+  finish(&result, seq->size());
   return result;
 }
 
@@ -1540,13 +1752,17 @@ Result<xml::XmlNodePtr> ArchIS::Execute(const SqlXmlPlan& plan,
   key.clear();
   AppendPlanCacheKey(plan, &key);
   std::shared_ptr<const PhysicalPlan> physical;
+  uint64_t epoch = 0;
   {
     MutexLock l(plan_cache_mu_);
+    epoch = plan_epoch_;
     auto it = plan_cache_.find(key);
     if (it != plan_cache_.end() && it->second.epoch == plan_epoch_) {
       physical = it->second.physical;
     }
   }
+  fr::Record(fr::EventType::kQueryPlan, epoch, 0,
+             /*flags=*/physical != nullptr ? 1u : 0u);
   if (physical != nullptr) {
     cache_hits->Inc();
   } else {

@@ -94,6 +94,12 @@ struct QueryOptions {
   /// segment scans) on QueryResult::profile. Off by default: profiling
   /// allocates per span, so it is opt-in per query.
   bool collect_profile = false;
+  /// Slow-query log threshold in milliseconds. A successful query slower
+  /// than this emits a `query.slow` warning carrying the rendered profile
+  /// (collection is forced internally while a threshold is active).
+  /// 0 disables; negative (the default) defers to ARCHIS_SLOW_QUERY_MS
+  /// in the environment (unset/0 = disabled).
+  double slow_query_ms = -1.0;
 };
 
 /// Result of ArchIS::Query.
@@ -210,6 +216,7 @@ class ArchIS {
   /// call fails — durable instances must be built with Open so recovery
   /// runs first.
   ArchIS(ArchISOptions options, Date start_date);
+  ~ArchIS();
 
   /// Builds an instance with a durable change log: restores the newest
   /// checkpoint chain (base manifest + incremental deltas), replays the
@@ -345,6 +352,11 @@ class ArchIS {
   /// clustering, query/executor counters). Static because the registry is
   /// process-wide; see DESIGN.md §9 for the catalog.
   static std::string DumpMetrics();
+
+  /// Chrome trace_event JSON of the process-wide flight recorder (every
+  /// thread's recent txn/WAL/checkpoint/query/cache events, timestamp
+  /// sorted). Load in chrome://tracing or Perfetto; see DESIGN.md §14.
+  static std::string DumpTrace();
 
   // -- Maintenance / introspection -----------------------------------------------
 
@@ -506,6 +518,11 @@ class ArchIS {
   /// "relation(v1, v2)" — the conflict-message rendering of a key.
   static std::string DisplayKey(const std::string& relation,
                                 const std::vector<minirel::Value>& key);
+
+  /// Contributes the active-transaction table to flight-recorder crash
+  /// dumps; registered for this instance's lifetime (defined in the .cc).
+  class CrashSource;
+  std::unique_ptr<CrashSource> crash_source_;
 
   ArchISOptions options_;
   Date clock_;

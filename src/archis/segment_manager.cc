@@ -4,6 +4,7 @@
 #include <queue>
 #include <unordered_set>
 
+#include "common/flight_recorder.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "minirel/executor.h"
@@ -413,6 +414,8 @@ Status SegmentedStore::Freeze(Date now) {
   FreezeUsefulnessMetric()->Observe(usefulness_at_freeze);
   FrozenSegmentsMetric()->Add(1);
   FrozenTuplesMetric()->Inc(info.tuple_count);
+  fr::Record(fr::EventType::kSegmentFreeze, info.segno, info.tuple_count, 0,
+             name_);
   logging::Debug("segment.freeze")
       .Kv("store", name_)
       .Kv("segno", info.segno)

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/coding.h"
+#include "common/flight_recorder.h"
 #include "common/log.h"
 #include "common/metrics.h"
 
@@ -54,6 +55,16 @@ metrics::Counter* WalFollowerWaitsMetric() {
       "Times a committer waited on another thread's in-flight sync "
       "instead of leading its own");
   return c;
+}
+
+metrics::WindowedHistogram* FsyncWindowMetric() {
+  static metrics::WindowedHistogram* w =
+      metrics::Registry::Global().GetWindowed(
+          "archis_fsync_window_seconds",
+          "Sliding-window WAL fsync latency (rate, p50/p95/p99 over "
+          "1s/10s/60s)",
+          metrics::DefaultLatencyBuckets());
+  return w;
 }
 
 using coding::AppendI64;
@@ -317,18 +328,21 @@ Status Wal::ResetAfterCheckpoint(uint64_t checkpoint_seq) {
 Status Wal::EnqueueBegin(uint64_t txn_id) {
   std::string framed;
   EncodeBegin(txn_id, &framed);
+  fr::Record(fr::EventType::kWalAppend, txn_id, framed.size());
   return Enqueue(framed).status();
 }
 
 Status Wal::EnqueueChange(uint64_t txn_id, const ChangeRecord& change) {
   std::string framed;
   EncodeChange(txn_id, change, &framed);
+  fr::Record(fr::EventType::kWalAppend, txn_id, framed.size());
   return Enqueue(framed).status();
 }
 
 Status Wal::EnqueueAbort(uint64_t txn_id) {
   std::string framed;
   EncodeAbort(txn_id, &framed);
+  fr::Record(fr::EventType::kWalAppend, txn_id, framed.size());
   return Enqueue(framed).status();
 }
 
@@ -336,6 +350,7 @@ Result<uint64_t> Wal::EnqueueCommit(uint64_t txn_id, Date commit_date,
                                     bool stamped, uint64_t commit_seq) {
   std::string framed;
   EncodeCommit(txn_id, commit_date, stamped, commit_seq, &framed);
+  fr::Record(fr::EventType::kWalAppend, txn_id, framed.size());
   return Enqueue(framed);
 }
 
@@ -418,7 +433,11 @@ Status Wal::WaitDurableInternal(uint64_t ticket, bool count_commit) {
       std::string batch = std::move(pending_);
       pending_.clear();
       const uint64_t batch_seq = pending_seq_;
+      // Frames this leader's sync will cover (its own plus every follower
+      // that queued behind it) — the group-commit coalescing factor.
+      const uint64_t batch_frames = batch_seq - durable_seq_;
       mu_.Unlock();
+      fr::Record(fr::EventType::kWalLeaderHandoff, batch_frames);
       const auto sync_start = std::chrono::steady_clock::now();
       Status io = file_->Append(batch);
       if (io.ok()) io = file_->Sync();
@@ -433,9 +452,13 @@ Status Wal::WaitDurableInternal(uint64_t ticket, bool count_commit) {
         durable_seq_ = batch_seq;
         ++syncs_;
         WalFsyncSecondsMetric()->Observe(sync_secs);
+        FsyncWindowMetric()->Observe(sync_secs);
         WalBatchBytesMetric()->Observe(static_cast<double>(batch.size()));
         WalSyncsMetric()->Inc();
         WalBytesMetric()->Inc(batch.size());
+        fr::Record(fr::EventType::kWalFsync, batch.size(),
+                   static_cast<uint64_t>(sync_secs * 1e9),
+                   static_cast<uint32_t>(batch_frames));
       } else {
         dead_ = io;  // the log is crashed; every committer sees the error
         logging::Error("wal.dead")

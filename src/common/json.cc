@@ -1,0 +1,313 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace archis::json {
+
+Value Value::Bool(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::Number(double n) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+Value Value::String(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::Array(std::vector<Value> items) {
+  Value v;
+  v.type_ = Type::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+Value Value::Object(std::vector<std::pair<std::string, Value>> members) {
+  Value v;
+  v.type_ = Type::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> Document() {
+    ARCHIS_ASSIGN_OR_RETURN(Value v, ParseValue(0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after document");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::ParseError("json: " + what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseValue(int depth) {
+    if (depth > 128) return Error("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        ARCHIS_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Value::String(std::move(s));
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          return Value::Bool(true);
+        }
+        return Error("bad literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          return Value::Bool(false);
+        }
+        return Error("bad literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          return Value::Null();
+        }
+        return Error("bad literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Value> ParseObject(int depth) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, Value>> members;
+    SkipWs();
+    if (Consume('}')) return Value::Object(std::move(members));
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      ARCHIS_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Error("expected ':'");
+      ARCHIS_ASSIGN_OR_RETURN(Value v, ParseValue(depth + 1));
+      members.emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Value::Object(std::move(members));
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Result<Value> ParseArray(int depth) {
+    ++pos_;  // '['
+    std::vector<Value> items;
+    SkipWs();
+    if (Consume(']')) return Value::Array(std::move(items));
+    while (true) {
+      ARCHIS_ASSIGN_OR_RETURN(Value v, ParseValue(depth + 1));
+      items.push_back(std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Value::Array(std::move(items));
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(e);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          ARCHIS_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a \uXXXX low surrogate must follow.
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              ARCHIS_ASSIGN_OR_RETURN(uint32_t lo, ParseHex4());
+              if (lo < 0xDC00 || lo > 0xDFFF) {
+                return Error("bad low surrogate");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              return Error("unpaired surrogate");
+            }
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired surrogate");
+          }
+          AppendUtf8(cp, &out);
+          break;
+        }
+        default:
+          return Error("bad escape");
+      }
+    }
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("bad hex digit in \\u escape");
+      }
+    }
+    return v;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Result<Value> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() || !std::isdigit(
+        static_cast<unsigned char>(text_[pos_]))) {
+      return Error("bad number");
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || !std::isdigit(
+          static_cast<unsigned char>(text_[pos_]))) {
+        return Error("bad fraction");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !std::isdigit(
+          static_cast<unsigned char>(text_[pos_]))) {
+        return Error("bad exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return Value::Number(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(std::string_view text) {
+  return Parser(text).Document();
+}
+
+}  // namespace archis::json

@@ -1,0 +1,73 @@
+// Minimal JSON parser (small DOM, Status-returning) for the diagnostic
+// surfaces that *consume* JSON: validating Chrome trace dumps
+// (tools/trace_check), checking `.crashdump` well-formedness in
+// recovery_fuzz and the flight-recorder tests. Writers build JSON by
+// hand (flight_recorder.cc, log.cc); this is the matching reader, not a
+// general-purpose serialization layer.
+//
+// Supported: RFC 8259 objects/arrays/strings/numbers/bools/null with
+// \uXXXX escapes (decoded to UTF-8; surrogate pairs combined). Numbers
+// are held as double — fine for diagnostics, not for exact 64-bit ids
+// above 2^53 (ArchIS ids in dumps stay far below that).
+#ifndef ARCHIS_COMMON_JSON_H_
+#define ARCHIS_COMMON_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace archis::json {
+
+/// One parsed JSON value. Object member order is preserved.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+  const std::vector<Value>& items() const { return items_; }
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* Find(std::string_view key) const;
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Number(double n);
+  static Value String(std::string s);
+  static Value Array(std::vector<Value> items);
+  static Value Object(std::vector<std::pair<std::string, Value>> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// trailing garbage is an error). Errors carry a byte offset.
+Result<Value> Parse(std::string_view text);
+
+}  // namespace archis::json
+
+#endif  // ARCHIS_COMMON_JSON_H_

@@ -117,6 +117,66 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Shared percentile estimate over a cumulative-bucket layout: linear
+/// interpolation inside the covering bucket, clamped to the largest
+/// finite bound (`buckets` has bounds.size() + 1 entries, the last being
+/// +Inf). Histogram::Percentile and WindowedHistogram::Stats both defer
+/// here so the interpolation semantics (and their boundary cases) have
+/// exactly one implementation.
+double PercentileFromBuckets(const std::vector<double>& bounds,
+                             const std::vector<uint64_t>& buckets, double p);
+
+/// Sliding-window histogram: per-second sub-histograms in a 64-slot ring
+/// tagged by epoch second, merged on demand into rate + p50/p95/p99 for
+/// the trailing 1s/10s/60s windows (DESIGN.md §14).
+///
+/// Observe is lock-free: find the slot for the current second, lazily
+/// rotate it (zero + CAS the epoch tag) when it still holds an older
+/// second, then two relaxed fetch_adds. Rotation is monitoring-grade by
+/// design: an observation racing the zeroing of its slot can be lost,
+/// which smears at most one second of data — never corrupts, never
+/// blocks. The clock is injectable so tests drive window edges
+/// deterministically.
+class WindowedHistogram {
+ public:
+  explicit WindowedHistogram(std::vector<double> bounds);
+  WindowedHistogram(const WindowedHistogram&) = delete;
+  WindowedHistogram& operator=(const WindowedHistogram&) = delete;
+
+  void Observe(double v);
+
+  struct WindowStats {
+    uint64_t count = 0;
+    double rate_per_sec = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  /// Merged view of the trailing `window_secs` seconds (the current
+  /// second plus the window_secs - 1 before it). `window_secs` is capped
+  /// to the ring depth (64).
+  WindowStats Stats(int window_secs) const;
+
+  void Reset();
+  /// Injects a seconds clock (steady, monotonic) for deterministic
+  /// window-edge tests; nullptr restores the real clock.
+  void SetClockForTest(uint64_t (*now_secs)());
+
+ private:
+  static constexpr int kSlots = 64;
+  struct Slot {
+    std::atomic<uint64_t> epoch{0};  // second this slot covers; 0 = empty
+    std::atomic<uint64_t> count{0};
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets;  // bounds + Inf
+  };
+
+  uint64_t NowSecs() const;
+
+  std::vector<double> bounds_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t (*)()> clock_override_{nullptr};
+};
+
 /// Exponential bucket bounds: start, start*factor, ... (n bounds).
 std::vector<double> ExponentialBuckets(double start, double factor, int n);
 /// Linear bucket bounds: start, start+step, ... (n bounds).
@@ -131,6 +191,11 @@ std::vector<double> DefaultSizeBuckets();
 /// name with a different instrument type returns a detached dummy (never
 /// rendered) instead of crashing — the lint/test layer catches the
 /// conflict via TextFormat().
+///
+/// Names may carry a Prometheus label suffix (`x_total{reason="conflict"}`):
+/// each labeled variant is its own instrument, and TextFormat emits the
+/// HELP/TYPE header once per base name (the part before '{') so the
+/// exposition stays well-formed.
 class Registry {
  public:
   Registry() = default;
@@ -144,24 +209,36 @@ class Registry {
   Gauge* GetGauge(const std::string& name, const std::string& help);
   Histogram* GetHistogram(const std::string& name, const std::string& help,
                           std::vector<double> bounds);
+  WindowedHistogram* GetWindowed(const std::string& name,
+                                 const std::string& help,
+                                 std::vector<double> bounds);
 
   /// Prometheus text exposition (# HELP / # TYPE, `_bucket{le="..."}` /
   /// `_sum` / `_count` for histograms), instruments sorted by name.
+  /// Windowed histograms render as gauge families with window="1s|10s|60s"
+  /// and stat="rate|p50|p95|p99" labels.
   std::string TextFormat() const;
+
+  /// Crash-path exposition: never blocks. Returns "" when the registry
+  /// mutex is held (e.g. the crashing thread died inside TextFormat).
+  std::string TryTextFormat() const;
 
   /// Zeroes every instrument's value; registrations (and cached call-site
   /// pointers) stay valid. For tests and the bench ablation.
   void ResetValues();
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kWindowed };
   struct Entry {
     Kind kind;
     std::string help;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<WindowedHistogram> windowed;
   };
+
+  std::string FormatLocked() const ARCHIS_REQUIRES(mu_);
 
   mutable Mutex mu_{LockRank::kMetricsRegistry};
   std::map<std::string, Entry> entries_ ARCHIS_GUARDED_BY(mu_);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 
 namespace archis::compress {
@@ -165,6 +166,8 @@ Result<BlobStore::BlockPayloads> BlobStore::FetchBlock(
       uint64_t victim = shard.lru.back();
       auto vit = shard.entries.find(victim);
       shard.bytes -= blocks_[victim].raw_bytes;
+      fr::Record(fr::EventType::kBlockCacheEvict, victim,
+                 blocks_[victim].raw_bytes);
       shard.entries.erase(vit);
       shard.lru.pop_back();
     }

@@ -371,6 +371,66 @@ TEST(LockRank, SuppressionComment) {
       "lock-rank"));
 }
 
+// ---- trace-event-names ----------------------------------------------------
+
+TEST(TraceEventNames, FiresOnNonEnumeratorFirstArgument) {
+  EXPECT_TRUE(FiredRule("src/archis/seeded.cc", "fr::Record(3, id);\n",
+                        "trace-event-names"));
+  EXPECT_TRUE(FiredRule("src/archis/seeded.cc",
+                        "fr::Record(event_type, id);\n",
+                        "trace-event-names"));
+  EXPECT_TRUE(FiredRule("src/archis/seeded.cc",
+                        "fr::Record(static_cast<fr::EventType>(n), id);\n",
+                        "trace-event-names"));
+}
+
+TEST(TraceEventNames, AllowsRegisteredEnumerators) {
+  EXPECT_FALSE(FiredRule("src/archis/seeded.cc",
+                         "fr::Record(fr::EventType::kTxnBegin, id);\n",
+                         "trace-event-names"));
+  EXPECT_FALSE(FiredRule("src/archis/seeded.cc",
+                         "fr::Record(\n    EventType::kWalFsync, a, b);\n",
+                         "trace-event-names"));
+  EXPECT_FALSE(FiredRule(
+      "src/archis/seeded.cc",
+      "archis::fr::Record(archis::fr::EventType::kCrash, 0, 0, 0, r);\n",
+      "trace-event-names"));
+}
+
+TEST(TraceEventNames, IgnoresLongerIdentifiersAndComments) {
+  EXPECT_FALSE(FiredRule("src/archis/seeded.cc", "myfr::Record(3, id);\n",
+                         "trace-event-names"));
+  EXPECT_FALSE(FiredRule("src/archis/seeded.cc",
+                         "// fr::Record(3, id) would be rejected\n",
+                         "trace-event-names"));
+}
+
+TEST(TraceEventNames, FiresOnNonSnakeCaseDisplayName) {
+  EXPECT_TRUE(FiredRule("src/common/flight_recorder.h",
+                        "#define LIST(X) X(kFoo, \"FooBar\")\n",
+                        "trace-event-names"));
+  EXPECT_TRUE(FiredRule("src/common/flight_recorder.h",
+                        "#define LIST(X) X(kFoo, \"7foo\")\n",
+                        "trace-event-names"));
+}
+
+TEST(TraceEventNames, AllowsSnakeCaseNamesAndScopesToRegistryHeader) {
+  EXPECT_FALSE(FiredRule("src/common/flight_recorder.h",
+                         "#define LIST(X) X(kFoo, \"foo_bar2\")\n",
+                         "trace-event-names"));
+  // The display-name arm only applies to the registry header itself.
+  EXPECT_FALSE(FiredRule("src/archis/seeded.cc", "X(kFoo, \"FooBar\")\n",
+                         "trace-event-names"));
+}
+
+TEST(TraceEventNames, SuppressionComment) {
+  EXPECT_FALSE(FiredRule(
+      "src/archis/seeded.cc",
+      "// archis-lint: allow(trace-event-names) -- replaying a saved type\n"
+      "fr::Record(saved_type, id);\n",
+      "trace-event-names"));
+}
+
 // ---- comment stripping ----------------------------------------------------
 
 TEST(StripCommentsTest, PreservesLineStructureAndStrings) {

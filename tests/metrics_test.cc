@@ -18,6 +18,8 @@
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "minirel/schema.h"
+#include "minirel/value.h"
 #include "workload/employee_workload.h"
 #include "xml/serializer.h"
 
@@ -167,6 +169,115 @@ TEST(HistogramTest, BucketHelpers) {
   }
 }
 
+TEST(HistogramTest, PercentileExactlyOnBucketEdgeReturnsTheBound) {
+  // Regression for the shared interpolation (PercentileFromBuckets): when
+  // rank * count lands exactly on a bucket's cumulative edge, the estimate
+  // must be that bucket's upper bound — not interpolate into (or divide
+  // by) the next bucket. Histogram::Percentile and
+  // WindowedHistogram::Stats both defer here, so this pins both.
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  // 99 observations land <= 1 and one in (2, 4]: the p99 rank (0.99 * 100
+  // = 99) is exactly the cumulative count of bucket 0.
+  const std::vector<uint64_t> buckets = {99, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(metrics::PercentileFromBuckets(bounds, buckets, 0.99),
+                   1.0);
+  // One rank past the edge jumps to the covering bucket (2, 4].
+  EXPECT_GT(metrics::PercentileFromBuckets(bounds, buckets, 0.999), 2.0);
+  // A mid-ladder edge behaves the same: p50 of a 50/50 split sits on the
+  // first bound.
+  EXPECT_DOUBLE_EQ(
+      metrics::PercentileFromBuckets({1.0, 2.0}, {50, 50, 0}, 0.50), 1.0);
+
+  metrics::Histogram h(bounds);
+  for (int i = 0; i < 99; ++i) h.Observe(0.5);
+  h.Observe(3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// WindowedHistogram
+
+// SetClockForTest takes a plain function pointer, so the fake clock lives
+// at namespace scope.
+std::atomic<uint64_t> g_fake_secs{1000};
+uint64_t FakeClock() { return g_fake_secs.load(std::memory_order_relaxed); }
+
+TEST(WindowedHistogramTest, StatsMergeTheTrailingWindow) {
+  metrics::WindowedHistogram w(metrics::LinearBuckets(1.0, 1.0, 10));
+  g_fake_secs.store(1000);
+  w.SetClockForTest(&FakeClock);
+  for (int i = 0; i < 100; ++i) w.Observe(4.5);
+  const auto s1 = w.Stats(1);
+  EXPECT_EQ(s1.count, 100u);
+  EXPECT_DOUBLE_EQ(s1.rate_per_sec, 100.0);
+  EXPECT_GT(s1.p50, 4.0);
+  EXPECT_LE(s1.p50, 5.0);
+  EXPECT_LE(s1.p50, s1.p95);
+  EXPECT_LE(s1.p95, s1.p99);
+  // A wider window sees the same observations at a fraction of the rate.
+  const auto s10 = w.Stats(10);
+  EXPECT_EQ(s10.count, 100u);
+  EXPECT_DOUBLE_EQ(s10.rate_per_sec, 10.0);
+}
+
+TEST(WindowedHistogramTest, OldSecondsAgeOutOfTheWindow) {
+  metrics::WindowedHistogram w({1.0, 2.0});
+  g_fake_secs.store(2000);
+  w.SetClockForTest(&FakeClock);
+  w.Observe(0.5);
+  g_fake_secs.store(2001);
+  w.Observe(1.5);
+  w.Observe(1.5);
+  // 1s window = the current second only; 2s adds the one before it.
+  EXPECT_EQ(w.Stats(1).count, 2u);
+  EXPECT_EQ(w.Stats(2).count, 3u);
+  // Far in the future everything has aged out, even though the ring still
+  // physically holds the stale epochs.
+  g_fake_secs.store(2100);
+  EXPECT_EQ(w.Stats(60).count, 0u);
+  EXPECT_DOUBLE_EQ(w.Stats(60).rate_per_sec, 0.0);
+  EXPECT_DOUBLE_EQ(w.Stats(60).p99, 0.0);
+}
+
+TEST(WindowedHistogramTest, SlotReuseZeroesStaleSubHistogram) {
+  metrics::WindowedHistogram w({1.0});
+  g_fake_secs.store(3000);
+  w.SetClockForTest(&FakeClock);
+  for (int i = 0; i < 5; ++i) w.Observe(0.5);
+  // 64 seconds later the same ring slot is reclaimed for a new epoch; the
+  // stale counts must not bleed into the new second.
+  g_fake_secs.store(3064);
+  w.Observe(0.5);
+  EXPECT_EQ(w.Stats(1).count, 1u);
+  EXPECT_EQ(w.Stats(60).count, 1u);
+}
+
+TEST(WindowedHistogramTest, SharesBucketEdgePercentileSemantics) {
+  // Same distribution as PercentileExactlyOnBucketEdgeReturnsTheBound —
+  // the windowed path must agree because the implementation is shared.
+  metrics::WindowedHistogram w({1.0, 2.0, 4.0});
+  g_fake_secs.store(4000);
+  w.SetClockForTest(&FakeClock);
+  for (int i = 0; i < 99; ++i) w.Observe(0.5);
+  w.Observe(3.0);
+  EXPECT_DOUBLE_EQ(w.Stats(1).p99, 1.0);
+}
+
+TEST(WindowedHistogramTest, ResetClearsAndRealClockRestores) {
+  metrics::WindowedHistogram w({1.0});
+  g_fake_secs.store(5000);
+  w.SetClockForTest(&FakeClock);
+  w.Observe(0.5);
+  EXPECT_EQ(w.Stats(1).count, 1u);
+  w.Reset();
+  EXPECT_EQ(w.Stats(1).count, 0u);
+  // nullptr restores the real clock; the observation lands in the actual
+  // current second and is visible through the widest window.
+  w.SetClockForTest(nullptr);
+  w.Observe(0.5);
+  EXPECT_EQ(w.Stats(60).count, 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Registry
 
@@ -215,6 +326,87 @@ TEST(RegistryTest, TextFormatIsWellFormedExposition) {
   EXPECT_NE(text.find("lat_seconds_bucket{le=\"1\"} 1"), std::string::npos);
   EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 2"), std::string::npos);
   EXPECT_NE(text.find("lat_seconds_count 2"), std::string::npos);
+}
+
+int CountOccurrences(const std::string& text, const std::string& needle) {
+  int n = 0;
+  for (size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(RegistryTest, LabeledFamilySharesOneHeader) {
+  // Labeled variants (`x_total{reason="..."}`) are distinct instruments
+  // but one exposition family: exactly one HELP/TYPE for the base name.
+  metrics::Registry reg;
+  reg.GetCounter("abort_total{reason=\"conflict\"}", "aborts by reason")
+      ->Inc(2);
+  reg.GetCounter("abort_total{reason=\"explicit\"}", "aborts by reason")
+      ->Inc(1);
+  const std::string text = reg.TextFormat();
+  EXPECT_EQ(CountOccurrences(text, "# HELP abort_total "), 1);
+  EXPECT_EQ(CountOccurrences(text, "# TYPE abort_total counter"), 1);
+  EXPECT_NE(text.find("abort_total{reason=\"conflict\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("abort_total{reason=\"explicit\"} 1"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, LabeledHistogramMergesLabelsIntoSampleLines) {
+  // Histogram sample suffixes attach to the base name with the family's
+  // labels merged into each sample's label set — the broken shape
+  // `x_seconds{outcome="ok"}_bucket{...}` is not valid exposition.
+  metrics::Registry reg;
+  auto* ok = reg.GetHistogram("commit_seconds{outcome=\"ok\"}", "commit",
+                              {0.1, 1.0});
+  reg.GetHistogram("commit_seconds{outcome=\"conflict\"}", "commit",
+                   {0.1, 1.0});
+  ok->Observe(0.05);
+  const std::string text = reg.TextFormat();
+  EXPECT_EQ(CountOccurrences(text, "# TYPE commit_seconds histogram"), 1);
+  EXPECT_NE(
+      text.find("commit_seconds_bucket{outcome=\"ok\",le=\"0.1\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("commit_seconds_bucket{outcome=\"conflict\",le=\"+Inf\"} 0"),
+      std::string::npos);
+  EXPECT_NE(text.find("commit_seconds_count{outcome=\"ok\"} 1"),
+            std::string::npos);
+  EXPECT_EQ(text.find("}_bucket"), std::string::npos);
+  EXPECT_EQ(text.find("}_sum"), std::string::npos);
+  EXPECT_EQ(text.find("}_count"), std::string::npos);
+}
+
+TEST(RegistryTest, WindowedHistogramRendersWindowAndStatLabels) {
+  metrics::Registry reg;
+  auto* w = reg.GetWindowed("q_window_seconds", "windowed latency", {1.0});
+  g_fake_secs.store(6000);
+  w->SetClockForTest(&FakeClock);
+  w->Observe(0.5);
+  const std::string text = reg.TextFormat();
+  EXPECT_EQ(CountOccurrences(text, "# TYPE q_window_seconds gauge"), 1);
+  for (const char* win : {"1s", "10s", "60s"}) {
+    for (const char* stat : {"rate", "p50", "p95", "p99"}) {
+      const std::string line = std::string("q_window_seconds{window=\"") +
+                               win + "\",stat=\"" + stat + "\"}";
+      EXPECT_NE(text.find(line), std::string::npos) << "missing " << line;
+    }
+  }
+  EXPECT_NE(text.find("q_window_seconds{window=\"1s\",stat=\"rate\"} 1"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, TryTextFormatMatchesTextFormatWhenUncontended) {
+  // The crash path renders through TryTextFormat; uncontended it must be
+  // byte-identical to the blocking exposition (windowed stats aside, so
+  // keep the registry windowed-free here).
+  metrics::Registry reg;
+  reg.GetCounter("t_total", "t")->Inc(3);
+  reg.GetGauge("g_gauge", "g")->Set(-1);
+  EXPECT_EQ(reg.TryTextFormat(), reg.TextFormat());
+  EXPECT_NE(reg.TryTextFormat().find("t_total 3"), std::string::npos);
 }
 
 TEST(RegistryTest, ResetValuesKeepsRegistrations) {
@@ -448,6 +640,59 @@ TEST(ObservabilityIntegrationTest, QueryFailureCountsAndLatencyObserved) {
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(GlobalCounterValue("archis_query_failures_total"),
             failures_before + 1);
+}
+
+TEST(ObservabilityIntegrationTest, AbortReasonBreakdownCounters) {
+  ArchISOptions options;
+  ArchIS db(options, Date::FromYmd(1990, 1, 1));
+  core::RelationSpec spec;
+  spec.name = "t";
+  spec.schema = minirel::Schema({{"id", minirel::DataType::kInt64},
+                                 {"v", minirel::DataType::kInt64}});
+  spec.key_columns = {"id"};
+  spec.doc_name = "t.xml";
+  ASSERT_TRUE(db.CreateRelation(spec).ok());
+
+  const std::string kExplicit = "archis_txn_abort_total{reason=\"explicit\"}";
+  const std::string kWrongThread =
+      "archis_txn_abort_total{reason=\"wrong_thread\"}";
+  const uint64_t explicit_before = GlobalCounterValue(kExplicit);
+  const uint64_t wrong_thread_before = GlobalCounterValue(kWrongThread);
+  const uint64_t aggregate_before =
+      GlobalCounterValue("archis_txn_aborts_total");
+
+  // Explicit abort of a transaction that buffered changes.
+  auto txn = db.Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(
+      txn->Insert("t", {minirel::Value(int64_t{1}), minirel::Value(int64_t{2})})
+          .ok());
+  ASSERT_TRUE(txn->Abort().ok());
+  EXPECT_EQ(GlobalCounterValue(kExplicit), explicit_before + 1);
+  EXPECT_EQ(GlobalCounterValue("archis_txn_aborts_total"),
+            aggregate_before + 1);
+
+  // Wrong-thread use: the handle is thread-affine; touching it from a
+  // second thread lands in the wrong_thread bucket.
+  auto affine = db.Begin();
+  ASSERT_TRUE(affine.ok());
+  ASSERT_TRUE(affine
+                  ->Insert("t", {minirel::Value(int64_t{2}),
+                                 minirel::Value(int64_t{3})})
+                  .ok());
+  std::thread intruder([&affine] {
+    const Status s = affine->Insert(
+        "t", {minirel::Value(int64_t{3}), minirel::Value(int64_t{4})});
+    EXPECT_FALSE(s.ok());
+  });
+  intruder.join();
+  EXPECT_EQ(GlobalCounterValue(kWrongThread), wrong_thread_before + 1);
+  ASSERT_TRUE(affine->Abort().ok());
+
+  // Both labeled variants render under one family header.
+  const std::string text = ArchIS::DumpMetrics();
+  EXPECT_NE(text.find(kExplicit), std::string::npos);
+  EXPECT_NE(text.find(kWrongThread), std::string::npos);
 }
 
 }  // namespace

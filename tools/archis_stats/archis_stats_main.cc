@@ -13,13 +13,28 @@
 //     Recovers an existing durable store from its change WAL and dumps
 //     catalog + metrics (recovery counters included).
 //
+//   archis-stats ... --trace PATH
+//     Additionally drains the flight recorder into Chrome trace_event
+//     JSON at PATH ("-" = stdout, suppressing the human report), loadable
+//     in chrome://tracing / Perfetto and checked by tools/trace_check.
+//
+//   archis-stats ... --watch N
+//     After the workload, ticks N times at ~1s intervals, re-running the
+//     query each tick and printing the sliding-window metric lines
+//     (window="1s|10s|60s" rate/p50/p95/p99) — a poor man's `top` for a
+//     live store.
+//
 // This binary doubles as the metrics smoke-test vehicle for
 // scripts/check.sh (see scripts/metrics_smoke.sh).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "archis/archis.h"
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "workload/employee_workload.h"
 #include "xml/serializer.h"
@@ -40,8 +55,21 @@ int Usage() {
       stderr,
       "usage: archis-stats [--workload] [--wal PATH] [--employees N]\n"
       "                    [--years N] [--no-compress] [--query XQ]\n"
-      "                    [--default-query] [--profile]\n");
+      "                    [--default-query] [--profile]\n"
+      "                    [--trace PATH|-] [--watch N]\n");
   return 2;
+}
+
+// Prints the window="..." gauge lines of the exposition — the sliding
+// 1s/10s/60s rate & percentile view archis-stats --watch refreshes.
+void PrintWindowedLines(const std::string& exposition) {
+  std::istringstream in(exposition);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("window=") != std::string::npos) {
+      std::printf("%s\n", line.c_str());
+    }
+  }
 }
 
 void PrintStore(const char* label, const SegmentedStore* store) {
@@ -89,8 +117,10 @@ int main(int argc, char** argv) {
   int employees = 60;
   int years = 8;
   int repeat = 1;
+  int watch = 0;
   std::string wal_path;
   std::string query;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -116,6 +146,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       repeat = std::atoi(v);
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      trace_path = v;
+    } else if (arg == "--watch") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      watch = std::atoi(v);
     } else if (arg == "--employees") {
       const char* v = next();
       if (v == nullptr) return Usage();
@@ -129,6 +167,9 @@ int main(int argc, char** argv) {
     }
   }
   if (!workload && wal_path.empty()) return Usage();
+  // Trace-to-stdout must stay pure JSON for tools/trace_check, so the
+  // human report is suppressed.
+  const bool quiet = trace_path == "-";
 
   ArchISOptions options;
   options.segment.compress = compress;
@@ -153,12 +194,14 @@ int main(int argc, char** argv) {
                    stats.status().ToString().c_str());
       return 1;
     }
-    std::printf(
-        "workload: inserts=%llu updates=%llu deletes=%llu employees=%d\n",
-        static_cast<unsigned long long>(stats->inserts),
-        static_cast<unsigned long long>(stats->updates),
-        static_cast<unsigned long long>(stats->deletes),
-        stats->final_employee_count);
+    if (!quiet) {
+      std::printf(
+          "workload: inserts=%llu updates=%llu deletes=%llu employees=%d\n",
+          static_cast<unsigned long long>(stats->inserts),
+          static_cast<unsigned long long>(stats->updates),
+          static_cast<unsigned long long>(stats->deletes),
+          stats->final_employee_count);
+    }
     if (Status st = db.FreezeAll(); !st.ok()) {
       std::fprintf(stderr, "freeze failed: %s\n", st.ToString().c_str());
       return 1;
@@ -193,18 +236,63 @@ int main(int argc, char** argv) {
                    warm.status().ToString().c_str());
       return 1;
     }
-    std::printf("== query ==\n%s\npath=%s results=%zu\n", query.c_str(),
-                warm->path == archis::core::QueryPath::kTranslated
-                    ? "translated"
-                    : "native",
-                warm->xml->children().size());
-    if (!warm->sql.empty()) std::printf("sql: %s\n", warm->sql.c_str());
-    if (profile && warm->profile.has_value()) {
-      std::printf("== profile ==\n%s", warm->profile->Render().c_str());
+    if (!quiet) {
+      std::printf("== query ==\n%s\npath=%s results=%zu\n", query.c_str(),
+                  warm->path == archis::core::QueryPath::kTranslated
+                      ? "translated"
+                      : "native",
+                  warm->xml->children().size());
+      if (!warm->sql.empty()) std::printf("sql: %s\n", warm->sql.c_str());
+      if (profile && warm->profile.has_value()) {
+        std::printf("== profile ==\n%s", warm->profile->Render().c_str());
+      }
     }
   }
 
-  PrintCatalog(db);
-  std::printf("== metrics ==\n%s", ArchIS::DumpMetrics().c_str());
+  if (watch > 0) {
+    // Live windowed view: re-drive the query each tick so the 1s window
+    // has fresh observations, then print the window="..." gauge lines.
+    QueryOptions qopts;
+    for (int tick = 0; tick < watch; ++tick) {
+      if (!query.empty()) {
+        if (auto r = db.Query(query, qopts); !r.ok()) {
+          std::fprintf(stderr, "query failed: %s\n",
+                       r.status().ToString().c_str());
+          return 1;
+        }
+      }
+      std::printf("== watch tick %d/%d ==\n", tick + 1, watch);
+      PrintWindowedLines(ArchIS::DumpMetrics());
+      std::fflush(stdout);
+      if (tick + 1 < watch) {
+        std::this_thread::sleep_for(std::chrono::seconds(1));
+      }
+    }
+  }
+
+  if (!quiet) {
+    PrintCatalog(db);
+    std::printf("== metrics ==\n%s", ArchIS::DumpMetrics().c_str());
+  }
+
+  if (!trace_path.empty()) {
+    const std::string json = ArchIS::DumpTrace();
+    if (trace_path == "-") {
+      std::fwrite(json.data(), 1, json.size(), stdout);
+      std::fputc('\n', stdout);
+    } else {
+      std::FILE* f = std::fopen(trace_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write trace to %s\n",
+                     trace_path.c_str());
+        return 1;
+      }
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("trace: %s (%zu bytes)\n", trace_path.c_str(),
+                  json.size());
+    }
+  }
   return 0;
 }

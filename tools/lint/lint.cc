@@ -421,6 +421,71 @@ void CheckPlanOwnership(const RuleContext& ctx) {
   }
 }
 
+// ---- Rule: trace-event-names ----------------------------------------------
+
+void CheckTraceEventNames(const RuleContext& ctx) {
+  // (a) Every fr::Record call site must pass a registered EventType
+  // enumerator as its first argument — never an integer, a cast or a
+  // variable — so the trace vocabulary stays closed by construction and
+  // tools (trace_check, Perfetto queries) can rely on the name set.
+  static const std::string kCall = "fr::Record(";
+  size_t pos = 0;
+  while ((pos = ctx.code.find(kCall, pos)) != std::string::npos) {
+    const size_t start = pos;
+    pos += kCall.size();
+    if (start > 0 && IsIdentChar(ctx.code[start - 1])) continue;
+    size_t arg = pos;
+    while (arg < ctx.code.size() &&
+           std::isspace(static_cast<unsigned char>(ctx.code[arg]))) {
+      ++arg;
+    }
+    static const std::vector<std::string> kAllowed = {
+        "fr::EventType::k", "EventType::k", "archis::fr::EventType::k"};
+    bool ok = false;
+    for (const std::string& prefix : kAllowed) {
+      if (ctx.code.compare(arg, prefix.size(), prefix) == 0) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      ctx.Report("trace-event-names", start,
+                 "fr::Record's first argument must be a registered "
+                 "fr::EventType enumerator (EventType::k...); raw integers "
+                 "or variables open the closed trace-event vocabulary");
+    }
+  }
+  // (b) The registered display names themselves must be snake_case
+  // literals, so every emitted trace/crashdump name is greppable and
+  // tools never see mixed-case event names.
+  if (!PathEndsWithAny(ctx.path, {"common/flight_recorder.h"})) return;
+  static const std::string kEntry = "X(k";
+  pos = 0;
+  while ((pos = ctx.code.find(kEntry, pos)) != std::string::npos) {
+    const size_t start = pos;
+    pos += kEntry.size();
+    if (start > 0 && IsIdentChar(ctx.code[start - 1])) continue;
+    size_t open = ctx.code.find('"', start);
+    if (open == std::string::npos) break;
+    size_t close = ctx.code.find('"', open + 1);
+    if (close == std::string::npos) break;
+    const std::string name = ctx.code.substr(open + 1, close - open - 1);
+    bool snake = !name.empty() && name[0] >= 'a' && name[0] <= 'z';
+    for (char c : name) {
+      if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')) {
+        snake = false;
+        break;
+      }
+    }
+    if (!snake) {
+      ctx.Report("trace-event-names", start,
+                 "trace event display name '" + name +
+                     "' must be snake_case ([a-z][a-z0-9_]*)");
+    }
+    pos = close + 1;
+  }
+}
+
 }  // namespace
 
 std::string Finding::ToString() const {
@@ -506,6 +571,7 @@ std::vector<Finding> LintSource(const std::string& path,
   CheckDeprecatedApi(ctx);
   CheckRawLogging(ctx);
   CheckPlanOwnership(ctx);
+  CheckTraceEventNames(ctx);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.rule) <

@@ -27,6 +27,13 @@
 //      reproduce the pre-crash H-documents byte for byte, with every
 //      acknowledged commit present.
 //
+// The crash pass additionally snapshots a flight-recorder `.crashdump`
+// at the injected crash, parses it, and verifies its txn_commit events
+// against the torn log's own recovery: every commit the recorder
+// acknowledged must be durable in the WAL tail (txn_commit is recorded
+// only after WaitDurable succeeds, so a divergence here means the
+// recorder and the log disagree about what committed).
+//
 // Exits nonzero (with the offending seed and crash offset) on the first
 // divergence, so a failure is directly reproducible:
 //   recovery_fuzz --runs 16 --seed 7 --transactions 24
@@ -38,12 +45,16 @@
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "archis/archis.h"
 #include "archis/checkpoint.h"
+#include "archis/wal.h"
+#include "common/flight_recorder.h"
+#include "common/json.h"
 #include "workload/scripted_dml.h"
 
 namespace {
@@ -106,6 +117,84 @@ void RemoveInstanceFiles(const std::string& wal_path) {
   std::remove(CheckpointPath(wal_path).c_str());
   std::remove(CheckpointPrevPath(wal_path).c_str());
   std::remove(CheckpointTmpPath(wal_path).c_str());
+}
+
+namespace fr = archis::fr;
+namespace json = archis::json;
+
+/// Snapshots a `.crashdump` at the injected crash and validates it: the
+/// dump must parse as JSON, end in the injected crash event, and every
+/// txn_commit it carries must name a transaction the torn log recovers
+/// as committed. Returns 0 on success.
+int ValidateCrashDump(uint32_t seed, const std::string& wal_path) {
+  const std::string tag = "seed=" + std::to_string(seed);
+  const std::string dump_path = fr::WriteCrashDump("injected_wal_crash");
+  if (dump_path.empty()) {
+    return Fail("crashdump write", tag);
+  }
+  std::string text;
+  if (std::FILE* f = std::fopen(dump_path.c_str(), "rb")) {
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      text.append(buf, n);
+    }
+    std::fclose(f);
+  } else {
+    return Fail("crashdump read", tag + " " + dump_path);
+  }
+  auto parsed = json::Parse(text);
+  if (!parsed.ok()) {
+    return Fail("crashdump parse",
+                tag + " " + dump_path + ": " +
+                    parsed.status().ToString());
+  }
+  const json::Value* events = parsed->Find("events");
+  if (events == nullptr || !events->is_array() || events->items().empty()) {
+    return Fail("crashdump events", tag + " missing/empty events array");
+  }
+  // The dump's final event is the crash stamp itself.
+  const json::Value* last_name = events->items().back().Find("name");
+  if (last_name == nullptr || last_name->AsString() != "crash") {
+    return Fail("crashdump tail", tag + " last event is not the crash");
+  }
+
+  // The torn log's own recovery is the ground truth for what committed.
+  auto recovery = archis::core::Wal::Recover(wal_path);
+  if (!recovery.ok()) {
+    return Fail("crashdump wal recover", tag + recovery.status().ToString());
+  }
+  std::set<uint64_t> durable;
+  for (const auto& item : recovery->items) {
+    if (const auto* txn = std::get_if<archis::core::WalCommittedTxn>(&item)) {
+      durable.insert(txn->txn_id);
+    }
+  }
+  size_t commit_events = 0;
+  for (const json::Value& ev : events->items()) {
+    const json::Value* name = ev.Find("name");
+    if (name == nullptr || name->AsString() != "txn_commit") continue;
+    ++commit_events;
+    const json::Value* args = ev.Find("args");
+    const json::Value* a = args != nullptr ? args->Find("a") : nullptr;
+    if (a == nullptr) {
+      return Fail("crashdump commit event", tag + " missing args.a");
+    }
+    const uint64_t txn_id = static_cast<uint64_t>(a->AsInt());
+    if (durable.count(txn_id) == 0) {
+      return Fail("crashdump commit not durable",
+                  tag + " txn_id=" + std::to_string(txn_id) +
+                      " acknowledged by the recorder but absent from the "
+                      "recovered WAL");
+    }
+  }
+  if (commit_events == 0 && !durable.empty()) {
+    return Fail("crashdump commit events",
+                tag + " WAL recovered " + std::to_string(durable.size()) +
+                    " commits but the dump recorded none");
+  }
+  std::remove(dump_path.c_str());
+  return 0;
 }
 
 /// Concurrent-writer pass: four writer threads with disjoint key ranges
@@ -318,6 +407,9 @@ int RunOne(uint32_t seed, int transactions, const std::string& wal_path,
   if (log_bytes == 0) return Fail("clean pass", "empty log");
   const uint64_t budget = 1 + NextRand(rng) % log_bytes;
   RemoveInstanceFiles(wal_path);
+  // Txn ids restart per instance: drop the clean pass's events so the
+  // crash dump speaks only about this torn log.
+  fr::ResetForTest();
   ArchISOptions crash_opts = wal_opts;
   crash_opts.wal.fail_after_bytes = budget;
   auto primary = ArchIS::Open(crash_opts, cfg.start_date);
@@ -327,6 +419,9 @@ int RunOne(uint32_t seed, int transactions, const std::string& wal_path,
   if (!crash_run.ok()) {
     return Fail("scripted dml (crash)", crash_run.status().ToString());
   }
+  // Snapshot and validate a crash dump at the injected crash: its
+  // txn_commit tail must agree with what the torn log actually holds.
+  if (int rc = ValidateCrashDump(seed, wal_path)) return rc;
   primary->reset();  // "power loss": drop all in-memory state
 
   auto recovered = ArchIS::Open(wal_opts, cfg.start_date);
@@ -471,6 +566,8 @@ int main(int argc, char** argv) {
   fs::create_directories(dir, ec);
   if (ec) return Fail("create dir", ec.message());
   const std::string wal_path = (dir / "fuzz.wal").string();
+  // Crash dumps land next to the WAL under test, not in the cwd.
+  ::setenv("ARCHIS_CRASHDUMP_DIR", dir.string().c_str(), /*overwrite=*/0);
 
   std::printf("recovery_fuzz: %d runs, base seed %u, %d transactions\n",
               args.runs, args.seed, args.transactions);
