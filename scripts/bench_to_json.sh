@@ -9,6 +9,8 @@
 #   recovery            -> BENCH_recovery.json      (recovery time vs WAL
 #                          size, with/without checkpoint; a filtered run of
 #                          bench_updates)
+#   bench_server        -> BENCH_server.json        (archisd end-to-end
+#                          latency percentiles vs connection count)
 #
 # Usage: scripts/bench_to_json.sh [suite ...]
 #   scripts/bench_to_json.sh                  # all suites
@@ -26,7 +28,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 SUITES=("$@")
 if [[ ${#SUITES[@]} -eq 0 ]]; then
-  SUITES=(queries updates observability recovery concurrency)
+  SUITES=(queries updates observability recovery concurrency server)
 fi
 
 for suite in "${SUITES[@]}"; do

@@ -21,12 +21,16 @@
 #      suite re-runs with the physical planner pinned both ways
 #      (ARCHIS_FORCE_PLAN=cost, then =fixed), so cost-based plans and the
 #      legacy shape must both match native answers exactly.
-#   9. ThreadSanitizer build + full ctest, with the debug-build lock-rank
+#   9. archisd smoke: boots the network daemon on ephemeral ports with a
+#      seeded workload, round-trips ping/query/update through
+#      archis-client, scrapes GET /metrics and POSTs a query over the
+#      HTTP shim, then sends SIGTERM and requires a clean exit 0.
+#  10. ThreadSanitizer build + full ctest, with the debug-build lock-rank
 #      assertions live: every test doubles as a validation of the lock
 #      hierarchy in src/common/lock_rank.h, and TSan catches the races
 #      the static side cannot see. The flight-recorder seqlock tests run
 #      here too, so a data race in the ring protocol fails this step.
-#  10. If clang-tidy is available: .clang-tidy checks over src/.
+#  11. If clang-tidy is available: .clang-tidy checks over src/.
 #
 # Exits nonzero on the first failing step and prints a per-step timing
 # summary on exit (success or failure). Run from the repo root:
@@ -75,12 +79,12 @@ timing_summary() {
 }
 trap timing_summary EXIT
 
-step "[1/10] default build + tests"
+step "[1/11] default build + tests"
 cmake -B build-check -S . >/dev/null
 cmake --build build-check -j"$JOBS"
 ctest --test-dir build-check --output-on-failure -j"$JOBS"
 
-step "[2/10] clang thread-safety analysis (ARCHIS_ANALYZE=ON)"
+step "[2/11] clang thread-safety analysis (ARCHIS_ANALYZE=ON)"
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-analyze -S . \
     -DCMAKE_CXX_COMPILER=clang++ -DARCHIS_ANALYZE=ON >/dev/null
@@ -89,35 +93,78 @@ else
   echo "    clang++ not found; skipping (annotations are no-ops under GCC)"
 fi
 
-step "[3/10] archis-lint (domain invariants)"
+step "[3/11] archis-lint (domain invariants)"
 ./build-check/tools/archis-lint src tools
 
-step "[4/10] archis-analyze (lock-order graph + status propagation)"
+step "[4/11] archis-analyze (lock-order graph + status propagation)"
 ./build-check/tools/archis-analyze src tools
 
-step "[5/10] recovery fuzz (WAL crash points + checkpoint phases + concurrent writers)"
+step "[5/11] recovery fuzz (WAL crash points + checkpoint phases + concurrent writers)"
 ./build-check/tools/recovery_fuzz --runs "${FUZZ_RUNS:-8}"
 
-step "[6/10] metrics smoke (profile spans + exposition)"
+step "[6/11] metrics smoke (profile spans + exposition)"
 BUILD_DIR=build-check scripts/metrics_smoke.sh
 
-step "[7/10] flight-recorder trace (workload -> Chrome trace -> trace_check)"
+step "[7/11] flight-recorder trace (workload -> Chrome trace -> trace_check)"
 TRACE_TMP="$(mktemp /tmp/archis_trace.XXXXXX.json)"
 ./build-check/tools/archis-stats --workload --default-query --trace - \
   > "$TRACE_TMP"
 ./build-check/tools/trace_check "$TRACE_TMP" --min-events 50
 rm -f "$TRACE_TMP"
 
-step "[8/10] planner-forced equivalence (cost-based, then fixed)"
+step "[8/11] planner-forced equivalence (cost-based, then fixed)"
 ARCHIS_FORCE_PLAN=cost ./build-check/tests/equivalence_test
 ARCHIS_FORCE_PLAN=fixed ./build-check/tests/equivalence_test
 
-step "[9/10] ThreadSanitizer + lock-rank assertions (full ctest)"
+step "[9/11] archisd smoke (boot, wire + HTTP round trips, clean SIGTERM)"
+ARCHISD_DIR="$(mktemp -d /tmp/archisd_smoke.XXXXXX)"
+# `exec` so $! is archisd itself, not a shell wrapper.
+( exec ./build-check/tools/archisd --data "$ARCHISD_DIR/data" \
+    --port 0 --http-port 0 --port-file "$ARCHISD_DIR/ports" \
+    --seed-workload --employees 20 --years 2 ) \
+  > "$ARCHISD_DIR/log" 2>&1 &
+ARCHISD_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$ARCHISD_DIR/ports" ]] && break
+  sleep 0.1
+done
+[[ -s "$ARCHISD_DIR/ports" ]] || {
+  echo "archisd never wrote its port file"; cat "$ARCHISD_DIR/log"; exit 1; }
+read -r ARCHISD_PORT ARCHISD_HTTP < "$ARCHISD_DIR/ports"
+./build-check/tools/archis-client --port "$ARCHISD_PORT" ping
+./build-check/tools/archis-client --port "$ARCHISD_PORT" query \
+  'for $e in doc("employees.xml")/employees/employee return $e/name' \
+  | grep -q '<results>'
+./build-check/tools/archis-client --port "$ARCHISD_PORT" update \
+  'insert employees|990001|Smoke Person|50000|Engineer|D1' \
+  | grep -q 'committed 1'
+if command -v curl >/dev/null 2>&1; then
+  curl -sf "http://127.0.0.1:$ARCHISD_HTTP/metrics" \
+    | grep -q 'archis_server_requests_total'
+  curl -sf -X POST --data-binary \
+    'for $e in doc("employees.xml")/employees/employee[id=990001]/name return $e' \
+    "http://127.0.0.1:$ARCHISD_HTTP/query" | grep -q 'Smoke Person'
+else
+  # No curl in the image: a bare /dev/tcp HTTP/1.0 GET still proves the shim.
+  exec 3<>"/dev/tcp/127.0.0.1/$ARCHISD_HTTP"
+  printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+  grep -q 'archis_server_requests_total' <&3
+  exec 3<&- 3>&-
+fi
+kill -TERM "$ARCHISD_PID"
+ARCHISD_EXIT=0
+wait "$ARCHISD_PID" || ARCHISD_EXIT=$?
+[[ "$ARCHISD_EXIT" -eq 0 ]] || {
+  echo "archisd exited $ARCHISD_EXIT on SIGTERM"; cat "$ARCHISD_DIR/log"
+  exit 1; }
+rm -rf "$ARCHISD_DIR"
+
+step "[10/11] ThreadSanitizer + lock-rank assertions (full ctest)"
 cmake -B build-tsan -S . -DARCHIS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j"$JOBS"
 
-step "[10/10] clang-tidy"
+step "[11/11] clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   # shellcheck disable=SC2046

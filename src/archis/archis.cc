@@ -9,6 +9,7 @@
 #include "common/flight_recorder.h"
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/parse.h"
 #include "xml/serializer.h"
 #include "xquery/parser.h"
 
@@ -1598,14 +1599,22 @@ TranslatorContext ArchIS::translator_context() const {
 
 namespace {
 
-// ARCHIS_SLOW_QUERY_MS, parsed once. Unset, unparseable or <= 0 disables.
+// ARCHIS_SLOW_QUERY_MS, parsed once. Unset, unparseable or <= 0 disables;
+// a value strtod would have half-accepted ("5xyz") is rejected with one
+// warning instead of silently enabling a 5ms threshold.
 double SlowQueryEnvMs() {
   static const double ms = [] {
     const char* env = std::getenv("ARCHIS_SLOW_QUERY_MS");
     if (env == nullptr) return 0.0;
-    char* end = nullptr;
-    double v = std::strtod(env, &end);
-    return (end == env || v <= 0) ? 0.0 : v;
+    Result<double> v = ParseDouble(env);
+    if (!v.ok()) {
+      logging::Warn("env.rejected")
+          .Kv("var", "ARCHIS_SLOW_QUERY_MS")
+          .Kv("value", env)
+          .Kv("error", v.status().message());
+      return 0.0;
+    }
+    return *v > 0 ? *v : 0.0;
   }();
   return ms;
 }
@@ -1662,6 +1671,13 @@ Result<QueryResult> ArchIS::Query(const std::string& xquery,
     }
     if (options.collect_profile) result->profile = std::move(profile);
   };
+  // A deadline already in the past fails fast — the request spent its
+  // budget queueing (the server's admission queue is the usual culprit).
+  if (options.deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *options.deadline) {
+    return fail(
+        Status::DeadlineExceeded("query deadline passed before execution"));
+  }
   QueryResult result;
   if (options.force_path != QueryForce::kNative) {
     // Parse and translate under separate spans (the paper reports both
@@ -1681,7 +1697,8 @@ Result<QueryResult> ArchIS::Query(const std::string& xquery,
       result.sql = plan->ToSql();
       Result<xml::XmlNodePtr> xml = [&]() -> Result<xml::XmlNodePtr> {
         trace::ScopedSpan span(trace, "execute");
-        return Execute(*plan, &result.stats, trace, options.force_plan);
+        return Execute(*plan, &result.stats, trace, options.force_plan,
+                       options.deadline);
       }();
       if (!xml.ok()) return fail(xml.status());
       result.xml = std::move(*xml);
@@ -1694,7 +1711,13 @@ Result<QueryResult> ArchIS::Query(const std::string& xquery,
       return fail(plan.status());
     }
   }
-  // Native evaluation over published H-documents.
+  // Native evaluation over published H-documents. The evaluator has no
+  // cancellation points, so the deadline is only checked before starting.
+  if (options.deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *options.deadline) {
+    return fail(
+        Status::DeadlineExceeded("query deadline passed before native eval"));
+  }
   Result<xquery::Sequence> seq = [&]() -> Result<xquery::Sequence> {
     trace::ScopedSpan span(trace, "native-eval");
     return QueryNative(xquery);
@@ -1718,9 +1741,10 @@ Result<SqlXmlPlan> ArchIS::Translate(const std::string& xquery) const {
   return TranslateXQuery(xquery, translator_context());
 }
 
-Result<xml::XmlNodePtr> ArchIS::Execute(const SqlXmlPlan& plan,
-                                        PlanStats* stats, trace::Trace* trace,
-                                        PlanForce force_plan) const {
+Result<xml::XmlNodePtr> ArchIS::Execute(
+    const SqlXmlPlan& plan, PlanStats* stats, trace::Trace* trace,
+    PlanForce force_plan,
+    std::optional<std::chrono::steady_clock::time_point> deadline) const {
   static metrics::Counter* forced = metrics::Registry::Global().GetCounter(
       "archis_planner_forced_total",
       "Plan executions whose physical shape was pinned by "
@@ -1740,7 +1764,8 @@ Result<xml::XmlNodePtr> ArchIS::Execute(const SqlXmlPlan& plan,
   if (force_plan != PlanForce::kAuto) forced->Inc();
   if (force_plan == PlanForce::kFixed) {
     // nullptr physical = the fixed legacy shape (DefaultPhysicalPlan).
-    return ExecutePlan(archiver_, plan, clock_, stats, trace);
+    return ExecutePlan(archiver_, plan, clock_, stats, trace,
+                       /*physical=*/nullptr, deadline);
   }
   // Plan cache: repeated executions of a structurally identical plan at
   // unchanged statistics (no mutation since planning) skip PlanQuery
@@ -1771,7 +1796,8 @@ Result<xml::XmlNodePtr> ArchIS::Execute(const SqlXmlPlan& plan,
     if (!planned.ok()) {
       if (force_plan == PlanForce::kCostBased) return planned.status();
       fallbacks->Inc();
-      return ExecutePlan(archiver_, plan, clock_, stats, trace);
+      return ExecutePlan(archiver_, plan, clock_, stats, trace,
+                         /*physical=*/nullptr, deadline);
     }
     physical = std::make_shared<const PhysicalPlan>(std::move(*planned));
     MutexLock l(plan_cache_mu_);
@@ -1782,7 +1808,8 @@ Result<xml::XmlNodePtr> ArchIS::Execute(const SqlXmlPlan& plan,
     if (plan_cache_.size() >= 256) plan_cache_.clear();
     plan_cache_[key] = CachedPlan{plan_epoch_, physical};
   }
-  return ExecutePlan(archiver_, plan, clock_, stats, trace, physical.get());
+  return ExecutePlan(archiver_, plan, clock_, stats, trace, physical.get(),
+                     deadline);
 }
 
 std::string ArchIS::DumpMetrics() {
@@ -1832,6 +1859,15 @@ Result<std::vector<Tuple>> ArchIS::Snapshot(const std::string& relation,
                                             Date t) const {
   ARCHIS_ASSIGN_OR_RETURN(HTableSet * set, archiver_.htables(relation));
   return set->Snapshot(t);
+}
+
+Result<std::vector<std::string>> ArchIS::KeyColumns(
+    const std::string& relation) const {
+  auto info = relations_.find(relation);
+  if (info == relations_.end()) {
+    return Status::NotFound("unknown relation '" + relation + "'");
+  }
+  return info->second.key_columns;
 }
 
 Status ArchIS::FreezeAll() {

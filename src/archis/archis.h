@@ -38,6 +38,7 @@
 #ifndef ARCHIS_ARCHIS_ARCHIS_H_
 #define ARCHIS_ARCHIS_ARCHIS_H_
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <optional>
@@ -100,6 +101,13 @@ struct QueryOptions {
   /// 0 disables; negative (the default) defers to ARCHIS_SLOW_QUERY_MS
   /// in the environment (unset/0 = disabled).
   double slow_query_ms = -1.0;
+  /// Absolute deadline for this query. The executor checks it at every
+  /// scan boundary and every few hundred rows inside a scan, so a long
+  /// merge-scan cancels mid-flight with StatusCode::kDeadlineExceeded
+  /// (partial PlanStats are still attributed). Unset = no deadline.
+  /// Native-path evaluation only checks before starting — cancellation
+  /// granularity is a translated-path guarantee.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 /// Result of ArchIS::Query.
@@ -286,11 +294,13 @@ class ArchIS {
   /// Executes a (possibly hand-built) plan against the H-tables. The
   /// physical shape comes from the cost-based planner unless `force_plan`
   /// says otherwise (see PlanForce).
-  Result<xml::XmlNodePtr> Execute(const SqlXmlPlan& plan,
-                                  PlanStats* stats = nullptr,
-                                  trace::Trace* trace = nullptr,
-                                  PlanForce force_plan = PlanForce::kAuto)
-      const;
+  /// `deadline` (absolute) cancels the execution at the next scan
+  /// boundary once passed (StatusCode::kDeadlineExceeded).
+  Result<xml::XmlNodePtr> Execute(
+      const SqlXmlPlan& plan, PlanStats* stats = nullptr,
+      trace::Trace* trace = nullptr, PlanForce force_plan = PlanForce::kAuto,
+      std::optional<std::chrono::steady_clock::time_point> deadline =
+          std::nullopt) const;
 
   /// Native evaluation over published H-documents.
   Result<xquery::Sequence> QueryNative(const std::string& xquery);
@@ -365,6 +375,12 @@ class ArchIS {
 
   /// Storage held by the H-tables (archived history).
   uint64_t HistoryStorageBytes() const { return archiver_.StorageBytes(); }
+
+  /// Key-column names of a registered relation (NotFound when unknown).
+  /// The network front end uses this to parse typed key values in update
+  /// scripts without reaching into the private relation registry.
+  Result<std::vector<std::string>> KeyColumns(
+      const std::string& relation) const;
 
   minirel::Database& current_db() { return current_db_; }
   const minirel::Database& current_db() const { return current_db_; }

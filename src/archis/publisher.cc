@@ -1,7 +1,8 @@
 #include "archis/publisher.h"
 
-#include <cstdlib>
 #include <map>
+
+#include "common/parse.h"
 
 namespace archis::core {
 
@@ -81,19 +82,13 @@ namespace {
 Result<Value> ParseValue(const std::string& text, minirel::DataType type) {
   switch (type) {
     case minirel::DataType::kInt64: {
-      char* end = nullptr;
-      long long v = std::strtoll(text.c_str(), &end, 10);
-      if (end != text.c_str() + text.size()) {
-        return Status::ParseError("not an integer: '" + text + "'");
-      }
-      return Value(static_cast<int64_t>(v));
+      // Strict: empty text, trailing garbage and out-of-range values all
+      // fail (the old inline strtoll accepted "" as 0 and clamped ERANGE).
+      ARCHIS_ASSIGN_OR_RETURN(int64_t v, ParseInt64(text));
+      return Value(v);
     }
     case minirel::DataType::kDouble: {
-      char* end = nullptr;
-      double v = std::strtod(text.c_str(), &end);
-      if (end != text.c_str() + text.size()) {
-        return Status::ParseError("not a number: '" + text + "'");
-      }
+      ARCHIS_ASSIGN_OR_RETURN(double v, ParseDouble(text));
       return Value(v);
     }
     case minirel::DataType::kString:
@@ -119,12 +114,13 @@ Status ImportHistory(HTableSet* set, const xml::XmlNodePtr& doc) {
     if (id_elem == nullptr) {
       return Status::InvalidArgument("entity element without <id> child");
     }
-    char* end = nullptr;
     const std::string id_text = id_elem->StringValue();
-    int64_t id = std::strtoll(id_text.c_str(), &end, 10);
-    if (end != id_text.c_str() + id_text.size()) {
-      return Status::ParseError("bad <id> value '" + id_text + "'");
+    Result<int64_t> parsed = ParseInt64(id_text);
+    if (!parsed.ok()) {
+      return Status::ParseError("bad <id> value '" + id_text + "': " +
+                                parsed.status().message());
     }
+    const int64_t id = *parsed;
     ARCHIS_RETURN_NOT_OK(set->key_store()->LoadVersion(id, {}, key_iv));
     for (const auto& child : entity->ChildElements()) {
       if (child->name() == "id") continue;

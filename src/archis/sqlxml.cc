@@ -24,6 +24,16 @@ struct HRow {
   TimeInterval interval;
 };
 
+using ExecDeadline = std::optional<std::chrono::steady_clock::time_point>;
+
+bool DeadlinePassed(const ExecDeadline& deadline) {
+  return deadline.has_value() && std::chrono::steady_clock::now() >= *deadline;
+}
+
+Status DeadlineError() {
+  return Status::DeadlineExceeded("query deadline exceeded during execution");
+}
+
 Value ColValue(const HRow& row, HCol col) {
   switch (col) {
     case HCol::kId: return Value(row.id);
@@ -42,9 +52,13 @@ Value ColValue(const HRow& row, HCol col) {
 Result<std::vector<HRow>> FetchVar(const Archiver& archiver,
                                    const PlanVar& var, const VarPlan& vp,
                                    bool cost_based, PlanStats* stats,
-                                   trace::Trace* trace) {
+                                   trace::Trace* trace,
+                                   const ExecDeadline& deadline) {
   trace::ScopedSpan span(
       trace, "segment-scan");
+  // Scan-boundary deadline check: a multi-variable plan whose earlier
+  // scans consumed the budget stops before touching the next store.
+  if (DeadlinePassed(deadline)) return DeadlineError();
   const bool use_id_index =
       vp.path == AccessPath::kIdIndex && var.id_eq.has_value();
   if (trace != nullptr) {
@@ -72,7 +86,21 @@ Result<std::vector<HRow>> FetchVar(const Archiver& archiver,
 
   std::vector<HRow> rows;
   StoreScanStats sstats;
+  // In-scan cancellation: re-check the deadline every kDeadlineStride
+  // rows; returning false stops the store scan early (partial stats are
+  // still accumulated below), and the flag turns the stop into
+  // kDeadlineExceeded rather than a truncated OK result.
+  constexpr uint32_t kDeadlineStride = 256;
+  uint32_t rows_since_check = 0;
+  bool deadline_hit = false;
   auto admit = [&](const Tuple& t) {
+    if (deadline.has_value() && ++rows_since_check >= kDeadlineStride) {
+      rows_since_check = 0;
+      if (DeadlinePassed(deadline)) {
+        deadline_hit = true;
+        return false;
+      }
+    }
     HRow row;
     row.id = t.at(0).AsInt();
     // Id restriction as a row post-filter on the merge path (a no-op on
@@ -139,6 +167,7 @@ Result<std::vector<HRow>> FetchVar(const Archiver& archiver,
     span.Note("cache_hits", sstats.block_cache_hits);
   }
   ARCHIS_RETURN_NOT_OK(st);
+  if (deadline_hit) return DeadlineError();
   // Store scans emit in (id, tstart) order already; keep it stable.
   std::stable_sort(rows.begin(), rows.end(),
                    [](const HRow& a, const HRow& b) { return a.id < b.id; });
@@ -431,7 +460,8 @@ Result<xml::XmlNodePtr> ExecutePlanImpl(const Archiver& archiver,
                                         const SqlXmlPlan& plan,
                                         Date current_date, PlanStats* stats,
                                         trace::Trace* trace,
-                                        const PhysicalPlan& physical) {
+                                        const PhysicalPlan& physical,
+                                        const ExecDeadline& deadline) {
   (void)current_date;
   if (plan.vars.empty()) {
     return Status::InvalidArgument("plan has no variables");
@@ -463,7 +493,7 @@ Result<xml::XmlNodePtr> ExecutePlanImpl(const Archiver& archiver,
     ARCHIS_ASSIGN_OR_RETURN(
         std::vector<HRow> rows,
         FetchVar(archiver, plan.vars[ord], physical.vars[ord],
-                 physical.cost_based, stats, trace));
+                 physical.cost_based, stats, trace, deadline));
     const bool empty = rows.empty();
     inputs[ord] = std::move(rows);
     if (physical.cost_based && empty) {
@@ -519,7 +549,14 @@ Result<xml::XmlNodePtr> ExecutePlanImpl(const Archiver& archiver,
   std::vector<size_t> cursor(partials.size(), 0);
   if (std::none_of(partials.begin(), partials.end(),
                    [](const auto& p) { return p.empty(); })) {
+    // The cross product can dwarf the scans (it is the join's only
+    // super-linear phase), so it re-checks the deadline periodically too.
+    uint64_t iterations = 0;
     while (true) {
+      if (deadline.has_value() && (++iterations & 4095) == 0 &&
+          DeadlinePassed(deadline)) {
+        return DeadlineError();
+      }
       JoinedRow full(plan.vars.size(), nullptr);
       for (size_t g = 0; g < partials.size(); ++g) {
         const JoinedRow& part = partials[g][cursor[g]];
@@ -603,11 +640,10 @@ Result<xml::XmlNodePtr> ExecutePlanImpl(const Archiver& archiver,
 
 }  // namespace
 
-Result<xml::XmlNodePtr> ExecutePlan(const Archiver& archiver,
-                                    const SqlXmlPlan& plan,
-                                    Date current_date, PlanStats* stats,
-                                    trace::Trace* trace,
-                                    const PhysicalPlan* physical) {
+Result<xml::XmlNodePtr> ExecutePlan(
+    const Archiver& archiver, const SqlXmlPlan& plan, Date current_date,
+    PlanStats* stats, trace::Trace* trace, const PhysicalPlan* physical,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
   static metrics::Counter* rows_scanned =
       metrics::Registry::Global().GetCounter(
           "archis_exec_rows_scanned_total",
@@ -638,8 +674,8 @@ Result<xml::XmlNodePtr> ExecutePlan(const Archiver& archiver,
   // Run with a local PlanStats so the partial work of a failing plan is
   // still published (registry + caller), then merge into the caller's.
   PlanStats local;
-  Result<xml::XmlNodePtr> result =
-      ExecutePlanImpl(archiver, plan, current_date, &local, trace, *physical);
+  Result<xml::XmlNodePtr> result = ExecutePlanImpl(
+      archiver, plan, current_date, &local, trace, *physical, deadline);
   if (stats != nullptr) {
     stats->rows_scanned += local.rows_scanned;
     stats->rows_joined += local.rows_joined;

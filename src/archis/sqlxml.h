@@ -12,6 +12,7 @@
 #ifndef ARCHIS_ARCHIS_SQLXML_H_
 #define ARCHIS_ARCHIS_SQLXML_H_
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <string>
@@ -193,12 +194,18 @@ struct PlanStats {
 /// `physical` is the planner's decision (archis/planner.h); nullptr runs
 /// the fixed legacy shape (DefaultPhysicalPlan), which reproduces the
 /// pre-planner executor exactly.
-Result<xml::XmlNodePtr> ExecutePlan(const Archiver& archiver,
-                                    const SqlXmlPlan& plan,
-                                    Date current_date,
-                                    PlanStats* stats = nullptr,
-                                    trace::Trace* trace = nullptr,
-                                    const PhysicalPlan* physical = nullptr);
+///
+/// `deadline` (absolute, steady clock) cancels the run with
+/// StatusCode::kDeadlineExceeded: checked before each variable's scan,
+/// every few hundred rows inside a scan (the scan stops early), and
+/// periodically through the join's cross product — so even a plan that
+/// would scan millions of rows observes the deadline promptly.
+Result<xml::XmlNodePtr> ExecutePlan(
+    const Archiver& archiver, const SqlXmlPlan& plan, Date current_date,
+    PlanStats* stats = nullptr, trace::Trace* trace = nullptr,
+    const PhysicalPlan* physical = nullptr,
+    std::optional<std::chrono::steady_clock::time_point> deadline =
+        std::nullopt);
 
 }  // namespace archis::core
 

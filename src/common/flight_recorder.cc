@@ -12,7 +12,9 @@
 #include <cstring>
 #include <memory>
 
+#include "common/log.h"
 #include "common/metrics.h"
+#include "common/parse.h"
 
 namespace archis::fr {
 namespace {
@@ -45,11 +47,26 @@ std::atomic<uint32_t> g_ring_count{0};
 uint32_t RingCapacityFromEnv() {
   static const uint32_t cap = [] {
     const char* env = std::getenv("ARCHIS_FR_RING");
-    if (env != nullptr) {
-      const long v = std::strtol(env, nullptr, 10);
-      if (v >= 8 && v <= (1 << 20)) return static_cast<uint32_t>(v);
+    if (env == nullptr) return kDefaultRingEvents;
+    // Strict parse (the old strtol ignored the end pointer, so "4096xyz"
+    // half-parsed); a rejected or out-of-range value falls back to the
+    // default with one warning instead of a silent drop.
+    const Result<int64_t> v = ParseInt64(env);
+    if (!v.ok()) {
+      logging::Warn("env.rejected")
+          .Kv("var", "ARCHIS_FR_RING")
+          .Kv("value", env)
+          .Kv("error", v.status().message());
+      return kDefaultRingEvents;
     }
-    return kDefaultRingEvents;
+    if (*v < 8 || *v > (1 << 20)) {
+      logging::Warn("env.rejected")
+          .Kv("var", "ARCHIS_FR_RING")
+          .Kv("value", env)
+          .Kv("error", "out of range [8, 1048576]");
+      return kDefaultRingEvents;
+    }
+    return static_cast<uint32_t>(*v);
   }();
   return cap;
 }
@@ -114,7 +131,7 @@ const char* EventTypeName(EventType type) {
 
 bool EventHasDuration(EventType type) {
   return type == EventType::kWalFsync || type == EventType::kQueryExecute ||
-         type == EventType::kSlowQuery;
+         type == EventType::kSlowQuery || type == EventType::kRequestEnd;
 }
 
 const char* AbortReasonName(AbortReason reason) {

@@ -60,6 +60,8 @@ namespace archis::fr {
   X(kBlockCacheEvict, "block_cache_evict")   \
   X(kSegmentFreeze, "segment_freeze")        \
   X(kSlowQuery, "slow_query")                \
+  X(kRequestBegin, "request_begin")          \
+  X(kRequestEnd, "request_end")              \
   X(kCrash, "crash")
 
 enum class EventType : uint16_t {
@@ -91,6 +93,8 @@ bool EventHasDuration(EventType type);
 ///   block_cache_evict    a=block      b=bytes_freed
 ///   segment_freeze       a=segno      b=tuples       detail=store
 ///   slow_query           a=threshold_ns b=dur_ns
+///   request_begin        a=request_seq               detail=frame type
+///   request_end          a=request_seq b=dur_ns      flags=wire status
 ///   crash                                            detail=reason
 struct Event {
   uint64_t ts_ns = 0;  // steady-clock, comparable across threads

@@ -34,6 +34,13 @@ namespace archis {
 /// per thread; kUnranked opts a mutex out of checking (tests, scratch).
 enum class LockRank : int {
   kUnranked = 0,
+  /// server::ArchisServer::mu_ — listener/session/worker lifecycle state
+  /// (connection table, stop flag). Outermost of all: request handling
+  /// acquires the request queue and then facade locks inside it.
+  kServerState = 1,
+  /// server::RequestQueue::mu_ — the bounded admission queue. Held only
+  /// for push/pop bookkeeping; never across a facade call.
+  kServerQueue = 2,
   /// ArchIS::checkpoint_mu_ — serializes whole checkpoints (capture +
   /// manifest install + WAL truncation) against each other. Outermost
   /// facade lock: a checkpoint acquires the commit lock inside it.
@@ -70,6 +77,8 @@ enum class LockRank : int {
 inline const char* LockRankName(LockRank r) {
   switch (r) {
     case LockRank::kUnranked:        return "kUnranked";
+    case LockRank::kServerState:     return "kServerState";
+    case LockRank::kServerQueue:     return "kServerQueue";
     case LockRank::kFacadeCheckpoint: return "kFacadeCheckpoint";
     case LockRank::kFacadeCommit:    return "kFacadeCommit";
     case LockRank::kFacadePlanCache: return "kFacadePlanCache";

@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kAborted: return "Aborted";
     case StatusCode::kConflict: return "Conflict";
+    case StatusCode::kOverloaded: return "Overloaded";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -30,6 +30,14 @@ enum class [[nodiscard]] StatusCode {
   /// committed a change to a key in this transaction's write set after it
   /// began. Retryable — re-run the transaction against the new state.
   kConflict,
+  /// Admission control shed this request: the server's bounded queue was
+  /// full (or the connection limit was hit). Retryable after backoff; the
+  /// work was never started.
+  kOverloaded,
+  /// The caller's deadline passed before the work completed. The query
+  /// executor checks at scan boundaries, so a partial scan may have run;
+  /// no state was mutated.
+  kDeadlineExceeded,
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -87,6 +95,12 @@ class [[nodiscard]] Status {
 
   static Status Conflict(std::string msg) {
     return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

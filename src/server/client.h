@@ -1,0 +1,71 @@
+// Blocking client for the archisd wire protocol (server/protocol.h).
+//
+// One ArchisClient owns one connection. Calls are synchronous — write
+// frame, read response — with socket send/receive timeouts so a dead or
+// wedged server surfaces as kIOError instead of a hang. On an IO failure
+// the client transparently reconnects and retries ONCE (requests are
+// idempotent from the protocol's view: a query re-runs; an update batch
+// retried after a torn write either conflicts or re-applies — callers
+// that need exactly-once turn `reconnect` off).
+//
+// Not thread-safe: one client per thread, or external serialization.
+#ifndef ARCHIS_SERVER_CLIENT_H_
+#define ARCHIS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace archis::server {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// TCP connect timeout.
+  int connect_timeout_ms = 2000;
+  /// Per-read/write socket timeout (SO_RCVTIMEO / SO_SNDTIMEO).
+  int io_timeout_ms = 10000;
+  /// Reconnect and retry once after an IO failure.
+  bool reconnect = true;
+};
+
+class ArchisClient {
+ public:
+  explicit ArchisClient(ClientOptions options);
+  ~ArchisClient();
+  ArchisClient(const ArchisClient&) = delete;
+  ArchisClient& operator=(const ArchisClient&) = delete;
+
+  /// Establishes the connection (optional: the first request connects
+  /// lazily).
+  Status Connect();
+
+  /// Liveness round trip.
+  Status Ping();
+
+  /// Runs an XQuery; returns the serialized XML result document.
+  /// `deadline_ms` is a relative per-request deadline (0 = server
+  /// default). A shed request fails with kOverloaded, an expired one
+  /// with kDeadlineExceeded — both carried back from the wire status.
+  Result<std::string> Query(const std::string& xquery,
+                            uint32_t deadline_ms = 0);
+
+  /// Applies an update-batch script (see protocol.h grammar) as one
+  /// transaction; returns the server's "committed N" acknowledgement.
+  Result<std::string> UpdateBatch(const std::string& script);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  Result<std::string> Roundtrip(FrameType type, const std::string& payload);
+
+  ClientOptions opts_;
+  int fd_ = -1;
+};
+
+}  // namespace archis::server
+
+#endif  // ARCHIS_SERVER_CLIENT_H_

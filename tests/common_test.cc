@@ -5,6 +5,7 @@
 
 #include "common/date.h"
 #include "common/interval.h"
+#include "common/parse.h"
 #include "common/status.h"
 #include "common/str_util.h"
 
@@ -229,6 +230,71 @@ TEST(StrUtilTest, XmlEscapeRoundTrip) {
   EXPECT_EQ(XmlEscape(nasty), "a&lt;b&amp;c&gt;&quot;d&apos;e");
   EXPECT_EQ(XmlUnescape(XmlEscape(nasty)), nasty);
   EXPECT_EQ(XmlUnescape("&bogus;"), "&bogus;");  // unknown entity passes
+}
+
+// -- ParseInt64 / ParseDouble (common/parse.h) ------------------------------
+//
+// These helpers exist because two inline strtoll/strtod call sites
+// accepted "" as 0 (end != text trivially passes when both are the start)
+// and never checked errno, so ERANGE silently clamped to LLONG_MAX.
+
+TEST(ParseTest, ParsesPlainIntegers) {
+  EXPECT_EQ(*ParseInt64("0"), 0);
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64("-17"), -17);
+  EXPECT_EQ(*ParseInt64("+8"), 8);
+  EXPECT_EQ(*ParseInt64("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(*ParseInt64("-9223372036854775808"), INT64_MIN);
+}
+
+TEST(ParseTest, RejectsEmptyAndWhitespaceInt) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64(" ").ok());
+  EXPECT_FALSE(ParseInt64(" 5").ok());
+  EXPECT_FALSE(ParseInt64("5 ").ok());
+  EXPECT_FALSE(ParseInt64("\t5").ok());
+}
+
+TEST(ParseTest, RejectsTrailingGarbageInt) {
+  EXPECT_FALSE(ParseInt64("5xyz").ok());
+  EXPECT_FALSE(ParseInt64("12.5").ok());
+  EXPECT_FALSE(ParseInt64("0x10").ok());
+  EXPECT_FALSE(ParseInt64("--3").ok());
+  EXPECT_FALSE(ParseInt64("xyz").ok());
+}
+
+TEST(ParseTest, RejectsOutOfRangeIntInsteadOfClamping) {
+  // The motivating bug: the old inline strtoll returned LLONG_MAX here.
+  auto r = ParseInt64("99999999999999999999999");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_FALSE(ParseInt64("-99999999999999999999999").ok());
+}
+
+TEST(ParseTest, ParsesPlainDoubles) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("0"), 0.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-2.25e2"), -225.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble(".5"), 0.5);
+}
+
+TEST(ParseTest, RejectsEmptyWhitespaceAndGarbageDouble) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble(" 1.5").ok());
+  EXPECT_FALSE(ParseDouble("1.5 ").ok());
+  EXPECT_FALSE(ParseDouble("5xyz").ok());   // the "5xyz" -> 5.0 env bug
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+}
+
+TEST(ParseTest, RejectsNonFiniteAndOverflowDouble) {
+  EXPECT_FALSE(ParseDouble("inf").ok());
+  EXPECT_FALSE(ParseDouble("nan").ok());
+  EXPECT_FALSE(ParseDouble("1e999").ok());
+  EXPECT_FALSE(ParseDouble("-1e999").ok());
+  // Subnormal underflow is implementation-defined ERANGE; accept either
+  // a tiny value or a rejection, but never a crash.
+  auto tiny = ParseDouble("1e-400");
+  if (tiny.ok()) EXPECT_GE(*tiny, 0.0);
 }
 
 }  // namespace

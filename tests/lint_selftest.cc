@@ -431,6 +431,38 @@ TEST(TraceEventNames, SuppressionComment) {
       "trace-event-names"));
 }
 
+// ---- raw-socket ------------------------------------------------------------
+
+TEST(RawSocket, FiresOnSocketCallsOutsideServer) {
+  EXPECT_TRUE(FiredRule("src/archis/seeded.cc",
+                        "int fd = ::socket(AF_INET, SOCK_STREAM, 0);\n",
+                        "raw-socket"));
+  EXPECT_TRUE(FiredRule("tools/seeded/seeded_main.cc",
+                        "int c = accept(lfd, nullptr, nullptr);\n",
+                        "raw-socket"));
+  EXPECT_TRUE(FiredRule("src/common/seeded.cc",
+                        "setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &o, n);\n",
+                        "raw-socket"));
+}
+
+TEST(RawSocket, AllowedInsideServerSubsystem) {
+  EXPECT_FALSE(FiredRule("src/server/server.cc",
+                         "int fd = ::socket(AF_INET, SOCK_STREAM, 0);\n",
+                         "raw-socket"));
+  EXPECT_FALSE(FiredRule("src/server/client.cc",
+                         "setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, n);\n",
+                         "raw-socket"));
+}
+
+TEST(RawSocket, IgnoresIdentifiersAndNonCalls) {
+  EXPECT_FALSE(FiredRule("src/archis/seeded.cc",
+                         "int socket_count = 0;\nstd::string socket_path;\n",
+                         "raw-socket"));
+  EXPECT_FALSE(FiredRule("src/archis/seeded.cc",
+                         "// the socket (2) man page\nint accepted = 1;\n",
+                         "raw-socket"));
+}
+
 // ---- comment stripping ----------------------------------------------------
 
 TEST(StripCommentsTest, PreservesLineStructureAndStrings) {

@@ -1,0 +1,86 @@
+// archis-client: command-line client for archisd's binary protocol.
+//
+//   archis-client --port N [--host H] ping
+//   archis-client --port N [--deadline-ms N] query "<XQuery>"
+//   archis-client --port N update "<script>"     (see server/protocol.h
+//                                                 for the line grammar)
+//
+// Prints the response payload to stdout; protocol/server errors go to
+// stderr with exit code 1 (3 for Overloaded, 4 for DeadlineExceeded, so
+// scripts can distinguish admission outcomes).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "server/client.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: archis-client --port N [--host H] [--deadline-ms N]\n"
+               "                     ping | query XQ | update SCRIPT\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  archis::server::ClientOptions opts;
+  uint32_t deadline_ms = 0;
+  std::string command;
+  std::string operand;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--port") {
+      if ((v = next()) == nullptr) return Usage();
+      opts.port = std::atoi(v);
+    } else if (arg == "--host") {
+      if ((v = next()) == nullptr) return Usage();
+      opts.host = v;
+    } else if (arg == "--deadline-ms") {
+      if ((v = next()) == nullptr) return Usage();
+      deadline_ms = static_cast<uint32_t>(std::atol(v));
+    } else if (command.empty()) {
+      command = arg;
+    } else if (operand.empty()) {
+      operand = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (opts.port <= 0 || command.empty()) return Usage();
+
+  archis::server::ArchisClient client(opts);
+  const auto report = [](const archis::Status& st) {
+    std::fprintf(stderr, "archis-client: %s\n", st.ToString().c_str());
+    switch (st.code()) {
+      case archis::StatusCode::kOverloaded:       return 3;
+      case archis::StatusCode::kDeadlineExceeded: return 4;
+      default:                                    return 1;
+    }
+  };
+
+  if (command == "ping") {
+    archis::Status st = client.Ping();
+    if (!st.ok()) return report(st);
+    std::printf("pong\n");
+    return 0;
+  }
+  if (operand.empty()) return Usage();
+  archis::Result<std::string> result =
+      command == "query"    ? client.Query(operand, deadline_ms)
+      : command == "update" ? client.UpdateBatch(operand)
+                            : archis::Result<std::string>(
+                                  archis::Status::InvalidArgument(
+                                      "unknown command '" + command + "'"));
+  if (command != "query" && command != "update") return Usage();
+  if (!result.ok()) return report(result.status());
+  std::printf("%s\n", result->c_str());
+  return 0;
+}

@@ -486,6 +486,40 @@ void CheckTraceEventNames(const RuleContext& ctx) {
   }
 }
 
+// Rule: raw-socket. Raw socket(2)-family calls are confined to
+// src/server/, the one subsystem whose job is the network. Everything
+// else talks through server::ArchisClient / server::ArchisServer, so
+// socket lifecycle, timeouts and shutdown semantics have a single home.
+void CheckRawSocket(const RuleContext& ctx) {
+  if (PathContains(ctx.path, "src/server/")) return;
+  static const std::vector<std::string> kBanned = {
+      "socket", "accept", "accept4", "getsockname", "setsockopt",
+  };
+  for (const std::string& needle : kBanned) {
+    size_t pos = 0;
+    while ((pos = ctx.code.find(needle, pos)) != std::string::npos) {
+      const size_t start = pos;
+      pos += needle.size();
+      if (start > 0 && IsIdentChar(ctx.code[start - 1])) continue;
+      if (pos < ctx.code.size() && IsIdentChar(ctx.code[pos])) continue;
+      // Only call sites: the token must be followed by '(' (possibly
+      // after whitespace), so identifiers like `socket_path` or prose in
+      // string literals do not fire.
+      size_t call = pos;
+      while (call < ctx.code.size() &&
+             std::isspace(static_cast<unsigned char>(ctx.code[call]))) {
+        ++call;
+      }
+      if (call >= ctx.code.size() || ctx.code[call] != '(') continue;
+      ctx.Report("raw-socket", start,
+                 "raw socket call ('" + needle +
+                     "') outside src/server/; the network front end owns "
+                     "all socket handling — use server::ArchisClient or "
+                     "server::ArchisServer instead");
+    }
+  }
+}
+
 }  // namespace
 
 std::string Finding::ToString() const {
@@ -572,6 +606,7 @@ std::vector<Finding> LintSource(const std::string& path,
   CheckRawLogging(ctx);
   CheckPlanOwnership(ctx);
   CheckTraceEventNames(ctx);
+  CheckRawSocket(ctx);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.rule) <
